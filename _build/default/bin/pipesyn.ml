@@ -1,0 +1,276 @@
+(* pipesyn — command-line driver for the mapping-aware pipeline synthesis
+   library (reproduction of Zhao et al., DAC 2015). *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+(* ------------------------------------------------------------------ *)
+(* shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let bench_arg =
+  let doc = "Benchmark name (CLZ, XORR, GFMUL, CORDIC, MT, AES, RS, DR, GSM)." in
+  Arg.(required & opt (some string) None & info [ "b"; "benchmark" ] ~doc)
+
+let method_arg =
+  let methods =
+    [
+      ("hls", Mams.Flow.Hls_tool);
+      ("sdc", Mams.Flow.Sdc_tool);
+      ("base", Mams.Flow.Milp_base);
+      ("map", Mams.Flow.Milp_map);
+      ("mapfirst", Mams.Flow.Map_heuristic);
+    ]
+  in
+  let doc =
+    "Flow to run: hls | sdc | base | map | mapfirst (default: the three \
+     paper flows)."
+  in
+  Arg.(value & opt (some (enum methods)) None & info [ "m"; "method" ] ~doc)
+
+let time_limit_arg =
+  let doc = "MILP time budget in seconds (the paper used 3600)." in
+  Arg.(value & opt float 20.0 & info [ "t"; "time-limit" ] ~doc)
+
+let ii_arg =
+  let doc = "Target initiation interval; 0 picks the minimum feasible II." in
+  Arg.(value & opt int 1 & info [ "ii" ] ~doc)
+
+let k_arg =
+  let doc = "LUT input count K." in
+  Arg.(value & opt int 4 & info [ "k" ] ~doc)
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose output.")
+
+let alpha_arg =
+  let doc = "LUT weight alpha in the Eq. 15 objective." in
+  Arg.(value & opt float 0.5 & info [ "alpha" ] ~doc)
+
+let beta_arg =
+  let doc = "Register weight beta in the Eq. 15 objective." in
+  Arg.(value & opt float 0.5 & info [ "beta" ] ~doc)
+
+let entry_of name =
+  match Benchmarks.Registry.find name with
+  | e -> e
+  | exception Not_found ->
+      Fmt.epr "unknown benchmark %s; try `pipesyn list'@." name;
+      exit 2
+
+let setup_of ?(k = 4) ?(ii = 1) ?(alpha = 0.5) ?(beta = 0.5) ~time_limit
+    (e : Benchmarks.Registry.entry) =
+  let device = Fpga.Device.make ~k ~t_clk:e.t_clk () in
+  {
+    (Mams.Flow.default_setup ~device) with
+    resources = e.resources;
+    time_limit;
+    ii;
+    alpha;
+    beta;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* list                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    let columns =
+      Report.
+        [
+          { title = "Name"; align = Left };
+          { title = "Class"; align = Left };
+          { title = "Domain"; align = Left };
+          { title = "Tclk"; align = Right };
+          { title = "Ops"; align = Right };
+          { title = "Description"; align = Left };
+        ]
+    in
+    let rows =
+      List.map
+        (fun (e : Benchmarks.Registry.entry) ->
+          let g = e.build () in
+          [
+            e.name;
+            Benchmarks.Registry.kind_name e.kind;
+            e.domain;
+            Fmt.str "%.0fns" e.t_clk;
+            string_of_int (Ir.Cdfg.num_nodes g);
+            e.description;
+          ])
+        Benchmarks.Registry.all
+    in
+    Fmt.pr "%s" (Report.table ~columns rows)
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the Table 1 benchmark suite.")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let optimize_arg =
+    Arg.(value & flag
+         & info [ "O"; "optimize" ]
+             ~doc:"Run the frontend simplifier (DCE, constant folding, CSE) first.")
+  in
+  let run name method_ time_limit ii k alpha beta verbose optimize =
+    setup_logs verbose;
+    let e = entry_of name in
+    let g = e.build () in
+    let g =
+      if optimize then begin
+        let g', stats = Opt.simplify g in
+        Fmt.pr "simplified: %a@." Opt.pp_stats stats;
+        g'
+      end
+      else g
+    in
+    let ii =
+      if ii > 0 then ii
+      else begin
+        let device = Fpga.Device.make ~k ~t_clk:e.t_clk () in
+        let mii =
+          Sched.Heuristic.min_ii ~delays:Fpga.Delays.default ~device
+            ~resources:e.resources g
+        in
+        Fmt.pr "minimum feasible II: %d@." mii;
+        mii
+      end
+    in
+    let setup = setup_of ~k ~ii ~alpha ~beta ~time_limit e in
+    Fmt.pr "%s: %s@." e.name (Ir.Cdfg.stats g);
+    let methods =
+      match method_ with
+      | Some m -> [ m ]
+      | None -> [ Mams.Flow.Hls_tool; Mams.Flow.Milp_base; Mams.Flow.Milp_map ]
+    in
+    List.iter
+      (fun m ->
+        match Mams.Flow.run setup m g with
+        | Ok r ->
+            Fmt.pr "%a@." Mams.Flow.pp_result r;
+            if verbose then begin
+              Fmt.pr "%a@." (Sched.Schedule.pp_detailed g) r.Mams.Flow.schedule;
+              Fmt.pr "cover:@.%a@." (Sched.Cover.pp g) r.Mams.Flow.cover
+            end
+        | Error err -> Fmt.pr "%-9s error: %s@." (Mams.Flow.method_name m) err)
+      methods
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run one or all pipeline synthesis flows on a benchmark.")
+    Term.(
+      const run $ bench_arg $ method_arg $ time_limit_arg $ ii_arg $ k_arg
+      $ alpha_arg $ beta_arg $ verbose_arg $ optimize_arg)
+
+(* ------------------------------------------------------------------ *)
+(* cuts                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let cuts_cmd =
+  let run name k =
+    let e = entry_of name in
+    let g = e.build () in
+    let cuts = Cuts.enumerate ~k g in
+    Fmt.pr "%s: %s, %d cuts at K=%d@.@." e.name (Ir.Cdfg.stats g)
+      (Cuts.total_cuts cuts) k;
+    Array.iteri (fun v cs -> Fmt.pr "%a@." (Cuts.pp_node_cuts g) (v, cs)) cuts
+  in
+  Cmd.v
+    (Cmd.info "cuts" ~doc:"Enumerate the K-feasible cuts of a benchmark CDFG.")
+    Term.(const run $ bench_arg $ k_arg)
+
+(* ------------------------------------------------------------------ *)
+(* dot                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let dot_cmd =
+  let out_arg =
+    Arg.(value & opt string "cdfg.dot" & info [ "o"; "output" ] ~doc:"Output file.")
+  in
+  let sched_flag =
+    Arg.(value & flag
+         & info [ "schedule" ] ~doc:"Cluster nodes by HLS-flow schedule cycle.")
+  in
+  let run name out schedule time_limit =
+    let e = entry_of name in
+    let g = e.build () in
+    if schedule then begin
+      let setup = setup_of ~time_limit e in
+      match Mams.Flow.run setup Mams.Flow.Hls_tool g with
+      | Ok r ->
+          let cycle_of v = r.Mams.Flow.schedule.Sched.Schedule.cycle.(v) in
+          Ir.Dot.write_file ~cycle_of ~path:out g
+      | Error err ->
+          Fmt.epr "flow failed: %s@." err;
+          exit 1
+    end
+    else Ir.Dot.write_file ~path:out g;
+    Fmt.pr "wrote %s@." out
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export a benchmark CDFG as Graphviz.")
+    Term.(const run $ bench_arg $ out_arg $ sched_flag $ time_limit_arg)
+
+(* ------------------------------------------------------------------ *)
+(* rtl                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rtl_cmd =
+  let out_arg =
+    Arg.(value & opt string "pipeline.v" & info [ "o"; "output" ] ~doc:"Output file.")
+  in
+  let run name method_ time_limit out =
+    let e = entry_of name in
+    let g = e.build () in
+    let setup = setup_of ~time_limit e in
+    let m = Option.value method_ ~default:Mams.Flow.Milp_map in
+    match Mams.Flow.run setup m g with
+    | Error err ->
+        Fmt.epr "flow failed: %s@." err;
+        exit 1
+    | Ok r ->
+        let rtl =
+          Rtl.emit
+            ~module_name:(String.lowercase_ascii e.name)
+            g r.Mams.Flow.cover r.Mams.Flow.schedule
+        in
+        Rtl.write_file ~path:out rtl;
+        Fmt.pr "wrote %s (%d register bits, %d LUT expressions)@." out
+          rtl.Rtl.register_bits rtl.Rtl.lut_expressions
+  in
+  Cmd.v
+    (Cmd.info "rtl" ~doc:"Synthesize a benchmark and emit pipelined Verilog.")
+    Term.(const run $ bench_arg $ method_arg $ time_limit_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* table1 / table2 pointers                                            *)
+(* ------------------------------------------------------------------ *)
+
+let tables_cmd =
+  let run () =
+    Fmt.pr
+      "Tables 1-2, the figures and the ablations are regenerated by the@.";
+    Fmt.pr "benchmark harness:@.@.";
+    Fmt.pr "  dune exec bench/main.exe@.@.";
+    Fmt.pr "Use PIPESYN_TIME_LIMIT / PIPESYN_ONLY to control the run.@."
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"How to regenerate the paper's tables/figures.")
+    Term.(const run $ const ())
+
+let () =
+  let doc =
+    "Area-efficient pipelining for FPGA-targeted HLS (DAC 2015 reproduction)"
+  in
+  let info = Cmd.info "pipesyn" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; run_cmd; cuts_cmd; dot_cmd; rtl_cmd; tables_cmd ]))

@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Filename Fmt Fpga Int64 Ir List Mams Rtl Sched

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Fpga Int64 Ir List Mams Rtl

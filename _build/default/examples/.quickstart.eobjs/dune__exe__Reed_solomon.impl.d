@@ -1,0 +1,1 @@
+examples/reed_solomon.ml: Array Benchmarks Bitdep Cuts Filename Fmt Fpga Ir List Mams Rtl Sched

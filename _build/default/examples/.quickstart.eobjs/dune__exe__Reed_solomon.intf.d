@@ -1,0 +1,1 @@
+examples/reed_solomon.mli:

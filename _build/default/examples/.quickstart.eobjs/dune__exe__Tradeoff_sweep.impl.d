@@ -1,0 +1,1 @@
+examples/tradeoff_sweep.ml: Benchmarks Fmt Fpga Ir List Lp Mams Report Sched

@@ -1,0 +1,89 @@
+(* Ablation A3: sweep the Eq. 15 trade-off weights (alpha = LUTs,
+   beta = registers) and the target initiation interval, on the GFMUL
+   kernel — showing how the MILP trades LUT duplication against pipeline
+   registers, and how relaxing II shrinks both.
+
+   Run with:  dune exec examples/tradeoff_sweep.exe *)
+
+let () =
+  let e = Benchmarks.Registry.find "GFMUL" in
+  let g = e.build () in
+  let device = Fpga.Device.make ~t_clk:e.t_clk () in
+  Fmt.pr "GFMUL: %s@.@." (Ir.Cdfg.stats g);
+
+  Fmt.pr "--- alpha/beta sweep (II = 1, MILP-map, 15 s budget each) ---@.";
+  let columns =
+    Report.
+      [
+        { title = "alpha"; align = Right };
+        { title = "beta"; align = Right };
+        { title = "LUT"; align = Right };
+        { title = "FF"; align = Right };
+        { title = "Lat"; align = Right };
+        { title = "Status"; align = Left };
+      ]
+  in
+  let rows =
+    List.map
+      (fun (alpha, beta) ->
+        let setup =
+          { (Mams.Flow.default_setup ~device) with
+            alpha; beta; time_limit = 15.0 }
+        in
+        match Mams.Flow.run setup Mams.Flow.Milp_map g with
+        | Ok r ->
+            [
+              Fmt.str "%.2f" alpha;
+              Fmt.str "%.2f" beta;
+              string_of_int r.Mams.Flow.qor.Sched.Qor.luts;
+              string_of_int r.Mams.Flow.qor.Sched.Qor.ffs;
+              string_of_int r.Mams.Flow.qor.Sched.Qor.latency;
+              (match r.Mams.Flow.solve.Mams.Flow.milp_status with
+              | Some s -> Fmt.str "%a" Lp.Milp.pp_status s
+              | None -> "-");
+            ]
+        | Error err ->
+            [ Fmt.str "%.2f" alpha; Fmt.str "%.2f" beta; "-"; "-"; "-"; err ])
+      [ (1.0, 0.01); (0.5, 0.5); (0.01, 1.0) ]
+  in
+  Fmt.pr "%s@." (Report.table ~columns rows);
+
+  Fmt.pr "--- II sweep (alpha = beta = 0.5, heuristic + map-first) ---@.";
+  let columns =
+    Report.
+      [
+        { title = "II"; align = Right };
+        { title = "Method"; align = Left };
+        { title = "LUT"; align = Right };
+        { title = "FF"; align = Right };
+        { title = "Lat"; align = Right };
+      ]
+  in
+  let rows =
+    List.concat_map
+      (fun ii ->
+        let setup =
+          { (Mams.Flow.default_setup ~device) with ii; time_limit = 10.0 }
+        in
+        List.filter_map
+          (fun m ->
+            match Mams.Flow.run setup m g with
+            | Ok r ->
+                Some
+                  [
+                    string_of_int ii;
+                    Mams.Flow.method_name m;
+                    string_of_int r.Mams.Flow.qor.Sched.Qor.luts;
+                    string_of_int r.Mams.Flow.qor.Sched.Qor.ffs;
+                    string_of_int r.Mams.Flow.qor.Sched.Qor.latency;
+                  ]
+            | Error _ -> None)
+          [ Mams.Flow.Hls_tool; Mams.Flow.Map_heuristic ])
+      [ 1; 2; 3 ]
+  in
+  Fmt.pr "%s@." (Report.table ~columns rows);
+  Fmt.pr
+    "Note: II only affects steady-state register sharing here — with one@.";
+  Fmt.pr
+    "sample in flight per II cycles the same lifetime needs fewer overlap@.";
+  Fmt.pr "registers, and black-box resource pressure (Eq. 14) relaxes.@."

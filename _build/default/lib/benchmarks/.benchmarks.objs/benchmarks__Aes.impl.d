@@ -1,0 +1,1 @@
+lib/benchmarks/aes.ml: Array Bench_util Int64 Ir List Printf

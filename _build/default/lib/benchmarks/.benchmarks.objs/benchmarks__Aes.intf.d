@@ -1,0 +1,1 @@
+lib/benchmarks/aes.mli: Ir

@@ -1,0 +1,1 @@
+lib/benchmarks/bench_util.ml: Int64 Ir List

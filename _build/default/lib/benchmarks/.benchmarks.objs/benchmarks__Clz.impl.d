@@ -1,0 +1,1 @@
+lib/benchmarks/clz.ml: Bench_util Int64 Ir

@@ -1,0 +1,1 @@
+lib/benchmarks/clz.mli: Ir

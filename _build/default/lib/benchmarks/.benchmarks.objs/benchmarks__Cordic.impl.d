@@ -1,0 +1,1 @@
+lib/benchmarks/cordic.ml: Bench_util Int64 Ir

@@ -1,0 +1,1 @@
+lib/benchmarks/dr.ml: Bench_util Int64 Ir List

@@ -1,0 +1,1 @@
+lib/benchmarks/gfmul.ml: Bench_util Int64 Ir Rs

@@ -1,0 +1,1 @@
+lib/benchmarks/gfmul.mli: Ir

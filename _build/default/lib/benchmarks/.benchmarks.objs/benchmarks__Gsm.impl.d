@@ -1,0 +1,1 @@
+lib/benchmarks/gsm.ml: Array Bench_util Int64 Ir

@@ -1,0 +1,1 @@
+lib/benchmarks/mt.ml: Bench_util Int64 Ir

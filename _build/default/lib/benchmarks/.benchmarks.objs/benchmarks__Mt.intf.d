@@ -1,0 +1,1 @@
+lib/benchmarks/mt.mli: Ir

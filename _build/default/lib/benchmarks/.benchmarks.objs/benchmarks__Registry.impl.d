@@ -1,0 +1,1 @@
+lib/benchmarks/registry.ml: Aes Clz Cordic Dr Fpga Gfmul Gsm Ir List Mt Rs String Xorr

@@ -1,0 +1,1 @@
+lib/benchmarks/rs.ml: Array Int64 Ir List

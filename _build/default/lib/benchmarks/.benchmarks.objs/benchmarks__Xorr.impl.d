@@ -1,0 +1,1 @@
+lib/benchmarks/xorr.ml: Array Bench_util Int64 Ir List Printf

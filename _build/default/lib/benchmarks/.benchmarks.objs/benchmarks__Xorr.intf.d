@@ -1,0 +1,1 @@
+lib/benchmarks/xorr.mli: Ir

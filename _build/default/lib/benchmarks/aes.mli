@@ -1,0 +1,20 @@
+(** AES application (Table 1, "Cryptography"): one round on a 4-byte
+    column — S-box substitutions through black-box block-RAM lookups,
+    MixColumns xtime/xor network in GF(2^8), and AddRoundKey. The paper
+    pipelines the full AES; this is one round at full byte width with the
+    S-boxes as the memory-bound black boxes the paper calls out
+    (DESIGN.md). *)
+
+val sbox : int -> int
+(** The AES S-box (the real one), exposed for the evaluator and tests. *)
+
+val black_box_handler : kind:string -> int64 array -> int64
+(** Evaluation handler implementing the ["sbox"] black-box kind. *)
+
+val build : unit -> Ir.Cdfg.t
+(** Inputs [a0..a3] (column bytes) and [k0..k3] (round key bytes); outputs
+    the transformed column. Four black-box S-box reads on the
+    ["bram_port"] resource class. *)
+
+val reference : a:int array -> k:int array -> int array
+(** [a] and [k] are 4 bytes each. *)

@@ -1,0 +1,51 @@
+let count_width width =
+  (* enough bits to represent [width] itself *)
+  let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc + 1) in
+  go width 0
+
+let build ?(width = 16) () =
+  if width < 4 || width land (width - 1) <> 0 then
+    invalid_arg "Clz.build: width must be a power of two >= 4";
+  let cw = count_width width in
+  let b = Ir.Builder.create () in
+  let x0 = Ir.Builder.input b ~width "x" in
+  let rec stages k x n =
+    if k = 0 then (x, n)
+    else begin
+      let hi = Ir.Builder.slice b x ~lo:(width - k) ~hi:(width - 1) in
+      let z = Bench_util.eq_zero b ~chunk:4 hi in
+      let inc =
+        Bench_util.mux_const b ~width:cw ~cond:z (Int64.of_int k) 0L
+      in
+      let n' =
+        match n with
+        | None -> Some inc
+        | Some n -> Some (Ir.Builder.add b n inc)
+      in
+      let shifted = Ir.Builder.shl b x k in
+      let x' = Ir.Builder.mux b ~cond:z shifted x in
+      stages (k / 2) x' n'
+    end
+  in
+  let _, n = stages (width / 2) x0 None in
+  let n = match n with Some n -> n | None -> assert false in
+  (* all-zero input: one more leading zero than the halvings counted *)
+  let zall = Bench_util.eq_zero b ~chunk:4 x0 in
+  let last = Bench_util.mux_const b ~width:cw ~cond:zall 1L 0L in
+  let total = Ir.Builder.add b ~name:"clz" n last in
+  Ir.Builder.output b total;
+  Ir.Builder.finish b
+
+let reference ~width v =
+  let v = Bench_util.mask ~width v in
+  let rec stages k x n =
+    if k = 0 then (x, n)
+    else
+      let hi = Int64.shift_right_logical x (width - k) in
+      if Int64.equal hi 0L then
+        stages (k / 2) (Bench_util.mask ~width (Int64.shift_left x k)) (n + k)
+      else stages (k / 2) x n
+  in
+  let _, n = stages (width / 2) v 0 in
+  let n = if Int64.equal v 0L then n + 1 else n in
+  Int64.of_int n

@@ -1,0 +1,12 @@
+(** CLZ kernel (Table 1): count the leading zeros of a word with a
+    branchless binary search — successive halvings test whether the upper
+    half is zero, conditionally shift the value up, and accumulate the
+    count. Zero-tests are decomposed into LUT-sized chunks
+    ({!Bench_util.eq_zero}). The paper uses a 64-bit value; the default
+    here is 16 bits so the MILP stays laptop-scale (DESIGN.md). *)
+
+val build : ?width:int -> unit -> Ir.Cdfg.t
+(** [width] must be a power of two, [>= 4]. Output is the leading-zero
+    count, [width] when the input is 0. *)
+
+val reference : width:int -> int64 -> int64

@@ -1,0 +1,55 @@
+(* Arc-tangent table entries, scaled to the word width; values are
+   arbitrary but fixed and shared with the reference model. *)
+let atan_entry ~width i =
+  Bench_util.mask ~width
+    (Int64.of_int (((0x32 lsr i) lor 1) land ((1 lsl width) - 1)))
+
+let build ?(width = 8) ?(iterations = 4) () =
+  if iterations < 1 then invalid_arg "Cordic.build: iterations < 1";
+  let b = Ir.Builder.create () in
+  let x0 = Ir.Builder.input b ~width "x0" in
+  let y0 = Ir.Builder.input b ~width "y0" in
+  let z0 = Ir.Builder.input b ~width "z0" in
+  let rec rotate i x y z =
+    if i >= iterations then (x, y, z)
+    else begin
+      (* d = sign(z): rotate clockwise when the residual angle is
+         negative (MSB set). *)
+      let d = Ir.Builder.slice b z ~lo:(width - 1) ~hi:(width - 1) in
+      let xs = Ir.Builder.shr b x i in
+      let ys = Ir.Builder.shr b y i in
+      let x_add = Ir.Builder.add b x ys in
+      let x_sub = Ir.Builder.sub b x ys in
+      let y_add = Ir.Builder.add b y xs in
+      let y_sub = Ir.Builder.sub b y xs in
+      let atan = Ir.Builder.const b ~width (atan_entry ~width i) in
+      let z_add = Ir.Builder.add b z atan in
+      let z_sub = Ir.Builder.sub b z atan in
+      let x' = Ir.Builder.mux b ~cond:d x_add x_sub in
+      let y' = Ir.Builder.mux b ~cond:d y_sub y_add in
+      let z' = Ir.Builder.mux b ~cond:d z_add z_sub in
+      rotate (i + 1) x' y' z'
+    end
+  in
+  let x, y, z = rotate 0 x0 y0 z0 in
+  Ir.Builder.output b x;
+  Ir.Builder.output b y;
+  Ir.Builder.output b z;
+  Ir.Builder.finish b
+
+let reference ~width ~iterations ~x0 ~y0 ~z0 =
+  let m = Bench_util.mask ~width in
+  let msb = Int64.shift_left 1L (width - 1) in
+  let rec rotate i x y z =
+    if i >= iterations then (x, y, z)
+    else
+      let d = not (Int64.equal (Int64.logand z msb) 0L) in
+      let xs = Int64.shift_right_logical x i in
+      let ys = Int64.shift_right_logical y i in
+      let atan = atan_entry ~width i in
+      let x' = if d then m (Int64.add x ys) else m (Int64.sub x ys) in
+      let y' = if d then m (Int64.sub y xs) else m (Int64.add y xs) in
+      let z' = if d then m (Int64.add z atan) else m (Int64.sub z atan) in
+      rotate (i + 1) x' y' z'
+  in
+  rotate 0 (m x0) (m y0) (m z0)

@@ -1,0 +1,15 @@
+(** CORDIC application (Table 1, "Scientific Computing"): fully unrolled
+    rotation-mode coordinate rotations. Each iteration conditionally
+    adds/subtracts arc-tangent-shifted coordinate pairs based on the sign
+    of the residual angle — the sign test is a pure MSB slice, so it is
+    free wiring for the mapper while the additive model charges the whole
+    add/mux chain. All arithmetic is fixed-point unsigned with a sign bit
+    convention baked into the MSB. *)
+
+val build : ?width:int -> ?iterations:int -> unit -> Ir.Cdfg.t
+(** Defaults: [width = 8], [iterations = 4]. Inputs [x0], [y0], [z0];
+    outputs the rotated [x], [y] and residual [z]. *)
+
+val reference :
+  width:int -> iterations:int -> x0:int64 -> y0:int64 -> z0:int64 ->
+  int64 * int64 * int64

@@ -1,0 +1,55 @@
+let templates ~width ~count =
+  List.init count (fun i ->
+      Bench_util.mask ~width
+        (Int64.of_int (0x5a3c96c3 lsr (7 * i) land 0xffffffff)))
+
+let index_width count =
+  let rec go n acc = if n <= 1 then max 1 acc else go (n lsr 1) (acc + 1) in
+  go (count - 1) 1
+
+let build ?(width = 8) ?(count = 2) () =
+  if count < 2 then invalid_arg "Dr.build: need >= 2 templates";
+  let b = Ir.Builder.create () in
+  let p = Ir.Builder.input b ~width "p" in
+  let iw = index_width count in
+  let distances =
+    List.map
+      (fun t ->
+        let tc = Ir.Builder.const b ~width t in
+        let diff = Ir.Builder.xor_ b p tc in
+        Bench_util.popcount b diff ~width)
+      (templates ~width ~count)
+  in
+  (* running (best distance, best index) through compare/mux pairs *)
+  let best =
+    List.fold_left
+      (fun acc (i, d) ->
+        match acc with
+        | None -> Some (d, Ir.Builder.const b ~width:iw 0L)
+        | Some (bd, bi) ->
+            let closer = Ir.Builder.cmp b Ir.Op.Lt d bd in
+            let idx = Ir.Builder.const b ~width:iw (Int64.of_int i) in
+            let bd' = Ir.Builder.mux b ~cond:closer d bd in
+            let bi' = Ir.Builder.mux b ~cond:closer idx bi in
+            Some (bd', bi'))
+      None
+      (List.mapi (fun i d -> (i, d)) distances)
+  in
+  (match best with
+  | Some (_, bi) -> Ir.Builder.output b bi
+  | None -> assert false);
+  Ir.Builder.finish b
+
+let reference ~width ~count ~p =
+  let p = Bench_util.mask ~width p in
+  let dist t = Bench_util.popcount_ref ~width (Int64.logxor p t) in
+  let _, best_i, _ =
+    List.fold_left
+      (fun (i, bi, bd) t ->
+        let d = dist t in
+        if Int64.unsigned_compare d bd < 0 then (i + 1, i, d)
+        else (i + 1, bi, bd))
+      (0, 0, Int64.max_int)
+      (templates ~width ~count)
+  in
+  Int64.of_int best_i

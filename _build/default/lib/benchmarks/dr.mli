@@ -1,0 +1,16 @@
+(** DR application (Table 1, "Machine Learning"): digit recognition by
+    nearest-neighbour matching — the streamed pattern is xored against
+    stored template constants, Hamming distances come from SWAR popcounts,
+    and a comparator/mux tree tracks the index of the closest template.
+    The paper uses 49-pixel digits and a large template store; this is the
+    same datapath at reduced pattern width and template count
+    (DESIGN.md). *)
+
+val templates : width:int -> count:int -> int64 list
+(** The fixed template patterns. *)
+
+val build : ?width:int -> ?count:int -> unit -> Ir.Cdfg.t
+(** Defaults: [width = 8] pixels, [count = 2] templates. Input ["p"];
+    output the index of the nearest template. *)
+
+val reference : width:int -> count:int -> p:int64 -> int64

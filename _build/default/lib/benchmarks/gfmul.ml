@@ -1,0 +1,33 @@
+let build ?(width = 4) () =
+  let b = Ir.Builder.create () in
+  let a0 = Ir.Builder.input b ~width "a" in
+  let b0 = Ir.Builder.input b ~width "b" in
+  let zero = Ir.Builder.const b ~width 0L in
+  let rec steps i a acc =
+    if i >= width then acc
+    else begin
+      (* acc ^= (b >> i)[0] ? a : 0 *)
+      let bit = Ir.Builder.slice b b0 ~lo:i ~hi:i in
+      let masked = Ir.Builder.mux b ~cond:bit a zero in
+      let acc = Ir.Builder.xor_ b acc masked in
+      let a' = if i = width - 1 then a else Rs.xtime b ~width a in
+      steps (i + 1) a' acc
+    end
+  in
+  let out = steps 0 a0 zero in
+  Ir.Builder.output b out;
+  Ir.Builder.finish b
+
+let reference ~width ~a ~b =
+  let a = Bench_util.mask ~width a and b = Bench_util.mask ~width b in
+  let rec go i a acc =
+    if i >= width then acc
+    else
+      let acc =
+        if Int64.equal (Int64.logand (Int64.shift_right_logical b i) 1L) 1L
+        then Int64.logxor acc a
+        else acc
+      in
+      go (i + 1) (Rs.xtime_ref ~width a) acc
+  in
+  go 0 a 0L

@@ -1,0 +1,11 @@
+(** GFMUL kernel (Table 1): Galois-field multiplication of two variable
+    operands by the shift-and-xor (Russian peasant) method, fully unrolled
+    — [width] iterations of conditional accumulate and [xtime]. The paper
+    uses GF(2^8); the default GF(2^4) keeps the unrolled DFG MILP-sized
+    (DESIGN.md). *)
+
+val build : ?width:int -> unit -> Ir.Cdfg.t
+(** Inputs [a] and [b]; output [a*b] in GF(2^width) with the field
+    polynomial [Rs.poly_for]. *)
+
+val reference : width:int -> a:int64 -> b:int64 -> int64

@@ -1,0 +1,63 @@
+let coeff_table ~width =
+  Array.init 16 (fun i ->
+      Bench_util.mask ~width (Int64.of_int ((i * 157) + 11)))
+
+let black_box_handler ~width ~kind args =
+  match kind with
+  | "coeff_rom" -> (coeff_table ~width).(Int64.to_int args.(0) land 0xf)
+  | _ -> invalid_arg ("Gsm.black_box_handler: unknown kind " ^ kind)
+
+(* Saturation rails: three-quarters of the range, and one quarter. *)
+let rail_hi ~width = Int64.of_int (3 * (1 lsl (width - 2)))
+let rail_lo ~width = Int64.of_int (1 lsl (width - 2))
+
+(* One saturating accumulate: acc' = clamp(acc + term). *)
+let saturate b ~width v =
+  let hi = Ir.Builder.const b ~width (rail_hi ~width) in
+  let lo = Ir.Builder.const b ~width (rail_lo ~width) in
+  let over = Ir.Builder.cmp b Ir.Op.Gt v hi in
+  let under = Ir.Builder.cmp b Ir.Op.Lt v lo in
+  let clamped_low = Ir.Builder.mux b ~cond:under lo v in
+  Ir.Builder.mux b ~cond:over hi clamped_low
+
+let saturate_ref ~width v =
+  let hi = rail_hi ~width and lo = rail_lo ~width in
+  if Int64.unsigned_compare v hi > 0 then hi
+  else if Int64.unsigned_compare v lo < 0 then lo
+  else v
+
+let stage_shift i = (i mod 3) + 1
+
+let build ?(width = 12) ?(stages = 3) () =
+  if stages < 1 then invalid_arg "Gsm.build: stages < 1";
+  let b = Ir.Builder.create () in
+  let s = Ir.Builder.input b ~width "s" in
+  let c = Ir.Builder.input b ~width:4 "c" in
+  let coeff =
+    Ir.Builder.black_box b ~kind:"coeff_rom" ~resource:"bram_port" ~width [ c ]
+  in
+  let acc0 = Ir.Builder.add b s coeff in
+  let rec chain i acc =
+    if i >= stages then acc
+    else begin
+      let term = Ir.Builder.shr b acc (stage_shift i) in
+      let sum = Ir.Builder.add b acc term in
+      chain (i + 1) (saturate b ~width sum)
+    end
+  in
+  let out = chain 0 (saturate b ~width acc0) in
+  Ir.Builder.output b out;
+  Ir.Builder.finish b
+
+let reference ~width ~stages ~s ~c =
+  let m = Bench_util.mask ~width in
+  let coeff = (coeff_table ~width).(Int64.to_int (Int64.logand c 0xfL)) in
+  let acc0 = saturate_ref ~width (m (Int64.add (m s) coeff)) in
+  let rec chain i acc =
+    if i >= stages then acc
+    else
+      let term = Int64.shift_right_logical acc (stage_shift i) in
+      let sum = m (Int64.add acc term) in
+      chain (i + 1) (saturate_ref ~width sum)
+  in
+  chain 0 acc0

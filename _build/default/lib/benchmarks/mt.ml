@@ -1,0 +1,57 @@
+let upper ~width = Bench_util.mask ~width (Int64.shift_left (-1L) (width / 2))
+let lower ~width = Int64.sub (Int64.shift_left 1L (width / 2)) 1L
+let matrix_a ~width = Bench_util.mask ~width 0x9908L
+let temper_c1 ~width = Bench_util.mask ~width 0x9d2cL
+let temper_c2 ~width = Bench_util.mask ~width 0xefc6L
+
+let build ?(width = 16) () =
+  if width < 8 || width mod 2 <> 0 then
+    invalid_arg "Mt.build: width must be even and >= 8";
+  let b = Ir.Builder.create () in
+  let x = Ir.Builder.input b ~width "x" in
+  let s = Ir.Builder.feedback b ~width ~init:0x1234L ~dist:1 in
+  (* state update: mix the upper half of the state with the lower half of
+     the fresh word, twist by one bit with a conditional matrix xor *)
+  let cu = Ir.Builder.const b ~width (upper ~width) in
+  let cl = Ir.Builder.const b ~width (lower ~width) in
+  let hi = Ir.Builder.and_ b s cu in
+  let lo = Ir.Builder.and_ b x cl in
+  let mixed = Ir.Builder.or_ b ~name:"mixed" hi lo in
+  let lsb = Ir.Builder.slice b mixed ~lo:0 ~hi:0 in
+  let sh = Ir.Builder.shr b mixed 1 in
+  let mag = Bench_util.mux_const b ~width ~cond:lsb (matrix_a ~width) 0L in
+  let snew = Ir.Builder.xor_ b ~name:"snew" sh mag in
+  Ir.Builder.drive b ~cell:s snew;
+  (* tempering *)
+  let t1 = Ir.Builder.xor_ b snew (Ir.Builder.shr b snew (width / 2 - 1)) in
+  let m1 = Ir.Builder.const b ~width (temper_c1 ~width) in
+  let t2 = Ir.Builder.xor_ b t1 (Ir.Builder.and_ b (Ir.Builder.shl b t1 3) m1) in
+  let m2 = Ir.Builder.const b ~width (temper_c2 ~width) in
+  let t3 = Ir.Builder.xor_ b t2 (Ir.Builder.and_ b (Ir.Builder.shl b t2 5) m2) in
+  let t4 = Ir.Builder.xor_ b ~name:"y" t3 (Ir.Builder.shr b t3 (width / 2 + 2)) in
+  Ir.Builder.output b t4;
+  Ir.Builder.finish b
+
+let reference ~width ~state ~x =
+  let m = Bench_util.mask ~width in
+  let state = m state and x = m x in
+  let mixed =
+    Int64.logor (Int64.logand state (upper ~width))
+      (Int64.logand x (lower ~width))
+  in
+  let sh = Int64.shift_right_logical mixed 1 in
+  let mag =
+    if Int64.equal (Int64.logand mixed 1L) 1L then matrix_a ~width else 0L
+  in
+  let snew = Int64.logxor sh mag in
+  let t1 = Int64.logxor snew (Int64.shift_right_logical snew (width / 2 - 1)) in
+  let t2 =
+    Int64.logxor t1
+      (Int64.logand (m (Int64.shift_left t1 3)) (temper_c1 ~width))
+  in
+  let t3 =
+    Int64.logxor t2
+      (Int64.logand (m (Int64.shift_left t2 5)) (temper_c2 ~width))
+  in
+  let t4 = Int64.logxor t3 (Int64.shift_right_logical t3 ((width / 2) + 2)) in
+  (snew, m t4)

@@ -1,0 +1,12 @@
+(** MT application (Table 1, "Scientific Computing"): a Mersenne-Twister
+    style pseudorandom generator — a loop-carried linear state update
+    (upper/lower masking, matrix conditional xor) followed by the familiar
+    shift/mask tempering chain. Scaled to one state word with fresh
+    entropy streamed in, per DESIGN.md. *)
+
+val build : ?width:int -> unit -> Ir.Cdfg.t
+(** Default [width = 16]. Input ["x"] (entropy); output the tempered
+    word. *)
+
+val reference : width:int -> state:int64 -> x:int64 -> int64 * int64
+(** [(next_state, tempered_output)] for one iteration. *)

@@ -1,0 +1,117 @@
+type kind = Kernel | Application
+
+type entry = {
+  name : string;
+  kind : kind;
+  domain : string;
+  description : string;
+  build : unit -> Ir.Cdfg.t;
+  black_box : (kind:string -> int64 array -> int64) option;
+  resources : Fpga.Resource.budget;
+  t_clk : float;
+}
+
+let kernel_clk = 5.0
+let app_clk = 10.0
+
+let all =
+  [
+    {
+      name = "CLZ";
+      kind = Kernel;
+      domain = "Kernel";
+      description = "Count the number of leading zeros in a 16-bit value";
+      build = (fun () -> Clz.build ~width:16 ());
+      black_box = None;
+      resources = Fpga.Resource.unlimited;
+      t_clk = kernel_clk;
+    };
+    {
+      name = "XORR";
+      kind = Kernel;
+      domain = "Kernel";
+      description = "XOR reduction for an array of whitened elements";
+      build = (fun () -> Xorr.build ~elements:8 ~width:8 ~mix_depth:3 ());
+      black_box = None;
+      resources = Fpga.Resource.unlimited;
+      t_clk = kernel_clk;
+    };
+    {
+      name = "GFMUL";
+      kind = Kernel;
+      domain = "Kernel";
+      description = "Efficient Galois field multiplication, GF(2^4)";
+      build = (fun () -> Gfmul.build ~width:4 ());
+      black_box = None;
+      resources = Fpga.Resource.unlimited;
+      t_clk = kernel_clk;
+    };
+    {
+      name = "CORDIC";
+      kind = Application;
+      domain = "Scientific Computing";
+      description = "Coordinate Rotation Digital Computer, 4 rotations";
+      build = (fun () -> Cordic.build ~width:8 ~iterations:4 ());
+      black_box = None;
+      resources = Fpga.Resource.unlimited;
+      t_clk = app_clk;
+    };
+    {
+      name = "MT";
+      kind = Application;
+      domain = "Scientific Computing";
+      description = "Mersenne Twister pseudorandom number generation";
+      build = (fun () -> Mt.build ~width:16 ());
+      black_box = None;
+      resources = Fpga.Resource.unlimited;
+      t_clk = app_clk;
+    };
+    {
+      name = "AES";
+      kind = Application;
+      domain = "Cryptography";
+      description = "Advanced Encryption Standard round (column)";
+      build = (fun () -> Aes.build ());
+      black_box = Some Aes.black_box_handler;
+      resources = Fpga.Resource.of_list [ ("bram_port", 4) ];
+      t_clk = app_clk;
+    };
+    {
+      name = "RS";
+      kind = Application;
+      domain = "Communication";
+      description = "Reed-Solomon encoder, 4 parity taps over GF(2^4)";
+      build = (fun () -> Rs.full ~width:4 ~taps:4 ());
+      black_box = None;
+      resources = Fpga.Resource.unlimited;
+      t_clk = app_clk;
+    };
+    {
+      name = "DR";
+      kind = Application;
+      domain = "Machine Learning";
+      description = "Digit recognition using nearest-neighbour matching";
+      build = (fun () -> Dr.build ~width:8 ~count:2 ());
+      black_box = None;
+      resources = Fpga.Resource.unlimited;
+      t_clk = app_clk;
+    };
+    {
+      name = "GSM";
+      kind = Application;
+      domain = "Communication";
+      description = "GSM full-rate saturating LPC accumulation";
+      build = (fun () -> Gsm.build ~width:12 ~stages:3 ());
+      black_box = Some (Gsm.black_box_handler ~width:12);
+      resources = Fpga.Resource.of_list [ ("bram_port", 2) ];
+      t_clk = app_clk;
+    };
+  ]
+
+let find name =
+  let up = String.uppercase_ascii name in
+  match List.find_opt (fun e -> String.uppercase_ascii e.name = up) all with
+  | Some e -> e
+  | None -> raise Not_found
+
+let kind_name = function Kernel -> "Kernel" | Application -> "Application"

@@ -1,0 +1,28 @@
+(** The Table 1 benchmark suite: one entry per row, with the workload
+    class, scaled-down construction parameters (DESIGN.md), the device
+    settings each class uses, and an evaluation-time black-box handler. *)
+
+type kind = Kernel | Application
+
+type entry = {
+  name : string;  (** Table 1 designation (CLZ, XORR, ...) *)
+  kind : kind;
+  domain : string;
+  description : string;
+  build : unit -> Ir.Cdfg.t;
+  black_box : (kind:string -> int64 array -> int64) option;
+  resources : Fpga.Resource.budget;
+  t_clk : float;
+      (** target clock period: kernels target a faster clock than
+          applications so the additive-model pessimism shows at the scaled
+          problem sizes (DESIGN.md substitution #4) *)
+}
+
+val all : entry list
+(** The 9 Table 1 rows, paper order: CLZ, XORR, GFMUL, CORDIC, MT, AES,
+    RS, DR, GSM. *)
+
+val find : string -> entry
+(** Case-insensitive lookup. @raise Not_found. *)
+
+val kind_name : kind -> string

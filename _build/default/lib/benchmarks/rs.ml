@@ -1,0 +1,148 @@
+let mask ~width v =
+  Int64.logand v (Int64.sub (Int64.shift_left 1L width) 1L)
+
+let poly_for ~width = mask ~width 0x1dL
+
+(* Figure 1 kernel: symbol pre-scaling (u), a single-xor LFSR recurrence,
+   and a conditional polynomial reduction on the way out. The recurrence
+   (one xor) meets II = 1 under both delay models; the additive chain
+   u -> B -> Bred -> D exceeds the clock period, which forces the
+   traditional scheduler to pipeline — while a LUT mapping absorbs the
+   whole kernel into a couple of bit-slice LUTs (the paper's "2 LUTs, one
+   stage"). *)
+let kernel ?(width = 8) () =
+  let b = Ir.Builder.create () in
+  let t = Ir.Builder.input b ~width "t" in
+  let tshr = Ir.Builder.shr b t 1 in
+  let u1 = Ir.Builder.xor_ b ~name:"u1" t tshr in
+  let u1shl = Ir.Builder.shl b u1 1 in
+  let u = Ir.Builder.xor_ b ~name:"u" u1 u1shl in
+  let s = Ir.Builder.feedback b ~width ~init:0L ~dist:1 in
+  let a = Ir.Builder.shl b ~name:"A" s 1 in
+  let bx = Ir.Builder.xor_ b ~name:"B" u a in
+  Ir.Builder.drive b ~cell:s bx;
+  let msb = Ir.Builder.const b ~width (Int64.shift_left 1L (width - 1)) in
+  let c = Ir.Builder.cmp b ~name:"C" Ir.Op.Ge bx msb in
+  let red = Ir.Builder.const b ~width (poly_for ~width) in
+  let reduced = Ir.Builder.xor_ b ~name:"Bred" bx red in
+  let d = Ir.Builder.mux b ~name:"D" ~cond:c reduced bx in
+  Ir.Builder.output b d;
+  Ir.Builder.finish b
+
+(* Returns (next_state, output). *)
+let kernel_reference ~width ~t ~state =
+  let t = mask ~width t in
+  let u1 = Int64.logxor t (Int64.shift_right_logical t 1) in
+  let u = Int64.logxor u1 (mask ~width (Int64.shift_left u1 1)) in
+  let a = mask ~width (Int64.shift_left state 1) in
+  let bv = Int64.logxor u a in
+  let msb = Int64.shift_left 1L (width - 1) in
+  let out =
+    if Int64.unsigned_compare bv msb >= 0 then
+      Int64.logxor bv (poly_for ~width)
+    else bv
+  in
+  (bv, out)
+
+(* Galois xtime: multiply by x modulo the field polynomial. *)
+let xtime_ref ~width v =
+  let shifted = mask ~width (Int64.shift_left v 1) in
+  let msb = Int64.shift_left 1L (width - 1) in
+  if Int64.equal (Int64.logand v msb) 0L then shifted
+  else Int64.logxor shifted (poly_for ~width)
+
+let gfmul_const_ref ~width x c =
+  let rec go acc x c =
+    if Int64.equal c 0L then acc
+    else
+      let acc =
+        if Int64.equal (Int64.logand c 1L) 1L then Int64.logxor acc x else acc
+      in
+      go acc (xtime_ref ~width x) (Int64.shift_right_logical c 1)
+  in
+  go 0L (mask ~width x) c
+
+(* Hardware xtime: shift, MSB probe, conditional reduction. *)
+let xtime b ~width v =
+  let shifted = Ir.Builder.shl b v 1 in
+  let msb_const = Ir.Builder.const b ~width (Int64.shift_left 1L (width - 1)) in
+  let has_msb = Ir.Builder.cmp b Ir.Op.Ge v msb_const in
+  let red = Ir.Builder.const b ~width (poly_for ~width) in
+  let reduced = Ir.Builder.xor_ b shifted red in
+  Ir.Builder.mux b ~cond:has_msb reduced shifted
+
+(* Multiply by a known constant: xor of the xtime powers at set bits. *)
+let gfmul_const b ~width x c =
+  let rec powers acc x c =
+    if Int64.equal c 0L then List.rev acc
+    else
+      let acc =
+        if Int64.equal (Int64.logand c 1L) 1L then x :: acc else acc
+      in
+      if Int64.equal (Int64.shift_right_logical c 1) 0L then List.rev acc
+      else powers acc (xtime b ~width x) (Int64.shift_right_logical c 1)
+  in
+  match powers [] x c with
+  | [] -> Ir.Builder.const b ~width 0L
+  | terms -> Ir.Builder.reduce b (fun b x y -> Ir.Builder.xor_ b x y) terms
+
+let default_taps_coeffs taps width =
+  (* Fixed, arbitrary nonzero generator coefficients. Kept to one xtime
+     step (values <= 3) so the encoder recurrence meets II = 1 under the
+     additive delay model at the Table 1 clock target. *)
+  let pattern = [| 2L; 3L; 1L; 3L |] in
+  List.init taps (fun i -> mask ~width pattern.(i mod Array.length pattern))
+
+(* Symbol whitening in front of the encoder (outside the recurrence): the
+   part of the datapath a traditional scheduler is free to pipeline, and a
+   mapping-aware one collapses into the first LUT level. *)
+let whiten b ~width data =
+  let d1 = Ir.Builder.xor_ b data (Ir.Builder.shr b data 1) in
+  let d2 = Ir.Builder.xor_ b d1 (Ir.Builder.shl b d1 2) in
+  Ir.Builder.xor_ b d2 (Ir.Builder.const b ~width (mask ~width 0x5L))
+
+let whiten_ref ~width data =
+  let d1 = Int64.logxor data (Int64.shift_right_logical data 1) in
+  let d2 = Int64.logxor d1 (mask ~width (Int64.shift_left d1 2)) in
+  Int64.logxor d2 (mask ~width 0x5L)
+
+let full ?(width = 4) ?(taps = 4) () =
+  let b = Ir.Builder.create () in
+  let data0 = Ir.Builder.input b ~width "data" in
+  let data = whiten b ~width data0 in
+  let parity =
+    List.init taps (fun i ->
+        ignore i;
+        Ir.Builder.feedback b ~width ~init:0L ~dist:1)
+  in
+  let last = List.nth parity (taps - 1) in
+  let fb = Ir.Builder.xor_ b ~name:"fb" data last in
+  let coeffs = default_taps_coeffs taps width in
+  let zero = Ir.Builder.const b ~width 0L in
+  let rec update prev cells cs =
+    match (cells, cs) with
+    | [], [] -> ()
+    | cell :: cells, c :: cs ->
+        let term = gfmul_const b ~width fb c in
+        let next = Ir.Builder.xor_ b prev term in
+        Ir.Builder.drive b ~cell next;
+        if cells = [] then Ir.Builder.output b next;
+        update cell cells cs
+    | _, _ -> assert false
+  in
+  update zero parity coeffs;
+  Ir.Builder.finish b
+
+let full_reference ~width ~taps ~data =
+  let coeffs = default_taps_coeffs taps width in
+  let step parity d =
+    let last = List.nth parity (taps - 1) in
+    let fb = Int64.logxor (whiten_ref ~width (mask ~width d)) last in
+    let terms = List.map (fun c -> gfmul_const_ref ~width fb c) coeffs in
+    List.mapi
+      (fun j term ->
+        let prev = if j = 0 then 0L else List.nth parity (j - 1) in
+        Int64.logxor prev term)
+      terms
+  in
+  List.fold_left step (List.init taps (fun _ -> 0L)) data

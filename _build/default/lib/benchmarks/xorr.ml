@@ -1,0 +1,50 @@
+(* Whitening mix: alternating right/left shifted self-xors, then a
+   constant fold — all bitwise, so the mapper can pack several per LUT. *)
+let mix_shifts = [| 1; 2; 3; 1; 2 |]
+
+let mix_one b ~width ~mix_depth v =
+  let rec go i v =
+    if i >= mix_depth then v
+    else
+      let s = mix_shifts.(i mod Array.length mix_shifts) in
+      let shifted =
+        if i mod 2 = 0 then Ir.Builder.shr b v s else Ir.Builder.shl b v s
+      in
+      go (i + 1) (Ir.Builder.xor_ b v shifted)
+  in
+  let mixed = go 0 v in
+  let c = Ir.Builder.const b ~width (Bench_util.mask ~width 0x5aL) in
+  Ir.Builder.xor_ b mixed c
+
+let mix_one_ref ~width ~mix_depth v =
+  let v = Bench_util.mask ~width v in
+  let rec go i v =
+    if i >= mix_depth then v
+    else
+      let s = mix_shifts.(i mod Array.length mix_shifts) in
+      let shifted =
+        if i mod 2 = 0 then Int64.shift_right_logical v s
+        else Bench_util.mask ~width (Int64.shift_left v s)
+      in
+      go (i + 1) (Int64.logxor v shifted)
+  in
+  Int64.logxor (go 0 v) (Bench_util.mask ~width 0x5aL)
+
+let build ?(elements = 8) ?(width = 8) ?(mix_depth = 3) () =
+  if elements < 2 then invalid_arg "Xorr.build: need >= 2 elements";
+  let b = Ir.Builder.create () in
+  let inputs =
+    List.init elements (fun i ->
+        Ir.Builder.input b ~width (Printf.sprintf "a%d" i))
+  in
+  let mixed = List.map (mix_one b ~width ~mix_depth) inputs in
+  let out = Bench_util.xor_reduce b mixed in
+  Ir.Builder.output b out;
+  Ir.Builder.finish b
+
+let reference ~elements ~width ~mix_depth data =
+  if List.length data <> elements then
+    invalid_arg "Xorr.reference: element count mismatch";
+  List.fold_left
+    (fun acc v -> Int64.logxor acc (mix_one_ref ~width ~mix_depth v))
+    0L data

@@ -1,0 +1,12 @@
+(** XORR kernel (Table 1): XOR reduction over an array of elements, each
+    first passed through a short xor/shift whitening mix (the paper's
+    version reduces a 512-element array into a depth-9 tree; this one is
+    scaled down per DESIGN.md, with the mix standing in for the extra tree
+    depth so the additive schedule still has to pipeline). *)
+
+val build : ?elements:int -> ?width:int -> ?mix_depth:int -> unit -> Ir.Cdfg.t
+(** Defaults: [elements = 8], [width = 8], [mix_depth = 3]. *)
+
+val reference :
+  elements:int -> width:int -> mix_depth:int -> int64 list -> int64
+(** Software model over one iteration's [elements] inputs. *)

@@ -1,0 +1,256 @@
+module Bitpos = struct
+  module T = struct
+    type t = { node : int; bit : int; dist : int }
+
+    let compare a b =
+      let c = Int.compare a.node b.node in
+      if c <> 0 then c
+      else
+        let c = Int.compare a.bit b.bit in
+        if c <> 0 then c else Int.compare a.dist b.dist
+  end
+
+  include T
+
+  let pp ppf { node; bit; dist } =
+    if dist = 0 then Fmt.pf ppf "n%d[%d]" node bit
+    else Fmt.pf ppf "n%d[%d]@%d" node bit dist
+
+  module Set = Set.Make (T)
+end
+
+module Int_set = Set.Make (Int)
+
+type one_step = { reads : Bitpos.t list; passthrough : bool }
+
+let bit_of v i = Int64.logand (Int64.shift_right_logical v i) 1L
+
+(* Index of the lowest set bit of [v]; [width] when v = 0. *)
+let trailing_zeros v ~width =
+  let rec go i = if i >= width then width else
+      if Int64.equal (bit_of v i) 1L then i else go (i + 1) in
+  go 0
+
+let const_of g (e : Ir.Cdfg.edge) =
+  match Ir.Cdfg.op g e.src with
+  | Ir.Op.Const c when e.dist = 0 -> Some c
+  | _ -> None
+
+let mk (e : Ir.Cdfg.edge) bit = Bitpos.{ node = e.src; bit; dist = e.dist }
+
+(* Is this bit of the operand statically a known constant? Chases constants
+   through wiring ops (shifts, slices, concats) up to a small depth —
+   enough to fold the ubiquitous [x ^ (x >> s)] top bits. *)
+let rec known_bit g node bit ~depth =
+  if depth <= 0 then None
+  else
+    let nd = Ir.Cdfg.node g node in
+    let via i bit' =
+      let e = nd.preds.(i) in
+      if e.Ir.Cdfg.dist > 0 then None else known_bit g e.src bit' ~depth:(depth - 1)
+    in
+    match nd.op with
+    | Ir.Op.Const c -> Some (bit_of c bit)
+    | Ir.Op.Shl s -> if bit < s then Some 0L else via 0 (bit - s)
+    | Ir.Op.Shr s ->
+        let w = Ir.Cdfg.width g nd.preds.(0).Ir.Cdfg.src in
+        if bit + s >= w then Some 0L else via 0 (bit + s)
+    | Ir.Op.Slice { lo; hi = _ } -> via 0 (lo + bit)
+    | Ir.Op.Concat ->
+        let w_low = Ir.Cdfg.width g nd.preds.(1).Ir.Cdfg.src in
+        if bit < w_low then via 1 bit else via 0 (bit - w_low)
+    | Ir.Op.Input _ | Ir.Op.Not | Ir.Op.Bitwise _ | Ir.Op.Add | Ir.Op.Sub
+    | Ir.Op.Cmp _ | Ir.Op.Mux | Ir.Op.Black_box _ ->
+        None
+
+let known_edge_bit g (e : Ir.Cdfg.edge) bit =
+  if e.dist > 0 then None else known_bit g e.src bit ~depth:4
+
+(* All bits [lo..hi] of an operand, skipping constants. *)
+let range_reads g e ~lo ~hi =
+  match const_of g e with
+  | Some _ -> []
+  | None ->
+      let w = Ir.Cdfg.width g e.src in
+      let hi = min hi (w - 1) in
+      let rec go i acc = if i > hi then List.rev acc else go (i + 1) (mk e i :: acc) in
+      if lo > hi then [] else go lo []
+
+let no_deps = { reads = []; passthrough = true }
+let opaque reads = { reads; passthrough = false }
+let wire read = { reads = [ read ]; passthrough = true }
+
+(* Dependence of a binary bitwise op's output bit on its operands, with
+   constant-mask refinement. *)
+let bitwise_dep g (bw : Ir.Op.bitwise) e1 e2 bit =
+  let dep_one kind e other_const =
+    (* [other_const] is the constant operand's bit value *)
+    match (kind, other_const) with
+    | Ir.Op.And, 0L -> no_deps (* x & 0 = 0 *)
+    | Ir.Op.And, _ -> wire (mk e bit) (* x & 1 = x *)
+    | Ir.Op.Or, 0L -> wire (mk e bit)
+    | Ir.Op.Or, _ -> no_deps (* x | 1 = 1 *)
+    | Ir.Op.Xor, 0L -> wire (mk e bit)
+    | Ir.Op.Xor, _ -> opaque [ mk e bit ] (* inversion: needs a LUT *)
+  in
+  match (known_edge_bit g e1 bit, known_edge_bit g e2 bit) with
+  | Some _, Some _ -> no_deps
+  | Some c, None -> dep_one bw e2 c
+  | None, Some c -> dep_one bw e1 c
+  | None, None -> opaque [ mk e1 bit; mk e2 bit ]
+
+(* x OP c for an unsigned comparison against constant [c] of width [w]:
+   support is the bits of x at positions >= tz, where tz comes from the
+   equivalent >=-form threshold. Returns None when the result is constant. *)
+let cmp_const_support (c : Ir.Op.cmp) ~value ~width =
+  let maxv =
+    if width >= 64 then Int64.minus_one
+    else Int64.sub (Int64.shift_left 1L width) 1L
+  in
+  let ge_threshold =
+    match c with
+    | Ir.Op.Ge | Ir.Op.Lt -> Some value (* x >= c / x < c *)
+    | Ir.Op.Gt | Ir.Op.Le ->
+        (* x > c <=> x >= c+1, constant when c = max *)
+        if Int64.equal value maxv then None else Some (Int64.add value 1L)
+    | Ir.Op.Eq | Ir.Op.Ne -> Some 0L (* handled by caller: full support *)
+  in
+  match c with
+  | Ir.Op.Eq | Ir.Op.Ne -> Some 0 (* all bits *)
+  | Ir.Op.Ge | Ir.Op.Lt | Ir.Op.Gt | Ir.Op.Le -> (
+      match ge_threshold with
+      | None -> None (* constant result *)
+      | Some t ->
+          if Int64.equal t 0L then None (* x >= 0 is constant true *)
+          else Some (trailing_zeros t ~width))
+
+let flip_cmp (c : Ir.Op.cmp) : Ir.Op.cmp =
+  match c with
+  | Ir.Op.Eq -> Ir.Op.Eq
+  | Ir.Op.Ne -> Ir.Op.Ne
+  | Ir.Op.Lt -> Ir.Op.Gt
+  | Ir.Op.Le -> Ir.Op.Ge
+  | Ir.Op.Gt -> Ir.Op.Lt
+  | Ir.Op.Ge -> Ir.Op.Le
+
+let dep g ~node ~bit =
+  let nd = Ir.Cdfg.node g node in
+  if bit < 0 || bit >= nd.width then
+    invalid_arg
+      (Printf.sprintf "Bitdep.dep: bit %d out of width %d of node %d" bit
+         nd.width node);
+  let p i = nd.preds.(i) in
+  match nd.op with
+  | Ir.Op.Input _ | Ir.Op.Const _ -> no_deps
+  | Ir.Op.Not -> opaque [ mk (p 0) bit ]
+  | Ir.Op.Bitwise bw -> bitwise_dep g bw (p 0) (p 1) bit
+  | Ir.Op.Shl s -> if bit - s >= 0 then wire (mk (p 0) (bit - s)) else no_deps
+  | Ir.Op.Shr s ->
+      let w = Ir.Cdfg.width g (p 0).src in
+      if bit + s < w then wire (mk (p 0) (bit + s)) else no_deps
+  | Ir.Op.Slice { lo; hi = _ } -> wire (mk (p 0) (lo + bit))
+  | Ir.Op.Concat ->
+      let w_low = Ir.Cdfg.width g (p 1).src in
+      if bit < w_low then wire (mk (p 1) bit) else wire (mk (p 0) (bit - w_low))
+  | Ir.Op.Add | Ir.Op.Sub -> (
+      let full () =
+        opaque (range_reads g (p 0) ~lo:0 ~hi:bit
+                @ range_reads g (p 1) ~lo:0 ~hi:bit)
+      in
+      let refined e c =
+        (* x +/- c: bits below tz(c) pass through; higher bits read from
+           tz(c) upward. For Sub the two's complement shares tz with c. *)
+        let w = nd.width in
+        if Int64.equal c 0L then wire (mk e bit)
+        else
+          let tz = trailing_zeros c ~width:w in
+          if bit < tz then wire (mk e bit)
+          else opaque (range_reads g e ~lo:tz ~hi:bit)
+      in
+      match (nd.op, const_of g (p 0), const_of g (p 1)) with
+      | _, Some _, Some _ -> no_deps
+      | Ir.Op.Add, Some c, None -> refined (p 1) c
+      | (Ir.Op.Add | Ir.Op.Sub), None, Some c -> refined (p 0) c
+      | _, _, _ -> full ())
+  | Ir.Op.Cmp c -> (
+      let full () =
+        let w = Ir.Cdfg.width g (p 0).src in
+        opaque (range_reads g (p 0) ~lo:0 ~hi:(w - 1)
+                @ range_reads g (p 1) ~lo:0 ~hi:(w - 1))
+      in
+      let against e cmp value =
+        let w = Ir.Cdfg.width g e.Ir.Cdfg.src in
+        match cmp_const_support cmp ~value ~width:w with
+        | None -> no_deps
+        | Some lo -> opaque (range_reads g e ~lo ~hi:(w - 1))
+      in
+      match (const_of g (p 0), const_of g (p 1)) with
+      | Some _, Some _ -> no_deps
+      | None, Some v -> against (p 0) c v
+      | Some v, None -> against (p 1) (flip_cmp c) v
+      | None, None -> full ())
+  | Ir.Op.Mux -> (
+      match const_of g (p 0) with
+      | Some c -> wire (mk (if Int64.equal c 0L then p 2 else p 1) bit)
+      | None ->
+          let arm_reads =
+            List.filter_map
+              (fun e -> match const_of g e with
+                | Some _ -> None
+                | None -> Some (mk e bit))
+              [ p 1; p 2 ]
+          in
+          opaque (mk (p 0) 0 :: arm_reads))
+  | Ir.Op.Black_box _ ->
+      let all =
+        Array.to_list nd.preds
+        |> List.concat_map (fun e ->
+               range_reads g e ~lo:0 ~hi:(Ir.Cdfg.width g e.Ir.Cdfg.src - 1))
+      in
+      opaque all
+
+type bit_support = { bits : Bitpos.Set.t; pure_wire : bool }
+
+(* Shared-memo analysis of every output bit of [root] within [cone]. *)
+let analyze g ~root ~cone =
+  if not (Int_set.mem root cone) then
+    invalid_arg "Bitdep.support: root not in cone";
+  let memo : (int * int, bit_support) Hashtbl.t = Hashtbl.create 64 in
+  let rec go node bit =
+    match Hashtbl.find_opt memo (node, bit) with
+    | Some r -> r
+    | None ->
+        (* Seed with an empty result to cut accidental cycles; the dist-0
+           subgraph is acyclic so this is never observed on valid input. *)
+        Hashtbl.replace memo (node, bit)
+          { bits = Bitpos.Set.empty; pure_wire = true };
+        let step = dep g ~node ~bit in
+        let expand (acc_bits, acc_wire) (r : Bitpos.t) =
+          if r.dist > 0 || not (Int_set.mem r.node cone) then
+            (Bitpos.Set.add r acc_bits, acc_wire)
+          else
+            let sub = go r.node r.bit in
+            (Bitpos.Set.union sub.bits acc_bits, acc_wire && sub.pure_wire)
+        in
+        let bits, inner_wire =
+          List.fold_left expand (Bitpos.Set.empty, true) step.reads
+        in
+        let r = { bits; pure_wire = step.passthrough && inner_wire } in
+        Hashtbl.replace memo (node, bit) r;
+        r
+  in
+  Array.init (Ir.Cdfg.width g root) (fun bit -> go root bit)
+
+let support g ~root ~cone ~bit = (analyze g ~root ~cone).(bit)
+
+let max_support_width g ~root ~cone =
+  Array.fold_left
+    (fun best s -> max best (Bitpos.Set.cardinal s.bits))
+    0 (analyze g ~root ~cone)
+
+let lut_bits g ~root ~cone =
+  Array.fold_left
+    (fun acc s ->
+      let n = Bitpos.Set.cardinal s.bits in
+      if n >= 2 || (n = 1 && not s.pure_wire) then acc + 1 else acc)
+    0 (analyze g ~root ~cone)

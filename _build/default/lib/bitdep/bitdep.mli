@@ -1,0 +1,68 @@
+(** Bit-level dependence tracking on the word-level CDFG (paper Sec. 3.1).
+
+    For every output bit of an operation, [dep] reports which bits of which
+    operand {e nodes} it depends on. The three classes of the paper are
+    implemented — bitwise (one bit per operand), shift (one shifted bit),
+    arithmetic (all lower bits of both operands) — plus constant-aware
+    refinements: comparing against a constant [c] with [tz] trailing zeros
+    only reads bits [>= tz] (this is how the paper's "[B >= 0] is an MSB
+    test" observation falls out), masking with a constant passes bits
+    through or zeroes them, and adding a constant leaves bits below [tz c]
+    untouched.
+
+    [support] closes [dep] transitively inside a cone, yielding the exact
+    set of {e boundary bits} a K-LUT implementing that cone's bit would
+    need — the feasibility measure for word-level cuts. *)
+
+module Bitpos : sig
+  type t = {
+    node : int;
+    bit : int;
+    dist : int;
+        (** 0 for a combinational read; [> 0] when the bit is read through
+            a pipeline register carrying a loop-carried dependence *)
+  }
+
+  val compare : t -> t -> int
+  val pp : t Fmt.t
+
+  module Set : Set.S with type elt = t
+end
+
+module Int_set : Set.S with type elt = int
+
+type one_step = {
+  reads : Bitpos.t list;  (** operand bits this output bit depends on *)
+  passthrough : bool;
+      (** [true] iff the output bit equals the (then unique) read bit —
+          pure rewiring that needs no LUT *)
+}
+
+val dep : Ir.Cdfg.t -> node:int -> bit:int -> one_step
+(** One-step dependence of bit [bit] of [node], following the paper's
+    [DEP] definitions with constant refinements. Bits of constant operands
+    are omitted (they are hardwired into the LUT mask).
+    @raise Invalid_argument if [bit] is outside the node's width. *)
+
+type bit_support = {
+  bits : Bitpos.Set.t;  (** boundary bits feeding this output bit *)
+  pure_wire : bool;
+      (** the bit is a plain copy of a single boundary bit (or a constant)
+          routed only through wiring — it needs no LUT *)
+}
+
+val support :
+  Ir.Cdfg.t -> root:int -> cone:Int_set.t -> bit:int -> bit_support
+(** Transitive closure of [dep] from [root]'s output bit [bit], expanding
+    through nodes in [cone] and stopping at nodes outside it; registered
+    ([dist > 0]) reads always stop, even if the producer is in the cone.
+    [cone] must contain [root]. *)
+
+val max_support_width : Ir.Cdfg.t -> root:int -> cone:Int_set.t -> int
+(** Max over the root's output bits of the boundary-bit support size — a
+    cone is K-feasible iff this is [<= K]. *)
+
+val lut_bits : Ir.Cdfg.t -> root:int -> cone:Int_set.t -> int
+(** Number of output bits that actually need a LUT: bits with two or more
+    support bits, or a single support bit reached through non-wiring
+    logic. Constant and pass-through bits are free. *)

@@ -1,0 +1,1 @@
+lib/core/flow.ml: Array Cuts Fmt Formulation Fpga List Logs Lp Option Printf Sched String Sys Techmap

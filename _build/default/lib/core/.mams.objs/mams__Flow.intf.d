@@ -1,0 +1,1 @@
+lib/core/flow.mli: Cuts Fmt Fpga Ir Lp Sched Stdlib

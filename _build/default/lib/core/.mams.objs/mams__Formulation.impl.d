@@ -1,0 +1,1 @@
+lib/core/formulation.ml: Array Bitdep Cuts Float Fmt Fpga Hashtbl Int Ir List Lp Option Printf Sched

@@ -1,0 +1,1 @@
+lib/core/formulation.mli: Cuts Fpga Ir Lp Sched

@@ -1,0 +1,1 @@
+lib/core/formulation_exact.ml: Array Cuts Fmt Formulation Fpga Ir List Lp Printf Sched String

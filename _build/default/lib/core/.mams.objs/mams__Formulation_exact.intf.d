@@ -1,0 +1,1 @@
+lib/core/formulation_exact.mli: Cuts Formulation Ir Lp Sched

@@ -1,0 +1,287 @@
+type method_ = Hls_tool | Sdc_tool | Milp_base | Milp_map | Map_heuristic
+
+type setup = {
+  device : Fpga.Device.t;
+  delays : Fpga.Delays.t;
+  resources : Fpga.Resource.budget;
+  ii : int;
+  alpha : float;
+  beta : float;
+  cut_params : Cuts.params option;
+  time_limit : float;
+}
+
+let default_setup ~device =
+  {
+    device;
+    delays = Fpga.Delays.default;
+    resources = Fpga.Resource.unlimited;
+    ii = 1;
+    alpha = 0.5;
+    beta = 0.5;
+    cut_params = None;
+    time_limit = 60.0;
+  }
+
+type solve_info = {
+  runtime : float;
+  milp_status : Lp.Milp.status option;
+  milp_stats : Lp.Milp.stats option;
+  model_size : string option;
+}
+
+type result = {
+  method_ : method_;
+  schedule : Sched.Schedule.t;
+  cover : Sched.Cover.t;
+  qor : Sched.Qor.t;
+  solve : solve_info;
+}
+
+let method_name = function
+  | Hls_tool -> "HLS Tool"
+  | Sdc_tool -> "SDC"
+  | Milp_base -> "MILP-base"
+  | Milp_map -> "MILP-map"
+  | Map_heuristic -> "Map-first"
+
+let heuristic_info = { runtime = 0.0; milp_status = None; milp_stats = None;
+                       model_size = None }
+
+let verify_ctx (s : setup) : Sched.Verify.context =
+  let device = s.device and delays = s.delays and resources = s.resources in
+  { Sched.Verify.device; delays; resources }
+
+(* Final QoR is always measured under the mapped delay model — the analogue
+   of post-place-and-route reporting. *)
+let finalize setup g cover sched solve method_ =
+  let sched =
+    Sched.Timing.recompute_starts ~device:setup.device ~delays:setup.delays g
+      cover sched
+  in
+  match Sched.Verify.check (verify_ctx setup) g cover sched with
+  | Error errs ->
+      Error
+        (Printf.sprintf "%s: illegal result: %s" (method_name method_)
+           (String.concat "; " errs))
+  | Ok () ->
+      let qor =
+        Sched.Qor.evaluate ~device:setup.device ~delays:setup.delays g cover
+          sched
+      in
+      Ok { method_; schedule = sched; cover; qor; solve = solve }
+
+let enum_cuts setup g =
+  let params =
+    match setup.cut_params with
+    | Some p -> p
+    | None -> Cuts.default_params ~k:setup.device.Fpga.Device.k
+  in
+  Cuts.enumerate ~params ~k:setup.device.Fpga.Device.k g
+
+let baseline setup g =
+  match
+    Sched.Heuristic.schedule ~device:setup.device ~delays:setup.delays
+      ~resources:setup.resources ~ii:setup.ii g
+  with
+  | Error e -> Error (Fmt.str "heuristic baseline failed: %a" Sched.Heuristic.pp_error e)
+  | Ok sched -> Ok sched
+
+let run_hls setup g =
+  match baseline setup g with
+  | Error _ as e -> e
+  | Ok sched ->
+      let cuts = enum_cuts setup g in
+      let cover =
+        Techmap.map_schedule ~device:setup.device ~delays:setup.delays ~cuts g
+          sched
+      in
+      finalize setup g cover sched heuristic_info Hls_tool
+
+(* SDC modulo scheduling (the LegUp/Vivado-HLS style baseline, refs [22]
+   and [3] of the paper), with the same downstream mapping as the HLS
+   flow. *)
+let run_sdc setup g =
+  match
+    Sched.Sdc.schedule ~device:setup.device ~delays:setup.delays
+      ~resources:setup.resources ~ii:setup.ii g
+  with
+  | Error e -> Error (Fmt.str "SDC scheduling failed: %a" Sched.Heuristic.pp_error e)
+  | Ok sched ->
+      let cuts = enum_cuts setup g in
+      let cover =
+        Techmap.map_schedule ~device:setup.device ~delays:setup.delays ~cuts g
+          sched
+      in
+      finalize setup g cover sched heuristic_info Sdc_tool
+
+(* Map-first (the paper's future-work heuristic): area-flow cover of the
+   whole graph, then cover-aware ASAP modulo scheduling. *)
+let run_map_first setup g =
+  let cuts = enum_cuts setup g in
+  let cover = Techmap.map_global ~device:setup.device ~delays:setup.delays ~cuts g in
+  match
+    Sched.Mapsched.schedule ~device:setup.device ~delays:setup.delays
+      ~resources:setup.resources ~ii:setup.ii g cover
+  with
+  | Error e ->
+      Error (Fmt.str "map-first failed: %a" Sched.Heuristic.pp_error e)
+  | Ok sched -> finalize setup g cover sched heuristic_info Map_heuristic
+
+let run_milp setup g ~mapping_aware =
+  match baseline setup g with
+  | Error _ as e -> e
+  | Ok base_sched -> (
+      let cuts =
+        if mapping_aware then enum_cuts setup g else Cuts.trivial_only g
+      in
+      (* The warm start must be feasible under the formulation's own delay
+         model. For MILP-map that model prices every trivial logic cut at
+         one LUT delay, which can exceed the characterized delay — so the
+         incumbent is re-scheduled with logic delays pinned to the LUT
+         delay. *)
+      let incumbent_sched =
+        if not mapping_aware then Some base_sched
+        else
+          let warm_delays =
+            Fpga.Delays.with_logic setup.delays
+              ~logic:setup.device.Fpga.Device.lut_delay
+          in
+          match
+            Sched.Heuristic.schedule ~device:setup.device ~delays:warm_delays
+              ~resources:setup.resources ~ii:setup.ii g
+          with
+          | Ok s -> Some s
+          | Error _ -> None
+      in
+      let max_latency =
+        List.fold_left
+          (fun acc s -> max acc (Sched.Schedule.latency s))
+          (Sched.Schedule.latency base_sched)
+          (Option.to_list incumbent_sched)
+      in
+      let cfg =
+        Formulation.
+          {
+            device = setup.device;
+            delays = setup.delays;
+            resources = setup.resources;
+            ii = setup.ii;
+            max_latency;
+            alpha = setup.alpha;
+            beta = setup.beta;
+            cut_delay =
+              (if mapping_aware then
+                 Formulation.mapped_delay ~device:setup.device
+                   ~delays:setup.delays
+               else Formulation.additive_delay ~delays:setup.delays);
+          }
+      in
+      let f = Formulation.build cfg g cuts in
+      let trivial_cover = Sched.Cover.all_trivial g (Cuts.trivial_only g) in
+      (* For MILP-map the strongest safe warm start is the area-flow mapped
+         cover of the warm schedule (the full HLS-Tool result under mapped
+         delays); fall back to the all-trivial cover, then to no warm
+         start. *)
+      let try_incumbent s cover =
+        let sched =
+          Sched.Timing.recompute_starts ~device:setup.device
+            ~delays:setup.delays g cover s
+        in
+        match Formulation.incumbent_of_schedule f sched cover with
+        | exception Invalid_argument _ -> None
+        | x -> (
+            match
+              Lp.Model.check (Formulation.model f)
+                ~values:(fun v -> x.(Lp.Model.var_index v))
+                ()
+            with
+            | Ok () -> Some x
+            | Error msg ->
+                Logs.debug (fun fmt ->
+                    fmt "dropping infeasible warm start: %s" msg);
+                None)
+      in
+      let incumbent =
+        match incumbent_sched with
+        | None -> None
+        | Some s ->
+            let map_first () =
+              let cover =
+                Techmap.map_global ~device:setup.device ~delays:setup.delays
+                  ~cuts g
+              in
+              match
+                Sched.Mapsched.schedule ~device:setup.device
+                  ~delays:setup.delays ~resources:setup.resources ~ii:setup.ii
+                  g cover
+              with
+              | Ok ms when Sched.Schedule.latency ms <= cfg.Formulation.max_latency
+                -> try_incumbent ms cover
+              | Ok _ | Error _ -> None
+            in
+            let candidates =
+              if mapping_aware then
+                [
+                  map_first;
+                  (fun () ->
+                    try_incumbent s
+                      (Techmap.map_schedule ~device:setup.device
+                         ~delays:setup.delays ~cuts g s));
+                  (fun () -> try_incumbent s trivial_cover);
+                ]
+              else [ (fun () -> try_incumbent s trivial_cover) ]
+            in
+            List.fold_left
+              (fun acc c -> match acc with Some _ -> acc | None -> c ())
+              None candidates
+      in
+      let t0 = Sys.time () in
+      let r =
+        Lp.Milp.solve ~time_limit:setup.time_limit ?incumbent
+          ~branch_priority:(Formulation.branch_priorities f)
+          (Formulation.model f)
+      in
+      let runtime = Sys.time () -. t0 in
+      let solve =
+        {
+          runtime;
+          milp_status = Some r.Lp.Milp.status;
+          milp_stats = Some r.Lp.Milp.stats;
+          model_size = Some (Formulation.size f);
+        }
+      in
+      match r.Lp.Milp.status with
+      | Lp.Milp.Infeasible | Lp.Milp.Unbounded | Lp.Milp.Unknown ->
+          Error
+            (Fmt.str "MILP failed: %a after %.1fs" Lp.Milp.pp_status
+               r.Lp.Milp.status runtime)
+      | Lp.Milp.Optimal | Lp.Milp.Feasible ->
+          let sched, cover = Formulation.extract f r in
+          if mapping_aware then finalize setup g cover sched solve Milp_map
+          else
+            (* MILP-base: exact schedule, then the same downstream mapping
+               as the commercial flow. *)
+            let cuts_full = enum_cuts setup g in
+            let cover =
+              Techmap.map_schedule ~device:setup.device ~delays:setup.delays
+                ~cuts:cuts_full g sched
+            in
+            finalize setup g cover sched solve Milp_base)
+
+let run setup method_ g =
+  match method_ with
+  | Hls_tool -> run_hls setup g
+  | Sdc_tool -> run_sdc setup g
+  | Milp_base -> run_milp setup g ~mapping_aware:false
+  | Milp_map -> run_milp setup g ~mapping_aware:true
+  | Map_heuristic -> run_map_first setup g
+
+let run_all setup g =
+  List.map (fun m -> (m, run setup m g)) [ Hls_tool; Milp_base; Milp_map ]
+
+let pp_result ppf r =
+  Fmt.pf ppf "%-9s %a" (method_name r.method_) Sched.Qor.pp r.qor;
+  match r.solve.milp_stats with
+  | Some s -> Fmt.pf ppf "  [%a]" Lp.Milp.pp_stats s
+  | None -> ()

@@ -1,0 +1,62 @@
+(** The three experimental flows compared in the paper's Table 1:
+
+    - {b HLS-Tool}: the heuristic additive-delay modulo scheduler followed
+      by downstream technology mapping that must respect the schedule's
+      register boundaries (the commercial-tool stand-in);
+    - {b MILP-base}: the MILP with cut enumeration skipped (trivial cuts
+      only) and additive delays — exact scheduling, no mapping awareness —
+      followed by the same downstream mapping;
+    - {b MILP-map}: the full mapping-aware MILP; schedule and cover come
+      out of the same solve;
+    - {b SDC} (extension): difference-constraint modulo scheduling, the
+      LegUp / Vivado-HLS style algorithm the paper builds on (refs [22],
+      [3]) — additive delays, LP-based, downstream mapping;
+    - {b Map-first} (extension, the paper's Sec. 5 future work): a
+      scalable heuristic that maps the whole graph with area flow first,
+      then runs cover-aware ASAP modulo scheduling — no MILP. Also used as
+      the MILP-map warm start.
+
+    All flows report QoR under the same post-mapping delay/area model, the
+    analogue of measuring everything post place-and-route. *)
+
+type method_ = Hls_tool | Sdc_tool | Milp_base | Milp_map | Map_heuristic
+
+type setup = {
+  device : Fpga.Device.t;
+  delays : Fpga.Delays.t;
+  resources : Fpga.Resource.budget;
+  ii : int;
+  alpha : float;
+  beta : float;
+  cut_params : Cuts.params option;  (** [None]: {!Cuts.default_params} *)
+  time_limit : float;  (** MILP budget, seconds (the paper used 3600) *)
+}
+
+val default_setup : device:Fpga.Device.t -> setup
+(** [ii = 1], [alpha = beta = 0.5] (paper Sec. 4), default delays,
+    unlimited resources, 60 s budget. *)
+
+type solve_info = {
+  runtime : float;  (** seconds spent in the MILP (0 for the heuristic) *)
+  milp_status : Lp.Milp.status option;
+  milp_stats : Lp.Milp.stats option;
+  model_size : string option;
+}
+
+type result = {
+  method_ : method_;
+  schedule : Sched.Schedule.t;
+  cover : Sched.Cover.t;
+  qor : Sched.Qor.t;
+  solve : solve_info;
+}
+
+val run : setup -> method_ -> Ir.Cdfg.t -> (result, string) Stdlib.result
+(** Runs one flow. The returned (schedule, cover) pair always passes
+    {!Sched.Verify.check} — a failed verification is reported as [Error]. *)
+
+val run_all : setup -> Ir.Cdfg.t -> (method_ * (result, string) Stdlib.result) list
+(** All three flows in Table 1 order. *)
+
+val method_name : method_ -> string
+val pp_result : result Fmt.t

@@ -1,0 +1,68 @@
+(** Word-level cut enumeration (paper Sec. 3.1, Algorithm 1).
+
+    For every CDFG node [v] this module enumerates the K-feasible cuts the
+    MILP may select. A {e cut} is the set of boundary nodes of a cone rooted
+    at [v]; selecting it means the whole cone is implemented as [Bits(v)]
+    bit-slice K-LUTs whose inputs are the boundary bits.
+
+    Deviations from bit-level enumeration, per DESIGN.md:
+    - feasibility is per output bit: the cone is K-feasible iff every output
+      bit's boundary-bit support (from {!Bitdep.support}) has at most K bits;
+    - cones never cross loop-carried ([dist > 0]) edges — LUTs are
+      combinational, so registered operands are always boundaries;
+    - black-box, input and constant nodes are never cone members;
+    - the {e trivial} cut (the node alone, its operands as boundaries) is
+      always present and always legal even when wider than K — it is the
+      additive-model fallback (carry chains, black boxes). *)
+
+type cut = {
+  root : int;
+  leaves : int list;
+      (** boundary node ids, sorted, deduplicated; these are the nodes that
+          must themselves be roots when this cut is selected (Eq. 4) *)
+  cone : Bitdep.Int_set.t;  (** covered nodes, including [root] *)
+  support : int;  (** max per-output-bit boundary support width *)
+  area : int;  (** LUT cost of selecting this cut (see {!val:area}) *)
+}
+
+type t = cut array array
+(** [cuts.(v)] are the selectable cuts of node [v]; index 0 is always the
+    trivial cut. *)
+
+type params = {
+  k : int;  (** LUT input count *)
+  max_cuts : int;  (** per-node cap on stored cuts, trivial cut excluded *)
+  max_candidates : int;  (** per-node cap on merge combinations explored *)
+  max_leaf_words : int;  (** quick reject on word-level leaf count *)
+}
+
+val default_params : k:int -> params
+(** [max_cuts = 10], [max_candidates = 512], [max_leaf_words = k + 2]. *)
+
+val enumerate : ?params:params -> k:int -> Ir.Cdfg.t -> t
+(** Algorithm 1: worklist-driven merge of predecessor cut sets. Cuts are
+    ranked by (area, support, leaf count) and pruned to [max_cuts] per node;
+    the trivial cut is never pruned. *)
+
+val trivial_only : Ir.Cdfg.t -> t
+(** The cut sets used by MILP-base: every node keeps only its trivial cut
+    (equivalent to skipping cut enumeration, Sec. 4). *)
+
+val is_trivial : cut -> bool
+(** The cone contains only the root. *)
+
+val area : k:int -> Ir.Cdfg.t -> root:int -> cone:Bitdep.Int_set.t -> int
+(** LUT cost of a cone: per-bit LUT count for logic cones
+    ({!Bitdep.lut_bits}), carry-chain width for single-node arithmetic,
+    a compressor-tree estimate for single-node comparisons, 0 for wires
+    and black boxes. *)
+
+val delay :
+  device:Fpga.Device.t -> delays:Fpga.Delays.t -> Ir.Cdfg.t -> cut -> float
+(** Combinational delay charged to the cut's root when this cut is
+    selected: one LUT delay for mapped cones, the characterized delay for
+    single-node arithmetic / black boxes, 0 for pure wiring. *)
+
+val total_cuts : t -> int
+val pp_cut : Ir.Cdfg.t -> cut Fmt.t
+val pp_node_cuts : Ir.Cdfg.t -> (int * cut array) Fmt.t

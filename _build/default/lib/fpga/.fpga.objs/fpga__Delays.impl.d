@@ -1,0 +1,1 @@
+lib/fpga/delays.ml: Device Fmt List Op_class

@@ -1,0 +1,1 @@
+lib/fpga/delays.mli: Device Fmt Op_class

@@ -1,0 +1,1 @@
+lib/fpga/op_class.mli: Fmt

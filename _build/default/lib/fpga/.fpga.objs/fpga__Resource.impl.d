@@ -1,0 +1,1 @@
+lib/fpga/resource.ml: Fmt Hashtbl List String

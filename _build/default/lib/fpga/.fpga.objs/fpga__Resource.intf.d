@@ -1,0 +1,1 @@
+lib/fpga/resource.mli: Fmt

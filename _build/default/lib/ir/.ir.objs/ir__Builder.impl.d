@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Array Cdfg Int64 List Op Option

@@ -1,0 +1,1 @@
+lib/ir/cdfg.ml: Array Fmt Hashtbl List Op Printf Queue Result Seq

@@ -1,0 +1,1 @@
+lib/ir/cdfg.mli: Fmt Op

@@ -1,0 +1,1 @@
+lib/ir/dot.ml: Array Buffer Cdfg Fun Hashtbl List Op Option Printf

@@ -1,0 +1,1 @@
+lib/ir/eval.ml: Array Cdfg Int64 List Op

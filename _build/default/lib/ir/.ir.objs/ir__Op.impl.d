@@ -1,0 +1,1 @@
+lib/ir/op.ml: Array Fmt Fpga Int64 List Printf String

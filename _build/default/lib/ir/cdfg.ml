@@ -1,0 +1,220 @@
+type edge = { src : int; dist : int; init : int64 }
+
+type node = {
+  id : int;
+  op : Op.t;
+  width : int;
+  preds : edge array;
+  name : string option;
+}
+
+type t = {
+  nodes : node array;
+  outputs : int list;
+  succs : (int * int) list array;  (* reverse adjacency, precomputed *)
+  topo : int list;  (* cached topological order of the dist-0 subgraph *)
+}
+
+let num_nodes g = Array.length g.nodes
+
+let node g i =
+  if i < 0 || i >= Array.length g.nodes then
+    invalid_arg (Printf.sprintf "Cdfg.node: id %d out of range" i);
+  g.nodes.(i)
+
+let op g i = (node g i).op
+let width g i = (node g i).width
+let preds g i = (node g i).preds
+let succs g i = g.succs.(i)
+let outputs g = g.outputs
+let is_output g i = List.mem i g.outputs
+
+let inputs g =
+  Array.to_list g.nodes
+  |> List.filter_map (fun n ->
+         match n.op with
+         | Op.Input _ -> Some n.id
+         | Op.Const _ | Op.Not | Op.Bitwise _ | Op.Shl _ | Op.Shr _
+         | Op.Slice _ | Op.Concat | Op.Add | Op.Sub | Op.Cmp _ | Op.Mux
+         | Op.Black_box _ ->
+             None)
+
+let node_name g i =
+  match (node g i).name with
+  | Some s -> s
+  | None -> (
+      match (node g i).op with
+      | Op.Input s -> s
+      | _ -> Printf.sprintf "n%d" i)
+
+let fold f g acc = Array.fold_left (fun acc n -> f n acc) acc g.nodes
+let iter f g = Array.iter f g.nodes
+let total_bits g = fold (fun n acc -> acc + n.width) g 0
+
+(* Kahn's algorithm over dist-0 edges. Returns None on a cycle. *)
+let compute_topo nodes =
+  let n = Array.length nodes in
+  let indeg = Array.make n 0 in
+  Array.iter
+    (fun nd ->
+      Array.iter (fun e -> if e.dist = 0 then indeg.(nd.id) <- indeg.(nd.id) + 1) nd.preds)
+    nodes;
+  let queue = Queue.create () in
+  for i = 0 to n - 1 do
+    if indeg.(i) = 0 then Queue.add i queue
+  done;
+  let succs0 = Array.make n [] in
+  Array.iter
+    (fun nd ->
+      Array.iter
+        (fun e -> if e.dist = 0 then succs0.(e.src) <- nd.id :: succs0.(e.src))
+        nd.preds)
+    nodes;
+  let order = ref [] in
+  let count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    incr count;
+    order := v :: !order;
+    List.iter
+      (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Queue.add w queue)
+      succs0.(v)
+  done;
+  if !count = n then Some (List.rev !order) else None
+
+let validate_nodes nodes outputs =
+  let n = Array.length nodes in
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let fail fmt = Fmt.kstr (fun s -> Error s) fmt in
+  let* () =
+    if n = 0 then fail "empty graph"
+    else if Array.exists (fun (nd : node) -> nd.id < 0 || nd.id >= n) nodes
+    then fail "node id out of range"
+    else Ok ()
+  in
+  let* () =
+    let ok = ref (Ok ()) in
+    Array.iteri
+      (fun i nd ->
+        if nd.id <> i then ok := fail "node ids not dense (slot %d holds %d)" i nd.id)
+      nodes;
+    !ok
+  in
+  let* () =
+    let ok = ref (Ok ()) in
+    Array.iter
+      (fun nd ->
+        Array.iter
+          (fun e ->
+            if e.src < 0 || e.src >= n then
+              ok := fail "node %d: pred %d out of range" nd.id e.src
+            else if e.dist < 0 then
+              ok := fail "node %d: negative distance" nd.id)
+          nd.preds)
+      nodes;
+    !ok
+  in
+  let* () =
+    let ok = ref (Ok ()) in
+    Array.iter
+      (fun nd ->
+        let operand_widths =
+          Array.to_list (Array.map (fun e -> nodes.(e.src).width) nd.preds)
+        in
+        (match Op.validate_widths nd.op ~operand_widths with
+        | Error msg -> ok := fail "node %d (%s): %s" nd.id (Op.to_string nd.op) msg
+        | Ok () -> ());
+        (* Where the opcode determines the result width, check it agrees. *)
+        match nd.op with
+        | Op.Not | Op.Bitwise _ | Op.Shl _ | Op.Shr _ | Op.Slice _ | Op.Concat
+        | Op.Add | Op.Sub | Op.Cmp _ | Op.Mux -> (
+            match !ok with
+            | Error _ -> ()
+            | Ok () ->
+                let expect = Op.result_width nd.op ~operand_widths in
+                if expect <> nd.width then
+                  ok :=
+                    fail "node %d (%s): declared width %d, expected %d" nd.id
+                      (Op.to_string nd.op) nd.width expect)
+        | Op.Input _ | Op.Const _ | Op.Black_box _ ->
+            if nd.width <= 0 || nd.width > 63 then
+              ok := fail "node %d: width %d out of [1,63]" nd.id nd.width)
+      nodes;
+    !ok
+  in
+  let* () =
+    if outputs = [] then fail "no primary outputs"
+    else if List.exists (fun o -> o < 0 || o >= n) outputs then
+      fail "output id out of range"
+    else Ok ()
+  in
+  let* () =
+    let names = Hashtbl.create 8 in
+    let ok = ref (Ok ()) in
+    Array.iter
+      (fun nd ->
+        match nd.op with
+        | Op.Input s ->
+            if Hashtbl.mem names s then ok := fail "duplicate input name %s" s
+            else Hashtbl.add names s ()
+        | _ -> ())
+      nodes;
+    !ok
+  in
+  match compute_topo nodes with
+  | None -> fail "combinational (dist-0) cycle"
+  | Some topo -> Ok topo
+
+let create ~nodes ~outputs =
+  let nodes = Array.of_list nodes in
+  match validate_nodes nodes outputs with
+  | Error msg -> invalid_arg ("Cdfg.create: " ^ msg)
+  | Ok topo ->
+      let n = Array.length nodes in
+      let succs = Array.make n [] in
+      Array.iter
+        (fun nd ->
+          Array.iter
+            (fun e -> succs.(e.src) <- (nd.id, e.dist) :: succs.(e.src))
+            nd.preds)
+        nodes;
+      Array.iteri (fun i l -> succs.(i) <- List.rev l) succs;
+      { nodes; outputs; succs; topo }
+
+let topo_order g = g.topo
+
+let validate g = Result.map (fun _ -> ()) (validate_nodes g.nodes g.outputs)
+
+let stats g =
+  let bb =
+    fold
+      (fun n acc ->
+        match n.op with Op.Black_box _ -> acc + 1 | _ -> acc)
+      g 0
+  in
+  let edges = fold (fun n acc -> acc + Array.length n.preds) g 0 in
+  let carried =
+    fold
+      (fun n acc ->
+        acc + Array.length (Array.of_seq (Seq.filter (fun e -> e.dist > 0)
+                                            (Array.to_seq n.preds))))
+      g 0
+  in
+  Printf.sprintf "%d nodes, %d edges (%d loop-carried), %d black-box, %d bits"
+    (num_nodes g) edges carried bb (total_bits g)
+
+let pp ppf g =
+  Fmt.pf ppf "@[<v>";
+  iter
+    (fun n ->
+      Fmt.pf ppf "%4d: %-14s w=%-3d [%a]%s@,"
+        n.id (Op.to_string n.op) n.width
+        Fmt.(array ~sep:comma (fun ppf e ->
+          if e.dist = 0 then Fmt.int ppf e.src
+          else Fmt.pf ppf "%d@%d" e.src e.dist))
+        n.preds
+        (if List.mem n.id g.outputs then "  (PO)" else ""))
+    g;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,59 @@
+let shape_of op =
+  match (op : Op.t) with
+  | Op.Input _ -> "invtriangle"
+  | Op.Const _ -> "plaintext"
+  | Op.Black_box _ -> "box3d"
+  | Op.Add | Op.Sub | Op.Cmp _ -> "oval"
+  | Op.Not | Op.Bitwise _ | Op.Mux -> "box"
+  | Op.Shl _ | Op.Shr _ | Op.Slice _ | Op.Concat -> "cds"
+
+let node_line buf g id =
+  let nd = Cdfg.node g id in
+  Buffer.add_string buf
+    (Printf.sprintf "    n%d [label=\"%s\\n%s:%d\", shape=%s%s];\n" id
+       (Cdfg.node_name g id) (Op.to_string nd.op) nd.width (shape_of nd.op)
+       (if Cdfg.is_output g id then ", style=bold" else ""))
+
+let to_string ?cycle_of g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph cdfg {\n  rankdir=TB;\n";
+  (match cycle_of with
+  | None ->
+      Cdfg.iter (fun nd -> node_line buf g nd.id) g
+  | Some cycle_of ->
+      let by_cycle = Hashtbl.create 8 in
+      Cdfg.iter
+        (fun nd ->
+          let c = cycle_of nd.id in
+          Hashtbl.replace by_cycle c (nd.id :: (Option.value ~default:[]
+                                                  (Hashtbl.find_opt by_cycle c))))
+        g;
+      let cycles = List.sort compare (Hashtbl.fold (fun c _ l -> c :: l) by_cycle []) in
+      List.iter
+        (fun c ->
+          Buffer.add_string buf
+            (Printf.sprintf "  subgraph cluster_cycle%d {\n    label=\"cycle %d\";\n" c c);
+          List.iter (node_line buf g) (Hashtbl.find by_cycle c);
+          Buffer.add_string buf "  }\n")
+        cycles);
+  Cdfg.iter
+    (fun nd ->
+      Array.iter
+        (fun (e : Cdfg.edge) ->
+          if e.dist = 0 then
+            Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" e.src nd.id)
+          else
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "  n%d -> n%d [style=dashed, label=\"dist=%d\"];\n" e.src
+                 nd.id e.dist))
+        nd.preds)
+    g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file ?cycle_of ~path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?cycle_of g))

@@ -1,0 +1,9 @@
+(** Graphviz export of CDFGs, optionally annotated with a schedule
+    (cycle numbers as clusters) for debugging and documentation. *)
+
+val to_string : ?cycle_of:(int -> int) -> Cdfg.t -> string
+(** DOT source. With [cycle_of], nodes are grouped into one cluster per
+    clock cycle so register boundaries are visible. Loop-carried edges are
+    drawn dashed and labelled with their distance. *)
+
+val write_file : ?cycle_of:(int -> int) -> path:string -> Cdfg.t -> unit

@@ -1,0 +1,39 @@
+type trace = int64 array array
+
+let mask ~width v =
+  if width >= 64 then v
+  else Int64.logand v (Int64.sub (Int64.shift_left 1L width) 1L)
+
+let no_black_box ~kind _ =
+  invalid_arg ("Eval.run: no handler for black box kind " ^ kind)
+
+let run ?(black_box = no_black_box) g ~iterations ~inputs =
+  if iterations < 0 then invalid_arg "Eval.run: negative iteration count";
+  let n = Cdfg.num_nodes g in
+  let trace = Array.init iterations (fun _ -> Array.make n 0L) in
+  let order = Cdfg.topo_order g in
+  for iter = 0 to iterations - 1 do
+    let operand (e : Cdfg.edge) =
+      if e.dist = 0 then trace.(iter).(e.src)
+      else if iter - e.dist >= 0 then trace.(iter - e.dist).(e.src)
+      else mask ~width:(Cdfg.width g e.src) e.init
+    in
+    List.iter
+      (fun id ->
+        let nd = Cdfg.node g id in
+        let args = Array.map operand nd.preds in
+        let v =
+          match nd.op with
+          | Op.Input name -> inputs ~iter ~name
+          | Op.Concat ->
+              let low_width = Cdfg.width g nd.preds.(1).src in
+              Int64.logor (Int64.shift_left args.(0) low_width) args.(1)
+          | _ -> Op.eval nd.op ~width:nd.width ~black_box args
+        in
+        trace.(iter).(id) <- mask ~width:nd.width v)
+      order
+  done;
+  trace
+
+let outputs_of g trace ~iter =
+  List.map (fun o -> (Cdfg.node_name g o, trace.(iter).(o))) (Cdfg.outputs g)

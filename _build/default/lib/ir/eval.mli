@@ -1,0 +1,26 @@
+(** Bit-accurate functional simulation of a CDFG over multiple loop
+    iterations.
+
+    This is the reference executor used to check that benchmark CDFGs
+    compute the same function as their software models, and that emitted
+    schedules preserve semantics (a schedule never changes dataflow, but the
+    tests use the simulator to validate graph constructions). *)
+
+type trace = int64 array array
+(** [trace.(iter).(node)] = value of [node] at iteration [iter], masked to
+    the node's width. *)
+
+val run :
+  ?black_box:(kind:string -> int64 array -> int64) ->
+  Cdfg.t ->
+  iterations:int ->
+  inputs:(iter:int -> name:string -> int64) ->
+  trace
+(** Simulates [iterations] loop iterations. Loop-carried operands read the
+    producing node's value [dist] iterations earlier, or the edge's [init]
+    value for iterations before the recurrence warmed up. The default
+    [black_box] raises [Invalid_argument].
+    @raise Invalid_argument if [iterations < 0]. *)
+
+val outputs_of : Cdfg.t -> trace -> iter:int -> (string * int64) list
+(** Primary-output values at one iteration, labelled by node name. *)

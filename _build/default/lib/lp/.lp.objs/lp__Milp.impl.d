@@ -1,0 +1,1 @@
+lib/lp/milp.ml: Array Float Fmt List Logs Model Simplex Sys

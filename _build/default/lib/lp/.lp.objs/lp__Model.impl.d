@@ -1,0 +1,1 @@
+lib/lp/model.ml: Array Float Fmt Hashtbl Int List Option Printf

@@ -1,0 +1,210 @@
+type status = Optimal | Feasible | Infeasible | Unbounded | Unknown
+
+type stats = {
+  nodes : int;
+  lp_iterations : int;
+  elapsed : float;
+  root_bound : float;
+  gap : float;
+}
+
+type result = {
+  status : status;
+  x : float array;
+  objective : float;
+  stats : stats;
+}
+
+let src = Logs.Src.create "lp.milp" ~doc:"branch and bound"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type node = { nlb : float array; nub : float array; bound : float; depth : int }
+
+let most_fractional raw ~int_tol ?priority x =
+  let best = ref (-1) and best_frac = ref int_tol and best_prio = ref min_int in
+  let prio j = match priority with None -> 0 | Some p -> p.(j) in
+  Array.iteri
+    (fun j isint ->
+      if isint then begin
+        let v = x.(j) in
+        let frac = Float.abs (v -. Float.round v) in
+        if frac > int_tol then begin
+          let p = prio j in
+          if p > !best_prio || (p = !best_prio && frac > !best_frac) then begin
+            best := j;
+            best_frac := frac;
+            best_prio := p
+          end
+        end
+      end)
+    raw.Model.integer;
+  !best
+
+let snap raw ~int_tol x =
+  Array.mapi
+    (fun j v ->
+      if raw.Model.integer.(j) && Float.abs (v -. Float.round v) <= 100. *. int_tol
+      then Float.round v
+      else v)
+    x
+
+let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
+    ?(gap_tol = 1e-6) ?(int_tol = 1e-6) ?incumbent ?branch_priority model =
+  let raw = Model.to_raw model in
+  let t0 = Sys.time () in
+  let elapsed () = Sys.time () -. t0 in
+  let best_x = ref None in
+  let best_obj = ref infinity in
+  (match incumbent with
+  | None -> ()
+  | Some x ->
+      if Array.length x <> raw.n then
+        invalid_arg "Milp.solve: incumbent length mismatch";
+      (match Model.check model ~values:(fun v -> x.(Model.var_index v)) () with
+      | Error msg -> invalid_arg ("Milp.solve: infeasible incumbent: " ^ msg)
+      | Ok () -> ());
+      best_x := Some (Array.copy x);
+      best_obj := Array.fold_left ( +. ) 0.0 (Array.mapi (fun j v -> raw.obj.(j) *. v) x));
+  let nodes = ref 0 and lp_iters = ref 0 in
+  let root_bound = ref neg_infinity in
+  let stack = ref [] in
+  let push n = stack := n :: !stack in
+  let budget_hit = ref false in
+  let infeasible_root = ref false in
+  let unbounded_root = ref false in
+  push { nlb = Array.copy raw.lb; nub = Array.copy raw.ub; bound = neg_infinity; depth = 0 };
+  let continue_ = ref true in
+  while !continue_ do
+    match !stack with
+    | [] -> continue_ := false
+    | node :: rest ->
+        stack := rest;
+        if elapsed () > time_limit || !nodes >= node_limit then begin
+          budget_hit := true;
+          continue_ := false
+        end
+        else if node.bound >= !best_obj -. 1e-9 && !best_x <> None then
+          (* parent bound already dominated by the incumbent *)
+          ()
+        else begin
+          incr nodes;
+          let r = Simplex.solve ~max_iters:max_lp_iters ~lb:node.nlb ~ub:node.nub raw in
+          lp_iters := !lp_iters + r.iterations;
+          if node.depth = 0 then begin
+            root_bound := r.objective;
+            match r.status with
+            | Simplex.Infeasible -> infeasible_root := true
+            | Simplex.Unbounded -> unbounded_root := true
+            | Simplex.Optimal | Simplex.Iteration_limit -> ()
+          end;
+          match r.status with
+          | Simplex.Infeasible -> ()
+          | Simplex.Unbounded ->
+              (* With integer bounds intact this means the MILP is unbounded
+                 (or numerically hopeless); stop exploring. *)
+              continue_ := false
+          | Simplex.Iteration_limit ->
+              Log.warn (fun f ->
+                  f "LP iteration limit at node %d (depth %d); pruning" !nodes
+                    node.depth)
+          | Simplex.Optimal ->
+              if r.objective >= !best_obj -. 1e-9 && !best_x <> None then ()
+              else begin
+                let j =
+                  most_fractional raw ~int_tol ?priority:branch_priority r.x
+                in
+                if j < 0 then begin
+                  (* integral: new incumbent *)
+                  let x = snap raw ~int_tol r.x in
+                  let obj =
+                    Array.fold_left ( +. ) 0.0
+                      (Array.mapi (fun j v -> raw.obj.(j) *. v) x)
+                  in
+                  if obj < !best_obj -. 1e-9 then begin
+                    best_obj := obj;
+                    best_x := Some x;
+                    Log.info (fun f ->
+                        f "incumbent %.6g at node %d depth %d" obj !nodes
+                          node.depth)
+                  end
+                end
+                else begin
+                  let v = r.x.(j) in
+                  let fl = Float.of_int (int_of_float (floor v)) in
+                  let down_ub = Array.copy node.nub in
+                  down_ub.(j) <- fl;
+                  let up_lb = Array.copy node.nlb in
+                  up_lb.(j) <- fl +. 1.0;
+                  let down =
+                    { nlb = node.nlb; nub = down_ub; bound = r.objective;
+                      depth = node.depth + 1 }
+                  and up =
+                    { nlb = up_lb; nub = node.nub; bound = r.objective;
+                      depth = node.depth + 1 }
+                  in
+                  (* Dive toward the nearest integer first. *)
+                  if v -. fl <= 0.5 then begin
+                    push up;
+                    push down
+                  end
+                  else begin
+                    push down;
+                    push up
+                  end
+                end
+              end
+        end
+  done;
+  let open_bound =
+    List.fold_left (fun acc n -> min acc n.bound) infinity !stack
+  in
+  let proved = (not !budget_hit) && !stack = [] in
+  let constant = Model.objective_constant model in
+  let gap =
+    match !best_x with
+    | None -> infinity
+    | Some _ ->
+        if proved then 0.0
+        else
+          let lo = min open_bound !best_obj in
+          let lo = if Float.is_finite lo then lo else !root_bound in
+          Float.abs (!best_obj -. lo) /. Float.max 1.0 (Float.abs !best_obj)
+  in
+  let stats =
+    {
+      nodes = !nodes;
+      lp_iterations = !lp_iters;
+      elapsed = elapsed ();
+      root_bound = !root_bound +. constant;
+      gap;
+    }
+  in
+  match !best_x with
+  | Some x ->
+      let status =
+        if proved || gap <= gap_tol then Optimal else Feasible
+      in
+      { status; x; objective = !best_obj +. constant; stats }
+  | None ->
+      let status =
+        if !unbounded_root then Unbounded
+        else if !infeasible_root && not !budget_hit then Infeasible
+        else if proved then Infeasible
+        else Unknown
+      in
+      { status; x = Array.make raw.n 0.0; objective = infinity; stats }
+
+let value r v = r.x.(Model.var_index v)
+let int_value r v = int_of_float (Float.round (value r v))
+
+let pp_status ppf = function
+  | Optimal -> Fmt.string ppf "optimal"
+  | Feasible -> Fmt.string ppf "feasible"
+  | Infeasible -> Fmt.string ppf "infeasible"
+  | Unbounded -> Fmt.string ppf "unbounded"
+  | Unknown -> Fmt.string ppf "unknown"
+
+let pp_stats ppf s =
+  Fmt.pf ppf "%d nodes, %d pivots, %.2fs, gap %.2g%%" s.nodes s.lp_iterations
+    s.elapsed (100.0 *. s.gap)

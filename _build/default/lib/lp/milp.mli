@@ -1,0 +1,53 @@
+(** Branch-and-bound MILP solver over {!Simplex}.
+
+    Depth-first diving (round-to-nearest child explored first) with
+    best-bound pruning, optional warm-start incumbents, and a wall-clock
+    budget after which the best feasible solution found is returned — the
+    same protocol the paper used with CPLEX's 60-minute cap (Sec. 4.3). *)
+
+type status =
+  | Optimal  (** proved optimal within tolerances *)
+  | Feasible  (** budget exhausted; best incumbent returned *)
+  | Infeasible
+  | Unbounded
+  | Unknown  (** budget exhausted before any feasible solution was found *)
+
+type stats = {
+  nodes : int;  (** branch-and-bound nodes evaluated *)
+  lp_iterations : int;  (** simplex pivots across all nodes *)
+  elapsed : float;  (** seconds *)
+  root_bound : float;  (** root LP relaxation objective *)
+  gap : float;  (** relative gap between incumbent and open bound *)
+}
+
+type result = {
+  status : status;
+  x : float array;  (** meaningful for [Optimal] / [Feasible] *)
+  objective : float;  (** includes the model's objective constant *)
+  stats : stats;
+}
+
+val solve :
+  ?time_limit:float ->
+  ?node_limit:int ->
+  ?max_lp_iters:int ->
+  ?gap_tol:float ->
+  ?int_tol:float ->
+  ?incumbent:float array ->
+  ?branch_priority:int array ->
+  Model.t ->
+  result
+(** Defaults: [time_limit = 60.] s, [node_limit = 200_000],
+    [gap_tol = 1e-6] (relative), [int_tol = 1e-6]. A provided [incumbent]
+    is validated against the model ([Invalid_argument] if it is not
+    feasible) and seeds the pruning bound. [branch_priority] (one entry
+    per variable, higher branches first) guides variable selection:
+    the most fractional variable among those of the highest priority
+    class with any fractionality is chosen. *)
+
+val value : result -> Model.var -> float
+val int_value : result -> Model.var -> int
+(** Nearest integer to the variable's value. *)
+
+val pp_status : status Fmt.t
+val pp_stats : stats Fmt.t

@@ -1,0 +1,156 @@
+type sense = Le | Ge | Eq
+type var = int
+
+type row = { r_name : string option; terms : (int * float) list; sense : sense; rhs : float }
+
+type t = {
+  m_name : string;
+  mutable names : string list;  (* reversed *)
+  mutable lbs : float list;
+  mutable ubs : float list;
+  mutable ints : bool list;
+  mutable nvars : int;
+  mutable rows : row list;  (* reversed *)
+  mutable nrows : int;
+  mutable obj : (int * float) list;  (* may hold duplicates; summed at freeze *)
+  mutable obj_const : float;
+}
+
+let create ?(name = "model") () =
+  {
+    m_name = name;
+    names = [];
+    lbs = [];
+    ubs = [];
+    ints = [];
+    nvars = 0;
+    rows = [];
+    nrows = 0;
+    obj = [];
+    obj_const = 0.0;
+  }
+
+let add_var m ?(integer = false) ?(lb = 0.0) ?(ub = infinity) name =
+  if Float.is_nan lb || Float.is_nan ub then invalid_arg "Model.add_var: NaN";
+  if not (Float.is_finite lb) then
+    invalid_arg "Model.add_var: lower bound must be finite";
+  if ub < lb then invalid_arg "Model.add_var: ub < lb";
+  let id = m.nvars in
+  m.names <- name :: m.names;
+  m.lbs <- lb :: m.lbs;
+  m.ubs <- ub :: m.ubs;
+  m.ints <- integer :: m.ints;
+  m.nvars <- id + 1;
+  id
+
+let bool_var m name = add_var m ~integer:true ~lb:0.0 ~ub:1.0 name
+
+let normalize_terms terms =
+  let tbl = Hashtbl.create (List.length terms) in
+  List.iter
+    (fun (c, v) ->
+      let prev = Option.value ~default:0.0 (Hashtbl.find_opt tbl v) in
+      Hashtbl.replace tbl v (prev +. c))
+    terms;
+  Hashtbl.fold (fun v c acc -> if c = 0.0 then acc else (v, c) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let add_constraint m ?name terms sense rhs =
+  let terms = normalize_terms terms in
+  m.rows <- { r_name = name; terms; sense; rhs } :: m.rows;
+  m.nrows <- m.nrows + 1
+
+let add_le m ?name terms rhs = add_constraint m ?name terms Le rhs
+let add_ge m ?name terms rhs = add_constraint m ?name terms Ge rhs
+let add_eq m ?name terms rhs = add_constraint m ?name terms Eq rhs
+
+let set_objective m ?(constant = 0.0) terms =
+  m.obj <- List.map (fun (c, v) -> (v, c)) terms;
+  m.obj_const <- constant
+
+let nth_rev l n total = List.nth l (total - 1 - n)
+
+let fix m v x =
+  (* Lists are reversed; rebuild with the narrowed bound. *)
+  let idx = m.nvars - 1 - v in
+  m.lbs <- List.mapi (fun i lb -> if i = idx then x else lb) m.lbs;
+  m.ubs <- List.mapi (fun i ub -> if i = idx then x else ub) m.ubs
+
+let num_vars m = m.nvars
+let num_constraints m = m.nrows
+let var_index v = v
+
+let var_of_index m i =
+  if i < 0 || i >= m.nvars then invalid_arg "Model.var_of_index";
+  i
+
+let var_name m v = nth_rev m.names v m.nvars
+let is_integer m v = nth_rev m.ints v m.nvars
+let bounds m v = (nth_rev m.lbs v m.nvars, nth_rev m.ubs v m.nvars)
+let objective_constant m = m.obj_const
+
+type raw = {
+  n : int;
+  lb : float array;
+  ub : float array;
+  integer : bool array;
+  obj : float array;
+  rows : (int * float) array array;
+  senses : sense array;
+  rhs : float array;
+}
+
+let to_raw m =
+  let n = m.nvars in
+  let rev_to_array l = Array.of_list (List.rev l) in
+  let lb = rev_to_array m.lbs in
+  let ub = rev_to_array m.ubs in
+  let integer = rev_to_array m.ints in
+  let obj = Array.make n 0.0 in
+  List.iter
+    (fun (v, c) -> obj.(v) <- obj.(v) +. c)
+    m.obj;
+  let rows_l = List.rev m.rows in
+  let rows =
+    Array.of_list (List.map (fun r -> Array.of_list r.terms) rows_l)
+  in
+  let senses = Array.of_list (List.map (fun r -> r.sense) rows_l) in
+  let rhs = Array.of_list (List.map (fun (r : row) -> r.rhs) rows_l) in
+  { n; lb; ub; integer; obj; rows; senses; rhs }
+
+let check m ~values ?(eps = 1e-6) () =
+  let fail fmt = Fmt.kstr (fun s -> Error s) fmt in
+  let rec check_vars v =
+    if v >= m.nvars then Ok ()
+    else
+      let x = values v in
+      let lb, ub = bounds m v in
+      if x < lb -. eps || x > ub +. eps then
+        fail "variable %s = %g outside [%g, %g]" (var_name m v) x lb ub
+      else if is_integer m v && Float.abs (x -. Float.round x) > eps then
+        fail "variable %s = %g not integral" (var_name m v) x
+      else check_vars (v + 1)
+  in
+  let check_row i (r : row) =
+    let lhs = List.fold_left (fun acc (v, c) -> acc +. (c *. values v)) 0.0 r.terms in
+    let name = Option.value r.r_name ~default:(Printf.sprintf "row%d" i) in
+    match r.sense with
+    | Le when lhs > r.rhs +. eps -> fail "%s: %g > %g" name lhs r.rhs
+    | Ge when lhs < r.rhs -. eps -> fail "%s: %g < %g" name lhs r.rhs
+    | Eq when Float.abs (lhs -. r.rhs) > eps -> fail "%s: %g <> %g" name lhs r.rhs
+    | Le | Ge | Eq -> Ok ()
+  in
+  match check_vars 0 with
+  | Error _ as e -> e
+  | Ok () ->
+      let rec go i = function
+        | [] -> Ok ()
+        | r :: rest -> (
+            match check_row i r with Error _ as e -> e | Ok () -> go (i + 1) rest)
+      in
+      go 0 (List.rev m.rows)
+
+let pp_stats ppf m =
+  let ints = List.fold_left (fun acc b -> if b then acc + 1 else acc) 0 m.ints in
+  Fmt.pf ppf "%s: %d vars (%d integer), %d constraints" m.m_name m.nvars ints
+    m.nrows

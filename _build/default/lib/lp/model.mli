@@ -1,0 +1,65 @@
+(** Mixed-integer linear program builder.
+
+    A thin, allocation-friendly layer over the raw arrays consumed by
+    {!Simplex} and {!Milp}. Variables have finite lower bounds (possibly
+    infinite upper bounds); constraints are linear with [<=], [>=] or [=]
+    sense; the objective is minimized (negate coefficients to maximize). *)
+
+type t
+type var
+
+type sense = Le | Ge | Eq
+
+val create : ?name:string -> unit -> t
+
+val add_var :
+  t -> ?integer:bool -> ?lb:float -> ?ub:float -> string -> var
+(** Defaults: [integer = false], [lb = 0.], [ub = infinity].
+    @raise Invalid_argument if [lb] is infinite, [ub < lb], or NaN. *)
+
+val bool_var : t -> string -> var
+(** Integer variable in [0, 1]. *)
+
+val add_constraint :
+  t -> ?name:string -> (float * var) list -> sense -> float -> unit
+(** [add_constraint m terms sense rhs] adds [Σ coef·x sense rhs]. Duplicate
+    variables in [terms] are summed. *)
+
+val add_le : t -> ?name:string -> (float * var) list -> float -> unit
+val add_ge : t -> ?name:string -> (float * var) list -> float -> unit
+val add_eq : t -> ?name:string -> (float * var) list -> float -> unit
+
+val set_objective : t -> ?constant:float -> (float * var) list -> unit
+(** Minimization objective; replaces any previous objective. *)
+
+val fix : t -> var -> float -> unit
+(** Narrow a variable's bounds to a single value. *)
+
+val num_vars : t -> int
+val num_constraints : t -> int
+val var_index : var -> int
+val var_of_index : t -> int -> var
+val var_name : t -> var -> string
+val is_integer : t -> var -> bool
+val bounds : t -> var -> float * float
+val objective_constant : t -> float
+
+type raw = {
+  n : int;  (** variable count *)
+  lb : float array;
+  ub : float array;
+  integer : bool array;
+  obj : float array;
+  rows : (int * float) array array;  (** sparse rows, sorted by column *)
+  senses : sense array;
+  rhs : float array;
+}
+
+val to_raw : t -> raw
+(** Freeze into the solver's input form. *)
+
+val check : t -> values:(var -> float) -> ?eps:float -> unit -> (unit, string) result
+(** Verify an assignment against bounds, integrality and all constraints —
+    used to validate incumbents and solver output in tests. *)
+
+val pp_stats : t Fmt.t

@@ -1,0 +1,310 @@
+type status = Optimal | Infeasible | Unbounded | Iteration_limit
+
+type result = {
+  status : status;
+  x : float array;
+  objective : float;
+  iterations : int;
+}
+
+let feas_eps = 1e-7
+let cost_eps = 1e-7
+let pivot_eps = 1e-8
+
+type vstat = Basic of int (* row *) | At_lower | At_upper
+
+(* Internal working problem, all variables shifted to lb = 0. *)
+type tab = {
+  m : int;  (** rows *)
+  cols : int;  (** structural + slack + artificial columns *)
+  a : float array array;  (** m x cols dense tableau *)
+  beta : float array;  (** current value of the basic variable of each row *)
+  range : float array;  (** shifted upper bound (ub - lb), may be +inf *)
+  cost : float array;  (** current phase objective coefficients *)
+  z : float array;  (** reduced costs *)
+  stat : vstat array;
+  basis : int array;  (** column basic in each row *)
+}
+
+let value t j =
+  match t.stat.(j) with
+  | Basic r -> t.beta.(r)
+  | At_lower -> 0.0
+  | At_upper -> t.range.(j)
+
+(* Recompute reduced costs z_j = c_j - c_B . a_j from scratch. *)
+let recompute_z t =
+  let cb = Array.map (fun j -> t.cost.(j)) t.basis in
+  for j = 0 to t.cols - 1 do
+    let acc = ref t.cost.(j) in
+    for i = 0 to t.m - 1 do
+      let aij = t.a.(i).(j) in
+      if aij <> 0.0 && cb.(i) <> 0.0 then acc := !acc -. (cb.(i) *. aij)
+    done;
+    t.z.(j) <- !acc
+  done
+
+(* Choose an entering column. Dantzig by default; Bland when [bland]. *)
+let entering t ~bland =
+  let best = ref (-1) and best_score = ref cost_eps in
+  let consider j score =
+    if bland then (if !best = -1 && score > cost_eps then best := j)
+    else if score > !best_score then begin
+      best := j;
+      best_score := score
+    end
+  in
+  (try
+     for j = 0 to t.cols - 1 do
+       (match t.stat.(j) with
+       | Basic _ -> ()
+       | At_lower -> consider j (-.t.z.(j))
+       | At_upper ->
+           if t.range.(j) > 0.0 then consider j t.z.(j)
+           (* fixed vars (range 0) never enter *));
+       if bland && !best >= 0 then raise Exit
+     done
+   with Exit -> ());
+  !best
+
+exception Unbounded_exc
+
+(* Ratio test: entering j moves by dir * t. Returns (t*, leaving row or -1
+   for a bound flip). *)
+let ratio_test t j ~dir =
+  let tmax = ref (if Float.is_finite t.range.(j) then t.range.(j) else infinity) in
+  let row = ref (-1) in
+  for i = 0 to t.m - 1 do
+    let delta = dir *. t.a.(i).(j) in
+    if delta > pivot_eps then begin
+      let ti = t.beta.(i) /. delta in
+      let ti = if ti < 0.0 then 0.0 else ti in
+      if ti < !tmax -. 1e-12 then begin
+        tmax := ti;
+        row := i
+      end
+    end
+    else if delta < -.pivot_eps then begin
+      let ub = t.range.(t.basis.(i)) in
+      if Float.is_finite ub then begin
+        let ti = (ub -. t.beta.(i)) /. -.delta in
+        let ti = if ti < 0.0 then 0.0 else ti in
+        if ti < !tmax -. 1e-12 then begin
+          tmax := ti;
+          row := i
+        end
+      end
+    end
+  done;
+  if Float.is_finite !tmax then (!tmax, !row) else raise Unbounded_exc
+
+let do_bound_flip t j ~dir ~tstar =
+  for i = 0 to t.m - 1 do
+    t.beta.(i) <- t.beta.(i) -. (dir *. t.a.(i).(j) *. tstar)
+  done;
+  t.stat.(j) <- (match t.stat.(j) with
+    | At_lower -> At_upper
+    | At_upper -> At_lower
+    | Basic _ -> assert false)
+
+let do_pivot t j r ~dir ~tstar =
+  let x_old = match t.stat.(j) with
+    | At_lower -> 0.0
+    | At_upper -> t.range.(j)
+    | Basic _ -> assert false
+  in
+  let x_new = x_old +. (dir *. tstar) in
+  for i = 0 to t.m - 1 do
+    if i <> r then t.beta.(i) <- t.beta.(i) -. (dir *. t.a.(i).(j) *. tstar)
+  done;
+  t.beta.(r) <- x_new;
+  (* Leaving variable parks at the bound it hit. *)
+  let leaving = t.basis.(r) in
+  let delta_r = dir *. t.a.(r).(j) in
+  t.stat.(leaving) <- (if delta_r > 0.0 then At_lower else At_upper);
+  (* Row reduction: make column j a unit vector at row r. *)
+  let prow = t.a.(r) in
+  let piv = prow.(j) in
+  for c = 0 to t.cols - 1 do
+    prow.(c) <- prow.(c) /. piv
+  done;
+  for i = 0 to t.m - 1 do
+    if i <> r then begin
+      let f = t.a.(i).(j) in
+      if f <> 0.0 then begin
+        let row_i = t.a.(i) in
+        for c = 0 to t.cols - 1 do
+          row_i.(c) <- row_i.(c) -. (f *. prow.(c))
+        done;
+        row_i.(j) <- 0.0
+      end
+    end
+  done;
+  let zf = t.z.(j) in
+  if zf <> 0.0 then begin
+    for c = 0 to t.cols - 1 do
+      t.z.(c) <- t.z.(c) -. (zf *. prow.(c))
+    done;
+    t.z.(j) <- 0.0
+  end;
+  t.basis.(r) <- j;
+  t.stat.(j) <- Basic r
+
+(* Run pivots until optimal/unbounded/iteration cap. Returns iterations. *)
+let optimize t ~max_iters ~iters_used =
+  let iters = ref iters_used in
+  let bland_after = max 200 (10 * (t.m + t.cols)) in
+  let status = ref Optimal in
+  (try
+     let continue_ = ref true in
+     while !continue_ do
+       if !iters >= max_iters then begin
+         status := Iteration_limit;
+         continue_ := false
+       end
+       else begin
+         let bland = !iters - iters_used > bland_after in
+         let j = entering t ~bland in
+         if j < 0 then continue_ := false
+         else begin
+           incr iters;
+           let dir = match t.stat.(j) with
+             | At_lower -> 1.0
+             | At_upper -> -1.0
+             | Basic _ -> assert false
+           in
+           let tstar, r = ratio_test t j ~dir in
+           if r < 0 then do_bound_flip t j ~dir ~tstar
+           else do_pivot t j r ~dir ~tstar
+         end
+       end
+     done
+   with Unbounded_exc -> status := Unbounded);
+  (!status, !iters)
+
+let solve ?(max_iters = 50_000) ?lb ?ub (raw : Model.raw) =
+  let n = raw.n in
+  let lbv = match lb with Some a -> a | None -> raw.lb in
+  let ubv = match ub with Some a -> a | None -> raw.ub in
+  let m = Array.length raw.rows in
+  (* Quick infeasibility: crossed bounds. *)
+  let crossed = ref false in
+  for j = 0 to n - 1 do
+    if ubv.(j) < lbv.(j) -. feas_eps then crossed := true
+  done;
+  if !crossed then
+    { status = Infeasible; x = Array.make n 0.0; objective = 0.0; iterations = 0 }
+  else begin
+    (* Normalize rows: >= becomes <= (negated); compute shifted rhs. *)
+    let sign = Array.make m 1.0 in
+    let is_eq = Array.make m false in
+    Array.iteri
+      (fun i s ->
+        match (s : Model.sense) with
+        | Model.Ge -> sign.(i) <- -1.0
+        | Model.Eq -> is_eq.(i) <- true
+        | Model.Le -> ())
+      raw.senses;
+    let bshift = Array.make m 0.0 in
+    for i = 0 to m - 1 do
+      let acc = ref (sign.(i) *. raw.rhs.(i)) in
+      Array.iter
+        (fun (j, c) -> acc := !acc -. (sign.(i) *. c *. lbv.(j)))
+        raw.rows.(i);
+      bshift.(i) <- !acc
+    done;
+    (* Column layout: structural | slack per row | artificials as needed. *)
+    let need_artificial = Array.make m false in
+    for i = 0 to m - 1 do
+      if is_eq.(i) then need_artificial.(i) <- Float.abs bshift.(i) > feas_eps
+      else need_artificial.(i) <- bshift.(i) < -.feas_eps
+    done;
+    let n_art = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 need_artificial in
+    let cols = n + m + n_art in
+    let a = Array.init m (fun _ -> Array.make cols 0.0) in
+    let range = Array.make cols infinity in
+    for j = 0 to n - 1 do
+      range.(j) <- ubv.(j) -. lbv.(j)
+    done;
+    for i = 0 to m - 1 do
+      Array.iter (fun (j, c) -> a.(i).(j) <- a.(i).(j) +. (sign.(i) *. c)) raw.rows.(i);
+      a.(i).(n + i) <- 1.0;
+      range.(n + i) <- (if is_eq.(i) then 0.0 else infinity)
+    done;
+    let basis = Array.make m 0 in
+    let beta = Array.make m 0.0 in
+    let art = ref 0 in
+    for i = 0 to m - 1 do
+      if need_artificial.(i) then begin
+        let col = n + m + !art in
+        incr art;
+        (* Scale the row so the artificial enters with +1 and value >= 0. *)
+        if bshift.(i) < 0.0 then begin
+          for c = 0 to cols - 1 do
+            a.(i).(c) <- -.a.(i).(c)
+          done;
+          bshift.(i) <- -.bshift.(i)
+        end;
+        a.(i).(col) <- 1.0;
+        range.(col) <- infinity;
+        basis.(i) <- col;
+        beta.(i) <- bshift.(i)
+      end
+      else begin
+        basis.(i) <- n + i;
+        beta.(i) <- bshift.(i)
+      end
+    done;
+    let stat = Array.make cols At_lower in
+    Array.iteri (fun i j -> stat.(j) <- Basic i) basis;
+    let t =
+      { m; cols; a; beta; range; cost = Array.make cols 0.0; z = Array.make cols 0.0; stat; basis }
+    in
+    let finish status iters =
+      let x = Array.init n (fun j -> lbv.(j) +. value t j) in
+      let objective =
+        let acc = ref 0.0 in
+        for j = 0 to n - 1 do
+          acc := !acc +. (raw.obj.(j) *. x.(j))
+        done;
+        !acc
+      in
+      { status; x; objective; iterations = iters }
+    in
+    (* Phase 1 (only when artificials exist). *)
+    let phase1_result =
+      if n_art = 0 then Ok 0
+      else begin
+        for c = 0 to cols - 1 do
+          t.cost.(c) <- (if c >= n + m then 1.0 else 0.0)
+        done;
+        recompute_z t;
+        let status, iters = optimize t ~max_iters ~iters_used:0 in
+        match status with
+        | Iteration_limit -> Error (finish Iteration_limit iters)
+        | Unbounded -> Error (finish Infeasible iters) (* cannot happen *)
+        | Optimal | Infeasible ->
+            let infeas = ref 0.0 in
+            for c = n + m to cols - 1 do
+              infeas := !infeas +. value t c
+            done;
+            if !infeas > 1e-6 then Error (finish Infeasible iters)
+            else begin
+              (* Lock artificials at zero for phase 2. *)
+              for c = n + m to cols - 1 do
+                t.range.(c) <- 0.0
+              done;
+              Ok iters
+            end
+      end
+    in
+    match phase1_result with
+    | Error r -> r
+    | Ok iters1 ->
+        for c = 0 to cols - 1 do
+          t.cost.(c) <- (if c < n then raw.obj.(c) else 0.0)
+        done;
+        recompute_z t;
+        let status, iters = optimize t ~max_iters ~iters_used:iters1 in
+        finish status iters
+  end

@@ -1,0 +1,33 @@
+(** Bounded-variable two-phase primal simplex on a dense tableau.
+
+    Solves [min c·x  s.t.  A x {<=,=,>=} b,  l <= x <= u] with finite lower
+    bounds and possibly infinite upper bounds. Upper bounds are handled
+    implicitly (nonbasic-at-upper-bound states and bound flips), which is
+    what keeps the MILP's thousands of binaries out of the row space.
+
+    Phase 1 introduces artificial variables only for rows whose slack
+    cannot serve as an initial basic variable. Dantzig pricing with an
+    automatic switch to Bland's rule guards against cycling. *)
+
+type status =
+  | Optimal
+  | Infeasible
+  | Unbounded
+  | Iteration_limit  (** gave up; treat as unsolved *)
+
+type result = {
+  status : status;
+  x : float array;  (** structural variable values, length [raw.n] *)
+  objective : float;  (** [c·x] (no model constant), meaningful if Optimal *)
+  iterations : int;
+}
+
+val solve :
+  ?max_iters:int ->
+  ?lb:float array ->
+  ?ub:float array ->
+  Model.raw ->
+  result
+(** [solve raw] minimizes. [lb]/[ub] override the bounds in [raw] — this is
+    how branch-and-bound tightens bounds without rebuilding the model.
+    Default [max_iters] is [50_000]. *)

@@ -1,0 +1,46 @@
+type align = Left | Right
+type column = { title : string; align : align }
+
+let table ~columns rows =
+  let ncols = List.length columns in
+  List.iter
+    (fun r ->
+      if List.length r <> ncols then invalid_arg "Report.table: ragged row")
+    rows;
+  let widths =
+    List.mapi
+      (fun i c ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length c.title) rows)
+      columns
+  in
+  let buf = Buffer.create 1024 in
+  let pad align width s =
+    let fill = String.make (max 0 (width - String.length s)) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let emit_row cells =
+    List.iteri
+      (fun i cell ->
+        let c = List.nth columns i in
+        let w = List.nth widths i in
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad c.align w cell))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  emit_row (List.map (fun c -> c.title) columns);
+  let rule = List.fold_left (fun acc w -> acc + w + 2) (-2) widths in
+  Buffer.add_string buf (String.make rule '-');
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let pct ~reference value =
+  if reference <= 0 then ""
+  else
+    let delta = 100.0 *. float_of_int (value - reference) /. float_of_int reference in
+    Printf.sprintf "(%+.1f%%)" delta
+
+let f2 v = Printf.sprintf "%.2f" v

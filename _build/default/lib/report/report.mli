@@ -1,0 +1,18 @@
+(** Plain-text table rendering in the paper's style: fixed columns,
+    percentage deltas relative to a reference row. *)
+
+type align = Left | Right
+
+type column = { title : string; align : align }
+
+val table : columns:column list -> string list list -> string
+(** Renders rows under a header; every row must have as many cells as
+    there are columns.
+    @raise Invalid_argument on a ragged row. *)
+
+val pct : reference:int -> int -> string
+(** The paper's percentage format: [(-42.1%)] relative to [reference];
+    empty when the reference is the row itself or zero. *)
+
+val f2 : float -> string
+(** Two-decimal float. *)

@@ -1,0 +1,1 @@
+lib/rtl/rtl.ml: Buffer Fun Int64 Ir List Netlist Printf Sched

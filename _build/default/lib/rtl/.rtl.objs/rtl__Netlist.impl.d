@@ -1,0 +1,1 @@
+lib/rtl/netlist.ml: Array Bitdep Cuts Hashtbl Int64 Ir List Option Printf Sched String

@@ -1,0 +1,243 @@
+type signal = { name : string; width : int }
+
+type expr =
+  | Ref of signal
+  | Lit of { width : int; value : int64 }
+  | App of Ir.Op.t * expr list * int
+
+type instance = { kind : string; args : expr list; out : signal }
+type reg = { q : signal; d : expr; init : int64 }
+
+type t = {
+  module_name : string;
+  inputs : signal list;
+  wires : (signal * [ `Expr of expr | `Instance of instance ]) list;
+  regs : reg list;
+  outputs : (signal * expr) list;
+}
+
+let sanitize s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    s
+
+let of_design ?(module_name = "pipeline") g cover (sched : Sched.Schedule.t) =
+  (match Sched.Cover.validate g cover with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Netlist.of_design: invalid cover: " ^ e));
+  let n = Ir.Cdfg.num_nodes g in
+  let base v = Printf.sprintf "n%d_%s" v (sanitize (Ir.Cdfg.node_name g v)) in
+  let width = Ir.Cdfg.width g in
+  let is_const v =
+    match Ir.Cdfg.op g v with Ir.Op.Const _ -> true | _ -> false
+  in
+  (* Register stages per root (lifetime), and the reset value carried by
+     loop-carried edges out of the root. *)
+  let stages = Array.make n 0 in
+  let init_of = Array.make n 0L in
+  Array.iteri
+    (fun v c ->
+      match c with
+      | None -> ()
+      | Some (cut : Cuts.cut) ->
+          Bitdep.Int_set.iter
+            (fun w ->
+              Array.iter
+                (fun (e : Ir.Cdfg.edge) ->
+                  if
+                    (not (is_const e.src))
+                    && (e.dist > 0
+                       || not (Bitdep.Int_set.mem e.src cut.Cuts.cone))
+                  then begin
+                    let delay =
+                      sched.cycle.(v) + (sched.ii * e.dist)
+                      - sched.cycle.(e.src)
+                    in
+                    if delay > stages.(e.src) then stages.(e.src) <- delay;
+                    if e.dist > 0 then init_of.(e.src) <- e.init
+                  end)
+                (Ir.Cdfg.preds g w))
+            cut.Cuts.cone)
+    cover.Sched.Cover.chosen;
+  let sig_of v ~delay =
+    if delay <= 0 then { name = base v ^ "_c"; width = width v }
+    else { name = Printf.sprintf "%s_d%d" (base v) delay; width = width v }
+  in
+  let ref_value u ~delay =
+    match Ir.Cdfg.op g u with
+    | Ir.Op.Const c -> Lit { width = width u; value = c }
+    | _ -> Ref (sig_of u ~delay)
+  in
+  let rec expr_of cone root_cycle w =
+    let nd = Ir.Cdfg.node g w in
+    let operand i =
+      let e = nd.preds.(i) in
+      if e.Ir.Cdfg.dist > 0 || not (Bitdep.Int_set.mem e.src cone) then
+        let delay =
+          root_cycle + (sched.ii * e.Ir.Cdfg.dist) - sched.cycle.(e.src)
+        in
+        ref_value e.src ~delay
+      else expr_of cone root_cycle e.src
+    in
+    match nd.op with
+    | Ir.Op.Input _ | Ir.Op.Black_box _ -> ref_value w ~delay:0
+    | Ir.Op.Const c -> Lit { width = nd.width; value = c }
+    | op ->
+        let arity = Option.value (Ir.Op.arity op) ~default:0 in
+        App (op, List.init arity operand, nd.width)
+  in
+  let wires = ref [] and regs = ref [] in
+  List.iter
+    (fun v ->
+      match Sched.Cover.chosen cover v with
+      | None -> ()
+      | Some (cut : Cuts.cut) ->
+          (match Ir.Cdfg.op g v with
+          | Ir.Op.Const _ -> () (* hardwired; no signal *)
+          | Ir.Op.Input _ ->
+              wires :=
+                ( sig_of v ~delay:0,
+                  `Expr
+                    (Ref
+                       {
+                         name = sanitize (Ir.Cdfg.node_name g v);
+                         width = width v;
+                       }) )
+                :: !wires
+          | Ir.Op.Black_box { kind; _ } ->
+              let args =
+                Array.to_list
+                  (Array.map
+                     (fun (e : Ir.Cdfg.edge) ->
+                       let delay =
+                         sched.cycle.(v) + (sched.ii * e.dist)
+                         - sched.cycle.(e.src)
+                       in
+                       ref_value e.src ~delay)
+                     (Ir.Cdfg.preds g v))
+              in
+              wires :=
+                ( sig_of v ~delay:0,
+                  `Instance
+                    { kind = sanitize kind; args; out = sig_of v ~delay:0 } )
+                :: !wires
+          | _ ->
+              wires :=
+                (sig_of v ~delay:0, `Expr (expr_of cut.Cuts.cone sched.cycle.(v) v))
+                :: !wires);
+          for d = 1 to stages.(v) do
+            regs :=
+              {
+                q = sig_of v ~delay:d;
+                d = ref_value v ~delay:(d - 1);
+                init = init_of.(v);
+              }
+              :: !regs
+          done)
+    (Ir.Cdfg.topo_order g);
+  let inputs =
+    List.map
+      (fun v -> { name = sanitize (Ir.Cdfg.node_name g v); width = width v })
+      (Ir.Cdfg.inputs g)
+  in
+  let outputs =
+    List.mapi
+      (fun i v ->
+        ( {
+            name = Printf.sprintf "out%d_%s" i (sanitize (Ir.Cdfg.node_name g v));
+            width = width v;
+          },
+          ref_value v ~delay:0 ))
+      (Ir.Cdfg.outputs g)
+  in
+  {
+    module_name;
+    inputs;
+    wires = List.rev !wires;
+    regs = List.rev !regs;
+    outputs;
+  }
+
+let register_bits t =
+  List.fold_left (fun acc r -> acc + r.q.width) 0 t.regs
+
+let lut_expressions t =
+  List.fold_left
+    (fun acc (_, w) ->
+      match w with
+      | `Expr (App _) -> acc + 1
+      | `Expr (Ref _ | Lit _) | `Instance _ -> acc)
+    0 t.wires
+
+type sim_result = { cycles : int; outputs : (string * int64 array) list }
+
+let mask ~width v =
+  if width >= 64 then v
+  else Int64.logand v (Int64.sub (Int64.shift_left 1L width) 1L)
+
+let no_black_box ~kind _ =
+  invalid_arg ("Netlist.simulate: no handler for black box kind " ^ kind)
+
+let simulate ?(black_box = no_black_box) t ~cycles ~inputs =
+  let env : (string, int64) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace env r.q.name (mask ~width:r.q.width r.init)) t.regs;
+  let rec eval = function
+    | Lit { width; value } -> mask ~width value
+    | Ref s -> (
+        match Hashtbl.find_opt env s.name with
+        | Some v -> v
+        | None -> 0L (* uninitialized wire before first drive *))
+    | App (op, args, width) -> (
+        let vals = Array.of_list (List.map eval args) in
+        match op with
+        | Ir.Op.Concat ->
+            (* low operand width = total - high width *)
+            let high_w =
+              match args with
+              | [ h; _ ] -> (
+                  match h with
+                  | Ref s -> s.width
+                  | Lit { width; _ } -> width
+                  | App (_, _, w) -> w)
+              | _ -> invalid_arg "Netlist.simulate: concat arity"
+            in
+            let low_w = width - high_w in
+            mask ~width
+              (Int64.logor (Int64.shift_left vals.(0) low_w) vals.(1))
+        | _ -> Ir.Op.eval op ~width ~black_box:(fun ~kind _ -> black_box ~kind [||]) vals)
+  in
+  let out_arrays =
+    List.map (fun (s, _) -> (s.name, Array.make cycles 0L)) t.outputs
+  in
+  for cycle = 0 to cycles - 1 do
+    (* input ports *)
+    List.iter
+      (fun s ->
+        Hashtbl.replace env s.name
+          (mask ~width:s.width (inputs ~cycle ~name:s.name)))
+      t.inputs;
+    (* combinational settle, in dependency order *)
+    List.iter
+      (fun (s, w) ->
+        let v =
+          match w with
+          | `Expr e -> eval e
+          | `Instance { kind; args; _ } ->
+              black_box ~kind (Array.of_list (List.map eval args))
+        in
+        Hashtbl.replace env s.name (mask ~width:s.width v))
+      t.wires;
+    (* sample outputs *)
+    List.iter2
+      (fun (_, e) (_, arr) -> arr.(cycle) <- eval e)
+      t.outputs out_arrays;
+    (* clock edge: all registers update simultaneously *)
+    let next = List.map (fun r -> (r.q, eval r.d)) t.regs in
+    List.iter
+      (fun ((q : signal), v) -> Hashtbl.replace env q.name (mask ~width:q.width v))
+      next
+  done;
+  { cycles; outputs = out_arrays }

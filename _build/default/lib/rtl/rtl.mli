@@ -1,0 +1,28 @@
+(** Verilog emission: turn a verified (schedule, cover) pair into a
+    pipelined RTL module — the backend half of the HLS flow the paper
+    modifies. One wire per cover root, one register stage per cycle of a
+    value's lifetime, cone logic inlined as combinational expressions,
+    black boxes instantiated as external modules.
+
+    The emitted text is structural Verilog-2001; tests check its shape and
+    that its register count matches {!Sched.Qor}'s FF model exactly. *)
+
+type t = {
+  module_name : string;
+  source : string;  (** the Verilog text *)
+  register_bits : int;  (** total flip-flop bits emitted *)
+  lut_expressions : int;  (** combinational assigns emitted *)
+}
+
+val emit :
+  ?module_name:string ->
+  Ir.Cdfg.t ->
+  Sched.Cover.t ->
+  Sched.Schedule.t ->
+  t
+(** @raise Invalid_argument if the cover fails {!Sched.Cover.validate}. *)
+
+val write_file : path:string -> t -> unit
+
+module Netlist = Netlist
+(** The netlist IR and cycle-accurate simulator behind the emitter. *)

@@ -1,0 +1,1 @@
+lib/sched/cover.ml: Array Bitdep Cuts Fmt Ir List Printf

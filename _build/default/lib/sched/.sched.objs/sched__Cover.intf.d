@@ -1,0 +1,1 @@
+lib/sched/cover.mli: Cuts Fmt Ir

@@ -1,0 +1,1 @@
+lib/sched/heuristic.ml: Array Float Fmt Fpga Hashtbl Ir List Option Printf Schedule

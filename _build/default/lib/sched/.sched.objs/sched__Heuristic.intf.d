@@ -1,0 +1,1 @@
+lib/sched/heuristic.mli: Fmt Fpga Ir Schedule

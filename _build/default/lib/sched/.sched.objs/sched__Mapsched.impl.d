@@ -1,0 +1,1 @@
+lib/sched/mapsched.ml: Array Bitdep Cover Cuts Float Fpga Hashtbl Heuristic Ir List Option Printf Schedule Timing

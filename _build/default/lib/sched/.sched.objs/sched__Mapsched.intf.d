@@ -1,0 +1,1 @@
+lib/sched/mapsched.mli: Cover Fpga Heuristic Ir Schedule

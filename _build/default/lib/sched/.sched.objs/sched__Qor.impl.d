@@ -1,0 +1,1 @@
+lib/sched/qor.ml: Array Bitdep Cover Cuts Fmt Ir Schedule Timing

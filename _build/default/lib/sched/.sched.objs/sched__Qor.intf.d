@@ -1,0 +1,1 @@
+lib/sched/qor.mli: Cover Fmt Fpga Ir Schedule

@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Array Float Fmt Ir

@@ -1,0 +1,1 @@
+lib/sched/sdc.ml: Array Float Fpga Hashtbl Heuristic Ir List Lp Option Printf Schedule

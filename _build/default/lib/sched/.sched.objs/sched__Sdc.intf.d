@@ -1,0 +1,1 @@
+lib/sched/sdc.mli: Fpga Heuristic Ir Schedule

@@ -1,0 +1,1 @@
+lib/sched/timing.ml: Array Bitdep Cover Cuts Float Fpga Ir List Schedule

@@ -1,0 +1,1 @@
+lib/sched/timing.mli: Cover Fpga Ir Schedule

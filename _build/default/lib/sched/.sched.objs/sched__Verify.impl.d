@@ -1,0 +1,1 @@
+lib/sched/verify.ml: Array Bitdep Cover Cuts Float Fmt Fpga Hashtbl Ir List Option Schedule String Timing

@@ -1,0 +1,1 @@
+lib/sched/verify.mli: Cover Fpga Ir Schedule

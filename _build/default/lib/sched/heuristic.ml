@@ -1,0 +1,182 @@
+type error = Recurrence_too_tight of string | Resource_infeasible of string
+
+let pp_error ppf = function
+  | Recurrence_too_tight m -> Fmt.pf ppf "recurrence too tight: %s" m
+  | Resource_infeasible m -> Fmt.pf ppf "resource infeasible: %s" m
+
+let op_delay ~delays g v =
+  let op = Ir.Cdfg.op g v in
+  let width =
+    (* Arithmetic delay follows the operand width (a 1-bit compare of wide
+       operands still walks the whole carry chain). *)
+    match op with
+    | Ir.Op.Cmp _ -> Ir.Cdfg.width g (Ir.Cdfg.preds g v).(0).Ir.Cdfg.src
+    | _ -> Ir.Cdfg.width g v
+  in
+  Fpga.Delays.additive delays ~cls:(Ir.Op.classify op) ~width
+
+let op_latency ~device ~delays g v =
+  let d = op_delay ~delays g v in
+  int_of_float (floor (d /. Fpga.Device.usable_period device))
+
+let res_mii ~resources g =
+  let counts = Hashtbl.create 8 in
+  Ir.Cdfg.iter
+    (fun nd ->
+      match nd.op with
+      | Ir.Op.Black_box { resource; _ } ->
+          Hashtbl.replace counts resource
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts resource))
+      | _ -> ())
+    g;
+  Hashtbl.fold
+    (fun r used acc ->
+      match Fpga.Resource.limit resources r with
+      | None -> acc
+      | Some 0 -> max_int (* no units at all: no feasible II *)
+      | Some lim -> max acc ((used + lim - 1) / lim))
+    counts 1
+
+(* A candidate II is recurrence-feasible iff no dependence cycle carries
+   more combinational work than its registers grant it: with edge weights
+   d_u / T (fractional cycles of chained delay) minus II·dist for
+   registered edges, a positive cycle means the recurrence cannot close.
+   This is the continuous relaxation of the scheduling constraints — a
+   valid lower bound; the scheduler's fixed point does the exact check. *)
+let recurrence_feasible ~device ~delays ~ii g =
+  let n = Ir.Cdfg.num_nodes g in
+  let period = Fpga.Device.usable_period device in
+  let dist_arr = Array.make n 0.0 in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds <= n + 1 do
+    changed := false;
+    incr rounds;
+    Ir.Cdfg.iter
+      (fun nd ->
+        Array.iter
+          (fun (e : Ir.Cdfg.edge) ->
+            let w =
+              (op_delay ~delays g e.src /. period)
+              -. float_of_int (ii * e.dist)
+            in
+            if dist_arr.(e.src) +. w > dist_arr.(nd.id) +. 1e-9 then begin
+              dist_arr.(nd.id) <- dist_arr.(e.src) +. w;
+              changed := true
+            end)
+          nd.preds)
+      g
+  done;
+  not !changed
+
+let rec_mii ~device ~delays g =
+  let rec go ii =
+    if ii > 64 then 64
+    else if recurrence_feasible ~device ~delays ~ii g then ii
+    else go (ii + 1)
+  in
+  go 1
+
+let min_ii ~delays ~device ~resources g =
+  max (res_mii ~resources g) (rec_mii ~device ~delays g)
+
+let schedule ~device ~delays ~resources ~ii g =
+  if ii < 1 then invalid_arg "Heuristic.schedule: ii < 1";
+  let n = Ir.Cdfg.num_nodes g in
+  let period = Fpga.Device.usable_period device in
+  let cycle = Array.make n 0 in
+  let start = Array.make n 0.0 in
+  let order = Ir.Cdfg.topo_order g in
+  let max_cycle = 4 * (n + 16) in
+  let delay = op_delay ~delays g in
+  let lat = op_latency ~device ~delays g in
+  let round () =
+    let slot_use : (string * int, int) Hashtbl.t = Hashtbl.create 16 in
+    let slot_count key =
+      Option.value ~default:0 (Hashtbl.find_opt slot_use key)
+    in
+    let changed = ref false in
+    List.iter
+      (fun v ->
+        let preds = Ir.Cdfg.preds g v in
+        let cyc_lb = ref 0 in
+        Array.iter
+          (fun (e : Ir.Cdfg.edge) ->
+            let avail = cycle.(e.src) + lat e.src in
+            let lb =
+              if e.dist = 0 then avail else avail + 1 - (ii * e.dist)
+            in
+            if lb > !cyc_lb then cyc_lb := lb)
+          preds;
+        let arrivals_at c =
+          Array.fold_left
+            (fun acc (e : Ir.Cdfg.edge) ->
+              if e.dist = 0 && cycle.(e.src) + lat e.src = c then
+                let residual =
+                  delay e.src -. (float_of_int (lat e.src) *. period)
+                in
+                Float.max acc (start.(e.src) +. Float.max 0.0 residual)
+              else acc)
+            0.0 preds
+        in
+        let rec place c =
+          if c > max_cycle then (c, 0.0)
+          else
+            let l = arrivals_at c in
+            let fits =
+              (* multi-cycle operations start at the cycle boundary *)
+              if lat v >= 1 then l <= 1e-9
+              else l +. delay v <= period +. 1e-9
+            in
+            if not fits then place (c + 1)
+            else begin
+              (* modulo resource reservation for black boxes *)
+              match Ir.Cdfg.op g v with
+              | Ir.Op.Black_box { resource; _ } -> (
+                  match Fpga.Resource.limit resources resource with
+                  | Some lim when slot_count (resource, c mod ii) >= lim ->
+                      place (c + 1)
+                  | Some _ | None -> (c, l))
+              | _ -> (c, l)
+            end
+        in
+        let c, l = place !cyc_lb in
+        (match Ir.Cdfg.op g v with
+        | Ir.Op.Black_box { resource; _ } ->
+            let key = (resource, c mod ii) in
+            Hashtbl.replace slot_use key (slot_count key + 1)
+        | _ -> ());
+        if c <> cycle.(v) || Float.abs (l -. start.(v)) > 1e-9 then begin
+          changed := true;
+          cycle.(v) <- c;
+          start.(v) <- l
+        end)
+      order;
+    !changed
+  in
+  let rec iterate k = if k > 0 && round () then iterate (k - 1) in
+  iterate 100;
+  (* Validate loop-carried constraints and cycle bounds. *)
+  let too_tight = ref None in
+  Ir.Cdfg.iter
+    (fun nd ->
+      Array.iter
+        (fun (e : Ir.Cdfg.edge) ->
+          if e.dist > 0 then begin
+            let avail = cycle.(e.src) + lat e.src in
+            if avail + 1 > cycle.(nd.id) + (ii * e.dist) && !too_tight = None
+            then
+              too_tight :=
+                Some
+                  (Printf.sprintf "edge %s->%s (dist %d) at II=%d"
+                     (Ir.Cdfg.node_name g e.src)
+                     (Ir.Cdfg.node_name g nd.id)
+                     e.dist ii)
+          end)
+        nd.preds)
+    g;
+  let overflow = Array.exists (fun c -> c >= max_cycle) cycle in
+  match (!too_tight, overflow) with
+  | Some m, _ -> Error (Recurrence_too_tight m)
+  | None, true -> Error (Resource_infeasible "schedule did not converge")
+  | None, false -> Ok (Schedule.make ~ii ~cycle ~start)

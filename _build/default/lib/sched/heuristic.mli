@@ -1,0 +1,44 @@
+(** Additive-delay modulo scheduler — the stand-in for the commercial HLS
+    tool's heuristic (Sec. 4): list scheduling in topological order with
+    operation chaining under pre-characterized delays, iterated to a fixed
+    point over loop-carried dependences, with greedy modulo reservation of
+    black-box resources.
+
+    The scheduler is deliberately {e mapping-agnostic}: every operation
+    incurs its characterized delay, so a chain of cheap logic operations
+    fills the cycle long before a real LUT mapping would — exactly the
+    pessimism the paper's Figure 1 illustrates. *)
+
+type error =
+  | Recurrence_too_tight of string
+      (** a loop-carried cycle cannot meet the target II *)
+  | Resource_infeasible of string
+      (** black-box demand exceeds availability at the target II *)
+
+val op_delay : delays:Fpga.Delays.t -> Ir.Cdfg.t -> int -> float
+(** Characterized (additive-model) delay of one operation; comparisons are
+    charged for their operand width. Shared with the SDC scheduler. *)
+
+val op_latency :
+  device:Fpga.Device.t -> delays:Fpga.Delays.t -> Ir.Cdfg.t -> int -> int
+(** Whole cycles before the result is available under the additive model. *)
+
+val min_ii :
+  delays:Fpga.Delays.t -> device:Fpga.Device.t ->
+  resources:Fpga.Resource.budget -> Ir.Cdfg.t -> int
+(** [max (ResMII, RecMII)]: the classic lower bound on the initiation
+    interval (Rau's iterative modulo scheduling). *)
+
+val schedule :
+  device:Fpga.Device.t ->
+  delays:Fpga.Delays.t ->
+  resources:Fpga.Resource.budget ->
+  ii:int ->
+  Ir.Cdfg.t ->
+  (Schedule.t, error) result
+(** ASAP modulo schedule with chaining at the given [ii]. On success the
+    schedule satisfies all dependence, cycle-time and resource constraints
+    under the additive delay model (validated in tests via {!Verify} with a
+    trivial cover). *)
+
+val pp_error : error Fmt.t

@@ -1,0 +1,20 @@
+(** Cover-aware ASAP modulo scheduling: given a fixed LUT cover, schedule
+    the cover's roots with chaining under the mapped delay model.
+
+    This is the scalable {e map-first} heuristic the paper proposes as
+    future work (Sec. 5): choose the mapping up front (area-flow), then
+    schedule the mapped netlist — no MILP. It is used both as a flow of
+    its own and as the strongest warm start for the MILP-map solve. *)
+
+val schedule :
+  device:Fpga.Device.t ->
+  delays:Fpga.Delays.t ->
+  resources:Fpga.Resource.budget ->
+  ii:int ->
+  Ir.Cdfg.t ->
+  Cover.t ->
+  (Schedule.t, Heuristic.error) result
+(** Roots are placed ASAP in topological order with combinational chaining
+    of cone delays; cone-interior nodes inherit their owner's slot;
+    loop-carried dependences are resolved by fixed-point iteration;
+    black boxes reserve modulo resource slots greedily. *)

@@ -1,0 +1,33 @@
+(** Quality-of-result model: LUTs, flip-flops and achieved clock period for
+    a (schedule, cover) pair — the reproduction's stand-in for Vivado's
+    post-place-and-route utilization and timing reports (Table 1). *)
+
+type t = {
+  luts : int;
+  ffs : int;
+  cp : float;  (** achieved clock period, ns *)
+  latency : int;  (** pipeline latency in cycles *)
+  ii : int;
+}
+
+val evaluate :
+  device:Fpga.Device.t -> delays:Fpga.Delays.t -> Ir.Cdfg.t -> Cover.t ->
+  Schedule.t -> t
+(** LUTs: sum of selected cut areas. FFs: liveness-based — for every
+    physical value (root), [Bits(v)] flip-flops per cycle boundary between
+    its availability and its last use (Eq. 10–13 evaluated on a concrete
+    schedule); constants are hardwired and never registered. CP: longest
+    combinational chain ({!Timing.achieved_cp}). *)
+
+val ff_bits : Ir.Cdfg.t -> Cover.t -> Schedule.t ->
+  device:Fpga.Device.t -> delays:Fpga.Delays.t -> int
+(** The FF component alone (also used by formulation cross-checks). *)
+
+val regs_per_phase : Ir.Cdfg.t -> Cover.t -> Schedule.t ->
+  device:Fpga.Device.t -> delays:Fpga.Delays.t -> int array
+(** Eq. 13's [Reg(m)]: register bits live at each modulo phase
+    [m in 0..II-1] — operations exactly [II] cycles apart execute
+    concurrently in the pipeline, so each phase's liveness is a separate
+    register population. Sums to {!ff_bits}. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,34 @@
+(** SDC-based modulo scheduling — the {e system of difference constraints}
+    formulation used by the state-of-the-art HLS schedulers the paper
+    builds on (Zhang & Liu, ICCAD'13 [22]; Canis et al., FPL'14 [3]).
+
+    Cycle variables are continuous; every constraint has the difference
+    form [S_v - S_u >= c], whose constraint matrix is totally unimodular —
+    so the LP relaxation solves to an integral schedule without branching.
+    Register pressure is minimized through per-value lifetime variables
+    (also difference-form), which is SDC's analogue of the paper's Eq. 13
+    objective under the additive delay model.
+
+    Chaining awareness: for every pair of nodes connected by a
+    combinational path whose accumulated characterized delay exceeds the
+    clock period, a difference constraint forces them apart by the
+    appropriate number of cycles.
+
+    Modulo resource constraints are not expressible as differences; they
+    are enforced by iterative conflict resolution — solve, detect a phase
+    conflict, add an ordering constraint, re-solve (the FPL'14 recipe). *)
+
+val schedule :
+  device:Fpga.Device.t ->
+  delays:Fpga.Delays.t ->
+  resources:Fpga.Resource.budget ->
+  ii:int ->
+  Ir.Cdfg.t ->
+  (Schedule.t, Heuristic.error) result
+(** The returned schedule satisfies all dependence, cycle-time and modulo
+    resource constraints under the additive delay model (same contract as
+    {!Heuristic.schedule}, validated by {!Verify} in tests). *)
+
+val lp_stats : unit -> int * int
+(** (LP solves, simplex pivots) since the program started — diagnostics
+    for the bench harness. *)

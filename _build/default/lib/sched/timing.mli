@@ -1,0 +1,38 @@
+(** Timing queries shared by schedule verification, QoR evaluation and the
+    downstream mapper.
+
+    Timing discipline (DESIGN.md):
+    - an intra-iteration ([dist = 0]) edge to a cut leaf may chain
+      combinationally when producer and consumer share a cycle;
+    - cone-interior nodes share their root's cycle and start time;
+    - loop-carried ([dist > 0]) edges always cross a register: the value is
+      produced in cycle [S_u + lat_u] and can be read no earlier than the
+      next cycle, arriving at time 0. *)
+
+val node_delay :
+  device:Fpga.Device.t -> delays:Fpga.Delays.t -> Ir.Cdfg.t -> Cover.t ->
+  int -> float
+(** Combinational delay charged to node [v]: its selected cut's delay for
+    roots, [0] for interior nodes (their delay is inside the owning cone). *)
+
+val node_latency :
+  device:Fpga.Device.t -> delays:Fpga.Delays.t -> Ir.Cdfg.t -> Cover.t ->
+  int -> int
+(** Extra whole cycles before the result is available
+    ([floor (delay / usable period)]); 0 for everything faster than a
+    cycle. *)
+
+val recompute_starts :
+  device:Fpga.Device.t -> delays:Fpga.Delays.t -> Ir.Cdfg.t -> Cover.t ->
+  Schedule.t -> Schedule.t
+(** Keep cycle assignments, recompute every start time as the earliest
+    arrival under the cover's delays (ASAP within each cycle). Used to
+    obtain post-mapping timing for flows that scheduled with additive
+    delays, mirroring how Vivado re-times the tool's fixed schedule. *)
+
+val achieved_cp :
+  device:Fpga.Device.t -> delays:Fpga.Delays.t -> Ir.Cdfg.t -> Cover.t ->
+  Schedule.t -> float
+(** Longest combinational finish time in any cycle — the reproduction's
+    stand-in for post-place-and-route achieved clock period. Never below
+    one LUT delay (register-to-register paths). *)

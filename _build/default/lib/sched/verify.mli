@@ -1,0 +1,26 @@
+(** Legality checking of (schedule, cover) pairs against the paper's full
+    constraint system — the reproduction's ground truth, used to validate
+    both the MILP's output and the heuristic baseline in tests and after
+    every synthesis run. *)
+
+type context = {
+  device : Fpga.Device.t;
+  delays : Fpga.Delays.t;
+  resources : Fpga.Resource.budget;
+}
+
+val check :
+  context -> Ir.Cdfg.t -> Cover.t -> Schedule.t -> (unit, string list) result
+(** All violated constraints (empty list never returned). Checked:
+    - cover structure ({!Cover.validate}: Eq. 2–4);
+    - cycle-time: every root fits its cycle, [L_v + d_v <= T] (Eq. 8);
+    - dependences: leaves available before use, chaining arrival order
+      within a cycle (Eq. 7, 9), registered edges cross at least one cycle;
+    - modulo resource limits for black boxes (Eq. 14).
+
+    Cone-interior nodes carry no physical timing (a K-feasible cone is one
+    LUT level), so no constraint is placed on their [S]/[L] entries — a
+    deliberate relaxation of the paper's Eq. 9 equality, see DESIGN.md. *)
+
+val check_exn : context -> Ir.Cdfg.t -> Cover.t -> Schedule.t -> unit
+(** @raise Failure with all violations joined, for test assertions. *)

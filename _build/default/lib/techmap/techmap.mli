@@ -1,0 +1,58 @@
+(** Downstream technology mapping: per-stage LUT covering of an already
+    scheduled CDFG (the reproduction's stand-in for Vivado logic synthesis
+    after the HLS tool fixed the pipeline registers).
+
+    The mapper must respect the schedule's register boundaries — a cone may
+    only absorb nodes from the same clock cycle. This is precisely the
+    structural pessimism the paper identifies: downstream mapping cannot
+    shorten a pipeline that the scheduler already cut at the wrong places
+    (Sec. 1).
+
+    Covering uses the classic area-flow heuristic: in topological order
+    each node is assigned its cheapest cut by
+    [area + Σ flow(leaf) / fanout(leaf)], then a cover is extracted
+    backward from the stage outputs. *)
+
+val required_roots : Ir.Cdfg.t -> Sched.Schedule.t -> bool array
+(** Nodes that must exist as physical signals given the schedule: primary
+    outputs, inputs, constants, black boxes, producers consumed in another
+    cycle (or through a loop-carried edge), and operands of black boxes. *)
+
+val map_schedule :
+  device:Fpga.Device.t ->
+  delays:Fpga.Delays.t ->
+  cuts:Cuts.t ->
+  Ir.Cdfg.t ->
+  Sched.Schedule.t ->
+  Sched.Cover.t
+(** Cover every required root with stage-local cones of minimum area flow.
+    The result always passes {!Sched.Cover.validate}. *)
+
+val map_exact :
+  ?time_limit:float ->
+  device:Fpga.Device.t ->
+  delays:Fpga.Delays.t ->
+  cuts:Cuts.t ->
+  Ir.Cdfg.t ->
+  Sched.Schedule.t ->
+  Sched.Cover.t option
+(** ILP minimum-area covering (cf. the paper's reference [7], here
+    cut-based): binary cut-selection variables, Eq. 2–4 cover constraints,
+    [min Σ area·c], warm-started from {!map_schedule}'s area-flow cover.
+    Stage-local like {!map_schedule}. [None] if the MILP finds nothing
+    within [time_limit] (default 10 s) — callers fall back to the
+    heuristic. Exact-vs-heuristic is DESIGN.md ablation A5. *)
+
+val map_global :
+  device:Fpga.Device.t ->
+  delays:Fpga.Delays.t ->
+  cuts:Cuts.t ->
+  Ir.Cdfg.t ->
+  Sched.Cover.t
+(** Area-flow covering of the whole graph with no register boundaries —
+    the mapping half of the map-first heuristic ({!Sched.Mapsched}). *)
+
+val stage_depth :
+  device:Fpga.Device.t -> delays:Fpga.Delays.t -> Ir.Cdfg.t ->
+  Sched.Cover.t -> Sched.Schedule.t -> float
+(** Longest mapped combinational path in any stage (diagnostic). *)

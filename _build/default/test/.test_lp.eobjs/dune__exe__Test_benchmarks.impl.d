@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Array Benchmarks Fmt Gen Int64 Ir List Printf QCheck QCheck_alcotest Scanf String

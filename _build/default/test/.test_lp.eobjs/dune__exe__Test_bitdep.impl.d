@@ -1,0 +1,1 @@
+test/test_bitdep.ml: Alcotest Bitdep Fmt Gen Ir List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_cuts.ml: Alcotest Array Benchmarks Bitdep Cuts Fpga Gen Int Ir List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Benchmarks Fpga Fun Ir List Mams Printf Sched

@@ -1,0 +1,1 @@
+test/test_formulation.ml: Alcotest Array Benchmarks Cuts Fpga Ir List Lp Mams Sched String

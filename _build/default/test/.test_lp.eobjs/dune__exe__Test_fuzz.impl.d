@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Array Bitdep Cuts Fpga Gen Hashtbl Int64 Ir List Mams Opt Printf QCheck QCheck_alcotest Rtl Sched

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Benchmarks Gen Int64 Ir List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Benchmarks Fpga Hashtbl Int64 Ir List Mams Opt Option

@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Array Benchmarks Cuts Filename Fpga Hashtbl Int64 Ir List Mams Rtl Sched String Sys Techmap

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Benchmarks Cuts Fpga Ir List Mams Printf Sched String Techmap

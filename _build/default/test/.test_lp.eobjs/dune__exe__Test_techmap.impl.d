@@ -1,0 +1,1 @@
+test/test_techmap.ml: Alcotest Array Benchmarks Bitdep Cuts Fpga Ir List Printf Sched Techmap

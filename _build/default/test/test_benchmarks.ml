@@ -1,0 +1,284 @@
+(* Cross-checks of every Table 1 benchmark CDFG against its software
+   reference model, via the bit-accurate simulator. *)
+
+let i64 = Alcotest.testable (Fmt.fmt "%Ld") Int64.equal
+
+let eval1 ?black_box g inputs =
+  let trace =
+    Ir.Eval.run ?black_box g ~iterations:1 ~inputs:(fun ~iter:_ ~name ->
+        inputs name)
+  in
+  Ir.Eval.outputs_of g trace ~iter:0
+
+(* --- CLZ --------------------------------------------------------------- *)
+
+let clz_matches =
+  QCheck.Test.make ~name:"clz matches reference" ~count:300
+    QCheck.(make Gen.(map Int64.of_int (int_bound 0xffff)))
+    (fun v ->
+      let g = Benchmarks.Clz.build ~width:16 () in
+      match eval1 g (fun _ -> v) with
+      | [ (_, got) ] -> Int64.equal got (Benchmarks.Clz.reference ~width:16 v)
+      | _ -> false)
+
+let test_clz_corners () =
+  let g = Benchmarks.Clz.build ~width:16 () in
+  let run v =
+    match eval1 g (fun _ -> v) with
+    | [ (_, got) ] -> got
+    | _ -> Alcotest.fail "one output expected"
+  in
+  Alcotest.check i64 "clz 0" 16L (run 0L);
+  Alcotest.check i64 "clz 1" 15L (run 1L);
+  Alcotest.check i64 "clz msb" 0L (run 0x8000L);
+  Alcotest.check i64 "clz 0x0100" 7L (run 0x0100L)
+
+let test_clz_width8 () =
+  let g = Benchmarks.Clz.build ~width:8 () in
+  for v = 0 to 255 do
+    match eval1 g (fun _ -> Int64.of_int v) with
+    | [ (_, got) ] ->
+        Alcotest.check i64
+          (Printf.sprintf "clz8 %d" v)
+          (Benchmarks.Clz.reference ~width:8 (Int64.of_int v))
+          got
+    | _ -> Alcotest.fail "one output expected"
+  done
+
+(* --- XORR -------------------------------------------------------------- *)
+
+let xorr_matches =
+  QCheck.Test.make ~name:"xorr matches reference" ~count:200
+    QCheck.(make Gen.(list_repeat 8 (map Int64.of_int (int_bound 255))))
+    (fun data ->
+      let g = Benchmarks.Xorr.build ~elements:8 ~width:8 ~mix_depth:3 () in
+      let arr = Array.of_list data in
+      let inputs name =
+        Scanf.sscanf name "a%d" (fun i -> arr.(i))
+      in
+      match eval1 g inputs with
+      | [ (_, got) ] ->
+          Int64.equal got
+            (Benchmarks.Xorr.reference ~elements:8 ~width:8 ~mix_depth:3 data)
+      | _ -> false)
+
+(* --- GFMUL ------------------------------------------------------------- *)
+
+let gfmul_matches =
+  QCheck.Test.make ~name:"gfmul matches reference" ~count:256
+    QCheck.(make Gen.(pair (int_bound 15) (int_bound 15)))
+    (fun (a, b) ->
+      let g = Benchmarks.Gfmul.build ~width:4 () in
+      let inputs = function
+        | "a" -> Int64.of_int a
+        | "b" -> Int64.of_int b
+        | _ -> 0L
+      in
+      match eval1 g inputs with
+      | [ (_, got) ] ->
+          Int64.equal got
+            (Benchmarks.Gfmul.reference ~width:4 ~a:(Int64.of_int a)
+               ~b:(Int64.of_int b))
+      | _ -> false)
+
+let test_gfmul_identities () =
+  let g = Benchmarks.Gfmul.build ~width:4 () in
+  let mul a b =
+    let inputs = function "a" -> a | "b" -> b | _ -> 0L in
+    match eval1 g inputs with
+    | [ (_, got) ] -> got
+    | _ -> Alcotest.fail "one output"
+  in
+  Alcotest.check i64 "x * 0 = 0" 0L (mul 7L 0L);
+  Alcotest.check i64 "x * 1 = x" 7L (mul 7L 1L);
+  Alcotest.check i64 "commutative" (mul 5L 9L) (mul 9L 5L)
+
+(* --- CORDIC ------------------------------------------------------------ *)
+
+let cordic_matches =
+  QCheck.Test.make ~name:"cordic matches reference" ~count:200
+    QCheck.(make Gen.(triple (int_bound 255) (int_bound 255) (int_bound 255)))
+    (fun (x, y, z) ->
+      let g = Benchmarks.Cordic.build ~width:8 ~iterations:4 () in
+      let inputs = function
+        | "x0" -> Int64.of_int x
+        | "y0" -> Int64.of_int y
+        | "z0" -> Int64.of_int z
+        | _ -> 0L
+      in
+      let ex, ey, ez =
+        Benchmarks.Cordic.reference ~width:8 ~iterations:4
+          ~x0:(Int64.of_int x) ~y0:(Int64.of_int y) ~z0:(Int64.of_int z)
+      in
+      match eval1 g inputs with
+      | [ (_, gx); (_, gy); (_, gz) ] ->
+          Int64.equal gx ex && Int64.equal gy ey && Int64.equal gz ez
+      | _ -> false)
+
+(* --- MT ---------------------------------------------------------------- *)
+
+let mt_matches =
+  QCheck.Test.make ~name:"mt matches reference over iterations" ~count:100
+    QCheck.(make Gen.(list_size (int_range 1 12) (map Int64.of_int (int_bound 0xffff))))
+    (fun entropy ->
+      let g = Benchmarks.Mt.build ~width:16 () in
+      let arr = Array.of_list entropy in
+      let trace =
+        Ir.Eval.run g ~iterations:(Array.length arr)
+          ~inputs:(fun ~iter ~name:_ -> arr.(iter))
+      in
+      let out = List.hd (Ir.Cdfg.outputs g) in
+      let rec model state i =
+        if i >= Array.length arr then true
+        else
+          let next, y =
+            Benchmarks.Mt.reference ~width:16 ~state ~x:arr.(i)
+          in
+          Int64.equal y trace.(i).(out) && model next (i + 1)
+      in
+      model 0x1234L 0)
+
+(* --- AES --------------------------------------------------------------- *)
+
+let aes_matches =
+  QCheck.Test.make ~name:"aes round matches reference" ~count:200
+    QCheck.(make Gen.(pair (list_repeat 4 (int_bound 255)) (list_repeat 4 (int_bound 255))))
+    (fun (a, k) ->
+      let g = Benchmarks.Aes.build () in
+      let aa = Array.of_list a and ka = Array.of_list k in
+      let inputs name =
+        Scanf.sscanf name "%c%d" (fun c i ->
+            match c with
+            | 'a' -> Int64.of_int aa.(i)
+            | 'k' -> Int64.of_int ka.(i)
+            | _ -> 0L)
+      in
+      let expect = Benchmarks.Aes.reference ~a:aa ~k:ka in
+      match eval1 ~black_box:Benchmarks.Aes.black_box_handler g inputs with
+      | [ (_, o0); (_, o1); (_, o2); (_, o3) ] ->
+          [ o0; o1; o2; o3 ]
+          = List.map Int64.of_int (Array.to_list expect)
+      | _ -> false)
+
+let test_aes_sbox_involution_free () =
+  (* spot-check a few S-box values against the published table *)
+  Alcotest.(check int) "sbox 0" 0x63 (Benchmarks.Aes.sbox 0);
+  Alcotest.(check int) "sbox 0x53" 0xed (Benchmarks.Aes.sbox 0x53);
+  Alcotest.(check int) "sbox 0xff" 0x16 (Benchmarks.Aes.sbox 0xff)
+
+(* --- DR ---------------------------------------------------------------- *)
+
+let dr_matches =
+  QCheck.Test.make ~name:"dr matches reference" ~count:256
+    QCheck.(make Gen.(int_bound 255))
+    (fun p ->
+      let g = Benchmarks.Dr.build ~width:8 ~count:2 () in
+      match eval1 g (fun _ -> Int64.of_int p) with
+      | [ (_, got) ] ->
+          Int64.equal got
+            (Benchmarks.Dr.reference ~width:8 ~count:2 ~p:(Int64.of_int p))
+      | _ -> false)
+
+let test_dr_exact_template_hit () =
+  let templates = Benchmarks.Dr.templates ~width:8 ~count:2 in
+  let g = Benchmarks.Dr.build ~width:8 ~count:2 () in
+  List.iteri
+    (fun i t ->
+      match eval1 g (fun _ -> t) with
+      | [ (_, got) ] ->
+          Alcotest.check i64
+            (Printf.sprintf "template %d matches itself" i)
+            (Int64.of_int i) got
+      | _ -> Alcotest.fail "one output")
+    templates
+
+(* --- GSM --------------------------------------------------------------- *)
+
+let gsm_matches =
+  QCheck.Test.make ~name:"gsm matches reference" ~count:256
+    QCheck.(make Gen.(pair (int_bound 4095) (int_bound 15)))
+    (fun (s, c) ->
+      let g = Benchmarks.Gsm.build ~width:12 ~stages:3 () in
+      let inputs = function
+        | "s" -> Int64.of_int s
+        | "c" -> Int64.of_int c
+        | _ -> 0L
+      in
+      match
+        eval1 ~black_box:(Benchmarks.Gsm.black_box_handler ~width:12) g inputs
+      with
+      | [ (_, got) ] ->
+          Int64.equal got
+            (Benchmarks.Gsm.reference ~width:12 ~stages:3 ~s:(Int64.of_int s)
+               ~c:(Int64.of_int c))
+      | _ -> false)
+
+let test_gsm_saturates () =
+  let g = Benchmarks.Gsm.build ~width:12 ~stages:3 () in
+  let run s c =
+    let inputs = function
+      | "s" -> Int64.of_int s
+      | "c" -> Int64.of_int c
+      | _ -> 0L
+    in
+    match
+      eval1 ~black_box:(Benchmarks.Gsm.black_box_handler ~width:12) g inputs
+    with
+    | [ (_, got) ] -> got
+    | _ -> Alcotest.fail "one output"
+  in
+  (* extremes never exceed the rails *)
+  let hi = 3072L and lo = 1024L in
+  List.iter
+    (fun (s, c) ->
+      let v = run s c in
+      Alcotest.(check bool)
+        (Printf.sprintf "clamped (%d,%d)" s c)
+        true
+        (Int64.unsigned_compare v hi <= 0 && Int64.unsigned_compare v lo >= 0))
+    [ (4095, 15); (0, 0); (2048, 7) ]
+
+(* --- registry ---------------------------------------------------------- *)
+
+let test_registry_complete () =
+  let names = List.map (fun (e : Benchmarks.Registry.entry) -> e.name)
+      Benchmarks.Registry.all in
+  Alcotest.(check (list string)) "paper order"
+    [ "CLZ"; "XORR"; "GFMUL"; "CORDIC"; "MT"; "AES"; "RS"; "DR"; "GSM" ]
+    names;
+  List.iter
+    (fun n -> ignore (Benchmarks.Registry.find (String.lowercase_ascii n)))
+    names
+
+let test_registry_graphs_validate () =
+  List.iter
+    (fun (e : Benchmarks.Registry.entry) ->
+      let g = e.build () in
+      match Ir.Cdfg.validate g with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "%s: %s" e.name msg)
+    Benchmarks.Registry.all
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "benchmarks"
+    [
+      ( "corner cases",
+        [
+          Alcotest.test_case "clz corners" `Quick test_clz_corners;
+          Alcotest.test_case "clz exhaustive w8" `Quick test_clz_width8;
+          Alcotest.test_case "gfmul identities" `Quick test_gfmul_identities;
+          Alcotest.test_case "aes sbox" `Quick test_aes_sbox_involution_free;
+          Alcotest.test_case "dr template hit" `Quick test_dr_exact_template_hit;
+          Alcotest.test_case "gsm saturates" `Quick test_gsm_saturates;
+          Alcotest.test_case "registry complete" `Quick test_registry_complete;
+          Alcotest.test_case "graphs validate" `Quick test_registry_graphs_validate;
+        ] );
+      ( "reference models",
+        qsuite
+          [
+            clz_matches; xorr_matches; gfmul_matches; cordic_matches;
+            mt_matches; aes_matches; dr_matches; gsm_matches;
+          ] );
+    ]

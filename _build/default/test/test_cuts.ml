@@ -1,0 +1,243 @@
+(* Tests for word-level cut enumeration (paper Algorithm 1, Fig. 2). *)
+
+let enumerate ?params g = Cuts.enumerate ?params ~k:4 g
+
+let test_trivial_first () =
+  let b = Ir.Builder.create () in
+  let x = Ir.Builder.input b ~width:4 "x" in
+  let y = Ir.Builder.input b ~width:4 "y" in
+  let o = Ir.Builder.xor_ b x y in
+  Ir.Builder.output b o;
+  let g = Ir.Builder.finish b in
+  let cuts = enumerate g in
+  Array.iteri
+    (fun v cs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d has cuts" v)
+        true
+        (Array.length cs >= 1);
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d first cut trivial" v)
+        true
+        (Cuts.is_trivial cs.(0)))
+    cuts
+
+let xor_chain n =
+  let b = Ir.Builder.create () in
+  let x0 = Ir.Builder.input b ~width:2 "x0" in
+  let rec go i acc =
+    if i > n then acc
+    else
+      let xi = Ir.Builder.input b ~width:2 (Printf.sprintf "x%d" i) in
+      go (i + 1) (Ir.Builder.xor_ b acc xi)
+  in
+  let o = go 1 x0 in
+  Ir.Builder.output b o;
+  Ir.Builder.finish b
+
+let test_chain_merging () =
+  (* chain of 3 xors, K=4: the last node can absorb both earlier xors
+     (support = 4 input bits per output bit). *)
+  let g = xor_chain 3 in
+  let cuts = enumerate g in
+  let last = Ir.Cdfg.num_nodes g - 1 in
+  let deepest =
+    Array.fold_left
+      (fun acc (c : Cuts.cut) -> max acc (Bitdep.Int_set.cardinal c.cone))
+      0 cuts.(last)
+  in
+  Alcotest.(check int) "cone of 3 xors" 3 deepest
+
+let test_k_feasibility_respected () =
+  let g = xor_chain 5 in
+  let cuts = enumerate g in
+  Array.iter
+    (fun cs ->
+      Array.iter
+        (fun (c : Cuts.cut) ->
+          if not (Cuts.is_trivial c) then
+            Alcotest.(check bool) "support <= K" true (c.support <= 4))
+        cs)
+    cuts
+
+let test_inputs_never_absorbed () =
+  let g = xor_chain 4 in
+  let cuts = enumerate g in
+  Array.iter
+    (fun cs ->
+      Array.iter
+        (fun (c : Cuts.cut) ->
+          Bitdep.Int_set.iter
+            (fun w ->
+              if w <> c.root then
+                match Ir.Cdfg.op g w with
+                | Ir.Op.Input _ -> Alcotest.fail "input inside a cone"
+                | _ -> ())
+            c.cone)
+        cs)
+    cuts
+
+let test_black_box_trivial_only () =
+  let b = Ir.Builder.create () in
+  let x = Ir.Builder.input b ~width:4 "x" in
+  let r = Ir.Builder.black_box b ~kind:"rom" ~resource:"bram_port" ~width:4 [ x ] in
+  let o = Ir.Builder.xor_ b r x in
+  Ir.Builder.output b o;
+  let g = Ir.Builder.finish b in
+  let cuts = enumerate g in
+  Alcotest.(check int) "bb has only the trivial cut" 1 (Array.length cuts.(1));
+  (* the consumer cannot absorb the black box *)
+  Array.iter
+    (fun (c : Cuts.cut) ->
+      Alcotest.(check bool) "bb not in cone" false
+        (c.root <> 1 && Bitdep.Int_set.mem 1 c.cone))
+    cuts.(2)
+
+let test_registered_edges_are_boundaries () =
+  let b = Ir.Builder.create () in
+  let x = Ir.Builder.input b ~width:4 "x" in
+  let cell = Ir.Builder.feedback b ~width:4 ~init:0L ~dist:1 in
+  let nxt = Ir.Builder.xor_ b x cell in
+  Ir.Builder.drive b ~cell nxt;
+  let o = Ir.Builder.not_ b nxt in
+  Ir.Builder.output b o;
+  let g = Ir.Builder.finish b in
+  let cuts = enumerate g in
+  (* No cone may contain the xor's recurrence "source" side: every cut of
+     the not-node that absorbs the xor must list the xor as a leaf (the
+     registered operand). *)
+  Array.iter
+    (fun (c : Cuts.cut) ->
+      if Bitdep.Int_set.mem 1 c.cone (* xor absorbed *) then
+        Alcotest.(check bool) "xor also a leaf (registered)" true
+          (List.mem 1 c.leaves))
+    cuts.(2)
+
+let test_figure2_msb_cut () =
+  (* Figure 2's key cut: the comparison "B >= 0" only reads B's MSB, so a
+     cone over {C, B} has per-bit support {t[msb], A-side msb} and stays
+     4-feasible even though B is 2 bits of xor. *)
+  let g = Benchmarks.Rs.kernel ~width:2 () in
+  let cuts = enumerate g in
+  (* find node C (the cmp) *)
+  let c_id = ref (-1) in
+  Ir.Cdfg.iter
+    (fun nd ->
+      match nd.op with Ir.Op.Cmp _ -> c_id := nd.id | _ -> ())
+    g;
+  Alcotest.(check bool) "cmp found" true (!c_id >= 0);
+  let has_deep_cut =
+    Array.exists
+      (fun (c : Cuts.cut) -> Bitdep.Int_set.cardinal c.cone >= 2)
+      cuts.(!c_id)
+  in
+  Alcotest.(check bool) "C absorbs the xor through MSB narrowing" true
+    has_deep_cut
+
+let test_area_wire_zero () =
+  let b = Ir.Builder.create () in
+  let x = Ir.Builder.input b ~width:8 "x" in
+  let s = Ir.Builder.shr b x 2 in
+  Ir.Builder.output b s;
+  let g = Ir.Builder.finish b in
+  let cuts = enumerate g in
+  Alcotest.(check int) "shift costs nothing" 0 cuts.(1).(0).Cuts.area
+
+let test_area_arith_carry_chain () =
+  let b = Ir.Builder.create () in
+  let x = Ir.Builder.input b ~width:8 "x" in
+  let y = Ir.Builder.input b ~width:8 "y" in
+  let s = Ir.Builder.add b x y in
+  Ir.Builder.output b s;
+  let g = Ir.Builder.finish b in
+  let cuts = enumerate g in
+  Alcotest.(check int) "adder is one LUT per bit" 8 cuts.(2).(0).Cuts.area
+
+let test_delay_classes () =
+  let device = Fpga.Device.make ~t_clk:10.0 () in
+  let delays = Fpga.Delays.default in
+  let b = Ir.Builder.create () in
+  let x = Ir.Builder.input b ~width:8 "x" in
+  let y = Ir.Builder.input b ~width:8 "y" in
+  let l = Ir.Builder.xor_ b x y in
+  let a = Ir.Builder.add b x y in
+  let w = Ir.Builder.shr b x 1 in
+  Ir.Builder.output b l;
+  Ir.Builder.output b a;
+  Ir.Builder.output b w;
+  let g = Ir.Builder.finish b in
+  let cuts = enumerate g in
+  let d v = Cuts.delay ~device ~delays g cuts.(v).(0) in
+  Alcotest.(check (float 1e-9)) "logic = one LUT" 0.9 (d 2);
+  Alcotest.(check bool) "arith keeps carry-chain delay" true (d 3 > 1.0);
+  Alcotest.(check (float 1e-9)) "wire free" 0.0 (d 4)
+
+let test_pruning_cap () =
+  let g = Benchmarks.Xorr.build ~elements:8 ~width:8 ~mix_depth:3 () in
+  let params = { (Cuts.default_params ~k:4) with max_cuts = 3 } in
+  let cuts = enumerate ~params g in
+  Array.iter
+    (fun cs ->
+      Alcotest.(check bool) "per-node cap" true (Array.length cs <= 4))
+    cuts
+
+let test_trivial_only () =
+  let g = xor_chain 3 in
+  let cuts = Cuts.trivial_only g in
+  Array.iter
+    (fun cs ->
+      Alcotest.(check int) "single cut" 1 (Array.length cs);
+      Alcotest.(check bool) "trivial" true (Cuts.is_trivial cs.(0)))
+    cuts
+
+(* Structural invariants on random-ish benchmark graphs. *)
+let cut_invariants =
+  QCheck.Test.make ~name:"cut invariants on benchmark graphs" ~count:9
+    QCheck.(make Gen.(int_range 0 8))
+    (fun i ->
+      let e = List.nth Benchmarks.Registry.all i in
+      let g = e.Benchmarks.Registry.build () in
+      let cuts = enumerate g in
+      Array.for_all
+        (fun cs ->
+          Array.length cs >= 1
+          && Cuts.is_trivial cs.(0)
+          && Array.for_all
+               (fun (c : Cuts.cut) ->
+                 (* root in cone, leaves disjoint from cone *)
+                 Bitdep.Int_set.mem c.root c.cone
+                 && List.for_all
+                      (fun l -> not (Bitdep.Int_set.mem l c.cone))
+                      c.leaves
+                 && List.sort_uniq Int.compare c.leaves = c.leaves
+                 && c.area >= 0
+                 && (Cuts.is_trivial c || c.support <= 4))
+               cs)
+        cuts)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "cuts"
+    [
+      ( "enumeration",
+        [
+          Alcotest.test_case "trivial first" `Quick test_trivial_first;
+          Alcotest.test_case "chain merging" `Quick test_chain_merging;
+          Alcotest.test_case "K-feasibility" `Quick test_k_feasibility_respected;
+          Alcotest.test_case "inputs stay leaves" `Quick test_inputs_never_absorbed;
+          Alcotest.test_case "black box trivial" `Quick test_black_box_trivial_only;
+          Alcotest.test_case "registered boundaries" `Quick
+            test_registered_edges_are_boundaries;
+          Alcotest.test_case "figure 2 msb cut" `Quick test_figure2_msb_cut;
+          Alcotest.test_case "pruning cap" `Quick test_pruning_cap;
+          Alcotest.test_case "trivial only" `Quick test_trivial_only;
+        ] );
+      ( "cost model",
+        [
+          Alcotest.test_case "wire area" `Quick test_area_wire_zero;
+          Alcotest.test_case "carry chain area" `Quick test_area_arith_carry_chain;
+          Alcotest.test_case "delay classes" `Quick test_delay_classes;
+        ] );
+      ("invariants", qsuite [ cut_invariants ]);
+    ]

@@ -1,0 +1,110 @@
+(* Tests for the device model, delay characterization and resource
+   budgets. *)
+
+let test_device_defaults () =
+  let d = Fpga.Device.default in
+  Alcotest.(check int) "k" 4 d.Fpga.Device.k;
+  Alcotest.(check (float 1e-9)) "period" 10.0 (Fpga.Device.usable_period d);
+  Alcotest.(check int) "levels" 11 (Fpga.Device.levels_per_cycle d)
+
+let test_device_figure1 () =
+  let d = Fpga.Device.figure1 in
+  Alcotest.(check (float 1e-9)) "t_clk" 5.0 d.Fpga.Device.t_clk;
+  Alcotest.(check int) "levels at 2ns LUTs" 2 (Fpga.Device.levels_per_cycle d)
+
+let test_device_validation () =
+  let raises f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "k < 2" true
+    (raises (fun () -> ignore (Fpga.Device.make ~k:1 ~t_clk:10.0 ())));
+  Alcotest.(check bool) "negative delay" true
+    (raises (fun () -> ignore (Fpga.Device.make ~lut_delay:(-1.0) ~t_clk:10.0 ())));
+  Alcotest.(check bool) "period shorter than one LUT" true
+    (raises (fun () -> ignore (Fpga.Device.make ~lut_delay:2.0 ~t_clk:1.0 ())))
+
+let test_device_uncertainty () =
+  let d = Fpga.Device.make ~t_clk:10.0 ~clock_uncertainty:1.5 () in
+  Alcotest.(check (float 1e-9)) "usable" 8.5 (Fpga.Device.usable_period d)
+
+let test_delays_classes () =
+  let t = Fpga.Delays.default in
+  let d cls width = Fpga.Delays.additive t ~cls ~width in
+  Alcotest.(check (float 1e-9)) "wire free" 0.0 (d Fpga.Op_class.Wire 32);
+  Alcotest.(check (float 1e-9)) "logic flat" 1.37 (d Fpga.Op_class.Logic 32);
+  Alcotest.(check bool) "arith grows with width" true
+    (d Fpga.Op_class.Arith 32 > d Fpga.Op_class.Arith 8);
+  Alcotest.(check bool) "bram characterized" true
+    (d (Fpga.Op_class.Black_box "bram_port") 8 > 1.0);
+  (* unknown black-box class falls back to logic *)
+  Alcotest.(check (float 1e-9)) "unknown bb" 1.37
+    (d (Fpga.Op_class.Black_box "mystery") 8)
+
+let test_delays_latency_cycles () =
+  let device = Fpga.Device.make ~t_clk:5.0 () in
+  let t = Fpga.Delays.make ~black_box:[ ("slow", 12.0) ] () in
+  Alcotest.(check int) "sub-cycle op" 0
+    (Fpga.Delays.latency_cycles t ~device ~cls:Fpga.Op_class.Logic ~width:8);
+  Alcotest.(check int) "multi-cycle bb" 2
+    (Fpga.Delays.latency_cycles t ~device
+       ~cls:(Fpga.Op_class.Black_box "slow") ~width:8)
+
+let test_delays_with_logic () =
+  let t = Fpga.Delays.default in
+  let t' = Fpga.Delays.with_logic t ~logic:0.9 in
+  Alcotest.(check (float 1e-9)) "overridden" 0.9
+    (Fpga.Delays.additive t' ~cls:Fpga.Op_class.Logic ~width:8);
+  Alcotest.(check (float 1e-9)) "arith untouched"
+    (Fpga.Delays.additive t ~cls:Fpga.Op_class.Arith ~width:8)
+    (Fpga.Delays.additive t' ~cls:Fpga.Op_class.Arith ~width:8)
+
+let test_resource_budget () =
+  let b = Fpga.Resource.of_list [ ("dsp", 2); ("bram_port", 4) ] in
+  Alcotest.(check (option int)) "dsp" (Some 2) (Fpga.Resource.limit b "dsp");
+  Alcotest.(check (option int)) "unlimited class" None
+    (Fpga.Resource.limit b "uram");
+  Alcotest.(check (list string)) "classes" [ "bram_port"; "dsp" ]
+    (Fpga.Resource.classes b);
+  Alcotest.(check (list string)) "unlimited" []
+    (Fpga.Resource.classes Fpga.Resource.unlimited)
+
+let test_resource_validation () =
+  let raises f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "negative" true
+    (raises (fun () -> ignore (Fpga.Resource.of_list [ ("x", -1) ])));
+  Alcotest.(check bool) "duplicate" true
+    (raises (fun () -> ignore (Fpga.Resource.of_list [ ("x", 1); ("x", 2) ])))
+
+let test_op_class_predicates () =
+  Alcotest.(check bool) "bb is black box" true
+    (Fpga.Op_class.is_black_box (Fpga.Op_class.Black_box "dsp"));
+  Alcotest.(check bool) "logic mappable" true
+    (Fpga.Op_class.is_mappable Fpga.Op_class.Logic);
+  Alcotest.(check bool) "bb not mappable" false
+    (Fpga.Op_class.is_mappable (Fpga.Op_class.Black_box "dsp"));
+  Alcotest.(check bool) "equal" true
+    (Fpga.Op_class.equal (Fpga.Op_class.Black_box "a") (Fpga.Op_class.Black_box "a"));
+  Alcotest.(check bool) "not equal" false
+    (Fpga.Op_class.equal (Fpga.Op_class.Black_box "a") Fpga.Op_class.Wire)
+
+let () =
+  Alcotest.run "fpga"
+    [
+      ( "device",
+        [
+          Alcotest.test_case "defaults" `Quick test_device_defaults;
+          Alcotest.test_case "figure1" `Quick test_device_figure1;
+          Alcotest.test_case "validation" `Quick test_device_validation;
+          Alcotest.test_case "uncertainty" `Quick test_device_uncertainty;
+        ] );
+      ( "delays",
+        [
+          Alcotest.test_case "classes" `Quick test_delays_classes;
+          Alcotest.test_case "latency cycles" `Quick test_delays_latency_cycles;
+          Alcotest.test_case "with_logic" `Quick test_delays_with_logic;
+        ] );
+      ( "resources",
+        [
+          Alcotest.test_case "budget" `Quick test_resource_budget;
+          Alcotest.test_case "validation" `Quick test_resource_validation;
+          Alcotest.test_case "op classes" `Quick test_op_class_predicates;
+        ] );
+    ]

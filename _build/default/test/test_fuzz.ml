@@ -1,0 +1,261 @@
+(* Fuzzing: random word-level CDFGs pushed through the complete synthesis
+   flows. Every generated graph must (a) validate, (b) simulate, (c) be
+   schedulable by the heuristic, SDC and map-first flows with verified
+   results, and (d) produce an RTL netlist whose cycle-accurate simulation
+   matches the dataflow semantics. *)
+
+type gen_state = {
+  b : Ir.Builder.t;
+  mutable pool : (int * Ir.Builder.value) list;  (* width, node value *)
+  mutable consumed : Ir.Builder.value list;
+  mutable rng : int;
+}
+
+let rand st bound =
+  (* xorshift-ish deterministic PRNG so failures replay *)
+  let x = st.rng in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  st.rng <- x land max_int;
+  st.rng mod max 1 bound
+
+let widths = [| 1; 2; 4; 8 |]
+
+let pick_of_width st w =
+  let candidates = List.filter (fun (w', _) -> w' = w) st.pool in
+  match candidates with
+  | [] ->
+      let v = Ir.Builder.const st.b ~width:w (Int64.of_int (rand st (1 lsl min w 12))) in
+      st.pool <- (w, v) :: st.pool;
+      v
+  | l ->
+      let _, v = List.nth l (rand st (List.length l)) in
+      st.consumed <- v :: st.consumed;
+      v
+
+let push st w v = st.pool <- (w, v) :: st.pool
+
+let add_random_op st =
+  let w = widths.(rand st (Array.length widths)) in
+  match rand st 12 with
+  | 0 | 1 | 2 ->
+      let x = pick_of_width st w and y = pick_of_width st w in
+      let v =
+        match rand st 3 with
+        | 0 -> Ir.Builder.xor_ st.b x y
+        | 1 -> Ir.Builder.and_ st.b x y
+        | _ -> Ir.Builder.or_ st.b x y
+      in
+      push st w v
+  | 3 ->
+      let x = pick_of_width st w in
+      push st w (Ir.Builder.not_ st.b x)
+  | 4 | 5 ->
+      let x = pick_of_width st w and y = pick_of_width st w in
+      let v = if rand st 2 = 0 then Ir.Builder.add st.b x y else Ir.Builder.sub st.b x y in
+      push st w v
+  | 6 ->
+      let x = pick_of_width st w in
+      let s = 1 + rand st (max 1 (w - 1)) in
+      let v = if rand st 2 = 0 then Ir.Builder.shl st.b x s else Ir.Builder.shr st.b x s in
+      push st w v
+  | 7 ->
+      let x = pick_of_width st w and y = pick_of_width st w in
+      let cmps = [| Ir.Op.Eq; Ir.Op.Ne; Ir.Op.Lt; Ir.Op.Le; Ir.Op.Gt; Ir.Op.Ge |] in
+      push st 1 (Ir.Builder.cmp st.b cmps.(rand st 6) x y)
+  | 8 ->
+      let c = pick_of_width st 1 in
+      let x = pick_of_width st w and y = pick_of_width st w in
+      push st w (Ir.Builder.mux st.b ~cond:c x y)
+  | 9 ->
+      if w > 1 then begin
+        let x = pick_of_width st w in
+        let lo = rand st (w - 1) in
+        let hi = lo + rand st (w - lo) in
+        push st (hi - lo + 1) (Ir.Builder.slice st.b x ~lo ~hi)
+      end
+  | 10 ->
+      let wh = widths.(rand st 2) (* 1 or 2 *) in
+      let h = pick_of_width st wh and l = pick_of_width st w in
+      push st (wh + w) (Ir.Builder.concat st.b h l)
+  | _ ->
+      let x = pick_of_width st w in
+      push st w
+        (Ir.Builder.black_box st.b ~kind:"f" ~resource:"bram_port" ~width:w
+           [ x ])
+
+let bb_handler ~kind args =
+  match kind with
+  | "f" -> Int64.add args.(0) 1L
+  | _ -> invalid_arg "unexpected black box"
+
+let build_random seed =
+  let st =
+    { b = Ir.Builder.create (); pool = []; consumed = []; rng = (seed * 2 + 1) land max_int }
+  in
+  let n_inputs = 2 + rand st 3 in
+  for i = 0 to n_inputs - 1 do
+    let w = widths.(rand st (Array.length widths)) in
+    push st w (Ir.Builder.input st.b ~width:w (Printf.sprintf "in%d" i))
+  done;
+  (* optional recurrence *)
+  let cell =
+    if rand st 2 = 0 then begin
+      let w = widths.(1 + rand st (Array.length widths - 1)) in
+      let c =
+        Ir.Builder.feedback st.b ~width:w ~init:(Int64.of_int (rand st 200))
+          ~dist:(1 + rand st 2)
+      in
+      push st w c;
+      Some (w, c)
+    end
+    else None
+  in
+  let ops = 8 + rand st 16 in
+  for _ = 1 to ops do
+    add_random_op st
+  done;
+  (* drive the recurrence with a same-width node (never the cell itself) *)
+  (match cell with
+  | None -> ()
+  | Some (w, c) ->
+      let x = pick_of_width st w and y = pick_of_width st w in
+      let driver = Ir.Builder.xor_ st.b x y in
+      ignore c;
+      Ir.Builder.drive st.b ~cell:c driver);
+  (* outputs: everything not consumed (feedback cells excluded), so all
+     nodes stay live *)
+  let is_cell v = match cell with Some (_, c) -> v == c | None -> false in
+  let unconsumed =
+    List.filter
+      (fun (_, v) -> (not (List.memq v st.consumed)) && not (is_cell v))
+      st.pool
+  in
+  (match unconsumed with
+  | [] ->
+      (* everything consumed: emit a fresh sink so the graph has an output *)
+      let x = pick_of_width st 4 and y = pick_of_width st 4 in
+      Ir.Builder.output st.b (Ir.Builder.xor_ st.b x y)
+  | l -> List.iter (fun (_, v) -> Ir.Builder.output st.b v) l);
+  Ir.Builder.finish st.b
+
+let device = Fpga.Device.make ~t_clk:10.0 ()
+
+let check_flow g method_ =
+  let setup =
+    { (Mams.Flow.default_setup ~device) with time_limit = 5.0 }
+  in
+  match Mams.Flow.run setup method_ g with
+  | Error e ->
+      QCheck.Test.fail_reportf "%s failed: %s" (Mams.Flow.method_name method_) e
+  | Ok r ->
+      (* pipeline vs dataflow equivalence *)
+      let iterations = 8 in
+      let stim ~iter ~name =
+        Int64.of_int ((Hashtbl.hash (name, iter) land 0xffff) + iter)
+      in
+      let trace =
+        Ir.Eval.run ~black_box:bb_handler g ~iterations ~inputs:stim
+      in
+      let nl = Rtl.Netlist.of_design g r.cover r.schedule in
+      let cycles = iterations + Sched.Schedule.latency r.schedule in
+      let sim =
+        Rtl.Netlist.simulate ~black_box:bb_handler nl ~cycles
+          ~inputs:(fun ~cycle ~name -> stim ~iter:cycle ~name)
+      in
+      List.iteri
+        (fun i po ->
+          let _, arr = List.nth sim.Rtl.Netlist.outputs i in
+          let s_po = r.schedule.Sched.Schedule.cycle.(po) in
+          for k = 0 to iterations - 1 do
+            let cyc = k + s_po in
+            if cyc < cycles && not (Int64.equal arr.(cyc) trace.(k).(po)) then
+              QCheck.Test.fail_reportf
+                "%s: output %d mismatch at iteration %d: rtl 0x%Lx <> 0x%Lx"
+                (Mams.Flow.method_name method_)
+                po k arr.(cyc) trace.(k).(po)
+          done)
+        (Ir.Cdfg.outputs g);
+      true
+
+let graph_is_sane =
+  QCheck.Test.make ~name:"random graphs validate and simulate" ~count:150
+    QCheck.(make Gen.(int_bound 100_000))
+    (fun seed ->
+      let g = build_random seed in
+      (match Ir.Cdfg.validate g with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_reportf "invalid graph: %s" e);
+      let trace =
+        Ir.Eval.run ~black_box:bb_handler g ~iterations:3
+          ~inputs:(fun ~iter ~name -> Int64.of_int (iter + Hashtbl.hash name land 0xff))
+      in
+      Array.length trace = 3)
+
+let cuts_are_sound =
+  QCheck.Test.make ~name:"random graphs: cut invariants" ~count:60
+    QCheck.(make Gen.(int_bound 100_000))
+    (fun seed ->
+      let g = build_random seed in
+      let cuts = Cuts.enumerate ~k:4 g in
+      Array.for_all
+        (fun cs ->
+          Array.length cs >= 1
+          && Cuts.is_trivial cs.(0)
+          && Array.for_all
+               (fun (c : Cuts.cut) ->
+                 Bitdep.Int_set.mem c.Cuts.root c.Cuts.cone
+                 (* a self-recurrent node may be its own (registered)
+                    leaf; all other leaves stay outside the cone *)
+                 && List.for_all
+                      (fun l ->
+                        l = c.Cuts.root
+                        || not (Bitdep.Int_set.mem l c.Cuts.cone))
+                      c.Cuts.leaves
+                 && (Cuts.is_trivial c || c.Cuts.support <= 4))
+               cs)
+        cuts)
+
+let simplify_preserves_semantics =
+  QCheck.Test.make ~name:"random graphs: simplify preserves semantics"
+    ~count:120
+    QCheck.(make Gen.(int_bound 100_000))
+    (fun seed ->
+      let g = build_random seed in
+      let g', _ = Opt.simplify g in
+      (match Ir.Cdfg.validate g' with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_reportf "invalid after simplify: %s" e);
+      if Ir.Cdfg.num_nodes g' > Ir.Cdfg.num_nodes g then
+        QCheck.Test.fail_reportf "simplify grew the graph";
+      let run gg =
+        let trace =
+          Ir.Eval.run ~black_box:bb_handler gg ~iterations:5
+            ~inputs:(fun ~iter ~name ->
+              Int64.of_int ((Hashtbl.hash (name, iter) land 0xffff) + iter))
+        in
+        List.init 5 (fun i ->
+            List.map snd (Ir.Eval.outputs_of gg trace ~iter:i))
+      in
+      run g = run g')
+
+let flows_verify_and_match =
+  QCheck.Test.make ~name:"random graphs: flows verify, rtl = dataflow"
+    ~count:60
+    QCheck.(make Gen.(int_bound 100_000))
+    (fun seed ->
+      let g = build_random seed in
+      List.for_all
+        (fun m -> check_flow g m)
+        [ Mams.Flow.Hls_tool; Mams.Flow.Sdc_tool; Mams.Flow.Map_heuristic ])
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ("graphs", qsuite [ graph_is_sane; cuts_are_sound ]);
+      ("opt", qsuite [ simplify_preserves_semantics ]);
+      ("flows", qsuite [ flows_verify_and_match ]);
+    ]

@@ -1,0 +1,254 @@
+(* Tests for the CDFG IR: builder, validation, topological order,
+   simulation (including loop-carried recurrences), and the RS benchmark
+   reference models. *)
+
+let build_simple () =
+  (* out = (a xor b) and (a shifted) *)
+  let b = Ir.Builder.create () in
+  let a = Ir.Builder.input b ~width:8 "a" in
+  let bb = Ir.Builder.input b ~width:8 "b" in
+  let x = Ir.Builder.xor_ b a bb in
+  let s = Ir.Builder.shr b a 2 in
+  let o = Ir.Builder.and_ b x s in
+  Ir.Builder.output b o;
+  Ir.Builder.finish b
+
+let test_build_and_validate () =
+  let g = build_simple () in
+  Alcotest.(check int) "node count" 5 (Ir.Cdfg.num_nodes g);
+  (match Ir.Cdfg.validate g with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "validate: %s" e);
+  Alcotest.(check int) "outputs" 1 (List.length (Ir.Cdfg.outputs g))
+
+let test_topo_order () =
+  let g = build_simple () in
+  let order = Ir.Cdfg.topo_order g in
+  Alcotest.(check int) "covers all nodes" (Ir.Cdfg.num_nodes g)
+    (List.length order);
+  let pos = Array.make (Ir.Cdfg.num_nodes g) 0 in
+  List.iteri (fun i v -> pos.(v) <- i) order;
+  Ir.Cdfg.iter
+    (fun nd ->
+      Array.iter
+        (fun (e : Ir.Cdfg.edge) ->
+          if e.dist = 0 then
+            Alcotest.(check bool)
+              "pred before succ" true
+              (pos.(e.src) < pos.(nd.id)))
+        nd.preds)
+    g
+
+let test_width_inference () =
+  let b = Ir.Builder.create () in
+  let a = Ir.Builder.input b ~width:8 "a" in
+  let s = Ir.Builder.slice b a ~lo:2 ~hi:5 in
+  Alcotest.(check int) "slice width" 4 (Ir.Builder.width_of b s);
+  let c = Ir.Builder.cmp b Ir.Op.Lt a a in
+  Alcotest.(check int) "cmp width" 1 (Ir.Builder.width_of b c);
+  let k = Ir.Builder.concat b s c in
+  Alcotest.(check int) "concat width" 5 (Ir.Builder.width_of b k)
+
+let test_width_mismatch_rejected () =
+  let b = Ir.Builder.create () in
+  let a = Ir.Builder.input b ~width:8 "a" in
+  let c = Ir.Builder.input b ~width:4 "c" in
+  Alcotest.(check bool) "xor of mixed widths raises" true
+    (try
+       ignore (Ir.Builder.xor_ b a c);
+       false
+     with Invalid_argument _ -> true)
+
+let test_undriven_feedback_rejected () =
+  let b = Ir.Builder.create () in
+  let a = Ir.Builder.input b ~width:4 "a" in
+  let cell = Ir.Builder.feedback b ~width:4 ~init:0L ~dist:1 in
+  let x = Ir.Builder.xor_ b a cell in
+  Ir.Builder.output b x;
+  Alcotest.(check bool) "finish raises" true
+    (try
+       ignore (Ir.Builder.finish b);
+       false
+     with Invalid_argument _ -> true)
+
+let test_no_output_rejected () =
+  let b = Ir.Builder.create () in
+  ignore (Ir.Builder.input b ~width:4 "a");
+  Alcotest.(check bool) "finish raises" true
+    (try
+       ignore (Ir.Builder.finish b);
+       false
+     with Invalid_argument _ -> true)
+
+let test_eval_combinational () =
+  let g = build_simple () in
+  let inputs ~iter:_ ~name =
+    match name with "a" -> 0xAAL | "b" -> 0x0FL | _ -> 0L
+  in
+  let trace = Ir.Eval.run g ~iterations:1 ~inputs in
+  let out = List.hd (Ir.Cdfg.outputs g) in
+  (* (0xAA xor 0x0F) and (0xAA >> 2) = 0xA5 and 0x2A = 0x20 *)
+  Alcotest.(check int64) "value" 0x20L trace.(0).(out)
+
+let test_eval_ops () =
+  let b = Ir.Builder.create () in
+  let a = Ir.Builder.input b ~width:4 "a" in
+  let c7 = Ir.Builder.const b ~width:4 7L in
+  let sum = Ir.Builder.add b a c7 in
+  let diff = Ir.Builder.sub b a c7 in
+  let lt = Ir.Builder.cmp b Ir.Op.Lt a c7 in
+  let m = Ir.Builder.mux b ~cond:lt sum diff in
+  let n = Ir.Builder.not_ b a in
+  Ir.Builder.output b m;
+  Ir.Builder.output b n;
+  let g = Ir.Builder.finish b in
+  let run v =
+    let trace =
+      Ir.Eval.run g ~iterations:1 ~inputs:(fun ~iter:_ ~name:_ -> v)
+    in
+    Ir.Eval.outputs_of g trace ~iter:0
+  in
+  (match run 3L with
+  | [ (_, m); (_, n) ] ->
+      Alcotest.(check int64) "mux takes sum (3<7)" 10L m;
+      Alcotest.(check int64) "not 3 (4 bits)" 12L n
+  | _ -> Alcotest.fail "expected two outputs");
+  match run 9L with
+  | [ (_, m); _ ] ->
+      (* 9 >= 7 -> diff = 9-7 = 2 *)
+      Alcotest.(check int64) "mux takes diff (9>=7)" 2L m
+  | _ -> Alcotest.fail "expected two outputs"
+
+let test_eval_recurrence () =
+  (* acc <- acc + in, dist 1: a running sum. *)
+  let b = Ir.Builder.create () in
+  let x = Ir.Builder.input b ~width:16 "x" in
+  let acc = Ir.Builder.feedback b ~width:16 ~init:0L ~dist:1 in
+  let next = Ir.Builder.add b x acc in
+  Ir.Builder.drive b ~cell:acc next;
+  Ir.Builder.output b next;
+  let g = Ir.Builder.finish b in
+  let trace =
+    Ir.Eval.run g ~iterations:5 ~inputs:(fun ~iter ~name:_ ->
+        Int64.of_int (iter + 1))
+  in
+  let out = List.hd (Ir.Cdfg.outputs g) in
+  (* partial sums 1, 3, 6, 10, 15 *)
+  Alcotest.(check int64) "iter 0" 1L trace.(0).(out);
+  Alcotest.(check int64) "iter 2" 6L trace.(2).(out);
+  Alcotest.(check int64) "iter 4" 15L trace.(4).(out)
+
+let test_eval_init_value () =
+  let b = Ir.Builder.create () in
+  let x = Ir.Builder.input b ~width:8 "x" in
+  let cell = Ir.Builder.feedback b ~width:8 ~init:0x55L ~dist:2 in
+  let next = Ir.Builder.xor_ b x cell in
+  Ir.Builder.drive b ~cell next;
+  Ir.Builder.output b next;
+  let g = Ir.Builder.finish b in
+  let trace =
+    Ir.Eval.run g ~iterations:3 ~inputs:(fun ~iter:_ ~name:_ -> 0xFFL)
+  in
+  let out = List.hd (Ir.Cdfg.outputs g) in
+  (* iters 0 and 1 see the init value 0x55 *)
+  Alcotest.(check int64) "iter 0 uses init" 0xAAL trace.(0).(out);
+  Alcotest.(check int64) "iter 1 uses init" 0xAAL trace.(1).(out);
+  (* iter 2 sees iter 0's result *)
+  Alcotest.(check int64) "iter 2 uses iter 0" 0x55L trace.(2).(out)
+
+let test_black_box_eval () =
+  let b = Ir.Builder.create () in
+  let a = Ir.Builder.input b ~width:8 "a" in
+  let s =
+    Ir.Builder.black_box b ~kind:"sbox" ~resource:"bram_port" ~width:8 [ a ]
+  in
+  Ir.Builder.output b s;
+  let g = Ir.Builder.finish b in
+  let black_box ~kind args =
+    Alcotest.(check string) "kind" "sbox" kind;
+    Int64.add args.(0) 1L
+  in
+  let trace =
+    Ir.Eval.run ~black_box g ~iterations:1
+      ~inputs:(fun ~iter:_ ~name:_ -> 41L)
+  in
+  Alcotest.(check int64) "bb result" 42L trace.(0).(List.hd (Ir.Cdfg.outputs g))
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_dot_export () =
+  let g = build_simple () in
+  let dot = Ir.Dot.to_string g in
+  Alcotest.(check bool) "mentions digraph" true
+    (String.length dot > 0 && String.sub dot 0 7 = "digraph");
+  let dot2 = Ir.Dot.to_string ~cycle_of:(fun v -> v mod 2) g in
+  Alcotest.(check bool) "has clusters" true (contains dot2 "cluster")
+
+(* The RS kernel CDFG agrees with its reference model over many steps. *)
+let rs_kernel_matches_reference =
+  QCheck.Test.make ~name:"rs kernel matches software model" ~count:100
+    QCheck.(make Gen.(list_size (int_range 1 20) (map Int64.of_int (int_bound 255))))
+    (fun data ->
+      let width = 8 in
+      let g = Benchmarks.Rs.kernel ~width () in
+      let arr = Array.of_list data in
+      let trace =
+        Ir.Eval.run g ~iterations:(Array.length arr)
+          ~inputs:(fun ~iter ~name:_ -> arr.(iter))
+      in
+      let out = List.hd (Ir.Cdfg.outputs g) in
+      let rec model state i =
+        if i >= Array.length arr then true
+        else
+          let next, expect =
+            Benchmarks.Rs.kernel_reference ~width ~t:arr.(i) ~state
+          in
+          Int64.equal expect trace.(i).(out) && model next (i + 1)
+      in
+      model 0L 0)
+
+let rs_full_matches_reference =
+  QCheck.Test.make ~name:"rs full encoder matches software model" ~count:60
+    QCheck.(make Gen.(list_size (int_range 1 12) (map Int64.of_int (int_bound 15))))
+    (fun data ->
+      let width = 4 and taps = 4 in
+      let g = Benchmarks.Rs.full ~width ~taps () in
+      let arr = Array.of_list data in
+      let trace =
+        Ir.Eval.run g ~iterations:(Array.length arr)
+          ~inputs:(fun ~iter ~name:_ -> arr.(iter))
+      in
+      let expect = Benchmarks.Rs.full_reference ~width ~taps ~data in
+      let out = List.hd (Ir.Cdfg.outputs g) in
+      let last = Array.length arr - 1 in
+      Int64.equal (List.nth expect (taps - 1)) trace.(last).(out))
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "ir"
+    [
+      ( "builder",
+        [
+          Alcotest.test_case "build and validate" `Quick test_build_and_validate;
+          Alcotest.test_case "topo order" `Quick test_topo_order;
+          Alcotest.test_case "width inference" `Quick test_width_inference;
+          Alcotest.test_case "width mismatch" `Quick test_width_mismatch_rejected;
+          Alcotest.test_case "undriven feedback" `Quick
+            test_undriven_feedback_rejected;
+          Alcotest.test_case "no output" `Quick test_no_output_rejected;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "combinational" `Quick test_eval_combinational;
+          Alcotest.test_case "arith/mux/not" `Quick test_eval_ops;
+          Alcotest.test_case "recurrence" `Quick test_eval_recurrence;
+          Alcotest.test_case "init value" `Quick test_eval_init_value;
+          Alcotest.test_case "black box" `Quick test_black_box_eval;
+          Alcotest.test_case "dot export" `Quick test_dot_export;
+        ] );
+      ("rs-model", qsuite [ rs_kernel_matches_reference; rs_full_matches_reference ]);
+    ]

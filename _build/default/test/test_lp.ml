@@ -1,0 +1,387 @@
+(* Tests for the LP/MILP solver substrate: hand-checked LPs, statuses,
+   bound handling, and randomized cross-checks against brute force. *)
+
+let feq ?(eps = 1e-6) a b = Float.abs (a -. b) <= eps
+
+let check_lp_obj name expected r =
+  Alcotest.(check bool) (name ^ ": optimal") true (r.Lp.Simplex.status = Lp.Simplex.Optimal);
+  if not (feq expected r.Lp.Simplex.objective) then
+    Alcotest.failf "%s: objective %g, expected %g" name r.Lp.Simplex.objective
+      expected
+
+let solve_model m = Lp.Simplex.solve (Lp.Model.to_raw m)
+
+let test_min_single () =
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var m "x" in
+  Lp.Model.add_ge m [ (1.0, x) ] 3.0;
+  Lp.Model.set_objective m [ (1.0, x) ];
+  check_lp_obj "min x, x>=3" 3.0 (solve_model m)
+
+let test_max_2d () =
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var m "x" in
+  let y = Lp.Model.add_var m "y" in
+  Lp.Model.add_le m [ (1.0, x); (1.0, y) ] 4.0;
+  Lp.Model.add_le m [ (1.0, x) ] 2.0;
+  Lp.Model.set_objective m [ (-1.0, x); (-1.0, y) ];
+  check_lp_obj "max x+y" (-4.0) (solve_model m)
+
+let test_equality () =
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var m ~ub:3.0 "x" in
+  let y = Lp.Model.add_var m ~ub:3.0 "y" in
+  Lp.Model.add_eq m [ (1.0, x); (1.0, y) ] 5.0;
+  Lp.Model.set_objective m [ (1.0, x) ];
+  let r = solve_model m in
+  check_lp_obj "x+y=5 min x" 2.0 r;
+  Alcotest.(check bool) "y at ub" true (feq 3.0 r.Lp.Simplex.x.(1))
+
+let test_ge_rows () =
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var m "x" in
+  let y = Lp.Model.add_var m "y" in
+  Lp.Model.add_ge m [ (1.0, x); (2.0, y) ] 4.0;
+  Lp.Model.add_ge m [ (3.0, x); (1.0, y) ] 6.0;
+  Lp.Model.set_objective m [ (1.0, x); (1.0, y) ];
+  check_lp_obj "two >= rows" 2.8 (solve_model m)
+
+let test_bound_flip () =
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var m ~ub:1.0 "x" in
+  let y = Lp.Model.add_var m ~ub:1.0 "y" in
+  Lp.Model.add_le m [ (1.0, x); (1.0, y) ] 1.5;
+  Lp.Model.set_objective m [ (-1.0, x); (-2.0, y) ];
+  check_lp_obj "bound flip" (-2.5) (solve_model m)
+
+let test_infeasible () =
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var m "x" in
+  Lp.Model.add_ge m [ (1.0, x) ] 5.0;
+  Lp.Model.add_le m [ (1.0, x) ] 2.0;
+  Lp.Model.set_objective m [ (1.0, x) ];
+  let r = solve_model m in
+  Alcotest.(check bool) "infeasible" true (r.Lp.Simplex.status = Lp.Simplex.Infeasible)
+
+let test_unbounded () =
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var m "x" in
+  Lp.Model.set_objective m [ (-1.0, x) ];
+  let r = solve_model m in
+  Alcotest.(check bool) "unbounded" true (r.Lp.Simplex.status = Lp.Simplex.Unbounded)
+
+let test_negative_lb () =
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var m ~lb:(-5.0) ~ub:5.0 "x" in
+  Lp.Model.add_ge m [ (1.0, x) ] (-2.0);
+  Lp.Model.set_objective m [ (1.0, x) ];
+  check_lp_obj "negative lower bound" (-2.0) (solve_model m)
+
+let test_free_via_shift () =
+  (* min x + y with x in [-10,10], x + y = 1, y >= 0 -> x = -10? No:
+     obj = x + y = 1 whenever the equality holds and y >= 0 needs x <= 1. *)
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var m ~lb:(-10.0) ~ub:10.0 "x" in
+  let y = Lp.Model.add_var m "y" in
+  Lp.Model.add_eq m [ (1.0, x); (1.0, y) ] 1.0;
+  Lp.Model.set_objective m [ (1.0, x); (1.0, y) ];
+  check_lp_obj "objective along equality" 1.0 (solve_model m)
+
+let test_degenerate () =
+  (* Multiple constraints meeting at the optimum. *)
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var m "x" in
+  let y = Lp.Model.add_var m "y" in
+  Lp.Model.add_le m [ (1.0, x); (1.0, y) ] 2.0;
+  Lp.Model.add_le m [ (1.0, x) ] 1.0;
+  Lp.Model.add_le m [ (1.0, y) ] 1.0;
+  Lp.Model.add_le m [ (1.0, x); (-1.0, y) ] 0.0;
+  Lp.Model.set_objective m [ (-1.0, x); (-1.0, y) ];
+  check_lp_obj "degenerate vertex" (-2.0) (solve_model m)
+
+let test_bound_overrides () =
+  (* branch-and-bound tightens bounds without rebuilding the model *)
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var m ~ub:10.0 "x" in
+  let y = Lp.Model.add_var m ~ub:10.0 "y" in
+  Lp.Model.add_le m [ (1.0, x); (1.0, y) ] 12.0;
+  Lp.Model.set_objective m [ (-1.0, x); (-1.0, y) ];
+  let raw = Lp.Model.to_raw m in
+  let r = Lp.Simplex.solve raw in
+  check_lp_obj "unrestricted" (-12.0) r;
+  let lb = Array.copy raw.Lp.Model.lb and ub = Array.copy raw.Lp.Model.ub in
+  ub.(0) <- 3.0;
+  lb.(1) <- 5.0;
+  let r = Lp.Simplex.solve ~lb ~ub raw in
+  check_lp_obj "with overrides" (-12.0) r;
+  Alcotest.(check bool) "x at its tightened ub" true (r.Lp.Simplex.x.(0) <= 3.0 +. 1e-9);
+  Alcotest.(check bool) "y above its tightened lb" true (r.Lp.Simplex.x.(1) >= 5.0 -. 1e-9);
+  (* crossing overrides make it infeasible *)
+  lb.(0) <- 4.0;
+  let r = Lp.Simplex.solve ~lb ~ub raw in
+  Alcotest.(check bool) "crossed bounds infeasible" true
+    (r.Lp.Simplex.status = Lp.Simplex.Infeasible)
+
+let test_fixed_variables () =
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var m ~ub:10.0 "x" in
+  let y = Lp.Model.add_var m ~ub:10.0 "y" in
+  Lp.Model.fix m x 4.0;
+  Lp.Model.add_ge m [ (1.0, x); (1.0, y) ] 6.0;
+  Lp.Model.set_objective m [ (1.0, y) ];
+  let r = solve_model m in
+  check_lp_obj "fixed var honored" 2.0 r;
+  Alcotest.(check (float 1e-6)) "x stays fixed" 4.0 r.Lp.Simplex.x.(0)
+
+let test_highly_degenerate () =
+  (* many redundant constraints through the same vertex: exercises the
+     anti-cycling path *)
+  let m = Lp.Model.create () in
+  let xs = List.init 6 (fun i -> Lp.Model.add_var m ~ub:1.0 (Printf.sprintf "x%d" i)) in
+  List.iteri
+    (fun i x ->
+      List.iteri
+        (fun j y -> if i < j then Lp.Model.add_le m [ (1.0, x); (1.0, y) ] 1.0)
+        xs)
+    xs;
+  Lp.Model.add_le m (List.map (fun x -> (1.0, x)) xs) 1.0;
+  Lp.Model.set_objective m (List.map (fun x -> (-1.0, x)) xs);
+  check_lp_obj "degenerate polytope" (-1.0) (solve_model m)
+
+let test_milp_time_limit_returns_feasible () =
+  (* a painful MILP with a tiny budget still returns its warm start *)
+  let m = Lp.Model.create () in
+  let n = 18 in
+  let xs = List.init n (fun i -> Lp.Model.bool_var m (Printf.sprintf "b%d" i)) in
+  List.iteri
+    (fun i x ->
+      List.iteri
+        (fun j y ->
+          if i < j && (i + j) mod 3 = 0 then
+            Lp.Model.add_le m [ (1.0, x); (1.0, y) ] 1.0)
+        xs)
+    xs;
+  Lp.Model.set_objective m
+    (List.mapi (fun i x -> (-1.0 -. (0.01 *. float_of_int i), x)) xs);
+  let incumbent = Array.make n 0.0 in
+  let r = Lp.Milp.solve ~time_limit:0.05 ~incumbent m in
+  Alcotest.(check bool) "feasible or optimal" true
+    (match r.Lp.Milp.status with
+    | Lp.Milp.Optimal | Lp.Milp.Feasible -> true
+    | _ -> false);
+  Alcotest.(check bool) "no worse than warm start" true
+    (r.Lp.Milp.objective <= 1e-9)
+
+(* --- randomized LP checks ------------------------------------------- *)
+
+let random_lp_gen =
+  QCheck.Gen.(
+    let coef = map (fun i -> float_of_int (i - 5)) (int_bound 10) in
+    let* n = int_range 1 4 in
+    let* m = int_range 1 4 in
+    let* obj = list_repeat n coef in
+    let* rows = list_repeat m (list_repeat n coef) in
+    let* rhs = list_repeat m (map (fun i -> float_of_int i) (int_bound 12)) in
+    return (n, obj, rows, rhs))
+
+let build_random_lp (n, obj, rows, rhs) =
+  let m = Lp.Model.create () in
+  let xs = List.init n (fun i -> Lp.Model.add_var m ~ub:5.0 (Printf.sprintf "x%d" i)) in
+  List.iter2
+    (fun row b ->
+      let terms = List.map2 (fun c x -> (c, x)) row xs in
+      Lp.Model.add_le m terms b)
+    rows rhs;
+  Lp.Model.set_objective m (List.map2 (fun c x -> (c, x)) obj xs);
+  (m, xs)
+
+(* Optimal LP value must not beat any feasible grid point, and the returned
+   point must itself be feasible. *)
+let lp_never_beaten_by_grid =
+  QCheck.Test.make ~name:"lp optimum <= every feasible grid point" ~count:200
+    (QCheck.make random_lp_gen) (fun ((n, obj, rows, rhs) as spec) ->
+      let model, _ = build_random_lp spec in
+      let r = solve_model model in
+      match r.Lp.Simplex.status with
+      | Lp.Simplex.Infeasible | Lp.Simplex.Unbounded
+      | Lp.Simplex.Iteration_limit ->
+          true (* box-bounded with x=0 feasible or not; nothing to check *)
+      | Lp.Simplex.Optimal ->
+          let feasible pt =
+            List.for_all2
+              (fun row b ->
+                List.fold_left2 (fun acc c v -> acc +. (c *. v)) 0.0 row pt
+                <= b +. 1e-9)
+              rows rhs
+          in
+          let objective pt =
+            List.fold_left2 (fun acc c v -> acc +. (c *. v)) 0.0 obj pt
+          in
+          (* check returned point is feasible *)
+          let x = Array.to_list r.Lp.Simplex.x in
+          let ret_ok =
+            feasible x
+            && List.for_all (fun v -> v >= -1e-6 && v <= 5.0 +. 1e-6) x
+          in
+          (* enumerate grid points {0, 2.5, 5}^n *)
+          let levels = [ 0.0; 2.5; 5.0 ] in
+          let rec grid k acc =
+            if k = 0 then [ acc ]
+            else
+              List.concat_map (fun v -> grid (k - 1) (v :: acc)) levels
+          in
+          let pts = grid n [] in
+          ret_ok
+          && List.for_all
+               (fun pt ->
+                 (not (feasible pt))
+                 || r.Lp.Simplex.objective <= objective pt +. 1e-5)
+               pts)
+
+(* --- MILP ------------------------------------------------------------ *)
+
+let test_knapsack () =
+  let values = [| 10.0; 13.0; 7.0; 8.0 |] in
+  let weights = [| 5.0; 6.0; 3.0; 4.0 |] in
+  let cap = 10.0 in
+  let m = Lp.Model.create () in
+  let xs = Array.mapi (fun i _ -> Lp.Model.bool_var m (Printf.sprintf "x%d" i)) values in
+  Lp.Model.add_le m (Array.to_list (Array.mapi (fun i x -> (weights.(i), x)) xs)) cap;
+  Lp.Model.set_objective m
+    (Array.to_list (Array.mapi (fun i x -> (-.values.(i), x)) xs));
+  let r = Lp.Milp.solve ~time_limit:10.0 m in
+  Alcotest.(check bool) "optimal" true (r.Lp.Milp.status = Lp.Milp.Optimal);
+  (* best: items 1 and 3 (13 + 8, weight 10) = 21 *)
+  if not (feq (-21.0) r.Lp.Milp.objective) then
+    Alcotest.failf "knapsack objective %g" r.Lp.Milp.objective
+
+let test_milp_integer_general () =
+  (* min 3x + 4y, 2x + y >= 5, x + 3y >= 7, x y integer >= 0.
+     Optimal integer: try x=2,y=2: 2*2+2=6>=5, 2+6=8>=7 obj 14.
+     x=1,y=3: 2+3=5, 1+9=10, obj 15. x=3,y=2: obj 17. x=2,y=2 -> 14.
+     x=4,y=1: 9>=5, 7>=7 obj 16. So 14. *)
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var m ~integer:true ~ub:10.0 "x" in
+  let y = Lp.Model.add_var m ~integer:true ~ub:10.0 "y" in
+  Lp.Model.add_ge m [ (2.0, x); (1.0, y) ] 5.0;
+  Lp.Model.add_ge m [ (1.0, x); (3.0, y) ] 7.0;
+  Lp.Model.set_objective m [ (3.0, x); (4.0, y) ];
+  let r = Lp.Milp.solve ~time_limit:10.0 m in
+  Alcotest.(check bool) "optimal" true (r.Lp.Milp.status = Lp.Milp.Optimal);
+  if not (feq 14.0 r.Lp.Milp.objective) then
+    Alcotest.failf "objective %g expected 14" r.Lp.Milp.objective
+
+let test_milp_infeasible () =
+  let m = Lp.Model.create () in
+  let x = Lp.Model.bool_var m "x" in
+  let y = Lp.Model.bool_var m "y" in
+  Lp.Model.add_ge m [ (1.0, x); (1.0, y) ] 3.0;
+  Lp.Model.set_objective m [ (1.0, x) ];
+  let r = Lp.Milp.solve ~time_limit:10.0 m in
+  Alcotest.(check bool) "infeasible" true (r.Lp.Milp.status = Lp.Milp.Infeasible)
+
+let test_milp_incumbent () =
+  (* Warm start with the known optimum; solver must not return worse. *)
+  let m = Lp.Model.create () in
+  let x = Lp.Model.bool_var m "x" in
+  let y = Lp.Model.bool_var m "y" in
+  Lp.Model.add_le m [ (1.0, x); (1.0, y) ] 1.0;
+  Lp.Model.set_objective m [ (-2.0, x); (-1.0, y) ];
+  let r = Lp.Milp.solve ~incumbent:[| 1.0; 0.0 |] ~time_limit:10.0 m in
+  if not (feq (-2.0) r.Lp.Milp.objective) then
+    Alcotest.failf "objective %g expected -2" r.Lp.Milp.objective
+
+let test_milp_bad_incumbent () =
+  let m = Lp.Model.create () in
+  let x = Lp.Model.bool_var m "x" in
+  Lp.Model.add_le m [ (1.0, x) ] 0.0;
+  Lp.Model.set_objective m [ (1.0, x) ];
+  Alcotest.check_raises "rejects infeasible incumbent"
+    (Invalid_argument "Milp.solve: infeasible incumbent: row0: 1 > 0")
+    (fun () -> ignore (Lp.Milp.solve ~incumbent:[| 1.0 |] m))
+
+let test_objective_constant () =
+  let m = Lp.Model.create () in
+  let x = Lp.Model.bool_var m "x" in
+  Lp.Model.set_objective m ~constant:10.0 [ (1.0, x) ];
+  let r = Lp.Milp.solve ~time_limit:5.0 m in
+  if not (feq 10.0 r.Lp.Milp.objective) then
+    Alcotest.failf "objective %g expected 10" r.Lp.Milp.objective
+
+(* Brute-force cross-check of random binary MILPs. *)
+let milp_matches_brute_force =
+  let gen =
+    QCheck.Gen.(
+      let coef = map (fun i -> float_of_int (i - 4)) (int_bound 8) in
+      let* n = int_range 1 6 in
+      let* m = int_range 1 3 in
+      let* obj = list_repeat n coef in
+      let* rows = list_repeat m (list_repeat n coef) in
+      let* rhs = list_repeat m (map float_of_int (int_bound 6)) in
+      return (n, obj, rows, rhs))
+  in
+  QCheck.Test.make ~name:"binary MILP matches brute force" ~count:120
+    (QCheck.make gen) (fun (n, obj, rows, rhs) ->
+      let m = Lp.Model.create () in
+      let xs = List.init n (fun i -> Lp.Model.bool_var m (Printf.sprintf "b%d" i)) in
+      List.iter2
+        (fun row b -> Lp.Model.add_le m (List.map2 (fun c x -> (c, x)) row xs) b)
+        rows rhs;
+      Lp.Model.set_objective m (List.map2 (fun c x -> (c, x)) obj xs);
+      let r = Lp.Milp.solve ~time_limit:20.0 m in
+      (* brute force *)
+      let best = ref infinity in
+      for mask = 0 to (1 lsl n) - 1 do
+        let pt = List.init n (fun i -> if mask land (1 lsl i) <> 0 then 1.0 else 0.0) in
+        let feasible =
+          List.for_all2
+            (fun row b ->
+              List.fold_left2 (fun acc c v -> acc +. (c *. v)) 0.0 row pt
+              <= b +. 1e-9)
+            rows rhs
+        in
+        if feasible then
+          best :=
+            Float.min !best
+              (List.fold_left2 (fun acc c v -> acc +. (c *. v)) 0.0 obj pt)
+      done;
+      match r.Lp.Milp.status with
+      | Lp.Milp.Optimal -> feq ~eps:1e-5 !best r.Lp.Milp.objective
+      | Lp.Milp.Infeasible -> Float.is_integer !best = false || !best = infinity
+      | Lp.Milp.Feasible | Lp.Milp.Unbounded | Lp.Milp.Unknown -> false)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "lp"
+    [
+      ( "simplex",
+        [
+          Alcotest.test_case "min single" `Quick test_min_single;
+          Alcotest.test_case "max 2d" `Quick test_max_2d;
+          Alcotest.test_case "equality" `Quick test_equality;
+          Alcotest.test_case "ge rows" `Quick test_ge_rows;
+          Alcotest.test_case "bound flip" `Quick test_bound_flip;
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_unbounded;
+          Alcotest.test_case "negative lb" `Quick test_negative_lb;
+          Alcotest.test_case "equality objective" `Quick test_free_via_shift;
+          Alcotest.test_case "degenerate" `Quick test_degenerate;
+          Alcotest.test_case "bound overrides" `Quick test_bound_overrides;
+          Alcotest.test_case "fixed variables" `Quick test_fixed_variables;
+          Alcotest.test_case "highly degenerate" `Quick test_highly_degenerate;
+        ] );
+      ( "milp",
+        [
+          Alcotest.test_case "knapsack" `Quick test_knapsack;
+          Alcotest.test_case "integer general" `Quick test_milp_integer_general;
+          Alcotest.test_case "infeasible" `Quick test_milp_infeasible;
+          Alcotest.test_case "incumbent" `Quick test_milp_incumbent;
+          Alcotest.test_case "bad incumbent" `Quick test_milp_bad_incumbent;
+          Alcotest.test_case "objective constant" `Quick test_objective_constant;
+          Alcotest.test_case "time limit keeps incumbent" `Quick
+            test_milp_time_limit_returns_feasible;
+        ] );
+      qsuite "lp-random" [ lp_never_beaten_by_grid ];
+      qsuite "milp-random" [ milp_matches_brute_force ];
+    ]

@@ -1,0 +1,195 @@
+(* Tests for the frontend optimizer: each pass individually, the fixpoint
+   pipeline, and semantics preservation on benchmarks and random graphs. *)
+
+let eval_outputs ?black_box g ~iterations ~inputs =
+  let trace = Ir.Eval.run ?black_box g ~iterations ~inputs in
+  Array.init iterations (fun i ->
+      List.map snd (Ir.Eval.outputs_of g trace ~iter:i))
+
+let inputs_fn ~iter ~name =
+  Int64.of_int ((Hashtbl.hash (name, iter) land 0xffff) + iter)
+
+let check_equiv ?black_box name g g' =
+  let a = eval_outputs ?black_box g ~iterations:6 ~inputs:inputs_fn in
+  let b = eval_outputs ?black_box g' ~iterations:6 ~inputs:inputs_fn in
+  for i = 0 to 5 do
+    if a.(i) <> b.(i) then
+      Alcotest.failf "%s: outputs diverge at iteration %d" name i
+  done
+
+let test_dead_code () =
+  let b = Ir.Builder.create () in
+  let x = Ir.Builder.input b ~width:8 "x" in
+  let used = Ir.Builder.not_ b x in
+  let _dead1 = Ir.Builder.xor_ b x x in
+  let _dead2 = Ir.Builder.add b x x in
+  Ir.Builder.output b used;
+  let g = Ir.Builder.finish b in
+  let g', removed = Opt.dead_code g in
+  Alcotest.(check int) "removed two" 2 removed;
+  Alcotest.(check int) "two nodes left" 2 (Ir.Cdfg.num_nodes g');
+  check_equiv "dce" g g'
+
+let test_fold_full_const () =
+  let b = Ir.Builder.create () in
+  let x = Ir.Builder.input b ~width:8 "x" in
+  let c1 = Ir.Builder.const b ~width:8 5L in
+  let c2 = Ir.Builder.const b ~width:8 3L in
+  let s = Ir.Builder.add b c1 c2 in
+  Ir.Builder.output b (Ir.Builder.xor_ b x s);
+  let g = Ir.Builder.finish b in
+  let g', _ = Opt.simplify g in
+  (* the add vanished: graph is input, const 8, xor *)
+  Alcotest.(check int) "constant add folded" 3 (Ir.Cdfg.num_nodes g');
+  check_equiv "full const" g g'
+
+let test_fold_identities () =
+  let b = Ir.Builder.create () in
+  let x = Ir.Builder.input b ~width:8 "x" in
+  let zero = Ir.Builder.const b ~width:8 0L in
+  let ones = Ir.Builder.const b ~width:8 0xffL in
+  let a = Ir.Builder.xor_ b x zero in (* = x *)
+  let b2 = Ir.Builder.and_ b a ones in (* = x *)
+  let c = Ir.Builder.or_ b b2 zero in (* = x *)
+  let d = Ir.Builder.add b c zero in (* = x *)
+  let e = Ir.Builder.not_ b (Ir.Builder.not_ b d) in (* = x *)
+  Ir.Builder.output b e;
+  let g = Ir.Builder.finish b in
+  let g', stats = Opt.simplify g in
+  Alcotest.(check int) "all identities collapse to the input" 1
+    (Ir.Cdfg.num_nodes g');
+  Alcotest.(check bool) "stats counted" true (stats.Opt.folded >= 5);
+  check_equiv "identities" g g'
+
+let test_fold_self_xor () =
+  let b = Ir.Builder.create () in
+  let x = Ir.Builder.input b ~width:8 "x" in
+  let z = Ir.Builder.xor_ b x x in
+  Ir.Builder.output b (Ir.Builder.or_ b z x);
+  let g = Ir.Builder.finish b in
+  let g', _ = Opt.simplify g in
+  Alcotest.(check int) "x^x|x = x" 1 (Ir.Cdfg.num_nodes g');
+  check_equiv "self xor" g g'
+
+let test_fold_mux_const_cond () =
+  let b = Ir.Builder.create () in
+  let x = Ir.Builder.input b ~width:8 "x" in
+  let y = Ir.Builder.input b ~width:8 "y" in
+  let one = Ir.Builder.const b ~width:1 1L in
+  let m = Ir.Builder.mux b ~cond:one x y in
+  Ir.Builder.output b m;
+  Ir.Builder.output b y;
+  let g = Ir.Builder.finish b in
+  let g', _ = Opt.simplify g in
+  Alcotest.(check int) "mux gone" 2 (Ir.Cdfg.num_nodes g');
+  check_equiv "mux const" g g'
+
+let test_cse_merges () =
+  let b = Ir.Builder.create () in
+  let x = Ir.Builder.input b ~width:8 "x" in
+  let y = Ir.Builder.input b ~width:8 "y" in
+  let a1 = Ir.Builder.xor_ b x y in
+  let a2 = Ir.Builder.xor_ b x y in
+  let out = Ir.Builder.and_ b a1 a2 in
+  Ir.Builder.output b out;
+  let g = Ir.Builder.finish b in
+  let g', merged = Opt.cse g in
+  Alcotest.(check int) "one xor merged" 1 merged;
+  check_equiv "cse" g g';
+  (* and the and-of-equal then simplifies away *)
+  let g'', _ = Opt.simplify g in
+  Alcotest.(check int) "and(x,x) collapses too" 3 (Ir.Cdfg.num_nodes g'')
+
+let test_cse_never_merges_black_boxes () =
+  let b = Ir.Builder.create () in
+  let x = Ir.Builder.input b ~width:8 "x" in
+  let r1 = Ir.Builder.black_box b ~kind:"f" ~resource:"bram_port" ~width:8 [ x ] in
+  let r2 = Ir.Builder.black_box b ~kind:"f" ~resource:"bram_port" ~width:8 [ x ] in
+  Ir.Builder.output b (Ir.Builder.xor_ b r1 r2);
+  let g = Ir.Builder.finish b in
+  let _, merged = Opt.cse g in
+  Alcotest.(check int) "black boxes untouched" 0 merged
+
+let test_recurrence_preserved () =
+  (* simplify must not break loop-carried semantics *)
+  let g = Benchmarks.Mt.build ~width:16 () in
+  let g', _ = Opt.simplify g in
+  check_equiv "mt" g g';
+  match Ir.Cdfg.validate g' with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid after simplify: %s" e
+
+let test_benchmarks_preserved () =
+  List.iter
+    (fun (e : Benchmarks.Registry.entry) ->
+      let g = e.build () in
+      let g', _ = Opt.simplify g in
+      (match Ir.Cdfg.validate g' with
+      | Ok () -> ()
+      | Error err -> Alcotest.failf "%s: %s" e.name err);
+      let bb = Option.value e.black_box ~default:(fun ~kind:_ _ -> 0L) in
+      check_equiv ~black_box:bb e.name g g';
+      Alcotest.(check bool)
+        (e.name ^ ": no growth")
+        true
+        (Ir.Cdfg.num_nodes g' <= Ir.Cdfg.num_nodes g))
+    Benchmarks.Registry.all
+
+let test_simplify_idempotent () =
+  List.iter
+    (fun (e : Benchmarks.Registry.entry) ->
+      let g = e.build () in
+      let g1, _ = Opt.simplify g in
+      let g2, stats = Opt.simplify g1 in
+      Alcotest.(check int)
+        (e.name ^ ": second simplify is a no-op")
+        (Ir.Cdfg.num_nodes g1) (Ir.Cdfg.num_nodes g2);
+      Alcotest.(check int) (e.name ^ ": nothing folded") 0 stats.Opt.folded;
+      Alcotest.(check int) (e.name ^ ": nothing merged") 0 stats.Opt.merged)
+    Benchmarks.Registry.all
+
+let test_simplified_graphs_still_synthesize () =
+  (* optimizer output feeds the flows end to end *)
+  let e = Benchmarks.Registry.find "GFMUL" in
+  let g, _ = Opt.simplify (e.build ()) in
+  let device = Fpga.Device.make ~t_clk:e.t_clk () in
+  let setup =
+    { (Mams.Flow.default_setup ~device) with time_limit = 5.0 }
+  in
+  List.iter
+    (fun m ->
+      match Mams.Flow.run setup m g with
+      | Ok _ -> ()
+      | Error err -> Alcotest.failf "%s: %s" (Mams.Flow.method_name m) err)
+    [ Mams.Flow.Hls_tool; Mams.Flow.Sdc_tool; Mams.Flow.Map_heuristic ]
+
+let test_output_order_stable () =
+  let g = Benchmarks.Cordic.build ~width:8 ~iterations:2 () in
+  let g', _ = Opt.simplify g in
+  Alcotest.(check int) "same output count"
+    (List.length (Ir.Cdfg.outputs g))
+    (List.length (Ir.Cdfg.outputs g'))
+
+let () =
+  Alcotest.run "opt"
+    [
+      ( "passes",
+        [
+          Alcotest.test_case "dead code" `Quick test_dead_code;
+          Alcotest.test_case "full const fold" `Quick test_fold_full_const;
+          Alcotest.test_case "identities" `Quick test_fold_identities;
+          Alcotest.test_case "self xor" `Quick test_fold_self_xor;
+          Alcotest.test_case "mux const cond" `Quick test_fold_mux_const_cond;
+          Alcotest.test_case "cse" `Quick test_cse_merges;
+          Alcotest.test_case "cse skips bbs" `Quick test_cse_never_merges_black_boxes;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "recurrence" `Quick test_recurrence_preserved;
+          Alcotest.test_case "all benchmarks" `Quick test_benchmarks_preserved;
+          Alcotest.test_case "idempotent" `Quick test_simplify_idempotent;
+          Alcotest.test_case "feeds the flows" `Quick
+            test_simplified_graphs_still_synthesize;
+          Alcotest.test_case "output order" `Quick test_output_order_stable;
+        ] );
+    ]

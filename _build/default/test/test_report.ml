@@ -1,0 +1,51 @@
+(* Tests for the table renderer and percentage formatting. *)
+
+let test_table_alignment () =
+  let columns =
+    Report.[ { title = "Name"; align = Left }; { title = "N"; align = Right } ]
+  in
+  let s = Report.table ~columns [ [ "a"; "1" ]; [ "long"; "42" ] ] in
+  let lines = String.split_on_char '\n' s in
+  (match lines with
+  | header :: rule :: _ ->
+      Alcotest.(check bool) "header first" true
+        (String.length header > 0 && header.[0] = 'N');
+      Alcotest.(check bool) "rule dashes" true
+        (String.for_all (fun c -> c = '-') rule)
+  | _ -> Alcotest.fail "expected at least two lines");
+  (* right-aligned numeric column: "1" is padded on the left *)
+  Alcotest.(check bool) "right alignment" true
+    (List.exists
+       (fun l -> String.length l >= 2 && String.sub l (String.length l - 2) 2 = " 1")
+       lines)
+
+let test_table_ragged_rejected () =
+  let columns = Report.[ { title = "A"; align = Left } ] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Report.table ~columns [ [ "x"; "y" ] ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_pct () =
+  Alcotest.(check string) "decrease" "(-42.1%)" (Report.pct ~reference:1000 579);
+  Alcotest.(check string) "increase" "(+12.6%)" (Report.pct ~reference:1000 1126);
+  Alcotest.(check string) "flat" "(+0.0%)" (Report.pct ~reference:50 50);
+  Alcotest.(check string) "zero reference" "" (Report.pct ~reference:0 10);
+  Alcotest.(check string) "to zero" "(-100.0%)" (Report.pct ~reference:257 0)
+
+let test_f2 () =
+  Alcotest.(check string) "rounding" "5.43" (Report.f2 5.431);
+  Alcotest.(check string) "whole" "10.00" (Report.f2 10.0)
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "alignment" `Quick test_table_alignment;
+          Alcotest.test_case "ragged" `Quick test_table_ragged_rejected;
+          Alcotest.test_case "pct" `Quick test_pct;
+          Alcotest.test_case "f2" `Quick test_f2;
+        ] );
+    ]

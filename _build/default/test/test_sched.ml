@@ -1,0 +1,543 @@
+(* Tests for the scheduling layer: the heuristic baseline, schedule
+   verification, liveness-based FF counting, timing recomputation, and the
+   map-first scheduler. *)
+
+let device = Fpga.Device.make ~t_clk:10.0 ()
+let delays = Fpga.Delays.default
+let resources = Fpga.Resource.unlimited
+
+let ctx : Sched.Verify.context = { device; delays; resources }
+
+let heuristic ?(ii = 1) g =
+  match Sched.Heuristic.schedule ~device ~delays ~resources ~ii g with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "heuristic: %a" Sched.Heuristic.pp_error e
+
+let trivial_cover g = Sched.Cover.all_trivial g (Cuts.trivial_only g)
+
+let xor_chain n =
+  let b = Ir.Builder.create () in
+  let x0 = Ir.Builder.input b ~width:8 "x0" in
+  let rec go i acc =
+    if i > n then acc
+    else
+      let xi = Ir.Builder.input b ~width:8 (Printf.sprintf "x%d" i) in
+      go (i + 1) (Ir.Builder.xor_ b acc xi)
+  in
+  Ir.Builder.output b (go 1 x0);
+  Ir.Builder.finish b
+
+let test_heuristic_chains_within_cycle () =
+  (* 4 chained xors at 1.37ns = 5.5ns fit a 10ns cycle. *)
+  let g = xor_chain 4 in
+  let s = heuristic g in
+  Alcotest.(check int) "single cycle" 0 (Sched.Schedule.latency s)
+
+let test_heuristic_splits_long_chain () =
+  (* 8 chained xors = 11ns > 10ns: must pipeline. *)
+  let g = xor_chain 8 in
+  let s = heuristic g in
+  Alcotest.(check bool) "pipelined" true (Sched.Schedule.latency s >= 1);
+  (* and the result is legal *)
+  Sched.Verify.check_exn ctx g (trivial_cover g) s
+
+let test_heuristic_verifies_on_benchmarks () =
+  List.iter
+    (fun (e : Benchmarks.Registry.entry) ->
+      let g = e.build () in
+      let device = Fpga.Device.make ~t_clk:e.t_clk () in
+      let ctx : Sched.Verify.context =
+        { device; delays; resources = e.resources }
+      in
+      match
+        Sched.Heuristic.schedule ~device ~delays ~resources:e.resources ~ii:1 g
+      with
+      | Error err ->
+          Alcotest.failf "%s: %a" e.name Sched.Heuristic.pp_error err
+      | Ok s -> (
+          let cover = trivial_cover g in
+          match Sched.Verify.check ctx g cover s with
+          | Ok () -> ()
+          | Error msgs ->
+              Alcotest.failf "%s: %s" e.name (String.concat "; " msgs)))
+    Benchmarks.Registry.all
+
+let test_min_ii_recurrence () =
+  (* A recurrence whose body takes ~2 cycles forces II >= 2 when the
+     distance is 1. 8 chained xors = 11ns -> latency 2 cycles. *)
+  let b = Ir.Builder.create () in
+  let x = Ir.Builder.input b ~width:8 "x" in
+  let cell = Ir.Builder.feedback b ~width:8 ~init:0L ~dist:1 in
+  let rec chain i acc =
+    if i = 0 then acc else chain (i - 1) (Ir.Builder.xor_ b acc x)
+  in
+  let deep = chain 8 cell in
+  Ir.Builder.drive b ~cell deep;
+  Ir.Builder.output b deep;
+  let g = Ir.Builder.finish b in
+  let mii = Sched.Heuristic.min_ii ~delays ~device ~resources g in
+  Alcotest.(check bool) "MII > 1" true (mii > 1);
+  (match Sched.Heuristic.schedule ~device ~delays ~resources ~ii:1 g with
+  | Error (Sched.Heuristic.Recurrence_too_tight _) -> ()
+  | Error e -> Alcotest.failf "unexpected error: %a" Sched.Heuristic.pp_error e
+  | Ok _ -> Alcotest.fail "II=1 should be infeasible");
+  match Sched.Heuristic.schedule ~device ~delays ~resources ~ii:mii g with
+  | Ok s -> Sched.Verify.check_exn { ctx with device } g (trivial_cover g) s
+  | Error e -> Alcotest.failf "at MII: %a" Sched.Heuristic.pp_error e
+
+let test_resource_res_mii () =
+  (* 4 loads on 2 ports: ResMII = 2. *)
+  let b = Ir.Builder.create () in
+  let x = Ir.Builder.input b ~width:8 "x" in
+  let loads =
+    List.init 4 (fun _ ->
+        Ir.Builder.black_box b ~kind:"load" ~resource:"bram_port" ~width:8 [ x ])
+  in
+  Ir.Builder.output b (Benchmarks.Bench_util.xor_reduce b loads);
+  let g = Ir.Builder.finish b in
+  let resources = Fpga.Resource.of_list [ ("bram_port", 2) ] in
+  Alcotest.(check int) "ResMII" 2
+    (Sched.Heuristic.min_ii ~delays ~device ~resources g);
+  match Sched.Heuristic.schedule ~device ~delays ~resources ~ii:2 g with
+  | Ok s ->
+      Sched.Verify.check_exn { ctx with resources } g (trivial_cover g) s
+  | Error e -> Alcotest.failf "at ResMII: %a" Sched.Heuristic.pp_error e
+
+(* --- verification catches bad schedules ------------------------------- *)
+
+let test_verify_catches_dependence_violation () =
+  let g = xor_chain 2 in
+  let s = heuristic g in
+  (* corrupt: move the final xor one cycle before its operand *)
+  let last = Ir.Cdfg.num_nodes g - 1 in
+  let bad_cycle = Array.copy s.Sched.Schedule.cycle in
+  bad_cycle.(last) <- 0;
+  let pred = (Ir.Cdfg.preds g last).(0).Ir.Cdfg.src in
+  bad_cycle.(pred) <- 1;
+  let bad =
+    Sched.Schedule.make ~ii:1 ~cycle:bad_cycle ~start:s.Sched.Schedule.start
+  in
+  match Sched.Verify.check ctx g (trivial_cover g) bad with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "verification accepted a broken schedule"
+
+let test_verify_catches_overfull_cycle () =
+  let g = xor_chain 8 in
+  (* force everything into cycle 0 with zero starts: chaining violated *)
+  let n = Ir.Cdfg.num_nodes g in
+  let s =
+    Sched.Schedule.make ~ii:1 ~cycle:(Array.make n 0)
+      ~start:(Array.make n 0.0)
+  in
+  match Sched.Verify.check ctx g (trivial_cover g) s with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "verification accepted an overfull cycle"
+
+let test_verify_catches_same_cycle_register_read () =
+  (* A separate reader of the recurrence register scheduled before the
+     producer has finished writing it. *)
+  let b = Ir.Builder.create () in
+  let x = Ir.Builder.input b ~width:4 "x" in
+  let cell = Ir.Builder.feedback b ~width:4 ~init:0L ~dist:1 in
+  let nxt = Ir.Builder.xor_ b x cell in
+  Ir.Builder.drive b ~cell nxt;
+  let reader = Ir.Builder.not_ b cell in
+  Ir.Builder.output b nxt;
+  Ir.Builder.output b reader;
+  let g = Ir.Builder.finish b in
+  (* ids: x=0 nxt=1 reader=2. Producer nxt at cycle 2, reader at cycle 0:
+     2 + 1 > 0 + II*1 — the register is read before it was ever written. *)
+  let n = Ir.Cdfg.num_nodes g in
+  let cycle = Array.make n 0 in
+  cycle.(1) <- 2;
+  let s = Sched.Schedule.make ~ii:1 ~cycle ~start:(Array.make n 0.0) in
+  match Sched.Verify.check ctx g (trivial_cover g) s with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "verification accepted a late recurrence write"
+
+(* --- FF counting ------------------------------------------------------ *)
+
+let test_ff_counts_lifetimes () =
+  (* x0 used in cycle 0 and again (via the chain) across the boundary. *)
+  let b = Ir.Builder.create () in
+  let x = Ir.Builder.input b ~width:8 "x" in
+  let y = Ir.Builder.input b ~width:8 "y" in
+  let n = Ir.Builder.xor_ b x y in
+  (* artificially deep chain so n crosses a cycle *)
+  let rec chain i acc =
+    if i = 0 then acc else chain (i - 1) (Ir.Builder.xor_ b acc y)
+  in
+  let out = chain 8 n in
+  Ir.Builder.output b out;
+  let g = Ir.Builder.finish b in
+  let s = heuristic g in
+  Alcotest.(check bool) "pipelined" true (Sched.Schedule.latency s >= 1);
+  let cover = trivial_cover g in
+  let q = Sched.Qor.evaluate ~device ~delays g cover s in
+  (* y is live into the second cycle: at least its 8 bits are registered *)
+  Alcotest.(check bool) "ff > 0" true (q.Sched.Qor.ffs >= 8)
+
+let test_ff_zero_single_cycle () =
+  let g = xor_chain 3 in
+  let s = heuristic g in
+  let q = Sched.Qor.evaluate ~device ~delays g (trivial_cover g) s in
+  Alcotest.(check int) "no registers in a single stage" 0 q.Sched.Qor.ffs
+
+let test_ff_recurrence_register () =
+  let b = Ir.Builder.create () in
+  let x = Ir.Builder.input b ~width:8 "x" in
+  let cell = Ir.Builder.feedback b ~width:8 ~init:0L ~dist:1 in
+  let nxt = Ir.Builder.xor_ b x cell in
+  Ir.Builder.drive b ~cell nxt;
+  Ir.Builder.output b nxt;
+  let g = Ir.Builder.finish b in
+  let s = heuristic g in
+  let q = Sched.Qor.evaluate ~device ~delays g (trivial_cover g) s in
+  Alcotest.(check int) "one 8-bit state register" 8 q.Sched.Qor.ffs
+
+let test_const_never_registered () =
+  let b = Ir.Builder.create () in
+  let x = Ir.Builder.input b ~width:8 "x" in
+  let c = Ir.Builder.const b ~width:8 0x55L in
+  let rec chain i acc =
+    if i = 0 then acc else chain (i - 1) (Ir.Builder.xor_ b acc c)
+  in
+  Ir.Builder.output b (chain 9 x);
+  let g = Ir.Builder.finish b in
+  let s = heuristic g in
+  Alcotest.(check bool) "pipelined" true (Sched.Schedule.latency s >= 1);
+  let q = Sched.Qor.evaluate ~device ~delays g (trivial_cover g) s in
+  (* only x and intermediates, never the constant *)
+  let n = Ir.Cdfg.num_nodes g in
+  Alcotest.(check bool) "bounded by non-const values" true
+    (q.Sched.Qor.ffs <= 8 * n)
+
+let test_regs_per_phase_sums_to_ff () =
+  List.iter
+    (fun (e : Benchmarks.Registry.entry) ->
+      let g = e.build () in
+      let device = Fpga.Device.make ~t_clk:e.t_clk () in
+      match
+        Sched.Heuristic.schedule ~device ~delays ~resources:e.resources ~ii:1 g
+      with
+      | Error _ -> ()
+      | Ok s ->
+          let cover = trivial_cover g in
+          let per = Sched.Qor.regs_per_phase g cover s ~device ~delays in
+          Alcotest.(check int)
+            (e.name ^ ": Eq.13 sums to FF count")
+            (Sched.Qor.ff_bits g cover s ~device ~delays)
+            (Array.fold_left ( + ) 0 per))
+    Benchmarks.Registry.all
+
+let test_regs_per_phase_ii2 () =
+  (* One value alive for 2 cycles at II=2 occupies both phases once. *)
+  let b = Ir.Builder.create () in
+  let x = Ir.Builder.input b ~width:8 "x" in
+  let y = Ir.Builder.input b ~width:8 "y" in
+  let t = Ir.Builder.xor_ b x y in
+  let rec chain i acc =
+    if i = 0 then acc else chain (i - 1) (Ir.Builder.xor_ b acc y)
+  in
+  let far = chain 14 t in
+  Ir.Builder.output b (Ir.Builder.xor_ b far t);
+  let g = Ir.Builder.finish b in
+  match
+    Sched.Heuristic.schedule ~device ~delays ~resources ~ii:2 g
+  with
+  | Error e -> Alcotest.failf "heuristic: %a" Sched.Heuristic.pp_error e
+  | Ok s ->
+      let cover = trivial_cover g in
+      let per = Sched.Qor.regs_per_phase g cover s ~device ~delays in
+      Alcotest.(check int) "two phases" 2 (Array.length per);
+      Alcotest.(check int) "sums to ff"
+        (Sched.Qor.ff_bits g cover s ~device ~delays)
+        (Array.fold_left ( + ) 0 per);
+      (* t is alive across the long chain, so both phases hold some bits *)
+      Alcotest.(check bool) "both phases populated" true
+        (per.(0) > 0 && per.(1) > 0)
+
+(* --- timing ----------------------------------------------------------- *)
+
+let test_recompute_starts_asap () =
+  let g = xor_chain 3 in
+  let s = heuristic g in
+  let cover = trivial_cover g in
+  let s' = Sched.Timing.recompute_starts ~device ~delays g cover s in
+  (* first xor starts at 0, later xors start no earlier than their preds *)
+  Ir.Cdfg.iter
+    (fun nd ->
+      Array.iter
+        (fun (e : Ir.Cdfg.edge) ->
+          if
+            e.dist = 0
+            && s'.Sched.Schedule.cycle.(e.src) = s'.Sched.Schedule.cycle.(nd.id)
+          then
+            Alcotest.(check bool) "monotone starts" true
+              (s'.Sched.Schedule.start.(e.src)
+              <= s'.Sched.Schedule.start.(nd.id) +. 1e-9))
+        nd.preds)
+    g;
+  let cp = Sched.Timing.achieved_cp ~device ~delays g cover s' in
+  Alcotest.(check bool) "cp within period" true
+    (cp <= Fpga.Device.usable_period device +. 1e-9)
+
+(* --- map-first scheduler ---------------------------------------------- *)
+
+let test_mapsched_beats_hls_on_tree () =
+  let g = xor_chain 8 in
+  let cuts = Cuts.enumerate ~k:4 g in
+  let cover = Techmap.map_global ~device ~delays ~cuts g in
+  match Sched.Mapsched.schedule ~device ~delays ~resources ~ii:1 g cover with
+  | Error e -> Alcotest.failf "mapsched: %a" Sched.Heuristic.pp_error e
+  | Ok s ->
+      Sched.Verify.check_exn ctx g cover s;
+      let hls = heuristic g in
+      Alcotest.(check bool) "no deeper than additive" true
+        (Sched.Schedule.latency s <= Sched.Schedule.latency hls)
+
+let test_mapsched_verifies_on_benchmarks () =
+  List.iter
+    (fun (e : Benchmarks.Registry.entry) ->
+      let g = e.build () in
+      let device = Fpga.Device.make ~t_clk:e.t_clk () in
+      let cuts = Cuts.enumerate ~k:4 g in
+      let cover = Techmap.map_global ~device ~delays ~cuts g in
+      match
+        Sched.Mapsched.schedule ~device ~delays ~resources:e.resources ~ii:1 g
+          cover
+      with
+      | Error err -> Alcotest.failf "%s: %a" e.name Sched.Heuristic.pp_error err
+      | Ok s -> (
+          let ctx : Sched.Verify.context =
+            { device; delays; resources = e.resources }
+          in
+          match Sched.Verify.check ctx g cover s with
+          | Ok () -> ()
+          | Error msgs ->
+              Alcotest.failf "%s: %s" e.name (String.concat "; " msgs)))
+    Benchmarks.Registry.all
+
+let test_multicycle_black_box () =
+  (* A black box slower than the clock period (23 ns at 10 ns) pipelines
+     over 2 extra cycles; its consumer must wait for the result. *)
+  let slow_delays = Fpga.Delays.make ~black_box:[ ("slowrom", 23.0) ] () in
+  let b = Ir.Builder.create () in
+  let x = Ir.Builder.input b ~width:8 "x" in
+  let r =
+    Ir.Builder.black_box b ~kind:"lookup" ~resource:"slowrom" ~width:8 [ x ]
+  in
+  let out = Ir.Builder.not_ b r in
+  Ir.Builder.output b out;
+  let g = Ir.Builder.finish b in
+  Alcotest.(check int) "bb latency" 2
+    (Sched.Heuristic.op_latency ~device ~delays:slow_delays g 1);
+  match
+    Sched.Heuristic.schedule ~device ~delays:slow_delays ~resources ~ii:1 g
+  with
+  | Error e -> Alcotest.failf "heuristic: %a" Sched.Heuristic.pp_error e
+  | Ok s ->
+      Alcotest.(check bool) "consumer waits for the result" true
+        (s.Sched.Schedule.cycle.(2) >= s.Sched.Schedule.cycle.(1) + 2);
+      let cover = trivial_cover g in
+      let ctx : Sched.Verify.context =
+        { device; delays = slow_delays; resources }
+      in
+      Sched.Verify.check_exn ctx g cover s;
+      (* x feeds the black box only at cycle 0: no input registers; the
+         result is consumed the cycle it appears: no output registers *)
+      let q = Sched.Qor.evaluate ~device ~delays:slow_delays g cover s in
+      Alcotest.(check int) "no spurious registers" 0 q.Sched.Qor.ffs
+
+let test_multicycle_bb_through_milp () =
+  let slow_delays = Fpga.Delays.make ~black_box:[ ("slowrom", 23.0) ] () in
+  let b = Ir.Builder.create () in
+  let x = Ir.Builder.input b ~width:8 "x" in
+  let r =
+    Ir.Builder.black_box b ~kind:"lookup" ~resource:"slowrom" ~width:8 [ x ]
+  in
+  let out = Ir.Builder.xor_ b r x in
+  Ir.Builder.output b out;
+  let g = Ir.Builder.finish b in
+  let setup =
+    { (Mams.Flow.default_setup ~device) with
+      delays = slow_delays;
+      time_limit = 15.0 }
+  in
+  List.iter
+    (fun m ->
+      match Mams.Flow.run setup m g with
+      | Ok r ->
+          (* x is alive until the xor fires, >= 2 cycles after arrival *)
+          Alcotest.(check bool)
+            (Mams.Flow.method_name m ^ ": input registered across bb latency")
+            true
+            (r.Mams.Flow.qor.Sched.Qor.ffs >= 16)
+      | Error e -> Alcotest.failf "%s: %s" (Mams.Flow.method_name m) e)
+    [ Mams.Flow.Hls_tool; Mams.Flow.Milp_base; Mams.Flow.Milp_map ]
+
+(* --- SDC scheduler ----------------------------------------------------- *)
+
+let test_sdc_verifies_on_benchmarks () =
+  List.iter
+    (fun (e : Benchmarks.Registry.entry) ->
+      let g = e.build () in
+      let device = Fpga.Device.make ~t_clk:e.t_clk () in
+      match
+        Sched.Sdc.schedule ~device ~delays ~resources:e.resources ~ii:1 g
+      with
+      | Error err -> Alcotest.failf "%s: %a" e.name Sched.Heuristic.pp_error err
+      | Ok s -> (
+          let ctx : Sched.Verify.context =
+            { device; delays; resources = e.resources }
+          in
+          match Sched.Verify.check ctx g (trivial_cover g) s with
+          | Ok () -> ()
+          | Error msgs ->
+              Alcotest.failf "%s: %s" e.name (String.concat "; " msgs)))
+    Benchmarks.Registry.all
+
+let test_sdc_minimizes_registers () =
+  (* SDC optimizes lifetimes exactly under the additive model, so it never
+     needs more FFs than the list-scheduling heuristic. *)
+  List.iter
+    (fun (e : Benchmarks.Registry.entry) ->
+      let g = e.build () in
+      let device = Fpga.Device.make ~t_clk:e.t_clk () in
+      match
+        ( Sched.Sdc.schedule ~device ~delays ~resources:e.resources ~ii:1 g,
+          Sched.Heuristic.schedule ~device ~delays ~resources:e.resources
+            ~ii:1 g )
+      with
+      | Ok sdc, Ok hls ->
+          let cover = trivial_cover g in
+          let ff s = Sched.Qor.ff_bits g cover s ~device ~delays in
+          Alcotest.(check bool)
+            (e.name ^ ": SDC FFs <= heuristic FFs")
+            true
+            (ff sdc <= ff hls)
+      | _ -> Alcotest.failf "%s: scheduling failed" e.name)
+    Benchmarks.Registry.all
+
+let test_sdc_resource_conflicts () =
+  (* Two loads on one port at II=2: the iterative conflict resolution must
+     separate their phases. *)
+  let b = Ir.Builder.create () in
+  let x = Ir.Builder.input b ~width:8 "x" in
+  let r1 = Ir.Builder.black_box b ~kind:"load" ~resource:"bram_port" ~width:8 [ x ] in
+  let r2 = Ir.Builder.black_box b ~kind:"load" ~resource:"bram_port" ~width:8 [ x ] in
+  Ir.Builder.output b (Ir.Builder.xor_ b r1 r2);
+  let g = Ir.Builder.finish b in
+  let resources = Fpga.Resource.of_list [ ("bram_port", 1) ] in
+  (match Sched.Sdc.schedule ~device ~delays ~resources ~ii:1 g with
+  | Error (Sched.Heuristic.Resource_infeasible _) -> ()
+  | Error e -> Alcotest.failf "unexpected: %a" Sched.Heuristic.pp_error e
+  | Ok _ -> Alcotest.fail "II=1 with one port must be rejected");
+  match Sched.Sdc.schedule ~device ~delays ~resources ~ii:2 g with
+  | Error e -> Alcotest.failf "II=2: %a" Sched.Heuristic.pp_error e
+  | Ok s ->
+      Alcotest.(check bool) "phases differ" true
+        (Sched.Schedule.phase s 1 <> Sched.Schedule.phase s 2);
+      Sched.Verify.check_exn { ctx with resources } g (trivial_cover g) s
+
+let test_sdc_recurrence_infeasible () =
+  (* the same too-tight recurrence the heuristic rejects *)
+  let b = Ir.Builder.create () in
+  let x = Ir.Builder.input b ~width:8 "x" in
+  let cell = Ir.Builder.feedback b ~width:8 ~init:0L ~dist:1 in
+  let rec chain i acc =
+    if i = 0 then acc else chain (i - 1) (Ir.Builder.xor_ b acc x)
+  in
+  let deep = chain 8 cell in
+  Ir.Builder.drive b ~cell deep;
+  Ir.Builder.output b deep;
+  let g = Ir.Builder.finish b in
+  match Sched.Sdc.schedule ~device ~delays ~resources ~ii:1 g with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "II=1 should be infeasible for the deep recurrence"
+
+(* --- cover validation ------------------------------------------------- *)
+
+let test_cover_validate_catches_uncovered_output () =
+  let g = xor_chain 2 in
+  let cover = Sched.Cover.make g [] in
+  match Sched.Cover.validate g cover with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "empty cover accepted"
+
+let test_cover_validate_catches_nonroot_leaf () =
+  let g = xor_chain 2 in
+  let cuts = Cuts.trivial_only g in
+  let last = Ir.Cdfg.num_nodes g - 1 in
+  (* only the output picks a cut; its leaves are not roots *)
+  let cover = Sched.Cover.make g [ (last, cuts.(last).(0)) ] in
+  match Sched.Cover.validate g cover with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "leafless cover accepted"
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "heuristic",
+        [
+          Alcotest.test_case "chains in cycle" `Quick
+            test_heuristic_chains_within_cycle;
+          Alcotest.test_case "splits long chain" `Quick
+            test_heuristic_splits_long_chain;
+          Alcotest.test_case "legal on all benchmarks" `Quick
+            test_heuristic_verifies_on_benchmarks;
+          Alcotest.test_case "recurrence MII" `Quick test_min_ii_recurrence;
+          Alcotest.test_case "resource MII" `Quick test_resource_res_mii;
+        ] );
+      ( "verify",
+        [
+          Alcotest.test_case "dependence violation" `Quick
+            test_verify_catches_dependence_violation;
+          Alcotest.test_case "overfull cycle" `Quick
+            test_verify_catches_overfull_cycle;
+          Alcotest.test_case "late recurrence" `Quick
+            test_verify_catches_same_cycle_register_read;
+        ] );
+      ( "qor",
+        [
+          Alcotest.test_case "lifetimes" `Quick test_ff_counts_lifetimes;
+          Alcotest.test_case "zero in one stage" `Quick test_ff_zero_single_cycle;
+          Alcotest.test_case "recurrence register" `Quick
+            test_ff_recurrence_register;
+          Alcotest.test_case "consts hardwired" `Quick test_const_never_registered;
+          Alcotest.test_case "Eq.13 per phase" `Quick test_regs_per_phase_sums_to_ff;
+          Alcotest.test_case "Eq.13 at II=2" `Quick test_regs_per_phase_ii2;
+          Alcotest.test_case "recompute starts" `Quick test_recompute_starts_asap;
+        ] );
+      ( "mapsched",
+        [
+          Alcotest.test_case "xor tree" `Quick test_mapsched_beats_hls_on_tree;
+          Alcotest.test_case "legal on all benchmarks" `Quick
+            test_mapsched_verifies_on_benchmarks;
+        ] );
+      ( "multi-cycle",
+        [
+          Alcotest.test_case "black box latency" `Quick
+            test_multicycle_black_box;
+          Alcotest.test_case "through the MILP flows" `Quick
+            test_multicycle_bb_through_milp;
+        ] );
+      ( "sdc",
+        [
+          Alcotest.test_case "legal on all benchmarks" `Quick
+            test_sdc_verifies_on_benchmarks;
+          Alcotest.test_case "register-minimal" `Quick
+            test_sdc_minimizes_registers;
+          Alcotest.test_case "resource conflicts" `Quick
+            test_sdc_resource_conflicts;
+          Alcotest.test_case "recurrence infeasible" `Quick
+            test_sdc_recurrence_infeasible;
+        ] );
+      ( "cover",
+        [
+          Alcotest.test_case "uncovered output" `Quick
+            test_cover_validate_catches_uncovered_output;
+          Alcotest.test_case "non-root leaf" `Quick
+            test_cover_validate_catches_nonroot_leaf;
+        ] );
+    ]

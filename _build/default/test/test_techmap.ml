@@ -1,0 +1,131 @@
+(* Tests for the downstream technology mapper: required-root analysis,
+   stage-local area-flow covering, global covering, and the exact ILP
+   mapper (DESIGN.md ablation A5). *)
+
+let device = Fpga.Device.make ~t_clk:10.0 ()
+let delays = Fpga.Delays.default
+let resources = Fpga.Resource.unlimited
+
+let heuristic g =
+  match Sched.Heuristic.schedule ~device ~delays ~resources ~ii:1 g with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "heuristic: %a" Sched.Heuristic.pp_error e
+
+let test_required_roots () =
+  (* y = not (a xor b), pipelined by hand into two cycles: the xor crosses
+     the boundary, so it must be physical; the not is the output. *)
+  let b = Ir.Builder.create () in
+  let a = Ir.Builder.input b ~width:4 "a" in
+  let c = Ir.Builder.input b ~width:4 "c" in
+  let x = Ir.Builder.xor_ b a c in
+  let o = Ir.Builder.not_ b x in
+  Ir.Builder.output b o;
+  let g = Ir.Builder.finish b in
+  let sched =
+    Sched.Schedule.make ~ii:1 ~cycle:[| 0; 0; 0; 1 |]
+      ~start:(Array.make 4 0.0)
+  in
+  let req = Techmap.required_roots g sched in
+  Alcotest.(check bool) "inputs required" true (req.(0) && req.(1));
+  Alcotest.(check bool) "boundary crosser required" true req.(2);
+  Alcotest.(check bool) "output required" true req.(3)
+
+let test_map_respects_boundaries () =
+  (* In a two-cycle schedule no selected cone may span both cycles. *)
+  let g = Benchmarks.Registry.(find "XORR").build () in
+  let device = Fpga.Device.make ~t_clk:5.0 () in
+  let sched =
+    match Sched.Heuristic.schedule ~device ~delays ~resources ~ii:1 g with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "heuristic: %a" Sched.Heuristic.pp_error e
+  in
+  Alcotest.(check bool) "pipelined" true (Sched.Schedule.latency sched >= 1);
+  let cuts = Cuts.enumerate ~k:4 g in
+  let cover = Techmap.map_schedule ~device ~delays ~cuts g sched in
+  Array.iteri
+    (fun v c ->
+      match c with
+      | None -> ()
+      | Some (c : Cuts.cut) ->
+          Bitdep.Int_set.iter
+            (fun w ->
+              Alcotest.(check int)
+                (Printf.sprintf "cone of %d stays in its cycle" v)
+                sched.Sched.Schedule.cycle.(v)
+                sched.Sched.Schedule.cycle.(w))
+            c.Cuts.cone)
+    cover.Sched.Cover.chosen
+
+let test_map_global_single_cover () =
+  let g = Benchmarks.Registry.(find "GFMUL").build () in
+  let cuts = Cuts.enumerate ~k:4 g in
+  let cover = Techmap.map_global ~device ~delays ~cuts g in
+  (match Sched.Cover.validate g cover with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid: %s" e);
+  (* global mapping uses no more area than all-trivial *)
+  let trivial = Sched.Cover.all_trivial g (Cuts.trivial_only g) in
+  Alcotest.(check bool) "area <= trivial" true
+    (Sched.Cover.lut_area cover <= Sched.Cover.lut_area trivial)
+
+let test_exact_no_worse_than_heuristic () =
+  List.iter
+    (fun name ->
+      let entry = Benchmarks.Registry.find name in
+      let g = entry.build () in
+      let device = Fpga.Device.make ~t_clk:entry.t_clk () in
+      let sched =
+        match
+          Sched.Heuristic.schedule ~device ~delays ~resources:entry.resources
+            ~ii:1 g
+        with
+        | Ok s -> s
+        | Error e -> Alcotest.failf "%s: %a" name Sched.Heuristic.pp_error e
+      in
+      let cuts = Cuts.enumerate ~k:4 g in
+      let flow_cover = Techmap.map_schedule ~device ~delays ~cuts g sched in
+      match Techmap.map_exact ~time_limit:20.0 ~device ~delays ~cuts g sched with
+      | None -> Alcotest.failf "%s: exact mapper found nothing" name
+      | Some exact ->
+          (match Sched.Cover.validate g exact with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "%s: invalid exact cover: %s" name e);
+          Alcotest.(check bool)
+            (name ^ ": exact area <= area-flow area")
+            true
+            (Sched.Cover.lut_area exact <= Sched.Cover.lut_area flow_cover))
+    [ "GFMUL"; "MT"; "DR" ]
+
+let test_exact_improves_or_matches_known_case () =
+  (* 8-input xor tree in one cycle: optimum is 3 cones x 4 bits = 12. *)
+  let b = Ir.Builder.create () in
+  let xs =
+    List.init 8 (fun i -> Ir.Builder.input b ~width:4 (Printf.sprintf "x%d" i))
+  in
+  let out = Ir.Builder.reduce b (fun b x y -> Ir.Builder.xor_ b x y) xs in
+  Ir.Builder.output b out;
+  let g = Ir.Builder.finish b in
+  let sched = heuristic g in
+  let cuts = Cuts.enumerate ~k:4 g in
+  match Techmap.map_exact ~time_limit:20.0 ~device ~delays ~cuts g sched with
+  | None -> Alcotest.fail "exact mapper failed"
+  | Some cover -> Alcotest.(check int) "optimal area" 12 (Sched.Cover.lut_area cover)
+
+let () =
+  Alcotest.run "techmap"
+    [
+      ( "heuristic",
+        [
+          Alcotest.test_case "required roots" `Quick test_required_roots;
+          Alcotest.test_case "respects boundaries" `Quick
+            test_map_respects_boundaries;
+          Alcotest.test_case "global cover" `Quick test_map_global_single_cover;
+        ] );
+      ( "exact",
+        [
+          Alcotest.test_case "no worse than area flow" `Slow
+            test_exact_no_worse_than_heuristic;
+          Alcotest.test_case "xor tree optimum" `Quick
+            test_exact_improves_or_matches_known_case;
+        ] );
+    ]
