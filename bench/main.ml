@@ -2,11 +2,13 @@
    (DESIGN.md experiment index) and runs bechamel micro-benchmarks of the
    compute kernels behind each of them.
 
-   Environment knobs:
+   Environment knobs (documented in README.md):
      PIPESYN_TIME_LIMIT   per-MILP budget in seconds (default 20; the
                           paper used 3600)
      PIPESYN_ONLY         comma-separated benchmark filter for Table 1/2
-     PIPESYN_SKIP_MICRO   set to skip the bechamel section *)
+     PIPESYN_SKIP_MICRO   set to skip the bechamel section
+     PIPESYN_JSON         structured-metrics output path
+                          (default BENCH_results.json) *)
 
 let time_limit =
   try float_of_string (Sys.getenv "PIPESYN_TIME_LIMIT") with Not_found -> 20.0
@@ -411,7 +413,10 @@ let print_ablation_exact_mapping () =
 (* Extension: the map-first heuristic (paper Sec. 5 future work)       *)
 (* ------------------------------------------------------------------ *)
 
+(* Returns the SDC / map-first metrics so the JSON file covers the
+   extension flows too. *)
 let print_map_first rows =
+  let extension_metrics = ref [] in
   section "Extension: SDC and map-first heuristics vs the MILP flows";
   Fmt.pr "SDC = difference-constraint modulo scheduling (LegUp/Vivado-HLS@.";
   Fmt.pr "style, paper refs [22][3]); Map-first = the paper's future-work@.";
@@ -440,6 +445,10 @@ let print_map_first rows =
             List.assoc_opt Mams.Flow.Milp_map results )
         with
         | Some (Ok hls), Ok sdc, Ok mf, Some (Ok map) ->
+            extension_metrics :=
+              Mams.Flow.metrics ~name:entry.name mf
+              :: Mams.Flow.metrics ~name:entry.name sdc
+              :: !extension_metrics;
             Some
               [
                 entry.name;
@@ -453,7 +462,8 @@ let print_map_first rows =
         | _, _, _, _ -> None)
       rows
   in
-  Fmt.pr "%s@." (Report.table ~columns table_rows)
+  Fmt.pr "%s@." (Report.table ~columns table_rows);
+  List.rev !extension_metrics
 
 (* ------------------------------------------------------------------ *)
 (* Scaling study: model size vs. runtime (Sec. 4.3's observation that   *)
@@ -657,10 +667,34 @@ let micro_benchmarks () =
   in
   Fmt.pr "%s@." (Report.table ~columns rows)
 
+(* ------------------------------------------------------------------ *)
+(* Structured metrics: BENCH_results.json (README.md "Observability")  *)
+(* ------------------------------------------------------------------ *)
+
+let table1_metrics rows =
+  List.concat_map
+    (fun { entry; results } ->
+      List.map
+        (fun (m, r) ->
+          match r with
+          | Ok r -> Mams.Flow.metrics ~name:entry.name r
+          | Error _ -> Mams.Flow.error_metrics ~name:entry.name m)
+        results)
+    rows
+
+let write_metrics results =
+  let path =
+    Option.value (Sys.getenv_opt "PIPESYN_JSON") ~default:"BENCH_results.json"
+  in
+  Obs.Metrics.write_file ~path ~results;
+  Fmt.pr "@.wrote %s (%d results, schema v%d)@." path (List.length results)
+    Obs.Metrics.schema_version
+
 let () =
   Fmt.pr "pipesyn benchmark harness — reproduction of Zhao et al., DAC 2015@.";
   Fmt.pr "MILP budget per solve: %.0fs (PIPESYN_TIME_LIMIT to change)@."
     time_limit;
+  Obs.reset ();
   let rows = run_table1 () in
   print_table1 rows;
   print_table2 rows;
@@ -669,7 +703,8 @@ let () =
   print_ablation_liveness ();
   print_ablation_pruning ();
   print_ablation_exact_mapping ();
-  print_map_first rows;
+  let extension_metrics = print_map_first rows in
   print_scaling ();
+  write_metrics (table1_metrics rows @ extension_metrics);
   if Sys.getenv_opt "PIPESYN_SKIP_MICRO" = None then micro_benchmarks ();
   Fmt.pr "@.done.@."

@@ -120,8 +120,16 @@ let run_cmd =
          & info [ "O"; "optimize" ]
              ~doc:"Run the frontend simplifier (DCE, constant folding, CSE) first.")
   in
-  let run name method_ time_limit ii k alpha beta verbose optimize =
+  let json_arg =
+    let doc =
+      "Write structured metrics for every method run to $(docv) (the \
+       schema documented in README.md, section Observability)."
+    in
+    Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"FILE")
+  in
+  let run name method_ time_limit ii k alpha beta verbose optimize json =
     setup_logs verbose;
+    Obs.reset ();
     let e = entry_of name in
     let g = e.build () in
     let g =
@@ -151,24 +159,34 @@ let run_cmd =
       | Some m -> [ m ]
       | None -> [ Mams.Flow.Hls_tool; Mams.Flow.Milp_base; Mams.Flow.Milp_map ]
     in
-    List.iter
-      (fun m ->
-        match Mams.Flow.run setup m g with
-        | Ok r ->
-            Fmt.pr "%a@." Mams.Flow.pp_result r;
-            if verbose then begin
-              Fmt.pr "%a@." (Sched.Schedule.pp_detailed g) r.Mams.Flow.schedule;
-              Fmt.pr "cover:@.%a@." (Sched.Cover.pp g) r.Mams.Flow.cover
-            end
-        | Error err -> Fmt.pr "%-9s error: %s@." (Mams.Flow.method_name m) err)
-      methods
+    let metrics =
+      List.map
+        (fun m ->
+          match Mams.Flow.run setup m g with
+          | Ok r ->
+              Fmt.pr "%a@." Mams.Flow.pp_result r;
+              if verbose then begin
+                Fmt.pr "%a@." (Sched.Schedule.pp_detailed g) r.Mams.Flow.schedule;
+                Fmt.pr "cover:@.%a@." (Sched.Cover.pp g) r.Mams.Flow.cover
+              end;
+              Mams.Flow.metrics ~name:e.name r
+          | Error err ->
+              Fmt.pr "%-9s error: %s@." (Mams.Flow.method_name m) err;
+              Mams.Flow.error_metrics ~name:e.name m)
+        methods
+    in
+    match json with
+    | None -> ()
+    | Some path ->
+        Obs.Metrics.write_file ~path ~results:metrics;
+        Fmt.pr "wrote %s@." path
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Run one or all pipeline synthesis flows on a benchmark.")
     Term.(
       const run $ bench_arg $ method_arg $ time_limit_arg $ ii_arg $ k_arg
-      $ alpha_arg $ beta_arg $ verbose_arg $ optimize_arg)
+      $ alpha_arg $ beta_arg $ verbose_arg $ optimize_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* cuts                                                                *)

@@ -36,6 +36,7 @@ type result = {
   cover : Sched.Cover.t;
   qor : Sched.Qor.t;
   solve : solve_info;
+  metrics : Obs.Metrics.t;
 }
 
 let method_name = function
@@ -44,6 +45,41 @@ let method_name = function
   | Milp_base -> "MILP-base"
   | Milp_map -> "MILP-map"
   | Map_heuristic -> "Map-first"
+
+let metrics_of setup method_ ~cuts_total (qor : Sched.Qor.t)
+    (solve : solve_info) =
+  {
+    Obs.Metrics.name = "";
+    method_ = method_name method_;
+    lut = qor.Sched.Qor.luts;
+    ff = qor.Sched.Qor.ffs;
+    slack = setup.device.Fpga.Device.t_clk -. qor.Sched.Qor.cp;
+    solve_s = solve.runtime;
+    bnb_nodes =
+      (match solve.milp_stats with
+      | Some s -> s.Lp.Milp.nodes
+      | None -> 0);
+    cuts_total;
+    status =
+      (match solve.milp_status with
+      | Some s -> Fmt.str "%a" Lp.Milp.pp_status s
+      | None -> "heuristic");
+  }
+
+let metrics ~name r = { r.metrics with Obs.Metrics.name }
+
+let error_metrics ~name method_ =
+  {
+    Obs.Metrics.name;
+    method_ = method_name method_;
+    lut = 0;
+    ff = 0;
+    slack = Float.nan;
+    solve_s = 0.0;
+    bnb_nodes = 0;
+    cuts_total = 0;
+    status = "error";
+  }
 
 let heuristic_info = { runtime = 0.0; milp_status = None; milp_stats = None;
                        model_size = None }
@@ -54,7 +90,7 @@ let verify_ctx (s : setup) : Sched.Verify.context =
 
 (* Final QoR is always measured under the mapped delay model — the analogue
    of post-place-and-route reporting. *)
-let finalize setup g cover sched solve method_ =
+let finalize setup g ~cuts_total cover sched solve method_ =
   let sched =
     Sched.Timing.recompute_starts ~device:setup.device ~delays:setup.delays g
       cover sched
@@ -69,7 +105,8 @@ let finalize setup g cover sched solve method_ =
         Sched.Qor.evaluate ~device:setup.device ~delays:setup.delays g cover
           sched
       in
-      Ok { method_; schedule = sched; cover; qor; solve = solve }
+      let metrics = metrics_of setup method_ ~cuts_total qor solve in
+      Ok { method_; schedule = sched; cover; qor; solve; metrics }
 
 let enum_cuts setup g =
   let params =
@@ -96,7 +133,8 @@ let run_hls setup g =
         Techmap.map_schedule ~device:setup.device ~delays:setup.delays ~cuts g
           sched
       in
-      finalize setup g cover sched heuristic_info Hls_tool
+      finalize setup g ~cuts_total:(Cuts.total_cuts cuts) cover sched
+        heuristic_info Hls_tool
 
 (* SDC modulo scheduling (the LegUp/Vivado-HLS style baseline, refs [22]
    and [3] of the paper), with the same downstream mapping as the HLS
@@ -113,7 +151,8 @@ let run_sdc setup g =
         Techmap.map_schedule ~device:setup.device ~delays:setup.delays ~cuts g
           sched
       in
-      finalize setup g cover sched heuristic_info Sdc_tool
+      finalize setup g ~cuts_total:(Cuts.total_cuts cuts) cover sched
+        heuristic_info Sdc_tool
 
 (* Map-first (the paper's future-work heuristic): area-flow cover of the
    whole graph, then cover-aware ASAP modulo scheduling. *)
@@ -126,7 +165,9 @@ let run_map_first setup g =
   with
   | Error e ->
       Error (Fmt.str "map-first failed: %a" Sched.Heuristic.pp_error e)
-  | Ok sched -> finalize setup g cover sched heuristic_info Map_heuristic
+  | Ok sched ->
+      finalize setup g ~cuts_total:(Cuts.total_cuts cuts) cover sched
+        heuristic_info Map_heuristic
 
 let run_milp setup g ~mapping_aware =
   match baseline setup g with
@@ -258,7 +299,9 @@ let run_milp setup g ~mapping_aware =
                r.Lp.Milp.status runtime)
       | Lp.Milp.Optimal | Lp.Milp.Feasible ->
           let sched, cover = Formulation.extract f r in
-          if mapping_aware then finalize setup g cover sched solve Milp_map
+          if mapping_aware then
+            finalize setup g ~cuts_total:(Cuts.total_cuts cuts) cover sched
+              solve Milp_map
           else
             (* MILP-base: exact schedule, then the same downstream mapping
                as the commercial flow. *)
@@ -267,7 +310,8 @@ let run_milp setup g ~mapping_aware =
               Techmap.map_schedule ~device:setup.device ~delays:setup.delays
                 ~cuts:cuts_full g sched
             in
-            finalize setup g cover sched solve Milp_base)
+            finalize setup g ~cuts_total:(Cuts.total_cuts cuts_full) cover
+              sched solve Milp_base)
 
 let run setup method_ g =
   match method_ with

@@ -49,6 +49,9 @@ type result = {
   cover : Sched.Cover.t;
   qor : Sched.Qor.t;
   solve : solve_info;
+  metrics : Obs.Metrics.t;
+      (** structured metrics for JSON emission; [name] is [""] until a
+          caller brands it with {!metrics} *)
 }
 
 val run : setup -> method_ -> Ir.Cdfg.t -> (result, string) Stdlib.result
@@ -59,4 +62,13 @@ val run_all : setup -> Ir.Cdfg.t -> (method_ * (result, string) Stdlib.result) l
 (** All three flows in Table 1 order. *)
 
 val method_name : method_ -> string
+
+val metrics : name:string -> result -> Obs.Metrics.t
+(** The result's metrics record stamped with the benchmark [name] — the
+    unit serialized by [pipesyn --json] and [BENCH_results.json]. *)
+
+val error_metrics : name:string -> method_ -> Obs.Metrics.t
+(** A placeholder record (zero QoR, NaN slack, status ["error"]) so failed
+    runs still appear in the perf trajectory. *)
+
 val pp_result : result Fmt.t

@@ -1,5 +1,14 @@
 module Int_set = Bitdep.Int_set
 
+(* Instrumentation (lib/obs): additive — never influences which cuts are
+   produced. *)
+let c_candidates = Obs.Counter.get "cuts.candidates"
+let c_enumerated = Obs.Counter.get "cuts.enumerated"
+let c_infeasible = Obs.Counter.get "cuts.infeasible"
+let c_pruned = Obs.Counter.get "cuts.pruned"
+let c_merges = Obs.Counter.get "cuts.node_merges"
+let t_enumerate = Obs.Timer.get "cuts.enumerate"
+
 type cut = {
   root : int;
   leaves : int list;
@@ -126,6 +135,7 @@ let merged_leaf_sets ~cap choices =
   |> List.sort_uniq compare
 
 let enumerate ?params ~k g =
+  Obs.Timer.span t_enumerate @@ fun () ->
   let p = match params with Some p -> p | None -> default_params ~k in
   let n = Ir.Cdfg.num_nodes g in
   (* Building blocks: for each node, the leaf sets successors may choose
@@ -150,8 +160,12 @@ let enumerate ?params ~k g =
         if Int_set.cardinal cone = 1 then None (* that's the trivial cut *)
         else
           let support = Bitdep.max_support_width g ~root:v ~cone in
-          if support > p.k then None
-          else
+          if support > p.k then begin
+            Obs.Counter.incr c_infeasible;
+            None
+          end
+          else begin
+            Obs.Counter.incr c_enumerated;
             Some
               {
                 root = v;
@@ -160,6 +174,7 @@ let enumerate ?params ~k g =
                 support;
                 area = area ~k:p.k g ~root:v ~cone;
               }
+          end
   in
   let merge v =
     if not (absorbable g v) then [ trivial_cut ~k:p.k g v ]
@@ -173,6 +188,7 @@ let enumerate ?params ~k g =
                  if e.dist > 0 then [ [ e.src ] ] else blocks.(e.src))
         in
         let candidates = merged_leaf_sets ~cap:p.max_candidates choices in
+        Obs.Counter.incr ~by:(List.length candidates) c_candidates;
         let cuts =
           List.filter_map
             (fun leaves ->
@@ -183,6 +199,7 @@ let enumerate ?params ~k g =
         let cuts = List.sort_uniq (fun a b -> compare a.leaves b.leaves) cuts in
         let ranked = List.sort rank cuts in
         let kept = List.filteri (fun i _ -> i < p.max_cuts) ranked in
+        Obs.Counter.incr ~by:(List.length ranked - List.length kept) c_pruned;
         trivial_cut ~k:p.k g v :: kept
   in
   (* Algorithm 1: worklist over nodes in topological order; re-enqueue
@@ -202,6 +219,7 @@ let enumerate ?params ~k g =
   while not (Queue.is_empty queue) do
     let v = Queue.pop queue in
     queued.(v) <- false;
+    Obs.Counter.incr c_merges;
     let fresh = merge v in
     if not (same_cutset fresh result.(v)) then begin
       result.(v) <- fresh;

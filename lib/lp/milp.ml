@@ -19,6 +19,16 @@ let src = Logs.Src.create "lp.milp" ~doc:"branch and bound"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+(* Instrumentation (lib/obs): cumulative across solves; reset by the
+   driver. Purely observational — branching decisions never read it. *)
+let c_solves = Obs.Counter.get "milp.solves"
+let c_nodes = Obs.Counter.get "milp.bnb_nodes"
+let c_pivots = Obs.Counter.get "milp.lp_pivots"
+let c_incumbents = Obs.Counter.get "milp.incumbents"
+let s_incumbents = Obs.Series.get "milp.incumbents"
+let s_gap = Obs.Series.get "milp.exit_gap"
+let t_solve = Obs.Timer.get "milp.solve"
+
 type node = { nlb : float array; nub : float array; bound : float; depth : int }
 
 let most_fractional raw ~int_tol ?priority x =
@@ -51,6 +61,8 @@ let snap raw ~int_tol x =
 
 let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
     ?(gap_tol = 1e-6) ?(int_tol = 1e-6) ?incumbent ?branch_priority model =
+  Obs.Timer.span t_solve @@ fun () ->
+  Obs.Counter.incr c_solves;
   let raw = Model.to_raw model in
   let t0 = Sys.time () in
   let elapsed () = Sys.time () -. t0 in
@@ -65,7 +77,9 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
       | Error msg -> invalid_arg ("Milp.solve: infeasible incumbent: " ^ msg)
       | Ok () -> ());
       best_x := Some (Array.copy x);
-      best_obj := Array.fold_left ( +. ) 0.0 (Array.mapi (fun j v -> raw.obj.(j) *. v) x));
+      best_obj := Array.fold_left ( +. ) 0.0 (Array.mapi (fun j v -> raw.obj.(j) *. v) x);
+      Obs.Counter.incr c_incumbents;
+      Obs.Series.add s_incumbents ~x:(elapsed ()) ~y:!best_obj);
   let nodes = ref 0 and lp_iters = ref 0 in
   let root_bound = ref neg_infinity in
   let stack = ref [] in
@@ -124,6 +138,8 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
                   if obj < !best_obj -. 1e-9 then begin
                     best_obj := obj;
                     best_x := Some x;
+                    Obs.Counter.incr c_incumbents;
+                    Obs.Series.add s_incumbents ~x:(elapsed ()) ~y:obj;
                     Log.info (fun f ->
                         f "incumbent %.6g at node %d depth %d" obj !nodes
                           node.depth)
@@ -180,6 +196,9 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
       gap;
     }
   in
+  Obs.Counter.incr ~by:stats.nodes c_nodes;
+  Obs.Counter.incr ~by:stats.lp_iterations c_pivots;
+  Obs.Series.add s_gap ~x:stats.elapsed ~y:stats.gap;
   match !best_x with
   | Some x ->
       let status =

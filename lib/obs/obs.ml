@@ -1,0 +1,427 @@
+(* Process-global instrumentation registry. Everything is stdlib-only:
+   the library must be linkable from the innermost subsystems (lp, cuts)
+   without dragging in fmt/logs, and the JSON emitter replaces yojson. *)
+
+module Counter = struct
+  type t = { cname : string; mutable n : int }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+  let get name =
+    match Hashtbl.find_opt registry name with
+    | Some c -> c
+    | None ->
+        let c = { cname = name; n = 0 } in
+        Hashtbl.add registry name c;
+        c
+
+  let incr ?(by = 1) c = c.n <- c.n + by
+  let value c = c.n
+  let name c = c.cname
+  let reset_all () = Hashtbl.iter (fun _ c -> c.n <- 0) registry
+
+  let snapshot () =
+    Hashtbl.fold (fun _ c acc -> if c.n <> 0 then (c.cname, c.n) :: acc else acc)
+      registry []
+    |> List.sort compare
+end
+
+module Timer = struct
+  type t = { tname : string; mutable total : float; mutable spans : int }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+  let get name =
+    match Hashtbl.find_opt registry name with
+    | Some t -> t
+    | None ->
+        let t = { tname = name; total = 0.0; spans = 0 } in
+        Hashtbl.add registry name t;
+        t
+
+  let span t f =
+    let t0 = Sys.time () in
+    let record () =
+      t.total <- t.total +. (Sys.time () -. t0);
+      t.spans <- t.spans + 1
+    in
+    match f () with
+    | v ->
+        record ();
+        v
+    | exception e ->
+        record ();
+        raise e
+
+  let elapsed t = t.total
+  let count t = t.spans
+  let name t = t.tname
+
+  let reset_all () =
+    Hashtbl.iter
+      (fun _ t ->
+        t.total <- 0.0;
+        t.spans <- 0)
+      registry
+
+  let snapshot () =
+    Hashtbl.fold
+      (fun _ t acc ->
+        if t.total <> 0.0 then (t.tname, t.total) :: acc else acc)
+      registry []
+    |> List.sort compare
+end
+
+module Series = struct
+  type t = { sname : string; mutable pts : (float * float) list (* reversed *) }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 8
+
+  let get name =
+    match Hashtbl.find_opt registry name with
+    | Some s -> s
+    | None ->
+        let s = { sname = name; pts = [] } in
+        Hashtbl.add registry name s;
+        s
+
+  let add s ~x ~y = s.pts <- (x, y) :: s.pts
+  let points s = List.rev s.pts
+  let name s = s.sname
+  let reset_all () = Hashtbl.iter (fun _ s -> s.pts <- []) registry
+
+  let snapshot () =
+    Hashtbl.fold
+      (fun _ s acc ->
+        if s.pts <> [] then (s.sname, List.rev s.pts) :: acc else acc)
+      registry []
+    |> List.sort compare
+end
+
+let reset () =
+  Counter.reset_all ();
+  Timer.reset_all ();
+  Series.reset_all ()
+
+let counters () = Counter.snapshot ()
+let timers () = Timer.snapshot ()
+let series () = Series.snapshot ()
+
+let snapshot () =
+  List.map (fun (n, v) -> (n, float_of_int v)) (counters ())
+  @ List.map (fun (n, v) -> (n ^ ".s", v)) (timers ())
+  |> List.sort compare
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  (* Floats print with enough digits to round-trip and always in a form
+     float_of_string reads back; non-finite values have no JSON spelling
+     and degrade to null. *)
+  let float_repr f =
+    if not (Float.is_finite f) then None
+    else
+      let s = Printf.sprintf "%.12g" f in
+      Some
+        (if String.exists (fun c -> c = '.' || c = 'e' || c = 'n') s then s
+         else s ^ ".0")
+
+  let rec emit buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> (
+        match float_repr f with
+        | None -> Buffer.add_string buf "null"
+        | Some s -> Buffer.add_string buf s)
+    | String s -> escape buf s
+    | List xs ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_string buf ", ";
+            emit buf x)
+          xs;
+        Buffer.add_char buf ']'
+    | Obj kvs ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string buf ", ";
+            escape buf k;
+            Buffer.add_string buf ": ";
+            emit buf v)
+          kvs;
+        Buffer.add_char buf '}'
+
+  let to_string j =
+    let buf = Buffer.create 256 in
+    emit buf j;
+    Buffer.contents buf
+
+  let to_channel oc j =
+    output_string oc (to_string j);
+    output_char oc '\n'
+
+  (* ---- minimal parser -------------------------------------------------- *)
+
+  exception Parse of string
+
+  type cursor = { s : string; mutable pos : int }
+
+  let peek c = if c.pos < String.length c.s then Some c.s.[c.pos] else None
+
+  let skip_ws c =
+    while
+      c.pos < String.length c.s
+      && (match c.s.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      c.pos <- c.pos + 1
+    done
+
+  let expect c ch =
+    match peek c with
+    | Some x when x = ch -> c.pos <- c.pos + 1
+    | Some x -> raise (Parse (Printf.sprintf "expected '%c', got '%c' at %d" ch x c.pos))
+    | None -> raise (Parse (Printf.sprintf "expected '%c', got end of input" ch))
+
+  let literal c word v =
+    let n = String.length word in
+    if c.pos + n <= String.length c.s && String.sub c.s c.pos n = word then begin
+      c.pos <- c.pos + n;
+      v
+    end
+    else raise (Parse (Printf.sprintf "bad literal at %d" c.pos))
+
+  let parse_string c =
+    expect c '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek c with
+      | None -> raise (Parse "unterminated string")
+      | Some '"' -> c.pos <- c.pos + 1
+      | Some '\\' -> (
+          c.pos <- c.pos + 1;
+          match peek c with
+          | None -> raise (Parse "unterminated escape")
+          | Some e ->
+              c.pos <- c.pos + 1;
+              (match e with
+              | '"' -> Buffer.add_char buf '"'
+              | '\\' -> Buffer.add_char buf '\\'
+              | '/' -> Buffer.add_char buf '/'
+              | 'n' -> Buffer.add_char buf '\n'
+              | 'r' -> Buffer.add_char buf '\r'
+              | 't' -> Buffer.add_char buf '\t'
+              | 'b' -> Buffer.add_char buf '\b'
+              | 'f' -> Buffer.add_char buf '\012'
+              | 'u' ->
+                  if c.pos + 4 > String.length c.s then
+                    raise (Parse "short \\u escape");
+                  let hex = String.sub c.s c.pos 4 in
+                  c.pos <- c.pos + 4;
+                  let code =
+                    try int_of_string ("0x" ^ hex)
+                    with _ -> raise (Parse "bad \\u escape")
+                  in
+                  (* ASCII only — enough for the escapes we emit *)
+                  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                  else raise (Parse "non-ASCII \\u escape unsupported")
+              | e -> raise (Parse (Printf.sprintf "bad escape '\\%c'" e)));
+              go ())
+      | Some ch ->
+          c.pos <- c.pos + 1;
+          Buffer.add_char buf ch;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+
+  let parse_number c =
+    let start = c.pos in
+    let numchar ch =
+      match ch with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while
+      c.pos < String.length c.s && numchar c.s.[c.pos]
+    do
+      c.pos <- c.pos + 1
+    done;
+    let tok = String.sub c.s start (c.pos - start) in
+    match int_of_string_opt tok with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt tok with
+        | Some f -> Float f
+        | None -> raise (Parse (Printf.sprintf "bad number %S at %d" tok start)))
+
+  let rec parse_value c =
+    skip_ws c;
+    match peek c with
+    | None -> raise (Parse "unexpected end of input")
+    | Some '{' ->
+        c.pos <- c.pos + 1;
+        skip_ws c;
+        if peek c = Some '}' then begin
+          c.pos <- c.pos + 1;
+          Obj []
+        end
+        else
+          let rec members acc =
+            skip_ws c;
+            let k = parse_string c in
+            skip_ws c;
+            expect c ':';
+            let v = parse_value c in
+            skip_ws c;
+            match peek c with
+            | Some ',' ->
+                c.pos <- c.pos + 1;
+                members ((k, v) :: acc)
+            | Some '}' ->
+                c.pos <- c.pos + 1;
+                List.rev ((k, v) :: acc)
+            | _ -> raise (Parse (Printf.sprintf "expected ',' or '}' at %d" c.pos))
+          in
+          Obj (members [])
+    | Some '[' ->
+        c.pos <- c.pos + 1;
+        skip_ws c;
+        if peek c = Some ']' then begin
+          c.pos <- c.pos + 1;
+          List []
+        end
+        else
+          let rec items acc =
+            let v = parse_value c in
+            skip_ws c;
+            match peek c with
+            | Some ',' ->
+                c.pos <- c.pos + 1;
+                items (v :: acc)
+            | Some ']' ->
+                c.pos <- c.pos + 1;
+                List.rev (v :: acc)
+            | _ -> raise (Parse (Printf.sprintf "expected ',' or ']' at %d" c.pos))
+          in
+          List (items [])
+    | Some '"' -> String (parse_string c)
+    | Some 't' -> literal c "true" (Bool true)
+    | Some 'f' -> literal c "false" (Bool false)
+    | Some 'n' -> literal c "null" Null
+    | Some _ -> parse_number c
+
+  let of_string s =
+    let c = { s; pos = 0 } in
+    match parse_value c with
+    | v ->
+        skip_ws c;
+        if c.pos <> String.length s then
+          Error (Printf.sprintf "trailing garbage at %d" c.pos)
+        else Ok v
+    | exception Parse msg -> Error msg
+
+  let member key = function
+    | Obj kvs -> List.assoc_opt key kvs
+    | _ -> None
+end
+
+module Metrics = struct
+  type t = {
+    name : string;
+    method_ : string;
+    lut : int;
+    ff : int;
+    slack : float;
+    solve_s : float;
+    bnb_nodes : int;
+    cuts_total : int;
+    status : string;
+  }
+
+  let schema_version = 1
+
+  let to_json m =
+    Json.Obj
+      [
+        ("name", Json.String m.name);
+        ("method", Json.String m.method_);
+        ("lut", Json.Int m.lut);
+        ("ff", Json.Int m.ff);
+        ("slack", Json.Float m.slack);
+        ("solve_s", Json.Float m.solve_s);
+        ("bnb_nodes", Json.Int m.bnb_nodes);
+        ("cuts_total", Json.Int m.cuts_total);
+        ("status", Json.String m.status);
+      ]
+
+  let of_json j =
+    let str k =
+      match Json.member k j with
+      | Some (Json.String s) -> Ok s
+      | _ -> Error (Printf.sprintf "missing string field %S" k)
+    in
+    let int k =
+      match Json.member k j with
+      | Some (Json.Int i) -> Ok i
+      | _ -> Error (Printf.sprintf "missing int field %S" k)
+    in
+    let flt k =
+      match Json.member k j with
+      | Some (Json.Float f) -> Ok f
+      | Some (Json.Int i) -> Ok (float_of_int i)
+      | Some Json.Null -> Ok Float.nan
+      | _ -> Error (Printf.sprintf "missing number field %S" k)
+    in
+    let ( let* ) = Result.bind in
+    let* name = str "name" in
+    let* method_ = str "method" in
+    let* lut = int "lut" in
+    let* ff = int "ff" in
+    let* slack = flt "slack" in
+    let* solve_s = flt "solve_s" in
+    let* bnb_nodes = int "bnb_nodes" in
+    let* cuts_total = int "cuts_total" in
+    let* status = str "status" in
+    Ok { name; method_; lut; ff; slack; solve_s; bnb_nodes; cuts_total; status }
+
+  let file ~results =
+    Json.Obj
+      [
+        ("schema_version", Json.Int schema_version);
+        ( "obs",
+          Json.Obj (List.map (fun (n, v) -> (n, Json.Float v)) (snapshot ())) );
+        ("results", Json.List (List.map to_json results));
+      ]
+
+  let write_file ~path ~results =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> Json.to_channel oc (file ~results))
+end

@@ -1,0 +1,185 @@
+(** Zero-dependency instrumentation and structured-metrics layer.
+
+    Every hot path of the synthesis flow — cut enumeration
+    ({!Cuts.enumerate}), the branch-and-bound MILP ({!Lp.Milp.solve}), the
+    frontend simplifier ({!Opt.simplify}) and downstream technology mapping
+    ({!Techmap.map_schedule}) — reports what it did through this module:
+    monotonic {!Counter}s, accumulating phase {!Timer}s and timestamped
+    {!Series}. All state lives in one process-global registry so a driver
+    can {!reset}, run a flow, and {!snapshot} what happened without
+    threading a context object through every call site.
+
+    Instrumentation is {e additive}: it never influences a schedule, cover
+    or solver decision (verified by [test/test_obs.ml], which checks QoR is
+    byte-identical across repeated instrumented runs). Timings use
+    [Sys.time] — per-process CPU seconds, the same clock the solver budget
+    uses — so no Unix dependency is introduced.
+
+    {!Json} is a deliberately tiny hand-rolled JSON tree (emitter and a
+    minimal parser for round-trip checks); {!Metrics} is the stable
+    per-benchmark record serialized by [pipesyn --json] and the bench
+    harness's [BENCH_results.json]. The schema is documented in README.md
+    ("Observability"). *)
+
+(** {1 Counters} *)
+
+(** Named monotonic event counters (cuts enumerated, B&B nodes, …).
+
+    Counters are created once (per name) in a global registry and bumped
+    from hot loops; reading and resetting are driver-side operations. *)
+module Counter : sig
+  type t
+
+  val get : string -> t
+  (** [get name] returns the counter registered under [name], creating it
+      at zero on first use. Names are dot-separated by convention
+      ([subsystem.event], e.g. ["milp.nodes"]). *)
+
+  val incr : ?by:int -> t -> unit
+  (** Adds [by] (default 1) to the counter. *)
+
+  val value : t -> int
+  (** Current count since the last {!reset}. *)
+
+  val name : t -> string
+end
+
+(** {1 Phase timers} *)
+
+(** Accumulating wall-of-CPU phase timers.
+
+    A timer sums the [Sys.time] spans of every {!Timer.span} call, so one
+    timer per phase ("cuts.enumerate", "milp.solve") accumulates across
+    repeated invocations — per-benchmark totals fall out of a
+    {!reset}/{!snapshot} bracket. *)
+module Timer : sig
+  type t
+
+  val get : string -> t
+  (** [get name] returns the timer registered under [name], creating it on
+      first use (same registry discipline as {!Counter.get}). *)
+
+  val span : t -> (unit -> 'a) -> 'a
+  (** [span t f] runs [f ()], adds its CPU-time duration to [t], and
+      returns (or re-raises) [f]'s outcome. *)
+
+  val elapsed : t -> float
+  (** Accumulated seconds since the last {!reset}. *)
+
+  val count : t -> int
+  (** Number of completed {!span}s since the last {!reset}. *)
+
+  val name : t -> string
+end
+
+(** {1 Timestamped series} *)
+
+(** Append-only [(timestamp, value)] series — e.g. the objective of every
+    incumbent the MILP finds, stamped with solver-relative seconds. *)
+module Series : sig
+  type t
+
+  val get : string -> t
+  (** [get name] returns the series registered under [name], creating it
+      empty on first use. *)
+
+  val add : t -> x:float -> y:float -> unit
+  (** Appends one [(x, y)] point. *)
+
+  val points : t -> (float * float) list
+  (** Points in insertion order since the last {!reset}. *)
+
+  val name : t -> string
+end
+
+(** {1 Registry} *)
+
+val reset : unit -> unit
+(** Zeroes every counter, timer and series (the registry keeps the names).
+    Drivers call this between benchmarks so snapshots are per-run. *)
+
+val counters : unit -> (string * int) list
+(** All counters with non-zero values, sorted by name. *)
+
+val timers : unit -> (string * float) list
+(** All timers with non-zero elapsed time, sorted by name. *)
+
+val series : unit -> (string * (float * float) list) list
+(** All non-empty series, sorted by name. *)
+
+val snapshot : unit -> (string * float) list
+(** Counters and timers merged into one sorted [(name, value)] list —
+    counters as floats, timer names suffixed with [".s"]. The flat form
+    embedded under ["obs"] in the JSON output. *)
+
+(** {1 JSON} *)
+
+(** Minimal JSON tree: hand-rolled emitter (no external dependency) plus a
+    small parser used by tests and CI to check that emitted files are
+    well-formed and round-trip. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float  (** non-finite floats are emitted as [null] *)
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Compact single-line rendering (RFC 8259 string escaping). *)
+
+  val to_channel : out_channel -> t -> unit
+  (** {!to_string} followed by a newline. *)
+
+  val of_string : string -> (t, string) result
+  (** Minimal recursive-descent parser for the subset {!to_string} emits
+      (numbers are parsed with OCaml's [float_of_string]; no unicode
+      escapes beyond [\uXXXX] pass-through). Not a general-purpose JSON
+      reader — it exists so the metrics files can be validated without a
+      yojson dependency. *)
+
+  val member : string -> t -> t option
+  (** [member key (Obj _)] looks up [key]; [None] on other constructors. *)
+end
+
+(** {1 Structured metrics} *)
+
+(** The stable per-(benchmark, method) record behind [pipesyn --json] and
+    [BENCH_results.json] — the repository's perf-trajectory unit. *)
+module Metrics : sig
+  type t = {
+    name : string;  (** benchmark name, e.g. ["GFMUL"] *)
+    method_ : string;  (** flow name as printed by {!Mams.Flow.method_name} *)
+    lut : int;  (** LUTs used (QoR model) *)
+    ff : int;  (** flip-flop bits used (QoR model) *)
+    slack : float;  (** [t_clk - achieved CP], ns (negative = violated) *)
+    solve_s : float;  (** MILP seconds (0 for the heuristic flows) *)
+    bnb_nodes : int;  (** branch-and-bound nodes explored (0 heuristic) *)
+    cuts_total : int;  (** cuts enumerated for the run's cut sets *)
+    status : string;
+        (** MILP exit status, ["heuristic"] for solver-free flows, or
+            ["error"] for failed runs *)
+  }
+
+  val schema_version : int
+  (** Bumped whenever a field is added/renamed; emitted at the top level of
+      every metrics file. *)
+
+  val to_json : t -> Json.t
+  (** One flat object: [{"name": …, "method": …, "lut": …, "ff": …,
+      "slack": …, "solve_s": …, "bnb_nodes": …, "cuts_total": …,
+      "status": …}]. *)
+
+  val of_json : Json.t -> (t, string) result
+  (** Inverse of {!to_json} (round-trip checks). *)
+
+  val file : results:t list -> Json.t
+  (** The emitted file shape:
+      [{"schema_version": …, "obs": {flat snapshot}, "results": […]}] —
+      [obs] carries the {!snapshot} at emission time. *)
+
+  val write_file : path:string -> results:t list -> unit
+  (** Writes {!file} to [path] (truncating). *)
+end

@@ -224,13 +224,25 @@ let cse g =
   if !count = 0 then (g, 0)
   else (rebuild g ~replace ~new_op:(no_subst g), !count)
 
+(* Instrumentation (lib/obs): per-pass totals, additive only. *)
+let c_removed = Obs.Counter.get "opt.dead_code_removed"
+let c_folded = Obs.Counter.get "opt.constants_folded"
+let c_merged = Obs.Counter.get "opt.cse_merged"
+let c_rounds = Obs.Counter.get "opt.rounds"
+let t_simplify = Obs.Timer.get "opt.simplify"
+
 let simplify ?(max_rounds = 8) g =
+  Obs.Timer.span t_simplify @@ fun () ->
   let rec go g acc round =
     if round >= max_rounds then (g, { acc with rounds = round })
     else begin
       let g, folded = fold_constants g in
       let g, merged = cse g in
       let g, removed = dead_code g in
+      Obs.Counter.incr ~by:folded c_folded;
+      Obs.Counter.incr ~by:merged c_merged;
+      Obs.Counter.incr ~by:removed c_removed;
+      Obs.Counter.incr c_rounds;
       let acc =
         {
           removed = acc.removed + removed;

@@ -11,8 +11,11 @@ val table : columns:column list -> string list list -> string
     @raise Invalid_argument on a ragged row. *)
 
 val pct : reference:int -> int -> string
-(** The paper's percentage format: [(-42.1%)] relative to [reference];
-    empty when the reference is the row itself or zero. *)
+(** The paper's percentage format: [(-42.1%)] relative to [reference].
+    Empty only when [reference <= 0] (no meaningful baseline); an equal
+    value renders as [(+0.0%)] — callers that want the reference row
+    itself blank (as in Table 1) must skip the call for that row, which is
+    what the bench harness does. *)
 
 val f2 : float -> string
 (** Two-decimal float. *)

@@ -1,3 +1,9 @@
+(* Instrumentation (lib/obs): cover statistics, additive only. *)
+let c_covers = Obs.Counter.get "techmap.covers"
+let c_lut_area = Obs.Counter.get "techmap.lut_area"
+let c_absorbed = Obs.Counter.get "techmap.absorbed_nodes"
+let t_map = Obs.Timer.get "techmap.map"
+
 let required_roots g (sched : Sched.Schedule.t) =
   let n = Ir.Cdfg.num_nodes g in
   let req = Array.make n false in
@@ -29,6 +35,7 @@ let stage_local (sched : Sched.Schedule.t) req (c : Cuts.cut) =
     c.Cuts.cone
 
 let map_schedule ~device ~delays ~cuts g sched =
+  Obs.Timer.span t_map @@ fun () ->
   ignore device;
   ignore delays;
   let n = Ir.Cdfg.num_nodes g in
@@ -110,6 +117,19 @@ let map_schedule ~device ~delays ~cuts g sched =
     |> List.mapi (fun v c -> (v, c))
     |> List.filter_map (fun (v, c) -> Option.map (fun c -> (v, c)) c)
   in
+  Obs.Counter.incr c_covers;
+  List.iter
+    (fun (v, (c : Cuts.cut)) ->
+      Obs.Counter.incr ~by:c.Cuts.area c_lut_area;
+      Obs.Counter.incr
+        ~by:(Bitdep.Int_set.cardinal c.Cuts.cone - 1)
+        c_absorbed;
+      if c.Cuts.area > 0 then
+        Obs.Counter.incr ~by:c.Cuts.area
+          (Obs.Counter.get
+             (Printf.sprintf "techmap.stage%d.luts"
+                sched.Sched.Schedule.cycle.(v))))
+    selections;
   Sched.Cover.make g selections
 
 let map_exact ?(time_limit = 10.0) ~device ~delays ~cuts g sched =
