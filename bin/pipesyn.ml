@@ -269,6 +269,140 @@ let rtl_cmd =
     Term.(const run $ bench_arg $ method_arg $ time_limit_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
+(* lint                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Run every analyzer pass that applies to a benchmark: CDFG lints and
+   the pipelining pre-flight directly on the graph; then — when a
+   baseline schedule exists — the MILP model lints (build, don't solve),
+   the netlist lints on the HLS-flow netlist, and the schedule
+   certificate checker. *)
+let lint_entry ~k ~ii (e : Benchmarks.Registry.entry) =
+  let g = e.build () in
+  let setup = setup_of ~k ~ii ~time_limit:1.0 e in
+  let cfg =
+    {
+      Analyze.Preflight.device = setup.device;
+      delays = setup.delays;
+      resources = setup.resources;
+      ii = setup.ii;
+    }
+  in
+  let static = Analyze.Engine.check_cdfg g @ Analyze.Engine.preflight cfg g in
+  let derived =
+    if Analyze.Diag.has_errors static then
+      (* No point scheduling a graph the gate would reject. *)
+      []
+    else
+      match
+        Sched.Heuristic.schedule ~device:setup.device ~delays:setup.delays
+          ~resources:setup.resources ~ii:setup.ii g
+      with
+      | Error _ -> [] (* pre-flight already reported why *)
+      | Ok sched ->
+          let cuts = Cuts.enumerate ~k:setup.device.Fpga.Device.k g in
+          let fcfg =
+            Mams.Formulation.
+              {
+                device = setup.device;
+                delays = setup.delays;
+                resources = setup.resources;
+                ii = setup.ii;
+                max_latency = Sched.Schedule.latency sched;
+                alpha = setup.alpha;
+                beta = setup.beta;
+                cut_delay =
+                  Mams.Formulation.mapped_delay ~device:setup.device
+                    ~delays:setup.delays;
+              }
+          in
+          let f = Mams.Formulation.build fcfg g cuts in
+          let model_diags =
+            Analyze.Engine.check_model (Mams.Formulation.model f)
+          in
+          let cover =
+            Techmap.map_schedule ~device:setup.device ~delays:setup.delays
+              ~cuts g sched
+          in
+          let sched =
+            Sched.Timing.recompute_starts ~device:setup.device
+              ~delays:setup.delays g cover sched
+          in
+          let net_diags =
+            Analyze.Engine.check_netlist (Rtl.Netlist.of_design g cover sched)
+          in
+          let ctx =
+            {
+              Sched.Verify.device = setup.device;
+              delays = setup.delays;
+              resources = setup.resources;
+            }
+          in
+          let cert_diags = Analyze.Engine.check_certificate ctx g cover sched in
+          model_diags @ net_diags @ cert_diags
+  in
+  static @ derived
+
+let lint_cmd =
+  let bench_opt_arg =
+    let doc = "Benchmark to lint (see `pipesyn list')." in
+    Arg.(value & opt (some string) None & info [ "b"; "benchmark" ] ~doc)
+  in
+  let all_arg =
+    Arg.(value & flag & info [ "all" ] ~doc:"Lint every registry benchmark.")
+  in
+  let json_arg =
+    let doc = "Write the JSON lint report to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"FILE")
+  in
+  let run name all json ii k verbose =
+    setup_logs verbose;
+    Obs.reset ();
+    let entries =
+      if all then Benchmarks.Registry.all
+      else
+        match name with
+        | Some n -> [ entry_of n ]
+        | None ->
+            Fmt.epr "specify a benchmark with -b NAME or pass --all@.";
+            exit 2
+    in
+    let reports =
+      List.map
+        (fun (e : Benchmarks.Registry.entry) ->
+          let diags = lint_entry ~k ~ii e in
+          Fmt.pr "== %s: %s ==@." e.name (Analyze.Diag.summary diags);
+          if diags <> [] then Fmt.pr "%a@." Analyze.Diag.pp_report diags;
+          (e.name, diags))
+        entries
+    in
+    (match json with
+    | None -> ()
+    | Some path ->
+        Analyze.Engine.write_file ~path ~entries:reports;
+        Fmt.pr "wrote %s@." path);
+    let n_errors =
+      List.fold_left
+        (fun acc (_, ds) -> acc + List.length (Analyze.Diag.errors ds))
+        0 reports
+    in
+    if n_errors > 0 then begin
+      Fmt.epr "lint: %d error diagnostic%s@." n_errors
+        (if n_errors = 1 then "" else "s");
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the static-analysis passes (CDFG, pre-flight, LP model, \
+          netlist, certificate) over benchmarks; exit 1 on any \
+          error-severity diagnostic.")
+    Term.(
+      const run $ bench_opt_arg $ all_arg $ json_arg $ ii_arg $ k_arg
+      $ verbose_arg)
+
+(* ------------------------------------------------------------------ *)
 (* table1 / table2 pointers                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -291,4 +425,5 @@ let () =
   let info = Cmd.info "pipesyn" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; run_cmd; cuts_cmd; dot_cmd; rtl_cmd; tables_cmd ]))
+       (Cmd.group info
+          [ list_cmd; run_cmd; cuts_cmd; dot_cmd; rtl_cmd; lint_cmd; tables_cmd ]))

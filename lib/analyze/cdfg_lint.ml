@@ -1,0 +1,262 @@
+let pass_name = "cdfg-lint"
+
+let node_label (nd : Ir.Cdfg.node) =
+  match nd.name with
+  | Some s -> s
+  | None -> (
+      match nd.op with
+      | Ir.Op.Input s -> s
+      | _ -> Printf.sprintf "n%d" nd.id)
+
+(* ------------------------------------------------------------------ *)
+(* raw structural lints                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Structure: dense ids, in-range edges, non-negative distances. When
+   these fail the graph is not indexable, so the remaining passes are
+   skipped (their answers would be meaningless). *)
+let check_structure nodes outputs =
+  let n = Array.length nodes in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  if n = 0 then
+    add
+      (Diag.errorf ~code:"CDFG006" ~pass:pass_name ~loc:Diag.Global
+         "empty graph");
+  Array.iteri
+    (fun i (nd : Ir.Cdfg.node) ->
+      if nd.id <> i then
+        add
+          (Diag.errorf ~code:"CDFG006" ~pass:pass_name ~loc:(Diag.Node nd.id)
+             "node ids not dense: slot %d holds id %d" i nd.id))
+    nodes;
+  Array.iter
+    (fun (nd : Ir.Cdfg.node) ->
+      Array.iter
+        (fun (e : Ir.Cdfg.edge) ->
+          if e.src < 0 || e.src >= n then
+            add
+              (Diag.errorf ~code:"CDFG006" ~pass:pass_name
+                 ~loc:(Diag.Node nd.id)
+                 "%s: predecessor id %d out of range [0, %d)" (node_label nd)
+                 e.src n)
+          else if e.dist < 0 then
+            add
+              (Diag.errorf ~code:"CDFG006" ~pass:pass_name
+                 ~loc:(Diag.Edge (e.src, nd.id))
+                 "%s: negative dependence distance %d" (node_label nd) e.dist))
+        nd.preds)
+    nodes;
+  if outputs = [] then
+    add
+      (Diag.errorf ~code:"CDFG006" ~pass:pass_name ~loc:Diag.Global
+         "no primary outputs");
+  List.iter
+    (fun o ->
+      if o < 0 || o >= n then
+        add
+          (Diag.errorf ~code:"CDFG006" ~pass:pass_name ~loc:(Diag.Node o)
+             "output id %d out of range [0, %d)" o n))
+    outputs;
+  let names = Hashtbl.create 8 in
+  Array.iter
+    (fun (nd : Ir.Cdfg.node) ->
+      match nd.op with
+      | Ir.Op.Input s ->
+          if Hashtbl.mem names s then
+            add
+              (Diag.errorf ~code:"CDFG006" ~pass:pass_name
+                 ~loc:(Diag.Node nd.id) "duplicate input name %S" s)
+          else Hashtbl.add names s ()
+      | _ -> ())
+    nodes;
+  List.rev !diags
+
+let check_widths nodes =
+  let diags = ref [] in
+  Array.iter
+    (fun (nd : Ir.Cdfg.node) ->
+      let operand_widths =
+        Array.to_list
+          (Array.map (fun (e : Ir.Cdfg.edge) -> nodes.(e.src).Ir.Cdfg.width)
+             nd.preds)
+      in
+      let bad fmt =
+        Fmt.kstr
+          (fun m ->
+            diags :=
+              Diag.errorf ~code:"CDFG003" ~pass:pass_name ~loc:(Diag.Node nd.id)
+                "%s (%s): %s" (node_label nd) (Ir.Op.to_string nd.op) m
+              :: !diags)
+          fmt
+      in
+      (match Ir.Op.validate_widths nd.op ~operand_widths with
+      | Error msg -> bad "%s" msg
+      | Ok () -> (
+          match nd.op with
+          | Ir.Op.Not | Ir.Op.Bitwise _ | Ir.Op.Shl _ | Ir.Op.Shr _
+          | Ir.Op.Slice _ | Ir.Op.Concat | Ir.Op.Add | Ir.Op.Sub | Ir.Op.Cmp _
+          | Ir.Op.Mux ->
+              let expect = Ir.Op.result_width nd.op ~operand_widths in
+              if expect <> nd.width then
+                bad "declared width %d, expected %d" nd.width expect
+          | Ir.Op.Input _ | Ir.Op.Const _ | Ir.Op.Black_box _ ->
+              if nd.width <= 0 || nd.width > 63 then
+                bad "width %d out of [1, 63]" nd.width)))
+    nodes;
+  List.rev !diags
+
+(* DFS over the dist-0 subgraph with an explicit path stack; the first
+   back edge found yields the witness cycle. *)
+let find_comb_cycle nodes =
+  let n = Array.length nodes in
+  let state = Array.make n `White in
+  let cycle = ref None in
+  let rec dfs path v =
+    if !cycle = None then begin
+      state.(v) <- `Grey;
+      let path = v :: path in
+      Array.iter
+        (fun (e : Ir.Cdfg.edge) ->
+          if !cycle = None && e.dist = 0 then
+            match state.(e.src) with
+            | `Grey ->
+                (* path lists the pred-DFS chain deepest-first; truncating at
+                   the revisited node and keeping that order yields the cycle
+                   in dataflow (producer -> consumer) direction. *)
+                let rec take acc = function
+                  | [] -> acc
+                  | x :: _ when x = e.src -> x :: acc
+                  | x :: rest -> take (x :: acc) rest
+                in
+                cycle := Some (List.rev (take [] path))
+            | `White -> dfs path e.src
+            | `Black -> ())
+        nodes.(v).Ir.Cdfg.preds;
+      state.(v) <- `Black
+    end
+  in
+  for v = 0 to n - 1 do
+    if state.(v) = `White then dfs [] v
+  done;
+  !cycle
+
+let check_cycles nodes =
+  match find_comb_cycle nodes with
+  | None -> []
+  | Some cycle ->
+      let witness =
+        List.map (fun v -> node_label nodes.(v)) (cycle @ [ List.hd cycle ])
+      in
+      let head = List.hd cycle in
+      let cyc =
+        Diag.errorf ~witness ~code:"CDFG001" ~pass:pass_name
+          ~loc:(Diag.Node head)
+          "combinational (distance-0) cycle of %d nodes" (List.length cycle)
+      in
+      let bb =
+        List.filter_map
+          (fun v ->
+            match nodes.(v).Ir.Cdfg.op with
+            | Ir.Op.Black_box { kind; _ } ->
+                Some
+                  (Diag.errorf ~witness ~code:"CDFG002" ~pass:pass_name
+                     ~loc:(Diag.Node v)
+                     "black box %s (%s) on a zero-aggregate-distance feedback \
+                      cycle"
+                     (node_label nodes.(v)) kind)
+            | _ -> None)
+          cycle
+      in
+      cyc :: bb
+
+let check_raw ~nodes ~outputs =
+  let nodes = Array.of_list nodes in
+  match check_structure nodes outputs with
+  | _ :: _ as structural -> structural
+  | [] -> check_widths nodes @ check_cycles nodes
+
+(* ------------------------------------------------------------------ *)
+(* built-graph lints                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let check_dead g =
+  let n = Ir.Cdfg.num_nodes g in
+  let live = Array.make n false in
+  let rec mark v =
+    if not live.(v) then begin
+      live.(v) <- true;
+      Array.iter (fun (e : Ir.Cdfg.edge) -> mark e.src) (Ir.Cdfg.preds g v)
+    end
+  in
+  List.iter mark (Ir.Cdfg.outputs g);
+  let diags = ref [] in
+  for v = n - 1 downto 0 do
+    if not live.(v) then
+      diags :=
+        Diag.warnf ~code:"CDFG004" ~pass:pass_name ~loc:(Diag.Node v)
+          "%s (%s) is dead: no path to any primary output"
+          (Ir.Cdfg.node_name g v)
+          (Ir.Op.to_string (Ir.Cdfg.op g v))
+        :: !diags
+  done;
+  !diags
+
+(* Forward constant propagation over dist-0 edges; report only the
+   maximal roots of foldable cones to keep one finding per cone. *)
+let check_const_cones g =
+  let n = Ir.Cdfg.num_nodes g in
+  let const = Array.make n false in
+  List.iter
+    (fun v ->
+      const.(v) <-
+        (match Ir.Cdfg.op g v with
+        | Ir.Op.Const _ -> true
+        | Ir.Op.Input _ | Ir.Op.Black_box _ -> false
+        | _ ->
+            let preds = Ir.Cdfg.preds g v in
+            Array.length preds > 0
+            && Array.for_all
+                 (fun (e : Ir.Cdfg.edge) -> e.dist = 0 && const.(e.src))
+                 preds))
+    (Ir.Cdfg.topo_order g);
+  let cone_size v =
+    (* distance-0 backward cone restricted to const nodes *)
+    let seen = Hashtbl.create 8 in
+    let rec go v =
+      if not (Hashtbl.mem seen v) then begin
+        Hashtbl.add seen v ();
+        Array.iter
+          (fun (e : Ir.Cdfg.edge) ->
+            if e.dist = 0 && const.(e.src) then go e.src)
+          (Ir.Cdfg.preds g v)
+      end
+    in
+    go v;
+    Hashtbl.length seen
+  in
+  let diags = ref [] in
+  for v = n - 1 downto 0 do
+    if const.(v) && (match Ir.Cdfg.op g v with Ir.Op.Const _ -> false | _ -> true)
+    then begin
+      let maximal =
+        Ir.Cdfg.is_output g v
+        || not
+             (List.exists (fun (w, d) -> d = 0 && const.(w))
+                (Ir.Cdfg.succs g v))
+      in
+      if maximal then
+        diags :=
+          Diag.infof ~code:"CDFG005" ~pass:pass_name ~loc:(Diag.Node v)
+            "%s heads a constant-foldable cone of %d nodes (run the frontend \
+             simplifier)"
+            (Ir.Cdfg.node_name g v) (cone_size v)
+          :: !diags
+    end
+  done;
+  !diags
+
+let check g =
+  let nodes = Ir.Cdfg.fold (fun nd acc -> nd :: acc) g [] |> List.rev in
+  check_raw ~nodes ~outputs:(Ir.Cdfg.outputs g)
+  @ check_dead g @ check_const_cones g

@@ -1,0 +1,34 @@
+(** Static lints over word-level CDFGs.
+
+    Two entry points: {!check_raw} accepts an {e unconstructed} node list —
+    the form in which a malformed graph actually reaches us, since
+    {!Ir.Cdfg.create} refuses to build an illegal graph — and {!check}
+    lints a constructed (hence structurally valid) graph for the
+    higher-level findings.
+
+    Codes:
+    - [CDFG001] (error): distance-0 combinational cycle; the witness is the
+      cycle path, node by node.
+    - [CDFG002] (error): a black-box operation sits on a dependence cycle
+      with zero aggregate distance (combinational feedback through a
+      resource that cannot be duplicated or retimed).
+    - [CDFG003] (error): width-discipline violation (operand/result widths
+      inconsistent with the opcode's rules).
+    - [CDFG004] (warning): dead node — not backward-reachable from any
+      primary output, even through loop-carried edges.
+    - [CDFG005] (info): constant-foldable cone — a non-trivial operation
+      whose transitive distance-0 operands are all constants; the frontend
+      simplifier ({!Opt.fold_constants}) would remove it.
+    - [CDFG006] (error): malformed structure — ids not dense, edge
+      endpoints out of range, negative distance, empty graph, no primary
+      outputs, or duplicate input names. *)
+
+val pass_name : string
+
+val check_raw :
+  nodes:Ir.Cdfg.node list -> outputs:int list -> Diag.t list
+(** Structural lints on a raw node list (ids are the [id] fields). *)
+
+val check : Ir.Cdfg.t -> Diag.t list
+(** {!check_raw} plus dead-node and constant-cone analysis. A graph built
+    by {!Ir.Cdfg.create} can only produce [CDFG004]/[CDFG005] findings. *)

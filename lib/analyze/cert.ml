@@ -1,0 +1,24 @@
+let pass_name = "cert"
+
+let classify msg =
+  let tagged tag = String.length msg >= String.length tag
+                   && String.sub msg 0 (String.length tag) = tag in
+  if tagged "[Eq. 2-4]" then ("CERT001", "Eq. 2-4")
+  else if tagged "[Eq. 7]" then ("CERT002", "Eq. 7")
+  else if tagged "[Eq. 8]" then ("CERT003", "Eq. 8")
+  else if tagged "[Eq. 9]" then ("CERT004", "Eq. 9")
+  else if tagged "[Eq. 14]" then ("CERT005", "Eq. 14")
+  else ("CERT000", "untagged")
+
+let of_messages msgs =
+  List.map
+    (fun msg ->
+      let code, eq = classify msg in
+      Diag.errorf ~code ~pass:pass_name ~loc:Diag.Global ~witness:[ eq ] "%s"
+        msg)
+    msgs
+
+let check ctx g cover sched =
+  match Sched.Verify.check ctx g cover sched with
+  | Ok () -> []
+  | Error msgs -> of_messages msgs

@@ -1,0 +1,24 @@
+(** Certificate checking: {!Sched.Verify.check} rewrapped into the shared
+    diagnostic format, so a MILP result and a heuristic result are audited
+    in the same dialect as every other artifact.
+
+    Each violation message carries the paper-equation tag {!Sched.Verify}
+    prefixes it with; the tag selects the code:
+    - [CERT001] (error): cover structure (Eq. 2–4);
+    - [CERT002] (error): dependence ordering (Eq. 7);
+    - [CERT003] (error): cycle-time fit (Eq. 8);
+    - [CERT004] (error): chaining arrival order (Eq. 9);
+    - [CERT005] (error): modulo resource limits (Eq. 14);
+    - [CERT000] (error): any untagged violation (e.g. a schedule/graph size
+      mismatch). *)
+
+val pass_name : string
+
+val check :
+  Sched.Verify.context -> Ir.Cdfg.t -> Sched.Cover.t -> Sched.Schedule.t ->
+  Diag.t list
+(** Empty exactly when {!Sched.Verify.check} returns [Ok ()]. *)
+
+val of_messages : string list -> Diag.t list
+(** Classify raw {!Sched.Verify.check} violation messages (exposed for the
+    flow, which already holds the messages). *)

@@ -1,0 +1,153 @@
+type severity = Error | Warning | Info
+
+type location =
+  | Node of int
+  | Edge of int * int
+  | Row of int
+  | Column of int
+  | Wire of string
+  | Global
+
+type t = {
+  severity : severity;
+  code : string;
+  pass : string;
+  loc : location;
+  message : string;
+  witness : string list;
+}
+
+let make ?(witness = []) severity ~code ~pass ~loc message =
+  { severity; code; pass; loc; message; witness }
+
+let errorf ?witness ~code ~pass ~loc fmt =
+  Fmt.kstr (make ?witness Error ~code ~pass ~loc) fmt
+
+let warnf ?witness ~code ~pass ~loc fmt =
+  Fmt.kstr (make ?witness Warning ~code ~pass ~loc) fmt
+
+let infof ?witness ~code ~pass ~loc fmt =
+  Fmt.kstr (make ?witness Info ~code ~pass ~loc) fmt
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let loc_to_string = function
+  | Node v -> Printf.sprintf "node:%d" v
+  | Edge (u, v) -> Printf.sprintf "edge:%d->%d" u v
+  | Row i -> Printf.sprintf "row:%d" i
+  | Column i -> Printf.sprintf "col:%d" i
+  | Wire w -> Printf.sprintf "wire:%s" w
+  | Global -> "global"
+
+let compare a b =
+  let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.code b.code in
+    if c <> 0 then c
+    else Stdlib.compare (loc_to_string a.loc) (loc_to_string b.loc)
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+let warnings ds = List.filter (fun d -> d.severity = Warning) ds
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+
+let summary ds =
+  if ds = [] then "clean"
+  else
+    let count sev = List.length (List.filter (fun d -> d.severity = sev) ds) in
+    let plural n what =
+      if n = 0 then None
+      else Some (Printf.sprintf "%d %s%s" n what (if n = 1 then "" else "s"))
+    in
+    List.filter_map Fun.id
+      [
+        plural (count Error) "error";
+        plural (count Warning) "warning";
+        plural (count Info) "info";
+      ]
+    |> String.concat ", "
+
+let to_json d =
+  Obs.Json.Obj
+    [
+      ("severity", Obs.Json.String (severity_name d.severity));
+      ("code", Obs.Json.String d.code);
+      ("pass", Obs.Json.String d.pass);
+      ("loc", Obs.Json.String (loc_to_string d.loc));
+      ("message", Obs.Json.String d.message);
+      ("witness", Obs.Json.List (List.map (fun w -> Obs.Json.String w) d.witness));
+    ]
+
+let loc_of_string s =
+  let prefixed p = String.length s > String.length p && String.sub s 0 (String.length p) = p in
+  let rest p = String.sub s (String.length p) (String.length s - String.length p) in
+  if s = "global" then Some Global
+  else if prefixed "node:" then Option.map (fun v -> Node v) (int_of_string_opt (rest "node:"))
+  else if prefixed "edge:" then
+    match String.split_on_char '>' (rest "edge:") with
+    | [ u; v ] ->
+        let u = String.sub u 0 (String.length u - 1) in  (* drop '-' *)
+        (match (int_of_string_opt u, int_of_string_opt v) with
+        | Some u, Some v -> Some (Edge (u, v))
+        | _ -> None)
+    | _ -> None
+  else if prefixed "row:" then Option.map (fun i -> Row i) (int_of_string_opt (rest "row:"))
+  else if prefixed "col:" then Option.map (fun i -> Column i) (int_of_string_opt (rest "col:"))
+  else if prefixed "wire:" then Some (Wire (rest "wire:"))
+  else None
+
+let of_json j =
+  let str k =
+    match Obs.Json.member k j with
+    | Some (Obs.Json.String s) -> Ok s
+    | _ -> Error (Printf.sprintf "missing string field %S" k)
+  in
+  let ( let* ) = Result.bind in
+  let* sev_s = str "severity" in
+  let* severity =
+    match sev_s with
+    | "error" -> Ok Error
+    | "warning" -> Ok Warning
+    | "info" -> Ok Info
+    | s -> Error (Printf.sprintf "bad severity %S" s)
+  in
+  let* code = str "code" in
+  let* pass = str "pass" in
+  let* loc_s = str "loc" in
+  let* loc =
+    match loc_of_string loc_s with
+    | Some l -> Ok l
+    | None -> Error (Printf.sprintf "bad location %S" loc_s)
+  in
+  let* message = str "message" in
+  let* witness =
+    match Obs.Json.member "witness" j with
+    | Some (Obs.Json.List ws) ->
+        List.fold_left
+          (fun acc w ->
+            match (acc, w) with
+            | Ok l, Obs.Json.String s -> Ok (s :: l)
+            | Ok _, _ -> Error "non-string witness entry"
+            | (Error _ as e), _ -> e)
+          (Ok []) ws
+        |> Result.map List.rev
+    | _ -> Error "missing witness list"
+  in
+  Ok { severity; code; pass; loc; message; witness }
+
+let pp ppf d =
+  Fmt.pf ppf "%-7s %s %s: %s"
+    (severity_name d.severity) d.code (loc_to_string d.loc) d.message;
+  match d.witness with
+  | [] -> ()
+  | ws -> Fmt.pf ppf "  [%s]" (String.concat " -> " ws)
+
+let pp_report ppf ds =
+  let ds = List.sort compare ds in
+  List.iter (fun d -> Fmt.pf ppf "%a@." pp d) ds;
+  Fmt.pf ppf "%s" (summary ds)

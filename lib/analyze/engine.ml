@@ -1,0 +1,104 @@
+type pass = {
+  name : string;
+  artifact : string;
+  codes : string list;
+  description : string;
+}
+
+let passes =
+  [
+    {
+      name = Cdfg_lint.pass_name;
+      artifact = "cdfg";
+      codes = [ "CDFG001"; "CDFG002"; "CDFG003"; "CDFG004"; "CDFG005"; "CDFG006" ];
+      description =
+        "combinational cycles, black-box feedback, width discipline, dead \
+         nodes, constant-foldable cones, malformed structure";
+    };
+    {
+      name = Preflight.pass_name;
+      artifact = "cdfg+setup";
+      codes = [ "PRE001"; "PRE002"; "PRE003"; "PRE004" ];
+      description =
+        "II vs RecMII/ResMII with recurrence-cycle and resource-class \
+         witnesses, clock-period sanity";
+    };
+    {
+      name = Lp_lint.pass_name;
+      artifact = "lp";
+      codes = [ "LP001"; "LP002"; "LP003"; "LP004"; "LP005" ];
+      description =
+        "empty/duplicate rows, free columns, trivially infeasible bounds";
+    };
+    {
+      name = Net_lint.pass_name;
+      artifact = "netlist";
+      codes = [ "NET001"; "NET002"; "NET003"; "NET004"; "NET005"; "NET006" ];
+      description =
+        "undriven/multiply-driven signals, unconnected pins, combinational \
+         order, dangling wires, width discipline";
+    };
+    {
+      name = Cert.pass_name;
+      artifact = "schedule+cover";
+      codes = [ "CERT000"; "CERT001"; "CERT002"; "CERT003"; "CERT004"; "CERT005" ];
+      description =
+        "Sched.Verify certificate rewrapped with paper-equation codes";
+    };
+  ]
+
+let count_diags diags =
+  Obs.Counter.incr ~by:(List.length (Diag.errors diags))
+    (Obs.Counter.get "analyze.errors");
+  Obs.Counter.incr ~by:(List.length (Diag.warnings diags))
+    (Obs.Counter.get "analyze.warnings");
+  diags
+
+let timer = Obs.Timer.get "analyze"
+
+let check_cdfg g = Obs.Timer.span timer (fun () -> count_diags (Cdfg_lint.check g))
+
+let preflight ?strict_period cfg g =
+  Obs.Timer.span timer (fun () ->
+      count_diags (Preflight.check ?strict_period cfg g))
+
+let check_model m = Obs.Timer.span timer (fun () -> count_diags (Lp_lint.check m))
+
+let check_netlist nl =
+  Obs.Timer.span timer (fun () -> count_diags (Net_lint.check nl))
+
+let check_certificate ctx g cover sched =
+  Obs.Timer.span timer (fun () ->
+      count_diags (Cert.check ctx g cover sched))
+
+let static_gate cfg g =
+  let diags = check_cdfg g @ preflight cfg g in
+  if Diag.has_errors diags then Error diags else Ok diags
+
+let diags_to_json diags =
+  Obs.Json.List (List.map Diag.to_json (List.sort Diag.compare diags))
+
+let file ~entries =
+  Obs.Json.Obj
+    [
+      ("schema_version", Obs.Json.Int Obs.Metrics.schema_version);
+      ( "benchmarks",
+        Obs.Json.List
+          (List.map
+             (fun (name, diags) ->
+               Obs.Json.Obj
+                 [
+                   ("name", Obs.Json.String name);
+                   ("errors", Obs.Json.Int (List.length (Diag.errors diags)));
+                   ( "warnings",
+                     Obs.Json.Int (List.length (Diag.warnings diags)) );
+                   ("diagnostics", diags_to_json diags);
+                 ])
+             entries) );
+    ]
+
+let write_file ~path ~entries =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Obs.Json.to_channel oc (file ~entries))

@@ -1,0 +1,106 @@
+let pass_name = "lp-lint"
+let max_reports = 25
+let eps = 1e-9
+
+let sense_str = function Lp.Model.Le -> "<=" | Lp.Model.Ge -> ">=" | Lp.Model.Eq -> "="
+
+(* Per-code capping: keep the first [max_reports], replace the tail by one
+   summarizing diagnostic so a pathological model cannot flood the report. *)
+let cap code diags =
+  let n = List.length diags in
+  if n <= max_reports then diags
+  else
+    match List.filteri (fun i _ -> i < max_reports) diags with
+    | [] -> []
+    | d :: _ as kept ->
+        kept
+        @ [
+            Diag.make (d : Diag.t).Diag.severity ~code ~pass:pass_name
+              ~loc:Diag.Global
+              (Printf.sprintf "...and %d more %s findings (capped at %d)"
+                 (n - max_reports) code max_reports);
+          ]
+
+let row_label name i =
+  match name with Some s -> s | None -> Printf.sprintf "row%d" i
+
+let check m =
+  let rows = Lp.Model.rows m in
+  let empty_inf = ref [] and empty_vac = ref [] and dups = ref [] in
+  let seen : (string, int) Hashtbl.t = Hashtbl.create 256 in
+  Array.iteri
+    (fun i (name, terms, sense, rhs) ->
+      (match terms with
+      | [] ->
+          let holds =
+            match sense with
+            | Lp.Model.Le -> 0.0 <= rhs +. eps
+            | Lp.Model.Ge -> 0.0 >= rhs -. eps
+            | Lp.Model.Eq -> Float.abs rhs <= eps
+          in
+          if holds then
+            empty_vac :=
+              Diag.warnf ~code:"LP002" ~pass:pass_name ~loc:(Diag.Row i)
+                "%s: empty row (0 %s %g) constrains nothing" (row_label name i)
+                (sense_str sense) rhs
+              :: !empty_vac
+          else
+            empty_inf :=
+              Diag.errorf ~code:"LP001" ~pass:pass_name ~loc:(Diag.Row i)
+                "%s: trivially infeasible empty row (0 %s %g is false)"
+                (row_label name i) (sense_str sense) rhs
+              :: !empty_inf
+      | _ :: _ ->
+          let key =
+            String.concat ";"
+              (Printf.sprintf "%s%g" (sense_str sense) rhs
+              :: List.map
+                   (fun (c, v) -> Printf.sprintf "%d:%g" (Lp.Model.var_index v) c)
+                   terms)
+          in
+          (match Hashtbl.find_opt seen key with
+          | Some j ->
+              dups :=
+                Diag.warnf ~code:"LP003" ~pass:pass_name ~loc:(Diag.Row i)
+                  ~witness:
+                    [ row_label (let n, _, _, _ = rows.(j) in n) j;
+                      row_label name i ]
+                  "%s duplicates %s (same terms, sense and rhs)"
+                  (row_label name i)
+                  (row_label (let n, _, _, _ = rows.(j) in n) j)
+                :: !dups
+          | None -> Hashtbl.add seen key i)))
+    rows;
+  (* Column checks: free columns and integer-infeasible bounds. *)
+  let nvars = Lp.Model.num_vars m in
+  let referenced = Array.make nvars false in
+  Array.iter
+    (fun (_, terms, _, _) ->
+      List.iter (fun (_, v) -> referenced.(Lp.Model.var_index v) <- true) terms)
+    rows;
+  List.iter
+    (fun (_, v) -> referenced.(Lp.Model.var_index v) <- true)
+    (Lp.Model.objective_terms m);
+  let free = ref [] and badint = ref [] in
+  for i = 0 to nvars - 1 do
+    let v = Lp.Model.var_of_index m i in
+    let lb, ub = Lp.Model.bounds m v in
+    if Lp.Model.is_integer m v && Float.ceil (lb -. eps) > Float.floor (ub +. eps)
+    then
+      badint :=
+        Diag.errorf ~code:"LP005" ~pass:pass_name ~loc:(Diag.Column i)
+          "integer variable %s has no integer in [%g, %g]"
+          (Lp.Model.var_name m v) lb ub
+        :: !badint;
+    if (not referenced.(i)) && lb <> ub then
+      free :=
+        Diag.warnf ~code:"LP004" ~pass:pass_name ~loc:(Diag.Column i)
+          "variable %s appears in no constraint or objective"
+          (Lp.Model.var_name m v)
+        :: !free
+  done;
+  cap "LP001" (List.rev !empty_inf)
+  @ cap "LP002" (List.rev !empty_vac)
+  @ cap "LP003" (List.rev !dups)
+  @ cap "LP004" (List.rev !free)
+  @ cap "LP005" (List.rev !badint)

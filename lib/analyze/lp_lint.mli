@@ -1,0 +1,23 @@
+(** Static lints over {!Lp.Model} instances — run on the MILP before the
+    branch-and-bound pays for it.
+
+    Codes:
+    - [LP001] (error): trivially infeasible row — no terms survive
+      normalization and the relation [0 sense rhs] is false.
+    - [LP002] (warning): vacuous row — no terms and the relation holds, so
+      the row constrains nothing.
+    - [LP003] (warning): duplicate row — identical terms, sense and
+      right-hand side as an earlier row.
+    - [LP004] (warning): free column — a non-fixed variable that appears in
+      no constraint and no objective term.
+    - [LP005] (error): infeasible bounds — an integer variable whose
+      [\[lb, ub\]] interval contains no integer.
+
+    To bound report size, at most {!max_reports} findings are emitted per
+    code; an overflow finding summarizes the remainder. *)
+
+val pass_name : string
+
+val max_reports : int
+
+val check : Lp.Model.t -> Diag.t list

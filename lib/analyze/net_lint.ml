@@ -1,0 +1,120 @@
+open Rtl.Netlist
+
+let pass_name = "net-lint"
+
+let expr_width = function
+  | Ref s -> s.width
+  | Lit { width; _ } -> width
+  | App (_, _, w) -> w
+
+let rec iter_refs f = function
+  | Ref s -> f s
+  | Lit _ -> ()
+  | App (_, args, _) -> List.iter (iter_refs f) args
+
+let rec iter_apps f = function
+  | Ref _ | Lit _ -> ()
+  | App (op, args, w) as e ->
+      f op args w e;
+      List.iter (iter_apps f) args
+
+let check (nl : t) =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  (* Driver map: name -> how many times defined. *)
+  let drivers = Hashtbl.create 64 in
+  let define (s : signal) =
+    Hashtbl.replace drivers s.name
+      (1 + Option.value ~default:0 (Hashtbl.find_opt drivers s.name))
+  in
+  List.iter define nl.inputs;
+  List.iter (fun (s, _) -> define s) nl.wires;
+  List.iter (fun (r : reg) -> define r.q) nl.regs;
+  Hashtbl.iter
+    (fun name count ->
+      if count > 1 then
+        add
+          (Diag.errorf ~code:"NET002" ~pass:pass_name ~loc:(Diag.Wire name)
+             "signal %s is driven %d times" name count))
+    drivers;
+  (* Wire positions for the combinational-order check. *)
+  let wire_pos = Hashtbl.create 64 in
+  List.iteri
+    (fun i ((s : signal), _) ->
+      if not (Hashtbl.mem wire_pos s.name) then Hashtbl.add wire_pos s.name i)
+    nl.wires;
+  (* Reference checks, applied to every expression in the design. [pos] is
+     the defining wire's position for order checking, or none for register
+     inputs and output expressions (those read settled values). *)
+  let check_expr ~where ?pos e =
+    iter_refs
+      (fun (s : signal) ->
+        if not (Hashtbl.mem drivers s.name) then
+          add
+            (Diag.errorf ~code:"NET001" ~pass:pass_name ~loc:(Diag.Wire s.name)
+               "%s reads undriven signal %s" where s.name);
+        match (pos, Hashtbl.find_opt wire_pos s.name) with
+        | Some i, Some j when j >= i ->
+            add
+              (Diag.errorf ~code:"NET004" ~pass:pass_name
+                 ~loc:(Diag.Wire s.name)
+                 ~witness:
+                   [ Printf.sprintf "%s at position %d" where i;
+                     Printf.sprintf "%s at position %d" s.name j ]
+                 "%s reads wire %s defined at or after it (combinational \
+                  order violation)"
+                 where s.name)
+        | _ -> ())
+      e;
+    iter_apps
+      (fun op args w _ ->
+        match Ir.Op.arity op with
+        | Some k when List.length args <> k ->
+            add
+              (Diag.errorf ~code:"NET003" ~pass:pass_name ~loc:(Diag.Wire where)
+                 "%s: %s applied to %d operands, expected %d (unconnected \
+                  pin)"
+                 where (Ir.Op.to_string op) (List.length args) k)
+        | _ -> (
+            let operand_widths = List.map expr_width args in
+            match Ir.Op.validate_widths op ~operand_widths with
+            | Error msg ->
+                add
+                  (Diag.errorf ~code:"NET006" ~pass:pass_name
+                     ~loc:(Diag.Wire where) "%s: %s (result width %d): %s"
+                     where (Ir.Op.to_string op) w msg)
+            | Ok () -> ()))
+      e
+  in
+  List.iteri
+    (fun i ((s : signal), def) ->
+      match def with
+      | `Expr e -> check_expr ~where:s.name ~pos:i e
+      | `Instance inst ->
+          List.iter (fun a -> check_expr ~where:s.name ~pos:i a) inst.args)
+    nl.wires;
+  List.iter
+    (fun (r : reg) -> check_expr ~where:(r.q.name ^ ".d") r.d)
+    nl.regs;
+  List.iter
+    (fun ((s : signal), e) -> check_expr ~where:("output " ^ s.name) e)
+    nl.outputs;
+  (* Dangling wires: defined, read by nothing downstream. *)
+  let read = Hashtbl.create 64 in
+  let mark e = iter_refs (fun (s : signal) -> Hashtbl.replace read s.name ()) e in
+  List.iter
+    (fun (_, def) ->
+      match def with
+      | `Expr e -> mark e
+      | `Instance inst -> List.iter mark inst.args)
+    nl.wires;
+  List.iter (fun (r : reg) -> mark r.d) nl.regs;
+  List.iter (fun (_, e) -> mark e) nl.outputs;
+  List.iter
+    (fun ((s : signal), _) ->
+      if not (Hashtbl.mem read s.name) then
+        add
+          (Diag.warnf ~code:"NET005" ~pass:pass_name ~loc:(Diag.Wire s.name)
+             "wire %s is driven but never read" s.name))
+    nl.wires;
+  List.rev !diags

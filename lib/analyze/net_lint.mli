@@ -1,0 +1,24 @@
+(** Structural lints over RTL netlists ({!Rtl.Netlist.t}) — the checks a
+    downstream synthesis tool would raise as elaboration errors, caught
+    before Verilog ever leaves the flow.
+
+    Codes:
+    - [NET001] (error): undriven signal — referenced by an expression but
+      defined by no input port, wire or register.
+    - [NET002] (error): multiply-driven signal — the same name defined more
+      than once across inputs, wires and registers.
+    - [NET003] (error): operator arity mismatch — an applied op has the
+      wrong operand count (an unconnected LUT pin, in fabric terms).
+    - [NET004] (error): combinational-order violation — a wire's expression
+      reads a wire defined later in the list, breaking the
+      dependency-order contract {!Rtl.Netlist.simulate} relies on
+      (register outputs may be read anywhere: they cross the cycle
+      boundary).
+    - [NET005] (warning): dangling wire — defined but read by no wire,
+      register or output.
+    - [NET006] (error): width mismatch — an applied op's operand widths
+      violate the opcode's width discipline. *)
+
+val pass_name : string
+
+val check : Rtl.Netlist.t -> Diag.t list

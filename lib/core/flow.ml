@@ -46,7 +46,10 @@ let method_name = function
   | Milp_map -> "MILP-map"
   | Map_heuristic -> "Map-first"
 
-let metrics_of setup method_ ~cuts_total (qor : Sched.Qor.t)
+let diags_json diags =
+  List.map Analyze.Diag.to_json (List.sort Analyze.Diag.compare diags)
+
+let metrics_of setup method_ ~cuts_total ~gate_diags (qor : Sched.Qor.t)
     (solve : solve_info) =
   {
     Obs.Metrics.name = "";
@@ -64,11 +67,12 @@ let metrics_of setup method_ ~cuts_total (qor : Sched.Qor.t)
       (match solve.milp_status with
       | Some s -> Fmt.str "%a" Lp.Milp.pp_status s
       | None -> "heuristic");
+    diagnostics = diags_json gate_diags;
   }
 
 let metrics ~name r = { r.metrics with Obs.Metrics.name }
 
-let error_metrics ~name method_ =
+let error_metrics ?(diags = []) ~name method_ =
   {
     Obs.Metrics.name;
     method_ = method_name method_;
@@ -79,6 +83,7 @@ let error_metrics ~name method_ =
     bnb_nodes = 0;
     cuts_total = 0;
     status = "error";
+    diagnostics = diags_json diags;
   }
 
 let heuristic_info = { runtime = 0.0; milp_status = None; milp_stats = None;
@@ -90,22 +95,27 @@ let verify_ctx (s : setup) : Sched.Verify.context =
 
 (* Final QoR is always measured under the mapped delay model — the analogue
    of post-place-and-route reporting. *)
-let finalize setup g ~cuts_total cover sched solve method_ =
+let finalize setup g ~cuts_total ~gate_diags cover sched solve method_ =
   let sched =
     Sched.Timing.recompute_starts ~device:setup.device ~delays:setup.delays g
       cover sched
   in
   match Sched.Verify.check (verify_ctx setup) g cover sched with
   | Error errs ->
+      let diags = Analyze.Cert.of_messages errs in
       Error
         (Printf.sprintf "%s: illegal result: %s" (method_name method_)
-           (String.concat "; " errs))
+           (String.concat "; "
+              (List.map
+                 (fun (d : Analyze.Diag.t) ->
+                   d.Analyze.Diag.code ^ " " ^ d.Analyze.Diag.message)
+                 diags)))
   | Ok () ->
       let qor =
         Sched.Qor.evaluate ~device:setup.device ~delays:setup.delays g cover
           sched
       in
-      let metrics = metrics_of setup method_ ~cuts_total qor solve in
+      let metrics = metrics_of setup method_ ~cuts_total ~gate_diags qor solve in
       Ok { method_; schedule = sched; cover; qor; solve; metrics }
 
 let enum_cuts setup g =
@@ -124,7 +134,7 @@ let baseline setup g =
   | Error e -> Error (Fmt.str "heuristic baseline failed: %a" Sched.Heuristic.pp_error e)
   | Ok sched -> Ok sched
 
-let run_hls setup g =
+let run_hls setup ~gate_diags g =
   match baseline setup g with
   | Error _ as e -> e
   | Ok sched ->
@@ -133,13 +143,13 @@ let run_hls setup g =
         Techmap.map_schedule ~device:setup.device ~delays:setup.delays ~cuts g
           sched
       in
-      finalize setup g ~cuts_total:(Cuts.total_cuts cuts) cover sched
-        heuristic_info Hls_tool
+      finalize setup g ~cuts_total:(Cuts.total_cuts cuts) ~gate_diags cover
+        sched heuristic_info Hls_tool
 
 (* SDC modulo scheduling (the LegUp/Vivado-HLS style baseline, refs [22]
    and [3] of the paper), with the same downstream mapping as the HLS
    flow. *)
-let run_sdc setup g =
+let run_sdc setup ~gate_diags g =
   match
     Sched.Sdc.schedule ~device:setup.device ~delays:setup.delays
       ~resources:setup.resources ~ii:setup.ii g
@@ -151,12 +161,12 @@ let run_sdc setup g =
         Techmap.map_schedule ~device:setup.device ~delays:setup.delays ~cuts g
           sched
       in
-      finalize setup g ~cuts_total:(Cuts.total_cuts cuts) cover sched
-        heuristic_info Sdc_tool
+      finalize setup g ~cuts_total:(Cuts.total_cuts cuts) ~gate_diags cover
+        sched heuristic_info Sdc_tool
 
 (* Map-first (the paper's future-work heuristic): area-flow cover of the
    whole graph, then cover-aware ASAP modulo scheduling. *)
-let run_map_first setup g =
+let run_map_first setup ~gate_diags g =
   let cuts = enum_cuts setup g in
   let cover = Techmap.map_global ~device:setup.device ~delays:setup.delays ~cuts g in
   match
@@ -166,10 +176,10 @@ let run_map_first setup g =
   | Error e ->
       Error (Fmt.str "map-first failed: %a" Sched.Heuristic.pp_error e)
   | Ok sched ->
-      finalize setup g ~cuts_total:(Cuts.total_cuts cuts) cover sched
-        heuristic_info Map_heuristic
+      finalize setup g ~cuts_total:(Cuts.total_cuts cuts) ~gate_diags cover
+        sched heuristic_info Map_heuristic
 
-let run_milp setup g ~mapping_aware =
+let run_milp setup ~gate_diags g ~mapping_aware =
   match baseline setup g with
   | Error _ as e -> e
   | Ok base_sched -> (
@@ -300,8 +310,8 @@ let run_milp setup g ~mapping_aware =
       | Lp.Milp.Optimal | Lp.Milp.Feasible ->
           let sched, cover = Formulation.extract f r in
           if mapping_aware then
-            finalize setup g ~cuts_total:(Cuts.total_cuts cuts) cover sched
-              solve Milp_map
+            finalize setup g ~cuts_total:(Cuts.total_cuts cuts) ~gate_diags
+              cover sched solve Milp_map
           else
             (* MILP-base: exact schedule, then the same downstream mapping
                as the commercial flow. *)
@@ -310,16 +320,44 @@ let run_milp setup g ~mapping_aware =
               Techmap.map_schedule ~device:setup.device ~delays:setup.delays
                 ~cuts:cuts_full g sched
             in
-            finalize setup g ~cuts_total:(Cuts.total_cuts cuts_full) cover
-              sched solve Milp_base)
+            finalize setup g ~cuts_total:(Cuts.total_cuts cuts_full)
+              ~gate_diags cover sched solve Milp_base)
+
+let preflight_config (s : setup) =
+  {
+    Analyze.Preflight.device = s.device;
+    delays = s.delays;
+    resources = s.resources;
+    ii = s.ii;
+  }
+
+let lint setup g = Analyze.Engine.static_gate (preflight_config setup) g
 
 let run setup method_ g =
-  match method_ with
-  | Hls_tool -> run_hls setup g
-  | Sdc_tool -> run_sdc setup g
-  | Milp_base -> run_milp setup g ~mapping_aware:false
-  | Milp_map -> run_milp setup g ~mapping_aware:true
-  | Map_heuristic -> run_map_first setup g
+  (* Fail-fast gate: static CDFG lints and the pipelining pre-flight run
+     before any cut enumeration or solver cost is paid. Warnings and infos
+     are logged and recorded in the result's metrics; errors abort. *)
+  match lint setup g with
+  | Error diags ->
+      Error
+        (Fmt.str "lint gate failed (%s): %s"
+           (Analyze.Diag.summary diags)
+           (String.concat "; "
+              (List.map
+                 (fun (d : Analyze.Diag.t) ->
+                   d.Analyze.Diag.code ^ " " ^ d.Analyze.Diag.message)
+                 (Analyze.Diag.errors diags))))
+  | Ok gate_diags ->
+      List.iter
+        (fun (d : Analyze.Diag.t) ->
+          Logs.warn (fun fmt -> fmt "%a" Analyze.Diag.pp d))
+        (Analyze.Diag.warnings gate_diags);
+      (match method_ with
+      | Hls_tool -> run_hls setup ~gate_diags g
+      | Sdc_tool -> run_sdc setup ~gate_diags g
+      | Milp_base -> run_milp setup ~gate_diags g ~mapping_aware:false
+      | Milp_map -> run_milp setup ~gate_diags g ~mapping_aware:true
+      | Map_heuristic -> run_map_first setup ~gate_diags g)
 
 let run_all setup g =
   List.map (fun m -> (m, run setup m g)) [ Hls_tool; Milp_base; Milp_map ]

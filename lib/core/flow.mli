@@ -54,9 +54,21 @@ type result = {
           caller brands it with {!metrics} *)
 }
 
+val lint :
+  setup -> Ir.Cdfg.t -> (Analyze.Diag.t list, Analyze.Diag.t list) Stdlib.result
+(** The fail-fast static gate {!run} executes before paying any solver
+    cost: CDFG lints ({!Analyze.Cdfg_lint}) plus the pipelining pre-flight
+    ({!Analyze.Preflight}) under the setup's device/delay/resource/II
+    configuration. [Ok diags] carries warnings and infos only; [Error
+    diags] contains at least one error-severity diagnostic. *)
+
 val run : setup -> method_ -> Ir.Cdfg.t -> (result, string) Stdlib.result
-(** Runs one flow. The returned (schedule, cover) pair always passes
-    {!Sched.Verify.check} — a failed verification is reported as [Error]. *)
+(** Runs one flow. The {!lint} gate executes first — error diagnostics
+    abort the run before cut enumeration or scheduling, warnings are
+    logged and recorded in the result's [metrics.diagnostics]. The
+    returned (schedule, cover) pair always passes {!Sched.Verify.check} —
+    a failed verification is reported as [Error] with each violation keyed
+    by its {!Analyze.Cert} diagnostic code. *)
 
 val run_all : setup -> Ir.Cdfg.t -> (method_ * (result, string) Stdlib.result) list
 (** All three flows in Table 1 order. *)
@@ -67,8 +79,11 @@ val metrics : name:string -> result -> Obs.Metrics.t
 (** The result's metrics record stamped with the benchmark [name] — the
     unit serialized by [pipesyn --json] and [BENCH_results.json]. *)
 
-val error_metrics : name:string -> method_ -> Obs.Metrics.t
+val error_metrics :
+  ?diags:Analyze.Diag.t list -> name:string -> method_ -> Obs.Metrics.t
 (** A placeholder record (zero QoR, NaN slack, status ["error"]) so failed
-    runs still appear in the perf trajectory. *)
+    runs still appear in the perf trajectory. [diags] (default empty)
+    populates the record's [diagnostics] array — e.g. the gate findings
+    that caused the failure. *)
 
 val pp_result : result Fmt.t

@@ -31,9 +31,8 @@ type t = {
   c_cut : Lp.Model.var array array;
   root : Lp.Model.var array;
   reg : Lp.Model.var option array;
-  cut_delays : float array array;
   lat : int array;
-  mutable onehot : (int * Lp.Model.var array) list;
+  onehot : (int * Lp.Model.var array) list;
       (** black-box one-hot cycle binaries, when resources are limited *)
 }
 
@@ -330,7 +329,7 @@ let build cfg g cuts =
   done;
   Lp.Model.set_objective model !obj;
   {
-    g; cfg; cuts; model; s_cycle; l_start; c_cut; root; reg; cut_delays; lat;
+    g; cfg; cuts; model; s_cycle; l_start; c_cut; root; reg; lat;
     onehot = !all_onehots;
   }
 

@@ -4,12 +4,10 @@ type t = {
   cuts : Cuts.t;
   model : Lp.Model.t;
   onehot : Lp.Model.var array array;  (* s_{v,t} *)
-  s_cycle : Lp.Model.var array;  (* S_v, linked to the one-hots *)
   l_start : Lp.Model.var array;
   c_cut : Lp.Model.var array array;
   root : Lp.Model.var array;
   live : Lp.Model.var array array;  (* live_{v,t}, [||] for constants *)
-  m_live : int;
 }
 
 let is_const g v =
@@ -230,7 +228,9 @@ let build (cfg : Formulation.config) g cuts =
       live.(v)
   done;
   Lp.Model.set_objective model !obj;
-  { g; cfg; cuts; model; onehot; s_cycle; l_start; c_cut; root; live; m_live }
+  ignore s_cycle;
+  ignore m_live;
+  { g; cfg; cuts; model; onehot; l_start; c_cut; root; live }
 
 let model t = t.model
 

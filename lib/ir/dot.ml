@@ -7,11 +7,29 @@ let shape_of op =
   | Op.Not | Op.Bitwise _ | Op.Mux -> "box"
   | Op.Shl _ | Op.Shr _ | Op.Slice _ | Op.Concat -> "cds"
 
+(* DOT double-quoted strings: backslash and double-quote must be escaped,
+   and literal newlines replaced by the \n escape, or a hostile node /
+   black-box name breaks out of the label attribute. *)
+let escape_label s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 let node_line buf g id =
   let nd = Cdfg.node g id in
   Buffer.add_string buf
     (Printf.sprintf "    n%d [label=\"%s\\n%s:%d\", shape=%s%s];\n" id
-       (Cdfg.node_name g id) (Op.to_string nd.op) nd.width (shape_of nd.op)
+       (escape_label (Cdfg.node_name g id))
+       (escape_label (Op.to_string nd.op))
+       nd.width (shape_of nd.op)
        (if Cdfg.is_output g id then ", style=bold" else ""))
 
 let to_string ?cycle_of g =

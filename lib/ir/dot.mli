@@ -1,6 +1,12 @@
 (** Graphviz export of CDFGs, optionally annotated with a schedule
     (cycle numbers as clusters) for debugging and documentation. *)
 
+val escape_label : string -> string
+(** Escape a string for use inside a DOT double-quoted attribute:
+    backslashes and double quotes are backslash-escaped, newlines and
+    carriage returns become [\n]/[\r] escapes. Applied to every node and
+    operation name so adversarial names cannot inject DOT attributes. *)
+
 val to_string : ?cycle_of:(int -> int) -> Cdfg.t -> string
 (** DOT source. With [cycle_of], nodes are grouped into one cluster per
     clock cycle so register boundaries are visible. Loop-carried edges are

@@ -89,6 +89,16 @@ let is_integer m v = nth_rev m.ints v m.nvars
 let bounds m v = (nth_rev m.lbs v m.nvars, nth_rev m.ubs v m.nvars)
 let objective_constant m = m.obj_const
 
+let objective_terms m =
+  normalize_terms (List.map (fun (v, c) -> (c, v)) m.obj)
+  |> List.map (fun (v, c) -> (c, v))
+
+let rows m =
+  List.rev m.rows
+  |> List.map (fun r ->
+         (r.r_name, List.map (fun (v, c) -> (c, v)) r.terms, r.sense, r.rhs))
+  |> Array.of_list
+
 type raw = {
   n : int;
   lb : float array;

@@ -44,6 +44,16 @@ val is_integer : t -> var -> bool
 val bounds : t -> var -> float * float
 val objective_constant : t -> float
 
+val objective_terms : t -> (float * var) list
+(** The current minimization objective as [(coefficient, variable)] pairs;
+    duplicates summed, zero coefficients dropped. *)
+
+val rows : t -> (string option * (float * var) list * sense * float) array
+(** All constraints in insertion order as
+    [(name, terms, sense, rhs)] — the introspection surface used by the
+    static model lints ({!Analyze.Lp_lint}). Terms are normalized (sorted
+    by column, duplicates summed, zeros dropped). *)
+
 type raw = {
   n : int;  (** variable count *)
   lb : float array;

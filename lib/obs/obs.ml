@@ -362,9 +362,10 @@ module Metrics = struct
     bnb_nodes : int;
     cuts_total : int;
     status : string;
+    diagnostics : Json.t list;
   }
 
-  let schema_version = 1
+  let schema_version = 2
 
   let to_json m =
     Json.Obj
@@ -378,6 +379,7 @@ module Metrics = struct
         ("bnb_nodes", Json.Int m.bnb_nodes);
         ("cuts_total", Json.Int m.cuts_total);
         ("status", Json.String m.status);
+        ("diagnostics", Json.List m.diagnostics);
       ]
 
   let of_json j =
@@ -408,7 +410,23 @@ module Metrics = struct
     let* bnb_nodes = int "bnb_nodes" in
     let* cuts_total = int "cuts_total" in
     let* status = str "status" in
-    Ok { name; method_; lut; ff; slack; solve_s; bnb_nodes; cuts_total; status }
+    (* Absent in schema v1 files; default to empty for compatibility. *)
+    let diagnostics =
+      match Json.member "diagnostics" j with Some (Json.List l) -> l | _ -> []
+    in
+    Ok
+      {
+        name;
+        method_;
+        lut;
+        ff;
+        slack;
+        solve_s;
+        bnb_nodes;
+        cuts_total;
+        status;
+        diagnostics;
+      }
 
   let file ~results =
     Json.Obj

@@ -161,16 +161,21 @@ module Metrics : sig
     status : string;
         (** MILP exit status, ["heuristic"] for solver-free flows, or
             ["error"] for failed runs *)
+    diagnostics : Json.t list;
+        (** static-analysis findings from the run's lint gate, one
+            {!Analyze.Diag.to_json} object each (schema v2; absent fields
+            read back as [[]] from v1 files) *)
   }
 
   val schema_version : int
   (** Bumped whenever a field is added/renamed; emitted at the top level of
-      every metrics file. *)
+      every metrics file. Version history: 1 = the original flat record;
+      2 = adds the [diagnostics] array. *)
 
   val to_json : t -> Json.t
   (** One flat object: [{"name": …, "method": …, "lut": …, "ff": …,
       "slack": …, "solve_s": …, "bnb_nodes": …, "cuts_total": …,
-      "status": …}]. *)
+      "status": …, "diagnostics": […]}]. *)
 
   val of_json : Json.t -> (t, string) result
   (** Inverse of {!to_json} (round-trip checks). *)

@@ -23,6 +23,23 @@ val op_latency :
   device:Fpga.Device.t -> delays:Fpga.Delays.t -> Ir.Cdfg.t -> int -> int
 (** Whole cycles before the result is available under the additive model. *)
 
+val res_mii : resources:Fpga.Resource.budget -> Ir.Cdfg.t -> int
+(** Resource-constrained lower bound on the II: per black-box resource
+    class, [ceil (uses / limit)]. [max_int] when a used class has zero
+    units. *)
+
+val rec_mii : device:Fpga.Device.t -> delays:Fpga.Delays.t -> Ir.Cdfg.t -> int
+(** Recurrence-constrained lower bound on the II: the smallest II at which
+    no dependence cycle carries more chained delay (in fractional cycles,
+    additive model) than its registers grant it. Capped at 64. *)
+
+val recurrence_feasible :
+  device:Fpga.Device.t -> delays:Fpga.Delays.t -> ii:int -> Ir.Cdfg.t -> bool
+(** Whether the continuous relaxation of the dependence constraints admits
+    the given [ii] — the test underlying {!rec_mii}; exposed so the
+    pre-flight analyzer ({!Analyze.Preflight}) can extract a witness
+    cycle. *)
+
 val min_ii :
   delays:Fpga.Delays.t -> device:Fpga.Device.t ->
   resources:Fpga.Resource.budget -> Ir.Cdfg.t -> int

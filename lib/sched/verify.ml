@@ -15,7 +15,7 @@ let check ctx g cover (sched : Schedule.t) =
   let latency = Timing.node_latency ~device:ctx.device ~delays:ctx.delays g cover in
   (match Cover.validate g cover with
   | Ok () -> ()
-  | Error e -> err "cover: %s" e);
+  | Error e -> err "[Eq. 2-4] cover: %s" e);
   let n = Ir.Cdfg.num_nodes g in
   if Array.length sched.cycle <> n then err "schedule size mismatch"
   else begin
@@ -25,10 +25,10 @@ let check ctx g cover (sched : Schedule.t) =
         if latency v = 0 then begin
           let fin = sched.start.(v) +. delay v in
           if fin > period +. eps then
-            err "%s: finish %.3f exceeds period %.3f" (name v) fin period
+            err "[Eq. 8] %s: finish %.3f exceeds period %.3f" (name v) fin period
         end
         else if sched.start.(v) > eps then
-          err "%s: multi-cycle op starts mid-cycle (%.3f)" (name v)
+          err "[Eq. 8] %s: multi-cycle op starts mid-cycle (%.3f)" (name v)
             sched.start.(v)
     done;
     (* Interior nodes carry no physical timing of their own: every selected
@@ -53,12 +53,12 @@ let check ctx g cover (sched : Schedule.t) =
                       if e.dist > 0 then begin
                         if avail >= uc then
                           err
-                            "registered edge %s->%s: produced cycle %d, used \
-                             cycle %d (same-cycle read through register)"
+                            "[Eq. 7] registered edge %s->%s: produced cycle %d, \
+                             used cycle %d (same-cycle read through register)"
                             (name u) (name w) avail uc
                       end
                       else if avail > uc then
-                        err "%s->%s: produced cycle %d after use cycle %d"
+                        err "[Eq. 7] %s->%s: produced cycle %d after use cycle %d"
                           (name u) (name w) avail uc
                       else if avail = uc then begin
                         let arr =
@@ -69,7 +69,7 @@ let check ctx g cover (sched : Schedule.t) =
                           else sched.start.(u) +. delay u
                         in
                         if arr > sched.start.(v) +. eps then
-                          err "%s->%s: chained arrival %.3f after start %.3f"
+                          err "[Eq. 9] %s->%s: chained arrival %.3f after start %.3f"
                             (name u) (name w) arr sched.start.(v)
                       end
                     end)
@@ -90,7 +90,7 @@ let check ctx g cover (sched : Schedule.t) =
       (fun (r, phase) used ->
         match Fpga.Resource.limit ctx.resources r with
         | Some lim when used > lim ->
-            err "resource %s: %d used in phase %d, limit %d" r used phase lim
+            err "[Eq. 14] resource %s: %d used in phase %d, limit %d" r used phase lim
         | Some _ | None -> ())
       counts
   end;

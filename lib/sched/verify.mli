@@ -20,7 +20,12 @@ val check :
 
     Cone-interior nodes carry no physical timing (a K-feasible cone is one
     LUT level), so no constraint is placed on their [S]/[L] entries — a
-    deliberate relaxation of the paper's Eq. 9 equality, see DESIGN.md. *)
+    deliberate relaxation of the paper's Eq. 9 equality, see DESIGN.md.
+
+    Every violation message is prefixed with the paper equation it
+    enforces, e.g. ["[Eq. 8] ..."], matching the DESIGN.md formulation
+    reference table; {!Analyze.Cert} keys its diagnostic codes off these
+    tags. *)
 
 val check_exn : context -> Ir.Cdfg.t -> Cover.t -> Schedule.t -> unit
 (** @raise Failure with all violations joined, for test assertions. *)

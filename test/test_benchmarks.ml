@@ -259,7 +259,7 @@ let test_registry_graphs_validate () =
       | Error msg -> Alcotest.failf "%s: %s" e.name msg)
     Benchmarks.Registry.all
 
-let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+let qsuite tests = List.map (fun t -> QCheck_alcotest.to_alcotest t) tests
 
 let () =
   Alcotest.run "benchmarks"

@@ -218,7 +218,7 @@ let support_monotone_in_cone =
         s_big.Bitdep.bits
       && Bp.Set.cardinal s_small.Bitdep.bits <= 2)
 
-let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+let qsuite tests = List.map (fun t -> QCheck_alcotest.to_alcotest t) tests
 
 let () =
   Alcotest.run "bitdep"

@@ -215,7 +215,7 @@ let cut_invariants =
                cs)
         cuts)
 
-let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+let qsuite tests = List.map (fun t -> QCheck_alcotest.to_alcotest t) tests
 
 let () =
   Alcotest.run "cuts"

@@ -250,7 +250,7 @@ let flows_verify_and_match =
         (fun m -> check_flow g m)
         [ Mams.Flow.Hls_tool; Mams.Flow.Sdc_tool; Mams.Flow.Map_heuristic ])
 
-let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+let qsuite tests = List.map (fun t -> QCheck_alcotest.to_alcotest t) tests
 
 let () =
   Alcotest.run "fuzz"

@@ -187,6 +187,29 @@ let test_dot_export () =
   let dot2 = Ir.Dot.to_string ~cycle_of:(fun v -> v mod 2) g in
   Alcotest.(check bool) "has clusters" true (contains dot2 "cluster")
 
+(* A hostile node or black-box name must not break out of the DOT label
+   attribute (quote/backslash/newline injection). *)
+let test_dot_label_escaping () =
+  Alcotest.(check string)
+    "escape_label" "a\\\"b\\\\c\\nd"
+    (Ir.Dot.escape_label "a\"b\\c\nd");
+  let b = Ir.Builder.create () in
+  let a = Ir.Builder.input b ~width:8 "x\", shape=doublecircle] //" in
+  let s =
+    Ir.Builder.black_box b ~kind:"evil\"kind" ~resource:"bram_port" ~width:8
+      [ a ]
+  in
+  Ir.Builder.output b s;
+  let g = Ir.Builder.finish b in
+  let dot = Ir.Dot.to_string g in
+  Alcotest.(check bool)
+    "raw quote never precedes a comma unescaped" false
+    (contains dot "x\", shape");
+  Alcotest.(check bool)
+    "escaped name present" true
+    (contains dot "x\\\", shape");
+  Alcotest.(check bool) "escaped kind present" true (contains dot "evil\\\"kind")
+
 (* The RS kernel CDFG agrees with its reference model over many steps. *)
 let rs_kernel_matches_reference =
   QCheck.Test.make ~name:"rs kernel matches software model" ~count:100
@@ -226,7 +249,7 @@ let rs_full_matches_reference =
       let last = Array.length arr - 1 in
       Int64.equal (List.nth expect (taps - 1)) trace.(last).(out))
 
-let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+let qsuite tests = List.map (fun t -> QCheck_alcotest.to_alcotest t) tests
 
 let () =
   Alcotest.run "ir"
@@ -249,6 +272,8 @@ let () =
           Alcotest.test_case "init value" `Quick test_eval_init_value;
           Alcotest.test_case "black box" `Quick test_black_box_eval;
           Alcotest.test_case "dot export" `Quick test_dot_export;
+          Alcotest.test_case "dot label escaping" `Quick
+            test_dot_label_escaping;
         ] );
       ("rs-model", qsuite [ rs_kernel_matches_reference; rs_full_matches_reference ]);
     ]

@@ -350,7 +350,7 @@ let milp_matches_brute_force =
       | Lp.Milp.Infeasible -> Float.is_integer !best = false || !best = infinity
       | Lp.Milp.Feasible | Lp.Milp.Unbounded | Lp.Milp.Unknown -> false)
 
-let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+let qsuite name tests = (name, List.map (fun t -> QCheck_alcotest.to_alcotest t) tests)
 
 let () =
   Alcotest.run "lp"

@@ -89,6 +89,7 @@ let sample_metrics =
     bnb_nodes = 55;
     cuts_total = 195;
     status = "feasible";
+    diagnostics = [];
   }
 
 let test_metrics_roundtrip () =
