@@ -401,9 +401,11 @@ let print_ablation_exact_mapping () =
                 name;
                 string_of_int (Sched.Cover.lut_area flow);
                 (match exact with
-                | Some c -> string_of_int (Sched.Cover.lut_area c)
-                | None -> "-");
-                (match exact with Some _ -> "solved" | None -> "failed");
+                | Ok c -> string_of_int (Sched.Cover.lut_area c)
+                | Error _ -> "-");
+                (match exact with
+                | Ok _ -> "solved"
+                | Error f -> Techmap.exact_reason_to_string f.Techmap.reason);
               ])
       [ "CLZ"; "XORR"; "GFMUL"; "MT"; "RS"; "DR"; "GSM" ]
   in

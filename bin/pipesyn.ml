@@ -54,15 +54,66 @@ let beta_arg =
   let doc = "Register weight beta in the Eq. 15 objective." in
   Arg.(value & opt float 0.5 & info [ "beta" ] ~doc)
 
+let faults_arg =
+  let doc =
+    "Arm fault-injection points: a comma-separated spec of $(i,point), \
+     $(i,point\\@N) (N-th hit only) or $(i,point%P:S) (P percent, seeded \
+     with S). See `pipesyn faults' for the registered points. Also read \
+     from $(b,PIPESYN_FAULTS)."
+  in
+  Arg.(value & opt (some string) None & info [ "faults" ] ~doc ~docv:"SPEC")
+
+let deadline_arg =
+  let doc =
+    "Global wall-clock budget in seconds for the whole run (lint, cut \
+     enumeration, solve, mapping, verification). On expiry the flow \
+     degrades gracefully and the exit code is 2. Also read from \
+     $(b,PIPESYN_DEADLINE)."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~doc ~docv:"SECS")
+
+(* Exit codes (README, "Exit codes"): 0 ok, 1 error findings / user error,
+   2 degraded result, 3 internal error. *)
+let exit_error = 1
+let exit_degraded = 2
+
+let arm_faults spec =
+  (match Resilience.Fault.load_env () with
+  | Ok () -> ()
+  | Error e ->
+      Fmt.epr "PIPESYN_FAULTS: %s@." e;
+      exit exit_error);
+  match spec with
+  | None -> ()
+  | Some s -> (
+      match Resilience.Fault.arm s with
+      | Ok () -> ()
+      | Error e ->
+          Fmt.epr "--faults: %s@." e;
+          exit exit_error)
+
+let wall_budget_of deadline =
+  match deadline with
+  | Some _ -> deadline
+  | None -> (
+      match Sys.getenv_opt "PIPESYN_DEADLINE" with
+      | None -> None
+      | Some s -> (
+          match float_of_string_opt s with
+          | Some b -> Some b
+          | None ->
+              Fmt.epr "PIPESYN_DEADLINE: not a number: %s@." s;
+              exit exit_error))
+
 let entry_of name =
   match Benchmarks.Registry.find name with
   | e -> e
   | exception Not_found ->
       Fmt.epr "unknown benchmark %s; try `pipesyn list'@." name;
-      exit 2
+      exit exit_error
 
-let setup_of ?(k = 4) ?(ii = 1) ?(alpha = 0.5) ?(beta = 0.5) ~time_limit
-    (e : Benchmarks.Registry.entry) =
+let setup_of ?(k = 4) ?(ii = 1) ?(alpha = 0.5) ?(beta = 0.5) ?wall_budget
+    ~time_limit (e : Benchmarks.Registry.entry) =
   let device = Fpga.Device.make ~k ~t_clk:e.t_clk () in
   {
     (Mams.Flow.default_setup ~device) with
@@ -71,6 +122,7 @@ let setup_of ?(k = 4) ?(ii = 1) ?(alpha = 0.5) ?(beta = 0.5) ~time_limit
     ii;
     alpha;
     beta;
+    wall_budget;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -127,9 +179,12 @@ let run_cmd =
     in
     Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"FILE")
   in
-  let run name method_ time_limit ii k alpha beta verbose optimize json =
+  let run name method_ time_limit ii k alpha beta verbose optimize json faults
+      deadline =
     setup_logs verbose;
     Obs.reset ();
+    arm_faults faults;
+    let wall_budget = wall_budget_of deadline in
     let e = entry_of name in
     let g = e.build () in
     let g =
@@ -152,41 +207,56 @@ let run_cmd =
         mii
       end
     in
-    let setup = setup_of ~k ~ii ~alpha ~beta ~time_limit e in
+    let setup = setup_of ~k ~ii ~alpha ~beta ?wall_budget ~time_limit e in
     Fmt.pr "%s: %s@." e.name (Ir.Cdfg.stats g);
     let methods =
       match method_ with
       | Some m -> [ m ]
       | None -> [ Mams.Flow.Hls_tool; Mams.Flow.Milp_base; Mams.Flow.Milp_map ]
     in
+    let failed = ref false and degraded = ref false in
     let metrics =
       List.map
         (fun m ->
           match Mams.Flow.run setup m g with
           | Ok r ->
               Fmt.pr "%a@." Mams.Flow.pp_result r;
+              if r.Mams.Flow.trail <> [] then begin
+                degraded := true;
+                List.iter
+                  (fun a ->
+                    Fmt.pr "  degraded: %a@." Resilience.Cascade.pp_attempt a)
+                  r.Mams.Flow.trail
+              end;
               if verbose then begin
                 Fmt.pr "%a@." (Sched.Schedule.pp_detailed g) r.Mams.Flow.schedule;
                 Fmt.pr "cover:@.%a@." (Sched.Cover.pp g) r.Mams.Flow.cover
               end;
               Mams.Flow.metrics ~name:e.name r
           | Error err ->
+              failed := true;
               Fmt.pr "%-9s error: %s@." (Mams.Flow.method_name m) err;
               Mams.Flow.error_metrics ~name:e.name m)
         methods
     in
-    match json with
+    (match json with
     | None -> ()
     | Some path ->
         Obs.Metrics.write_file ~path ~results:metrics;
-        Fmt.pr "wrote %s@." path
+        Fmt.pr "wrote %s@." path);
+    if !failed then exit exit_error
+    else if !degraded then exit exit_degraded
   in
   Cmd.v
     (Cmd.info "run"
-       ~doc:"Run one or all pipeline synthesis flows on a benchmark.")
+       ~doc:
+         "Run one or all pipeline synthesis flows on a benchmark. Exit \
+          codes: 0 clean, 1 a flow failed, 2 every flow produced a \
+          (verified) result but at least one degraded, 3 internal error.")
     Term.(
       const run $ bench_arg $ method_arg $ time_limit_arg $ ii_arg $ k_arg
-      $ alpha_arg $ beta_arg $ verbose_arg $ optimize_arg $ json_arg)
+      $ alpha_arg $ beta_arg $ verbose_arg $ optimize_arg $ json_arg
+      $ faults_arg $ deadline_arg)
 
 (* ------------------------------------------------------------------ *)
 (* cuts                                                                *)
@@ -365,7 +435,7 @@ let lint_cmd =
         | Some n -> [ entry_of n ]
         | None ->
             Fmt.epr "specify a benchmark with -b NAME or pass --all@.";
-            exit 2
+            exit exit_error
     in
     let reports =
       List.map
@@ -403,6 +473,25 @@ let lint_cmd =
       $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
+(* faults                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let faults_cmd =
+  let run () =
+    Fmt.pr "Registered fault points (arm with --faults or PIPESYN_FAULTS):@.@.";
+    List.iter
+      (fun (name, doc) -> Fmt.pr "  %-16s %s@." name doc)
+      Resilience.Fault.points;
+    Fmt.pr
+      "@.Spec grammar: point (every hit), point@N (N-th hit), \
+       point%%P:S (P%%, seed S); comma-separated.@."
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"List the registered fault-injection points and spec grammar.")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
 (* table1 / table2 pointers                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -423,7 +512,19 @@ let () =
     "Area-efficient pipelining for FPGA-targeted HLS (DAC 2015 reproduction)"
   in
   let info = Cmd.info "pipesyn" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ list_cmd; run_cmd; cuts_cmd; dot_cmd; rtl_cmd; lint_cmd; tables_cmd ]))
+  (* Exceptions that escape the cascade's containment are internal errors:
+     report one line (no raw backtrace) and exit 3, distinguishable from
+     error findings (1) and degraded-but-verified results (2). *)
+  let code =
+    try
+      Cmd.eval ~catch:false
+        (Cmd.group info
+           [
+             list_cmd; run_cmd; cuts_cmd; dot_cmd; rtl_cmd; lint_cmd;
+             faults_cmd; tables_cmd;
+           ])
+    with e ->
+      Fmt.epr "pipesyn: internal error: %s@." (Printexc.to_string e);
+      3
+  in
+  exit code

@@ -9,6 +9,7 @@ type setup = {
   beta : float;
   cut_params : Cuts.params option;
   time_limit : float;
+  wall_budget : float option;
 }
 
 let default_setup ~device =
@@ -21,6 +22,7 @@ let default_setup ~device =
     beta = 0.5;
     cut_params = None;
     time_limit = 60.0;
+    wall_budget = None;
   }
 
 type solve_info = {
@@ -37,6 +39,7 @@ type result = {
   qor : Sched.Qor.t;
   solve : solve_info;
   metrics : Obs.Metrics.t;
+  trail : Resilience.Cascade.attempt list;
 }
 
 let method_name = function
@@ -48,6 +51,26 @@ let method_name = function
 
 let diags_json diags =
   List.map Analyze.Diag.to_json (List.sort Analyze.Diag.compare diags)
+
+(* Degradation trail entries double as diagnostics: RES001 for contained
+   exceptions, RES002 for every other failed/degraded attempt. Cascade
+   exhaustion is RES003 (see the error message in [run]). *)
+let trail_diags trail =
+  List.map
+    (fun (a : Resilience.Cascade.attempt) ->
+      if a.Resilience.Cascade.reason = "exception" then
+        Analyze.Diag.warnf
+          ~witness:[ a.Resilience.Cascade.detail ]
+          ~code:"RES001" ~pass:"resilience.cascade" ~loc:Analyze.Diag.Global
+          "attempt '%s' raised; exception contained, cascade continued"
+          a.Resilience.Cascade.label
+      else
+        Analyze.Diag.warnf
+          ~witness:[ a.Resilience.Cascade.detail ]
+          ~code:"RES002" ~pass:"resilience.cascade" ~loc:Analyze.Diag.Global
+          "attempt '%s' degraded (%s)" a.Resilience.Cascade.label
+          a.Resilience.Cascade.reason)
+    trail
 
 let metrics_of setup method_ ~cuts_total ~gate_diags (qor : Sched.Qor.t)
     (solve : solve_info) =
@@ -68,6 +91,7 @@ let metrics_of setup method_ ~cuts_total ~gate_diags (qor : Sched.Qor.t)
       | Some s -> Fmt.str "%a" Lp.Milp.pp_status s
       | None -> "heuristic");
     diagnostics = diags_json gate_diags;
+    degradation = [];
   }
 
 let metrics ~name r = { r.metrics with Obs.Metrics.name }
@@ -84,6 +108,7 @@ let error_metrics ?(diags = []) ~name method_ =
     cuts_total = 0;
     status = "error";
     diagnostics = diags_json diags;
+    degradation = [];
   }
 
 let heuristic_info = { runtime = 0.0; milp_status = None; milp_stats = None;
@@ -93,9 +118,22 @@ let verify_ctx (s : setup) : Sched.Verify.context =
   let device = s.device and delays = s.delays and resources = s.resources in
   { Sched.Verify.device; delays; resources }
 
+(* Soft degradations — truncated cut enumeration, degraded mapping, numeric
+   trouble inside an otherwise accepted solve — are collected here and
+   merged into the trail of whichever attempt eventually wins. *)
+type ctx = {
+  gate_diags : Analyze.Diag.t list;
+  notes : Resilience.Cascade.attempt list ref;
+}
+
+let note ctx ~label ~reason ~detail =
+  ctx.notes :=
+    { Resilience.Cascade.label; reason; detail; elapsed = 0.0 }
+    :: !(ctx.notes)
+
 (* Final QoR is always measured under the mapped delay model — the analogue
    of post-place-and-route reporting. *)
-let finalize setup g ~cuts_total ~gate_diags cover sched solve method_ =
+let finalize setup ctx g ~cuts_total cover sched solve method_ =
   let sched =
     Sched.Timing.recompute_starts ~device:setup.device ~delays:setup.delays g
       cover sched
@@ -104,87 +142,154 @@ let finalize setup g ~cuts_total ~gate_diags cover sched solve method_ =
   | Error errs ->
       let diags = Analyze.Cert.of_messages errs in
       Error
-        (Printf.sprintf "%s: illegal result: %s" (method_name method_)
-           (String.concat "; "
-              (List.map
-                 (fun (d : Analyze.Diag.t) ->
-                   d.Analyze.Diag.code ^ " " ^ d.Analyze.Diag.message)
-                 diags)))
+        ( "verify",
+          Printf.sprintf "%s: illegal result: %s" (method_name method_)
+            (String.concat "; "
+               (List.map
+                  (fun (d : Analyze.Diag.t) ->
+                    d.Analyze.Diag.code ^ " " ^ d.Analyze.Diag.message)
+                  diags)) )
   | Ok () ->
       let qor =
         Sched.Qor.evaluate ~device:setup.device ~delays:setup.delays g cover
           sched
       in
-      let metrics = metrics_of setup method_ ~cuts_total ~gate_diags qor solve in
-      Ok { method_; schedule = sched; cover; qor; solve; metrics }
+      let metrics =
+        metrics_of setup method_ ~cuts_total ~gate_diags:ctx.gate_diags qor
+          solve
+      in
+      Ok { method_; schedule = sched; cover; qor; solve; metrics; trail = [] }
 
-let enum_cuts setup g =
+let enum_cuts ?(coarse = false) ~deadline setup ctx g =
   let params =
     match setup.cut_params with
     | Some p -> p
     | None -> Cuts.default_params ~k:setup.device.Fpga.Device.k
   in
-  Cuts.enumerate ~params ~k:setup.device.Fpga.Device.k g
+  (* Coarser enumeration: the degraded-retry setting — fewer cuts kept and
+     far fewer merge candidates explored, trading area for solve time. *)
+  let params =
+    if coarse then
+      {
+        params with
+        Cuts.max_cuts = max 2 (params.Cuts.max_cuts / 2);
+        max_candidates = max 16 (params.Cuts.max_candidates / 4);
+      }
+    else params
+  in
+  let truncated = ref false in
+  let cuts =
+    Cuts.enumerate ~params ~deadline ~truncated ~k:setup.device.Fpga.Device.k g
+  in
+  if !truncated then
+    note ctx ~label:"cuts.enumerate" ~reason:"timeout"
+      ~detail:
+        "cut enumeration truncated at deadline; unfinished nodes keep their \
+         trivial cut";
+  cuts
+
+let map_with ~deadline setup ctx ~cuts g sched =
+  let truncated = ref false in
+  let cover =
+    Techmap.map_schedule ~deadline ~truncated ~device:setup.device
+      ~delays:setup.delays ~cuts g sched
+  in
+  if !truncated then
+    note ctx ~label:"techmap.map" ~reason:"timeout"
+      ~detail:"area-flow labelling degraded to trivial cuts at deadline";
+  cover
+
+let map_global_with ~deadline setup ctx ~cuts g =
+  let truncated = ref false in
+  let cover =
+    Techmap.map_global ~deadline ~truncated ~device:setup.device
+      ~delays:setup.delays ~cuts g
+  in
+  if !truncated then
+    note ctx ~label:"techmap.map" ~reason:"timeout"
+      ~detail:"global area-flow labelling degraded to trivial cuts at deadline";
+  cover
 
 let baseline setup g =
   match
     Sched.Heuristic.schedule ~device:setup.device ~delays:setup.delays
       ~resources:setup.resources ~ii:setup.ii g
   with
-  | Error e -> Error (Fmt.str "heuristic baseline failed: %a" Sched.Heuristic.pp_error e)
+  | Error e ->
+      Error
+        ( "schedule",
+          Fmt.str "heuristic baseline failed: %a" Sched.Heuristic.pp_error e )
   | Ok sched -> Ok sched
 
-let run_hls setup ~gate_diags g =
+(* HLS-Tool: heuristic schedule + downstream mapping. With [trivial] the
+   attempt avoids cut enumeration, the LP and the MILP entirely — it is the
+   terminal fallback of every cascade and survives every fault point. *)
+let run_hls ?(trivial = false) ~deadline ~as_ setup ctx g =
   match baseline setup g with
   | Error _ as e -> e
   | Ok sched ->
-      let cuts = enum_cuts setup g in
-      let cover =
-        Techmap.map_schedule ~device:setup.device ~delays:setup.delays ~cuts g
-          sched
+      let cuts =
+        if trivial then Cuts.trivial_only g
+        else enum_cuts ~deadline setup ctx g
       in
-      finalize setup g ~cuts_total:(Cuts.total_cuts cuts) ~gate_diags cover
-        sched heuristic_info Hls_tool
+      let cover = map_with ~deadline setup ctx ~cuts g sched in
+      finalize setup ctx g ~cuts_total:(Cuts.total_cuts cuts) cover sched
+        heuristic_info as_
 
 (* SDC modulo scheduling (the LegUp/Vivado-HLS style baseline, refs [22]
    and [3] of the paper), with the same downstream mapping as the HLS
    flow. *)
-let run_sdc setup ~gate_diags g =
+let run_sdc ?(trivial = false) ~deadline ~as_ setup ctx g =
   match
     Sched.Sdc.schedule ~device:setup.device ~delays:setup.delays
       ~resources:setup.resources ~ii:setup.ii g
   with
-  | Error e -> Error (Fmt.str "SDC scheduling failed: %a" Sched.Heuristic.pp_error e)
+  | Error e ->
+      Error
+        ("schedule", Fmt.str "SDC scheduling failed: %a" Sched.Heuristic.pp_error e)
   | Ok sched ->
-      let cuts = enum_cuts setup g in
-      let cover =
-        Techmap.map_schedule ~device:setup.device ~delays:setup.delays ~cuts g
-          sched
+      let cuts =
+        if trivial then Cuts.trivial_only g
+        else enum_cuts ~deadline setup ctx g
       in
-      finalize setup g ~cuts_total:(Cuts.total_cuts cuts) ~gate_diags cover
-        sched heuristic_info Sdc_tool
+      let cover = map_with ~deadline setup ctx ~cuts g sched in
+      finalize setup ctx g ~cuts_total:(Cuts.total_cuts cuts) cover sched
+        heuristic_info as_
 
 (* Map-first (the paper's future-work heuristic): area-flow cover of the
    whole graph, then cover-aware ASAP modulo scheduling. *)
-let run_map_first setup ~gate_diags g =
-  let cuts = enum_cuts setup g in
-  let cover = Techmap.map_global ~device:setup.device ~delays:setup.delays ~cuts g in
+let run_map_first ?(coarse = false) ?(trivial = false) ~deadline ~as_ setup
+    ctx g =
+  let cuts =
+    if trivial then Cuts.trivial_only g
+    else enum_cuts ~coarse ~deadline setup ctx g
+  in
+  let cover = map_global_with ~deadline setup ctx ~cuts g in
   match
     Sched.Mapsched.schedule ~device:setup.device ~delays:setup.delays
       ~resources:setup.resources ~ii:setup.ii g cover
   with
   | Error e ->
-      Error (Fmt.str "map-first failed: %a" Sched.Heuristic.pp_error e)
+      Error ("schedule", Fmt.str "map-first failed: %a" Sched.Heuristic.pp_error e)
   | Ok sched ->
-      finalize setup g ~cuts_total:(Cuts.total_cuts cuts) ~gate_diags cover
-        sched heuristic_info Map_heuristic
+      finalize setup ctx g ~cuts_total:(Cuts.total_cuts cuts) cover sched
+        heuristic_info as_
 
-let run_milp setup ~gate_diags g ~mapping_aware =
+let run_milp ?(coarse = false) ?(budget_scale = 1.0) ~deadline ~as_ setup ctx
+    g ~mapping_aware =
+  (* Phase budgeting inside the attempt: cumulative checkpoints, so cheap
+     phases donate their slack to the solver. *)
+  let phases =
+    Resilience.Deadline.split deadline
+      [ ("cuts", 0.2); ("solve", 0.6); ("map", 0.2) ]
+  in
+  let phase name = List.assoc name phases in
   match baseline setup g with
   | Error _ as e -> e
   | Ok base_sched -> (
       let cuts =
-        if mapping_aware then enum_cuts setup g else Cuts.trivial_only g
+        if mapping_aware then enum_cuts ~coarse ~deadline:(phase "cuts") setup ctx g
+        else Cuts.trivial_only g
       in
       (* The warm start must be feasible under the formulation's own delay
          model. For MILP-map that model prices every trivial logic cut at
@@ -259,8 +364,7 @@ let run_milp setup ~gate_diags g ~mapping_aware =
         | Some s ->
             let map_first () =
               let cover =
-                Techmap.map_global ~device:setup.device ~delays:setup.delays
-                  ~cuts g
+                map_global_with ~deadline:(phase "cuts") setup ctx ~cuts g
               in
               match
                 Sched.Mapsched.schedule ~device:setup.device
@@ -277,8 +381,7 @@ let run_milp setup ~gate_diags g ~mapping_aware =
                   map_first;
                   (fun () ->
                     try_incumbent s
-                      (Techmap.map_schedule ~device:setup.device
-                         ~delays:setup.delays ~cuts g s));
+                      (map_with ~deadline:(phase "cuts") setup ctx ~cuts g s));
                   (fun () -> try_incumbent s trivial_cover);
                 ]
               else [ (fun () -> try_incumbent s trivial_cover) ]
@@ -289,7 +392,9 @@ let run_milp setup ~gate_diags g ~mapping_aware =
       in
       let t0 = Sys.time () in
       let r =
-        Lp.Milp.solve ~time_limit:setup.time_limit ?incumbent
+        Lp.Milp.solve
+          ~time_limit:(setup.time_limit *. budget_scale)
+          ~deadline:(phase "solve") ?incumbent
           ~branch_priority:(Formulation.branch_priorities f)
           (Formulation.model f)
       in
@@ -304,24 +409,44 @@ let run_milp setup ~gate_diags g ~mapping_aware =
       in
       match r.Lp.Milp.status with
       | Lp.Milp.Infeasible | Lp.Milp.Unbounded | Lp.Milp.Unknown ->
+          let reason =
+            match r.Lp.Milp.status with
+            | Lp.Milp.Infeasible -> "infeasible"
+            | Lp.Milp.Unbounded -> "unbounded"
+            | Lp.Milp.Unknown | Lp.Milp.Optimal | Lp.Milp.Feasible ->
+                "unknown"
+          in
           Error
-            (Fmt.str "MILP failed: %a after %.1fs" Lp.Milp.pp_status
-               r.Lp.Milp.status runtime)
+            ( reason,
+              Fmt.str "MILP failed: %a after %.1fs" Lp.Milp.pp_status
+                r.Lp.Milp.status runtime )
       | Lp.Milp.Optimal | Lp.Milp.Feasible ->
+          (* Numeric trouble inside an accepted solve is a soft
+             degradation: the incumbent is feasible and verified, but
+             optimality was not certified. *)
+          if r.Lp.Milp.stats.Lp.Milp.lp_limited > 0 then
+            note ctx
+              ~label:(if mapping_aware then "milp-map.solve" else "milp-base.solve")
+              ~reason:"numeric"
+              ~detail:
+                (Fmt.str
+                   "%d node LP(s) hit the pivot cap; result kept, optimality \
+                    not certified"
+                   r.Lp.Milp.stats.Lp.Milp.lp_limited);
           let sched, cover = Formulation.extract f r in
           if mapping_aware then
-            finalize setup g ~cuts_total:(Cuts.total_cuts cuts) ~gate_diags
-              cover sched solve Milp_map
+            finalize setup ctx g ~cuts_total:(Cuts.total_cuts cuts) cover
+              sched solve as_
           else
             (* MILP-base: exact schedule, then the same downstream mapping
                as the commercial flow. *)
-            let cuts_full = enum_cuts setup g in
+            let cuts_full = enum_cuts ~deadline:(phase "map") setup ctx g in
             let cover =
-              Techmap.map_schedule ~device:setup.device ~delays:setup.delays
-                ~cuts:cuts_full g sched
+              map_with ~deadline:(phase "map") setup ctx ~cuts:cuts_full g
+                sched
             in
-            finalize setup g ~cuts_total:(Cuts.total_cuts cuts_full)
-              ~gate_diags cover sched solve Milp_base)
+            finalize setup ctx g ~cuts_total:(Cuts.total_cuts cuts_full) cover
+              sched solve as_)
 
 let preflight_config (s : setup) =
   {
@@ -333,7 +458,96 @@ let preflight_config (s : setup) =
 
 let lint setup g = Analyze.Engine.static_gate (preflight_config setup) g
 
-let run setup method_ g =
+(* The per-method degradation cascade. Ordering rationale (DESIGN.md 3d):
+   full strength first; then relaxations that keep the method's character
+   (shorter budget, coarser cuts); then a different algorithm of the same
+   family; finally the trivial-cuts heuristic, which touches neither cut
+   enumeration nor any LP/MILP and therefore survives every registered
+   fault point. *)
+let steps_of setup ctx method_ g :
+    result Resilience.Cascade.step list =
+  let open Resilience.Cascade in
+  let scale k = backoff ~base:1.0 ~factor:0.5 k in
+  let hls_fallback label =
+    { slabel = label; budget = None;
+      run = (fun dl -> run_hls ~trivial:true ~deadline:dl ~as_:method_ setup ctx g) }
+  in
+  match method_ with
+  | Hls_tool ->
+      [
+        { slabel = "hls.full"; budget = None;
+          run = (fun dl -> run_hls ~deadline:dl ~as_:method_ setup ctx g) };
+        hls_fallback "hls.trivial-cuts";
+      ]
+  | Sdc_tool ->
+      [
+        { slabel = "sdc.full"; budget = None;
+          run = (fun dl -> run_sdc ~deadline:dl ~as_:method_ setup ctx g) };
+        { slabel = "sdc.trivial-cuts"; budget = None;
+          run = (fun dl ->
+            run_sdc ~trivial:true ~deadline:dl ~as_:method_ setup ctx g) };
+        hls_fallback "sdc.hls-fallback";
+      ]
+  | Map_heuristic ->
+      [
+        { slabel = "map-first.full"; budget = None;
+          run = (fun dl -> run_map_first ~deadline:dl ~as_:method_ setup ctx g) };
+        { slabel = "map-first.coarse-cuts"; budget = None;
+          run = (fun dl ->
+            run_map_first ~coarse:true ~deadline:dl ~as_:method_ setup ctx g) };
+        { slabel = "map-first.trivial-cuts"; budget = None;
+          run = (fun dl ->
+            run_map_first ~trivial:true ~deadline:dl ~as_:method_ setup ctx g) };
+      ]
+  | Milp_base ->
+      [
+        { slabel = "milp-base.full"; budget = None;
+          run = (fun dl ->
+            run_milp ~deadline:dl ~as_:method_ setup ctx g
+              ~mapping_aware:false) };
+        { slabel = "milp-base.retry"; budget = Some (setup.time_limit *. scale 1);
+          run = (fun dl ->
+            run_milp ~budget_scale:(scale 1) ~deadline:dl ~as_:method_ setup
+              ctx g ~mapping_aware:false) };
+        { slabel = "milp-base.sdc-fallback"; budget = None;
+          run = (fun dl -> run_sdc ~deadline:dl ~as_:method_ setup ctx g) };
+        hls_fallback "milp-base.hls-fallback";
+      ]
+  | Milp_map ->
+      [
+        { slabel = "milp-map.full"; budget = None;
+          run = (fun dl ->
+            run_milp ~deadline:dl ~as_:method_ setup ctx g ~mapping_aware:true) };
+        { slabel = "milp-map.coarse"; budget = Some (setup.time_limit *. scale 1);
+          run = (fun dl ->
+            run_milp ~coarse:true ~budget_scale:(scale 1) ~deadline:dl
+              ~as_:method_ setup ctx g ~mapping_aware:true) };
+        { slabel = "milp-map.map-first"; budget = None;
+          run = (fun dl -> run_map_first ~deadline:dl ~as_:method_ setup ctx g) };
+        hls_fallback "milp-map.hls-fallback";
+      ]
+
+(* Merge the cascade's failed attempts with the soft notes, stamp the
+   Metrics v3 degradation array and the RES* diagnostics. *)
+let finish ~gate_diags trail r =
+  let metrics =
+    {
+      r.metrics with
+      Obs.Metrics.diagnostics = diags_json (gate_diags @ trail_diags trail);
+      degradation = List.map Resilience.Cascade.attempt_to_json trail;
+    }
+  in
+  { r with metrics; trail }
+
+let run ?deadline setup method_ g =
+  let deadline =
+    match deadline with
+    | Some d -> d
+    | None -> (
+        match setup.wall_budget with
+        | Some b -> Resilience.Deadline.of_budget b
+        | None -> Resilience.Deadline.none)
+  in
   (* Fail-fast gate: static CDFG lints and the pipelining pre-flight run
      before any cut enumeration or solver cost is paid. Warnings and infos
      are logged and recorded in the result's metrics; errors abort. *)
@@ -347,23 +561,36 @@ let run setup method_ g =
                  (fun (d : Analyze.Diag.t) ->
                    d.Analyze.Diag.code ^ " " ^ d.Analyze.Diag.message)
                  (Analyze.Diag.errors diags))))
-  | Ok gate_diags ->
+  | Ok gate_diags -> (
       List.iter
         (fun (d : Analyze.Diag.t) ->
           Logs.warn (fun fmt -> fmt "%a" Analyze.Diag.pp d))
         (Analyze.Diag.warnings gate_diags);
-      (match method_ with
-      | Hls_tool -> run_hls setup ~gate_diags g
-      | Sdc_tool -> run_sdc setup ~gate_diags g
-      | Milp_base -> run_milp setup ~gate_diags g ~mapping_aware:false
-      | Milp_map -> run_milp setup ~gate_diags g ~mapping_aware:true
-      | Map_heuristic -> run_map_first setup ~gate_diags g)
+      let ctx = { gate_diags; notes = ref [] } in
+      match Resilience.Cascade.run ~deadline (steps_of setup ctx method_ g) with
+      | Ok { value; trail } ->
+          Ok (finish ~gate_diags (trail @ List.rev !(ctx.notes)) value)
+      | Error trail ->
+          (* RES003: every attempt failed. This requires the terminal
+             heuristic itself to fail (e.g. an unschedulable graph). *)
+          Error
+            (Fmt.str "RES003 %s: degradation cascade exhausted (%d attempts): %s"
+               (method_name method_) (List.length trail)
+               (String.concat "; "
+                  (List.map
+                     (fun a -> Fmt.str "%a" Resilience.Cascade.pp_attempt a)
+                     trail))))
 
-let run_all setup g =
-  List.map (fun m -> (m, run setup m g)) [ Hls_tool; Milp_base; Milp_map ]
+let run_all ?deadline setup g =
+  List.map
+    (fun m -> (m, run ?deadline setup m g))
+    [ Hls_tool; Milp_base; Milp_map ]
 
 let pp_result ppf r =
   Fmt.pf ppf "%-9s %a" (method_name r.method_) Sched.Qor.pp r.qor;
-  match r.solve.milp_stats with
+  (match r.solve.milp_stats with
   | Some s -> Fmt.pf ppf "  [%a]" Lp.Milp.pp_stats s
-  | None -> ()
+  | None -> ());
+  if r.trail <> [] then
+    Fmt.pf ppf "  (degraded: %d attempt%s)" (List.length r.trail)
+      (if List.length r.trail = 1 then "" else "s")

@@ -17,7 +17,23 @@
       the MILP-map warm start.
 
     All flows report QoR under the same post-mapping delay/area model, the
-    analogue of measuring everything post place-and-route. *)
+    analogue of measuring everything post place-and-route.
+
+    {2 Resilience}
+
+    Every method runs through a {!Resilience.Cascade}: the full-strength
+    configuration first, then progressively relaxed retries (halved MILP
+    budget via {!Resilience.Cascade.backoff}, coarser cut parameters), then
+    algorithmic fallbacks, ending in a trivial-cuts heuristic that touches
+    neither cut enumeration nor any LP/MILP and therefore survives every
+    registered fault point ({!Resilience.Fault}). Exceptions raised inside
+    an attempt are contained and the cascade continues. Whatever attempt
+    wins, the returned (schedule, cover) passes {!Sched.Verify.check}; the
+    failed attempts and soft degradations (truncated enumeration, degraded
+    mapping, uncertified optimality) form the result's [trail], serialized
+    as the Metrics v3 [degradation] array and mirrored as RES001/RES002
+    diagnostics. A cascade that exhausts every attempt returns [Error]
+    with an ["RES003"]-prefixed message. *)
 
 type method_ = Hls_tool | Sdc_tool | Milp_base | Milp_map | Map_heuristic
 
@@ -30,11 +46,16 @@ type setup = {
   beta : float;
   cut_params : Cuts.params option;  (** [None]: {!Cuts.default_params} *)
   time_limit : float;  (** MILP budget, seconds (the paper used 3600) *)
+  wall_budget : float option;
+      (** global wall-clock budget for the whole run (lint, cut
+          enumeration, solve, mapping, verification); [None] = unlimited.
+          Split across phases and threaded as a cooperative
+          {!Resilience.Deadline} into every subsystem. *)
 }
 
 val default_setup : device:Fpga.Device.t -> setup
 (** [ii = 1], [alpha = beta = 0.5] (paper Sec. 4), default delays,
-    unlimited resources, 60 s budget. *)
+    unlimited resources, 60 s MILP budget, no wall-clock budget. *)
 
 type solve_info = {
   runtime : float;  (** seconds spent in the MILP (0 for the heuristic) *)
@@ -44,7 +65,7 @@ type solve_info = {
 }
 
 type result = {
-  method_ : method_;
+  method_ : method_;  (** the {e requested} method, even after fallback *)
   schedule : Sched.Schedule.t;
   cover : Sched.Cover.t;
   qor : Sched.Qor.t;
@@ -52,6 +73,10 @@ type result = {
   metrics : Obs.Metrics.t;
       (** structured metrics for JSON emission; [name] is [""] until a
           caller brands it with {!metrics} *)
+  trail : Resilience.Cascade.attempt list;
+      (** degradation trail: failed attempts first (in execution order),
+          then soft degradations; [[]] means the full-strength attempt
+          succeeded cleanly *)
 }
 
 val lint :
@@ -62,15 +87,27 @@ val lint :
     configuration. [Ok diags] carries warnings and infos only; [Error
     diags] contains at least one error-severity diagnostic. *)
 
-val run : setup -> method_ -> Ir.Cdfg.t -> (result, string) Stdlib.result
-(** Runs one flow. The {!lint} gate executes first — error diagnostics
-    abort the run before cut enumeration or scheduling, warnings are
-    logged and recorded in the result's [metrics.diagnostics]. The
+val run :
+  ?deadline:Resilience.Deadline.t ->
+  setup ->
+  method_ ->
+  Ir.Cdfg.t ->
+  (result, string) Stdlib.result
+(** Runs one flow through its degradation cascade. The {!lint} gate
+    executes first — error diagnostics abort the run before cut
+    enumeration or scheduling, warnings are logged and recorded in the
+    result's [metrics.diagnostics]. [deadline] (default: derived from
+    [setup.wall_budget], or no deadline) bounds the whole run. The
     returned (schedule, cover) pair always passes {!Sched.Verify.check} —
-    a failed verification is reported as [Error] with each violation keyed
-    by its {!Analyze.Cert} diagnostic code. *)
+    a verification failure fails that cascade attempt (recorded with
+    reason ["verify"]) and the next fallback runs. [Error] means the lint
+    gate found errors or the cascade was exhausted (["RES003"]). *)
 
-val run_all : setup -> Ir.Cdfg.t -> (method_ * (result, string) Stdlib.result) list
+val run_all :
+  ?deadline:Resilience.Deadline.t ->
+  setup ->
+  Ir.Cdfg.t ->
+  (method_ * (result, string) Stdlib.result) list
 (** All three flows in Table 1 order. *)
 
 val method_name : method_ -> string

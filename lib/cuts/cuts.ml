@@ -7,6 +7,7 @@ let c_enumerated = Obs.Counter.get "cuts.enumerated"
 let c_infeasible = Obs.Counter.get "cuts.infeasible"
 let c_pruned = Obs.Counter.get "cuts.pruned"
 let c_merges = Obs.Counter.get "cuts.node_merges"
+let c_truncated = Obs.Counter.get "cuts.deadline_truncations"
 let t_enumerate = Obs.Timer.get "cuts.enumerate"
 
 type cut = {
@@ -134,8 +135,11 @@ let merged_leaf_sets ~cap choices =
   |> List.map (List.sort_uniq Int.compare)
   |> List.sort_uniq compare
 
-let enumerate ?params ~k g =
+let enumerate ?params ?(deadline = Resilience.Deadline.none) ?truncated ~k g =
   Obs.Timer.span t_enumerate @@ fun () ->
+  if Resilience.Fault.fires "cuts.raise" then
+    failwith "injected fault: cuts.raise";
+  let forced_timeout = Resilience.Fault.fires "cuts.timeout" in
   let p = match params with Some p -> p | None -> default_params ~k in
   let n = Ir.Cdfg.num_nodes g in
   (* Building blocks: for each node, the leaf sets successors may choose
@@ -216,7 +220,18 @@ let enumerate ?params ~k g =
     List.length a = List.length b
     && List.for_all2 (fun x y -> x.leaves = y.leaves) a b
   in
+  (* Deadline degradation: abandoning the worklist early is safe because
+     every node's cut set starts as [trivial] — downstream consumers just
+     see fewer non-trivial choices, never an invalid set. *)
+  let stop_early () =
+    Obs.Counter.incr c_truncated;
+    (match truncated with Some r -> r := true | None -> ());
+    Queue.clear queue
+  in
+  if forced_timeout then stop_early ();
   while not (Queue.is_empty queue) do
+    if Resilience.Deadline.expired deadline then stop_early ()
+    else begin
     let v = Queue.pop queue in
     queued.(v) <- false;
     Obs.Counter.incr c_merges;
@@ -239,6 +254,7 @@ let enumerate ?params ~k g =
             queued.(s) <- true
           end)
         (Ir.Cdfg.succs g v)
+    end
     end
   done;
   Array.map Array.of_list result

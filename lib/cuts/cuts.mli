@@ -39,10 +39,25 @@ type params = {
 val default_params : k:int -> params
 (** [max_cuts = 10], [max_candidates = 512], [max_leaf_words = k + 2]. *)
 
-val enumerate : ?params:params -> k:int -> Ir.Cdfg.t -> t
+val enumerate :
+  ?params:params ->
+  ?deadline:Resilience.Deadline.t ->
+  ?truncated:bool ref ->
+  k:int ->
+  Ir.Cdfg.t ->
+  t
 (** Algorithm 1: worklist-driven merge of predecessor cut sets. Cuts are
     ranked by (area, support, leaf count) and pruned to [max_cuts] per node;
-    the trivial cut is never pruned. *)
+    the trivial cut is never pruned.
+
+    When [deadline] (default {!Resilience.Deadline.none}) expires the
+    worklist is abandoned: [truncated] (if given) is set and the partial
+    result is returned. The result is always valid — every node's cut set
+    is initialised with its trivial cut, so truncation only reduces the
+    number of non-trivial alternatives offered downstream.
+
+    Fault points ({!Resilience.Fault}): [cuts.raise] raises [Failure] at
+    entry; [cuts.timeout] forces immediate truncation. *)
 
 val trivial_only : Ir.Cdfg.t -> t
 (** The cut sets used by MILP-base: every node keeps only its trivial cut

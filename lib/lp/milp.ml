@@ -6,6 +6,7 @@ type stats = {
   elapsed : float;
   root_bound : float;
   gap : float;
+  lp_limited : int;
 }
 
 type result = {
@@ -60,15 +61,27 @@ let snap raw ~int_tol x =
     x
 
 let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
-    ?(gap_tol = 1e-6) ?(int_tol = 1e-6) ?incumbent ?branch_priority model =
+    ?(gap_tol = 1e-6) ?(int_tol = 1e-6)
+    ?(deadline = Resilience.Deadline.none) ?incumbent ?branch_priority model =
   Obs.Timer.span t_solve @@ fun () ->
   Obs.Counter.incr c_solves;
+  if Resilience.Fault.fires "milp.raise" then
+    failwith "injected fault: milp.raise";
+  (* The injected timeout models "budget exhausted before any incumbent":
+     warm-start seeding is skipped so the solve reports Unknown, the
+     hardest failure the cascade must absorb. *)
+  let injected_timeout = Resilience.Fault.fires "milp.timeout" in
+  (* Deadline-aware budget: whichever of the caller's deadline and the
+     local time budget is tighter governs both the node loop and — via
+     Simplex — every pivot inside a node. *)
+  let dl = Resilience.Deadline.clip deadline ~budget:time_limit in
   let raw = Model.to_raw model in
   let t0 = Sys.time () in
   let elapsed () = Sys.time () -. t0 in
   let best_x = ref None in
   let best_obj = ref infinity in
   (match incumbent with
+  | _ when injected_timeout -> ()
   | None -> ()
   | Some x ->
       if Array.length x <> raw.n then
@@ -81,6 +94,7 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
       Obs.Counter.incr c_incumbents;
       Obs.Series.add s_incumbents ~x:(elapsed ()) ~y:!best_obj);
   let nodes = ref 0 and lp_iters = ref 0 in
+  let lp_limited = ref 0 in
   let root_bound = ref neg_infinity in
   let stack = ref [] in
   let push n = stack := n :: !stack in
@@ -94,7 +108,11 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
     | [] -> continue_ := false
     | node :: rest ->
         stack := rest;
-        if elapsed () > time_limit || !nodes >= node_limit then begin
+        if
+          injected_timeout
+          || Resilience.Deadline.expired dl
+          || !nodes >= node_limit
+        then begin
           budget_hit := true;
           continue_ := false
         end
@@ -103,14 +121,18 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
           ()
         else begin
           incr nodes;
-          let r = Simplex.solve ~max_iters:max_lp_iters ~lb:node.nlb ~ub:node.nub raw in
+          let r =
+            Simplex.solve ~max_iters:max_lp_iters ~deadline:dl ~lb:node.nlb
+              ~ub:node.nub raw
+          in
           lp_iters := !lp_iters + r.iterations;
           if node.depth = 0 then begin
             root_bound := r.objective;
             match r.status with
             | Simplex.Infeasible -> infeasible_root := true
             | Simplex.Unbounded -> unbounded_root := true
-            | Simplex.Optimal | Simplex.Iteration_limit -> ()
+            | Simplex.Optimal | Simplex.Iteration_limit | Simplex.Time_limit
+              -> ()
           end;
           match r.status with
           | Simplex.Infeasible -> ()
@@ -118,7 +140,16 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
               (* With integer bounds intact this means the MILP is unbounded
                  (or numerically hopeless); stop exploring. *)
               continue_ := false
+          | Simplex.Time_limit ->
+              (* The deadline ran out mid-pivot: stop and report the best
+                 incumbent, exactly like the between-node budget check. *)
+              budget_hit := true;
+              continue_ := false
           | Simplex.Iteration_limit ->
+              (* Pruning an unsolved subproblem is unsound for optimality
+                 claims, so count it: any such node demotes Optimal to
+                 Feasible below. *)
+              incr lp_limited;
               Log.warn (fun f ->
                   f "LP iteration limit at node %d (depth %d); pruning" !nodes
                     node.depth)
@@ -175,7 +206,10 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
   let open_bound =
     List.fold_left (fun acc n -> min acc n.bound) infinity !stack
   in
-  let proved = (not !budget_hit) && !stack = [] in
+  (* A node LP that hit its iteration cap was pruned unsolved, so neither
+     "stack empty" nor a closed gap proves optimality. *)
+  let clean = !lp_limited = 0 in
+  let proved = (not !budget_hit) && !stack = [] && clean in
   let constant = Model.objective_constant model in
   let gap =
     match !best_x with
@@ -194,6 +228,7 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
       elapsed = elapsed ();
       root_bound = !root_bound +. constant;
       gap;
+      lp_limited = !lp_limited;
     }
   in
   Obs.Counter.incr ~by:stats.nodes c_nodes;
@@ -202,7 +237,7 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
   match !best_x with
   | Some x ->
       let status =
-        if proved || gap <= gap_tol then Optimal else Feasible
+        if proved || (clean && gap <= gap_tol) then Optimal else Feasible
       in
       { status; x; objective = !best_obj +. constant; stats }
   | None ->
@@ -226,4 +261,7 @@ let pp_status ppf = function
 
 let pp_stats ppf s =
   Fmt.pf ppf "%d nodes, %d pivots, %.2fs, gap %.2g%%" s.nodes s.lp_iterations
-    s.elapsed (100.0 *. s.gap)
+    s.elapsed (100.0 *. s.gap);
+  if s.lp_limited > 0 then
+    Fmt.pf ppf ", %d LP limit hit%s" s.lp_limited
+      (if s.lp_limited = 1 then "" else "s")

@@ -18,6 +18,10 @@ type stats = {
   elapsed : float;  (** seconds *)
   root_bound : float;  (** root LP relaxation objective *)
   gap : float;  (** relative gap between incumbent and open bound *)
+  lp_limited : int;
+      (** node LPs pruned unsolved at their iteration cap — numeric
+          trouble; nonzero demotes {!Optimal} to {!Feasible} because the
+          pruned subtrees were never actually explored *)
 }
 
 type result = {
@@ -33,6 +37,7 @@ val solve :
   ?max_lp_iters:int ->
   ?gap_tol:float ->
   ?int_tol:float ->
+  ?deadline:Resilience.Deadline.t ->
   ?incumbent:float array ->
   ?branch_priority:int array ->
   Model.t ->
@@ -43,7 +48,18 @@ val solve :
     feasible) and seeds the pruning bound. [branch_priority] (one entry
     per variable, higher branches first) guides variable selection:
     the most fractional variable among those of the highest priority
-    class with any fractionality is chosen. *)
+    class with any fractionality is chosen.
+
+    The effective budget is the tighter of [time_limit] and [deadline]
+    (default {!Resilience.Deadline.none}); it is threaded into every
+    node's {!Simplex.solve}, where it is polled every 64 pivots — one
+    pathological node LP can no longer overshoot the budget arbitrarily.
+    On expiry the best incumbent is returned with {!Feasible}
+    ({!Unknown} if none was found).
+
+    Fault points ({!Resilience.Fault}): [milp.raise] raises [Failure] at
+    entry; [milp.timeout] returns {!Unknown} immediately, modelling a
+    budget that expired before any incumbent existed. *)
 
 val value : result -> Model.var -> float
 val int_value : result -> Model.var -> int

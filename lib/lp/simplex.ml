@@ -1,4 +1,4 @@
-type status = Optimal | Infeasible | Unbounded | Iteration_limit
+type status = Optimal | Infeasible | Unbounded | Iteration_limit | Time_limit
 
 type result = {
   status : status;
@@ -150,16 +150,28 @@ let do_pivot t j r ~dir ~tstar =
   t.basis.(r) <- j;
   t.stat.(j) <- Basic r
 
-(* Run pivots until optimal/unbounded/iteration cap. Returns iterations. *)
-let optimize t ~max_iters ~iters_used =
+(* Run pivots until optimal/unbounded/iteration cap/deadline. Returns
+   iterations. The deadline is polled every 64 pivots — fine-grained
+   enough that one pathological node LP cannot overshoot the MILP budget
+   by more than a sliver, cheap enough to be invisible in profiles. *)
+let optimize t ~max_iters ~iters_used ~deadline =
   let iters = ref iters_used in
   let bland_after = max 200 (10 * (t.m + t.cols)) in
   let status = ref Optimal in
+  if Resilience.Fault.fires "simplex.cycle" then status := Iteration_limit
+  else
   (try
      let continue_ = ref true in
      while !continue_ do
        if !iters >= max_iters then begin
          status := Iteration_limit;
+         continue_ := false
+       end
+       else if
+         (!iters - iters_used) land 63 = 0
+         && Resilience.Deadline.expired deadline
+       then begin
+         status := Time_limit;
          continue_ := false
        end
        else begin
@@ -182,7 +194,8 @@ let optimize t ~max_iters ~iters_used =
    with Unbounded_exc -> status := Unbounded);
   (!status, !iters)
 
-let solve ?(max_iters = 50_000) ?lb ?ub (raw : Model.raw) =
+let solve ?(max_iters = 50_000) ?(deadline = Resilience.Deadline.none) ?lb ?ub
+    (raw : Model.raw) =
   let n = raw.n in
   let lbv = match lb with Some a -> a | None -> raw.lb in
   let ubv = match ub with Some a -> a | None -> raw.ub in
@@ -279,9 +292,10 @@ let solve ?(max_iters = 50_000) ?lb ?ub (raw : Model.raw) =
           t.cost.(c) <- (if c >= n + m then 1.0 else 0.0)
         done;
         recompute_z t;
-        let status, iters = optimize t ~max_iters ~iters_used:0 in
+        let status, iters = optimize t ~max_iters ~iters_used:0 ~deadline in
         match status with
         | Iteration_limit -> Error (finish Iteration_limit iters)
+        | Time_limit -> Error (finish Time_limit iters)
         | Unbounded -> Error (finish Infeasible iters) (* cannot happen *)
         | Optimal | Infeasible ->
             let infeas = ref 0.0 in
@@ -305,6 +319,6 @@ let solve ?(max_iters = 50_000) ?lb ?ub (raw : Model.raw) =
           t.cost.(c) <- (if c < n then raw.obj.(c) else 0.0)
         done;
         recompute_z t;
-        let status, iters = optimize t ~max_iters ~iters_used:iters1 in
+        let status, iters = optimize t ~max_iters ~iters_used:iters1 ~deadline in
         finish status iters
   end

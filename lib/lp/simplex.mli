@@ -14,6 +14,9 @@ type status =
   | Infeasible
   | Unbounded
   | Iteration_limit  (** gave up; treat as unsolved *)
+  | Time_limit
+      (** the [deadline] expired mid-pivot; treat as unsolved — the MILP
+          maps this to its own budget-exhausted handling *)
 
 type result = {
   status : status;
@@ -24,10 +27,16 @@ type result = {
 
 val solve :
   ?max_iters:int ->
+  ?deadline:Resilience.Deadline.t ->
   ?lb:float array ->
   ?ub:float array ->
   Model.raw ->
   result
 (** [solve raw] minimizes. [lb]/[ub] override the bounds in [raw] — this is
     how branch-and-bound tightens bounds without rebuilding the model.
-    Default [max_iters] is [50_000]. *)
+    Default [max_iters] is [50_000]. [deadline] (default
+    {!Resilience.Deadline.none}) is polled every 64 pivots, so a deadline
+    caps even a single pathological LP rather than only being consulted
+    between solves. The [simplex.cycle] fault point
+    ({!Resilience.Fault}) makes every optimize call give up with
+    {!Iteration_limit} immediately. *)

@@ -363,9 +363,10 @@ module Metrics = struct
     cuts_total : int;
     status : string;
     diagnostics : Json.t list;
+    degradation : Json.t list;
   }
 
-  let schema_version = 2
+  let schema_version = 3
 
   let to_json m =
     Json.Obj
@@ -380,6 +381,7 @@ module Metrics = struct
         ("cuts_total", Json.Int m.cuts_total);
         ("status", Json.String m.status);
         ("diagnostics", Json.List m.diagnostics);
+        ("degradation", Json.List m.degradation);
       ]
 
   let of_json j =
@@ -414,6 +416,10 @@ module Metrics = struct
     let diagnostics =
       match Json.member "diagnostics" j with Some (Json.List l) -> l | _ -> []
     in
+    (* Absent in schema v1/v2 files; default to empty for compatibility. *)
+    let degradation =
+      match Json.member "degradation" j with Some (Json.List l) -> l | _ -> []
+    in
     Ok
       {
         name;
@@ -426,6 +432,7 @@ module Metrics = struct
         cuts_total;
         status;
         diagnostics;
+        degradation;
       }
 
   let file ~results =

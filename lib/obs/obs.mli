@@ -165,17 +165,24 @@ module Metrics : sig
         (** static-analysis findings from the run's lint gate, one
             {!Analyze.Diag.to_json} object each (schema v2; absent fields
             read back as [[]] from v1 files) *)
+    degradation : Json.t list;
+        (** the run's degradation trail, one
+            {!Resilience.Cascade.attempt_to_json} object per failed or
+            degraded attempt, empty for a clean full-strength run
+            (schema v3; absent fields read back as [[]] from v1/v2
+            files) *)
   }
 
   val schema_version : int
   (** Bumped whenever a field is added/renamed; emitted at the top level of
       every metrics file. Version history: 1 = the original flat record;
-      2 = adds the [diagnostics] array. *)
+      2 = adds the [diagnostics] array; 3 = adds the [degradation]
+      array. *)
 
   val to_json : t -> Json.t
   (** One flat object: [{"name": …, "method": …, "lut": …, "ff": …,
       "slack": …, "solve_s": …, "bnb_nodes": …, "cuts_total": …,
-      "status": …, "diagnostics": […]}]. *)
+      "status": …, "diagnostics": […], "degradation": […]}]. *)
 
   val of_json : Json.t -> (t, string) result
   (** Inverse of {!to_json} (round-trip checks). *)

@@ -1,0 +1,95 @@
+type attempt = {
+  label : string;
+  reason : string;
+  detail : string;
+  elapsed : float;
+}
+
+let c_attempts = Obs.Counter.get "resilience.attempts"
+let c_contained = Obs.Counter.get "resilience.contained_exceptions"
+let c_degraded = Obs.Counter.get "resilience.degraded_runs"
+
+let attempt_to_json a =
+  Obs.Json.Obj
+    [
+      ("label", Obs.Json.String a.label);
+      ("reason", Obs.Json.String a.reason);
+      ("detail", Obs.Json.String a.detail);
+      ("elapsed_s", Obs.Json.Float a.elapsed);
+    ]
+
+let attempt_of_json j =
+  let str k =
+    match Obs.Json.member k j with
+    | Some (Obs.Json.String s) -> Ok s
+    | _ -> Error (Printf.sprintf "missing string field %S" k)
+  in
+  let flt k =
+    match Obs.Json.member k j with
+    | Some (Obs.Json.Float f) -> Ok f
+    | Some (Obs.Json.Int i) -> Ok (float_of_int i)
+    | _ -> Error (Printf.sprintf "missing number field %S" k)
+  in
+  let ( let* ) = Result.bind in
+  let* label = str "label" in
+  let* reason = str "reason" in
+  let* detail = str "detail" in
+  let* elapsed = flt "elapsed_s" in
+  Ok { label; reason; detail; elapsed }
+
+let pp_attempt ppf a =
+  Format.fprintf ppf "%s: %s%s [%.2fs]" a.label a.reason
+    (if a.detail = "" then "" else Printf.sprintf " (%s)" a.detail)
+    a.elapsed
+
+type 'a step = {
+  slabel : string;
+  budget : float option;
+  run : Deadline.t -> ('a, string * string) result;
+}
+
+type 'a outcome = { value : 'a; trail : attempt list }
+
+let degraded o = o.trail <> []
+
+let run ~deadline steps =
+  let trail = ref [] in
+  let rec go = function
+    | [] -> Error (List.rev !trail)
+    | s :: rest ->
+        Obs.Counter.incr c_attempts;
+        let t0 = Sys.time () in
+        let fail reason detail =
+          trail :=
+            { label = s.slabel; reason; detail; elapsed = Sys.time () -. t0 }
+            :: !trail;
+          go rest
+        in
+        (* An expired cascade deadline skips intermediate attempts but
+           never the terminal fallback: the last step always runs (with
+           the already-expired sub-deadline, so cooperative subsystems
+           degrade immediately) — that is what guarantees a result. *)
+        if rest <> [] && Deadline.expired deadline then
+          fail "timeout" "cascade deadline expired before the attempt started"
+        else
+          let sub =
+            match s.budget with
+            | None -> deadline
+            | Some b -> Deadline.clip deadline ~budget:b
+          in
+          match s.run sub with
+          | Ok value ->
+              if !trail <> [] then Obs.Counter.incr c_degraded;
+              Ok { value; trail = List.rev !trail }
+          | Error (reason, detail) -> fail reason detail
+          | exception Deadline.Expired phase ->
+              fail "timeout" ("deadline expired in " ^ phase)
+          | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+          | exception e ->
+              Obs.Counter.incr c_contained;
+              fail "exception" (Printexc.to_string e)
+  in
+  go steps
+
+let backoff ?(base = 1.0) ?(factor = 0.5) k =
+  base *. (factor ** float_of_int (max 0 k))

@@ -1,0 +1,75 @@
+(** Graceful-degradation cascade: ordered attempts under one deadline,
+    with exception containment and a structured trail.
+
+    The engine is deliberately generic — it knows nothing about MILPs or
+    covers. {!Mams.Flow} instantiates it per method: the full-strength
+    attempt first, then progressively relaxed retries, then the heuristic
+    fallback that cannot fail. Each attempt runs with a sub-deadline, any
+    exception it raises is contained and recorded (never unwound past the
+    cascade), and the first attempt to return [Ok] wins. The failed
+    attempts form the {e degradation trail} serialized into Metrics
+    schema v3 (the [degradation] array). *)
+
+type attempt = {
+  label : string;  (** attempt / site name, e.g. ["milp-map/full"] *)
+  reason : string;
+      (** machine-matchable token: ["timeout"], ["unknown"], ["numeric"],
+          ["infeasible"], ["exception"], ["verify"], ["failed"] *)
+  detail : string;  (** human-readable explanation (settings, message) *)
+  elapsed : float;  (** seconds spent in the attempt *)
+}
+
+val attempt_to_json : attempt -> Obs.Json.t
+(** [{"label": …, "reason": …, "detail": …, "elapsed_s": …}] — one entry
+    of the Metrics v3 [degradation] array. *)
+
+val attempt_of_json : Obs.Json.t -> (attempt, string) result
+(** Inverse of {!attempt_to_json} (round-trip checks). *)
+
+val pp_attempt : Format.formatter -> attempt -> unit
+(** ["label: reason (detail) [1.2s]"]. *)
+
+type 'a step = {
+  slabel : string;
+  budget : float option;
+      (** optional per-attempt budget in seconds, clipped against the
+          cascade deadline — how budget backoff is expressed *)
+  run : Deadline.t -> ('a, string * string) result;
+      (** receives the attempt's sub-deadline; [Error (reason, detail)]
+          on structured failure, exceptions are contained by {!run} *)
+}
+
+type 'a outcome = {
+  value : 'a;
+  trail : attempt list;  (** failed attempts, in execution order *)
+}
+
+val degraded : 'a outcome -> bool
+(** The winning attempt was not the first — or soft degradations were
+    recorded. [trail <> []]. *)
+
+val run : deadline:Deadline.t -> 'a step list -> ('a outcome, attempt list) result
+(** Execute steps in order until one returns [Ok]. Per step:
+    - the step's deadline is [Deadline.clip deadline ~budget] (or the
+      cascade deadline when [budget = None]);
+    - if the cascade deadline is already expired every step {e except the
+      last} is skipped with reason ["timeout"]; the terminal fallback
+      always runs (under the expired sub-deadline, so cooperative
+      subsystems degrade immediately) — that is what guarantees the
+      cascade produces a result whenever its last step cannot fail;
+    - a raised {!Deadline.Expired} is recorded as ["timeout"];
+    - any other exception is contained and recorded as ["exception"]
+      ([Out_of_memory] and [Stack_overflow] are re-raised — resource
+      exhaustion must not be silently retried).
+
+    [Error trail] means every attempt failed (cascade exhaustion). The
+    ["resilience.attempts"] and ["resilience.contained_exceptions"]
+    {!Obs} counters record engine activity. *)
+
+val backoff : ?base:float -> ?factor:float -> int -> float
+(** [backoff ~base ~factor k] is the budget scale of retry [k] (0-based):
+    [base *. factor ^ k], with [base = 1.0] and [factor = 0.5] — each
+    retry gets half the previous attempt's budget, so a full cascade
+    costs at most [2x] the first attempt. This is {e budget} backoff:
+    with a deterministic in-process solver there is nothing to wait out,
+    so retries shrink their budgets instead of sleeping. *)

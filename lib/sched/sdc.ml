@@ -164,7 +164,7 @@ let schedule ~device ~delays ~resources ~ii g =
         pivots := !pivots + r.Lp.Simplex.iterations;
         match r.Lp.Simplex.status with
         | Lp.Simplex.Infeasible | Lp.Simplex.Unbounded
-        | Lp.Simplex.Iteration_limit ->
+        | Lp.Simplex.Iteration_limit | Lp.Simplex.Time_limit ->
             Error
               (Heuristic.Recurrence_too_tight
                  (Printf.sprintf "SDC LP unsolvable at II=%d" ii))

@@ -2,6 +2,7 @@
 let c_covers = Obs.Counter.get "techmap.covers"
 let c_lut_area = Obs.Counter.get "techmap.lut_area"
 let c_absorbed = Obs.Counter.get "techmap.absorbed_nodes"
+let c_truncated = Obs.Counter.get "techmap.deadline_truncations"
 let t_map = Obs.Timer.get "techmap.map"
 
 let required_roots g (sched : Sched.Schedule.t) =
@@ -34,12 +35,26 @@ let stage_local (sched : Sched.Schedule.t) req (c : Cuts.cut) =
       sched.cycle.(w) = sched.cycle.(c.root) && (w = c.root || not req.(w)))
     c.Cuts.cone
 
-let map_schedule ~device ~delays ~cuts g sched =
+let map_schedule ?(deadline = Resilience.Deadline.none) ?truncated ~device
+    ~delays ~cuts g sched =
   Obs.Timer.span t_map @@ fun () ->
   ignore device;
   ignore delays;
   let n = Ir.Cdfg.num_nodes g in
   let req = required_roots g sched in
+  (* Deadline degradation: once the budget runs out (or the techmap.timeout
+     fault fires) the remaining nodes get their trivial cut — always
+     stage-local for a single node, so the cover stays valid; only area
+     optimality is lost. *)
+  let degraded = ref false in
+  let note_degraded () =
+    if not !degraded then begin
+      degraded := true;
+      Obs.Counter.incr c_truncated;
+      match truncated with Some r -> r := true | None -> ()
+    end
+  in
+  if Resilience.Fault.fires "techmap.timeout" then note_degraded ();
   (* Area-flow labelling in topological order. *)
   let flow = Array.make n 0.0 in
   let best : Cuts.cut option array = Array.make n None in
@@ -49,8 +64,11 @@ let map_schedule ~device ~delays ~cuts g sched =
   in
   List.iter
     (fun v ->
+      if (not !degraded) && Resilience.Deadline.expired deadline then
+        note_degraded ();
       let candidates =
-        Array.to_list cuts.(v) |> List.filter (stage_local sched req)
+        if !degraded then [ cuts.(v).(0) ]
+        else Array.to_list cuts.(v) |> List.filter (stage_local sched req)
       in
       let cost (c : Cuts.cut) =
         float_of_int c.Cuts.area
@@ -132,7 +150,21 @@ let map_schedule ~device ~delays ~cuts g sched =
     selections;
   Sched.Cover.make g selections
 
-let map_exact ?(time_limit = 10.0) ~device ~delays ~cuts g sched =
+type exact_reason = [ `Timeout | `Infeasible | `Unbounded ]
+type exact_failure = { reason : exact_reason; stats : Lp.Milp.stats }
+
+let exact_reason_to_string = function
+  | `Timeout -> "timeout"
+  | `Infeasible -> "infeasible"
+  | `Unbounded -> "unbounded"
+
+let pp_exact_failure ppf f =
+  Fmt.pf ppf "exact mapping failed (%s): %a"
+    (exact_reason_to_string f.reason)
+    Lp.Milp.pp_stats f.stats
+
+let map_exact ?(time_limit = 10.0) ?(deadline = Resilience.Deadline.none)
+    ~device ~delays ~cuts g sched =
   let n = Ir.Cdfg.num_nodes g in
   let req = required_roots g sched in
   let eligible =
@@ -209,7 +241,7 @@ let map_exact ?(time_limit = 10.0) ~device ~delays ~cuts g sched =
     then Some x
     else None
   in
-  let r = Lp.Milp.solve ~time_limit ?incumbent model in
+  let r = Lp.Milp.solve ~time_limit ~deadline ?incumbent model in
   match r.Lp.Milp.status with
   | Lp.Milp.Optimal | Lp.Milp.Feasible ->
       let selections = ref [] in
@@ -222,16 +254,23 @@ let map_exact ?(time_limit = 10.0) ~device ~delays ~cuts g sched =
                 selections := (c.Cuts.root, c) :: !selections)
             sel)
         c_vars;
-      Some (Sched.Cover.make g !selections)
-  | Lp.Milp.Infeasible | Lp.Milp.Unbounded | Lp.Milp.Unknown -> None
+      Ok (Sched.Cover.make g !selections)
+  (* Satellite: never silently fall back — the caller learns *why* the
+     exact cover is unavailable. Unknown means the budget expired before
+     any incumbent existed, i.e. a timeout from the caller's viewpoint. *)
+  | Lp.Milp.Unknown -> Error { reason = `Timeout; stats = r.Lp.Milp.stats }
+  | Lp.Milp.Infeasible ->
+      Error { reason = `Infeasible; stats = r.Lp.Milp.stats }
+  | Lp.Milp.Unbounded ->
+      Error { reason = `Unbounded; stats = r.Lp.Milp.stats }
 
-let map_global ~device ~delays ~cuts g =
+let map_global ?deadline ?truncated ~device ~delays ~cuts g =
   let zero =
     Sched.Schedule.make ~ii:1
       ~cycle:(Array.make (Ir.Cdfg.num_nodes g) 0)
       ~start:(Array.make (Ir.Cdfg.num_nodes g) 0.0)
   in
-  map_schedule ~device ~delays ~cuts g zero
+  map_schedule ?deadline ?truncated ~device ~delays ~cuts g zero
 
 let stage_depth ~device ~delays g cover sched =
   let sched' = Sched.Timing.recompute_starts ~device ~delays g cover sched in

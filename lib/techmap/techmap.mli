@@ -19,6 +19,8 @@ val required_roots : Ir.Cdfg.t -> Sched.Schedule.t -> bool array
     cycle (or through a loop-carried edge), and operands of black boxes. *)
 
 val map_schedule :
+  ?deadline:Resilience.Deadline.t ->
+  ?truncated:bool ref ->
   device:Fpga.Device.t ->
   delays:Fpga.Delays.t ->
   cuts:Cuts.t ->
@@ -26,31 +28,53 @@ val map_schedule :
   Sched.Schedule.t ->
   Sched.Cover.t
 (** Cover every required root with stage-local cones of minimum area flow.
-    The result always passes {!Sched.Cover.validate}. *)
+    The result always passes {!Sched.Cover.validate}.
+
+    When [deadline] (default {!Resilience.Deadline.none}) expires
+    mid-labelling — or the [techmap.timeout] fault point fires — the
+    remaining nodes are assigned their trivial cut and [truncated] (if
+    given) is set. The cover stays valid; only area optimality degrades. *)
+
+type exact_reason = [ `Timeout | `Infeasible | `Unbounded ]
+(** Why {!map_exact} produced no cover. [`Timeout] covers both the local
+    [time_limit] and a caller [deadline] expiring before any incumbent. *)
+
+type exact_failure = { reason : exact_reason; stats : Lp.Milp.stats }
+
+val exact_reason_to_string : exact_reason -> string
+val pp_exact_failure : exact_failure Fmt.t
 
 val map_exact :
   ?time_limit:float ->
+  ?deadline:Resilience.Deadline.t ->
   device:Fpga.Device.t ->
   delays:Fpga.Delays.t ->
   cuts:Cuts.t ->
   Ir.Cdfg.t ->
   Sched.Schedule.t ->
-  Sched.Cover.t option
+  (Sched.Cover.t, exact_failure) result
 (** ILP minimum-area covering (cf. the paper's reference [7], here
     cut-based): binary cut-selection variables, Eq. 2–4 cover constraints,
     [min Σ area·c], warm-started from {!map_schedule}'s area-flow cover.
-    Stage-local like {!map_schedule}. [None] if the MILP finds nothing
-    within [time_limit] (default 10 s) — callers fall back to the
-    heuristic. Exact-vs-heuristic is DESIGN.md ablation A5. *)
+    Stage-local like {!map_schedule}. On failure the result says {e why}
+    the exact cover is unavailable — a timeout (the MILP exhausted
+    [time_limit], default 10 s, or the caller's [deadline] with no
+    incumbent) is actionable (raise the budget), infeasible/unbounded is
+    structural — so callers can report the cause instead of silently
+    falling back to the heuristic. Exact-vs-heuristic is DESIGN.md
+    ablation A5. *)
 
 val map_global :
+  ?deadline:Resilience.Deadline.t ->
+  ?truncated:bool ref ->
   device:Fpga.Device.t ->
   delays:Fpga.Delays.t ->
   cuts:Cuts.t ->
   Ir.Cdfg.t ->
   Sched.Cover.t
 (** Area-flow covering of the whole graph with no register boundaries —
-    the mapping half of the map-first heuristic ({!Sched.Mapsched}). *)
+    the mapping half of the map-first heuristic ({!Sched.Mapsched}).
+    [deadline]/[truncated] behave as in {!map_schedule}. *)
 
 val stage_depth :
   device:Fpga.Device.t -> delays:Fpga.Delays.t -> Ir.Cdfg.t ->

@@ -204,7 +204,7 @@ let lp_never_beaten_by_grid =
       let r = solve_model model in
       match r.Lp.Simplex.status with
       | Lp.Simplex.Infeasible | Lp.Simplex.Unbounded
-      | Lp.Simplex.Iteration_limit ->
+      | Lp.Simplex.Iteration_limit | Lp.Simplex.Time_limit ->
           true (* box-bounded with x=0 feasible or not; nothing to check *)
       | Lp.Simplex.Optimal ->
           let feasible pt =

@@ -90,6 +90,7 @@ let sample_metrics =
     cuts_total = 195;
     status = "feasible";
     diagnostics = [];
+    degradation = [];
   }
 
 let test_metrics_roundtrip () =

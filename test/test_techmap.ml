@@ -85,8 +85,10 @@ let test_exact_no_worse_than_heuristic () =
       let cuts = Cuts.enumerate ~k:4 g in
       let flow_cover = Techmap.map_schedule ~device ~delays ~cuts g sched in
       match Techmap.map_exact ~time_limit:20.0 ~device ~delays ~cuts g sched with
-      | None -> Alcotest.failf "%s: exact mapper found nothing" name
-      | Some exact ->
+      | Error f ->
+          Alcotest.failf "%s: exact mapper failed: %a" name
+            Techmap.pp_exact_failure f
+      | Ok exact ->
           (match Sched.Cover.validate g exact with
           | Ok () -> ()
           | Error e -> Alcotest.failf "%s: invalid exact cover: %s" name e);
@@ -108,8 +110,8 @@ let test_exact_improves_or_matches_known_case () =
   let sched = heuristic g in
   let cuts = Cuts.enumerate ~k:4 g in
   match Techmap.map_exact ~time_limit:20.0 ~device ~delays ~cuts g sched with
-  | None -> Alcotest.fail "exact mapper failed"
-  | Some cover -> Alcotest.(check int) "optimal area" 12 (Sched.Cover.lut_area cover)
+  | Error f -> Alcotest.failf "exact mapper failed: %a" Techmap.pp_exact_failure f
+  | Ok cover -> Alcotest.(check int) "optimal area" 12 (Sched.Cover.lut_area cover)
 
 let () =
   Alcotest.run "techmap"
