@@ -584,6 +584,48 @@ let micro_benchmarks () =
   let device = Fpga.Device.make ~t_clk:10.0 () in
   let delays = Fpga.Delays.default in
   let cuts_rs = Cuts.enumerate ~k:4 g_rs in
+  (* A captured mid-tree node LP: the root relaxation of the mapping-aware
+     formulation on RS, branched on its first fractional cut-selection
+     binary — exactly the subproblem B&B hands to the solver at every
+     node. Each benchmark run re-optimizes across the sibling switch
+     (down child <-> up child), a real bound change; the cold variant
+     rebuilds the tableau and runs both phases from scratch, the warm
+     variant threads one state like Milp does and dual-repairs the
+     parent basis, never paying a rebuild or copy. *)
+  let node_raw, node_dn, node_up, node_state =
+    let cfg : Mams.Formulation.config =
+      {
+        device; delays; resources = Fpga.Resource.unlimited;
+        ii = 1; max_latency = 4; alpha = 0.5; beta = 0.5;
+        cut_delay = Mams.Formulation.mapped_delay ~device ~delays;
+      }
+    in
+    let f = Mams.Formulation.build cfg g_rs cuts_rs in
+    let raw = Lp.Model.to_raw (Mams.Formulation.model f) in
+    let lb = Array.copy raw.Lp.Model.lb
+    and ub = Array.copy raw.Lp.Model.ub in
+    let r0, st = Lp.Simplex.solve_state ~lb ~ub raw in
+    let branch = ref (-1) in
+    Array.iteri
+      (fun j isint ->
+        if isint && !branch < 0 then
+          let v = r0.Lp.Simplex.x.(j) in
+          if Float.abs (v -. Float.round v) > 1e-6 then branch := j)
+      raw.Lp.Model.integer;
+    let j = !branch in
+    let v = if j >= 0 then r0.Lp.Simplex.x.(j) else 0.0 in
+    let dn_ub = Array.copy ub and up_lb = Array.copy lb in
+    if j >= 0 then begin
+      dn_ub.(j) <- Float.floor v;
+      up_lb.(j) <- Float.floor v +. 1.0
+    end;
+    (raw, (lb, dn_ub), (up_lb, ub), st)
+  in
+  let flip_cold = ref false and flip_warm = ref false in
+  let node_bounds flip =
+    flip := not !flip;
+    if !flip then node_dn else node_up
+  in
   let heuristic g () =
     match
       Sched.Heuristic.schedule ~device ~delays
@@ -613,6 +655,14 @@ let micro_benchmarks () =
                  }
                in
                ignore (Mams.Formulation.build cfg g_rs cuts_rs)));
+        Test.make ~name:"lp/node-cold-solve"
+          (Staged.stage (fun () ->
+               let lb, ub = node_bounds flip_cold in
+               ignore (Lp.Simplex.solve ~lb ~ub node_raw)));
+        Test.make ~name:"lp/node-warm-resolve"
+          (Staged.stage (fun () ->
+               let lb, ub = node_bounds flip_warm in
+               ignore (Lp.Simplex.resolve ~lb ~ub node_state)));
         Test.make ~name:"fig1/milp-map-rs2"
           (Staged.stage (fun () ->
                let g = Benchmarks.Rs.kernel ~width:2 () in

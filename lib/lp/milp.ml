@@ -7,6 +7,8 @@ type stats = {
   root_bound : float;
   gap : float;
   lp_limited : int;
+  warm_hits : int;
+  fixed_vars : int;
 }
 
 type result = {
@@ -26,11 +28,101 @@ let c_solves = Obs.Counter.get "milp.solves"
 let c_nodes = Obs.Counter.get "milp.bnb_nodes"
 let c_pivots = Obs.Counter.get "milp.lp_pivots"
 let c_incumbents = Obs.Counter.get "milp.incumbents"
+let c_warm_hits = Obs.Counter.get "milp.warm_hits"
+let c_fixed_vars = Obs.Counter.get "milp.fixed_vars"
 let s_incumbents = Obs.Series.get "milp.incumbents"
 let s_gap = Obs.Series.get "milp.exit_gap"
 let t_solve = Obs.Timer.get "milp.solve"
 
-type node = { nlb : float array; nub : float array; bound : float; depth : int }
+(* PIPESYN_COLD_START (any non-empty value) forces the pre-warm-start
+   behaviour — cold per-node LPs, most-fractional branching, no bound
+   fixing — for A/B comparison. Read per solve so tests can toggle it. *)
+let cold_start_forced () =
+  match Sys.getenv_opt "PIPESYN_COLD_START" with
+  | None | Some "" -> false
+  | Some _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* Node bounds: copy-on-branch chains                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A node's bounds are the root arrays plus a chain of single-entry
+   tightenings, one [Tighten] per branch. Invariants: every chain entry is
+   allocated once at branch time — while the parent's bounds are the
+   materialized ones, so [prev] is exactly the parent's value — and never
+   mutated afterwards; the root arrays are only mutated before the first
+   branch (reduced-cost fixing). A node therefore costs O(1) memory
+   instead of two O(n) array copies, and switching the working arrays
+   between two nodes costs O(distance through their lowest common
+   ancestor), not O(n). *)
+type side = Lb | Ub
+
+type chain =
+  | Root
+  | Tighten of {
+      j : int;
+      side : side;
+      v : float;  (** bound value at and below this node *)
+      prev : float;  (** the parent's value, for undo *)
+      depth : int;
+      parent : chain;
+    }
+
+let chain_depth = function Root -> 0 | Tighten t -> t.depth
+
+let apply_entry lb ub = function
+  | Root -> ()
+  | Tighten t -> (
+      match t.side with Lb -> lb.(t.j) <- t.v | Ub -> ub.(t.j) <- t.v)
+
+let undo_entry lb ub = function
+  | Root -> ()
+  | Tighten t -> (
+      match t.side with Lb -> lb.(t.j) <- t.prev | Ub -> ub.(t.j) <- t.prev)
+
+(* Rewrite [lb]/[ub] (currently holding [from_]'s bounds) into [target]'s
+   bounds: undo up to the common ancestor, re-apply down to [target].
+   Undos run deepest-first and applies shallowest-first, so stacked
+   changes to the same variable resolve correctly. *)
+let goto ~lb ~ub ~from_ target =
+  let rec undo_to c d =
+    match c with
+    | Tighten t when t.depth > d ->
+        undo_entry lb ub c;
+        undo_to t.parent d
+    | c -> c
+  in
+  let rec collect_to c d acc =
+    match c with
+    | Tighten t when t.depth > d -> collect_to t.parent d (c :: acc)
+    | c -> (c, acc)
+  in
+  let rec meet a b acc =
+    if a == b then acc
+    else
+      match (a, b) with
+      | Tighten ta, Tighten tb ->
+          undo_entry lb ub a;
+          meet ta.parent tb.parent (b :: acc)
+      | _ -> acc (* both Root *)
+  in
+  let d = min (chain_depth from_) (chain_depth target) in
+  let a = undo_to from_ d in
+  let b, applies = collect_to target d [] in
+  let applies = meet a b applies in
+  List.iter (apply_entry lb ub) applies
+
+type node = {
+  bounds : chain;
+  bound : float;  (** parent LP objective: the node's dual bound *)
+  bvar : int;  (** variable branched to create this node; -1 at root *)
+  bfrac : float;  (** fractional part of [bvar] in the parent LP *)
+  dir_up : bool;  (** up child ([lb := ceil]) vs down child ([ub := floor]) *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Branching                                                           *)
+(* ------------------------------------------------------------------ *)
 
 let most_fractional raw ~int_tol ?priority x =
   let best = ref (-1) and best_frac = ref int_tol and best_prio = ref min_int in
@@ -44,6 +136,92 @@ let most_fractional raw ~int_tol ?priority x =
           let p = prio j in
           if p > !best_prio || (p = !best_prio && frac > !best_frac) then begin
             best := j;
+            best_frac := frac;
+            best_prio := p
+          end
+        end
+      end)
+    raw.Model.integer;
+  !best
+
+(* Per-variable pseudocosts: observed objective degradation per unit of
+   fractional distance, separately for the down and up branch. *)
+type pseudocost = {
+  dn_sum : float array;
+  dn_n : int array;
+  up_sum : float array;
+  up_n : int array;
+}
+
+let pc_create n =
+  {
+    dn_sum = Array.make n 0.0;
+    dn_n = Array.make n 0;
+    up_sum = Array.make n 0.0;
+    up_n = Array.make n 0;
+  }
+
+let pc_record pc ~j ~dir_up ~unit ~degrade =
+  if unit > 1e-9 then
+    if dir_up then begin
+      pc.up_sum.(j) <- pc.up_sum.(j) +. (degrade /. unit);
+      pc.up_n.(j) <- pc.up_n.(j) + 1
+    end
+    else begin
+      pc.dn_sum.(j) <- pc.dn_sum.(j) +. (degrade /. unit);
+      pc.dn_n.(j) <- pc.dn_n.(j) + 1
+    end
+
+(* Pseudocost branching seeded by priority: within the highest priority
+   class having any fractionality, maximize the product of estimated
+   degradations. Uninitialized variables use the average observed
+   pseudocost; before any observation that degenerates to f·(1−f),
+   i.e. plain most-fractional. *)
+let pseudocost_branch raw ~int_tol ?priority pc x =
+  let avg sum n =
+    let tot = ref 0.0 and cnt = ref 0 in
+    Array.iteri
+      (fun j c ->
+        if c > 0 then begin
+          tot := !tot +. (sum.(j) /. float_of_int c);
+          incr cnt
+        end)
+      n;
+    if !cnt > 0 then !tot /. float_of_int !cnt else 1.0
+  in
+  let avg_dn = avg pc.dn_sum pc.dn_n and avg_up = avg pc.up_sum pc.up_n in
+  let prio j = match priority with None -> 0 | Some p -> p.(j) in
+  let best = ref (-1)
+  and best_score = ref neg_infinity
+  and best_frac = ref 0.0
+  and best_prio = ref min_int in
+  Array.iteri
+    (fun j isint ->
+      if isint then begin
+        let v = x.(j) in
+        let frac = Float.abs (v -. Float.round v) in
+        if frac > int_tol then begin
+          let p = prio j in
+          let fdn = v -. Float.floor v in
+          let fup = 1.0 -. fdn in
+          let pcd =
+            if pc.dn_n.(j) > 0 then pc.dn_sum.(j) /. float_of_int pc.dn_n.(j)
+            else avg_dn
+          and pcu =
+            if pc.up_n.(j) > 0 then pc.up_sum.(j) /. float_of_int pc.up_n.(j)
+            else avg_up
+          in
+          let score =
+            Float.max 1e-9 (fdn *. pcd) *. Float.max 1e-9 (fup *. pcu)
+          in
+          if
+            p > !best_prio
+            || (p = !best_prio
+               && (score > !best_score +. 1e-12
+                  || (score > !best_score -. 1e-12 && frac > !best_frac)))
+          then begin
+            best := j;
+            best_score := score;
             best_frac := frac;
             best_prio := p
           end
@@ -71,6 +249,7 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
      warm-start seeding is skipped so the solve reports Unknown, the
      hardest failure the cascade must absorb. *)
   let injected_timeout = Resilience.Fault.fires "milp.timeout" in
+  let cold_mode = cold_start_forced () in
   (* Deadline-aware budget: whichever of the caller's deadline and the
      local time budget is tighter governs both the node loop and — via
      Simplex — every pivot inside a node. *)
@@ -95,13 +274,68 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
       Obs.Series.add s_incumbents ~x:(elapsed ()) ~y:!best_obj);
   let nodes = ref 0 and lp_iters = ref 0 in
   let lp_limited = ref 0 in
+  let warm_hits = ref 0 and fixed_vars = ref 0 in
   let root_bound = ref neg_infinity in
+  (* Working bound arrays: always hold the bounds of [!cur]; the one
+     Simplex state is threaded through every node via [Simplex.resolve]. *)
+  let wlb = Array.copy raw.lb and wub = Array.copy raw.ub in
+  let cur = ref Root in
+  let sstate = ref None in
+  let pc = pc_create raw.n in
+  let solve_node (node : node) =
+    goto ~lb:wlb ~ub:wub ~from_:!cur node.bounds;
+    cur := node.bounds;
+    if cold_mode then
+      Simplex.solve ~max_iters:max_lp_iters ~deadline:dl ~lb:wlb ~ub:wub raw
+    else
+      match !sstate with
+      | None ->
+          let r, st =
+            Simplex.solve_state ~max_iters:max_lp_iters ~deadline:dl ~lb:wlb
+              ~ub:wub raw
+          in
+          sstate := Some st;
+          r
+      | Some st ->
+          let r =
+            Simplex.resolve ~max_iters:max_lp_iters ~deadline:dl ~lb:wlb
+              ~ub:wub st
+          in
+          if Simplex.last_resolve_warm st then incr warm_hits;
+          r
+  in
+  (* Reduced-cost bound fixing at the root: with an incumbent of value
+     [z*] and a root relaxation of value [z0], any solution moving an
+     integer variable off the bound it is nonbasic at costs at least its
+     reduced cost [|d_j|]; if [|d_j| > z* - z0] every such solution is
+     strictly worse than the incumbent, so the variable can be fixed —
+     shrinking the space the cut-selection binaries blow up. Must run
+     before the first branch (the chain invariant above). *)
+  let fix_by_reduced_cost root_obj =
+    match !sstate with
+    | None -> ()
+    | Some st ->
+        let gap = Float.max 0.0 (!best_obj -. root_obj) in
+        if Float.is_finite gap then
+          for j = 0 to raw.n - 1 do
+            if raw.integer.(j) && wub.(j) -. wlb.(j) > 0.5 then
+              match Simplex.basis_status st j with
+              | `At_lower when Simplex.reduced_cost st j > gap +. 1e-7 ->
+                  wub.(j) <- wlb.(j);
+                  incr fixed_vars
+              | `At_upper when -.(Simplex.reduced_cost st j) > gap +. 1e-7 ->
+                  wlb.(j) <- wub.(j);
+                  incr fixed_vars
+              | _ -> ()
+          done
+  in
   let stack = ref [] in
   let push n = stack := n :: !stack in
   let budget_hit = ref false in
   let infeasible_root = ref false in
   let unbounded_root = ref false in
-  push { nlb = Array.copy raw.lb; nub = Array.copy raw.ub; bound = neg_infinity; depth = 0 };
+  push { bounds = Root; bound = neg_infinity; bvar = -1; bfrac = 0.0;
+         dir_up = false };
   let continue_ = ref true in
   while !continue_ do
     match !stack with
@@ -121,20 +355,18 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
           ()
         else begin
           incr nodes;
-          let r =
-            Simplex.solve ~max_iters:max_lp_iters ~deadline:dl ~lb:node.nlb
-              ~ub:node.nub raw
-          in
-          lp_iters := !lp_iters + r.iterations;
-          if node.depth = 0 then begin
-            root_bound := r.objective;
-            match r.status with
+          let depth = chain_depth node.bounds in
+          let r = solve_node node in
+          lp_iters := !lp_iters + r.Simplex.iterations;
+          if depth = 0 then begin
+            root_bound := r.Simplex.objective;
+            match r.Simplex.status with
             | Simplex.Infeasible -> infeasible_root := true
             | Simplex.Unbounded -> unbounded_root := true
             | Simplex.Optimal | Simplex.Iteration_limit | Simplex.Time_limit
               -> ()
           end;
-          match r.status with
+          match r.Simplex.status with
           | Simplex.Infeasible -> ()
           | Simplex.Unbounded ->
               (* With integer bounds intact this means the MILP is unbounded
@@ -152,16 +384,29 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
               incr lp_limited;
               Log.warn (fun f ->
                   f "LP iteration limit at node %d (depth %d); pruning" !nodes
-                    node.depth)
+                    depth)
           | Simplex.Optimal ->
-              if r.objective >= !best_obj -. 1e-9 && !best_x <> None then ()
+              if node.bvar >= 0 then
+                pc_record pc ~j:node.bvar ~dir_up:node.dir_up
+                  ~unit:(if node.dir_up then 1.0 -. node.bfrac else node.bfrac)
+                  ~degrade:
+                    (Float.max 0.0 (r.Simplex.objective -. node.bound));
+              if depth = 0 && (not cold_mode) && !best_x <> None then
+                fix_by_reduced_cost r.Simplex.objective;
+              if r.Simplex.objective >= !best_obj -. 1e-9 && !best_x <> None
+              then ()
               else begin
                 let j =
-                  most_fractional raw ~int_tol ?priority:branch_priority r.x
+                  if cold_mode then
+                    most_fractional raw ~int_tol ?priority:branch_priority
+                      r.Simplex.x
+                  else
+                    pseudocost_branch raw ~int_tol ?priority:branch_priority
+                      pc r.Simplex.x
                 in
                 if j < 0 then begin
                   (* integral: new incumbent *)
-                  let x = snap raw ~int_tol r.x in
+                  let x = snap raw ~int_tol r.Simplex.x in
                   let obj =
                     Array.fold_left ( +. ) 0.0
                       (Array.mapi (fun j v -> raw.obj.(j) *. v) x)
@@ -173,22 +418,26 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
                     Obs.Series.add s_incumbents ~x:(elapsed ()) ~y:obj;
                     Log.info (fun f ->
                         f "incumbent %.6g at node %d depth %d" obj !nodes
-                          node.depth)
+                          depth)
                   end
                 end
                 else begin
-                  let v = r.x.(j) in
+                  let v = r.Simplex.x.(j) in
                   let fl = Float.of_int (int_of_float (floor v)) in
-                  let down_ub = Array.copy node.nub in
-                  down_ub.(j) <- fl;
-                  let up_lb = Array.copy node.nlb in
-                  up_lb.(j) <- fl +. 1.0;
+                  (* wlb/wub currently hold this node's bounds, so [prev]
+                     reads the parent value the chain invariant needs. *)
                   let down =
-                    { nlb = node.nlb; nub = down_ub; bound = r.objective;
-                      depth = node.depth + 1 }
+                    { bounds =
+                        Tighten { j; side = Ub; v = fl; prev = wub.(j);
+                                  depth = depth + 1; parent = node.bounds };
+                      bound = r.Simplex.objective; bvar = j;
+                      bfrac = v -. fl; dir_up = false }
                   and up =
-                    { nlb = up_lb; nub = node.nub; bound = r.objective;
-                      depth = node.depth + 1 }
+                    { bounds =
+                        Tighten { j; side = Lb; v = fl +. 1.0; prev = wlb.(j);
+                                  depth = depth + 1; parent = node.bounds };
+                      bound = r.Simplex.objective; bvar = j;
+                      bfrac = v -. fl; dir_up = true }
                   in
                   (* Dive toward the nearest integer first. *)
                   if v -. fl <= 0.5 then begin
@@ -204,7 +453,7 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
         end
   done;
   let open_bound =
-    List.fold_left (fun acc n -> min acc n.bound) infinity !stack
+    List.fold_left (fun acc (n : node) -> min acc n.bound) infinity !stack
   in
   (* A node LP that hit its iteration cap was pruned unsolved, so neither
      "stack empty" nor a closed gap proves optimality. *)
@@ -229,10 +478,14 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
       root_bound = !root_bound +. constant;
       gap;
       lp_limited = !lp_limited;
+      warm_hits = !warm_hits;
+      fixed_vars = !fixed_vars;
     }
   in
   Obs.Counter.incr ~by:stats.nodes c_nodes;
   Obs.Counter.incr ~by:stats.lp_iterations c_pivots;
+  Obs.Counter.incr ~by:stats.warm_hits c_warm_hits;
+  Obs.Counter.incr ~by:stats.fixed_vars c_fixed_vars;
   Obs.Series.add s_gap ~x:stats.elapsed ~y:stats.gap;
   match !best_x with
   | Some x ->
@@ -262,6 +515,8 @@ let pp_status ppf = function
 let pp_stats ppf s =
   Fmt.pf ppf "%d nodes, %d pivots, %.2fs, gap %.2g%%" s.nodes s.lp_iterations
     s.elapsed (100.0 *. s.gap);
+  if s.warm_hits > 0 then Fmt.pf ppf ", %d warm" s.warm_hits;
+  if s.fixed_vars > 0 then Fmt.pf ppf ", %d fixed" s.fixed_vars;
   if s.lp_limited > 0 then
     Fmt.pf ppf ", %d LP limit hit%s" s.lp_limited
       (if s.lp_limited = 1 then "" else "s")

@@ -22,6 +22,12 @@ type stats = {
       (** node LPs pruned unsolved at their iteration cap — numeric
           trouble; nonzero demotes {!Optimal} to {!Feasible} because the
           pruned subtrees were never actually explored *)
+  warm_hits : int;
+      (** node LPs answered by {!Simplex.resolve}'s warm path (parent
+          basis reused) rather than a cold rebuild *)
+  fixed_vars : int;
+      (** integer variables fixed at the root by reduced-cost bound
+          fixing *)
 }
 
 type result = {
@@ -47,8 +53,20 @@ val solve :
     is validated against the model ([Invalid_argument] if it is not
     feasible) and seeds the pruning bound. [branch_priority] (one entry
     per variable, higher branches first) guides variable selection:
-    the most fractional variable among those of the highest priority
-    class with any fractionality is chosen.
+    within the highest priority class with any fractionality, pseudocost
+    branching (observed objective degradation per unit of fractional
+    distance, product rule) picks the variable; before any pseudocost
+    observations this degenerates to most-fractional.
+
+    Node LPs are warm-started: one {!Simplex.state} is threaded through
+    the whole tree and re-optimized per node via {!Simplex.resolve},
+    with node bounds stored as copy-on-branch chains (one changed entry
+    plus a parent pointer) instead of per-node array copies. Once an
+    incumbent exists, reduced-cost bound fixing at the root fixes
+    integer variables whose reduced cost exceeds the incumbent gap.
+    Setting the [PIPESYN_COLD_START] environment variable (non-empty)
+    disables all of this — cold per-node solves and most-fractional
+    branching — for A/B comparison.
 
     The effective budget is the tighter of [time_limit] and [deadline]
     (default {!Resilience.Deadline.none}); it is threaded into every

@@ -11,15 +11,29 @@ let feas_eps = 1e-7
 let cost_eps = 1e-7
 let pivot_eps = 1e-8
 
+(* Instrumentation (lib/obs): warm-restart accounting, additive only. *)
+let c_resolve_pivots = Obs.Counter.get "simplex.resolve_pivots"
+let c_resolve_warm = Obs.Counter.get "simplex.resolve_warm"
+let c_resolve_cold = Obs.Counter.get "simplex.resolve_cold"
+
 type vstat = Basic of int (* row *) | At_lower | At_upper
 
-(* Internal working problem, all variables shifted to lb = 0. *)
+(* Internal working problem. All columns are shifted so the *original*
+   (build-time) lower bound maps to 0; [lo]/[hi] are the current working
+   bounds in that shifted space, so a warm restart can install tightened
+   node bounds without rebuilding the tableau (nonbasic-at-lower sits at
+   [lo], not at 0). *)
 type tab = {
   m : int;  (** rows *)
+  n : int;  (** structural columns *)
   cols : int;  (** structural + slack + artificial columns *)
-  a : float array array;  (** m x cols dense tableau *)
+  a : float array array;  (** m x cols dense tableau, kept row-reduced *)
+  b : float array;
+      (** B⁻¹·(shifted rhs): transformed alongside [a] by every pivot so
+          basic values can be recomputed exactly after bound changes *)
   beta : float array;  (** current value of the basic variable of each row *)
-  range : float array;  (** shifted upper bound (ub - lb), may be +inf *)
+  lo : float array;  (** working lower bound (shifted), always finite *)
+  hi : float array;  (** working upper bound (shifted), may be +inf *)
   cost : float array;  (** current phase objective coefficients *)
   z : float array;  (** reduced costs *)
   stat : vstat array;
@@ -29,8 +43,8 @@ type tab = {
 let value t j =
   match t.stat.(j) with
   | Basic r -> t.beta.(r)
-  | At_lower -> 0.0
-  | At_upper -> t.range.(j)
+  | At_lower -> t.lo.(j)
+  | At_upper -> t.hi.(j)
 
 (* Recompute reduced costs z_j = c_j - c_B . a_j from scratch. *)
 let recompute_z t =
@@ -42,6 +56,21 @@ let recompute_z t =
       if aij <> 0.0 && cb.(i) <> 0.0 then acc := !acc -. (cb.(i) *. aij)
     done;
     t.z.(j) <- !acc
+  done
+
+(* Recompute basic values beta = B⁻¹b - Σ_{nonbasic} (B⁻¹A_j)·x_j from the
+   maintained [b] column — removes incremental drift across warm restarts. *)
+let recompute_beta t =
+  Array.blit t.b 0 t.beta 0 t.m;
+  for j = 0 to t.cols - 1 do
+    match t.stat.(j) with
+    | Basic _ -> ()
+    | At_lower | At_upper ->
+        let x = value t j in
+        if x <> 0.0 then
+          for i = 0 to t.m - 1 do
+            t.beta.(i) <- t.beta.(i) -. (t.a.(i).(j) *. x)
+          done
   done
 
 (* Choose an entering column. Dantzig by default; Bland when [bland]. *)
@@ -56,12 +85,12 @@ let entering t ~bland =
   in
   (try
      for j = 0 to t.cols - 1 do
-       (match t.stat.(j) with
-       | Basic _ -> ()
-       | At_lower -> consider j (-.t.z.(j))
-       | At_upper ->
-           if t.range.(j) > 0.0 then consider j t.z.(j)
-           (* fixed vars (range 0) never enter *));
+       (if t.hi.(j) -. t.lo.(j) > 0.0 then
+          match t.stat.(j) with
+          | Basic _ -> ()
+          | At_lower -> consider j (-.t.z.(j))
+          | At_upper -> consider j t.z.(j)
+        (* fixed vars (lo = hi) never enter *));
        if bland && !best >= 0 then raise Exit
      done
    with Exit -> ());
@@ -72,12 +101,13 @@ exception Unbounded_exc
 (* Ratio test: entering j moves by dir * t. Returns (t*, leaving row or -1
    for a bound flip). *)
 let ratio_test t j ~dir =
-  let tmax = ref (if Float.is_finite t.range.(j) then t.range.(j) else infinity) in
+  let range = t.hi.(j) -. t.lo.(j) in
+  let tmax = ref (if Float.is_finite range then range else infinity) in
   let row = ref (-1) in
   for i = 0 to t.m - 1 do
     let delta = dir *. t.a.(i).(j) in
     if delta > pivot_eps then begin
-      let ti = t.beta.(i) /. delta in
+      let ti = (t.beta.(i) -. t.lo.(t.basis.(i))) /. delta in
       let ti = if ti < 0.0 then 0.0 else ti in
       if ti < !tmax -. 1e-12 then begin
         tmax := ti;
@@ -85,7 +115,7 @@ let ratio_test t j ~dir =
       end
     end
     else if delta < -.pivot_eps then begin
-      let ub = t.range.(t.basis.(i)) in
+      let ub = t.hi.(t.basis.(i)) in
       if Float.is_finite ub then begin
         let ti = (ub -. t.beta.(i)) /. -.delta in
         let ti = if ti < 0.0 then 0.0 else ti in
@@ -107,27 +137,15 @@ let do_bound_flip t j ~dir ~tstar =
     | At_upper -> At_lower
     | Basic _ -> assert false)
 
-let do_pivot t j r ~dir ~tstar =
-  let x_old = match t.stat.(j) with
-    | At_lower -> 0.0
-    | At_upper -> t.range.(j)
-    | Basic _ -> assert false
-  in
-  let x_new = x_old +. (dir *. tstar) in
-  for i = 0 to t.m - 1 do
-    if i <> r then t.beta.(i) <- t.beta.(i) -. (dir *. t.a.(i).(j) *. tstar)
-  done;
-  t.beta.(r) <- x_new;
-  (* Leaving variable parks at the bound it hit. *)
-  let leaving = t.basis.(r) in
-  let delta_r = dir *. t.a.(r).(j) in
-  t.stat.(leaving) <- (if delta_r > 0.0 then At_lower else At_upper);
-  (* Row reduction: make column j a unit vector at row r. *)
+(* Row reduction making column j a unit vector at row r; transforms [b]
+   and the reduced costs alongside. Shared by primal and dual pivots. *)
+let row_reduce t j r =
   let prow = t.a.(r) in
   let piv = prow.(j) in
   for c = 0 to t.cols - 1 do
     prow.(c) <- prow.(c) /. piv
   done;
+  t.b.(r) <- t.b.(r) /. piv;
   for i = 0 to t.m - 1 do
     if i <> r then begin
       let f = t.a.(i).(j) in
@@ -136,7 +154,8 @@ let do_pivot t j r ~dir ~tstar =
         for c = 0 to t.cols - 1 do
           row_i.(c) <- row_i.(c) -. (f *. prow.(c))
         done;
-        row_i.(j) <- 0.0
+        row_i.(j) <- 0.0;
+        t.b.(i) <- t.b.(i) -. (f *. t.b.(r))
       end
     end
   done;
@@ -149,6 +168,23 @@ let do_pivot t j r ~dir ~tstar =
   end;
   t.basis.(r) <- j;
   t.stat.(j) <- Basic r
+
+let do_pivot t j r ~dir ~tstar =
+  let x_old = match t.stat.(j) with
+    | At_lower -> t.lo.(j)
+    | At_upper -> t.hi.(j)
+    | Basic _ -> assert false
+  in
+  let x_new = x_old +. (dir *. tstar) in
+  for i = 0 to t.m - 1 do
+    if i <> r then t.beta.(i) <- t.beta.(i) -. (dir *. t.a.(i).(j) *. tstar)
+  done;
+  t.beta.(r) <- x_new;
+  (* Leaving variable parks at the bound it hit. *)
+  let leaving = t.basis.(r) in
+  let delta_r = dir *. t.a.(r).(j) in
+  t.stat.(leaving) <- (if delta_r > 0.0 then At_lower else At_upper);
+  row_reduce t j r
 
 (* Run pivots until optimal/unbounded/iteration cap/deadline. Returns
    iterations. The deadline is polled every 64 pivots — fine-grained
@@ -194,131 +230,403 @@ let optimize t ~max_iters ~iters_used ~deadline =
    with Unbounded_exc -> status := Unbounded);
   (!status, !iters)
 
-let solve ?(max_iters = 50_000) ?(deadline = Resilience.Deadline.none) ?lb ?ub
-    (raw : Model.raw) =
-  let n = raw.n in
-  let lbv = match lb with Some a -> a | None -> raw.lb in
-  let ubv = match ub with Some a -> a | None -> raw.ub in
-  let m = Array.length raw.rows in
-  (* Quick infeasibility: crossed bounds. *)
+(* Dual pivot: the basic variable of row r is out of bounds; entering
+   column j moves until that variable lands exactly on [target] (its
+   violated bound). Dual feasibility of z is preserved by the caller's
+   ratio test. *)
+let do_dual_pivot t j r ~target ~below =
+  let x_old = match t.stat.(j) with
+    | At_lower -> t.lo.(j)
+    | At_upper -> t.hi.(j)
+    | Basic _ -> assert false
+  in
+  let dx = (t.beta.(r) -. target) /. t.a.(r).(j) in
+  for i = 0 to t.m - 1 do
+    if i <> r then t.beta.(i) <- t.beta.(i) -. (t.a.(i).(j) *. dx)
+  done;
+  t.beta.(r) <- x_old +. dx;
+  let leaving = t.basis.(r) in
+  t.stat.(leaving) <- (if below then At_lower else At_upper);
+  row_reduce t j r
+
+(* Dual simplex: starting from a dual-feasible basis (reduced costs of an
+   optimal parent LP are untouched by bound changes), repair primal
+   feasibility after node bounds were installed. Terminates with [Optimal]
+   (primal feasible again — usually a handful of pivots for a single
+   branched binary), [Infeasible] (a violated row with no sign-compatible
+   entering column proves the box empty), or a budget status. *)
+let dual_repair t ~max_iters ~iters_used ~deadline =
+  let iters = ref iters_used in
+  let status = ref Optimal in
+  let continue_ = ref true in
+  while !continue_ do
+    (* most-violated row *)
+    let r = ref (-1) and viol = ref feas_eps and below = ref false in
+    for i = 0 to t.m - 1 do
+      let bv = t.basis.(i) in
+      let under = t.lo.(bv) -. t.beta.(i) in
+      if under > !viol then begin r := i; viol := under; below := true end;
+      if Float.is_finite t.hi.(bv) then begin
+        let over = t.beta.(i) -. t.hi.(bv) in
+        if over > !viol then begin r := i; viol := over; below := false end
+      end
+    done;
+    if !r < 0 then continue_ := false
+    else if !iters >= max_iters then begin
+      status := Iteration_limit;
+      continue_ := false
+    end
+    else if
+      (!iters - iters_used) land 63 = 0 && Resilience.Deadline.expired deadline
+    then begin
+      status := Time_limit;
+      continue_ := false
+    end
+    else begin
+      let r = !r and below = !below in
+      let arow = t.a.(r) in
+      (* entering column: dual ratio test, |z_j / a_rj| minimal keeps z
+         dual feasible; tie-break on pivot magnitude for stability *)
+      let q = ref (-1) and best = ref infinity and best_a = ref 0.0 in
+      for j = 0 to t.cols - 1 do
+        if t.hi.(j) -. t.lo.(j) > 0.0 then begin
+          let arj = arow.(j) in
+          let ok =
+            match t.stat.(j) with
+            | Basic _ -> false
+            | At_lower -> if below then arj < -.pivot_eps else arj > pivot_eps
+            | At_upper -> if below then arj > pivot_eps else arj < -.pivot_eps
+          in
+          if ok then begin
+            let ratio = Float.abs (t.z.(j) /. arj) in
+            if
+              ratio < !best -. 1e-12
+              || (ratio < !best +. 1e-12 && Float.abs arj > Float.abs !best_a)
+            then begin
+              q := j;
+              best := ratio;
+              best_a := arj
+            end
+          end
+        end
+      done;
+      if !q < 0 then begin
+        status := Infeasible;
+        continue_ := false
+      end
+      else begin
+        incr iters;
+        let target =
+          if below then t.lo.(t.basis.(r)) else t.hi.(t.basis.(r))
+        in
+        do_dual_pivot t !q r ~target ~below
+      end
+    end
+  done;
+  (!status, !iters)
+
+(* ------------------------------------------------------------------ *)
+(* Build / solve                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let crossed_bounds n lbv ubv =
   let crossed = ref false in
   for j = 0 to n - 1 do
     if ubv.(j) < lbv.(j) -. feas_eps then crossed := true
   done;
-  if !crossed then
-    { status = Infeasible; x = Array.make n 0.0; objective = 0.0; iterations = 0 }
-  else begin
-    (* Normalize rows: >= becomes <= (negated); compute shifted rhs. *)
-    let sign = Array.make m 1.0 in
-    let is_eq = Array.make m false in
-    Array.iteri
-      (fun i s ->
-        match (s : Model.sense) with
-        | Model.Ge -> sign.(i) <- -1.0
-        | Model.Eq -> is_eq.(i) <- true
-        | Model.Le -> ())
-      raw.senses;
-    let bshift = Array.make m 0.0 in
-    for i = 0 to m - 1 do
-      let acc = ref (sign.(i) *. raw.rhs.(i)) in
-      Array.iter
-        (fun (j, c) -> acc := !acc -. (sign.(i) *. c *. lbv.(j)))
-        raw.rows.(i);
-      bshift.(i) <- !acc
-    done;
-    (* Column layout: structural | slack per row | artificials as needed. *)
-    let need_artificial = Array.make m false in
-    for i = 0 to m - 1 do
-      if is_eq.(i) then need_artificial.(i) <- Float.abs bshift.(i) > feas_eps
-      else need_artificial.(i) <- bshift.(i) < -.feas_eps
-    done;
-    let n_art = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 need_artificial in
-    let cols = n + m + n_art in
-    let a = Array.init m (fun _ -> Array.make cols 0.0) in
-    let range = Array.make cols infinity in
-    for j = 0 to n - 1 do
-      range.(j) <- ubv.(j) -. lbv.(j)
-    done;
-    for i = 0 to m - 1 do
-      Array.iter (fun (j, c) -> a.(i).(j) <- a.(i).(j) +. (sign.(i) *. c)) raw.rows.(i);
-      a.(i).(n + i) <- 1.0;
-      range.(n + i) <- (if is_eq.(i) then 0.0 else infinity)
-    done;
-    let basis = Array.make m 0 in
-    let beta = Array.make m 0.0 in
-    let art = ref 0 in
-    for i = 0 to m - 1 do
-      if need_artificial.(i) then begin
-        let col = n + m + !art in
-        incr art;
-        (* Scale the row so the artificial enters with +1 and value >= 0. *)
-        if bshift.(i) < 0.0 then begin
-          for c = 0 to cols - 1 do
-            a.(i).(c) <- -.a.(i).(c)
+  !crossed
+
+let infeasible_result n =
+  { status = Infeasible; x = Array.make n 0.0; objective = 0.0; iterations = 0 }
+
+(* Build the shifted tableau for [raw] under bounds [lbv]/[ubv]. *)
+let build (raw : Model.raw) lbv ubv =
+  let n = raw.n in
+  let m = Array.length raw.rows in
+  (* Normalize rows: >= becomes <= (negated); compute shifted rhs. *)
+  let sign = Array.make m 1.0 in
+  let is_eq = Array.make m false in
+  Array.iteri
+    (fun i s ->
+      match (s : Model.sense) with
+      | Model.Ge -> sign.(i) <- -1.0
+      | Model.Eq -> is_eq.(i) <- true
+      | Model.Le -> ())
+    raw.senses;
+  let bshift = Array.make m 0.0 in
+  for i = 0 to m - 1 do
+    let acc = ref (sign.(i) *. raw.rhs.(i)) in
+    Array.iter
+      (fun (j, c) -> acc := !acc -. (sign.(i) *. c *. lbv.(j)))
+      raw.rows.(i);
+    bshift.(i) <- !acc
+  done;
+  (* Column layout: structural | slack per row | artificials as needed. *)
+  let need_artificial = Array.make m false in
+  for i = 0 to m - 1 do
+    if is_eq.(i) then need_artificial.(i) <- Float.abs bshift.(i) > feas_eps
+    else need_artificial.(i) <- bshift.(i) < -.feas_eps
+  done;
+  let n_art = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 need_artificial in
+  let cols = n + m + n_art in
+  let a = Array.init m (fun _ -> Array.make cols 0.0) in
+  let lo = Array.make cols 0.0 in
+  let hi = Array.make cols infinity in
+  for j = 0 to n - 1 do
+    hi.(j) <- ubv.(j) -. lbv.(j)
+  done;
+  for i = 0 to m - 1 do
+    Array.iter (fun (j, c) -> a.(i).(j) <- a.(i).(j) +. (sign.(i) *. c)) raw.rows.(i);
+    a.(i).(n + i) <- 1.0;
+    hi.(n + i) <- (if is_eq.(i) then 0.0 else infinity)
+  done;
+  let basis = Array.make m 0 in
+  let beta = Array.make m 0.0 in
+  let art = ref 0 in
+  for i = 0 to m - 1 do
+    if need_artificial.(i) then begin
+      let col = n + m + !art in
+      incr art;
+      (* Scale the row so the artificial enters with +1 and value >= 0. *)
+      if bshift.(i) < 0.0 then begin
+        for c = 0 to cols - 1 do
+          a.(i).(c) <- -.a.(i).(c)
+        done;
+        bshift.(i) <- -.bshift.(i)
+      end;
+      a.(i).(col) <- 1.0;
+      basis.(i) <- col;
+      beta.(i) <- bshift.(i)
+    end
+    else begin
+      basis.(i) <- n + i;
+      beta.(i) <- bshift.(i)
+    end
+  done;
+  let stat = Array.make cols At_lower in
+  Array.iteri (fun i j -> stat.(j) <- Basic i) basis;
+  {
+    m; n; cols; a;
+    b = Array.copy bshift;
+    beta; lo; hi;
+    cost = Array.make cols 0.0;
+    z = Array.make cols 0.0;
+    stat; basis;
+  }
+
+(* Phase 1 (artificials to zero) then phase 2 on the real objective. *)
+let phases t (raw : Model.raw) ~max_iters ~deadline =
+  let n = t.n and m = t.m and cols = t.cols in
+  let phase1 =
+    if cols = n + m then Ok 0
+    else begin
+      for c = 0 to cols - 1 do
+        t.cost.(c) <- (if c >= n + m then 1.0 else 0.0)
+      done;
+      recompute_z t;
+      let status, iters = optimize t ~max_iters ~iters_used:0 ~deadline in
+      match status with
+      | Iteration_limit -> Error (Iteration_limit, iters)
+      | Time_limit -> Error (Time_limit, iters)
+      | Unbounded -> Error (Infeasible, iters) (* cannot happen *)
+      | Optimal | Infeasible ->
+          let infeas = ref 0.0 in
+          for c = n + m to cols - 1 do
+            infeas := !infeas +. value t c
           done;
-          bshift.(i) <- -.bshift.(i)
-        end;
-        a.(i).(col) <- 1.0;
-        range.(col) <- infinity;
-        basis.(i) <- col;
-        beta.(i) <- bshift.(i)
-      end
-      else begin
-        basis.(i) <- n + i;
-        beta.(i) <- bshift.(i)
-      end
-    done;
-    let stat = Array.make cols At_lower in
-    Array.iteri (fun i j -> stat.(j) <- Basic i) basis;
-    let t =
-      { m; cols; a; beta; range; cost = Array.make cols 0.0; z = Array.make cols 0.0; stat; basis }
-    in
-    let finish status iters =
-      let x = Array.init n (fun j -> lbv.(j) +. value t j) in
-      let objective =
-        let acc = ref 0.0 in
-        for j = 0 to n - 1 do
-          acc := !acc +. (raw.obj.(j) *. x.(j))
-        done;
-        !acc
-      in
-      { status; x; objective; iterations = iters }
-    in
-    (* Phase 1 (only when artificials exist). *)
-    let phase1_result =
-      if n_art = 0 then Ok 0
-      else begin
-        for c = 0 to cols - 1 do
-          t.cost.(c) <- (if c >= n + m then 1.0 else 0.0)
-        done;
-        recompute_z t;
-        let status, iters = optimize t ~max_iters ~iters_used:0 ~deadline in
-        match status with
-        | Iteration_limit -> Error (finish Iteration_limit iters)
-        | Time_limit -> Error (finish Time_limit iters)
-        | Unbounded -> Error (finish Infeasible iters) (* cannot happen *)
-        | Optimal | Infeasible ->
-            let infeas = ref 0.0 in
+          if !infeas > 1e-6 then Error (Infeasible, iters)
+          else begin
+            (* Lock artificials at zero for phase 2. *)
             for c = n + m to cols - 1 do
-              infeas := !infeas +. value t c
+              t.hi.(c) <- 0.0
             done;
-            if !infeas > 1e-6 then Error (finish Infeasible iters)
-            else begin
-              (* Lock artificials at zero for phase 2. *)
-              for c = n + m to cols - 1 do
-                t.range.(c) <- 0.0
-              done;
-              Ok iters
-            end
+            Ok iters
+          end
+    end
+  in
+  match phase1 with
+  | Error (s, i) -> (s, i)
+  | Ok iters1 ->
+      for c = 0 to cols - 1 do
+        t.cost.(c) <- (if c < n then raw.obj.(c) else 0.0)
+      done;
+      recompute_z t;
+      optimize t ~max_iters ~iters_used:iters1 ~deadline
+
+let finish t (raw : Model.raw) base_lb status iters =
+  let x = Array.init t.n (fun j -> base_lb.(j) +. value t j) in
+  let objective =
+    let acc = ref 0.0 in
+    for j = 0 to t.n - 1 do
+      acc := !acc +. (raw.obj.(j) *. x.(j))
+    done;
+    !acc
+  in
+  { status; x; objective; iterations = iters }
+
+let solve ?(max_iters = 50_000) ?(deadline = Resilience.Deadline.none) ?lb ?ub
+    (raw : Model.raw) =
+  let lbv = match lb with Some a -> a | None -> raw.lb in
+  let ubv = match ub with Some a -> a | None -> raw.ub in
+  if crossed_bounds raw.n lbv ubv then infeasible_result raw.n
+  else begin
+    let t = build raw lbv ubv in
+    let status, iters = phases t raw ~max_iters ~deadline in
+    finish t raw lbv status iters
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reusable state and warm restart                                     *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  raw : Model.raw;
+  mutable base_lb : float array;
+      (** shift origin of the tableau; [x_j = base_lb.(j) + value j] *)
+  mutable t : tab option;  (** [None] only when the build found crossed bounds *)
+  mutable warm_ok : bool;
+      (** last terminal status left a dual-feasible basis to restart from *)
+  mutable last_warm : bool;
+  mutable resolves : int;
+}
+
+(* Accumulated row-operation drift in [a] is bounded by refactoring (a
+   cold rebuild) every this-many warm restarts. *)
+let refactor_every = 256
+
+let solve_state ?(max_iters = 50_000) ?(deadline = Resilience.Deadline.none)
+    ?lb ?ub (raw : Model.raw) =
+  let lbv = Array.copy (match lb with Some a -> a | None -> raw.lb) in
+  let ubv = Array.copy (match ub with Some a -> a | None -> raw.ub) in
+  if crossed_bounds raw.n lbv ubv then
+    ( infeasible_result raw.n,
+      { raw; base_lb = lbv; t = None; warm_ok = false; last_warm = false;
+        resolves = 0 } )
+  else begin
+    let t = build raw lbv ubv in
+    let status, iters = phases t raw ~max_iters ~deadline in
+    ( finish t raw lbv status iters,
+      { raw; base_lb = lbv; t = Some t; warm_ok = status = Optimal;
+        last_warm = false; resolves = 0 } )
+  end
+
+let copy_tab t =
+  {
+    t with
+    a = Array.map Array.copy t.a;
+    b = Array.copy t.b;
+    beta = Array.copy t.beta;
+    lo = Array.copy t.lo;
+    hi = Array.copy t.hi;
+    cost = Array.copy t.cost;
+    z = Array.copy t.z;
+    stat = Array.copy t.stat;
+    basis = Array.copy t.basis;
+  }
+
+let copy st =
+  {
+    st with
+    base_lb = Array.copy st.base_lb;
+    t = Option.map copy_tab st.t;
+  }
+
+let last_resolve_warm st = st.last_warm
+
+let reduced_cost st j =
+  match st.t with None -> 0.0 | Some t -> t.z.(j)
+
+let basis_status st j =
+  match st.t with
+  | None -> `Basic
+  | Some t -> (
+      match t.stat.(j) with
+      | Basic _ -> `Basic
+      | At_lower -> `At_lower
+      | At_upper -> `At_upper)
+
+let resolve ?(max_iters = 50_000) ?(deadline = Resilience.Deadline.none)
+    ~lb ~ub st =
+  st.resolves <- st.resolves + 1;
+  let raw = st.raw in
+  if crossed_bounds raw.n lb ub then begin
+    (* Basis untouched: the state stays warm for the next sibling. *)
+    st.last_warm <- true;
+    infeasible_result raw.n
+  end
+  else begin
+    let cold () =
+      st.last_warm <- false;
+      Obs.Counter.incr c_resolve_cold;
+      let lbv = Array.copy lb and ubv = Array.copy ub in
+      let t = build raw lbv ubv in
+      let status, iters = phases t raw ~max_iters ~deadline in
+      st.t <- Some t;
+      st.base_lb <- lbv;
+      st.warm_ok <- status = Optimal;
+      Obs.Counter.incr ~by:iters c_resolve_pivots;
+      finish t raw lbv status iters
+    in
+    let warm t =
+      (* Install the node bounds in shifted space. Slack, artificial and
+         cost data are untouched; reduced costs are bound-independent, so
+         the parent's optimal basis stays dual feasible and a short dual
+         repair restores primal feasibility. *)
+      for j = 0 to raw.n - 1 do
+        t.lo.(j) <- lb.(j) -. st.base_lb.(j);
+        t.hi.(j) <- ub.(j) -. st.base_lb.(j);
+        match t.stat.(j) with
+        | At_upper when not (Float.is_finite t.hi.(j)) ->
+            (* cannot sit at an infinite bound; dual check below decides *)
+            t.stat.(j) <- At_lower
+        | _ -> ()
+      done;
+      (* z is NOT recomputed here: reduced costs are bound-independent and
+         are maintained exactly through every row reduction, so the parent's
+         cost row is already correct. Drift is bounded by the periodic cold
+         refactorization ([refactor_every]). *)
+      let dual_ok = ref true in
+      for j = 0 to t.cols - 1 do
+        if t.hi.(j) -. t.lo.(j) > 0.0 then
+          match t.stat.(j) with
+          | Basic _ -> ()
+          | At_lower -> if t.z.(j) < -1e-6 then dual_ok := false
+          | At_upper -> if t.z.(j) > 1e-6 then dual_ok := false
+      done;
+      if not !dual_ok then cold ()
+      else begin
+        recompute_beta t;
+        let repair, iters1 = dual_repair t ~max_iters ~iters_used:0 ~deadline in
+        match repair with
+        | Iteration_limit ->
+            (* possible degenerate cycling in the repair: rebuild cold *)
+            cold ()
+        | Infeasible ->
+            st.last_warm <- true;
+            st.warm_ok <- true;
+            Obs.Counter.incr c_resolve_warm;
+            Obs.Counter.incr ~by:iters1 c_resolve_pivots;
+            finish t raw st.base_lb Infeasible iters1
+        | Time_limit ->
+            st.last_warm <- true;
+            st.warm_ok <- false;
+            Obs.Counter.incr c_resolve_warm;
+            Obs.Counter.incr ~by:iters1 c_resolve_pivots;
+            finish t raw st.base_lb Time_limit iters1
+        | Optimal | Unbounded ->
+            let status, iters =
+              optimize t ~max_iters ~iters_used:iters1 ~deadline
+            in
+            st.last_warm <- true;
+            st.warm_ok <- status = Optimal;
+            Obs.Counter.incr c_resolve_warm;
+            Obs.Counter.incr ~by:iters c_resolve_pivots;
+            finish t raw st.base_lb status iters
       end
     in
-    match phase1_result with
-    | Error r -> r
-    | Ok iters1 ->
-        for c = 0 to cols - 1 do
-          t.cost.(c) <- (if c < n then raw.obj.(c) else 0.0)
-        done;
-        recompute_z t;
-        let status, iters = optimize t ~max_iters ~iters_used:iters1 ~deadline in
-        finish status iters
+    match st.t with
+    | None -> cold ()
+    | Some _ when not st.warm_ok -> cold ()
+    | Some _ when st.resolves mod refactor_every = 0 -> cold ()
+    | Some t -> warm t
   end

@@ -1,4 +1,5 @@
-(** Bounded-variable two-phase primal simplex on a dense tableau.
+(** Bounded-variable two-phase primal simplex on a dense tableau, with a
+    reusable solver state for warm-started branch-and-bound.
 
     Solves [min c·x  s.t.  A x {<=,=,>=} b,  l <= x <= u] with finite lower
     bounds and possibly infinite upper bounds. Upper bounds are handled
@@ -7,7 +8,21 @@
 
     Phase 1 introduces artificial variables only for rows whose slack
     cannot serve as an initial basic variable. Dantzig pricing with an
-    automatic switch to Bland's rule guards against cycling. *)
+    automatic switch to Bland's rule guards against cycling.
+
+    {2 Warm restarts}
+
+    {!solve_state} additionally returns the solver's final tableau, basis
+    and bound status as a {!state}; {!resolve} then accepts tightened
+    variable bounds and restarts from that basis instead of running
+    Phase 1 from scratch. Because reduced costs do not depend on variable
+    bounds, the optimal basis of a parent node LP stays {e dual} feasible
+    after a branch, so a child LP is a short dual-simplex repair (a bound
+    change on a nonbasic variable is at most a flip; a change on a basic
+    one walks the violated variable back to its bound) followed by an
+    ordinary primal clean-up — typically a handful of pivots instead of
+    hundreds. This is the same lever CPLEX uses to win on the paper's
+    Sec. 4.3 instances (see DESIGN.md, "Solver engineering"). *)
 
 type status =
   | Optimal
@@ -40,3 +55,57 @@ val solve :
     between solves. The [simplex.cycle] fault point
     ({!Resilience.Fault}) makes every optimize call give up with
     {!Iteration_limit} immediately. *)
+
+(** {1 Reusable solver state} *)
+
+type state
+(** Tableau + basis + bound status after a {!solve_state} or {!resolve}
+    call. Mutable: {!resolve} updates it in place, so clone with {!copy}
+    before branching if both children need independent restarts. *)
+
+val solve_state :
+  ?max_iters:int ->
+  ?deadline:Resilience.Deadline.t ->
+  ?lb:float array ->
+  ?ub:float array ->
+  Model.raw ->
+  result * state
+(** Like {!solve}, but also returns the final solver state for later
+    {!resolve} calls. The bound arrays are copied into the state; the
+    caller may keep mutating its own arrays. *)
+
+val resolve :
+  ?max_iters:int ->
+  ?deadline:Resilience.Deadline.t ->
+  lb:float array ->
+  ub:float array ->
+  state ->
+  result
+(** [resolve ~lb ~ub st] re-optimizes the state's LP under new variable
+    bounds, warm-starting from the last basis when it is still dual
+    feasible (dual-simplex repair, then primal clean-up). Falls back to a
+    cold rebuild — transparently, same result contract as {!solve} —
+    whenever the inherited basis is unusable: the previous solve did not
+    end {!Optimal}, the repair hit the pivot cap, or every
+    [refactor_every = 256] calls to bound numerical drift. Equivalent to
+    [solve ~lb ~ub raw] up to degenerate alternate optima: same status,
+    same objective within [1e-6] (property-tested in [test/test_lp.ml]).
+
+    Counters ({!Obs}): [simplex.resolve_pivots] (dual + primal pivots
+    spent here), [simplex.resolve_warm] / [simplex.resolve_cold] (which
+    path ran). *)
+
+val copy : state -> state
+(** Deep copy (tableau, basis, bounds) — clone-on-branch. *)
+
+val last_resolve_warm : state -> bool
+(** Whether the most recent {!resolve} used the warm path (including
+    warm-detected infeasibility) rather than a cold rebuild. *)
+
+val reduced_cost : state -> int -> float
+(** Reduced cost of structural column [j] under the phase-2 objective.
+    Meaningful after an {!Optimal} solve; used for reduced-cost bound
+    fixing in {!Milp}. *)
+
+val basis_status : state -> int -> [ `Basic | `At_lower | `At_upper ]
+(** Basis status of structural column [j] in the current basis. *)

@@ -350,6 +350,172 @@ let milp_matches_brute_force =
       | Lp.Milp.Infeasible -> Float.is_integer !best = false || !best = infinity
       | Lp.Milp.Feasible | Lp.Milp.Unbounded | Lp.Milp.Unknown -> false)
 
+(* --- warm restarts (Simplex.resolve) --------------------------------- *)
+
+let status_name = function
+  | Lp.Simplex.Optimal -> "optimal"
+  | Lp.Simplex.Infeasible -> "infeasible"
+  | Lp.Simplex.Unbounded -> "unbounded"
+  | Lp.Simplex.Iteration_limit -> "iteration-limit"
+  | Lp.Simplex.Time_limit -> "time-limit"
+
+(* min -x - y  s.t.  x + y <= 4, x <= 2; root optimum -4 at (2, 2). *)
+let resolve_fixture () =
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var m "x" in
+  let y = Lp.Model.add_var m "y" in
+  Lp.Model.add_le m [ (1.0, x); (1.0, y) ] 4.0;
+  Lp.Model.add_le m [ (1.0, x) ] 2.0;
+  Lp.Model.set_objective m [ (-1.0, x); (-1.0, y) ];
+  let raw = Lp.Model.to_raw m in
+  let r, st = Lp.Simplex.solve_state raw in
+  check_lp_obj "fixture root" (-4.0) r;
+  (raw, st)
+
+let test_resolve_warm_tighten () =
+  let raw, st = resolve_fixture () in
+  let lb = Array.copy raw.Lp.Model.lb and ub = Array.copy raw.Lp.Model.ub in
+  ub.(1) <- 1.0;
+  let r = Lp.Simplex.resolve ~lb ~ub st in
+  check_lp_obj "resolve y<=1" (-3.0) r;
+  Alcotest.(check bool) "warm path" true (Lp.Simplex.last_resolve_warm st);
+  (* back to the original bounds: must return to the root optimum *)
+  let r = Lp.Simplex.resolve ~lb ~ub:raw.Lp.Model.ub st in
+  check_lp_obj "resolve relaxed back" (-4.0) r
+
+let test_resolve_infeasible () =
+  let raw, st = resolve_fixture () in
+  let lb = Array.copy raw.Lp.Model.lb and ub = Array.copy raw.Lp.Model.ub in
+  (* constraint-infeasible: x >= 3 crosses the row x <= 2 *)
+  lb.(0) <- 3.0;
+  let r = Lp.Simplex.resolve ~lb ~ub st in
+  Alcotest.(check string) "dual repair proves infeasible" "infeasible"
+    (status_name r.Lp.Simplex.status);
+  (* crossed box: lb > ub is rejected without touching the basis *)
+  let lb = Array.copy raw.Lp.Model.lb and ub = Array.copy raw.Lp.Model.ub in
+  lb.(1) <- 2.0;
+  ub.(1) <- 1.0;
+  let r = Lp.Simplex.resolve ~lb ~ub st in
+  Alcotest.(check string) "crossed box" "infeasible"
+    (status_name r.Lp.Simplex.status);
+  (* the state is still warm: the original bounds solve again *)
+  let r = Lp.Simplex.resolve ~lb:raw.Lp.Model.lb ~ub:raw.Lp.Model.ub st in
+  check_lp_obj "recovers after infeasible" (-4.0) r
+
+let test_resolve_deadline () =
+  let raw, st = resolve_fixture () in
+  let lb = Array.copy raw.Lp.Model.lb and ub = Array.copy raw.Lp.Model.ub in
+  ub.(1) <- 1.0;
+  let deadline = Resilience.Deadline.of_budget 0.0 in
+  let r = Lp.Simplex.resolve ~deadline ~lb ~ub st in
+  Alcotest.(check string) "expired deadline" "time-limit"
+    (status_name r.Lp.Simplex.status);
+  (* a later resolve without the deadline completes normally *)
+  let r = Lp.Simplex.resolve ~lb ~ub st in
+  check_lp_obj "recovers after expiry" (-3.0) r
+
+let test_resolve_fault () =
+  let raw, st = resolve_fixture () in
+  let lb = Array.copy raw.Lp.Model.lb and ub = Array.copy raw.Lp.Model.ub in
+  ub.(1) <- 1.0;
+  (match Resilience.Fault.arm "simplex.cycle" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "arm: %s" e);
+  Fun.protect ~finally:Resilience.Fault.clear (fun () ->
+      let r = Lp.Simplex.resolve ~lb ~ub st in
+      Alcotest.(check string) "injected cycle" "iteration-limit"
+        (status_name r.Lp.Simplex.status));
+  let r = Lp.Simplex.resolve ~lb ~ub st in
+  check_lp_obj "recovers after fault" (-3.0) r
+
+let test_resolve_refactor_parity () =
+  (* Cross the periodic-refactorization boundary: 300 resolves over the
+     same pair of bounds must keep agreeing with the cold answers. *)
+  let raw, st = resolve_fixture () in
+  let lb = raw.Lp.Model.lb and ub = raw.Lp.Model.ub in
+  let tub = Array.copy ub in
+  tub.(1) <- 1.0;
+  for i = 1 to 300 do
+    let u = if i mod 2 = 1 then tub else ub in
+    let r = Lp.Simplex.resolve ~lb ~ub:u st in
+    let expect = if i mod 2 = 1 then -3.0 else -4.0 in
+    if not (feq expect r.Lp.Simplex.objective) then
+      Alcotest.failf "resolve %d: objective %g expected %g" i
+        r.Lp.Simplex.objective expect
+  done
+
+(* Property: a warm resolve is indistinguishable from a cold solve — same
+   status, objective within 1e-6 — across chains of random monotone bound
+   tightenings (the only kind branch-and-bound produces), including
+   tightenings that cross the box (lb > ub) or cut off the feasible
+   region entirely. *)
+let resolve_equals_cold_solve =
+  let gen =
+    QCheck.Gen.(
+      let* spec = random_lp_gen in
+      let n, _, _, _ = spec in
+      let step =
+        let* j = int_bound (n - 1) in
+        let* side = bool in
+        let* v = map (fun i -> 0.5 *. float_of_int i) (int_bound 11) in
+        return (j, side, v)
+      in
+      let* steps = list_size (int_range 1 4) step in
+      return (spec, steps))
+  in
+  QCheck.Test.make ~name:"resolve = cold solve under bound tightenings"
+    ~count:120 (QCheck.make gen) (fun (spec, steps) ->
+      let model, _ = build_random_lp spec in
+      let raw = Lp.Model.to_raw model in
+      let _, st = Lp.Simplex.solve_state raw in
+      let lb = Array.copy raw.Lp.Model.lb
+      and ub = Array.copy raw.Lp.Model.ub in
+      List.for_all
+        (fun (j, side, v) ->
+          (* monotone tightening, as in branch-and-bound *)
+          if side then lb.(j) <- Float.max lb.(j) v
+          else ub.(j) <- Float.min ub.(j) v;
+          let rw = Lp.Simplex.resolve ~lb ~ub st in
+          let rc = Lp.Simplex.solve ~lb ~ub raw in
+          rw.Lp.Simplex.status = rc.Lp.Simplex.status
+          && (rw.Lp.Simplex.status <> Lp.Simplex.Optimal
+             || feq rw.Lp.Simplex.objective rc.Lp.Simplex.objective))
+        steps)
+
+(* --- PIPESYN_COLD_START escape hatch --------------------------------- *)
+
+let test_milp_cold_start_parity () =
+  let knapsack () =
+    let values = [| 10.0; 13.0; 7.0; 8.0 |] in
+    let weights = [| 5.0; 6.0; 3.0; 4.0 |] in
+    let m = Lp.Model.create () in
+    let xs =
+      Array.mapi (fun i _ -> Lp.Model.bool_var m (Printf.sprintf "x%d" i)) values
+    in
+    Lp.Model.add_le m
+      (Array.to_list (Array.mapi (fun i x -> (weights.(i), x)) xs))
+      10.0;
+    Lp.Model.set_objective m
+      (Array.to_list (Array.mapi (fun i x -> (-.values.(i), x)) xs));
+    Lp.Milp.solve ~time_limit:10.0 m
+  in
+  Unix.putenv "PIPESYN_COLD_START" "1";
+  let cold =
+    Fun.protect
+      ~finally:(fun () -> Unix.putenv "PIPESYN_COLD_START" "")
+      knapsack
+  in
+  let warm = knapsack () in
+  Alcotest.(check bool) "cold optimal" true (cold.Lp.Milp.status = Lp.Milp.Optimal);
+  Alcotest.(check bool) "warm optimal" true (warm.Lp.Milp.status = Lp.Milp.Optimal);
+  if not (feq cold.Lp.Milp.objective warm.Lp.Milp.objective) then
+    Alcotest.failf "cold %g vs warm %g" cold.Lp.Milp.objective
+      warm.Lp.Milp.objective;
+  Alcotest.(check int) "cold path never warm-starts" 0
+    cold.Lp.Milp.stats.Lp.Milp.warm_hits;
+  Alcotest.(check bool) "warm path reuses the basis" true
+    (warm.Lp.Milp.stats.Lp.Milp.warm_hits > 0)
+
 let qsuite name tests = (name, List.map (fun t -> QCheck_alcotest.to_alcotest t) tests)
 
 let () =
@@ -382,6 +548,18 @@ let () =
           Alcotest.test_case "time limit keeps incumbent" `Quick
             test_milp_time_limit_returns_feasible;
         ] );
+      ( "resolve",
+        [
+          Alcotest.test_case "warm tighten" `Quick test_resolve_warm_tighten;
+          Alcotest.test_case "infeasible paths" `Quick test_resolve_infeasible;
+          Alcotest.test_case "deadline expiry" `Quick test_resolve_deadline;
+          Alcotest.test_case "fault injection" `Quick test_resolve_fault;
+          Alcotest.test_case "refactor parity" `Quick
+            test_resolve_refactor_parity;
+          Alcotest.test_case "cold-start parity" `Quick
+            test_milp_cold_start_parity;
+        ] );
       qsuite "lp-random" [ lp_never_beaten_by_grid ];
       qsuite "milp-random" [ milp_matches_brute_force ];
+      qsuite "resolve-random" [ resolve_equals_cold_solve ];
     ]
