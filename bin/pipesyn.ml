@@ -179,10 +179,23 @@ let run_cmd =
     in
     Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"FILE")
   in
-  let run name method_ time_limit ii k alpha beta verbose optimize json faults
-      deadline =
+  let trace_arg =
+    let doc =
+      "Record a structured execution trace (flow phases, cascade \
+       attempts, per-node B\\&B events, incumbent updates, simplex \
+       refactorizations, per-stage covering) and write it to $(docv) as \
+       Chrome trace_event JSON — load it in Perfetto or \
+       chrome://tracing, or analyze it with `pipesyn trace-report'. \
+       Purely observational: results are identical with and without \
+       tracing. Buffer capacity via $(b,PIPESYN_TRACE_CAP)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
+  in
+  let run name method_ time_limit ii k alpha beta verbose optimize json trace
+      faults deadline =
     setup_logs verbose;
     Obs.reset ();
+    if trace <> None then Obs.Trace.enable ();
     arm_faults faults;
     let wall_budget = wall_budget_of deadline in
     let e = entry_of name in
@@ -244,6 +257,13 @@ let run_cmd =
     | Some path ->
         Obs.Metrics.write_file ~path ~results:metrics;
         Fmt.pr "wrote %s@." path);
+    (match trace with
+    | None -> ()
+    | Some path ->
+        Obs.Trace.write_chrome ~path;
+        Fmt.pr "wrote %s (%d trace events%s)@." path (Obs.Trace.num_events ())
+          (let d = Obs.Trace.dropped () in
+           if d = 0 then "" else Fmt.str ", %d dropped at cap" d));
     if !failed then exit exit_error
     else if !degraded then exit exit_degraded
   in
@@ -256,7 +276,7 @@ let run_cmd =
     Term.(
       const run $ bench_arg $ method_arg $ time_limit_arg $ ii_arg $ k_arg
       $ alpha_arg $ beta_arg $ verbose_arg $ optimize_arg $ json_arg
-      $ faults_arg $ deadline_arg)
+      $ trace_arg $ faults_arg $ deadline_arg)
 
 (* ------------------------------------------------------------------ *)
 (* cuts                                                                *)
@@ -492,6 +512,134 @@ let faults_cmd =
     Term.(const run $ const ())
 
 (* ------------------------------------------------------------------ *)
+(* trace-report                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let trace_report_cmd =
+  let file_arg =
+    let doc = "Chrome trace_event file written by `pipesyn run --trace'." in
+    Arg.(required & pos 0 (some string) None & info [] ~doc ~docv:"FILE")
+  in
+  let top_arg =
+    let doc = "How many slowest spans to list." in
+    Arg.(value & opt int 10 & info [ "top" ] ~doc ~docv:"N")
+  in
+  let read_file path =
+    match open_in_bin path with
+    | exception Sys_error e ->
+        Fmt.epr "%s@." e;
+        exit exit_error
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let fmt_s v = Fmt.str "%.4f" v in
+  let fmt_gap g =
+    if Float.is_nan g then "-" else Fmt.str "%.2f%%" (100.0 *. g)
+  in
+  let run file top =
+    let contents = read_file file in
+    match Obs.Json.of_string contents with
+    | Error e ->
+        Fmt.epr "%s: JSON parse error: %s@." file e;
+        exit exit_error
+    | Ok doc -> (
+        match Obs.Trace.Analysis.analyze ~top doc with
+        | Error e ->
+            Fmt.epr "%s: %s@." file e;
+            exit exit_error
+        | Ok r ->
+            let open Obs.Trace.Analysis in
+            Fmt.pr "%s: %d events (%d spans, %d instants)@.@." file r.r_events
+              r.r_spans r.r_instants;
+            if r.r_phases <> [] then begin
+              let columns =
+                Report.
+                  [
+                    { title = "Span"; align = Left };
+                    { title = "Cat"; align = Left };
+                    { title = "Count"; align = Right };
+                    { title = "Total s"; align = Right };
+                    { title = "Max s"; align = Right };
+                  ]
+              in
+              let rows =
+                List.filteri (fun i _ -> i < 20) r.r_phases
+                |> List.map (fun s ->
+                       [
+                         s.sp_name; s.sp_cat; string_of_int s.sp_count;
+                         fmt_s s.sp_total; fmt_s s.sp_max;
+                       ])
+              in
+              Fmt.pr "Phase breakdown (by total time):@.%s@."
+                (Report.table ~columns rows)
+            end;
+            (match r.r_tree with
+            | None -> ()
+            | Some t ->
+                Fmt.pr "B&B tree: %d nodes, max depth %d, %d warm / %d cold@."
+                  t.tr_nodes t.tr_max_depth t.tr_warm (t.tr_nodes - t.tr_warm);
+                Fmt.pr "  node LP statuses: %s@.@."
+                  (String.concat ", "
+                     (List.map
+                        (fun (s, n) -> Fmt.str "%s %d" s n)
+                        t.tr_statuses)));
+            if r.r_timeline <> [] then begin
+              let columns =
+                Report.
+                  [
+                    { title = "t (s)"; align = Right };
+                    { title = "Objective"; align = Right };
+                    { title = "Gap"; align = Right };
+                  ]
+              in
+              let rows =
+                List.map
+                  (fun p ->
+                    [ fmt_s p.gp_ts; Fmt.str "%.6g" p.gp_obj; fmt_gap p.gp_gap ])
+                  r.r_timeline
+              in
+              Fmt.pr "Incumbent/gap timeline:@.%s@."
+                (Report.table ~columns rows)
+            end;
+            if r.r_slowest <> [] then begin
+              let columns =
+                Report.
+                  [
+                    { title = "Span"; align = Left };
+                    { title = "Cat"; align = Left };
+                    { title = "Start s"; align = Right };
+                    { title = "Dur s"; align = Right };
+                  ]
+              in
+              let rows =
+                List.map
+                  (fun s ->
+                    [ s.sl_name; s.sl_cat; fmt_s s.sl_start; fmt_s s.sl_dur ])
+                  r.r_slowest
+              in
+              Fmt.pr "Top %d slowest spans:@.%s@."
+                (List.length r.r_slowest)
+                (Report.table ~columns rows)
+            end;
+            List.iter (fun e -> Fmt.pr "well-formedness: %s@." e) r.r_errors;
+            Fmt.pr "spans: %d, well-formedness errors: %d@." r.r_spans
+              (List.length r.r_errors);
+            (* A trace with no spans (or a malformed one) fails the
+               report — CI leans on this as its validity gate. *)
+            if r.r_errors <> [] || r.r_spans = 0 then exit exit_error)
+  in
+  Cmd.v
+    (Cmd.info "trace-report"
+       ~doc:
+         "Analyze a trace written by `pipesyn run --trace': phase \
+          breakdown, branch-and-bound tree shape, incumbent/gap \
+          timeline, slowest spans, and well-formedness checks (exit 1 \
+          on any violation or an empty trace).")
+    Term.(const run $ file_arg $ top_arg)
+
+(* ------------------------------------------------------------------ *)
 (* table1 / table2 pointers                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -521,7 +669,7 @@ let () =
         (Cmd.group info
            [
              list_cmd; run_cmd; cuts_cmd; dot_cmd; rtl_cmd; lint_cmd;
-             faults_cmd; tables_cmd;
+             faults_cmd; trace_report_cmd; tables_cmd;
            ])
     with e ->
       Fmt.epr "pipesyn: internal error: %s@." (Printexc.to_string e);

@@ -86,6 +86,14 @@ let metrics_of setup method_ ~cuts_total ~gate_diags (qor : Sched.Qor.t)
       | Some s -> s.Lp.Milp.nodes
       | None -> 0);
     cuts_total;
+    first_incumbent_s =
+      (match solve.milp_stats with
+      | Some s -> s.Lp.Milp.first_incumbent_s
+      | None -> Float.nan);
+    final_gap =
+      (match solve.milp_stats with
+      | Some s -> s.Lp.Milp.gap
+      | None -> Float.nan);
     status =
       (match solve.milp_status with
       | Some s -> Fmt.str "%a" Lp.Milp.pp_status s
@@ -106,6 +114,8 @@ let error_metrics ?(diags = []) ~name method_ =
     solve_s = 0.0;
     bnb_nodes = 0;
     cuts_total = 0;
+    first_incumbent_s = Float.nan;
+    final_gap = Float.nan;
     status = "error";
     diagnostics = diags_json diags;
     degradation = [];
@@ -138,7 +148,10 @@ let finalize setup ctx g ~cuts_total cover sched solve method_ =
     Sched.Timing.recompute_starts ~device:setup.device ~delays:setup.delays g
       cover sched
   in
-  match Sched.Verify.check (verify_ctx setup) g cover sched with
+  match
+    Obs.Trace.span ~cat:"flow" "flow.verify" (fun () ->
+        Sched.Verify.check (verify_ctx setup) g cover sched)
+  with
   | Error errs ->
       let diags = Analyze.Cert.of_messages errs in
       Error
@@ -151,8 +164,9 @@ let finalize setup ctx g ~cuts_total cover sched solve method_ =
                   diags)) )
   | Ok () ->
       let qor =
-        Sched.Qor.evaluate ~device:setup.device ~delays:setup.delays g cover
-          sched
+        Obs.Trace.span ~cat:"flow" "flow.qor" (fun () ->
+            Sched.Qor.evaluate ~device:setup.device ~delays:setup.delays g
+              cover sched)
       in
       let metrics =
         metrics_of setup method_ ~cuts_total ~gate_diags:ctx.gate_diags qor
@@ -212,8 +226,9 @@ let map_global_with ~deadline setup ctx ~cuts g =
 
 let baseline setup g =
   match
-    Sched.Heuristic.schedule ~device:setup.device ~delays:setup.delays
-      ~resources:setup.resources ~ii:setup.ii g
+    Obs.Trace.span ~cat:"flow" "flow.baseline" (fun () ->
+        Sched.Heuristic.schedule ~device:setup.device ~delays:setup.delays
+          ~resources:setup.resources ~ii:setup.ii g)
   with
   | Error e ->
       Error
@@ -359,6 +374,7 @@ let run_milp ?(coarse = false) ?(budget_scale = 1.0) ~deadline ~as_ setup ctx
                 None)
       in
       let incumbent =
+        Obs.Trace.span ~cat:"flow" "flow.warm-start" @@ fun () ->
         match incumbent_sched with
         | None -> None
         | Some s ->
@@ -392,11 +408,12 @@ let run_milp ?(coarse = false) ?(budget_scale = 1.0) ~deadline ~as_ setup ctx
       in
       let t0 = Sys.time () in
       let r =
-        Lp.Milp.solve
-          ~time_limit:(setup.time_limit *. budget_scale)
-          ~deadline:(phase "solve") ?incumbent
-          ~branch_priority:(Formulation.branch_priorities f)
-          (Formulation.model f)
+        Obs.Trace.span ~cat:"flow" "flow.solve" (fun () ->
+            Lp.Milp.solve
+              ~time_limit:(setup.time_limit *. budget_scale)
+              ~deadline:(phase "solve") ?incumbent
+              ~branch_priority:(Formulation.branch_priorities f)
+              (Formulation.model f))
       in
       let runtime = Sys.time () -. t0 in
       let solve =
@@ -548,10 +565,13 @@ let run ?deadline setup method_ g =
         | Some b -> Resilience.Deadline.of_budget b
         | None -> Resilience.Deadline.none)
   in
+  Obs.Trace.span ~cat:"flow" "flow.run"
+    ~args:[ ("method", Obs.Json.String (method_name method_)) ]
+  @@ fun () ->
   (* Fail-fast gate: static CDFG lints and the pipelining pre-flight run
      before any cut enumeration or solver cost is paid. Warnings and infos
      are logged and recorded in the result's metrics; errors abort. *)
-  match lint setup g with
+  match Obs.Trace.span ~cat:"flow" "flow.lint" (fun () -> lint setup g) with
   | Error diags ->
       Error
         (Fmt.str "lint gate failed (%s): %s"

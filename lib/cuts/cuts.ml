@@ -137,6 +137,7 @@ let merged_leaf_sets ~cap choices =
 
 let enumerate ?params ?(deadline = Resilience.Deadline.none) ?truncated ~k g =
   Obs.Timer.span t_enumerate @@ fun () ->
+  Obs.Trace.span ~cat:"cuts" "cuts.enumerate" @@ fun () ->
   if Resilience.Fault.fires "cuts.raise" then
     failwith "injected fault: cuts.raise";
   let forced_timeout = Resilience.Fault.fires "cuts.timeout" in
@@ -235,7 +236,13 @@ let enumerate ?params ?(deadline = Resilience.Deadline.none) ?truncated ~k g =
     let v = Queue.pop queue in
     queued.(v) <- false;
     Obs.Counter.incr c_merges;
-    let fresh = merge v in
+    let fresh =
+      if Obs.Trace.enabled () then
+        Obs.Trace.span ~cat:"cuts" "cuts.node"
+          ~args:[ ("node", Obs.Json.Int v) ]
+          (fun () -> merge v)
+      else merge v
+    in
     if not (same_cutset fresh result.(v)) then begin
       result.(v) <- fresh;
       (* Building blocks: the singleton {v} (v stays a boundary) plus every

@@ -9,6 +9,7 @@ type stats = {
   lp_limited : int;
   warm_hits : int;
   fixed_vars : int;
+  first_incumbent_s : float;
 }
 
 type result = {
@@ -32,7 +33,15 @@ let c_warm_hits = Obs.Counter.get "milp.warm_hits"
 let c_fixed_vars = Obs.Counter.get "milp.fixed_vars"
 let s_incumbents = Obs.Series.get "milp.incumbents"
 let s_gap = Obs.Series.get "milp.exit_gap"
+let s_conv = Obs.Series.get "milp.convergence"
 let t_solve = Obs.Timer.get "milp.solve"
+
+let status_label = function
+  | Simplex.Optimal -> "optimal"
+  | Simplex.Infeasible -> "infeasible"
+  | Simplex.Unbounded -> "unbounded"
+  | Simplex.Iteration_limit -> "iter_limit"
+  | Simplex.Time_limit -> "time_limit"
 
 (* PIPESYN_COLD_START (any non-empty value) forces the pre-warm-start
    behaviour — cold per-node LPs, most-fractional branching, no bound
@@ -242,6 +251,7 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
     ?(gap_tol = 1e-6) ?(int_tol = 1e-6)
     ?(deadline = Resilience.Deadline.none) ?incumbent ?branch_priority model =
   Obs.Timer.span t_solve @@ fun () ->
+  Obs.Trace.span ~cat:"milp" "milp.solve" @@ fun () ->
   Obs.Counter.incr c_solves;
   if Resilience.Fault.fires "milp.raise" then
     failwith "injected fault: milp.raise";
@@ -259,6 +269,24 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
   let elapsed () = Sys.time () -. t0 in
   let best_x = ref None in
   let best_obj = ref infinity in
+  let first_inc = ref Float.nan in
+  (* Convergence timeline: one point (and one trace instant) per
+     incumbent, carrying the relative incumbent/bound gap at that
+     moment. Observational only. *)
+  let note_incumbent ~obj ~gap ~node ~depth ~seeded =
+    if Float.is_nan !first_inc then first_inc := elapsed ();
+    Obs.Series.add s_conv ~x:(elapsed ()) ~y:gap;
+    if Obs.Trace.enabled () then
+      Obs.Trace.instant ~cat:"milp" "milp.incumbent"
+        ~args:
+          [
+            ("objective", Obs.Json.Float obj);
+            ("gap", Obs.Json.Float gap);
+            ("node", Obs.Json.Int node);
+            ("depth", Obs.Json.Int depth);
+            ("seeded", Obs.Json.Bool seeded);
+          ]
+  in
   (match incumbent with
   | _ when injected_timeout -> ()
   | None -> ()
@@ -271,7 +299,10 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
       best_x := Some (Array.copy x);
       best_obj := Array.fold_left ( +. ) 0.0 (Array.mapi (fun j v -> raw.obj.(j) *. v) x);
       Obs.Counter.incr c_incumbents;
-      Obs.Series.add s_incumbents ~x:(elapsed ()) ~y:!best_obj);
+      Obs.Series.add s_incumbents ~x:(elapsed ()) ~y:!best_obj;
+      (* No relaxation solved yet, so no dual bound: gap unknown. *)
+      note_incumbent ~obj:!best_obj ~gap:Float.nan ~node:0 ~depth:0
+        ~seeded:true);
   let nodes = ref 0 and lp_iters = ref 0 in
   let lp_limited = ref 0 in
   let warm_hits = ref 0 and fixed_vars = ref 0 in
@@ -316,7 +347,8 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
     | None -> ()
     | Some st ->
         let gap = Float.max 0.0 (!best_obj -. root_obj) in
-        if Float.is_finite gap then
+        if Float.is_finite gap then begin
+          let before = !fixed_vars in
           for j = 0 to raw.n - 1 do
             if raw.integer.(j) && wub.(j) -. wlb.(j) > 0.5 then
               match Simplex.basis_status st j with
@@ -327,7 +359,11 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
                   wlb.(j) <- wub.(j);
                   incr fixed_vars
               | _ -> ()
-          done
+          done;
+          if Obs.Trace.enabled () && !fixed_vars > before then
+            Obs.Trace.instant ~cat:"milp" "milp.fixed_vars"
+              ~args:[ ("count", Obs.Json.Int (!fixed_vars - before)) ]
+        end
   in
   let stack = ref [] in
   let push n = stack := n :: !stack in
@@ -358,6 +394,25 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
           let depth = chain_depth node.bounds in
           let r = solve_node node in
           lp_iters := !lp_iters + r.Simplex.iterations;
+          if Obs.Trace.enabled () then begin
+            let warm =
+              (not cold_mode)
+              &&
+              match !sstate with
+              | Some st -> Simplex.last_resolve_warm st
+              | None -> false
+            in
+            Obs.Trace.instant ~cat:"milp" "milp.node"
+              ~args:
+                [
+                  ("n", Obs.Json.Int !nodes);
+                  ("depth", Obs.Json.Int depth);
+                  ("bvar", Obs.Json.Int node.bvar);
+                  ("status", Obs.Json.String (status_label r.Simplex.status));
+                  ("warm", Obs.Json.Bool warm);
+                  ("bound", Obs.Json.Float r.Simplex.objective);
+                ]
+          end;
           if depth = 0 then begin
             root_bound := r.Simplex.objective;
             match r.Simplex.status with
@@ -416,6 +471,21 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
                     best_x := Some x;
                     Obs.Counter.incr c_incumbents;
                     Obs.Series.add s_incumbents ~x:(elapsed ()) ~y:obj;
+                    (* Dual bound over the remaining open nodes (this
+                       node itself is integral, so its own value also
+                       bounds the search). *)
+                    let gap_now =
+                      let lo =
+                        List.fold_left
+                          (fun acc (n : node) -> min acc n.bound)
+                          obj !stack
+                      in
+                      if Float.is_finite lo then
+                        Float.abs (obj -. lo) /. Float.max 1.0 (Float.abs obj)
+                      else Float.nan
+                    in
+                    note_incumbent ~obj ~gap:gap_now ~node:!nodes ~depth
+                      ~seeded:false;
                     Log.info (fun f ->
                         f "incumbent %.6g at node %d depth %d" obj !nodes
                           depth)
@@ -480,6 +550,7 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
       lp_limited = !lp_limited;
       warm_hits = !warm_hits;
       fixed_vars = !fixed_vars;
+      first_incumbent_s = !first_inc;
     }
   in
   Obs.Counter.incr ~by:stats.nodes c_nodes;

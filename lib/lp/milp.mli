@@ -28,6 +28,10 @@ type stats = {
   fixed_vars : int;
       (** integer variables fixed at the root by reduced-cost bound
           fixing *)
+  first_incumbent_s : float;
+      (** seconds into the solve when the first incumbent appeared —
+          including a caller-seeded warm-start incumbent (recorded at
+          ~0 s); [nan] if the solve ended with no incumbent *)
 }
 
 type result = {
@@ -77,7 +81,15 @@ val solve :
 
     Fault points ({!Resilience.Fault}): [milp.raise] raises [Failure] at
     entry; [milp.timeout] returns {!Unknown} immediately, modelling a
-    budget that expired before any incumbent existed. *)
+    budget that expired before any incumbent existed.
+
+    When {!Obs.Trace} is enabled the solve emits a ["milp.solve"] span,
+    one ["milp.node"] instant per node (depth, branch variable, LP
+    status, warm/cold resolve, dual bound), a ["milp.fixed_vars"]
+    instant when root fixing engages, and a ["milp.incumbent"] instant
+    per incumbent (objective + gap — the convergence timeline, also
+    recorded in the ["milp.convergence"] series). Tracing is purely
+    observational: it never changes branching, bounds or results. *)
 
 val value : result -> Model.var -> float
 val int_value : result -> Model.var -> int

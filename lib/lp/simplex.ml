@@ -555,7 +555,12 @@ let resolve ?(max_iters = 50_000) ?(deadline = Resilience.Deadline.none)
     infeasible_result raw.n
   end
   else begin
-    let cold () =
+    (* [reason] only feeds the trace: why this resolve fell back to a
+       full refactorization instead of the warm dual-repair path. *)
+    let cold ~reason () =
+      if Obs.Trace.enabled () then
+        Obs.Trace.instant ~cat:"simplex" "simplex.refactor"
+          ~args:[ ("reason", Obs.Json.String reason) ];
       st.last_warm <- false;
       Obs.Counter.incr c_resolve_cold;
       let lbv = Array.copy lb and ubv = Array.copy ub in
@@ -593,14 +598,14 @@ let resolve ?(max_iters = 50_000) ?(deadline = Resilience.Deadline.none)
           | At_lower -> if t.z.(j) < -1e-6 then dual_ok := false
           | At_upper -> if t.z.(j) > 1e-6 then dual_ok := false
       done;
-      if not !dual_ok then cold ()
+      if not !dual_ok then cold ~reason:"dual_infeasible" ()
       else begin
         recompute_beta t;
         let repair, iters1 = dual_repair t ~max_iters ~iters_used:0 ~deadline in
         match repair with
         | Iteration_limit ->
             (* possible degenerate cycling in the repair: rebuild cold *)
-            cold ()
+            cold ~reason:"repair_limit" ()
         | Infeasible ->
             st.last_warm <- true;
             st.warm_ok <- true;
@@ -625,8 +630,9 @@ let resolve ?(max_iters = 50_000) ?(deadline = Resilience.Deadline.none)
       end
     in
     match st.t with
-    | None -> cold ()
-    | Some _ when not st.warm_ok -> cold ()
-    | Some _ when st.resolves mod refactor_every = 0 -> cold ()
+    | None -> cold ~reason:"no_state" ()
+    | Some _ when not st.warm_ok -> cold ~reason:"stale_basis" ()
+    | Some _ when st.resolves mod refactor_every = 0 ->
+        cold ~reason:"periodic" ()
     | Some t -> warm t
   end

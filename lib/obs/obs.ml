@@ -27,7 +27,13 @@ module Counter = struct
 end
 
 module Timer = struct
-  type t = { tname : string; mutable total : float; mutable spans : int }
+  type t = {
+    tname : string;
+    mutable total : float;
+    mutable spans : int;
+    mutable depth : int;  (** open {!span}s of this timer on the stack *)
+    mutable t0 : float;  (** entry time of the outermost open span *)
+  }
 
   let registry : (string, t) Hashtbl.t = Hashtbl.create 16
 
@@ -35,14 +41,19 @@ module Timer = struct
     match Hashtbl.find_opt registry name with
     | Some t -> t
     | None ->
-        let t = { tname = name; total = 0.0; spans = 0 } in
+        let t = { tname = name; total = 0.0; spans = 0; depth = 0; t0 = 0.0 } in
         Hashtbl.add registry name t;
         t
 
+  (* Re-entrancy: a span entered while another span of the same timer is
+     open must not add its interval again — only the outermost exit
+     accumulates, so [total] stays wall-per-timer even under recursion. *)
   let span t f =
-    let t0 = Sys.time () in
+    if t.depth = 0 then t.t0 <- Sys.time ();
+    t.depth <- t.depth + 1;
     let record () =
-      t.total <- t.total +. (Sys.time () -. t0);
+      t.depth <- t.depth - 1;
+      if t.depth = 0 then t.total <- t.total +. (Sys.time () -. t.t0);
       t.spans <- t.spans + 1
     in
     match f () with
@@ -73,7 +84,32 @@ module Timer = struct
 end
 
 module Series = struct
-  type t = { sname : string; mutable pts : (float * float) list (* reversed *) }
+  (* Long MILP runs can add a point per B&B node; an unbounded list is a
+     slow leak. Each series is capped: once [cap] stored points are
+     reached, every other stored point is discarded (oldest-first
+     thinning) and the recording stride doubles, so the series keeps a
+     deterministic, uniformly-spaced subsample of the full stream.
+     Determinism matters for the instrumentation-neutrality invariant:
+     the same add-stream always yields the same stored points. *)
+
+  let default_cap = 4096
+
+  let cap_from_env () =
+    match Sys.getenv_opt "PIPESYN_SERIES_CAP" with
+    | None | Some "" -> default_cap
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some v when v >= 2 -> v
+        | _ -> default_cap)
+
+  type t = {
+    sname : string;
+    cap : int;
+    mutable pts : (float * float) list; (* reversed *)
+    mutable n : int;  (** stored points, [List.length pts] *)
+    mutable stride : int;  (** record every [stride]-th {!add} *)
+    mutable seen : int;  (** total {!add} calls since reset *)
+  }
 
   let registry : (string, t) Hashtbl.t = Hashtbl.create 8
 
@@ -81,14 +117,44 @@ module Series = struct
     match Hashtbl.find_opt registry name with
     | Some s -> s
     | None ->
-        let s = { sname = name; pts = [] } in
+        let s =
+          { sname = name; cap = cap_from_env (); pts = []; n = 0; stride = 1;
+            seen = 0 }
+        in
         Hashtbl.add registry name s;
         s
 
-  let add s ~x ~y = s.pts <- (x, y) :: s.pts
+  let add s ~x ~y =
+    let i = s.seen in
+    s.seen <- s.seen + 1;
+    if i mod s.stride = 0 then begin
+      s.pts <- (x, y) :: s.pts;
+      s.n <- s.n + 1;
+      if s.n >= s.cap then begin
+        (* Thin to every other stored point, keeping the oldest so the
+           series still starts at its first recorded sample. *)
+        let kept =
+          List.filteri (fun i _ -> i mod 2 = 0) (List.rev s.pts) |> List.rev
+        in
+        s.pts <- kept;
+        s.n <- List.length kept;
+        s.stride <- s.stride * 2
+      end
+    end
+
   let points s = List.rev s.pts
   let name s = s.sname
-  let reset_all () = Hashtbl.iter (fun _ s -> s.pts <- []) registry
+  let seen s = s.seen
+  let capacity s = s.cap
+
+  let reset_all () =
+    Hashtbl.iter
+      (fun _ s ->
+        s.pts <- [];
+        s.n <- 0;
+        s.stride <- 1;
+        s.seen <- 0)
+      registry
 
   let snapshot () =
     Hashtbl.fold
@@ -351,6 +417,478 @@ module Json = struct
     | _ -> None
 end
 
+module Trace = struct
+  (* Structured tracing: hierarchical spans (B/E pairs) and instant
+     events over one process-wide buffer. Disabled by default — every
+     entry point checks one bool, so instrumented code pays a branch and
+     nothing else. Timestamps are CPU seconds ([Sys.time]) relative to
+     the [enable] call, matching the clock used everywhere else in the
+     repo.
+
+     The buffer is bounded (default {!default_cap} events, env
+     [PIPESYN_TRACE_CAP]). On overflow new begins/instants are dropped
+     deterministically and counted in {!dropped}; an [end_span] whose
+     begin was recorded is always written (the buffer may exceed the cap
+     by at most the open-span depth), so exported traces stay
+     well-formed: every recorded B has a matching E. *)
+
+  type event =
+    | Begin of {
+        name : string;
+        cat : string;
+        ts : float;
+        args : (string * Json.t) list;
+      }
+    | End of { name : string; cat : string; ts : float }
+    | Instant of {
+        name : string;
+        cat : string;
+        ts : float;
+        args : (string * Json.t) list;
+      }
+
+  let default_cap = 1_000_000
+
+  let on = ref false
+  let epoch = ref 0.0
+  let cap = ref default_cap
+  let dropped_n = ref 0
+  let spans_n = ref 0
+  let instants_n = ref 0
+  let max_depth_seen = ref 0
+
+  (* Growable event buffer; grows geometrically, never shrinks until
+     [clear]. A list would invert order and cost a rev on export. *)
+  let buf : event array ref = ref [||]
+  let len = ref 0
+
+  (* Open spans, innermost first. [recorded] = false when the matching
+     Begin was dropped at the cap, so its End must be dropped too. *)
+  type open_span = { o_name : string; o_cat : string; recorded : bool }
+
+  let open_stack : open_span list ref = ref []
+
+  let push e =
+    if !len >= Array.length !buf then begin
+      let ncap = max 256 (2 * Array.length !buf) in
+      let a = Array.make ncap e in
+      Array.blit !buf 0 a 0 !len;
+      buf := a
+    end;
+    !buf.(!len) <- e;
+    incr len
+
+  let enabled () = !on
+  let now () = Sys.time () -. !epoch
+  let num_events () = !len
+  let dropped () = !dropped_n
+
+  let clear () =
+    buf := [||];
+    len := 0;
+    dropped_n := 0;
+    spans_n := 0;
+    instants_n := 0;
+    max_depth_seen := 0;
+    open_stack := []
+
+  let cap_from_env () =
+    match Sys.getenv_opt "PIPESYN_TRACE_CAP" with
+    | None | Some "" -> default_cap
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some v when v >= 16 -> v
+        | _ -> default_cap)
+
+  let enable ?cap:c () =
+    cap := (match c with Some v -> max 16 v | None -> cap_from_env ());
+    clear ();
+    epoch := Sys.time ();
+    on := true
+
+  let begin_span ?(cat = "app") ?(args = []) name =
+    if !on then begin
+      let depth = 1 + List.length !open_stack in
+      if depth > !max_depth_seen then max_depth_seen := depth;
+      let recorded = !len < !cap in
+      if recorded then begin
+        push (Begin { name; cat; ts = now (); args });
+        incr spans_n
+      end
+      else incr dropped_n;
+      open_stack := { o_name = name; o_cat = cat; recorded } :: !open_stack
+    end
+
+  let end_span () =
+    if !on then
+      match !open_stack with
+      | [] -> () (* enable () raced a begin; ignore the stray end *)
+      | o :: rest ->
+          open_stack := rest;
+          if o.recorded then
+            push (End { name = o.o_name; cat = o.o_cat; ts = now () })
+
+  let span ?cat ?args name f =
+    if not !on then f ()
+    else begin
+      begin_span ?cat ?args name;
+      match f () with
+      | v ->
+          end_span ();
+          v
+      | exception e ->
+          end_span ();
+          raise e
+    end
+
+  let instant ?(cat = "app") ?(args = []) name =
+    if !on then
+      if !len < !cap then begin
+        push (Instant { name; cat; ts = now (); args });
+        incr instants_n
+      end
+      else incr dropped_n
+
+  let disable () =
+    (* Close any still-open recorded spans so the buffer stays
+       well-formed even if tracing is switched off mid-flow. *)
+    let ts = now () in
+    List.iter
+      (fun o -> if o.recorded then push (End { name = o.o_name; cat = o.o_cat; ts }))
+      !open_stack;
+    open_stack := [];
+    on := false
+
+  (* ---- export ---------------------------------------------------------- *)
+
+  (* Events still open at export time get synthesized closing E events
+     (at the current timestamp) appended to the exported stream, without
+     mutating the live buffer. *)
+  let closing_ends () =
+    let ts = now () in
+    List.filter_map
+      (fun o ->
+        if o.recorded then Some (End { name = o.o_name; cat = o.o_cat; ts })
+        else None)
+      !open_stack
+
+  let all_events () =
+    List.init !len (fun i -> !buf.(i)) @ closing_ends ()
+
+  let us t = t *. 1e6
+
+  let chrome_of_event e =
+    let common name cat ph ts =
+      [
+        ("name", Json.String name);
+        ("cat", Json.String cat);
+        ("ph", Json.String ph);
+        ("ts", Json.Float (us ts));
+        ("pid", Json.Int 1);
+        ("tid", Json.Int 1);
+      ]
+    in
+    match e with
+    | Begin b ->
+        Json.Obj
+          (common b.name b.cat "B" b.ts
+          @ if b.args = [] then [] else [ ("args", Json.Obj b.args) ])
+    | End e -> Json.Obj (common e.name e.cat "E" e.ts)
+    | Instant i ->
+        Json.Obj
+          (common i.name i.cat "i" i.ts
+          @ [ ("s", Json.String "t") ]
+          @ if i.args = [] then [] else [ ("args", Json.Obj i.args) ])
+
+  let export_chrome () =
+    Json.Obj
+      [
+        ("traceEvents", Json.List (List.map chrome_of_event (all_events ())));
+        ("displayTimeUnit", Json.String "ms");
+      ]
+
+  let native_of_event e =
+    let common name cat ph ts =
+      [
+        ("ph", Json.String ph);
+        ("name", Json.String name);
+        ("cat", Json.String cat);
+        ("ts_s", Json.Float ts);
+      ]
+    in
+    match e with
+    | Begin b ->
+        Json.Obj
+          (common b.name b.cat "B" b.ts
+          @ if b.args = [] then [] else [ ("args", Json.Obj b.args) ])
+    | End e -> Json.Obj (common e.name e.cat "E" e.ts)
+    | Instant i ->
+        Json.Obj
+          (common i.name i.cat "i" i.ts
+          @ if i.args = [] then [] else [ ("args", Json.Obj i.args) ])
+
+  let export_native () =
+    Json.Obj
+      [
+        ("schema", Json.String "pipesyn-trace-v1");
+        ("clock", Json.String "cpu-s");
+        ("dropped", Json.Int !dropped_n);
+        ("events", Json.List (List.map native_of_event (all_events ())));
+      ]
+
+  let write_chrome ~path =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> Json.to_channel oc (export_chrome ()))
+
+  (* Summary folded into Metrics files (schema v4): cheap scan of the
+     buffer for the headline numbers plus the incumbent-gap trajectory
+     extracted from [milp.incumbent] instants. *)
+  let summary () =
+    let first_incumbent = ref Float.nan in
+    let gaps = ref [] in
+    for i = 0 to !len - 1 do
+      match !buf.(i) with
+      | Instant { name = "milp.incumbent"; ts; args; _ } ->
+          if Float.is_nan !first_incumbent then first_incumbent := ts;
+          let gap =
+            match List.assoc_opt "gap" args with
+            | Some (Json.Float g) -> g
+            | Some (Json.Int g) -> float_of_int g
+            | _ -> Float.nan
+          in
+          gaps := Json.List [ Json.Float ts; Json.Float gap ] :: !gaps
+      | _ -> ()
+    done;
+    Json.Obj
+      [
+        ("enabled", Json.Bool !on);
+        ("events", Json.Int !len);
+        ("spans", Json.Int !spans_n);
+        ("instants", Json.Int !instants_n);
+        ("max_depth", Json.Int !max_depth_seen);
+        ("dropped", Json.Int !dropped_n);
+        ("first_incumbent_s", Json.Float !first_incumbent);
+        ("gap_trajectory", Json.List (List.rev !gaps));
+      ]
+
+  (* ---- offline analysis ------------------------------------------------ *)
+
+  module Analysis = struct
+    (* Operates on a parsed Chrome trace_event document so the CLI
+       trace-report and the test suite share one checker: a stack
+       machine over the event stream validates well-formedness (every E
+       matches the innermost open B, timestamps are monotone, nothing
+       is left open) while aggregating per-span-name stats, the B&B
+       tree shape from [milp.node] instants, and the incumbent/gap
+       timeline from [milp.incumbent] instants. *)
+
+    type span_stat = {
+      sp_name : string;
+      sp_cat : string;
+      sp_count : int;
+      sp_total : float;  (** summed durations, seconds *)
+      sp_max : float;  (** longest single span, seconds *)
+    }
+
+    type slow_span = {
+      sl_name : string;
+      sl_cat : string;
+      sl_start : float;  (** seconds from trace start *)
+      sl_dur : float;  (** seconds *)
+    }
+
+    type tree_stats = {
+      tr_nodes : int;
+      tr_max_depth : int;
+      tr_warm : int;  (** nodes whose LP resolve reused the parent basis *)
+      tr_statuses : (string * int) list;  (** node LP status histogram *)
+    }
+
+    type gap_point = { gp_ts : float; gp_obj : float; gp_gap : float }
+
+    type report = {
+      r_events : int;
+      r_spans : int;
+      r_instants : int;
+      r_errors : string list;
+      r_phases : span_stat list;  (** sorted by total time, descending *)
+      r_slowest : slow_span list;  (** top slowest spans, descending *)
+      r_tree : tree_stats option;
+      r_timeline : gap_point list;
+    }
+
+    let max_errors = 50
+
+    let num = function
+      | Some (Json.Float f) -> f
+      | Some (Json.Int i) -> float_of_int i
+      | _ -> Float.nan
+
+    let inum default = function
+      | Some (Json.Int i) -> i
+      | Some (Json.Float f) -> int_of_float f
+      | _ -> default
+
+    let analyze ?(top = 10) j =
+      match Json.member "traceEvents" j with
+      | None -> Error "not a Chrome trace: no \"traceEvents\" key"
+      | Some (Json.List events) ->
+          let errors = ref [] in
+          let n_errors = ref 0 in
+          let error fmt =
+            Printf.ksprintf
+              (fun msg ->
+                incr n_errors;
+                if !n_errors <= max_errors then errors := msg :: !errors)
+              fmt
+          in
+          let stack = ref [] in
+          let last_ts = ref neg_infinity in
+          let n_spans = ref 0 in
+          let n_instants = ref 0 in
+          let stats : (string, span_stat) Hashtbl.t = Hashtbl.create 32 in
+          let slow = ref [] in
+          let tr_nodes = ref 0 in
+          let tr_max_depth = ref 0 in
+          let tr_warm = ref 0 in
+          let statuses : (string, int) Hashtbl.t = Hashtbl.create 8 in
+          let timeline = ref [] in
+          List.iteri
+            (fun i ev ->
+              let str k =
+                match Json.member k ev with
+                | Some (Json.String s) -> Some s
+                | _ -> None
+              in
+              let name = Option.value ~default:"?" (str "name") in
+              let cat = Option.value ~default:"?" (str "cat") in
+              let ts = num (Json.member "ts" ev) /. 1e6 in
+              if Float.is_nan ts then error "event %d (%s): missing ts" i name
+              else begin
+                if ts < !last_ts -. 1e-9 then
+                  error "event %d (%s): timestamp goes backwards (%.9f < %.9f)"
+                    i name ts !last_ts;
+                last_ts := Float.max !last_ts ts
+              end;
+              match str "ph" with
+              | Some "B" ->
+                  incr n_spans;
+                  stack := (name, cat, ts) :: !stack
+              | Some "E" -> (
+                  match !stack with
+                  | [] -> error "event %d: E (%s) with no open span" i name
+                  | (bname, bcat, bts) :: rest ->
+                      stack := rest;
+                      if str "name" <> None && name <> bname then
+                        error
+                          "event %d: E for %S closes open span %S \
+                           (parents must close after children)"
+                          i name bname;
+                      let dur = ts -. bts in
+                      let cur =
+                        match Hashtbl.find_opt stats bname with
+                        | Some s -> s
+                        | None ->
+                            {
+                              sp_name = bname;
+                              sp_cat = bcat;
+                              sp_count = 0;
+                              sp_total = 0.0;
+                              sp_max = 0.0;
+                            }
+                      in
+                      Hashtbl.replace stats bname
+                        {
+                          cur with
+                          sp_count = cur.sp_count + 1;
+                          sp_total = cur.sp_total +. dur;
+                          sp_max = Float.max cur.sp_max dur;
+                        };
+                      slow :=
+                        {
+                          sl_name = bname;
+                          sl_cat = bcat;
+                          sl_start = bts;
+                          sl_dur = dur;
+                        }
+                        :: !slow)
+              | Some ("i" | "I") -> (
+                  incr n_instants;
+                  let args = Json.member "args" ev in
+                  let arg k = Option.bind args (Json.member k) in
+                  match name with
+                  | "milp.node" ->
+                      incr tr_nodes;
+                      let d = inum 0 (arg "depth") in
+                      if d > !tr_max_depth then tr_max_depth := d;
+                      (match arg "warm" with
+                      | Some (Json.Bool true) -> incr tr_warm
+                      | _ -> ());
+                      let st =
+                        match arg "status" with
+                        | Some (Json.String s) -> s
+                        | _ -> "?"
+                      in
+                      Hashtbl.replace statuses st
+                        (1 + Option.value ~default:0
+                               (Hashtbl.find_opt statuses st))
+                  | "milp.incumbent" ->
+                      timeline :=
+                        {
+                          gp_ts = ts;
+                          gp_obj = num (arg "objective");
+                          gp_gap = num (arg "gap");
+                        }
+                        :: !timeline
+                  | _ -> ())
+              | Some _ -> () (* M, X, … metadata: tolerated, uncounted *)
+              | None -> error "event %d (%s): missing ph" i name)
+            events;
+          List.iter
+            (fun (bname, _, _) -> error "span %S never closed" bname)
+            !stack;
+          if !n_errors > max_errors then
+            errors :=
+              Printf.sprintf "... and %d more errors" (!n_errors - max_errors)
+              :: !errors;
+          let phases =
+            Hashtbl.fold (fun _ s acc -> s :: acc) stats []
+            |> List.sort (fun a b -> compare b.sp_total a.sp_total)
+          in
+          let slowest =
+            List.sort (fun a b -> compare b.sl_dur a.sl_dur) !slow
+            |> List.filteri (fun i _ -> i < top)
+          in
+          let tree =
+            if !tr_nodes = 0 then None
+            else
+              Some
+                {
+                  tr_nodes = !tr_nodes;
+                  tr_max_depth = !tr_max_depth;
+                  tr_warm = !tr_warm;
+                  tr_statuses =
+                    Hashtbl.fold (fun k v acc -> (k, v) :: acc) statuses []
+                    |> List.sort compare;
+                }
+          in
+          Ok
+            {
+              r_events = List.length events;
+              r_spans = !n_spans;
+              r_instants = !n_instants;
+              r_errors = List.rev !errors;
+              r_phases = phases;
+              r_slowest = slowest;
+              r_tree = tree;
+              r_timeline = List.rev !timeline;
+            }
+      | Some _ -> Error "\"traceEvents\" is not a list"
+  end
+end
+
 module Metrics = struct
   type t = {
     name : string;
@@ -361,12 +899,18 @@ module Metrics = struct
     solve_s : float;
     bnb_nodes : int;
     cuts_total : int;
+    first_incumbent_s : float;
+        (** seconds into the MILP solve when the first incumbent
+            appeared; nan for heuristic flows or when none was found *)
+    final_gap : float;
+        (** relative incumbent/bound gap at solver exit; nan when not
+            applicable *)
     status : string;
     diagnostics : Json.t list;
     degradation : Json.t list;
   }
 
-  let schema_version = 3
+  let schema_version = 4
 
   let to_json m =
     Json.Obj
@@ -379,6 +923,8 @@ module Metrics = struct
         ("solve_s", Json.Float m.solve_s);
         ("bnb_nodes", Json.Int m.bnb_nodes);
         ("cuts_total", Json.Int m.cuts_total);
+        ("first_incumbent_s", Json.Float m.first_incumbent_s);
+        ("final_gap", Json.Float m.final_gap);
         ("status", Json.String m.status);
         ("diagnostics", Json.List m.diagnostics);
         ("degradation", Json.List m.degradation);
@@ -412,6 +958,15 @@ module Metrics = struct
     let* bnb_nodes = int "bnb_nodes" in
     let* cuts_total = int "cuts_total" in
     let* status = str "status" in
+    (* Absent in schema v1–v3 files; default to nan for compatibility. *)
+    let flt_opt k =
+      match Json.member k j with
+      | Some (Json.Float f) -> f
+      | Some (Json.Int i) -> float_of_int i
+      | _ -> Float.nan
+    in
+    let first_incumbent_s = flt_opt "first_incumbent_s" in
+    let final_gap = flt_opt "final_gap" in
     (* Absent in schema v1 files; default to empty for compatibility. *)
     let diagnostics =
       match Json.member "diagnostics" j with Some (Json.List l) -> l | _ -> []
@@ -430,6 +985,8 @@ module Metrics = struct
         solve_s;
         bnb_nodes;
         cuts_total;
+        first_incumbent_s;
+        final_gap;
         status;
         diagnostics;
         degradation;
@@ -441,6 +998,7 @@ module Metrics = struct
         ("schema_version", Json.Int schema_version);
         ( "obs",
           Json.Obj (List.map (fun (n, v) -> (n, Json.Float v)) (snapshot ())) );
+        ("trace", Trace.summary ());
         ("results", Json.List (List.map to_json results));
       ]
 

@@ -16,10 +16,11 @@
     uses — so no Unix dependency is introduced.
 
     {!Json} is a deliberately tiny hand-rolled JSON tree (emitter and a
-    minimal parser for round-trip checks); {!Metrics} is the stable
-    per-benchmark record serialized by [pipesyn --json] and the bench
-    harness's [BENCH_results.json]. The schema is documented in README.md
-    ("Observability"). *)
+    minimal parser for round-trip checks); {!Trace} adds hierarchical
+    spans and instant events with Chrome [trace_event] export (Perfetto);
+    {!Metrics} is the stable per-benchmark record serialized by
+    [pipesyn --json] and the bench harness's [BENCH_results.json]. The
+    schema is documented in README.md ("Observability"). *)
 
 (** {1 Counters} *)
 
@@ -61,7 +62,13 @@ module Timer : sig
 
   val span : t -> (unit -> 'a) -> 'a
   (** [span t f] runs [f ()], adds its CPU-time duration to [t], and
-      returns (or re-raises) [f]'s outcome. *)
+      returns (or re-raises) [f]'s outcome.
+
+      Nesting-safe: a span entered while another span of the {e same}
+      timer is open does not add its interval again — only the
+      outermost exit accumulates, so recursive or mutually-nested
+      instrumentation cannot double-count wall time. {!count} still
+      increments once per completed span. *)
 
   val elapsed : t -> float
   (** Accumulated seconds since the last {!reset}. *)
@@ -75,19 +82,39 @@ end
 (** {1 Timestamped series} *)
 
 (** Append-only [(timestamp, value)] series — e.g. the objective of every
-    incumbent the MILP finds, stamped with solver-relative seconds. *)
+    incumbent the MILP finds, stamped with solver-relative seconds.
+
+    Memory is bounded: each series stores at most [cap] points (default
+    {!Series.default_cap}, overridable via the [PIPESYN_SERIES_CAP]
+    environment variable, read when the series is created; values below
+    2 or unparsable fall back to the default). When the cap is reached
+    the stored points are thinned to every other one (keeping the
+    oldest) and the recording stride doubles, so a series of any length
+    degrades to a deterministic, uniformly-spaced subsample — the same
+    add-stream always yields the same stored points. *)
 module Series : sig
   type t
+
+  val default_cap : int
+  (** Stored-point cap when [PIPESYN_SERIES_CAP] is unset (4096). *)
 
   val get : string -> t
   (** [get name] returns the series registered under [name], creating it
       empty on first use. *)
 
   val add : t -> x:float -> y:float -> unit
-  (** Appends one [(x, y)] point. *)
+  (** Records one [(x, y)] point (subject to the stride: after the first
+      overflow only every 2nd call is stored, then every 4th, …). *)
 
   val points : t -> (float * float) list
-  (** Points in insertion order since the last {!reset}. *)
+  (** Stored points in insertion order since the last {!reset}. *)
+
+  val seen : t -> int
+  (** Total {!add} calls since the last {!reset}, including calls whose
+      point was not stored. *)
+
+  val capacity : t -> int
+  (** The cap this series was created with. *)
 
   val name : t -> string
 end
@@ -144,6 +171,152 @@ module Json : sig
   (** [member key (Obj _)] looks up [key]; [None] on other constructors. *)
 end
 
+(** {1 Structured tracing} *)
+
+(** Hierarchical spans and typed instant events over one process-global
+    bounded buffer, exported as Chrome [trace_event] JSON (loadable in
+    Perfetto / [chrome://tracing]) or a compact native form.
+
+    Tracing is {b off by default} and zero-cost when disabled: every
+    entry point checks a single flag and returns. Like the rest of the
+    registry it is {e additive} — recording events never influences a
+    schedule, cover or solver decision (pinned by [test/test_trace.ml],
+    which checks QoR is byte-identical with tracing on/off across the
+    fault-injection matrix). Timestamps are [Sys.time] CPU seconds
+    relative to the {!Trace.enable} call.
+
+    The buffer is bounded (default {!Trace.default_cap} events; env
+    [PIPESYN_TRACE_CAP], read at {!Trace.enable}). On overflow, new
+    begins and instants are dropped deterministically and counted in
+    {!Trace.dropped}; the end of a span whose begin {e was} recorded is
+    always written (the buffer may exceed the cap by at most the
+    open-span depth), so exported traces stay well-formed.
+
+    Lifecycle is independent of {!reset}: resetting counters between
+    benchmarks does not clear an in-flight trace. *)
+module Trace : sig
+  val default_cap : int
+  (** Event cap when [PIPESYN_TRACE_CAP] is unset (1_000_000). *)
+
+  val enabled : unit -> bool
+  (** Whether events are currently being recorded. Call sites use this
+      to skip building argument lists on the hot path. *)
+
+  val enable : ?cap:int -> unit -> unit
+  (** Clears the buffer, sets the timestamp epoch to now, and starts
+      recording. [cap] overrides the environment/default event cap
+      (clamped to at least 16). *)
+
+  val disable : unit -> unit
+  (** Stops recording. Recorded spans still open are closed at the
+      current timestamp so the buffer stays well-formed. The buffer is
+      kept for export. *)
+
+  val clear : unit -> unit
+  (** Drops all buffered events and open-span state (keeps the
+      enabled/disabled state). *)
+
+  val begin_span : ?cat:string -> ?args:(string * Json.t) list -> string -> unit
+  (** [begin_span ~cat ~args name] opens a span; its parent is the
+      innermost span still open (Chrome's B/E nesting). [cat] defaults
+      to ["app"]; categories in this repo are ["flow"], ["cascade"],
+      ["cuts"], ["milp"], ["simplex"], ["techmap"] (DESIGN.md maps them
+      to paper phases). No-op when disabled. *)
+
+  val end_span : unit -> unit
+  (** Closes the innermost open span. No-op when disabled or when no
+      span is open. *)
+
+  val span : ?cat:string -> ?args:(string * Json.t) list -> string ->
+    (unit -> 'a) -> 'a
+  (** [span name f] brackets [f ()] in {!begin_span}/{!end_span},
+      exception-safely; when disabled it is exactly [f ()]. *)
+
+  val instant : ?cat:string -> ?args:(string * Json.t) list -> string -> unit
+  (** Records a point event (Chrome phase ["i"], thread scope) — e.g.
+      one ["milp.node"] per B&B node, ["milp.incumbent"] on every
+      incumbent update, ["simplex.refactor"] on cold refactorizations. *)
+
+  val num_events : unit -> int
+  (** Events currently buffered. *)
+
+  val dropped : unit -> int
+  (** Events dropped at the cap since the last {!enable}/{!clear}. *)
+
+  val export_chrome : unit -> Json.t
+  (** The buffer as a Chrome [trace_event] document:
+      [{"traceEvents": [{name, cat, ph, ts, pid, tid, args?}, …],
+      "displayTimeUnit": "ms"}] with [ts] in microseconds. Spans still
+      open get synthesized closing events at the current timestamp
+      (without mutating the buffer). *)
+
+  val export_native : unit -> Json.t
+  (** Compact native form: [{"schema": "pipesyn-trace-v1", "clock":
+      "cpu-s", "dropped": n, "events": […]}] with [ts_s] in seconds. *)
+
+  val write_chrome : path:string -> unit
+  (** Writes {!export_chrome} to [path] (truncating) — the file behind
+      [pipesyn run --trace FILE]. *)
+
+  val summary : unit -> Json.t
+  (** Headline numbers folded into Metrics files (schema v4): span /
+      instant / drop counts, max nesting depth, first-incumbent time and
+      the incumbent-gap trajectory extracted from ["milp.incumbent"]
+      events. *)
+
+  (** Offline analysis of a parsed Chrome trace document — the engine
+      behind [pipesyn trace-report] and the well-formedness checks in
+      the test suite. *)
+  module Analysis : sig
+    type span_stat = {
+      sp_name : string;
+      sp_cat : string;
+      sp_count : int;
+      sp_total : float;  (** summed durations, seconds *)
+      sp_max : float;  (** longest single span, seconds *)
+    }
+
+    type slow_span = {
+      sl_name : string;
+      sl_cat : string;
+      sl_start : float;  (** seconds from trace start *)
+      sl_dur : float;  (** seconds *)
+    }
+
+    type tree_stats = {
+      tr_nodes : int;  (** B&B nodes (["milp.node"] instants) *)
+      tr_max_depth : int;
+      tr_warm : int;  (** nodes whose LP resolve reused the parent basis *)
+      tr_statuses : (string * int) list;  (** node LP status histogram *)
+    }
+
+    type gap_point = {
+      gp_ts : float;
+      gp_obj : float;
+      gp_gap : float;  (** relative incumbent/bound gap; nan if unknown *)
+    }
+
+    type report = {
+      r_events : int;
+      r_spans : int;
+      r_instants : int;
+      r_errors : string list;
+          (** well-formedness violations: an [E] with no open span or
+              closing the wrong span, timestamps going backwards, spans
+              never closed. Empty for every trace this repo emits. *)
+      r_phases : span_stat list;  (** sorted by total time, descending *)
+      r_slowest : slow_span list;  (** top-[top] spans by duration *)
+      r_tree : tree_stats option;  (** [None] if no ["milp.node"] events *)
+      r_timeline : gap_point list;  (** incumbent updates in trace order *)
+    }
+
+    val analyze : ?top:int -> Json.t -> (report, string) result
+    (** Validates and aggregates a Chrome trace document ([top], default
+        10, bounds [r_slowest]). [Error] only when the document is not a
+        trace at all; per-event violations land in [r_errors]. *)
+  end
+end
+
 (** {1 Structured metrics} *)
 
 (** The stable per-(benchmark, method) record behind [pipesyn --json] and
@@ -158,6 +331,14 @@ module Metrics : sig
     solve_s : float;  (** MILP seconds (0 for the heuristic flows) *)
     bnb_nodes : int;  (** branch-and-bound nodes explored (0 heuristic) *)
     cuts_total : int;  (** cuts enumerated for the run's cut sets *)
+    first_incumbent_s : float;
+        (** seconds into the MILP solve when the first incumbent
+            (including a seeded warm-start incumbent) appeared; nan for
+            heuristic flows or when the solver found none (schema v4;
+            absent fields read back as nan from older files) *)
+    final_gap : float;
+        (** relative incumbent/bound gap at solver exit ([Milp.stats.gap]);
+            nan for heuristic flows (schema v4) *)
     status : string;
         (** MILP exit status, ["heuristic"] for solver-free flows, or
             ["error"] for failed runs *)
@@ -177,20 +358,23 @@ module Metrics : sig
   (** Bumped whenever a field is added/renamed; emitted at the top level of
       every metrics file. Version history: 1 = the original flat record;
       2 = adds the [diagnostics] array; 3 = adds the [degradation]
-      array. *)
+      array; 4 = adds per-result [first_incumbent_s]/[final_gap] and the
+      file-level ["trace"] summary object. *)
 
   val to_json : t -> Json.t
   (** One flat object: [{"name": …, "method": …, "lut": …, "ff": …,
       "slack": …, "solve_s": …, "bnb_nodes": …, "cuts_total": …,
-      "status": …, "diagnostics": […], "degradation": […]}]. *)
+      "first_incumbent_s": …, "final_gap": …, "status": …,
+      "diagnostics": […], "degradation": […]}]. *)
 
   val of_json : Json.t -> (t, string) result
   (** Inverse of {!to_json} (round-trip checks). *)
 
   val file : results:t list -> Json.t
-  (** The emitted file shape:
-      [{"schema_version": …, "obs": {flat snapshot}, "results": […]}] —
-      [obs] carries the {!snapshot} at emission time. *)
+  (** The emitted file shape: [{"schema_version": …, "obs": {flat
+      snapshot}, "trace": {summary}, "results": […]}] — [obs] carries
+      the {!snapshot} and [trace] the {!Trace.summary} at emission
+      time. *)
 
   val write_file : path:string -> results:t list -> unit
   (** Writes {!file} to [path] (truncating). *)

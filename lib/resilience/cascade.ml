@@ -63,6 +63,15 @@ let run ~deadline steps =
           trail :=
             { label = s.slabel; reason; detail; elapsed = Sys.time () -. t0 }
             :: !trail;
+          (* Degradation transitions are trace instants so the cascade's
+             fall-through is visible on the timeline. *)
+          if Obs.Trace.enabled () then
+            Obs.Trace.instant ~cat:"cascade" "cascade.degraded"
+              ~args:
+                [
+                  ("attempt", Obs.Json.String s.slabel);
+                  ("reason", Obs.Json.String reason);
+                ];
           go rest
         in
         (* An expired cascade deadline skips intermediate attempts but
@@ -77,7 +86,14 @@ let run ~deadline steps =
             | None -> deadline
             | Some b -> Deadline.clip deadline ~budget:b
           in
-          match s.run sub with
+          let attempt () =
+            if Obs.Trace.enabled () then
+              Obs.Trace.span ~cat:"cascade" "cascade.attempt"
+                ~args:[ ("attempt", Obs.Json.String s.slabel) ]
+                (fun () -> s.run sub)
+            else s.run sub
+          in
+          match attempt () with
           | Ok value ->
               if !trail <> [] then Obs.Counter.incr c_degraded;
               Ok { value; trail = List.rev !trail }

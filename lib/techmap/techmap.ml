@@ -38,6 +38,7 @@ let stage_local (sched : Sched.Schedule.t) req (c : Cuts.cut) =
 let map_schedule ?(deadline = Resilience.Deadline.none) ?truncated ~device
     ~delays ~cuts g sched =
   Obs.Timer.span t_map @@ fun () ->
+  Obs.Trace.span ~cat:"techmap" "techmap.map" @@ fun () ->
   ignore device;
   ignore delays;
   let n = Ir.Cdfg.num_nodes g in
@@ -62,6 +63,7 @@ let map_schedule ?(deadline = Resilience.Deadline.none) ?truncated ~device
     if req.(u) || sched.Sched.Schedule.cycle.(u) <> cycle then 0.0
     else flow.(u) /. float_of_int (fanout g u)
   in
+  Obs.Trace.span ~cat:"techmap" "techmap.label" (fun () ->
   List.iter
     (fun v ->
       if (not !degraded) && Resilience.Deadline.expired deadline then
@@ -105,7 +107,7 @@ let map_schedule ?(deadline = Resilience.Deadline.none) ?truncated ~device
               best.(v) <- Some c;
               flow.(v) <- cc
           | None -> assert false))
-    (Ir.Cdfg.topo_order g);
+    (Ir.Cdfg.topo_order g));
   (* Extraction: cover required roots, then the leaves they expose. *)
   let chosen : Cuts.cut option array = Array.make n None in
   let stack = ref [] in
@@ -129,25 +131,49 @@ let map_schedule ?(deadline = Resilience.Deadline.none) ?truncated ~device
         end;
         drain ()
   in
-  drain ();
+  Obs.Trace.span ~cat:"techmap" "techmap.extract" drain;
   let selections =
     Array.to_list chosen
     |> List.mapi (fun v c -> (v, c))
     |> List.filter_map (fun (v, c) -> Option.map (fun c -> (v, c)) c)
   in
   Obs.Counter.incr c_covers;
+  (* Counter accounting is bucketed per pipeline stage so each stage's
+     covering work shows up as its own trace span; the counters are
+     sums, so the totals are identical to a flat pass. *)
+  let by_stage : (int, (int * Cuts.cut) list) Hashtbl.t = Hashtbl.create 8 in
   List.iter
-    (fun (v, (c : Cuts.cut)) ->
-      Obs.Counter.incr ~by:c.Cuts.area c_lut_area;
-      Obs.Counter.incr
-        ~by:(Bitdep.Int_set.cardinal c.Cuts.cone - 1)
-        c_absorbed;
-      if c.Cuts.area > 0 then
-        Obs.Counter.incr ~by:c.Cuts.area
-          (Obs.Counter.get
-             (Printf.sprintf "techmap.stage%d.luts"
-                sched.Sched.Schedule.cycle.(v))))
+    (fun (v, c) ->
+      let s = sched.Sched.Schedule.cycle.(v) in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_stage s) in
+      Hashtbl.replace by_stage s ((v, c) :: cur))
     selections;
+  let stages =
+    Hashtbl.fold (fun s _ acc -> s :: acc) by_stage [] |> List.sort compare
+  in
+  List.iter
+    (fun s ->
+      let sel = List.rev (Hashtbl.find by_stage s) in
+      let account () =
+        List.iter
+          (fun (_, (c : Cuts.cut)) ->
+            Obs.Counter.incr ~by:c.Cuts.area c_lut_area;
+            Obs.Counter.incr
+              ~by:(Bitdep.Int_set.cardinal c.Cuts.cone - 1)
+              c_absorbed;
+            if c.Cuts.area > 0 then
+              Obs.Counter.incr ~by:c.Cuts.area
+                (Obs.Counter.get (Printf.sprintf "techmap.stage%d.luts" s)))
+          sel
+      in
+      if Obs.Trace.enabled () then
+        Obs.Trace.span ~cat:"techmap" "techmap.stage"
+          ~args:
+            [ ("stage", Obs.Json.Int s);
+              ("cuts", Obs.Json.Int (List.length sel)) ]
+          account
+      else account ())
+    stages;
   Sched.Cover.make g selections
 
 type exact_reason = [ `Timeout | `Infeasible | `Unbounded ]

@@ -19,6 +19,39 @@ let test_counter_accumulate_reset () =
   Alcotest.(check bool) "zero counters dropped from snapshot" false
     (List.mem_assoc "test.counter" (Obs.counters ()))
 
+(* Busy-wait on CPU time — the clock Timer uses — so the regression
+   threshold below is not wall-clock flaky. *)
+let burn secs =
+  let t0 = Sys.time () in
+  while Sys.time () -. t0 < secs do
+    ignore (Sys.opaque_identity 1)
+  done
+
+(* Regression: a span entered while another span of the same timer is
+   open used to add the inner interval twice (outer span already covers
+   it). With 20ms outer + 20ms inner the buggy total is ~60ms, the
+   correct total ~40ms. *)
+let test_timer_nested_no_double_count () =
+  Obs.reset ();
+  let t = Obs.Timer.get "test.nested" in
+  Obs.Timer.span t (fun () ->
+      burn 0.02;
+      Obs.Timer.span t (fun () -> burn 0.02));
+  Alcotest.(check int) "both spans counted" 2 (Obs.Timer.count t);
+  let e = Obs.Timer.elapsed t in
+  Alcotest.(check bool)
+    (Printf.sprintf "outermost-exit accumulation only (%.4fs)" e)
+    true
+    (e >= 0.035 && e < 0.055);
+  (* exception in the inner span still unwinds the depth *)
+  (try
+     Obs.Timer.span t (fun () ->
+         Obs.Timer.span t (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  Obs.Timer.span t (fun () -> burn 0.01);
+  Alcotest.(check bool) "depth recovered after raise" true
+    (Obs.Timer.elapsed t < 0.08)
+
 let test_timer_spans () =
   Obs.reset ();
   let t = Obs.Timer.get "test.timer" in
@@ -43,6 +76,48 @@ let test_series () =
     (Obs.Series.points s);
   Obs.reset ();
   Alcotest.(check int) "reset clears" 0 (List.length (Obs.Series.points s))
+
+(* Satellite: Series memory is bounded. With PIPESYN_SERIES_CAP=8 a
+   100-point stream keeps at most 8 uniformly strided points, always
+   including the first, and the thinning is deterministic. *)
+let test_series_cap_downsampling () =
+  Obs.reset ();
+  Unix.putenv "PIPESYN_SERIES_CAP" "8";
+  let s = Obs.Series.get "test.capped" in
+  let s2 = Obs.Series.get "test.capped2" in
+  Unix.putenv "PIPESYN_SERIES_CAP" "";
+  for i = 0 to 99 do
+    Obs.Series.add s ~x:(float_of_int i) ~y:(float_of_int (2 * i));
+    Obs.Series.add s2 ~x:(float_of_int i) ~y:(float_of_int (2 * i))
+  done;
+  Alcotest.(check int) "capacity from env" 8 (Obs.Series.capacity s);
+  Alcotest.(check int) "all adds seen" 100 (Obs.Series.seen s);
+  let pts = Obs.Series.points s in
+  Alcotest.(check bool) "bounded by cap" true (List.length pts <= 8);
+  Alcotest.(check bool) "kept more than one point" true (List.length pts >= 2);
+  (match pts with
+  | (x0, y0) :: _ ->
+      Alcotest.(check (float 1e-9)) "first point kept" 0.0 x0;
+      Alcotest.(check (float 1e-9)) "y preserved" 0.0 y0
+  | [] -> Alcotest.fail "series empty");
+  (* stored points are uniformly strided *)
+  let xs = List.map fst pts in
+  let rec diffs = function
+    | a :: (b :: _ as r) -> (b -. a) :: diffs r
+    | _ -> []
+  in
+  (match diffs xs with
+  | [] -> Alcotest.fail "too few points for stride check"
+  | d :: ds ->
+      List.iter (fun d' -> Alcotest.(check (float 1e-9)) "uniform stride" d d') ds);
+  (* identical streams thin identically *)
+  Alcotest.(check bool) "deterministic thinning" true
+    (Obs.Series.points s = Obs.Series.points s2);
+  (* a fresh series with no override uses the default cap *)
+  let s3 = Obs.Series.get "test.default_cap" in
+  Alcotest.(check int) "default cap" Obs.Series.default_cap
+    (Obs.Series.capacity s3);
+  Obs.reset ()
 
 let test_json_roundtrip_values () =
   let j =
@@ -88,6 +163,8 @@ let sample_metrics =
     solve_s = 5.04;
     bnb_nodes = 55;
     cuts_total = 195;
+    first_incumbent_s = 0.8;
+    final_gap = 0.02;
     status = "feasible";
     diagnostics = [];
     degradation = [];
@@ -102,6 +179,24 @@ let test_metrics_roundtrip () =
       | Error e -> Alcotest.failf "of_json failed: %s" e
       | Ok m ->
           Alcotest.(check bool) "round-trips" true (m = sample_metrics))
+
+(* A v3-era record (no convergence fields) must still parse; the new
+   fields default to nan rather than failing the load. *)
+let test_metrics_v3_compat () =
+  let s =
+    {|{"name":"X","method":"HLS Tool","lut":1,"ff":2,"slack":0.5,
+       "solve_s":0.1,"bnb_nodes":0,"cuts_total":3,"status":"heuristic"}|}
+  in
+  match Obs.Json.of_string s with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok j -> (
+      match Obs.Metrics.of_json j with
+      | Error e -> Alcotest.failf "of_json failed: %s" e
+      | Ok m ->
+          Alcotest.(check bool) "first_incumbent_s defaults to nan" true
+            (Float.is_nan m.Obs.Metrics.first_incumbent_s);
+          Alcotest.(check bool) "final_gap defaults to nan" true
+            (Float.is_nan m.Obs.Metrics.final_gap))
 
 let test_metrics_file_shape () =
   Obs.reset ();
@@ -180,7 +275,11 @@ let () =
           Alcotest.test_case "counter accumulate/reset" `Quick
             test_counter_accumulate_reset;
           Alcotest.test_case "timer spans" `Quick test_timer_spans;
+          Alcotest.test_case "timer nested spans don't double-count" `Quick
+            test_timer_nested_no_double_count;
           Alcotest.test_case "series" `Quick test_series;
+          Alcotest.test_case "series cap + downsampling" `Quick
+            test_series_cap_downsampling;
         ] );
       ( "json",
         [
@@ -192,6 +291,7 @@ let () =
       ( "metrics",
         [
           Alcotest.test_case "record round-trip" `Quick test_metrics_roundtrip;
+          Alcotest.test_case "v3 record compat" `Quick test_metrics_v3_compat;
           Alcotest.test_case "file shape" `Quick test_metrics_file_shape;
           Alcotest.test_case "flow end-to-end" `Quick
             test_flow_metrics_end_to_end;
