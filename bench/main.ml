@@ -180,13 +180,14 @@ let print_table2 rows =
 (* ------------------------------------------------------------------ *)
 
 (* The per-result convergence columns land in BENCH_results.json via
-   Metrics (schema v4, first_incumbent_s / final_gap); this table makes
-   them visible in the text report too. *)
+   Metrics (schema v5, first_incumbent_s / final_gap / nodes_per_s);
+   this table makes them visible in the text report too. *)
 let print_convergence rows =
   section "Convergence: first incumbent and final gap (MILP flows)";
   Fmt.pr "first-inc = seconds into the solve when the first incumbent@.";
   Fmt.pr "appeared (0.00 = the warm-start seed was accepted); gap = the@.";
-  Fmt.pr "relative incumbent/bound gap at solver exit.@.@.";
+  Fmt.pr "relative incumbent/bound gap at solver exit; nodes/s = B&B@.";
+  Fmt.pr "node throughput (scales with --domains / PIPESYN_DOMAINS).@.@.";
   let columns =
     Report.
       [
@@ -195,6 +196,8 @@ let print_convergence rows =
         { title = "first-inc(s)"; align = Right };
         { title = "gap"; align = Right };
         { title = "nodes"; align = Right };
+        { title = "nodes/s"; align = Right };
+        { title = "dom"; align = Right };
         { title = "status"; align = Left };
       ]
   in
@@ -221,6 +224,9 @@ let print_convergence rows =
                      else Report.f2 m'.Obs.Metrics.first_incumbent_s);
                     fmt_gap m'.Obs.Metrics.final_gap;
                     string_of_int m'.Obs.Metrics.bnb_nodes;
+                    (if Float.is_nan m'.Obs.Metrics.nodes_per_s then "-"
+                     else Printf.sprintf "%.0f" m'.Obs.Metrics.nodes_per_s);
+                    string_of_int m'.Obs.Metrics.domains;
                     m'.Obs.Metrics.status;
                   ])
           results)
@@ -674,6 +680,27 @@ let micro_benchmarks () =
     end;
     (raw, (lb, dn_ub), (up_lb, ub), st)
   in
+  (* 1-vs-N-domain node throughput on the same GFMUL B&B tree: both
+     variants explore exactly [node_limit] nodes (budget-truncated), so
+     time/run is inversely proportional to nodes/s and the pair exposes
+     the work-stealing pool's speedup (or, on a single-core host, its
+     coordination overhead). *)
+  let gfmul_model =
+    let g = Benchmarks.Gfmul.build () in
+    let cuts = Cuts.enumerate ~k:4 g in
+    let cfg : Mams.Formulation.config =
+      {
+        device; delays; resources = Fpga.Resource.unlimited;
+        ii = 1; max_latency = 4; alpha = 0.5; beta = 0.5;
+        cut_delay = Mams.Formulation.mapped_delay ~device ~delays;
+      }
+    in
+    Mams.Formulation.model (Mams.Formulation.build cfg g cuts)
+  in
+  let bnb_gfmul domains () =
+    ignore
+      (Lp.Milp.solve ~time_limit:30.0 ~node_limit:32 ~domains gfmul_model)
+  in
   let flip_cold = ref false and flip_warm = ref false in
   let node_bounds flip =
     flip := not !flip;
@@ -716,6 +743,8 @@ let micro_benchmarks () =
           (Staged.stage (fun () ->
                let lb, ub = node_bounds flip_warm in
                ignore (Lp.Simplex.resolve ~lb ~ub node_state)));
+        Test.make ~name:"milp/bnb-gfmul-1-domain" (Staged.stage (bnb_gfmul 1));
+        Test.make ~name:"milp/bnb-gfmul-4-domains" (Staged.stage (bnb_gfmul 4));
         Test.make ~name:"fig1/milp-map-rs2"
           (Staged.stage (fun () ->
                let g = Benchmarks.Rs.kernel ~width:2 () in

@@ -72,6 +72,16 @@ let deadline_arg =
   in
   Arg.(value & opt (some float) None & info [ "deadline" ] ~doc ~docv:"SECS")
 
+let domains_arg =
+  let doc =
+    "Branch-and-bound worker domains for the MILP solves (an OCaml 5 \
+     work-stealing pool). Exhaustive solves return identical statuses \
+     and objectives for every value of $(docv) — see the README's \
+     determinism guarantee. Also read from $(b,PIPESYN_DOMAINS); \
+     default 1."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~doc ~docv:"N")
+
 (* Exit codes (README, "Exit codes"): 0 ok, 1 error findings / user error,
    2 degraded result, 3 internal error. *)
 let exit_error = 1
@@ -113,7 +123,7 @@ let entry_of name =
       exit exit_error
 
 let setup_of ?(k = 4) ?(ii = 1) ?(alpha = 0.5) ?(beta = 0.5) ?wall_budget
-    ~time_limit (e : Benchmarks.Registry.entry) =
+    ?domains ~time_limit (e : Benchmarks.Registry.entry) =
   let device = Fpga.Device.make ~k ~t_clk:e.t_clk () in
   {
     (Mams.Flow.default_setup ~device) with
@@ -123,6 +133,7 @@ let setup_of ?(k = 4) ?(ii = 1) ?(alpha = 0.5) ?(beta = 0.5) ?wall_budget
     alpha;
     beta;
     wall_budget;
+    domains;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -192,8 +203,13 @@ let run_cmd =
     Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
   in
   let run name method_ time_limit ii k alpha beta verbose optimize json trace
-      faults deadline =
+      faults deadline domains =
     setup_logs verbose;
+    (match domains with
+    | Some d when d < 1 ->
+        Fmt.epr "--domains: must be >= 1 (got %d)@." d;
+        exit exit_error
+    | _ -> ());
     Obs.reset ();
     if trace <> None then Obs.Trace.enable ();
     arm_faults faults;
@@ -220,7 +236,9 @@ let run_cmd =
         mii
       end
     in
-    let setup = setup_of ~k ~ii ~alpha ~beta ?wall_budget ~time_limit e in
+    let setup =
+      setup_of ~k ~ii ~alpha ~beta ?wall_budget ?domains ~time_limit e
+    in
     Fmt.pr "%s: %s@." e.name (Ir.Cdfg.stats g);
     let methods =
       match method_ with
@@ -276,7 +294,7 @@ let run_cmd =
     Term.(
       const run $ bench_arg $ method_arg $ time_limit_arg $ ii_arg $ k_arg
       $ alpha_arg $ beta_arg $ verbose_arg $ optimize_arg $ json_arg
-      $ trace_arg $ faults_arg $ deadline_arg)
+      $ trace_arg $ faults_arg $ deadline_arg $ domains_arg)
 
 (* ------------------------------------------------------------------ *)
 (* cuts                                                                *)
@@ -580,6 +598,19 @@ let trace_report_cmd =
             | Some t ->
                 Fmt.pr "B&B tree: %d nodes, max depth %d, %d warm / %d cold@."
                   t.tr_nodes t.tr_max_depth t.tr_warm (t.tr_nodes - t.tr_warm);
+                (match t.tr_domains with
+                | [] -> ()
+                | ds ->
+                    let total =
+                      max 1 (List.fold_left (fun a (_, n) -> a + n) 0 ds)
+                    in
+                    Fmt.pr "  per-domain utilization: %s@."
+                      (String.concat ", "
+                         (List.map
+                            (fun (d, n) ->
+                              Fmt.str "domain %d: %d nodes (%.0f%%)" d n
+                                (100.0 *. float_of_int n /. float_of_int total))
+                            ds)));
                 Fmt.pr "  node LP statuses: %s@.@."
                   (String.concat ", "
                      (List.map

@@ -10,6 +10,7 @@ type setup = {
   cut_params : Cuts.params option;
   time_limit : float;
   wall_budget : float option;
+  domains : int option;
 }
 
 let default_setup ~device =
@@ -23,12 +24,14 @@ let default_setup ~device =
     cut_params = None;
     time_limit = 60.0;
     wall_budget = None;
+    domains = None;
   }
 
 type solve_info = {
   runtime : float;
   milp_status : Lp.Milp.status option;
   milp_stats : Lp.Milp.stats option;
+  milp_objective : float option;
   model_size : string option;
 }
 
@@ -98,6 +101,16 @@ let metrics_of setup method_ ~cuts_total ~gate_diags (qor : Sched.Qor.t)
       (match solve.milp_status with
       | Some s -> Fmt.str "%a" Lp.Milp.pp_status s
       | None -> "heuristic");
+    objective = Option.value ~default:Float.nan solve.milp_objective;
+    domains =
+      (match solve.milp_stats with
+      | Some s -> s.Lp.Milp.domains
+      | None -> 1);
+    nodes_per_s =
+      (match solve.milp_stats with
+      | Some s when s.Lp.Milp.nodes > 0 && solve.runtime > 1e-9 ->
+          float_of_int s.Lp.Milp.nodes /. solve.runtime
+      | _ -> Float.nan);
     diagnostics = diags_json gate_diags;
     degradation = [];
   }
@@ -117,12 +130,15 @@ let error_metrics ?(diags = []) ~name method_ =
     first_incumbent_s = Float.nan;
     final_gap = Float.nan;
     status = "error";
+    objective = Float.nan;
+    domains = 1;
+    nodes_per_s = Float.nan;
     diagnostics = diags_json diags;
     degradation = [];
   }
 
 let heuristic_info = { runtime = 0.0; milp_status = None; milp_stats = None;
-                       model_size = None }
+                       milp_objective = None; model_size = None }
 
 let verify_ctx (s : setup) : Sched.Verify.context =
   let device = s.device and delays = s.delays and resources = s.resources in
@@ -413,7 +429,7 @@ let run_milp ?(coarse = false) ?(budget_scale = 1.0) ~deadline ~as_ setup ctx
               ~time_limit:(setup.time_limit *. budget_scale)
               ~deadline:(phase "solve") ?incumbent
               ~branch_priority:(Formulation.branch_priorities f)
-              (Formulation.model f))
+              ?domains:setup.domains (Formulation.model f))
       in
       let runtime = Sys.time () -. t0 in
       let solve =
@@ -421,6 +437,7 @@ let run_milp ?(coarse = false) ?(budget_scale = 1.0) ~deadline ~as_ setup ctx
           runtime;
           milp_status = Some r.Lp.Milp.status;
           milp_stats = Some r.Lp.Milp.stats;
+          milp_objective = Some r.Lp.Milp.objective;
           model_size = Some (Formulation.size f);
         }
       in

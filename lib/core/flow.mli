@@ -51,16 +51,24 @@ type setup = {
           enumeration, solve, mapping, verification); [None] = unlimited.
           Split across phases and threaded as a cooperative
           {!Resilience.Deadline} into every subsystem. *)
+  domains : int option;
+      (** B&B worker-domain count passed to {!Lp.Milp.solve} ([--domains]
+          on the CLI); [None] defers to the [PIPESYN_DOMAINS] environment
+          variable, else 1. *)
 }
 
 val default_setup : device:Fpga.Device.t -> setup
 (** [ii = 1], [alpha = beta = 0.5] (paper Sec. 4), default delays,
-    unlimited resources, 60 s MILP budget, no wall-clock budget. *)
+    unlimited resources, 60 s MILP budget, no wall-clock budget,
+    [domains = None]. *)
 
 type solve_info = {
   runtime : float;  (** seconds spent in the MILP (0 for the heuristic) *)
   milp_status : Lp.Milp.status option;
   milp_stats : Lp.Milp.stats option;
+  milp_objective : float option;
+      (** final MILP objective (constant included); [None] for
+          heuristic flows *)
   model_size : string option;
 }
 

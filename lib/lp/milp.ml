@@ -10,6 +10,7 @@ type stats = {
   warm_hits : int;
   fixed_vars : int;
   first_incumbent_s : float;
+  domains : int;
 }
 
 type result = {
@@ -247,11 +248,76 @@ let snap raw ~int_tol x =
       else v)
     x
 
+(* ------------------------------------------------------------------ *)
+(* Parallel exploration                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* PIPESYN_DOMAINS selects how many OCaml 5 domains explore the tree
+   (default 1 = the sequential engine). Read per solve, like
+   PIPESYN_COLD_START, so drivers and tests can toggle it. *)
+let domains_from_env () =
+  match Sys.getenv_opt "PIPESYN_DOMAINS" with
+  | None | Some "" -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d when d >= 1 -> min d 64
+      | _ -> 1)
+
+(* Deterministic incumbent tie-breaking: among solutions whose objectives
+   agree within the acceptance tolerance, the lexicographically smallest
+   solution vector wins. Unlike an exploration-order node id, this key
+   does not depend on which domain reached the solution first, so the
+   final incumbent is stable run-to-run and across domain counts. *)
+let lex_less a b =
+  let n = Array.length a in
+  let rec go i =
+    if i >= n then false
+    else if a.(i) < b.(i) -. 1e-9 then true
+    else if a.(i) > b.(i) +. 1e-9 then false
+    else go (i + 1)
+  in
+  go 0
+
+(* Per-worker exploration context: every domain owns its bound arrays,
+   its chain position, its Simplex warm-start state and its pseudocost
+   table, so node LPs never share mutable solver state across domains.
+   Chains are immutable and reference bound values relative to the
+   post-fixing root arrays (identical in every context), which is what
+   makes subtrees shippable between domains. *)
+type wctx = {
+  wid : int;  (** worker slot; 0 is the coordinator *)
+  wlb : float array;
+  wub : float array;
+  mutable wcur : chain;
+  mutable wstate : Simplex.state option;
+  wpc : pseudocost;
+  mutable w_iters : int;
+  mutable w_limited : int;
+  mutable w_warm : int;
+}
+
+(* What processing one node asks of the scheduler. Children come in dive
+   order: [near] (round-to-nearest) is explored next, [far] is the
+   publishable sibling. *)
+type outcome =
+  | Leaf
+  | Children of node * node  (** (near, far) *)
+  | Stop_budget
+  | Stop_unbounded
+
 let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
     ?(gap_tol = 1e-6) ?(int_tol = 1e-6)
-    ?(deadline = Resilience.Deadline.none) ?incumbent ?branch_priority model =
+    ?(deadline = Resilience.Deadline.none) ?incumbent ?branch_priority
+    ?domains model =
+  let domains =
+    match domains with
+    | Some d -> max 1 (min d 64)
+    | None -> domains_from_env ()
+  in
   Obs.Timer.span t_solve @@ fun () ->
-  Obs.Trace.span ~cat:"milp" "milp.solve" @@ fun () ->
+  Obs.Trace.span ~cat:"milp" "milp.solve"
+    ~args:[ ("domains", Obs.Json.Int domains) ]
+  @@ fun () ->
   Obs.Counter.incr c_solves;
   if Resilience.Fault.fires "milp.raise" then
     failwith "injected fault: milp.raise";
@@ -262,22 +328,31 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
   let cold_mode = cold_start_forced () in
   (* Deadline-aware budget: whichever of the caller's deadline and the
      local time budget is tighter governs both the node loop and — via
-     Simplex — every pivot inside a node. *)
+     Simplex — every pivot inside a node. Note the clock is [Sys.time]
+     (process CPU seconds), which accumulates across all running
+     domains. *)
   let dl = Resilience.Deadline.clip deadline ~budget:time_limit in
   let raw = Model.to_raw model in
   let t0 = Sys.time () in
   let elapsed () = Sys.time () -. t0 in
+  (* Shared incumbent: [best_obj] is the lock-free pruning bound (reads
+     may be stale by at most one improvement — only ever too weak, never
+     unsound); [inc_m] serializes updates so the accept decision and the
+     [best_x] write are one step. *)
+  let inc_m = Mutex.create () in
   let best_x = ref None in
-  let best_obj = ref infinity in
+  let best_obj = Atomic.make infinity in
+  let have_inc () = Float.is_finite (Atomic.get best_obj) in
   let first_inc = ref Float.nan in
+  let nodes = Atomic.make 0 in
   (* Convergence timeline: one point (and one trace instant) per
      incumbent, carrying the relative incumbent/bound gap at that
      moment. Observational only. *)
-  let note_incumbent ~obj ~gap ~node ~depth ~seeded =
+  let note_incumbent ?(tid = 1) ~obj ~gap ~node ~depth ~seeded () =
     if Float.is_nan !first_inc then first_inc := elapsed ();
     Obs.Series.add s_conv ~x:(elapsed ()) ~y:gap;
     if Obs.Trace.enabled () then
-      Obs.Trace.instant ~cat:"milp" "milp.incumbent"
+      Obs.Trace.instant ~cat:"milp" ~tid "milp.incumbent"
         ~args:
           [
             ("objective", Obs.Json.Float obj);
@@ -286,6 +361,40 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
             ("depth", Obs.Json.Int depth);
             ("seeded", Obs.Json.Bool seeded);
           ]
+  in
+  (* Deterministic incumbent acceptance (any domain): strictly better
+     objectives always replace; objectives tied within tolerance fall
+     back to the lexicographic solution-vector order, so the surviving
+     incumbent does not depend on which domain raced in first. *)
+  let try_improve ~wid ~node_id ~depth ~open_bound_now x obj =
+    Mutex.lock inc_m;
+    let cur = Atomic.get best_obj in
+    let accept =
+      obj < cur -. 1e-9
+      || obj <= cur +. 1e-9
+         &&
+         match !best_x with None -> true | Some bx -> lex_less x bx
+    in
+    if accept then begin
+      Atomic.set best_obj obj;
+      best_x := Some x;
+      Obs.Counter.incr c_incumbents;
+      Obs.Series.add s_incumbents ~x:(elapsed ()) ~y:obj;
+      (* Dual bound over the remaining open nodes (this node itself is
+         integral, so its own value also bounds the search). *)
+      let gap_now =
+        let lo = open_bound_now obj in
+        if Float.is_finite lo then
+          Float.abs (obj -. lo) /. Float.max 1.0 (Float.abs obj)
+        else Float.nan
+      in
+      note_incumbent ~tid:(wid + 1) ~obj ~gap:gap_now ~node:node_id ~depth
+        ~seeded:false ();
+      Log.info (fun f ->
+          f "incumbent %.6g at node %d depth %d (domain %d)" obj node_id
+            depth wid)
+    end;
+    Mutex.unlock inc_m
   in
   (match incumbent with
   | _ when injected_timeout -> ()
@@ -296,43 +405,51 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
       (match Model.check model ~values:(fun v -> x.(Model.var_index v)) () with
       | Error msg -> invalid_arg ("Milp.solve: infeasible incumbent: " ^ msg)
       | Ok () -> ());
+      let obj =
+        Array.fold_left ( +. ) 0.0
+          (Array.mapi (fun j v -> raw.obj.(j) *. v) x)
+      in
       best_x := Some (Array.copy x);
-      best_obj := Array.fold_left ( +. ) 0.0 (Array.mapi (fun j v -> raw.obj.(j) *. v) x);
+      Atomic.set best_obj obj;
       Obs.Counter.incr c_incumbents;
-      Obs.Series.add s_incumbents ~x:(elapsed ()) ~y:!best_obj;
+      Obs.Series.add s_incumbents ~x:(elapsed ()) ~y:obj;
       (* No relaxation solved yet, so no dual bound: gap unknown. *)
-      note_incumbent ~obj:!best_obj ~gap:Float.nan ~node:0 ~depth:0
-        ~seeded:true);
-  let nodes = ref 0 and lp_iters = ref 0 in
-  let lp_limited = ref 0 in
-  let warm_hits = ref 0 and fixed_vars = ref 0 in
+      note_incumbent ~obj ~gap:Float.nan ~node:0 ~depth:0 ~seeded:true ());
+  let fixed_vars = ref 0 in
   let root_bound = ref neg_infinity in
-  (* Working bound arrays: always hold the bounds of [!cur]; the one
-     Simplex state is threaded through every node via [Simplex.resolve]. *)
-  let wlb = Array.copy raw.lb and wub = Array.copy raw.ub in
-  let cur = ref Root in
-  let sstate = ref None in
-  let pc = pc_create raw.n in
-  let solve_node (node : node) =
-    goto ~lb:wlb ~ub:wub ~from_:!cur node.bounds;
-    cur := node.bounds;
+  let budget_hit = ref false in
+  let infeasible_root = ref false in
+  let unbounded_root = ref false in
+  let budget () =
+    injected_timeout
+    || Resilience.Deadline.expired dl
+    || Atomic.get nodes >= node_limit
+  in
+  let mk_wctx wid lb ub =
+    { wid; wlb = lb; wub = ub; wcur = Root; wstate = None;
+      wpc = pc_create raw.n; w_iters = 0; w_limited = 0; w_warm = 0 }
+  in
+  let solve_node (w : wctx) (node : node) =
+    goto ~lb:w.wlb ~ub:w.wub ~from_:w.wcur node.bounds;
+    w.wcur <- node.bounds;
     if cold_mode then
-      Simplex.solve ~max_iters:max_lp_iters ~deadline:dl ~lb:wlb ~ub:wub raw
+      Simplex.solve ~max_iters:max_lp_iters ~deadline:dl ~lb:w.wlb ~ub:w.wub
+        raw
     else
-      match !sstate with
+      match w.wstate with
       | None ->
           let r, st =
-            Simplex.solve_state ~max_iters:max_lp_iters ~deadline:dl ~lb:wlb
-              ~ub:wub raw
+            Simplex.solve_state ~max_iters:max_lp_iters ~deadline:dl
+              ~lb:w.wlb ~ub:w.wub raw
           in
-          sstate := Some st;
+          w.wstate <- Some st;
           r
       | Some st ->
           let r =
-            Simplex.resolve ~max_iters:max_lp_iters ~deadline:dl ~lb:wlb
-              ~ub:wub st
+            Simplex.resolve ~max_iters:max_lp_iters ~deadline:dl ~lb:w.wlb
+              ~ub:w.wub st
           in
-          if Simplex.last_resolve_warm st then incr warm_hits;
+          if Simplex.last_resolve_warm st then w.w_warm <- w.w_warm + 1;
           r
   in
   (* Reduced-cost bound fixing at the root: with an incumbent of value
@@ -341,22 +458,23 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
      reduced cost [|d_j|]; if [|d_j| > z* - z0] every such solution is
      strictly worse than the incumbent, so the variable can be fixed —
      shrinking the space the cut-selection binaries blow up. Must run
-     before the first branch (the chain invariant above). *)
-  let fix_by_reduced_cost root_obj =
-    match !sstate with
+     before the first branch (the chain invariant above), which also
+     means before worker contexts copy the root arrays. *)
+  let fix_by_reduced_cost (w : wctx) root_obj =
+    match w.wstate with
     | None -> ()
     | Some st ->
-        let gap = Float.max 0.0 (!best_obj -. root_obj) in
+        let gap = Float.max 0.0 (Atomic.get best_obj -. root_obj) in
         if Float.is_finite gap then begin
           let before = !fixed_vars in
           for j = 0 to raw.n - 1 do
-            if raw.integer.(j) && wub.(j) -. wlb.(j) > 0.5 then
+            if raw.integer.(j) && w.wub.(j) -. w.wlb.(j) > 0.5 then
               match Simplex.basis_status st j with
               | `At_lower when Simplex.reduced_cost st j > gap +. 1e-7 ->
-                  wub.(j) <- wlb.(j);
+                  w.wub.(j) <- w.wlb.(j);
                   incr fixed_vars
               | `At_upper when -.(Simplex.reduced_cost st j) > gap +. 1e-7 ->
-                  wlb.(j) <- wub.(j);
+                  w.wlb.(j) <- w.wub.(j);
                   incr fixed_vars
               | _ -> ()
           done;
@@ -365,192 +483,359 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
               ~args:[ ("count", Obs.Json.Int (!fixed_vars - before)) ]
         end
   in
-  let stack = ref [] in
-  let push n = stack := n :: !stack in
-  let budget_hit = ref false in
-  let infeasible_root = ref false in
-  let unbounded_root = ref false in
-  push { bounds = Root; bound = neg_infinity; bvar = -1; bfrac = 0.0;
-         dir_up = false };
-  let continue_ = ref true in
-  while !continue_ do
-    match !stack with
-    | [] -> continue_ := false
-    | node :: rest ->
-        stack := rest;
-        if
-          injected_timeout
-          || Resilience.Deadline.expired dl
-          || !nodes >= node_limit
-        then begin
-          budget_hit := true;
-          continue_ := false
-        end
-        else if node.bound >= !best_obj -. 1e-9 && !best_x <> None then
-          (* parent bound already dominated by the incumbent *)
-          ()
+  (* Solve one node on worker [w]. [open_bound_now] supplies the dual
+     bound over the currently open nodes for the incumbent gap note
+     (exact for the sequential engine, conservative for the parallel
+     one). *)
+  let process (w : wctx) ~open_bound_now (node : node) =
+    let node_id = 1 + Atomic.fetch_and_add nodes 1 in
+    let depth = chain_depth node.bounds in
+    let r = solve_node w node in
+    w.w_iters <- w.w_iters + r.Simplex.iterations;
+    if Obs.Trace.enabled () then begin
+      let warm =
+        (not cold_mode)
+        &&
+        match w.wstate with
+        | Some st -> Simplex.last_resolve_warm st
+        | None -> false
+      in
+      Obs.Trace.instant ~cat:"milp" ~tid:(w.wid + 1) "milp.node"
+        ~args:
+          [
+            ("n", Obs.Json.Int node_id);
+            ("depth", Obs.Json.Int depth);
+            ("bvar", Obs.Json.Int node.bvar);
+            ("status", Obs.Json.String (status_label r.Simplex.status));
+            ("warm", Obs.Json.Bool warm);
+            ("bound", Obs.Json.Float r.Simplex.objective);
+            ("domain", Obs.Json.Int w.wid);
+          ]
+    end;
+    if depth = 0 then begin
+      root_bound := r.Simplex.objective;
+      match r.Simplex.status with
+      | Simplex.Infeasible -> infeasible_root := true
+      | Simplex.Unbounded -> unbounded_root := true
+      | Simplex.Optimal | Simplex.Iteration_limit | Simplex.Time_limit -> ()
+    end;
+    match r.Simplex.status with
+    | Simplex.Infeasible -> Leaf
+    | Simplex.Unbounded ->
+        (* With integer bounds intact this means the MILP is unbounded
+           (or numerically hopeless); stop exploring. *)
+        Stop_unbounded
+    | Simplex.Time_limit ->
+        (* The deadline ran out mid-pivot: stop and report the best
+           incumbent, exactly like the between-node budget check. *)
+        Stop_budget
+    | Simplex.Iteration_limit ->
+        (* Pruning an unsolved subproblem is unsound for optimality
+           claims, so count it: any such node demotes Optimal to
+           Feasible below. *)
+        w.w_limited <- w.w_limited + 1;
+        Log.warn (fun f ->
+            f "LP iteration limit at node %d (depth %d); pruning" node_id
+              depth);
+        Leaf
+    | Simplex.Optimal ->
+        if node.bvar >= 0 then
+          pc_record w.wpc ~j:node.bvar ~dir_up:node.dir_up
+            ~unit:(if node.dir_up then 1.0 -. node.bfrac else node.bfrac)
+            ~degrade:(Float.max 0.0 (r.Simplex.objective -. node.bound));
+        if depth = 0 && (not cold_mode) && have_inc () then
+          fix_by_reduced_cost w r.Simplex.objective;
+        if r.Simplex.objective >= Atomic.get best_obj -. 1e-9 && have_inc ()
+        then Leaf
         else begin
-          incr nodes;
-          let depth = chain_depth node.bounds in
-          let r = solve_node node in
-          lp_iters := !lp_iters + r.Simplex.iterations;
-          if Obs.Trace.enabled () then begin
-            let warm =
-              (not cold_mode)
-              &&
-              match !sstate with
-              | Some st -> Simplex.last_resolve_warm st
-              | None -> false
+          let j =
+            if cold_mode then
+              most_fractional raw ~int_tol ?priority:branch_priority
+                r.Simplex.x
+            else
+              pseudocost_branch raw ~int_tol ?priority:branch_priority w.wpc
+                r.Simplex.x
+          in
+          if j < 0 then begin
+            (* integral: candidate incumbent *)
+            let x = snap raw ~int_tol r.Simplex.x in
+            let obj =
+              Array.fold_left ( +. ) 0.0
+                (Array.mapi (fun j v -> raw.obj.(j) *. v) x)
             in
-            Obs.Trace.instant ~cat:"milp" "milp.node"
-              ~args:
-                [
-                  ("n", Obs.Json.Int !nodes);
-                  ("depth", Obs.Json.Int depth);
-                  ("bvar", Obs.Json.Int node.bvar);
-                  ("status", Obs.Json.String (status_label r.Simplex.status));
-                  ("warm", Obs.Json.Bool warm);
-                  ("bound", Obs.Json.Float r.Simplex.objective);
-                ]
-          end;
-          if depth = 0 then begin
-            root_bound := r.Simplex.objective;
-            match r.Simplex.status with
-            | Simplex.Infeasible -> infeasible_root := true
-            | Simplex.Unbounded -> unbounded_root := true
-            | Simplex.Optimal | Simplex.Iteration_limit | Simplex.Time_limit
-              -> ()
-          end;
-          match r.Simplex.status with
-          | Simplex.Infeasible -> ()
-          | Simplex.Unbounded ->
-              (* With integer bounds intact this means the MILP is unbounded
-                 (or numerically hopeless); stop exploring. *)
-              continue_ := false
-          | Simplex.Time_limit ->
-              (* The deadline ran out mid-pivot: stop and report the best
-                 incumbent, exactly like the between-node budget check. *)
-              budget_hit := true;
-              continue_ := false
-          | Simplex.Iteration_limit ->
-              (* Pruning an unsolved subproblem is unsound for optimality
-                 claims, so count it: any such node demotes Optimal to
-                 Feasible below. *)
-              incr lp_limited;
-              Log.warn (fun f ->
-                  f "LP iteration limit at node %d (depth %d); pruning" !nodes
-                    depth)
-          | Simplex.Optimal ->
-              if node.bvar >= 0 then
-                pc_record pc ~j:node.bvar ~dir_up:node.dir_up
-                  ~unit:(if node.dir_up then 1.0 -. node.bfrac else node.bfrac)
-                  ~degrade:
-                    (Float.max 0.0 (r.Simplex.objective -. node.bound));
-              if depth = 0 && (not cold_mode) && !best_x <> None then
-                fix_by_reduced_cost r.Simplex.objective;
-              if r.Simplex.objective >= !best_obj -. 1e-9 && !best_x <> None
-              then ()
-              else begin
-                let j =
-                  if cold_mode then
-                    most_fractional raw ~int_tol ?priority:branch_priority
-                      r.Simplex.x
-                  else
-                    pseudocost_branch raw ~int_tol ?priority:branch_priority
-                      pc r.Simplex.x
-                in
-                if j < 0 then begin
-                  (* integral: new incumbent *)
-                  let x = snap raw ~int_tol r.Simplex.x in
-                  let obj =
-                    Array.fold_left ( +. ) 0.0
-                      (Array.mapi (fun j v -> raw.obj.(j) *. v) x)
-                  in
-                  if obj < !best_obj -. 1e-9 then begin
-                    best_obj := obj;
-                    best_x := Some x;
-                    Obs.Counter.incr c_incumbents;
-                    Obs.Series.add s_incumbents ~x:(elapsed ()) ~y:obj;
-                    (* Dual bound over the remaining open nodes (this
-                       node itself is integral, so its own value also
-                       bounds the search). *)
-                    let gap_now =
-                      let lo =
-                        List.fold_left
-                          (fun acc (n : node) -> min acc n.bound)
-                          obj !stack
-                      in
-                      if Float.is_finite lo then
-                        Float.abs (obj -. lo) /. Float.max 1.0 (Float.abs obj)
-                      else Float.nan
-                    in
-                    note_incumbent ~obj ~gap:gap_now ~node:!nodes ~depth
-                      ~seeded:false;
-                    Log.info (fun f ->
-                        f "incumbent %.6g at node %d depth %d" obj !nodes
-                          depth)
-                  end
-                end
-                else begin
-                  let v = r.Simplex.x.(j) in
-                  let fl = Float.of_int (int_of_float (floor v)) in
-                  (* wlb/wub currently hold this node's bounds, so [prev]
-                     reads the parent value the chain invariant needs. *)
-                  let down =
-                    { bounds =
-                        Tighten { j; side = Ub; v = fl; prev = wub.(j);
-                                  depth = depth + 1; parent = node.bounds };
-                      bound = r.Simplex.objective; bvar = j;
-                      bfrac = v -. fl; dir_up = false }
-                  and up =
-                    { bounds =
-                        Tighten { j; side = Lb; v = fl +. 1.0; prev = wlb.(j);
-                                  depth = depth + 1; parent = node.bounds };
-                      bound = r.Simplex.objective; bvar = j;
-                      bfrac = v -. fl; dir_up = true }
-                  in
-                  (* Dive toward the nearest integer first. *)
-                  if v -. fl <= 0.5 then begin
-                    push up;
-                    push down
-                  end
-                  else begin
-                    push down;
-                    push up
-                  end
-                end
-              end
+            try_improve ~wid:w.wid ~node_id ~depth ~open_bound_now x obj;
+            Leaf
+          end
+          else begin
+            let v = r.Simplex.x.(j) in
+            let fl = Float.of_int (int_of_float (floor v)) in
+            (* wlb/wub currently hold this node's bounds, so [prev]
+               reads the parent value the chain invariant needs. *)
+            let down =
+              { bounds =
+                  Tighten { j; side = Ub; v = fl; prev = w.wub.(j);
+                            depth = depth + 1; parent = node.bounds };
+                bound = r.Simplex.objective; bvar = j;
+                bfrac = v -. fl; dir_up = false }
+            and up =
+              { bounds =
+                  Tighten { j; side = Lb; v = fl +. 1.0; prev = w.wlb.(j);
+                            depth = depth + 1; parent = node.bounds };
+                bound = r.Simplex.objective; bvar = j;
+                bfrac = v -. fl; dir_up = true }
+            in
+            (* Dive toward the nearest integer first. *)
+            if v -. fl <= 0.5 then Children (down, up)
+            else Children (up, down)
+          end
         end
-  done;
-  let open_bound =
-    List.fold_left (fun acc (n : node) -> min acc n.bound) infinity !stack
   in
+  let dominated (node : node) =
+    let b = Atomic.get best_obj in
+    Float.is_finite b && node.bound >= b -. 1e-9
+  in
+  (* Minimum dual bound over nodes left open when exploration stops
+     early; infinity after an exhaustive run. *)
+  let open_bound_end = ref infinity in
+  (* -------------------- sequential engine (domains = 1) ------------- *)
+  let run_sequential w0 init =
+    let stack = ref init in
+    let open_bound_now obj =
+      List.fold_left (fun acc (n : node) -> min acc n.bound) obj !stack
+    in
+    let continue_ = ref true in
+    while !continue_ do
+      match !stack with
+      | [] -> continue_ := false
+      | node :: rest -> (
+          stack := rest;
+          if budget () then begin
+            budget_hit := true;
+            continue_ := false
+          end
+          else if dominated node then
+            (* parent bound already dominated by the incumbent *)
+            ()
+          else
+            match process w0 ~open_bound_now node with
+            | Leaf -> ()
+            | Stop_unbounded -> continue_ := false
+            | Stop_budget ->
+                budget_hit := true;
+                continue_ := false
+            | Children (near, far) -> stack := near :: far :: !stack)
+    done;
+    open_bound_end :=
+      List.fold_left (fun acc (n : node) -> min acc n.bound) infinity !stack
+  in
+  (* -------------------- parallel engine (domains > 1) ---------------- *)
+  (* Work distribution: each domain dives depth-first on a private stack;
+     after every branch it keeps the near child and publishes the far
+     child to a bounded shared deque (oldest entries are the shallowest,
+     i.e. largest, subtrees). Idle domains steal from the old end of the
+     deque; when the deque overflows its bound, siblings stay private.
+     Termination: [pending] counts pushed-but-unfinished nodes; the
+     decrement that reaches zero wakes every sleeper. *)
+  let run_parallel w0 (first_near : node) (first_far : node) =
+    let pool_m = Mutex.create () in
+    let pool_cv = Condition.create () in
+    let q = ref [ first_far ] in
+    let qlen = ref 1 in
+    let qcap = max 64 (8 * domains) in
+    let pending = Atomic.make 2 in
+    let stop : [ `Budget | `Unbounded | `Exn of exn ] option Atomic.t =
+      Atomic.make None
+    in
+    let leftover = ref infinity (* guarded by pool_m *) in
+    let request_stop r =
+      if Atomic.compare_and_set stop None (Some r) then begin
+        Mutex.lock pool_m;
+        Condition.broadcast pool_cv;
+        Mutex.unlock pool_m
+      end
+    in
+    (* Steal the oldest (shallowest) published node. Called under
+       [pool_m]; O(qcap) worst case, and qcap is small. *)
+    let steal () =
+      match !q with
+      | [] -> None
+      | l ->
+          let rec split_last acc = function
+            | [ x ] -> (acc, x)
+            | x :: tl -> split_last (x :: acc) tl
+            | [] -> assert false
+          in
+          let rev_rest, last = split_last [] l in
+          q := List.rev rev_rest;
+          decr qlen;
+          Some last
+    in
+    let finish_node () =
+      if Atomic.fetch_and_add pending (-1) = 1 then begin
+        Mutex.lock pool_m;
+        Condition.broadcast pool_cv;
+        Mutex.unlock pool_m
+      end
+    in
+    let worker (w : wctx) =
+      let local = ref (if w.wid = 0 then [ first_near ] else []) in
+      let take () =
+        match !local with
+        | n :: rest when Atomic.get stop = None ->
+            local := rest;
+            Some n
+        | _ ->
+            if Atomic.get stop <> None then None
+            else begin
+              Mutex.lock pool_m;
+              let rec wait_loop () =
+                if Atomic.get stop <> None then None
+                else
+                  match steal () with
+                  | Some _ as n -> n
+                  | None ->
+                      if Atomic.get pending = 0 then None
+                      else begin
+                        Condition.wait pool_cv pool_m;
+                        wait_loop ()
+                      end
+              in
+              let r = wait_loop () in
+              Mutex.unlock pool_m;
+              r
+            end
+      in
+      (* Conservative open bound for incumbent notes: the root
+         relaxation (folding every private stack would need a second
+         lock hierarchy for a purely observational number). *)
+      let open_bound_now obj = Float.min obj !root_bound in
+      let rec loop () =
+        match take () with
+        | None -> ()
+        | Some node ->
+            (if budget () then begin
+               (* keep the in-hand node's bound for the exit gap *)
+               local := node :: !local;
+               request_stop `Budget
+             end
+             else if dominated node then finish_node ()
+             else
+               match process w ~open_bound_now node with
+               | Leaf -> finish_node ()
+               | Stop_unbounded ->
+                   request_stop `Unbounded;
+                   finish_node ()
+               | Stop_budget ->
+                   request_stop `Budget;
+                   finish_node ()
+               | Children (near, far) ->
+                   (* count the children before retiring the parent so
+                      [pending] can never dip to 0 with work in flight *)
+                   ignore (Atomic.fetch_and_add pending 2);
+                   Mutex.lock pool_m;
+                   let published = !qlen < qcap in
+                   if published then begin
+                     q := far :: !q;
+                     incr qlen;
+                     Condition.signal pool_cv
+                   end;
+                   Mutex.unlock pool_m;
+                   local :=
+                     (if published then [ near ] else [ near; far ])
+                     @ !local;
+                   finish_node ());
+            loop ()
+      in
+      (try loop ()
+       with e -> request_stop (`Exn e));
+      (* Fold whatever this domain still holds into the exit bound. *)
+      Mutex.lock pool_m;
+      List.iter
+        (fun (n : node) -> leftover := Float.min !leftover n.bound)
+        !local;
+      Mutex.unlock pool_m
+    in
+    let wctxs =
+      Array.init domains (fun i ->
+          if i = 0 then w0
+          else mk_wctx i (Array.copy w0.wlb) (Array.copy w0.wub))
+    in
+    let spawned =
+      Array.init (domains - 1) (fun i ->
+          Domain.spawn (fun () -> worker wctxs.(i + 1)))
+    in
+    worker w0;
+    Array.iter Domain.join spawned;
+    (match Atomic.get stop with
+    | Some (`Exn e) -> raise e
+    | Some `Budget -> budget_hit := true
+    | Some `Unbounded | None -> ());
+    (* Merge per-domain counters into the coordinator's context so the
+       stats assembly below has one source. *)
+    Array.iter
+      (fun (w : wctx) ->
+        if w != w0 then begin
+          w0.w_iters <- w0.w_iters + w.w_iters;
+          w0.w_limited <- w0.w_limited + w.w_limited;
+          w0.w_warm <- w0.w_warm + w.w_warm
+        end)
+      wctxs;
+    open_bound_end :=
+      List.fold_left
+        (fun acc (n : node) -> Float.min acc n.bound)
+        !leftover !q;
+    (* [Stop_unbounded] left subtrees unexplored even though no budget
+       was hit; a finite leftover bound keeps [proved] false below. *)
+    if Atomic.get stop = Some `Unbounded && !open_bound_end = infinity then
+      open_bound_end := !root_bound
+  in
+  (* Root: always processed by the coordinator alone, so reduced-cost
+     fixing mutates the root arrays before any worker copies them. *)
+  let w0 = mk_wctx 0 (Array.copy raw.lb) (Array.copy raw.ub) in
+  let root =
+    { bounds = Root; bound = neg_infinity; bvar = -1; bfrac = 0.0;
+      dir_up = false }
+  in
+  if budget () then budget_hit := true
+  else begin
+    let root_open_bound obj = obj in
+    match process w0 ~open_bound_now:root_open_bound root with
+    | Leaf -> ()
+    | Stop_unbounded -> ()
+    | Stop_budget -> budget_hit := true
+    | Children (near, far) ->
+        if domains = 1 then run_sequential w0 [ near; far ]
+        else run_parallel w0 near far
+  end;
+  let open_bound = !open_bound_end in
   (* A node LP that hit its iteration cap was pruned unsolved, so neither
-     "stack empty" nor a closed gap proves optimality. *)
-  let clean = !lp_limited = 0 in
-  let proved = (not !budget_hit) && !stack = [] && clean in
+     "all nodes closed" nor a closed gap proves optimality. *)
+  let clean = w0.w_limited = 0 in
+  let proved = (not !budget_hit) && open_bound = infinity && clean in
   let constant = Model.objective_constant model in
+  let best = Atomic.get best_obj in
   let gap =
     match !best_x with
     | None -> infinity
     | Some _ ->
         if proved then 0.0
         else
-          let lo = min open_bound !best_obj in
+          let lo = min open_bound best in
           let lo = if Float.is_finite lo then lo else !root_bound in
-          Float.abs (!best_obj -. lo) /. Float.max 1.0 (Float.abs !best_obj)
+          Float.abs (best -. lo) /. Float.max 1.0 (Float.abs best)
   in
   let stats =
     {
-      nodes = !nodes;
-      lp_iterations = !lp_iters;
+      nodes = Atomic.get nodes;
+      lp_iterations = w0.w_iters;
       elapsed = elapsed ();
       root_bound = !root_bound +. constant;
       gap;
-      lp_limited = !lp_limited;
-      warm_hits = !warm_hits;
+      lp_limited = w0.w_limited;
+      warm_hits = w0.w_warm;
       fixed_vars = !fixed_vars;
       first_incumbent_s = !first_inc;
+      domains;
     }
   in
   Obs.Counter.incr ~by:stats.nodes c_nodes;
@@ -563,7 +848,7 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
       let status =
         if proved || (clean && gap <= gap_tol) then Optimal else Feasible
       in
-      { status; x; objective = !best_obj +. constant; stats }
+      { status; x; objective = best +. constant; stats }
   | None ->
       let status =
         if !unbounded_root then Unbounded
@@ -586,6 +871,7 @@ let pp_status ppf = function
 let pp_stats ppf s =
   Fmt.pf ppf "%d nodes, %d pivots, %.2fs, gap %.2g%%" s.nodes s.lp_iterations
     s.elapsed (100.0 *. s.gap);
+  if s.domains > 1 then Fmt.pf ppf ", %d domains" s.domains;
   if s.warm_hits > 0 then Fmt.pf ppf ", %d warm" s.warm_hits;
   if s.fixed_vars > 0 then Fmt.pf ppf ", %d fixed" s.fixed_vars;
   if s.lp_limited > 0 then

@@ -3,7 +3,18 @@
     Depth-first diving (round-to-nearest child explored first) with
     best-bound pruning, optional warm-start incumbents, and a wall-clock
     budget after which the best feasible solution found is returned — the
-    same protocol the paper used with CPLEX's 60-minute cap (Sec. 4.3). *)
+    same protocol the paper used with CPLEX's 60-minute cap (Sec. 4.3).
+
+    The tree can be explored by one domain (the default) or by a
+    work-stealing pool of OCaml 5 domains ([domains] argument /
+    [PIPESYN_DOMAINS] environment variable). Each domain owns a private
+    {!Simplex.state}, bound arrays and pseudocost table; subtrees are
+    shipped between domains as immutable copy-on-branch bound chains.
+    The incumbent is shared, with deterministic tie-breaking (best
+    objective, then lexicographically smallest solution vector), so for
+    runs that terminate by exhausting the tree the status and objective
+    are independent of the domain count and of scheduling (see DESIGN.md
+    §3g for the argument and for the budget-truncated caveat). *)
 
 type status =
   | Optimal  (** proved optimal within tolerances *)
@@ -32,6 +43,8 @@ type stats = {
       (** seconds into the solve when the first incumbent appeared —
           including a caller-seeded warm-start incumbent (recorded at
           ~0 s); [nan] if the solve ended with no incumbent *)
+  domains : int;
+      (** domain count the tree was explored with (1 = sequential) *)
 }
 
 type result = {
@@ -50,6 +63,7 @@ val solve :
   ?deadline:Resilience.Deadline.t ->
   ?incumbent:float array ->
   ?branch_priority:int array ->
+  ?domains:int ->
   Model.t ->
   result
 (** Defaults: [time_limit = 60.] s, [node_limit = 200_000],
@@ -72,24 +86,45 @@ val solve :
     disables all of this — cold per-node solves and most-fractional
     branching — for A/B comparison.
 
+    [domains] (default: [PIPESYN_DOMAINS], else 1; clamped to
+    \[1, 64\]) selects how many OCaml 5 domains explore the tree. With
+    [domains = 1] the engine is the exact sequential loop of earlier
+    releases. With [domains > 1] the root is still solved (and
+    reduced-cost fixing applied) by the calling domain; the two root
+    children then seed a work-stealing pool in which each domain dives
+    depth-first on a private stack, publishing the sibling of every
+    branch to a bounded shared deque that idle domains steal the
+    shallowest entries from. Statuses and objectives of runs that
+    terminate by exhausting the tree are independent of [domains];
+    budget-truncated runs keep deterministic statuses but may return a
+    different (equally feasible) incumbent per domain count, because
+    the explored node set differs. Node/pivot statistics and trace
+    event order are scheduling-dependent under [domains > 1].
+
     The effective budget is the tighter of [time_limit] and [deadline]
     (default {!Resilience.Deadline.none}); it is threaded into every
     node's {!Simplex.solve}, where it is polled every 64 pivots — one
     pathological node LP can no longer overshoot the budget arbitrarily.
     On expiry the best incumbent is returned with {!Feasible}
-    ({!Unknown} if none was found).
+    ({!Unknown} if none was found). The clock is [Sys.time] — process
+    CPU seconds — which accumulates across running domains, so an
+    [N]-domain solve burns its budget up to [N]× faster than wall
+    clock; cancellation stays cooperative per-domain (every domain
+    polls the same deadline at node and pivot granularity).
 
     Fault points ({!Resilience.Fault}): [milp.raise] raises [Failure] at
     entry; [milp.timeout] returns {!Unknown} immediately, modelling a
     budget that expired before any incumbent existed.
 
-    When {!Obs.Trace} is enabled the solve emits a ["milp.solve"] span,
-    one ["milp.node"] instant per node (depth, branch variable, LP
-    status, warm/cold resolve, dual bound), a ["milp.fixed_vars"]
-    instant when root fixing engages, and a ["milp.incumbent"] instant
-    per incumbent (objective + gap — the convergence timeline, also
-    recorded in the ["milp.convergence"] series). Tracing is purely
-    observational: it never changes branching, bounds or results. *)
+    When {!Obs.Trace} is enabled the solve emits a ["milp.solve"] span
+    (tagged with the domain count), one ["milp.node"] instant per node
+    (depth, branch variable, LP status, warm/cold resolve, dual bound,
+    and the ["domain"] that processed it — also used as the event's
+    Perfetto lane), a ["milp.fixed_vars"] instant when root fixing
+    engages, and a ["milp.incumbent"] instant per incumbent (objective +
+    gap — the convergence timeline, also recorded in the
+    ["milp.convergence"] series). Tracing is purely observational: it
+    never changes branching, bounds or results. *)
 
 val value : result -> Model.var -> float
 val int_value : result -> Model.var -> int

@@ -2,26 +2,47 @@
    the library must be linkable from the innermost subsystems (lp, cuts)
    without dragging in fmt/logs, and the JSON emitter replaces yojson. *)
 
+(* Registries are process-global and may be touched from worker domains
+   (simplex counters, trace instants fire inside the parallel B&B pool),
+   so lookups and hot mutations go through a lock or an atomic. One lock
+   for all registries is fine: registration happens at module init and
+   the guarded paths are cold. *)
+let registry_mutex = Mutex.create ()
+
+let locked m f =
+  Mutex.lock m;
+  match f () with
+  | v ->
+      Mutex.unlock m;
+      v
+  | exception e ->
+      Mutex.unlock m;
+      raise e
+
 module Counter = struct
-  type t = { cname : string; mutable n : int }
+  type t = { cname : string; n : int Atomic.t }
 
   let registry : (string, t) Hashtbl.t = Hashtbl.create 32
 
   let get name =
-    match Hashtbl.find_opt registry name with
-    | Some c -> c
-    | None ->
-        let c = { cname = name; n = 0 } in
-        Hashtbl.add registry name c;
-        c
+    locked registry_mutex (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some c -> c
+        | None ->
+            let c = { cname = name; n = Atomic.make 0 } in
+            Hashtbl.add registry name c;
+            c)
 
-  let incr ?(by = 1) c = c.n <- c.n + by
-  let value c = c.n
+  let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c.n by)
+  let value c = Atomic.get c.n
   let name c = c.cname
-  let reset_all () = Hashtbl.iter (fun _ c -> c.n <- 0) registry
+  let reset_all () = Hashtbl.iter (fun _ c -> Atomic.set c.n 0) registry
 
   let snapshot () =
-    Hashtbl.fold (fun _ c acc -> if c.n <> 0 then (c.cname, c.n) :: acc else acc)
+    Hashtbl.fold
+      (fun _ c acc ->
+        let n = Atomic.get c.n in
+        if n <> 0 then (c.cname, n) :: acc else acc)
       registry []
     |> List.sort compare
 end
@@ -38,12 +59,15 @@ module Timer = struct
   let registry : (string, t) Hashtbl.t = Hashtbl.create 16
 
   let get name =
-    match Hashtbl.find_opt registry name with
-    | Some t -> t
-    | None ->
-        let t = { tname = name; total = 0.0; spans = 0; depth = 0; t0 = 0.0 } in
-        Hashtbl.add registry name t;
-        t
+    locked registry_mutex (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some t -> t
+        | None ->
+            let t =
+              { tname = name; total = 0.0; spans = 0; depth = 0; t0 = 0.0 }
+            in
+            Hashtbl.add registry name t;
+            t)
 
   (* Re-entrancy: a span entered while another span of the same timer is
      open must not add its interval again — only the outermost exit
@@ -114,17 +138,21 @@ module Series = struct
   let registry : (string, t) Hashtbl.t = Hashtbl.create 8
 
   let get name =
-    match Hashtbl.find_opt registry name with
-    | Some s -> s
-    | None ->
-        let s =
-          { sname = name; cap = cap_from_env (); pts = []; n = 0; stride = 1;
-            seen = 0 }
-        in
-        Hashtbl.add registry name s;
-        s
+    locked registry_mutex (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some s -> s
+        | None ->
+            let s =
+              { sname = name; cap = cap_from_env (); pts = []; n = 0;
+                stride = 1; seen = 0 }
+            in
+            Hashtbl.add registry name s;
+            s)
 
+  (* Incumbent/convergence points arrive from whichever domain found the
+     improvement, so the whole stride/thin update runs under the lock. *)
   let add s ~x ~y =
+    locked registry_mutex @@ fun () ->
     let i = s.seen in
     s.seen <- s.seen + 1;
     if i mod s.stride = 0 then begin
@@ -432,18 +460,24 @@ module Trace = struct
      by at most the open-span depth), so exported traces stay
      well-formed: every recorded B has a matching E. *)
 
+  (* [tid] is the Chrome/Perfetto thread lane. The coordinator records on
+     lane 1; B&B worker slot w (0-based, slot 0 = the coordinating
+     domain) records on lane w + 1, so per-domain utilization is visible
+     as separate rows. *)
   type event =
     | Begin of {
         name : string;
         cat : string;
         ts : float;
+        tid : int;
         args : (string * Json.t) list;
       }
-    | End of { name : string; cat : string; ts : float }
+    | End of { name : string; cat : string; ts : float; tid : int }
     | Instant of {
         name : string;
         cat : string;
         ts : float;
+        tid : int;
         args : (string * Json.t) list;
       }
 
@@ -467,6 +501,12 @@ module Trace = struct
   type open_span = { o_name : string; o_cat : string; recorded : bool }
 
   let open_stack : open_span list ref = ref []
+
+  (* Serializes buffer/counter mutation: worker domains emit instants
+     concurrently with coordinator spans. The span stack itself is
+     coordinator-only (workers never open spans), but every push must be
+     exclusive. *)
+  let trace_mutex = Mutex.create ()
 
   let push e =
     if !len >= Array.length !buf then begin
@@ -507,26 +547,27 @@ module Trace = struct
     on := true
 
   let begin_span ?(cat = "app") ?(args = []) name =
-    if !on then begin
+    if !on then
+      locked trace_mutex @@ fun () ->
       let depth = 1 + List.length !open_stack in
       if depth > !max_depth_seen then max_depth_seen := depth;
       let recorded = !len < !cap in
       if recorded then begin
-        push (Begin { name; cat; ts = now (); args });
+        push (Begin { name; cat; ts = now (); tid = 1; args });
         incr spans_n
       end
       else incr dropped_n;
       open_stack := { o_name = name; o_cat = cat; recorded } :: !open_stack
-    end
 
   let end_span () =
     if !on then
+      locked trace_mutex @@ fun () ->
       match !open_stack with
       | [] -> () (* enable () raced a begin; ignore the stray end *)
       | o :: rest ->
           open_stack := rest;
           if o.recorded then
-            push (End { name = o.o_name; cat = o.o_cat; ts = now () })
+            push (End { name = o.o_name; cat = o.o_cat; ts = now (); tid = 1 })
 
   let span ?cat ?args name f =
     if not !on then f ()
@@ -541,10 +582,11 @@ module Trace = struct
           raise e
     end
 
-  let instant ?(cat = "app") ?(args = []) name =
+  let instant ?(cat = "app") ?(tid = 1) ?(args = []) name =
     if !on then
+      locked trace_mutex @@ fun () ->
       if !len < !cap then begin
-        push (Instant { name; cat; ts = now (); args });
+        push (Instant { name; cat; ts = now (); tid; args });
         incr instants_n
       end
       else incr dropped_n
@@ -552,9 +594,12 @@ module Trace = struct
   let disable () =
     (* Close any still-open recorded spans so the buffer stays
        well-formed even if tracing is switched off mid-flow. *)
+    locked trace_mutex @@ fun () ->
     let ts = now () in
     List.iter
-      (fun o -> if o.recorded then push (End { name = o.o_name; cat = o.o_cat; ts }))
+      (fun o ->
+        if o.recorded then
+          push (End { name = o.o_name; cat = o.o_cat; ts; tid = 1 }))
       !open_stack;
     open_stack := [];
     on := false
@@ -568,7 +613,8 @@ module Trace = struct
     let ts = now () in
     List.filter_map
       (fun o ->
-        if o.recorded then Some (End { name = o.o_name; cat = o.o_cat; ts })
+        if o.recorded then
+          Some (End { name = o.o_name; cat = o.o_cat; ts; tid = 1 })
         else None)
       !open_stack
 
@@ -578,25 +624,25 @@ module Trace = struct
   let us t = t *. 1e6
 
   let chrome_of_event e =
-    let common name cat ph ts =
+    let common name cat ph ts tid =
       [
         ("name", Json.String name);
         ("cat", Json.String cat);
         ("ph", Json.String ph);
         ("ts", Json.Float (us ts));
         ("pid", Json.Int 1);
-        ("tid", Json.Int 1);
+        ("tid", Json.Int tid);
       ]
     in
     match e with
     | Begin b ->
         Json.Obj
-          (common b.name b.cat "B" b.ts
+          (common b.name b.cat "B" b.ts b.tid
           @ if b.args = [] then [] else [ ("args", Json.Obj b.args) ])
-    | End e -> Json.Obj (common e.name e.cat "E" e.ts)
+    | End e -> Json.Obj (common e.name e.cat "E" e.ts e.tid)
     | Instant i ->
         Json.Obj
-          (common i.name i.cat "i" i.ts
+          (common i.name i.cat "i" i.ts i.tid
           @ [ ("s", Json.String "t") ]
           @ if i.args = [] then [] else [ ("args", Json.Obj i.args) ])
 
@@ -608,23 +654,24 @@ module Trace = struct
       ]
 
   let native_of_event e =
-    let common name cat ph ts =
+    let common name cat ph ts tid =
       [
         ("ph", Json.String ph);
         ("name", Json.String name);
         ("cat", Json.String cat);
         ("ts_s", Json.Float ts);
+        ("tid", Json.Int tid);
       ]
     in
     match e with
     | Begin b ->
         Json.Obj
-          (common b.name b.cat "B" b.ts
+          (common b.name b.cat "B" b.ts b.tid
           @ if b.args = [] then [] else [ ("args", Json.Obj b.args) ])
-    | End e -> Json.Obj (common e.name e.cat "E" e.ts)
+    | End e -> Json.Obj (common e.name e.cat "E" e.ts e.tid)
     | Instant i ->
         Json.Obj
-          (common i.name i.cat "i" i.ts
+          (common i.name i.cat "i" i.ts i.tid
           @ if i.args = [] then [] else [ ("args", Json.Obj i.args) ])
 
   let export_native () =
@@ -704,6 +751,9 @@ module Trace = struct
       tr_max_depth : int;
       tr_warm : int;  (** nodes whose LP resolve reused the parent basis *)
       tr_statuses : (string * int) list;  (** node LP status histogram *)
+      tr_domains : (int * int) list;
+          (** nodes processed per domain id, sorted; [(0, n)] only for
+              single-domain traces (coordinator processes everything) *)
     }
 
     type gap_point = { gp_ts : float; gp_obj : float; gp_gap : float }
@@ -754,6 +804,7 @@ module Trace = struct
           let tr_max_depth = ref 0 in
           let tr_warm = ref 0 in
           let statuses : (string, int) Hashtbl.t = Hashtbl.create 8 in
+          let domains : (int, int) Hashtbl.t = Hashtbl.create 8 in
           let timeline = ref [] in
           List.iteri
             (fun i ev ->
@@ -833,7 +884,12 @@ module Trace = struct
                       in
                       Hashtbl.replace statuses st
                         (1 + Option.value ~default:0
-                               (Hashtbl.find_opt statuses st))
+                               (Hashtbl.find_opt statuses st));
+                      (* Absent in pre-parallel traces: count as domain 0. *)
+                      let dom = inum 0 (arg "domain") in
+                      Hashtbl.replace domains dom
+                        (1 + Option.value ~default:0
+                               (Hashtbl.find_opt domains dom))
                   | "milp.incumbent" ->
                       timeline :=
                         {
@@ -872,6 +928,9 @@ module Trace = struct
                   tr_statuses =
                     Hashtbl.fold (fun k v acc -> (k, v) :: acc) statuses []
                     |> List.sort compare;
+                  tr_domains =
+                    Hashtbl.fold (fun k v acc -> (k, v) :: acc) domains []
+                    |> List.sort compare;
                 }
           in
           Ok
@@ -906,11 +965,18 @@ module Metrics = struct
         (** relative incumbent/bound gap at solver exit; nan when not
             applicable *)
     status : string;
+    objective : float;
+        (** MILP objective of the reported solution; nan for heuristic
+            flows *)
+    domains : int;  (** B&B worker-domain count the solve ran with *)
+    nodes_per_s : float;
+        (** B&B node throughput, [bnb_nodes / solve_s]; nan when no
+            nodes were explored or the solve took no measurable time *)
     diagnostics : Json.t list;
     degradation : Json.t list;
   }
 
-  let schema_version = 4
+  let schema_version = 5
 
   let to_json m =
     Json.Obj
@@ -926,6 +992,9 @@ module Metrics = struct
         ("first_incumbent_s", Json.Float m.first_incumbent_s);
         ("final_gap", Json.Float m.final_gap);
         ("status", Json.String m.status);
+        ("objective", Json.Float m.objective);
+        ("domains", Json.Int m.domains);
+        ("nodes_per_s", Json.Float m.nodes_per_s);
         ("diagnostics", Json.List m.diagnostics);
         ("degradation", Json.List m.degradation);
       ]
@@ -967,6 +1036,12 @@ module Metrics = struct
     in
     let first_incumbent_s = flt_opt "first_incumbent_s" in
     let final_gap = flt_opt "final_gap" in
+    (* Absent in schema v1–v4 files. *)
+    let objective = flt_opt "objective" in
+    let nodes_per_s = flt_opt "nodes_per_s" in
+    let domains =
+      match Json.member "domains" j with Some (Json.Int i) -> i | _ -> 1
+    in
     (* Absent in schema v1 files; default to empty for compatibility. *)
     let diagnostics =
       match Json.member "diagnostics" j with Some (Json.List l) -> l | _ -> []
@@ -988,6 +1063,9 @@ module Metrics = struct
         first_incumbent_s;
         final_gap;
         status;
+        objective;
+        domains;
+        nodes_per_s;
         diagnostics;
         degradation;
       }

@@ -27,7 +27,10 @@
 (** Named monotonic event counters (cuts enumerated, B&B nodes, …).
 
     Counters are created once (per name) in a global registry and bumped
-    from hot loops; reading and resetting are driver-side operations. *)
+    from hot loops; reading and resetting are driver-side operations.
+    {!Counter.incr} is an atomic fetch-and-add, so counters may be
+    bumped concurrently from B&B worker domains without losing
+    updates. *)
 module Counter : sig
   type t
 
@@ -91,7 +94,10 @@ end
     the stored points are thinned to every other one (keeping the
     oldest) and the recording stride doubles, so a series of any length
     degrades to a deterministic, uniformly-spaced subsample — the same
-    add-stream always yields the same stored points. *)
+    add-stream always yields the same stored points. {!Series.add} is
+    serialized by an internal lock so incumbent points may arrive from
+    any worker domain (their interleaving, like any concurrent
+    add-stream, is scheduler-dependent). *)
 module Series : sig
   type t
 
@@ -193,7 +199,15 @@ end
     open-span depth), so exported traces stay well-formed.
 
     Lifecycle is independent of {!reset}: resetting counters between
-    benchmarks does not clear an in-flight trace. *)
+    benchmarks does not clear an in-flight trace.
+
+    {b Domain-safety:} {!Trace.instant} may be called from any domain
+    (buffer pushes are serialized by an internal lock) and takes a [tid]
+    that becomes the Chrome/Perfetto thread lane, so the parallel B&B
+    pool renders one row per worker domain. Span open/close
+    ({!Trace.begin_span} / {!Trace.end_span} / {!Trace.span}) keeps a
+    single global stack and must only be used from the coordinating
+    domain. *)
 module Trace : sig
   val default_cap : int
   (** Event cap when [PIPESYN_TRACE_CAP] is unset (1_000_000). *)
@@ -232,10 +246,15 @@ module Trace : sig
   (** [span name f] brackets [f ()] in {!begin_span}/{!end_span},
       exception-safely; when disabled it is exactly [f ()]. *)
 
-  val instant : ?cat:string -> ?args:(string * Json.t) list -> string -> unit
+  val instant :
+    ?cat:string -> ?tid:int -> ?args:(string * Json.t) list -> string -> unit
   (** Records a point event (Chrome phase ["i"], thread scope) — e.g.
       one ["milp.node"] per B&B node, ["milp.incumbent"] on every
-      incumbent update, ["simplex.refactor"] on cold refactorizations. *)
+      incumbent update, ["simplex.refactor"] on cold refactorizations.
+      [tid] (default 1, the coordinator lane) selects the export thread
+      lane; B&B worker slot [w] (0-based, slot 0 = the coordinating
+      domain) passes [w + 1] so Perfetto shows per-domain utilization.
+      Safe to call from any domain. *)
 
   val num_events : unit -> int
   (** Events currently buffered. *)
@@ -259,7 +278,7 @@ module Trace : sig
       [pipesyn run --trace FILE]. *)
 
   val summary : unit -> Json.t
-  (** Headline numbers folded into Metrics files (schema v4): span /
+  (** Headline numbers folded into Metrics files (schema v5): span /
       instant / drop counts, max nesting depth, first-incumbent time and
       the incumbent-gap trajectory extracted from ["milp.incumbent"]
       events. *)
@@ -288,6 +307,10 @@ module Trace : sig
       tr_max_depth : int;
       tr_warm : int;  (** nodes whose LP resolve reused the parent basis *)
       tr_statuses : (string * int) list;  (** node LP status histogram *)
+      tr_domains : (int * int) list;
+          (** nodes processed per domain id (from the ["domain"] arg of
+              ["milp.node"] instants; pre-parallel traces collapse to
+              [[(0, tr_nodes)]]), sorted by domain id *)
     }
 
     type gap_point = {
@@ -342,6 +365,17 @@ module Metrics : sig
     status : string;
         (** MILP exit status, ["heuristic"] for solver-free flows, or
             ["error"] for failed runs *)
+    objective : float;
+        (** MILP objective value of the reported solution
+            ([alpha·LUT + beta·FF] for the paper formulations); nan for
+            heuristic flows (schema v5). The cross-domain-count
+            determinism check in CI compares this field. *)
+    domains : int;
+        (** B&B worker-domain count the solve ran with (1 = sequential;
+            schema v5, absent fields read back as 1 from older files) *)
+    nodes_per_s : float;
+        (** B&B node throughput [bnb_nodes / solve_s]; nan for heuristic
+            flows or unmeasurably fast solves (schema v5) *)
     diagnostics : Json.t list;
         (** static-analysis findings from the run's lint gate, one
             {!Analyze.Diag.to_json} object each (schema v2; absent fields
@@ -359,12 +393,15 @@ module Metrics : sig
       every metrics file. Version history: 1 = the original flat record;
       2 = adds the [diagnostics] array; 3 = adds the [degradation]
       array; 4 = adds per-result [first_incumbent_s]/[final_gap] and the
-      file-level ["trace"] summary object. *)
+      file-level ["trace"] summary object; 5 = adds per-result
+      [objective]/[domains]/[nodes_per_s] for the parallel B&B
+      determinism and throughput checks. *)
 
   val to_json : t -> Json.t
   (** One flat object: [{"name": …, "method": …, "lut": …, "ff": …,
       "slack": …, "solve_s": …, "bnb_nodes": …, "cuts_total": …,
       "first_incumbent_s": …, "final_gap": …, "status": …,
+      "objective": …, "domains": …, "nodes_per_s": …,
       "diagnostics": […], "degradation": […]}]. *)
 
   val of_json : Json.t -> (t, string) result

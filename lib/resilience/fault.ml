@@ -25,6 +25,11 @@ let armed_tbl : (string, mode) Hashtbl.t = Hashtbl.create 8
 let hits_tbl : (string, int) Hashtbl.t = Hashtbl.create 8
 let c_fired = Obs.Counter.get "resilience.faults_fired"
 
+(* Fault sites fire from B&B worker domains too (simplex.cycle); the hit
+   counters must not lose updates under concurrency. Arming/clearing
+   stays a driver-side (single-domain) operation. *)
+let hits_mutex = Mutex.create ()
+
 let clear () =
   Hashtbl.reset armed_tbl;
   Hashtbl.reset hits_tbl
@@ -103,8 +108,15 @@ let fires point =
   match Hashtbl.find_opt armed_tbl point with
   | None -> false
   | Some mode ->
-      let hit = 1 + Option.value ~default:0 (Hashtbl.find_opt hits_tbl point) in
-      Hashtbl.replace hits_tbl point hit;
+      let hit =
+        Mutex.lock hits_mutex;
+        let h =
+          1 + Option.value ~default:0 (Hashtbl.find_opt hits_tbl point)
+        in
+        Hashtbl.replace hits_tbl point h;
+        Mutex.unlock hits_mutex;
+        h
+      in
       let fired =
         match mode with
         | Always -> true

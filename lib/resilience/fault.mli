@@ -50,4 +50,8 @@ val fires : string -> bool
 (** [fires point] — called at the fault site. Counts a hit and reports
     whether the armed spec (if any) triggers this time. Unarmed points
     always return [false] and keep no state. Fired faults bump the
-    ["resilience.faults_fired"] counter in {!Obs}. *)
+    ["resilience.faults_fired"] counter in {!Obs}. Safe to call from
+    B&B worker domains: hit counting is serialized by an internal lock
+    (the hit {e order} across domains is scheduler-dependent, but the
+    total count is exact). Arming and {!clear} remain driver-side,
+    single-domain operations. *)

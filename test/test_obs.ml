@@ -166,6 +166,9 @@ let sample_metrics =
     first_incumbent_s = 0.8;
     final_gap = 0.02;
     status = "feasible";
+    objective = 12.5;
+    domains = 4;
+    nodes_per_s = 10.9;
     diagnostics = [];
     degradation = [];
   }

@@ -1,0 +1,286 @@
+(* Determinism of the parallel branch-and-bound (DESIGN.md Sec. 3g): an
+   exhaustive (non-budget-truncated) solve must return identical status,
+   objective and incumbent vector for domains = 1, 2 and 4 — the shared
+   incumbent's tie-breaking makes the result independent of exploration
+   order. Also covered here: the [PIPESYN_DOMAINS] environment knob, and
+   the end-to-end fault-injection matrix re-run with four worker
+   domains. *)
+
+let feq ?(eps = 1e-6) a b = Float.abs (a -. b) <= eps
+let status_str s = Fmt.str "%a" Lp.Milp.pp_status s
+let dom_counts = [ 1; 2; 4 ]
+
+(* Solve [build ()] at every domain count and assert status / objective /
+   incumbent parity against the sequential run. [build] must return a
+   fresh model each call ([Lp.Model.t] is consumed by the solve). *)
+let check_deterministic ?(time_limit = 60.0) name build =
+  let solve d = Lp.Milp.solve ~time_limit ~domains:d (build ()) in
+  let base = solve 1 in
+  Alcotest.(check int)
+    (Printf.sprintf "%s: sequential run reports 1 domain" name)
+    1 base.Lp.Milp.stats.Lp.Milp.domains;
+  List.iter
+    (fun d ->
+      let r = solve d in
+      Alcotest.(check string)
+        (Printf.sprintf "%s: status @ %d domains" name d)
+        (status_str base.Lp.Milp.status)
+        (status_str r.Lp.Milp.status);
+      Alcotest.(check int)
+        (Printf.sprintf "%s: stats.domains @ %d domains" name d)
+        d r.Lp.Milp.stats.Lp.Milp.domains;
+      (match base.Lp.Milp.status with
+      | Lp.Milp.Optimal | Lp.Milp.Feasible ->
+          if not (feq base.Lp.Milp.objective r.Lp.Milp.objective) then
+            Alcotest.failf "%s: objective %.9g @ 1 domain vs %.9g @ %d" name
+              base.Lp.Milp.objective r.Lp.Milp.objective d
+      | _ -> ());
+      if base.Lp.Milp.status = Lp.Milp.Optimal then
+        Array.iteri
+          (fun j v ->
+            if not (feq v r.Lp.Milp.x.(j)) then
+              Alcotest.failf "%s: incumbent x.(%d) = %.9g @ 1 domain vs %.9g @ %d"
+                name j v r.Lp.Milp.x.(j) d)
+          base.Lp.Milp.x)
+    (List.tl dom_counts)
+
+(* --- hand-built integer programs ------------------------------------ *)
+
+let knapsack () =
+  let values = [| 10.0; 13.0; 7.0; 8.0; 5.0; 9.0 |] in
+  let weights = [| 5.0; 6.0; 3.0; 4.0; 2.0; 5.0 |] in
+  let m = Lp.Model.create () in
+  let xs =
+    Array.mapi (fun i _ -> Lp.Model.bool_var m (Printf.sprintf "x%d" i)) values
+  in
+  Lp.Model.add_le m
+    (Array.to_list (Array.mapi (fun i x -> (weights.(i), x)) xs))
+    12.0;
+  Lp.Model.set_objective m
+    (Array.to_list (Array.mapi (fun i x -> (-.values.(i), x)) xs));
+  m
+
+(* Symmetric assignment with many optima — exercises the lexicographic
+   incumbent tie-break, not just the objective comparison. *)
+let symmetric_cover () =
+  let m = Lp.Model.create () in
+  let xs = Array.init 6 (fun i -> Lp.Model.bool_var m (Printf.sprintf "s%d" i)) in
+  (* pick exactly 3 of 6 identical items *)
+  Lp.Model.add_eq m (Array.to_list (Array.map (fun x -> (1.0, x)) xs)) 3.0;
+  Lp.Model.set_objective m
+    (Array.to_list (Array.map (fun x -> (1.0, x)) xs));
+  m
+
+let infeasible () =
+  let m = Lp.Model.create () in
+  let x = Lp.Model.bool_var m "x" in
+  let y = Lp.Model.bool_var m "y" in
+  Lp.Model.add_ge m [ (1.0, x); (1.0, y) ] 3.0;
+  Lp.Model.set_objective m [ (1.0, x); (1.0, y) ];
+  m
+
+let general_integer () =
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var m ~integer:true ~ub:10.0 "x" in
+  let y = Lp.Model.add_var m ~integer:true ~ub:10.0 "y" in
+  let z = Lp.Model.add_var m ~integer:true ~ub:10.0 "z" in
+  Lp.Model.add_le m [ (2.0, x); (3.0, y); (1.0, z) ] 12.0;
+  Lp.Model.add_ge m [ (1.0, x); (1.0, y) ] 2.0;
+  Lp.Model.set_objective m [ (-3.0, x); (-5.0, y); (-1.0, z) ];
+  m
+
+let test_knapsack () = check_deterministic "knapsack" knapsack
+let test_symmetric () = check_deterministic "symmetric cover" symmetric_cover
+let test_infeasible () = check_deterministic "infeasible" infeasible
+let test_general_integer () = check_deterministic "general integer" general_integer
+
+(* --- benchmark-kernel formulations ---------------------------------- *)
+
+let device = Fpga.Device.make ~t_clk:10.0 ()
+let delays = Fpga.Delays.default
+
+let kernel_model ?(mapped = false) build () =
+  let g = build () in
+  let cfg : Mams.Formulation.config =
+    {
+      device;
+      delays;
+      resources = Fpga.Resource.unlimited;
+      ii = 1;
+      max_latency = 6;
+      alpha = 0.5;
+      beta = 0.5;
+      cut_delay =
+        (if mapped then Mams.Formulation.mapped_delay ~device ~delays
+         else Mams.Formulation.additive_delay ~delays);
+    }
+  in
+  let cuts = if mapped then Cuts.enumerate ~k:4 g else Cuts.trivial_only g in
+  let f = Mams.Formulation.build cfg g cuts in
+  Mams.Formulation.model f
+
+let small_recurrence () =
+  let b = Ir.Builder.create () in
+  let x = Ir.Builder.input b ~width:4 "x" in
+  let cell = Ir.Builder.feedback b ~width:4 ~init:0L ~dist:1 in
+  let t1 = Ir.Builder.xor_ b x cell in
+  let t2 = Ir.Builder.not_ b t1 in
+  Ir.Builder.drive b ~cell t1;
+  Ir.Builder.output b t2;
+  Ir.Builder.finish b
+
+let test_kernel_recurrence () =
+  check_deterministic "recurrence formulation"
+    (kernel_model ~mapped:true small_recurrence)
+
+let test_kernel_rs () =
+  check_deterministic "RS kernel formulation"
+    (kernel_model (fun () -> Benchmarks.Rs.kernel ~width:2 ()))
+
+let test_kernel_clz () =
+  check_deterministic "CLZ formulation"
+    (kernel_model (fun () -> Benchmarks.Clz.build ~width:4 ()))
+
+(* --- random MILPs (qcheck) ------------------------------------------ *)
+
+let parallel_matches_sequential =
+  let gen =
+    QCheck.Gen.(
+      let coef = map (fun i -> float_of_int (i - 4)) (int_bound 8) in
+      let* n = int_range 1 6 in
+      let* m = int_range 1 3 in
+      let* obj = list_repeat n coef in
+      let* rows = list_repeat m (list_repeat n coef) in
+      let* rhs = list_repeat m (map float_of_int (int_bound 6)) in
+      return (n, obj, rows, rhs))
+  in
+  QCheck.Test.make ~name:"random binary MILP agrees across domain counts"
+    ~count:40 (QCheck.make gen) (fun (n, obj, rows, rhs) ->
+      let build () =
+        let m = Lp.Model.create () in
+        let xs =
+          List.init n (fun i -> Lp.Model.bool_var m (Printf.sprintf "b%d" i))
+        in
+        List.iter2
+          (fun row b ->
+            Lp.Model.add_le m (List.map2 (fun c x -> (c, x)) row xs) b)
+          rows rhs;
+        Lp.Model.set_objective m (List.map2 (fun c x -> (c, x)) obj xs);
+        m
+      in
+      let base = Lp.Milp.solve ~time_limit:20.0 ~domains:1 (build ()) in
+      List.for_all
+        (fun d ->
+          let r = Lp.Milp.solve ~time_limit:20.0 ~domains:d (build ()) in
+          r.Lp.Milp.status = base.Lp.Milp.status
+          && (base.Lp.Milp.status <> Lp.Milp.Optimal
+             || feq base.Lp.Milp.objective r.Lp.Milp.objective))
+        (List.tl dom_counts))
+
+(* --- PIPESYN_DOMAINS ------------------------------------------------- *)
+
+let with_env value f =
+  Unix.putenv "PIPESYN_DOMAINS" value;
+  Fun.protect ~finally:(fun () -> Unix.putenv "PIPESYN_DOMAINS" "") f
+
+let test_env_knob () =
+  let solve () = Lp.Milp.solve ~time_limit:30.0 (knapsack ()) in
+  let base = solve () in
+  Alcotest.(check int) "unset defaults to 1" 1
+    base.Lp.Milp.stats.Lp.Milp.domains;
+  let par = with_env "3" solve in
+  Alcotest.(check int) "PIPESYN_DOMAINS=3 honoured" 3
+    par.Lp.Milp.stats.Lp.Milp.domains;
+  Alcotest.(check string) "status parity" (status_str base.Lp.Milp.status)
+    (status_str par.Lp.Milp.status);
+  if not (feq base.Lp.Milp.objective par.Lp.Milp.objective) then
+    Alcotest.failf "env objective %.9g vs %.9g" base.Lp.Milp.objective
+      par.Lp.Milp.objective;
+  let bogus = with_env "zero" solve in
+  Alcotest.(check int) "unparsable value falls back to 1" 1
+    bogus.Lp.Milp.stats.Lp.Milp.domains;
+  let neg = with_env "-2" solve in
+  Alcotest.(check int) "non-positive value falls back to 1" 1
+    neg.Lp.Milp.stats.Lp.Milp.domains;
+  (* the explicit argument wins over the environment *)
+  let forced =
+    with_env "4" (fun () ->
+        Lp.Milp.solve ~time_limit:30.0 ~domains:2 (knapsack ()))
+  in
+  Alcotest.(check int) "?domains overrides the environment" 2
+    forced.Lp.Milp.stats.Lp.Milp.domains
+
+(* --- fault matrix under four domains --------------------------------- *)
+
+(* Re-run of test_resilience's end-to-end matrix with PIPESYN_DOMAINS=4:
+   every registered fault point, armed always-on, against each benchmark
+   kernel's Milp-map cascade — the run must still end in a verified
+   (schedule, cover). Faults now fire from worker domains too
+   (simplex.cycle in particular), so this exercises the fault-hit lock
+   and cross-domain exception containment. *)
+let run_with_fault ~fault (e : Benchmarks.Registry.entry) =
+  Resilience.Fault.clear ();
+  (match Resilience.Fault.arm fault with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "arm %s: %s" fault msg);
+  let g = e.build () in
+  let device = Fpga.Device.make ~t_clk:e.t_clk () in
+  let setup =
+    {
+      (Mams.Flow.default_setup ~device) with
+      resources = e.resources;
+      time_limit = 1.0;
+    }
+  in
+  let r = Mams.Flow.run setup Mams.Flow.Milp_map g in
+  Resilience.Fault.clear ();
+  match r with
+  | Error msg -> Alcotest.failf "%s + %s: no result: %s" e.name fault msg
+  | Ok r ->
+      let ctx =
+        {
+          Sched.Verify.device;
+          delays = setup.Mams.Flow.delays;
+          resources = setup.Mams.Flow.resources;
+        }
+      in
+      (match
+         Sched.Verify.check ctx g r.Mams.Flow.cover r.Mams.Flow.schedule
+       with
+      | Ok () -> ()
+      | Error errs ->
+          Alcotest.failf "%s + %s: verify failed: %s" e.name fault
+            (String.concat "; " errs))
+
+let test_fault_matrix_4_domains () =
+  with_env "4" @@ fun () ->
+  List.iter
+    (fun (fault, _) ->
+      List.iter (run_with_fault ~fault) Benchmarks.Registry.all)
+    Resilience.Fault.points
+
+let qsuite name tests =
+  (name, List.map (fun t -> QCheck_alcotest.to_alcotest t) tests)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "knapsack" `Quick test_knapsack;
+          Alcotest.test_case "symmetric cover" `Quick test_symmetric;
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
+          Alcotest.test_case "general integer" `Quick test_general_integer;
+          Alcotest.test_case "recurrence kernel" `Quick test_kernel_recurrence;
+          Alcotest.test_case "RS kernel" `Quick test_kernel_rs;
+          Alcotest.test_case "CLZ kernel" `Quick test_kernel_clz;
+        ] );
+      qsuite "determinism-random" [ parallel_matches_sequential ];
+      ( "env",
+        [ Alcotest.test_case "PIPESYN_DOMAINS" `Quick test_env_knob ] );
+      ( "faults",
+        [
+          Alcotest.test_case "matrix @ 4 domains" `Slow
+            test_fault_matrix_4_domains;
+        ] );
+    ]
