@@ -511,6 +511,147 @@ let lint_cmd =
       $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
+(* audit                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let audit_cmd =
+  let bench_opt_arg =
+    let doc = "Benchmark to audit (see `pipesyn list')." in
+    Arg.(value & opt (some string) None & info [ "b"; "benchmark" ] ~doc)
+  in
+  let all_arg =
+    Arg.(value & flag & info [ "all" ] ~doc:"Audit every registry benchmark.")
+  in
+  let json_arg =
+    let doc = "Write the JSON audit report to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"FILE")
+  in
+  let run name all json time_limit ii k domains verbose =
+    setup_logs verbose;
+    (match domains with
+    | Some d when d < 1 ->
+        Fmt.epr "--domains: must be >= 1 (got %d)@." d;
+        exit exit_error
+    | _ -> ());
+    Obs.reset ();
+    let entries =
+      if all then Benchmarks.Registry.all
+      else
+        match name with
+        | Some n -> [ entry_of n ]
+        | None ->
+            Fmt.epr "specify a benchmark with -b NAME or pass --all@.";
+            exit exit_error
+    in
+    let failed = ref false in
+    let reports =
+      List.map
+        (fun (e : Benchmarks.Registry.entry) ->
+          let g = e.build () in
+          let setup =
+            { (setup_of ~k ~ii ?domains ~time_limit e) with
+              Mams.Flow.audit = true }
+          in
+          match Mams.Flow.run setup Mams.Flow.Milp_map g with
+          | Error err ->
+              failed := true;
+              Fmt.pr "== %s: flow error: %s ==@." e.name err;
+              (e.name, [])
+          | Ok r -> (
+              match r.Mams.Flow.solve.Mams.Flow.audit_diags with
+              | None ->
+                  (* the cascade fell back to a solver-free attempt, or
+                     cold-start mode suppressed the certificate — either
+                     way nothing was proved, which the gate treats as a
+                     failure, not a silent pass *)
+                  failed := true;
+                  Fmt.pr "== %s: no certificate to audit (degraded or \
+                          cold-start run) ==@."
+                    e.name;
+                  (e.name, [])
+              | Some diags ->
+                  Fmt.pr "== %s: %d certificate nodes, audit %s ==@." e.name
+                    r.Mams.Flow.solve.Mams.Flow.cert_nodes
+                    (Analyze.Diag.summary diags);
+                  if diags <> [] then
+                    Fmt.pr "%a@." Analyze.Diag.pp_report diags;
+                  if Analyze.Diag.has_errors diags then failed := true;
+                  (e.name, diags)))
+        entries
+    in
+    (match json with
+    | None -> ()
+    | Some path ->
+        Analyze.Engine.write_file ~path ~entries:reports;
+        Fmt.pr "wrote %s@." path);
+    if !failed then exit exit_error
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Run the mapping-aware MILP flow with proof-carrying \
+          certificates and re-verify every solver claim (duals, Farkas \
+          rays, the pruning log) in exact rational arithmetic. Exit 1 on \
+          any CERT1xx error finding, or when no certificate was \
+          produced.")
+    Term.(
+      const run $ bench_opt_arg $ all_arg $ json_arg $ time_limit_arg
+      $ ii_arg $ k_arg $ domains_arg $ verbose_arg)
+
+(* ------------------------------------------------------------------ *)
+(* diags                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let diags_cmd =
+  let md_arg =
+    Arg.(
+      value & flag
+      & info [ "markdown" ]
+          ~doc:
+            "Emit the table as Markdown — the exact content of \
+             docs/DIAGNOSTICS.md, which a dune rule keeps in sync with \
+             this output.")
+  in
+  let run markdown =
+    if markdown then begin
+      Fmt.pr "# Diagnostic codes@.@.";
+      Fmt.pr
+        "Every static-analysis pass reports findings under a stable, \
+         machine-matchable code. This table is generated from the pass \
+         registry (`Analyze.Engine.passes`) by `pipesyn diags \
+         --markdown`; do not edit it by hand — `dune runtest` diffs this \
+         file against the registry.@.@.";
+      List.iter
+        (fun (p : Analyze.Engine.pass) ->
+          Fmt.pr "## %s (%s)@.@." p.Analyze.Engine.name p.Analyze.Engine.artifact;
+          Fmt.pr "%s.@.@." p.Analyze.Engine.description;
+          Fmt.pr "| Code | Description |@.";
+          Fmt.pr "|------|-------------|@.";
+          List.iter
+            (fun (c, d) -> Fmt.pr "| %s | %s |@." c d)
+            p.Analyze.Engine.codes;
+          Fmt.pr "@.")
+        Analyze.Engine.passes
+    end
+    else
+      List.iter
+        (fun (p : Analyze.Engine.pass) ->
+          Fmt.pr "%s (%s): %s@." p.Analyze.Engine.name
+            p.Analyze.Engine.artifact p.Analyze.Engine.description;
+          List.iter
+            (fun (c, d) -> Fmt.pr "  %-9s %s@." c d)
+            p.Analyze.Engine.codes;
+          Fmt.pr "@.")
+        Analyze.Engine.passes
+  in
+  Cmd.v
+    (Cmd.info "diags"
+       ~doc:
+         "Print every diagnostic code the analyzer passes can emit, with \
+          one-line descriptions (--markdown emits docs/DIAGNOSTICS.md).")
+    Term.(const run $ md_arg)
+
+(* ------------------------------------------------------------------ *)
 (* faults                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -700,7 +841,7 @@ let () =
         (Cmd.group info
            [
              list_cmd; run_cmd; cuts_cmd; dot_cmd; rtl_cmd; lint_cmd;
-             faults_cmd; trace_report_cmd; tables_cmd;
+             audit_cmd; diags_cmd; faults_cmd; trace_report_cmd; tables_cmd;
            ])
     with e ->
       Fmt.epr "pipesyn: internal error: %s@." (Printexc.to_string e);

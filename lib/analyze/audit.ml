@@ -1,0 +1,866 @@
+let pass_name = "audit"
+let max_reports = 25
+
+(* Contract tolerances (see DESIGN.md §3h). The arithmetic below is exact;
+   what is checked is the solver's *published* accuracy contract, so every
+   threshold is an explicit constant here rather than an epsilon hidden in
+   a float comparison.
+   - [feas_eps]: Model.check's default feasibility tolerance (1e-6).
+   - [lp_rel]: Simplex.resolve's relative objective accuracy (1e-6).
+   - [inc_slack]: Milp's incumbent acceptance slack (1e-9). *)
+let feas_eps = 1e-6
+let lp_rel = 1e-6
+let inc_slack = 1e-9
+
+type ctx = {
+  raw : Lp.Model.raw;
+  cert : Lp.Cert.t;
+  m : int;  (** row count *)
+  qcache : (float, Qd.t) Hashtbl.t;
+      (* model coefficients repeat massively (0, ±1, shared bounds); caching
+         the float→Qd conversion keeps the audit linear in nnz, not in
+         nnz × limb work *)
+  by_id : (int, Lp.Cert.node) Hashtbl.t;
+  node_bounds : (int, Qd.t option) Hashtbl.t;
+      (* exact dual bound per Lp_optimal node, filled by the claim checks
+         and reused by the pruning replay; [None] = -infinity *)
+  mutable diags : Diag.t list;  (* newest first *)
+  counts : (string, int) Hashtbl.t;
+}
+
+let report ctx sev ~code ~loc ?witness msg =
+  let seen = Option.value ~default:0 (Hashtbl.find_opt ctx.counts code) in
+  Hashtbl.replace ctx.counts code (seen + 1);
+  if seen < max_reports then
+    ctx.diags <- Diag.make ?witness sev ~code ~pass:pass_name ~loc msg :: ctx.diags
+  else if seen = max_reports then
+    ctx.diags <-
+      Diag.make sev ~code ~pass:pass_name ~loc:Diag.Global
+        (Printf.sprintf "further %s findings suppressed (capped at %d)" code
+           max_reports)
+      :: ctx.diags
+
+let errorf ctx ~code ~loc ?witness fmt =
+  Printf.ksprintf (report ctx Diag.Error ~code ~loc ?witness) fmt
+
+(* Cached exact conversion. Finite floats only — callers deal with the
+   infinities structurally. *)
+let q ctx f =
+  match Hashtbl.find_opt ctx.qcache f with
+  | Some v -> v
+  | None ->
+      let v = Qd.of_float f in
+      Hashtbl.add ctx.qcache f v;
+      v
+
+let qstr x = Printf.sprintf "%.9g" (Qd.to_float x)
+
+(* ------------------------------------------------------------------ *)
+(* Exact dual bounds (Neumaier–Shcherbina)                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Clamp a float multiplier into the sign cone its row sense requires.
+   Any clamped vector still yields a valid bound — clamping (like any
+   float drift) can only weaken it, never falsely strengthen it. Non-
+   finite entries are weakened to 0 for the same reason. *)
+let clamp sense ui =
+  if not (Float.is_finite ui) then 0.0
+  else
+    match sense with
+    | Lp.Model.Le -> if ui < 0.0 then 0.0 else ui
+    | Lp.Model.Ge -> if ui > 0.0 then 0.0 else ui
+    | Lp.Model.Eq -> ui
+
+(* [reduced_costs ctx ~use_obj u] = (r, t) with r = c + Aᵀû and
+   t = -û·b, where û is the sense-clamped u and c is the objective (or 0
+   for Farkas checks). Everything exact. *)
+let reduced_costs ctx ~use_obj u =
+  let raw = ctx.raw in
+  let r =
+    Array.init raw.Lp.Model.n (fun j ->
+        if use_obj then q ctx raw.Lp.Model.obj.(j) else Qd.zero)
+  in
+  let t = ref Qd.zero in
+  Array.iteri
+    (fun i row ->
+      let ui = clamp raw.Lp.Model.senses.(i) u.(i) in
+      if ui <> 0.0 then begin
+        let uq = q ctx ui in
+        t := Qd.sub !t (Qd.mul uq (q ctx raw.Lp.Model.rhs.(i)));
+        Array.iter
+          (fun (j, a) -> r.(j) <- Qd.add r.(j) (Qd.mul uq (q ctx a)))
+          row
+      end)
+    raw.Lp.Model.rows;
+  (r, !t)
+
+(* min over the box [lb, ub] of Σ r_j x_j; [None] = -infinity (a negative
+   reduced cost against an infinite upper bound, or positive against an
+   infinite lower bound). *)
+let box_min ctx r lb ub =
+  let acc = ref Qd.zero and finite = ref true in
+  for j = 0 to ctx.raw.Lp.Model.n - 1 do
+    let s = Qd.sign r.(j) in
+    if s > 0 then
+      if Float.is_finite lb.(j) then
+        acc := Qd.add !acc (Qd.mul r.(j) (q ctx lb.(j)))
+      else finite := false
+    else if s < 0 then
+      if Float.is_finite ub.(j) then
+        acc := Qd.add !acc (Qd.mul r.(j) (q ctx ub.(j)))
+      else finite := false
+  done;
+  if !finite then Some !acc else None
+
+(* Safe exact bound certified by the float vector [u] on
+   min {c·x : Ax sense b, lb <= x <= ub} — valid for *any* u. *)
+let dual_bound ctx ~use_obj u lb ub =
+  let r, t = reduced_costs ctx ~use_obj u in
+  match box_min ctx r lb ub with
+  | None -> None
+  | Some bm -> Some (Qd.add t bm)
+
+(* ------------------------------------------------------------------ *)
+(* Tree bookkeeping                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Walk [node]'s parent chain collecting branch edits, then replay them
+   onto a copy of the post-fixing root box. [None] when the chain is
+   broken or cyclic (reported as CERT101/CERT106 elsewhere). *)
+let node_box ctx (node : Lp.Cert.node) =
+  let cert = ctx.cert in
+  let rec edits acc n guard =
+    if guard > 1_000_000 then None
+    else
+      match n.Lp.Cert.branch with
+      | None -> Some acc
+      | Some e -> (
+          match Hashtbl.find_opt ctx.by_id n.Lp.Cert.parent with
+          | Some p -> edits (e :: acc) p (guard + 1)
+          | None -> None)
+  in
+  match edits [] node 0 with
+  | None -> None
+  | Some es ->
+      let lb = Array.copy cert.Lp.Cert.root_lb
+      and ub = Array.copy cert.Lp.Cert.root_ub in
+      let ok =
+        List.for_all
+          (fun (j, side, v) ->
+            if j < 0 || j >= ctx.raw.Lp.Model.n then false
+            else begin
+              (match side with
+              | Lp.Cert.Lower -> lb.(j) <- v
+              | Lp.Cert.Upper -> ub.(j) <- v);
+              true
+            end)
+          es
+      in
+      if ok then Some (lb, ub) else None
+
+let claim_str = function
+  | Lp.Cert.Lp_optimal _ -> "optimal"
+  | Lp.Cert.Lp_infeasible _ -> "infeasible"
+  | Lp.Cert.Lp_unsolved -> "unsolved"
+
+(* ------------------------------------------------------------------ *)
+(* Incumbent checks (CERT102 / CERT107)                                *)
+(* ------------------------------------------------------------------ *)
+
+let check_incumbent ctx =
+  let cert = ctx.cert and raw = ctx.raw in
+  let has_inc =
+    match cert.Lp.Cert.status with
+    | Lp.Cert.Optimal | Lp.Cert.Feasible -> true
+    | Lp.Cert.Infeasible | Lp.Cert.Unbounded | Lp.Cert.Unknown -> false
+  in
+  match (cert.Lp.Cert.incumbent, has_inc) with
+  | None, false -> ()
+  | None, true ->
+      errorf ctx ~code:"CERT107" ~loc:Diag.Global
+        "status %s claims an incumbent but the certificate records none"
+        (Lp.Cert.status_label cert.Lp.Cert.status)
+  | Some _, false ->
+      errorf ctx ~code:"CERT107" ~loc:Diag.Global
+        "status %s forbids an incumbent but the certificate records one"
+        (Lp.Cert.status_label cert.Lp.Cert.status)
+  | Some x, true ->
+      if Array.length x <> raw.Lp.Model.n then
+        errorf ctx ~code:"CERT101" ~loc:Diag.Global
+          "incumbent has %d entries, model has %d variables" (Array.length x)
+          raw.Lp.Model.n
+      else begin
+        let epsq = q ctx feas_eps in
+        for j = 0 to raw.Lp.Model.n - 1 do
+          if not (Float.is_finite x.(j)) then
+            errorf ctx ~code:"CERT102" ~loc:(Diag.Column j)
+              "incumbent entry is not finite"
+          else begin
+            let xq = q ctx x.(j) in
+            if
+              Float.is_finite raw.Lp.Model.lb.(j)
+              && Qd.lt xq (Qd.sub (q ctx raw.Lp.Model.lb.(j)) epsq)
+            then
+              errorf ctx ~code:"CERT102" ~loc:(Diag.Column j)
+                "incumbent %.9g below lower bound %.9g" x.(j)
+                raw.Lp.Model.lb.(j);
+            if
+              Float.is_finite raw.Lp.Model.ub.(j)
+              && Qd.lt (Qd.add (q ctx raw.Lp.Model.ub.(j)) epsq) xq
+            then
+              errorf ctx ~code:"CERT102" ~loc:(Diag.Column j)
+                "incumbent %.9g above upper bound %.9g" x.(j)
+                raw.Lp.Model.ub.(j);
+            (* integrality is exact — the solver snaps accepted incumbents,
+               so zero tolerance is the honest check *)
+            if raw.Lp.Model.integer.(j) && not (Qd.is_integer xq) then
+              errorf ctx ~code:"CERT102" ~loc:(Diag.Column j)
+                "integer variable holds non-integral value %.17g" x.(j)
+          end
+        done;
+        Array.iteri
+          (fun i row ->
+            let lhs =
+              Qd.sum (Array.length row) (fun k ->
+                  let jj, a = row.(k) in
+                  Qd.mul (q ctx a) (q ctx x.(jj)))
+            in
+            let rhs = q ctx raw.Lp.Model.rhs.(i) in
+            let bad =
+              match raw.Lp.Model.senses.(i) with
+              | Lp.Model.Le -> Qd.lt (Qd.add rhs epsq) lhs
+              | Lp.Model.Ge -> Qd.lt lhs (Qd.sub rhs epsq)
+              | Lp.Model.Eq ->
+                  Qd.lt (Qd.add rhs epsq) lhs || Qd.lt lhs (Qd.sub rhs epsq)
+            in
+            if bad then
+              errorf ctx ~code:"CERT102" ~loc:(Diag.Row i)
+                ~witness:[ qstr lhs; Printf.sprintf "%.9g" raw.Lp.Model.rhs.(i) ]
+                "incumbent violates constraint row (exact lhs %s)" (qstr lhs))
+          raw.Lp.Model.rows;
+        (* recorded objective must be the incumbent's exact objective *)
+        if Float.is_finite cert.Lp.Cert.objective then begin
+          let exact =
+            Qd.sum raw.Lp.Model.n (fun j ->
+                Qd.mul (q ctx raw.Lp.Model.obj.(j)) (q ctx x.(j)))
+          in
+          let claimed = q ctx cert.Lp.Cert.objective in
+          let tol =
+            q ctx (lp_rel *. Float.max 1.0 (Float.abs cert.Lp.Cert.objective))
+          in
+          if
+            Qd.lt (Qd.add claimed tol) exact
+            || Qd.lt exact (Qd.sub claimed tol)
+          then
+            errorf ctx ~code:"CERT107" ~loc:Diag.Global
+              ~witness:[ qstr exact ]
+              "recorded objective %.9g disagrees with the incumbent's exact \
+               objective %s"
+              cert.Lp.Cert.objective (qstr exact)
+        end
+        else
+          errorf ctx ~code:"CERT107" ~loc:Diag.Global
+            "incumbent present but recorded objective is not finite"
+      end
+
+let check_incumbent_log ctx =
+  let cert = ctx.cert in
+  match cert.Lp.Cert.incumbent with
+  | None ->
+      if cert.Lp.Cert.incumbents <> [] then
+        errorf ctx ~code:"CERT107" ~loc:Diag.Global
+          "incumbent log has %d entries but no final incumbent"
+          (List.length cert.Lp.Cert.incumbents)
+  | Some _ when not (Float.is_finite cert.Lp.Cert.objective) -> ()
+  | Some _ -> (
+      let zq = q ctx cert.Lp.Cert.objective in
+      let floor_ = Qd.sub zq (q ctx inc_slack) in
+      List.iter
+        (fun (id, v) ->
+          if (not (Float.is_finite v)) || Qd.lt (q ctx v) floor_ then
+            errorf ctx ~code:"CERT107" ~loc:(Diag.Node id)
+              "accepted incumbent %.9g is better than the final objective \
+               %.9g — stale final incumbent"
+              v cert.Lp.Cert.objective)
+        cert.Lp.Cert.incumbents;
+      match List.rev cert.Lp.Cert.incumbents with
+      | [] ->
+          errorf ctx ~code:"CERT107" ~loc:Diag.Global
+            "final incumbent present but the acceptance log is empty"
+      | (_, last) :: _ ->
+          if
+            Float.is_finite last
+            && not
+                 (Qd.leq
+                    (Qd.sub (q ctx last) zq)
+                    (q ctx inc_slack))
+          then
+            errorf ctx ~code:"CERT107" ~loc:Diag.Global
+              "last accepted incumbent %.9g does not match the final \
+               objective %.9g"
+              last cert.Lp.Cert.objective)
+
+(* ------------------------------------------------------------------ *)
+(* Per-node checks (CERT101 / CERT103 / CERT104 / CERT106)             *)
+(* ------------------------------------------------------------------ *)
+
+let check_branch_edit ctx (n : Lp.Cert.node) =
+  match n.Lp.Cert.branch with
+  | None ->
+      if n.Lp.Cert.parent <> -1 then
+        errorf ctx ~code:"CERT106" ~loc:(Diag.Node n.Lp.Cert.id)
+          "non-root node %d carries no branch edit" n.Lp.Cert.id
+  | Some (j, side, v) -> (
+      if j < 0 || j >= ctx.raw.Lp.Model.n then
+        errorf ctx ~code:"CERT106" ~loc:(Diag.Node n.Lp.Cert.id)
+          "branch variable %d out of range" j
+      else if not ctx.raw.Lp.Model.integer.(j) then
+        errorf ctx ~code:"CERT106" ~loc:(Diag.Node n.Lp.Cert.id)
+          "branch on continuous variable %d" j
+      else if (not (Float.is_finite v)) || not (Qd.is_integer (q ctx v)) then
+        errorf ctx ~code:"CERT106" ~loc:(Diag.Node n.Lp.Cert.id)
+          "branch bound %.17g on variable %d is not integral" v j;
+      match Hashtbl.find_opt ctx.by_id n.Lp.Cert.parent with
+      | None ->
+          errorf ctx ~code:"CERT101" ~loc:(Diag.Node n.Lp.Cert.id)
+            "node %d references missing parent %d" n.Lp.Cert.id
+            n.Lp.Cert.parent
+      | Some p -> (
+          if n.Lp.Cert.depth <> p.Lp.Cert.depth + 1 then
+            errorf ctx ~code:"CERT106" ~loc:(Diag.Node n.Lp.Cert.id)
+              "depth %d inconsistent with parent depth %d" n.Lp.Cert.depth
+              p.Lp.Cert.depth;
+          match p.Lp.Cert.fathom with
+          | Lp.Cert.F_branched { bvar; down_id; down_ub; up_id; up_lb } ->
+              let expect =
+                if n.Lp.Cert.id = down_id then Some (Lp.Cert.Upper, down_ub)
+                else if n.Lp.Cert.id = up_id then Some (Lp.Cert.Lower, up_lb)
+                else None
+              in
+              (match expect with
+              | None ->
+                  errorf ctx ~code:"CERT106" ~loc:(Diag.Node n.Lp.Cert.id)
+                    "node %d is not among parent %d's recorded children"
+                    n.Lp.Cert.id p.Lp.Cert.id
+              | Some (eside, ev) ->
+                  if side <> eside || v <> ev || j <> bvar then
+                    errorf ctx ~code:"CERT106" ~loc:(Diag.Node n.Lp.Cert.id)
+                      "branch edit (var %d, %s, %.9g) disagrees with parent \
+                       %d's branch record (var %d)"
+                      j
+                      (match side with
+                      | Lp.Cert.Lower -> "lower"
+                      | Lp.Cert.Upper -> "upper")
+                      v p.Lp.Cert.id bvar)
+          | _ ->
+              errorf ctx ~code:"CERT106" ~loc:(Diag.Node n.Lp.Cert.id)
+                "parent %d of node %d did not branch" p.Lp.Cert.id
+                n.Lp.Cert.id))
+
+(* The two children of a branch must partition the integer points of the
+   parent interval: up_lb = down_ub + 1, both integral. *)
+let check_branch_arith ctx (n : Lp.Cert.node) =
+  match n.Lp.Cert.fathom with
+  | Lp.Cert.F_branched { bvar; down_ub; up_lb; _ } ->
+      let bad =
+        (not (Float.is_finite down_ub))
+        || (not (Float.is_finite up_lb))
+        || (not (Qd.is_integer (q ctx down_ub)))
+        || not (Qd.equal (q ctx up_lb) (Qd.add (q ctx down_ub) (Qd.of_int 1)))
+      in
+      if bad then
+        errorf ctx ~code:"CERT106" ~loc:(Diag.Node n.Lp.Cert.id)
+          "branch on variable %d does not partition the interval (x <= \
+           %.9g | x >= %.9g)"
+          bvar down_ub up_lb
+  | _ -> ()
+
+let check_claim ctx (n : Lp.Cert.node) box =
+  let nid = n.Lp.Cert.id in
+  match n.Lp.Cert.claim with
+  | Lp.Cert.Lp_unsolved -> ()
+  | Lp.Cert.Lp_optimal { obj; duals } -> (
+      if not (Float.is_finite obj) then
+        errorf ctx ~code:"CERT101" ~loc:(Diag.Node nid)
+          "optimal LP claim with non-finite objective"
+      else if Array.length duals <> ctx.m then
+        errorf ctx ~code:"CERT101" ~loc:(Diag.Node nid)
+          "dual vector has %d entries, model has %d rows" (Array.length duals)
+          ctx.m
+      else
+        match box with
+        | None -> ()
+        | Some (lb, ub) -> (
+            let beta = dual_bound ctx ~use_obj:true duals lb ub in
+            Hashtbl.replace ctx.node_bounds nid beta;
+            let tol = q ctx (lp_rel *. Float.max 1.0 (Float.abs obj)) in
+            match beta with
+            | None ->
+                errorf ctx ~code:"CERT103" ~loc:(Diag.Node nid)
+                  "dual vector certifies no finite bound (claimed %.9g)" obj
+            | Some b ->
+                if Qd.lt b (Qd.sub (q ctx obj) tol) then
+                  errorf ctx ~code:"CERT103" ~loc:(Diag.Node nid)
+                    ~witness:[ qstr b; Printf.sprintf "%.9g" obj ]
+                    "exact dual bound %s is below the claimed LP objective \
+                     %.9g"
+                    (qstr b) obj))
+  | Lp.Cert.Lp_infeasible ev -> (
+      match ev with
+      | None ->
+          errorf ctx ~code:"CERT101" ~loc:(Diag.Node nid)
+            "infeasibility claimed without evidence"
+      | Some (Lp.Cert.Empty_box j) -> (
+          if j < 0 || j >= ctx.raw.Lp.Model.n then
+            errorf ctx ~code:"CERT106" ~loc:(Diag.Node nid)
+              "empty-box witness variable %d out of range" j
+          else
+            match box with
+            | None -> ()
+            | Some (lb, ub) ->
+                let crossed =
+                  Float.is_finite lb.(j)
+                  && (ub.(j) = Float.neg_infinity
+                     || (Float.is_finite ub.(j)
+                        && Qd.lt (q ctx ub.(j)) (q ctx lb.(j))))
+                in
+                if not crossed then
+                  errorf ctx ~code:"CERT104" ~loc:(Diag.Node nid)
+                    "claimed empty box on variable %d, but [%.9g, %.9g] is \
+                     not empty"
+                    j lb.(j) ub.(j))
+      | Some (Lp.Cert.Ray u) -> (
+          if Array.length u <> ctx.m then
+            errorf ctx ~code:"CERT101" ~loc:(Diag.Node nid)
+              "Farkas ray has %d entries, model has %d rows" (Array.length u)
+              ctx.m
+          else
+            match box with
+            | None -> ()
+            | Some (lb, ub) -> (
+                match dual_bound ctx ~use_obj:false u lb ub with
+                | Some b when Qd.sign b > 0 -> ()
+                | Some b ->
+                    errorf ctx ~code:"CERT104" ~loc:(Diag.Node nid)
+                      ~witness:[ qstr b ]
+                      "Farkas ray proves only %s > 0 is required for \
+                       infeasibility"
+                      (qstr b)
+                | None ->
+                    errorf ctx ~code:"CERT104" ~loc:(Diag.Node nid)
+                      "Farkas ray certifies no finite bound")))
+
+let check_incumbent_at ctx (n : Lp.Cert.node) =
+  let cert = ctx.cert in
+  if Float.is_finite n.Lp.Cert.incumbent_at then
+    match cert.Lp.Cert.incumbent with
+    | None ->
+        errorf ctx ~code:"CERT107" ~loc:(Diag.Node n.Lp.Cert.id)
+          "node observed incumbent %.9g but the run ended with none"
+          n.Lp.Cert.incumbent_at
+    | Some _ ->
+        if
+          Float.is_finite cert.Lp.Cert.objective
+          && Qd.lt
+               (q ctx n.Lp.Cert.incumbent_at)
+               (Qd.sub (q ctx cert.Lp.Cert.objective) (q ctx inc_slack))
+        then
+          errorf ctx ~code:"CERT107" ~loc:(Diag.Node n.Lp.Cert.id)
+            "node observed incumbent %.9g better than the final objective \
+             %.9g — lost incumbent update"
+            n.Lp.Cert.incumbent_at cert.Lp.Cert.objective
+
+(* ------------------------------------------------------------------ *)
+(* Pruning replay (CERT105 / CERT107)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Exact bound for [node]'s box certified by the nearest ancestor (or
+   self) holding an optimal LP claim. Used for F_dominated nodes and for
+   branched children that were never processed. *)
+let ancestor_bound ctx (node : Lp.Cert.node) box =
+  let rec up (n : Lp.Cert.node) guard =
+    if guard > 1_000_000 then None
+    else
+      match n.Lp.Cert.claim with
+      | Lp.Cert.Lp_optimal { duals; _ } when Array.length duals = ctx.m ->
+          Some duals
+      | _ ->
+          if n.Lp.Cert.parent < 0 then None
+          else
+            Option.bind
+              (Hashtbl.find_opt ctx.by_id n.Lp.Cert.parent)
+              (fun p -> up p (guard + 1))
+  in
+  match up node 0 with
+  | None -> None
+  | Some duals ->
+      let lb, ub = box in
+      Some (dual_bound ctx ~use_obj:true duals lb ub)
+
+(* Fathom threshold: a subtree is soundly excluded if its exact bound is
+   >= z_final - gap_tol·max(1,|z|) - lp_rel·max(1,|bound|) — the solver's
+   published gap contract plus its LP accuracy contract. *)
+let fathom_floor ctx ~ref_obj =
+  let z = ctx.cert.Lp.Cert.objective in
+  let slack =
+    (ctx.cert.Lp.Cert.gap_tol *. Float.max 1.0 (Float.abs z))
+    +. (lp_rel *. Float.max 1.0 (Float.abs ref_obj))
+  in
+  Qd.sub (q ctx z) (q ctx slack)
+
+let check_completeness_optimal ctx =
+  let cert = ctx.cert in
+  if not (Float.is_finite cert.Lp.Cert.objective) then ()
+  else
+    List.iter
+      (fun (n : Lp.Cert.node) ->
+        let nid = n.Lp.Cert.id in
+        match n.Lp.Cert.fathom with
+        | Lp.Cert.F_infeasible -> (
+            match n.Lp.Cert.claim with
+            | Lp.Cert.Lp_infeasible _ -> ()
+            | c ->
+                errorf ctx ~code:"CERT101" ~loc:(Diag.Node nid)
+                  "node fathomed as infeasible but its LP claim is %s"
+                  (claim_str c))
+        | Lp.Cert.F_integral -> (
+            match n.Lp.Cert.claim with
+            | Lp.Cert.Lp_optimal { obj; _ } ->
+                if
+                  Float.is_finite obj
+                  && Qd.lt (q ctx obj)
+                       (Qd.sub
+                          (q ctx cert.Lp.Cert.objective)
+                          (q ctx inc_slack))
+                then
+                  errorf ctx ~code:"CERT107" ~loc:(Diag.Node nid)
+                    "integral leaf with objective %.9g better than the \
+                     final objective %.9g — stale incumbent"
+                    obj cert.Lp.Cert.objective
+            | c ->
+                errorf ctx ~code:"CERT101" ~loc:(Diag.Node nid)
+                  "integral fathom without an optimal LP claim (%s)"
+                  (claim_str c))
+        | Lp.Cert.F_bound -> (
+            match n.Lp.Cert.claim with
+            | Lp.Cert.Lp_optimal { obj; _ } -> (
+                match Hashtbl.find_opt ctx.node_bounds nid with
+                | Some (Some b) ->
+                    if Qd.lt b (fathom_floor ctx ~ref_obj:obj) then
+                      errorf ctx ~code:"CERT105" ~loc:(Diag.Node nid)
+                        ~witness:[ qstr b ]
+                        "bound-fathomed node's exact dual bound %s is below \
+                         the final objective %.9g minus the gap contract"
+                        (qstr b) cert.Lp.Cert.objective
+                | Some None ->
+                    errorf ctx ~code:"CERT105" ~loc:(Diag.Node nid)
+                      "bound-fathomed node's dual bound is not finite"
+                | None -> ())
+            | c ->
+                errorf ctx ~code:"CERT105" ~loc:(Diag.Node nid)
+                  "bound fathom without an optimal LP claim (%s)"
+                  (claim_str c))
+        | Lp.Cert.F_dominated -> (
+            match node_box ctx n with
+            | None -> ()
+            | Some box -> (
+                match ancestor_bound ctx n box with
+                | None ->
+                    errorf ctx ~code:"CERT101" ~loc:(Diag.Node nid)
+                      "dominated node has no dual evidence on its ancestor \
+                       chain"
+                | Some None ->
+                    errorf ctx ~code:"CERT105" ~loc:(Diag.Node nid)
+                      "dominated node's ancestor bound is not finite"
+                | Some (Some b) ->
+                    if Qd.lt b (fathom_floor ctx ~ref_obj:n.Lp.Cert.bound)
+                    then
+                      errorf ctx ~code:"CERT105" ~loc:(Diag.Node nid)
+                        ~witness:[ qstr b ]
+                        "dominated node's exact ancestor bound %s is below \
+                         the final objective %.9g minus the gap contract"
+                        (qstr b) cert.Lp.Cert.objective))
+        | Lp.Cert.F_budget ->
+            errorf ctx ~code:"CERT107" ~loc:(Diag.Node nid)
+              "optimal status with a budget-abandoned node"
+        | Lp.Cert.F_branched { bvar; down_id; down_ub; up_id; up_lb } ->
+            List.iter
+              (fun (cid, mk) ->
+                if not (Hashtbl.mem ctx.by_id cid) then
+                  (* the child was never processed (the run closed the gap
+                     first); cover its box with this node's own duals *)
+                  match n.Lp.Cert.claim with
+                  | Lp.Cert.Lp_optimal { obj; duals }
+                    when Array.length duals = ctx.m -> (
+                      match node_box ctx n with
+                      | None -> ()
+                      | Some (lb, ub) -> (
+                          let lb = Array.copy lb and ub = Array.copy ub in
+                          mk lb ub;
+                          match dual_bound ctx ~use_obj:true duals lb ub with
+                          | None ->
+                              errorf ctx ~code:"CERT105" ~loc:(Diag.Node nid)
+                                "unprocessed child %d has no finite covering \
+                                 bound"
+                                cid
+                          | Some bb ->
+                              if Qd.lt bb (fathom_floor ctx ~ref_obj:obj)
+                              then
+                                errorf ctx ~code:"CERT105"
+                                  ~loc:(Diag.Node nid) ~witness:[ qstr bb ]
+                                  "unprocessed child %d's exact covering \
+                                   bound %s is below the final objective \
+                                   %.9g minus the gap contract"
+                                  cid (qstr bb) cert.Lp.Cert.objective))
+                  | _ ->
+                      errorf ctx ~code:"CERT101" ~loc:(Diag.Node nid)
+                        "child %d missing and parent holds no duals to \
+                         cover it"
+                        cid)
+              [
+                (down_id, fun _lb ub -> ub.(bvar) <- down_ub);
+                (up_id, fun lb _ub -> lb.(bvar) <- up_lb);
+              ])
+      cert.Lp.Cert.nodes
+
+(* An Infeasible verdict is a completeness claim with no incumbent: every
+   recorded node must either branch (with both children present) or carry
+   infeasibility evidence. *)
+let check_completeness_infeasible ctx =
+  List.iter
+    (fun (n : Lp.Cert.node) ->
+      match n.Lp.Cert.fathom with
+      | Lp.Cert.F_infeasible -> ()
+      | Lp.Cert.F_branched { down_id; up_id; _ } ->
+          List.iter
+            (fun cid ->
+              if not (Hashtbl.mem ctx.by_id cid) then
+                errorf ctx ~code:"CERT101" ~loc:(Diag.Node n.Lp.Cert.id)
+                  "infeasible verdict with unprocessed child %d" cid)
+            [ down_id; up_id ]
+      | _ ->
+          errorf ctx ~code:"CERT107" ~loc:(Diag.Node n.Lp.Cert.id)
+            "infeasible verdict but node was not fathomed as infeasible")
+    ctx.cert.Lp.Cert.nodes
+
+(* ------------------------------------------------------------------ *)
+(* Root reduced-cost fixing (CERT106 / CERT108)                        *)
+(* ------------------------------------------------------------------ *)
+
+let check_fixes ctx =
+  let cert = ctx.cert and raw = ctx.raw in
+  if cert.Lp.Cert.fixes = [] then ()
+  else begin
+    (* the post-fixing root box must differ from the model box exactly at
+       the fixed variables, pinned to the recorded side *)
+    let side_of = Hashtbl.create 16 in
+    List.iter
+      (fun (j, s) ->
+        if j < 0 || j >= raw.Lp.Model.n || not raw.Lp.Model.integer.(j) then
+          errorf ctx ~code:"CERT106" ~loc:(Diag.Column j)
+            "reduced-cost fix on an invalid or continuous variable"
+        else Hashtbl.replace side_of j s)
+      cert.Lp.Cert.fixes;
+    if Array.length cert.Lp.Cert.root_lb = raw.Lp.Model.n then
+      for j = 0 to raw.Lp.Model.n - 1 do
+        let want_lb, want_ub =
+          match Hashtbl.find_opt side_of j with
+          | None -> (raw.Lp.Model.lb.(j), raw.Lp.Model.ub.(j))
+          | Some Lp.Cert.Lower -> (raw.Lp.Model.lb.(j), raw.Lp.Model.lb.(j))
+          | Some Lp.Cert.Upper -> (raw.Lp.Model.ub.(j), raw.Lp.Model.ub.(j))
+        in
+        if
+          cert.Lp.Cert.root_lb.(j) <> want_lb
+          || cert.Lp.Cert.root_ub.(j) <> want_ub
+        then
+          errorf ctx ~code:"CERT106" ~loc:(Diag.Column j)
+            "post-fixing root box [%.9g, %.9g] inconsistent with the \
+             recorded fixes (expected [%.9g, %.9g])"
+            cert.Lp.Cert.root_lb.(j) cert.Lp.Cert.root_ub.(j) want_lb want_ub
+      done;
+    (* exclusion soundness, only meaningful when the final verdict claims
+       optimality over the un-fixed box *)
+    if cert.Lp.Cert.status = Lp.Cert.Optimal then
+      match cert.Lp.Cert.root_duals with
+      | None ->
+          errorf ctx ~code:"CERT101" ~loc:Diag.Global
+            "reduced-cost fixes recorded without the pre-fixing root duals"
+      | Some u when Array.length u <> ctx.m ->
+          errorf ctx ~code:"CERT101" ~loc:Diag.Global
+            "pre-fixing root duals have %d entries, model has %d rows"
+            (Array.length u) ctx.m
+      | Some u ->
+          let r, t = reduced_costs ctx ~use_obj:true u in
+          (* per-variable exact min contribution over the *model* box; the
+             excluded region is a subset of that box with x_j restricted,
+             so bounding over it is sound for every fix *)
+          let contrib =
+            Array.init raw.Lp.Model.n (fun j ->
+                let s = Qd.sign r.(j) in
+                if s > 0 then
+                  if Float.is_finite raw.Lp.Model.lb.(j) then
+                    Some (Qd.mul r.(j) (q ctx raw.Lp.Model.lb.(j)))
+                  else None
+                else if s < 0 then
+                  if Float.is_finite raw.Lp.Model.ub.(j) then
+                    Some (Qd.mul r.(j) (q ctx raw.Lp.Model.ub.(j)))
+                  else None
+                else Some Qd.zero)
+          in
+          let finite = Array.for_all Option.is_some contrib in
+          let total =
+            if finite then
+              Some
+                (Array.fold_left
+                   (fun acc c -> Qd.add acc (Option.get c))
+                   t contrib)
+            else None
+          in
+          Hashtbl.iter
+            (fun j s ->
+              (* x_j restricted to the excluded half of its interval *)
+              let lo, hi =
+                match s with
+                | Lp.Cert.Lower ->
+                    (raw.Lp.Model.lb.(j) +. 1.0, raw.Lp.Model.ub.(j))
+                | Lp.Cert.Upper ->
+                    (raw.Lp.Model.lb.(j), raw.Lp.Model.ub.(j) -. 1.0)
+              in
+              if Float.is_finite lo && Float.is_finite hi && lo > hi then
+                () (* excluded region empty — trivially sound *)
+              else
+                let excl =
+                  let sgn = Qd.sign r.(j) in
+                  if sgn > 0 then
+                    if Float.is_finite lo then Some (Qd.mul r.(j) (q ctx lo))
+                    else None
+                  else if sgn < 0 then
+                    if Float.is_finite hi then Some (Qd.mul r.(j) (q ctx hi))
+                    else None
+                  else Some Qd.zero
+                in
+                match (total, contrib.(j), excl) with
+                | Some tot, Some cj, Some ej ->
+                    let beta = Qd.add (Qd.sub tot cj) ej in
+                    if
+                      Qd.lt beta
+                        (fathom_floor ctx ~ref_obj:cert.Lp.Cert.root_obj)
+                    then
+                      errorf ctx ~code:"CERT108" ~loc:(Diag.Column j)
+                        ~witness:[ qstr beta ]
+                        "reduced-cost fix not justified: excluded region's \
+                         exact bound %s is below the final objective %.9g \
+                         minus the gap contract"
+                        (qstr beta) cert.Lp.Cert.objective
+                | _ ->
+                    errorf ctx ~code:"CERT108" ~loc:(Diag.Column j)
+                      "reduced-cost fix not justified: excluded region has \
+                       no finite exact bound")
+            side_of
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Structure and status                                                *)
+(* ------------------------------------------------------------------ *)
+
+let check_structure ctx =
+  let cert = ctx.cert in
+  let n_nodes = List.length cert.Lp.Cert.nodes in
+  List.iter
+    (fun (n : Lp.Cert.node) ->
+      if Hashtbl.mem ctx.by_id n.Lp.Cert.id then
+        errorf ctx ~code:"CERT101" ~loc:(Diag.Node n.Lp.Cert.id)
+          "duplicate node id %d" n.Lp.Cert.id
+      else Hashtbl.replace ctx.by_id n.Lp.Cert.id n)
+    cert.Lp.Cert.nodes;
+  let boxes_ok =
+    n_nodes = 0
+    || Array.length cert.Lp.Cert.root_lb = ctx.raw.Lp.Model.n
+       && Array.length cert.Lp.Cert.root_ub = ctx.raw.Lp.Model.n
+  in
+  if not boxes_ok then
+    errorf ctx ~code:"CERT101" ~loc:Diag.Global
+      "root box has %d/%d entries, model has %d variables"
+      (Array.length cert.Lp.Cert.root_lb)
+      (Array.length cert.Lp.Cert.root_ub)
+      ctx.raw.Lp.Model.n;
+  if n_nodes > 0 then begin
+    match Hashtbl.find_opt ctx.by_id 0 with
+    | Some r when r.Lp.Cert.parent = -1 && r.Lp.Cert.branch = None -> ()
+    | Some _ ->
+        errorf ctx ~code:"CERT101" ~loc:(Diag.Node 0)
+          "node 0 is not a well-formed root"
+    | None ->
+        errorf ctx ~code:"CERT101" ~loc:Diag.Global
+          "certificate records %d nodes but no root (id 0)" n_nodes
+  end;
+  boxes_ok
+
+let check_status ctx =
+  let cert = ctx.cert in
+  match cert.Lp.Cert.status with
+  | Lp.Cert.Optimal ->
+      if cert.Lp.Cert.lp_limited > 0 then
+        errorf ctx ~code:"CERT107" ~loc:Diag.Global
+          "optimal status with %d node LPs abandoned at their pivot cap"
+          cert.Lp.Cert.lp_limited;
+      if cert.Lp.Cert.nodes = [] then
+        errorf ctx ~code:"CERT101" ~loc:Diag.Global
+          "optimal status with an empty node log"
+  | Lp.Cert.Infeasible ->
+      if cert.Lp.Cert.nodes = [] then
+        errorf ctx ~code:"CERT101" ~loc:Diag.Global
+          "infeasible status with an empty node log"
+  | Lp.Cert.Feasible | Lp.Cert.Unbounded | Lp.Cert.Unknown -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let check raw cert =
+  let ctx =
+    {
+      raw;
+      cert;
+      m = Array.length raw.Lp.Model.rows;
+      qcache = Hashtbl.create 1024;
+      by_id = Hashtbl.create 256;
+      node_bounds = Hashtbl.create 256;
+      diags = [];
+      counts = Hashtbl.create 16;
+    }
+  in
+  let boxes_ok = check_structure ctx in
+  check_status ctx;
+  check_incumbent ctx;
+  check_incumbent_log ctx;
+  List.iter
+    (fun (n : Lp.Cert.node) ->
+      check_branch_edit ctx n;
+      check_branch_arith ctx n;
+      check_incumbent_at ctx n;
+      let box = if boxes_ok then node_box ctx n else None in
+      if boxes_ok && box = None then
+        errorf ctx ~code:"CERT101" ~loc:(Diag.Node n.Lp.Cert.id)
+          "node %d's box cannot be reconstructed (broken parent chain)"
+          n.Lp.Cert.id;
+      check_claim ctx n box)
+    cert.Lp.Cert.nodes;
+  if boxes_ok then begin
+    (match cert.Lp.Cert.status with
+    | Lp.Cert.Optimal -> check_completeness_optimal ctx
+    | Lp.Cert.Infeasible -> check_completeness_infeasible ctx
+    | _ -> ());
+    check_fixes ctx
+  end;
+  List.rev ctx.diags
+
+let check_result model (r : Lp.Milp.result) =
+  match r.Lp.Milp.cert with
+  | None ->
+      [
+        Diag.make Diag.Error ~code:"CERT101" ~pass:pass_name ~loc:Diag.Global
+          "solve carries no certificate (certificates off, or cold-start \
+           mode)";
+      ]
+  | Some c -> check (Lp.Model.to_raw model) c

@@ -44,13 +44,40 @@ let loc_to_string = function
   | Wire w -> Printf.sprintf "wire:%s" w
   | Global -> "global"
 
+let loc_rank = function
+  | Node _ -> 0
+  | Edge _ -> 1
+  | Row _ -> 2
+  | Column _ -> 3
+  | Wire _ -> 4
+  | Global -> 5
+
+(* Structural, not stringly: [Node 2] sorts before [Node 10]. *)
+let compare_loc a b =
+  match (a, b) with
+  | Node x, Node y | Row x, Row y | Column x, Column y -> Int.compare x y
+  | Edge (a1, a2), Edge (b1, b2) ->
+      let c = Int.compare a1 b1 in
+      if c <> 0 then c else Int.compare a2 b2
+  | Wire x, Wire y -> String.compare x y
+  | _ -> Int.compare (loc_rank a) (loc_rank b)
+
+(* A total order — message and witness break remaining ties — so any
+   sorted report is deterministic however the producing pass ordered its
+   findings. *)
 let compare a b =
   let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
   if c <> 0 then c
   else
     let c = String.compare a.code b.code in
     if c <> 0 then c
-    else Stdlib.compare (loc_to_string a.loc) (loc_to_string b.loc)
+    else
+      let c = compare_loc a.loc b.loc in
+      if c <> 0 then c
+      else
+        let c = String.compare a.message b.message in
+        if c <> 0 then c
+        else Stdlib.compare a.witness b.witness
 
 let errors ds = List.filter (fun d -> d.severity = Error) ds
 let warnings ds = List.filter (fun d -> d.severity = Warning) ds

@@ -53,7 +53,9 @@ val severity_name : severity -> string
 
 val compare : t -> t -> int
 (** Severity first (errors before warnings before infos), then code, then
-    location — the presentation order of reports. *)
+    location (structurally: [Node 2] before [Node 10]), then message and
+    witness — a {e total} order, so every sorted report is byte-identical
+    across runs regardless of pass-internal ordering. *)
 
 val errors : t list -> t list
 val warnings : t list -> t list

@@ -1,7 +1,7 @@
 type pass = {
   name : string;
   artifact : string;
-  codes : string list;
+  codes : (string * string) list;
   description : string;
 }
 
@@ -10,7 +10,15 @@ let passes =
     {
       name = Cdfg_lint.pass_name;
       artifact = "cdfg";
-      codes = [ "CDFG001"; "CDFG002"; "CDFG003"; "CDFG004"; "CDFG005"; "CDFG006" ];
+      codes =
+        [
+          ("CDFG001", "distance-0 combinational cycle (witness: the cycle path)");
+          ("CDFG002", "black box on a zero-aggregate-distance feedback cycle");
+          ("CDFG003", "operand/result width inconsistent with the opcode");
+          ("CDFG004", "dead node: no path to any primary output");
+          ("CDFG005", "constant-foldable cone (the frontend simplifier would remove it)");
+          ("CDFG006", "malformed structure: ids not dense, dangling edges, no outputs");
+        ];
       description =
         "combinational cycles, black-box feedback, width discipline, dead \
          nodes, constant-foldable cones, malformed structure";
@@ -18,7 +26,13 @@ let passes =
     {
       name = Preflight.pass_name;
       artifact = "cdfg+setup";
-      codes = [ "PRE001"; "PRE002"; "PRE003"; "PRE004" ];
+      codes =
+        [
+          ("PRE001", "requested II below RecMII (witness: the binding dependence cycle)");
+          ("PRE002", "requested II below ResMII (witness: the binding resource class)");
+          ("PRE003", "slowest single-op delay exceeds the usable clock period");
+          ("PRE004", "black-box resource class used but budgeted at zero units");
+        ];
       description =
         "II vs RecMII/ResMII with recurrence-cycle and resource-class \
          witnesses, clock-period sanity";
@@ -26,14 +40,29 @@ let passes =
     {
       name = Lp_lint.pass_name;
       artifact = "lp";
-      codes = [ "LP001"; "LP002"; "LP003"; "LP004"; "LP005" ];
+      codes =
+        [
+          ("LP001", "trivially infeasible empty constraint row (e.g. 0 >= 1)");
+          ("LP002", "vacuous empty constraint row (constrains nothing)");
+          ("LP003", "duplicate rows (same terms, sense, and right-hand side)");
+          ("LP004", "variable referenced by no constraint or objective");
+          ("LP005", "integer variable with no integer between its bounds");
+        ];
       description =
         "empty/duplicate rows, free columns, trivially infeasible bounds";
     };
     {
       name = Net_lint.pass_name;
       artifact = "netlist";
-      codes = [ "NET001"; "NET002"; "NET003"; "NET004"; "NET005"; "NET006" ];
+      codes =
+        [
+          ("NET001", "expression reads an undriven signal");
+          ("NET002", "signal driven more than once");
+          ("NET003", "operator applied to the wrong operand count (unconnected pin)");
+          ("NET004", "wire reads a wire defined after it (combinational order violation)");
+          ("NET005", "wire driven but never read");
+          ("NET006", "operand/result widths inconsistent at a netlist operator");
+        ];
       description =
         "undriven/multiply-driven signals, unconnected pins, combinational \
          order, dangling wires, width discipline";
@@ -41,18 +70,48 @@ let passes =
     {
       name = Cert.pass_name;
       artifact = "schedule+cover";
-      codes = [ "CERT000"; "CERT001"; "CERT002"; "CERT003"; "CERT004"; "CERT005" ];
+      codes =
+        [
+          ("CERT000", "Sched.Verify violation with no equation tag");
+          ("CERT001", "cover violates the cut constraints (paper Eq. 2-4)");
+          ("CERT002", "value produced after it is consumed (paper Eq. 7)");
+          ("CERT003", "operation finishes past the clock period (paper Eq. 8)");
+          ("CERT004", "chained arrival time too late (paper Eq. 9)");
+          ("CERT005", "resource class over its budget (paper Eq. 14)");
+        ];
       description =
         "Sched.Verify certificate rewrapped with paper-equation codes";
     };
+    {
+      name = Audit.pass_name;
+      artifact = "milp certificate";
+      codes =
+        [
+          ("CERT101", "missing, malformed or truncated certificate evidence");
+          ("CERT102", "incumbent violates bounds, integrality or a constraint");
+          ("CERT103", "dual vector fails to certify the claimed LP objective");
+          ("CERT104", "Farkas evidence fails to prove node infeasibility");
+          ("CERT105", "fathomed or abandoned subtree not excluded by its exact dual bound");
+          ("CERT106", "malformed tree: branch arithmetic or box bookkeeping inconsistent");
+          ("CERT107", "status or incumbent bookkeeping inconsistent (stale incumbent)");
+          ("CERT108", "root reduced-cost fix not justified by the pre-fixing duals");
+        ];
+      description =
+        "exact-rational replay of a proof-carrying MILP solve \
+         (Neumaier-Shcherbina dual bounds, Farkas rays, pruning log)";
+    };
   ]
 
+(* Single choke point every checker wrapper goes through: bump the
+   observability counters and return the findings in {!Diag.compare}
+   order, so every downstream consumer sees a deterministic report
+   whatever order the pass generated them in. *)
 let count_diags diags =
   Obs.Counter.incr ~by:(List.length (Diag.errors diags))
     (Obs.Counter.get "analyze.errors");
   Obs.Counter.incr ~by:(List.length (Diag.warnings diags))
     (Obs.Counter.get "analyze.warnings");
-  diags
+  List.sort Diag.compare diags
 
 let timer = Obs.Timer.get "analyze"
 
@@ -70,6 +129,10 @@ let check_netlist nl =
 let check_certificate ctx g cover sched =
   Obs.Timer.span timer (fun () ->
       count_diags (Cert.check ctx g cover sched))
+
+let check_audit model result =
+  Obs.Timer.span timer (fun () ->
+      count_diags (Audit.check_result model result))
 
 let static_gate cfg g =
   let diags = check_cdfg g @ preflight cfg g in

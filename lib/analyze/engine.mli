@@ -13,7 +13,10 @@
 type pass = {
   name : string;
   artifact : string;  (** what the pass inspects: ["cdfg"], ["lp"], … *)
-  codes : string list;  (** diagnostic codes the pass can emit *)
+  codes : (string * string) list;
+      (** diagnostic codes the pass can emit, each with a one-line
+          description — the source of truth for [pipesyn diags] and the
+          generated docs/DIAGNOSTICS.md *)
   description : string;
 }
 
@@ -28,6 +31,10 @@ val check_netlist : Rtl.Netlist.t -> Diag.t list
 val check_certificate :
   Sched.Verify.context -> Ir.Cdfg.t -> Sched.Cover.t -> Sched.Schedule.t ->
   Diag.t list
+
+val check_audit : Lp.Model.t -> Lp.Milp.result -> Diag.t list
+(** {!Audit.check_result} with counter bumps: exact-rational audit of a
+    proof-carrying MILP solve. *)
 
 val static_gate :
   Preflight.config -> Ir.Cdfg.t -> (Diag.t list, Diag.t list) result

@@ -11,6 +11,7 @@ type setup = {
   time_limit : float;
   wall_budget : float option;
   domains : int option;
+  audit : bool;
 }
 
 let default_setup ~device =
@@ -25,6 +26,7 @@ let default_setup ~device =
     time_limit = 60.0;
     wall_budget = None;
     domains = None;
+    audit = false;
   }
 
 type solve_info = {
@@ -33,6 +35,10 @@ type solve_info = {
   milp_stats : Lp.Milp.stats option;
   milp_objective : float option;
   model_size : string option;
+  cert_nodes : int;
+  audit_diags : Analyze.Diag.t list option;
+      (** exact-rational audit findings; [None] when the audit did not
+          run (heuristic flow or [setup.audit = false]) *)
 }
 
 type result = {
@@ -111,7 +117,13 @@ let metrics_of setup method_ ~cuts_total ~gate_diags (qor : Sched.Qor.t)
       | Some s when s.Lp.Milp.nodes > 0 && solve.runtime > 1e-9 ->
           float_of_int s.Lp.Milp.nodes /. solve.runtime
       | _ -> Float.nan);
-    diagnostics = diags_json gate_diags;
+    cert_nodes = solve.cert_nodes;
+    audit_errors =
+      (match solve.audit_diags with
+      | None -> -1
+      | Some d -> List.length (Analyze.Diag.errors d));
+    diagnostics =
+      diags_json (gate_diags @ Option.value ~default:[] solve.audit_diags);
     degradation = [];
   }
 
@@ -133,12 +145,15 @@ let error_metrics ?(diags = []) ~name method_ =
     objective = Float.nan;
     domains = 1;
     nodes_per_s = Float.nan;
+    cert_nodes = 0;
+    audit_errors = -1;
     diagnostics = diags_json diags;
     degradation = [];
   }
 
 let heuristic_info = { runtime = 0.0; milp_status = None; milp_stats = None;
-                       milp_objective = None; model_size = None }
+                       milp_objective = None; model_size = None;
+                       cert_nodes = 0; audit_diags = None }
 
 let verify_ctx (s : setup) : Sched.Verify.context =
   let device = s.device and delays = s.delays and resources = s.resources in
@@ -429,9 +444,21 @@ let run_milp ?(coarse = false) ?(budget_scale = 1.0) ~deadline ~as_ setup ctx
               ~time_limit:(setup.time_limit *. budget_scale)
               ~deadline:(phase "solve") ?incumbent
               ~branch_priority:(Formulation.branch_priorities f)
-              ?domains:setup.domains (Formulation.model f))
+              ?domains:setup.domains ~certificates:setup.audit
+              (Formulation.model f))
       in
       let runtime = Sys.time () -. t0 in
+      (* Opt-in proof audit: re-verify the solve's certificate in exact
+         rational arithmetic. Observational — findings land in the
+         metrics (and the audit_errors field CI gates on), they never
+         change the flow's result. *)
+      let audit_diags =
+        if setup.audit then
+          Some
+            (Obs.Trace.span ~cat:"flow" "flow.audit" (fun () ->
+                 Analyze.Engine.check_audit (Formulation.model f) r))
+        else None
+      in
       let solve =
         {
           runtime;
@@ -439,6 +466,11 @@ let run_milp ?(coarse = false) ?(budget_scale = 1.0) ~deadline ~as_ setup ctx
           milp_stats = Some r.Lp.Milp.stats;
           milp_objective = Some r.Lp.Milp.objective;
           model_size = Some (Formulation.size f);
+          cert_nodes =
+            (match r.Lp.Milp.cert with
+            | Some c -> List.length c.Lp.Cert.nodes
+            | None -> 0);
+          audit_diags;
         }
       in
       match r.Lp.Milp.status with
@@ -567,7 +599,11 @@ let finish ~gate_diags trail r =
   let metrics =
     {
       r.metrics with
-      Obs.Metrics.diagnostics = diags_json (gate_diags @ trail_diags trail);
+      Obs.Metrics.diagnostics =
+        diags_json
+          (gate_diags
+          @ Option.value ~default:[] r.solve.audit_diags
+          @ trail_diags trail);
       degradation = List.map Resilience.Cascade.attempt_to_json trail;
     }
   in

@@ -55,12 +55,19 @@ type setup = {
       (** B&B worker-domain count passed to {!Lp.Milp.solve} ([--domains]
           on the CLI); [None] defers to the [PIPESYN_DOMAINS] environment
           variable, else 1. *)
+  audit : bool;
+      (** make every MILP solve proof-carrying
+          ([Lp.Milp.solve ~certificates:true]) and re-verify the
+          certificate in exact rational arithmetic ([Analyze.Audit])
+          after the solve. Observational: CERT1xx findings land in the
+          result's metrics ([diagnostics] plus the [audit_errors]
+          field), they never change the flow's schedule or status. *)
 }
 
 val default_setup : device:Fpga.Device.t -> setup
 (** [ii = 1], [alpha = beta = 0.5] (paper Sec. 4), default delays,
     unlimited resources, 60 s MILP budget, no wall-clock budget,
-    [domains = None]. *)
+    [domains = None], [audit = false]. *)
 
 type solve_info = {
   runtime : float;  (** seconds spent in the MILP (0 for the heuristic) *)
@@ -70,6 +77,12 @@ type solve_info = {
       (** final MILP objective (constant included); [None] for
           heuristic flows *)
   model_size : string option;
+  cert_nodes : int;
+      (** node count of the solve's proof-carrying certificate; 0 when
+          none was requested or produced *)
+  audit_diags : Analyze.Diag.t list option;
+      (** exact-rational certificate audit findings (pass ["audit"],
+          codes CERT101–CERT108); [None] when the audit did not run *)
 }
 
 type result = {

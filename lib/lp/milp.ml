@@ -18,6 +18,7 @@ type result = {
   x : float array;
   objective : float;
   stats : stats;
+  cert : Cert.t option;
 }
 
 let src = Logs.Src.create "lp.milp" ~doc:"branch and bound"
@@ -123,12 +124,26 @@ let goto ~lb ~ub ~from_ target =
   List.iter (apply_entry lb ub) applies
 
 type node = {
+  nid : int;
+      (** creation-order certificate id from a dedicated counter; 0 at the
+          root. Distinct from the processing-order trace id: a child's nid
+          exists before any domain picks it up, so the certificate's tree
+          links are closed under work stealing. *)
+  parent_nid : int;  (** -1 at the root *)
   bounds : chain;
   bound : float;  (** parent LP objective: the node's dual bound *)
   bvar : int;  (** variable branched to create this node; -1 at root *)
   bfrac : float;  (** fractional part of [bvar] in the parent LP *)
   dir_up : bool;  (** up child ([lb := ceil]) vs down child ([ub := floor]) *)
 }
+
+(* The chain entry that created a node's box, as certificate data. *)
+let branch_of (node : node) =
+  match node.bounds with
+  | Root -> None
+  | Tighten t ->
+      Some
+        (t.j, (match t.side with Lb -> Cert.Lower | Ub -> Cert.Upper), t.v)
 
 (* ------------------------------------------------------------------ *)
 (* Branching                                                           *)
@@ -294,6 +309,8 @@ type wctx = {
   mutable w_iters : int;
   mutable w_limited : int;
   mutable w_warm : int;
+  mutable wcerts : Cert.node list;
+      (** per-worker certificate log, newest first; merged after join *)
 }
 
 (* What processing one node asks of the scheduler. Children come in dive
@@ -308,7 +325,7 @@ type outcome =
 let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
     ?(gap_tol = 1e-6) ?(int_tol = 1e-6)
     ?(deadline = Resilience.Deadline.none) ?incumbent ?branch_priority
-    ?domains model =
+    ?domains ?(certificates = false) model =
   let domains =
     match domains with
     | Some d -> max 1 (min d 64)
@@ -326,6 +343,17 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
      hardest failure the cascade must absorb. *)
   let injected_timeout = Resilience.Fault.fires "milp.timeout" in
   let cold_mode = cold_start_forced () in
+  (* Certificates need the warm-start solver state (duals, Farkas rays
+     live in the reusable tableau), so forced cold-start runs emit none. *)
+  let certs_on = certificates && not cold_mode in
+  (* Certificate node ids: allocated at node creation, independent of the
+     processing-order trace id. *)
+  let next_nid = Atomic.make 0 in
+  let alloc_nid () = Atomic.fetch_and_add next_nid 1 in
+  let inc_log = ref [] in  (* accepted incumbents, newest first; under inc_m *)
+  let fix_log = ref [] in  (* root bound-fixing events; coordinator only *)
+  let root_duals = ref None in
+  let cert_root_lb = ref [||] and cert_root_ub = ref [||] in
   (* Deadline-aware budget: whichever of the caller's deadline and the
      local time budget is tighter governs both the node loop and — via
      Simplex — every pivot inside a node. Note the clock is [Sys.time]
@@ -366,7 +394,7 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
      objectives always replace; objectives tied within tolerance fall
      back to the lexicographic solution-vector order, so the surviving
      incumbent does not depend on which domain raced in first. *)
-  let try_improve ~wid ~node_id ~depth ~open_bound_now x obj =
+  let try_improve ~wid ~node_id ~nid ~depth ~open_bound_now x obj =
     Mutex.lock inc_m;
     let cur = Atomic.get best_obj in
     let accept =
@@ -378,6 +406,7 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
     if accept then begin
       Atomic.set best_obj obj;
       best_x := Some x;
+      if certs_on then inc_log := (nid, obj) :: !inc_log;
       Obs.Counter.incr c_incumbents;
       Obs.Series.add s_incumbents ~x:(elapsed ()) ~y:obj;
       (* Dual bound over the remaining open nodes (this node itself is
@@ -405,12 +434,18 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
       (match Model.check model ~values:(fun v -> x.(Model.var_index v)) () with
       | Error msg -> invalid_arg ("Milp.solve: infeasible incumbent: " ^ msg)
       | Ok () -> ());
+      (* Snap near-integral entries so the stored incumbent is exactly
+         integral — the certificate audit checks integrality with zero
+         tolerance, and [Model.check] above already vouched for the
+         unsnapped point at the contract tolerance. *)
+      let x = snap raw ~int_tol x in
       let obj =
         Array.fold_left ( +. ) 0.0
           (Array.mapi (fun j v -> raw.obj.(j) *. v) x)
       in
       best_x := Some (Array.copy x);
       Atomic.set best_obj obj;
+      if certs_on then inc_log := (-1, obj) :: !inc_log;
       Obs.Counter.incr c_incumbents;
       Obs.Series.add s_incumbents ~x:(elapsed ()) ~y:obj;
       (* No relaxation solved yet, so no dual bound: gap unknown. *)
@@ -427,7 +462,8 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
   in
   let mk_wctx wid lb ub =
     { wid; wlb = lb; wub = ub; wcur = Root; wstate = None;
-      wpc = pc_create raw.n; w_iters = 0; w_limited = 0; w_warm = 0 }
+      wpc = pc_create raw.n; w_iters = 0; w_limited = 0; w_warm = 0;
+      wcerts = [] }
   in
   let solve_node (w : wctx) (node : node) =
     goto ~lb:w.wlb ~ub:w.wub ~from_:w.wcur node.bounds;
@@ -472,9 +508,11 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
               match Simplex.basis_status st j with
               | `At_lower when Simplex.reduced_cost st j > gap +. 1e-7 ->
                   w.wub.(j) <- w.wlb.(j);
+                  if certs_on then fix_log := (j, Cert.Lower) :: !fix_log;
                   incr fixed_vars
               | `At_upper when -.(Simplex.reduced_cost st j) > gap +. 1e-7 ->
                   w.wlb.(j) <- w.wub.(j);
+                  if certs_on then fix_log := (j, Cert.Upper) :: !fix_log;
                   incr fixed_vars
               | _ -> ()
           done;
@@ -514,81 +552,142 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
     end;
     if depth = 0 then begin
       root_bound := r.Simplex.objective;
-      match r.Simplex.status with
+      (match r.Simplex.status with
       | Simplex.Infeasible -> infeasible_root := true
       | Simplex.Unbounded -> unbounded_root := true
-      | Simplex.Optimal | Simplex.Iteration_limit | Simplex.Time_limit -> ()
+      | Simplex.Optimal | Simplex.Iteration_limit | Simplex.Time_limit -> ());
+      (* The pre-fixing root duals ground the CERT audit of every
+         reduced-cost fixing event, so capture them before [fix_by_
+         reduced_cost] runs below. *)
+      if certs_on && r.Simplex.status = Simplex.Optimal then
+        root_duals :=
+          (match w.wstate with Some st -> Simplex.duals st | None -> None)
     end;
-    match r.Simplex.status with
-    | Simplex.Infeasible -> Leaf
-    | Simplex.Unbounded ->
-        (* With integer bounds intact this means the MILP is unbounded
-           (or numerically hopeless); stop exploring. *)
-        Stop_unbounded
-    | Simplex.Time_limit ->
-        (* The deadline ran out mid-pivot: stop and report the best
-           incumbent, exactly like the between-node budget check. *)
-        Stop_budget
-    | Simplex.Iteration_limit ->
-        (* Pruning an unsolved subproblem is unsound for optimality
-           claims, so count it: any such node demotes Optimal to
-           Feasible below. *)
-        w.w_limited <- w.w_limited + 1;
-        Log.warn (fun f ->
-            f "LP iteration limit at node %d (depth %d); pruning" node_id
-              depth);
-        Leaf
-    | Simplex.Optimal ->
-        if node.bvar >= 0 then
-          pc_record w.wpc ~j:node.bvar ~dir_up:node.dir_up
-            ~unit:(if node.dir_up then 1.0 -. node.bfrac else node.bfrac)
-            ~degrade:(Float.max 0.0 (r.Simplex.objective -. node.bound));
-        if depth = 0 && (not cold_mode) && have_inc () then
-          fix_by_reduced_cost w r.Simplex.objective;
-        if r.Simplex.objective >= Atomic.get best_obj -. 1e-9 && have_inc ()
-        then Leaf
-        else begin
-          let j =
-            if cold_mode then
-              most_fractional raw ~int_tol ?priority:branch_priority
-                r.Simplex.x
-            else
-              pseudocost_branch raw ~int_tol ?priority:branch_priority w.wpc
-                r.Simplex.x
-          in
-          if j < 0 then begin
-            (* integral: candidate incumbent *)
-            let x = snap raw ~int_tol r.Simplex.x in
-            let obj =
-              Array.fold_left ( +. ) 0.0
-                (Array.mapi (fun j v -> raw.obj.(j) *. v) x)
-            in
-            try_improve ~wid:w.wid ~node_id ~depth ~open_bound_now x obj;
+    (* Certificate fathom record: set by the branch taken below, emitted
+       once on the way out. *)
+    let fathom = ref Cert.F_budget in
+    let outcome =
+      match r.Simplex.status with
+      | Simplex.Infeasible ->
+          fathom := Cert.F_infeasible;
+          Leaf
+      | Simplex.Unbounded ->
+          (* With integer bounds intact this means the MILP is unbounded
+             (or numerically hopeless); stop exploring. *)
+          Stop_unbounded
+      | Simplex.Time_limit ->
+          (* The deadline ran out mid-pivot: stop and report the best
+             incumbent, exactly like the between-node budget check. *)
+          Stop_budget
+      | Simplex.Iteration_limit ->
+          (* Pruning an unsolved subproblem is unsound for optimality
+             claims, so count it: any such node demotes Optimal to
+             Feasible below. *)
+          w.w_limited <- w.w_limited + 1;
+          Log.warn (fun f ->
+              f "LP iteration limit at node %d (depth %d); pruning" node_id
+                depth);
+          Leaf
+      | Simplex.Optimal ->
+          if node.bvar >= 0 then
+            pc_record w.wpc ~j:node.bvar ~dir_up:node.dir_up
+              ~unit:(if node.dir_up then 1.0 -. node.bfrac else node.bfrac)
+              ~degrade:(Float.max 0.0 (r.Simplex.objective -. node.bound));
+          if depth = 0 && (not cold_mode) && have_inc () then
+            fix_by_reduced_cost w r.Simplex.objective;
+          if r.Simplex.objective >= Atomic.get best_obj -. 1e-9 && have_inc ()
+          then begin
+            fathom := Cert.F_bound;
             Leaf
           end
           else begin
-            let v = r.Simplex.x.(j) in
-            let fl = Float.of_int (int_of_float (floor v)) in
-            (* wlb/wub currently hold this node's bounds, so [prev]
-               reads the parent value the chain invariant needs. *)
-            let down =
-              { bounds =
-                  Tighten { j; side = Ub; v = fl; prev = w.wub.(j);
-                            depth = depth + 1; parent = node.bounds };
-                bound = r.Simplex.objective; bvar = j;
-                bfrac = v -. fl; dir_up = false }
-            and up =
-              { bounds =
-                  Tighten { j; side = Lb; v = fl +. 1.0; prev = w.wlb.(j);
-                            depth = depth + 1; parent = node.bounds };
-                bound = r.Simplex.objective; bvar = j;
-                bfrac = v -. fl; dir_up = true }
+            let j =
+              if cold_mode then
+                most_fractional raw ~int_tol ?priority:branch_priority
+                  r.Simplex.x
+              else
+                pseudocost_branch raw ~int_tol ?priority:branch_priority w.wpc
+                  r.Simplex.x
             in
-            (* Dive toward the nearest integer first. *)
-            if v -. fl <= 0.5 then Children (down, up)
-            else Children (up, down)
+            if j < 0 then begin
+              (* integral: candidate incumbent *)
+              let x = snap raw ~int_tol r.Simplex.x in
+              let obj =
+                Array.fold_left ( +. ) 0.0
+                  (Array.mapi (fun j v -> raw.obj.(j) *. v) x)
+              in
+              try_improve ~wid:w.wid ~node_id ~nid:node.nid ~depth
+                ~open_bound_now x obj;
+              fathom := Cert.F_integral;
+              Leaf
+            end
+            else begin
+              let v = r.Simplex.x.(j) in
+              let fl = Float.of_int (int_of_float (floor v)) in
+              (* wlb/wub currently hold this node's bounds, so [prev]
+                 reads the parent value the chain invariant needs. *)
+              let down =
+                { nid = alloc_nid (); parent_nid = node.nid;
+                  bounds =
+                    Tighten { j; side = Ub; v = fl; prev = w.wub.(j);
+                              depth = depth + 1; parent = node.bounds };
+                  bound = r.Simplex.objective; bvar = j;
+                  bfrac = v -. fl; dir_up = false }
+              and up =
+                { nid = alloc_nid (); parent_nid = node.nid;
+                  bounds =
+                    Tighten { j; side = Lb; v = fl +. 1.0; prev = w.wlb.(j);
+                              depth = depth + 1; parent = node.bounds };
+                  bound = r.Simplex.objective; bvar = j;
+                  bfrac = v -. fl; dir_up = true }
+              in
+              fathom :=
+                Cert.F_branched
+                  { bvar = j; down_id = down.nid; down_ub = fl;
+                    up_id = up.nid; up_lb = fl +. 1.0 };
+              (* Dive toward the nearest integer first. *)
+              if v -. fl <= 0.5 then Children (down, up)
+              else Children (up, down)
+            end
           end
-        end
+    in
+    if certs_on then begin
+      let claim =
+        match r.Simplex.status with
+        | Simplex.Optimal -> (
+            match Option.bind w.wstate Simplex.duals with
+            | Some d -> Cert.Lp_optimal { obj = r.Simplex.objective; duals = d }
+            | None -> Cert.Lp_unsolved)
+        | Simplex.Infeasible ->
+            Cert.Lp_infeasible
+              (Option.bind w.wstate Simplex.last_infeasibility)
+        | Simplex.Unbounded | Simplex.Iteration_limit | Simplex.Time_limit ->
+            Cert.Lp_unsolved
+      in
+      let bound =
+        match r.Simplex.status with
+        | Simplex.Optimal -> r.Simplex.objective
+        | _ -> node.bound
+      in
+      w.wcerts <-
+        { Cert.id = node.nid; parent = node.parent_nid;
+          branch = branch_of node; depth; domain = w.wid; claim; bound;
+          incumbent_at = Atomic.get best_obj; fathom = !fathom }
+        :: w.wcerts
+    end;
+    outcome
+  in
+  (* Nodes pruned on their parent's bound before any LP solve still need a
+     pruning-log entry: their soundness is audited against the nearest
+     ancestor's dual certificate. *)
+  let note_dominated (w : wctx) (node : node) =
+    if certs_on then
+      w.wcerts <-
+        { Cert.id = node.nid; parent = node.parent_nid;
+          branch = branch_of node; depth = chain_depth node.bounds;
+          domain = w.wid; claim = Cert.Lp_unsolved; bound = node.bound;
+          incumbent_at = Atomic.get best_obj; fathom = Cert.F_dominated }
+        :: w.wcerts
   in
   let dominated (node : node) =
     let b = Atomic.get best_obj in
@@ -615,7 +714,7 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
           end
           else if dominated node then
             (* parent bound already dominated by the incumbent *)
-            ()
+            note_dominated w0 node
           else
             match process w0 ~open_bound_now node with
             | Leaf -> ()
@@ -718,7 +817,10 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
                local := node :: !local;
                request_stop `Budget
              end
-             else if dominated node then finish_node ()
+             else if dominated node then begin
+               note_dominated w node;
+               finish_node ()
+             end
              else
                match process w ~open_bound_now node with
                | Leaf -> finish_node ()
@@ -777,7 +879,8 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
         if w != w0 then begin
           w0.w_iters <- w0.w_iters + w.w_iters;
           w0.w_limited <- w0.w_limited + w.w_limited;
-          w0.w_warm <- w0.w_warm + w.w_warm
+          w0.w_warm <- w0.w_warm + w.w_warm;
+          w0.wcerts <- List.rev_append w.wcerts w0.wcerts
         end)
       wctxs;
     open_bound_end :=
@@ -793,13 +896,20 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
      fixing mutates the root arrays before any worker copies them. *)
   let w0 = mk_wctx 0 (Array.copy raw.lb) (Array.copy raw.ub) in
   let root =
-    { bounds = Root; bound = neg_infinity; bvar = -1; bfrac = 0.0;
-      dir_up = false }
+    { nid = alloc_nid (); parent_nid = -1; bounds = Root;
+      bound = neg_infinity; bvar = -1; bfrac = 0.0; dir_up = false }
   in
   if budget () then budget_hit := true
   else begin
     let root_open_bound obj = obj in
-    match process w0 ~open_bound_now:root_open_bound root with
+    let root_outcome = process w0 ~open_bound_now:root_open_bound root in
+    (* w0 still sits at the root chain here, so its arrays hold the
+       post-fixing root box every subtree inherited. *)
+    if certs_on then begin
+      cert_root_lb := Array.copy w0.wlb;
+      cert_root_ub := Array.copy w0.wub
+    end;
+    match root_outcome with
     | Leaf -> ()
     | Stop_unbounded -> ()
     | Stop_budget -> budget_hit := true
@@ -843,12 +953,46 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
   Obs.Counter.incr ~by:stats.warm_hits c_warm_hits;
   Obs.Counter.incr ~by:stats.fixed_vars c_fixed_vars;
   Obs.Series.add s_gap ~x:stats.elapsed ~y:stats.gap;
+  let mk_cert cstatus =
+    if not certs_on then None
+    else begin
+      let c =
+        {
+          Cert.status = cstatus;
+          objective = best;
+          incumbent = Option.map Array.copy !best_x;
+          incumbents = List.rev !inc_log;
+          root_lb = !cert_root_lb;
+          root_ub = !cert_root_ub;
+          fixes = List.rev !fix_log;
+          root_duals = !root_duals;
+          root_obj = !root_bound;
+          nodes =
+            List.sort
+              (fun (a : Cert.node) b -> compare a.Cert.id b.Cert.id)
+              w0.wcerts;
+          budget_hit = !budget_hit;
+          lp_limited = w0.w_limited;
+          domains;
+          gap_tol;
+          int_tol;
+        }
+      in
+      if Obs.Trace.enabled () then
+        Obs.Trace.instant ~cat:"milp" "milp.cert" ~args:(Cert.summary_json c);
+      Some c
+    end
+  in
   match !best_x with
   | Some x ->
       let status =
         if proved || (clean && gap <= gap_tol) then Optimal else Feasible
       in
-      { status; x; objective = best +. constant; stats }
+      let cert =
+        mk_cert
+          (match status with Optimal -> Cert.Optimal | _ -> Cert.Feasible)
+      in
+      { status; x; objective = best +. constant; stats; cert }
   | None ->
       let status =
         if !unbounded_root then Unbounded
@@ -856,7 +1000,14 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
         else if proved then Infeasible
         else Unknown
       in
-      { status; x = Array.make raw.n 0.0; objective = infinity; stats }
+      let cert =
+        mk_cert
+          (match status with
+          | Infeasible -> Cert.Infeasible
+          | Unbounded -> Cert.Unbounded
+          | _ -> Cert.Unknown)
+      in
+      { status; x = Array.make raw.n 0.0; objective = infinity; stats; cert }
 
 let value r v = r.x.(Model.var_index v)
 let int_value r v = int_of_float (Float.round (value r v))

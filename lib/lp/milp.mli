@@ -52,6 +52,10 @@ type result = {
   x : float array;  (** meaningful for [Optimal] / [Feasible] *)
   objective : float;  (** includes the model's objective constant *)
   stats : stats;
+  cert : Cert.t option;
+      (** proof-carrying certificate; [Some] iff [certificates] was
+          requested and the warm-start machinery was active (forced
+          cold-start runs carry no dual/Farkas evidence) *)
 }
 
 val solve :
@@ -64,6 +68,7 @@ val solve :
   ?incumbent:float array ->
   ?branch_priority:int array ->
   ?domains:int ->
+  ?certificates:bool ->
   Model.t ->
   result
 (** Defaults: [time_limit = 60.] s, [node_limit = 200_000],
@@ -115,6 +120,18 @@ val solve :
     Fault points ({!Resilience.Fault}): [milp.raise] raises [Failure] at
     entry; [milp.timeout] returns {!Unknown} immediately, modelling a
     budget that expired before any incumbent existed.
+
+    [certificates] (default [false]) makes the solve proof-carrying: the
+    result's [cert] field collects, from every worker domain, each node's
+    LP claim (dual vector for optimal, Farkas ray for infeasible), its
+    branch edit and fathom reason with the incumbent at the decision, the
+    accepted-incumbent log, and the root's reduced-cost fixing events
+    with the pre-fixing duals — everything [Analyze.Audit] needs to
+    re-verify the run in exact rational arithmetic (DESIGN.md §3h).
+    Collection is observational: it never changes exploration. Under
+    [PIPESYN_COLD_START] no certificate is produced (the evidence lives
+    in the warm-start solver state). A ["milp.cert"] trace instant
+    carries the certificate summary when tracing is on.
 
     When {!Obs.Trace} is enabled the solve emits a ["milp.solve"] span
     (tagged with the domain count), one ["milp.node"] instant per node

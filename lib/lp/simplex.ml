@@ -38,6 +38,13 @@ type tab = {
   z : float array;  (** reduced costs *)
   stat : vstat array;
   basis : int array;  (** column basic in each row *)
+  sign : float array;
+      (** per-row build-time normalization: -1 where a [>=] row was negated
+          into [<=] form, +1 otherwise. Needed to translate slack-column
+          reduced costs back into multipliers on the *original* rows for
+          certificate extraction ({!duals}, Farkas rays): the artificial-row
+          flip applied below cancels out of that algebra, but [sign] does
+          not. *)
 }
 
 let value t j =
@@ -258,6 +265,7 @@ let do_dual_pivot t j r ~target ~below =
 let dual_repair t ~max_iters ~iters_used ~deadline =
   let iters = ref iters_used in
   let status = ref Optimal in
+  let infeas_row = ref None in
   let continue_ = ref true in
   while !continue_ do
     (* most-violated row *)
@@ -312,6 +320,7 @@ let dual_repair t ~max_iters ~iters_used ~deadline =
       done;
       if !q < 0 then begin
         status := Infeasible;
+        infeas_row := Some (r, below);
         continue_ := false
       end
       else begin
@@ -323,17 +332,23 @@ let dual_repair t ~max_iters ~iters_used ~deadline =
       end
     end
   done;
-  (!status, !iters)
+  (!status, !iters, !infeas_row)
 
 (* ------------------------------------------------------------------ *)
 (* Build / solve                                                       *)
 (* ------------------------------------------------------------------ *)
 
+(* First variable whose bounds cross, if any. *)
 let crossed_bounds n lbv ubv =
-  let crossed = ref false in
-  for j = 0 to n - 1 do
-    if ubv.(j) < lbv.(j) -. feas_eps then crossed := true
-  done;
+  let crossed = ref (-1) in
+  (try
+     for j = 0 to n - 1 do
+       if ubv.(j) < lbv.(j) -. feas_eps then begin
+         crossed := j;
+         raise Exit
+       end
+     done
+   with Exit -> ());
   !crossed
 
 let infeasible_result n =
@@ -411,10 +426,34 @@ let build (raw : Model.raw) lbv ubv =
     beta; lo; hi;
     cost = Array.make cols 0.0;
     z = Array.make cols 0.0;
-    stat; basis;
+    stat; basis; sign;
   }
 
-(* Phase 1 (artificials to zero) then phase 2 on the real objective. *)
+(* ------------------------------------------------------------------ *)
+(* Certificate extraction                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Multipliers on the *original* model rows, in the Lagrangian convention
+   the audit re-checks exactly: a vector [u] with [u_i >= 0] on [<=] rows,
+   [u_i <= 0] on [>=] rows and free on [=] rows yields the safe bound
+   [-u·b + Σ_j min over the box of (c + Aᵀu)_j·x_j]. The slack column of
+   row [i] carries exactly [flip_i·(B⁻¹)_{·,i}], so its reduced cost is
+   [-flip_i·y'_i]; unwinding the build-time flip and [>=] normalizations,
+   the flips cancel and [u_i = sign_i·z.(n+i)]. Valid under whichever cost
+   row is currently installed — phase 2 gives optimality duals, phase 1 at
+   a positive-infeasibility optimum gives a Farkas ray. *)
+let row_multipliers t = Array.init t.m (fun i -> t.sign.(i) *. t.z.(t.n + i))
+
+(* Farkas ray from a dual-repair failure: row [r] of B⁻¹ read off the
+   slack columns proves the box empty (no sign-compatible entering column
+   means the basic variable's bound violation cannot be repaired within
+   the box); negated when the variable overshot its upper bound. *)
+let farkas_of_row t (r, below) =
+  let s = if below then 1.0 else -1.0 in
+  Array.init t.m (fun i -> s *. t.sign.(i) *. t.a.(r).(t.n + i))
+
+(* Phase 1 (artificials to zero) then phase 2 on the real objective.
+   Returns a Farkas ray alongside a phase-1 [Infeasible]. *)
 let phases t (raw : Model.raw) ~max_iters ~deadline =
   let n = t.n and m = t.m and cols = t.cols in
   let phase1 =
@@ -426,15 +465,18 @@ let phases t (raw : Model.raw) ~max_iters ~deadline =
       recompute_z t;
       let status, iters = optimize t ~max_iters ~iters_used:0 ~deadline in
       match status with
-      | Iteration_limit -> Error (Iteration_limit, iters)
-      | Time_limit -> Error (Time_limit, iters)
-      | Unbounded -> Error (Infeasible, iters) (* cannot happen *)
+      | Iteration_limit -> Error (Iteration_limit, iters, None)
+      | Time_limit -> Error (Time_limit, iters, None)
+      | Unbounded -> Error (Infeasible, iters, None) (* cannot happen *)
       | Optimal | Infeasible ->
           let infeas = ref 0.0 in
           for c = n + m to cols - 1 do
             infeas := !infeas +. value t c
           done;
-          if !infeas > 1e-6 then Error (Infeasible, iters)
+          if !infeas > 1e-6 then
+            (* The phase-1 dual proves min Σ artificials > 0: extract it
+               while the phase-1 cost row is still installed. *)
+            Error (Infeasible, iters, Some (row_multipliers t))
           else begin
             (* Lock artificials at zero for phase 2. *)
             for c = n + m to cols - 1 do
@@ -445,13 +487,14 @@ let phases t (raw : Model.raw) ~max_iters ~deadline =
     end
   in
   match phase1 with
-  | Error (s, i) -> (s, i)
+  | Error (s, i, ray) -> (s, i, ray)
   | Ok iters1 ->
       for c = 0 to cols - 1 do
         t.cost.(c) <- (if c < n then raw.obj.(c) else 0.0)
       done;
       recompute_z t;
-      optimize t ~max_iters ~iters_used:iters1 ~deadline
+      let status, iters = optimize t ~max_iters ~iters_used:iters1 ~deadline in
+      (status, iters, None)
 
 let finish t (raw : Model.raw) base_lb status iters =
   let x = Array.init t.n (fun j -> base_lb.(j) +. value t j) in
@@ -468,10 +511,10 @@ let solve ?(max_iters = 50_000) ?(deadline = Resilience.Deadline.none) ?lb ?ub
     (raw : Model.raw) =
   let lbv = match lb with Some a -> a | None -> raw.lb in
   let ubv = match ub with Some a -> a | None -> raw.ub in
-  if crossed_bounds raw.n lbv ubv then infeasible_result raw.n
+  if crossed_bounds raw.n lbv ubv >= 0 then infeasible_result raw.n
   else begin
     let t = build raw lbv ubv in
-    let status, iters = phases t raw ~max_iters ~deadline in
+    let status, iters, _ray = phases t raw ~max_iters ~deadline in
     finish t raw lbv status iters
   end
 
@@ -488,6 +531,8 @@ type state = {
       (** last terminal status left a dual-feasible basis to restart from *)
   mutable last_warm : bool;
   mutable resolves : int;
+  mutable infeas : Cert.farkas option;
+      (** infeasibility evidence for the most recent [Infeasible] outcome *)
 }
 
 (* Accumulated row-operation drift in [a] is bounded by refactoring (a
@@ -498,16 +543,21 @@ let solve_state ?(max_iters = 50_000) ?(deadline = Resilience.Deadline.none)
     ?lb ?ub (raw : Model.raw) =
   let lbv = Array.copy (match lb with Some a -> a | None -> raw.lb) in
   let ubv = Array.copy (match ub with Some a -> a | None -> raw.ub) in
-  if crossed_bounds raw.n lbv ubv then
+  let crossed = crossed_bounds raw.n lbv ubv in
+  if crossed >= 0 then
     ( infeasible_result raw.n,
       { raw; base_lb = lbv; t = None; warm_ok = false; last_warm = false;
-        resolves = 0 } )
+        resolves = 0; infeas = Some (Cert.Empty_box crossed) } )
   else begin
     let t = build raw lbv ubv in
-    let status, iters = phases t raw ~max_iters ~deadline in
+    let status, iters, ray = phases t raw ~max_iters ~deadline in
     ( finish t raw lbv status iters,
       { raw; base_lb = lbv; t = Some t; warm_ok = status = Optimal;
-        last_warm = false; resolves = 0 } )
+        last_warm = false; resolves = 0;
+        infeas =
+          (match (status, ray) with
+          | Infeasible, Some r -> Some (Cert.Ray r)
+          | _ -> None) } )
   end
 
 let copy_tab t =
@@ -548,10 +598,13 @@ let basis_status st j =
 let resolve ?(max_iters = 50_000) ?(deadline = Resilience.Deadline.none)
     ~lb ~ub st =
   st.resolves <- st.resolves + 1;
+  st.infeas <- None;
   let raw = st.raw in
-  if crossed_bounds raw.n lb ub then begin
+  let crossed = crossed_bounds raw.n lb ub in
+  if crossed >= 0 then begin
     (* Basis untouched: the state stays warm for the next sibling. *)
     st.last_warm <- true;
+    st.infeas <- Some (Cert.Empty_box crossed);
     infeasible_result raw.n
   end
   else begin
@@ -565,10 +618,13 @@ let resolve ?(max_iters = 50_000) ?(deadline = Resilience.Deadline.none)
       Obs.Counter.incr c_resolve_cold;
       let lbv = Array.copy lb and ubv = Array.copy ub in
       let t = build raw lbv ubv in
-      let status, iters = phases t raw ~max_iters ~deadline in
+      let status, iters, ray = phases t raw ~max_iters ~deadline in
       st.t <- Some t;
       st.base_lb <- lbv;
       st.warm_ok <- status = Optimal;
+      (match (status, ray) with
+      | Infeasible, Some r -> st.infeas <- Some (Cert.Ray r)
+      | _ -> ());
       Obs.Counter.incr ~by:iters c_resolve_pivots;
       finish t raw lbv status iters
     in
@@ -601,7 +657,9 @@ let resolve ?(max_iters = 50_000) ?(deadline = Resilience.Deadline.none)
       if not !dual_ok then cold ~reason:"dual_infeasible" ()
       else begin
         recompute_beta t;
-        let repair, iters1 = dual_repair t ~max_iters ~iters_used:0 ~deadline in
+        let repair, iters1, bad_row =
+          dual_repair t ~max_iters ~iters_used:0 ~deadline
+        in
         match repair with
         | Iteration_limit ->
             (* possible degenerate cycling in the repair: rebuild cold *)
@@ -609,6 +667,9 @@ let resolve ?(max_iters = 50_000) ?(deadline = Resilience.Deadline.none)
         | Infeasible ->
             st.last_warm <- true;
             st.warm_ok <- true;
+            (match bad_row with
+            | Some rb -> st.infeas <- Some (Cert.Ray (farkas_of_row t rb))
+            | None -> ());
             Obs.Counter.incr c_resolve_warm;
             Obs.Counter.incr ~by:iters1 c_resolve_pivots;
             finish t raw st.base_lb Infeasible iters1
@@ -636,3 +697,10 @@ let resolve ?(max_iters = 50_000) ?(deadline = Resilience.Deadline.none)
         cold ~reason:"periodic" ()
     | Some t -> warm t
   end
+
+let duals st =
+  match st.t with
+  | None -> None
+  | Some t -> Some (row_multipliers t)
+
+let last_infeasibility st = st.infeas

@@ -109,3 +109,23 @@ val reduced_cost : state -> int -> float
 
 val basis_status : state -> int -> [ `Basic | `At_lower | `At_upper ]
 (** Basis status of structural column [j] in the current basis. *)
+
+(** {1 Certificate extraction}
+
+    See {!Cert} and DESIGN.md §3h. Both accessors read the state's live
+    tableau; they are meaningful immediately after the corresponding
+    terminal status and are consumed by {!Milp}'s certificate emitter. *)
+
+val duals : state -> float array option
+(** Multipliers on the original model rows under the currently installed
+    cost row, in the Lagrangian convention the audit re-checks: after an
+    [Optimal] solve, [-u·b + Σ_j min over the box of (c + Aᵀu)_j·x_j]
+    re-evaluated in exact arithmetic is a safe lower bound on the LP —
+    and equals its optimum up to float drift. [None] when the state was
+    built from crossed bounds and holds no tableau. *)
+
+val last_infeasibility : state -> Cert.farkas option
+(** Evidence for the most recent [Infeasible] outcome of {!solve_state} /
+    {!resolve}: a Farkas ray (phase-1 dual or the violated row of B⁻¹
+    from a dual-repair failure) or the crossed-bounds variable. Reset on
+    every {!resolve}; [None] after non-infeasible outcomes. *)

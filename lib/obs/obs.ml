@@ -972,11 +972,17 @@ module Metrics = struct
     nodes_per_s : float;
         (** B&B node throughput, [bnb_nodes / solve_s]; nan when no
             nodes were explored or the solve took no measurable time *)
+    cert_nodes : int;
+        (** nodes recorded in the solve's proof-carrying certificate;
+            0 when the solve carried none *)
+    audit_errors : int;
+        (** error findings from the exact-rational certificate audit;
+            -1 when the audit did not run *)
     diagnostics : Json.t list;
     degradation : Json.t list;
   }
 
-  let schema_version = 5
+  let schema_version = 6
 
   let to_json m =
     Json.Obj
@@ -995,6 +1001,8 @@ module Metrics = struct
         ("objective", Json.Float m.objective);
         ("domains", Json.Int m.domains);
         ("nodes_per_s", Json.Float m.nodes_per_s);
+        ("cert_nodes", Json.Int m.cert_nodes);
+        ("audit_errors", Json.Int m.audit_errors);
         ("diagnostics", Json.List m.diagnostics);
         ("degradation", Json.List m.degradation);
       ]
@@ -1042,6 +1050,13 @@ module Metrics = struct
     let domains =
       match Json.member "domains" j with Some (Json.Int i) -> i | _ -> 1
     in
+    (* Absent in schema v1–v5 files. *)
+    let cert_nodes =
+      match Json.member "cert_nodes" j with Some (Json.Int i) -> i | _ -> 0
+    in
+    let audit_errors =
+      match Json.member "audit_errors" j with Some (Json.Int i) -> i | _ -> -1
+    in
     (* Absent in schema v1 files; default to empty for compatibility. *)
     let diagnostics =
       match Json.member "diagnostics" j with Some (Json.List l) -> l | _ -> []
@@ -1066,6 +1081,8 @@ module Metrics = struct
         objective;
         domains;
         nodes_per_s;
+        cert_nodes;
+        audit_errors;
         diagnostics;
         degradation;
       }

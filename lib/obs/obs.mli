@@ -376,6 +376,14 @@ module Metrics : sig
     nodes_per_s : float;
         (** B&B node throughput [bnb_nodes / solve_s]; nan for heuristic
             flows or unmeasurably fast solves (schema v5) *)
+    cert_nodes : int;
+        (** node count of the solve's proof-carrying certificate
+            ({!Lp.Cert.t}); 0 when the solve carried none — heuristic
+            flows, certificates off, or cold-start mode (schema v6) *)
+    audit_errors : int;
+        (** error findings from the exact-rational certificate audit
+            ([Analyze.Audit]); -1 when the audit did not run
+            (schema v6; the CI audit gate requires 0 here) *)
     diagnostics : Json.t list;
         (** static-analysis findings from the run's lint gate, one
             {!Analyze.Diag.to_json} object each (schema v2; absent fields
@@ -395,7 +403,9 @@ module Metrics : sig
       array; 4 = adds per-result [first_incumbent_s]/[final_gap] and the
       file-level ["trace"] summary object; 5 = adds per-result
       [objective]/[domains]/[nodes_per_s] for the parallel B&B
-      determinism and throughput checks. *)
+      determinism and throughput checks; 6 = adds per-result
+      [cert_nodes]/[audit_errors] for the proof-carrying certificate
+      audit. *)
 
   val to_json : t -> Json.t
   (** One flat object: [{"name": …, "method": …, "lut": …, "ff": …,

@@ -550,14 +550,32 @@ let test_flow_gate_integration () =
 
 let test_registry_covers_codes () =
   let codes =
-    List.concat_map (fun (p : Analyze.Engine.pass) -> p.codes)
+    List.concat_map
+      (fun (p : Analyze.Engine.pass) -> List.map fst p.codes)
       Analyze.Engine.passes
   in
   Alcotest.(check bool) "at least 10 documented codes" true
     (List.length codes >= 10);
-  let uniq = List.sort_uniq compare codes in
+  let uniq = List.sort_uniq String.compare codes in
   Alcotest.(check int) "codes unique across passes" (List.length codes)
-    (List.length uniq)
+    (List.length uniq);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "audit pass documents %s" c)
+        true (List.mem c codes))
+    [ "CERT101"; "CERT102"; "CERT103"; "CERT104"; "CERT105"; "CERT106";
+      "CERT107"; "CERT108" ];
+  List.iter
+    (fun (p : Analyze.Engine.pass) ->
+      List.iter
+        (fun (_, d) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s descriptions non-empty" p.name)
+            true
+            (String.length d > 0))
+        p.codes)
+    Analyze.Engine.passes
 
 let test_diag_json_roundtrip () =
   let d =

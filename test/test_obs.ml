@@ -169,6 +169,8 @@ let sample_metrics =
     objective = 12.5;
     domains = 4;
     nodes_per_s = 10.9;
+    cert_nodes = 55;
+    audit_errors = 0;
     diagnostics = [];
     degradation = [];
   }
@@ -199,7 +201,11 @@ let test_metrics_v3_compat () =
           Alcotest.(check bool) "first_incumbent_s defaults to nan" true
             (Float.is_nan m.Obs.Metrics.first_incumbent_s);
           Alcotest.(check bool) "final_gap defaults to nan" true
-            (Float.is_nan m.Obs.Metrics.final_gap))
+            (Float.is_nan m.Obs.Metrics.final_gap);
+          Alcotest.(check int) "cert_nodes defaults to 0" 0
+            m.Obs.Metrics.cert_nodes;
+          Alcotest.(check int) "audit_errors defaults to -1" (-1)
+            m.Obs.Metrics.audit_errors)
 
 let test_metrics_file_shape () =
   Obs.reset ();
