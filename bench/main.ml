@@ -339,9 +339,9 @@ let print_ablation_liveness () =
           }
         in
         let solve label model extract =
-          let t0 = Sys.time () in
+          let t0 = Obs.Clock.wall () in
           let r = Lp.Milp.solve ~time_limit:budget model in
-          let dt = Sys.time () -. t0 in
+          let dt = Obs.Clock.wall () -. t0 in
           let ff =
             match r.Lp.Milp.status with
             | Lp.Milp.Optimal | Lp.Milp.Feasible ->
@@ -598,13 +598,13 @@ let print_scaling () =
                   Some x
               | _ | (exception Invalid_argument _) -> None)
         in
-        let t0 = Sys.time () in
+        let t0 = Obs.Clock.wall () in
         let r =
           Lp.Milp.solve ~time_limit:budget ?incumbent
             ~branch_priority:(Mams.Formulation.branch_priorities f)
             model
         in
-        let dt = Sys.time () -. t0 in
+        let dt = Obs.Clock.wall () -. t0 in
         [
           name;
           string_of_int (Ir.Cdfg.num_nodes g);

@@ -82,6 +82,16 @@ let domains_arg =
   in
   Arg.(value & opt (some int) None & info [ "domains" ] ~doc ~docv:"N")
 
+let stall_window_arg =
+  let doc =
+    "Stall-watchdog window in seconds: a B\\&B worker that makes no \
+     progress for a full window is first nudged (cold refactorization), \
+     then its node is cancelled and requeued for replay. Off by default; \
+     results are unaffected either way (the recovery is recorded in the \
+     degradation log)."
+  in
+  Arg.(value & opt (some float) None & info [ "stall-window" ] ~doc ~docv:"SECS")
+
 (* Exit codes (README, "Exit codes"): 0 ok, 1 error findings / user error,
    2 degraded result, 3 internal error. *)
 let exit_error = 1
@@ -135,6 +145,40 @@ let setup_of ?(k = 4) ?(ii = 1) ?(alpha = 0.5) ?(beta = 0.5) ?wall_budget
     wall_budget;
     domains;
   }
+
+let method_key m =
+  match m with
+  | Mams.Flow.Hls_tool -> "hls"
+  | Mams.Flow.Sdc_tool -> "sdc"
+  | Mams.Flow.Milp_base -> "base"
+  | Mams.Flow.Milp_map -> "map"
+  | Mams.Flow.Map_heuristic -> "mapfirst"
+
+let method_of_key = function
+  | "hls" -> Some Mams.Flow.Hls_tool
+  | "sdc" -> Some Mams.Flow.Sdc_tool
+  | "base" -> Some Mams.Flow.Milp_base
+  | "map" -> Some Mams.Flow.Milp_map
+  | "mapfirst" -> Some Mams.Flow.Map_heuristic
+  | _ -> None
+
+(* The driver payload stored in every checkpoint: what `pipesyn resume'
+   needs to rebuild the identical setup (the model fingerprint inside the
+   checkpoint then cross-checks the rebuild). *)
+let checkpoint_meta ~bench ~method_ ~time_limit ~ii ~k ~alpha ~beta ~optimize
+    ~audit =
+  Obs.Json.Obj
+    [
+      ("benchmark", Obs.Json.String bench);
+      ("method", Obs.Json.String (method_key method_));
+      ("time_limit", Obs.Json.Float time_limit);
+      ("ii", Obs.Json.Int ii);
+      ("k", Obs.Json.Int k);
+      ("alpha", Obs.Json.Float alpha);
+      ("beta", Obs.Json.Float beta);
+      ("optimize", Obs.Json.Bool optimize);
+      ("audit", Obs.Json.Bool audit);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* list                                                                *)
@@ -202,8 +246,32 @@ let run_cmd =
     in
     Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
   in
+  let checkpoint_arg =
+    let doc =
+      "Snapshot the live MILP solve to $(docv) (atomic rename; the file \
+       is always either the previous snapshot or a complete new one). An \
+       interrupted run can be continued with `pipesyn resume'. Requires \
+       a single MILP method (-m base or -m map)."
+    in
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~doc ~docv:"FILE")
+  in
+  let checkpoint_every_arg =
+    let doc = "Seconds between checkpoint snapshots (default 5)." in
+    Arg.(value
+         & opt (some float) None
+         & info [ "checkpoint-every" ] ~doc ~docv:"SECS")
+  in
+  let audit_arg =
+    Arg.(value & flag
+         & info [ "audit" ]
+             ~doc:
+               "Make MILP solves proof-carrying and re-verify each \
+                certificate in exact rational arithmetic after the solve; \
+                findings land in the metrics (see `pipesyn audit' for the \
+                gating variant).")
+  in
   let run name method_ time_limit ii k alpha beta verbose optimize json trace
-      faults deadline domains =
+      faults deadline domains checkpoint checkpoint_every stall_window audit =
     setup_logs verbose;
     (match domains with
     | Some d when d < 1 ->
@@ -244,6 +312,37 @@ let run_cmd =
       match method_ with
       | Some m -> [ m ]
       | None -> [ Mams.Flow.Hls_tool; Mams.Flow.Milp_base; Mams.Flow.Milp_map ]
+    in
+    let checkpoint_sink =
+      match checkpoint with
+      | None ->
+          if checkpoint_every <> None then begin
+            Fmt.epr "--checkpoint-every requires --checkpoint@.";
+            exit exit_error
+          end;
+          None
+      | Some path ->
+          let m =
+            match methods with
+            | [ ((Mams.Flow.Milp_base | Mams.Flow.Milp_map) as m) ] -> m
+            | _ ->
+                Fmt.epr
+                  "--checkpoint requires a single MILP method (-m base or \
+                   -m map)@.";
+                exit exit_error
+          in
+          Some
+            {
+              Lp.Milp.ck_path = path;
+              ck_every_s = Option.value ~default:5.0 checkpoint_every;
+              ck_every_nodes = None;
+              ck_meta =
+                checkpoint_meta ~bench:e.name ~method_:m ~time_limit ~ii ~k
+                  ~alpha ~beta ~optimize ~audit;
+            }
+    in
+    let setup =
+      { setup with Mams.Flow.checkpoint = checkpoint_sink; stall_window; audit }
     in
     let failed = ref false and degraded = ref false in
     let metrics =
@@ -294,7 +393,158 @@ let run_cmd =
     Term.(
       const run $ bench_arg $ method_arg $ time_limit_arg $ ii_arg $ k_arg
       $ alpha_arg $ beta_arg $ verbose_arg $ optimize_arg $ json_arg
-      $ trace_arg $ faults_arg $ deadline_arg $ domains_arg)
+      $ trace_arg $ faults_arg $ deadline_arg $ domains_arg $ checkpoint_arg
+      $ checkpoint_every_arg $ stall_window_arg $ audit_arg)
+
+(* ------------------------------------------------------------------ *)
+(* resume                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let resume_cmd =
+  let file_arg =
+    let doc = "Checkpoint file written by `pipesyn run --checkpoint'." in
+    Arg.(required & pos 0 (some string) None & info [] ~doc ~docv:"FILE")
+  in
+  let time_limit_opt_arg =
+    let doc =
+      "MILP time budget in seconds for the resumed solve itself (default: \
+       the original run's budget). Reported solve time is cumulative: the \
+       checkpoint's consumed seconds plus this run's."
+    in
+    Arg.(value & opt (some float) None & info [ "t"; "time-limit" ] ~doc)
+  in
+  let audit_arg =
+    Arg.(value & flag
+         & info [ "audit" ]
+             ~doc:
+               "Re-verify the resumed solve's certificate (the \
+                checkpoint's closed-node prefix plus this run's nodes) in \
+                exact rational arithmetic.")
+  in
+  let json_arg =
+    let doc = "Write structured metrics for the resumed run to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"FILE")
+  in
+  let str_of j = match j with Some (Obs.Json.String s) -> Some s | _ -> None in
+  let float_of j =
+    match j with
+    | Some (Obs.Json.Float f) -> Some f
+    | Some (Obs.Json.Int i) -> Some (float_of_int i)
+    | _ -> None
+  in
+  let int_of j = match j with Some (Obs.Json.Int i) -> Some i | _ -> None in
+  let bool_of j = match j with Some (Obs.Json.Bool b) -> Some b | _ -> None in
+  let run file time_limit domains audit json faults stall_window verbose =
+    setup_logs verbose;
+    (match domains with
+    | Some d when d < 1 ->
+        Fmt.epr "--domains: must be >= 1 (got %d)@." d;
+        exit exit_error
+    | _ -> ());
+    Obs.reset ();
+    arm_faults faults;
+    let ck =
+      match Lp.Checkpoint.read ~path:file with
+      | Ok ck -> ck
+      | Error e ->
+          Fmt.epr "%s: %s@." file e;
+          exit exit_error
+    in
+    let meta = ck.Lp.Checkpoint.meta in
+    let need what = function
+      | Some v -> v
+      | None ->
+          Fmt.epr
+            "%s: checkpoint metadata is missing %s (was it written by \
+             `pipesyn run --checkpoint'?)@."
+            file what;
+          exit exit_error
+    in
+    let bench = need "benchmark" (str_of (Obs.Json.member "benchmark" meta)) in
+    let mkey = need "method" (str_of (Obs.Json.member "method" meta)) in
+    let method_ =
+      match method_of_key mkey with
+      | Some ((Mams.Flow.Milp_base | Mams.Flow.Milp_map) as m) -> m
+      | Some _ | None ->
+          Fmt.epr "%s: checkpoint method %S is not a MILP flow@." file mkey;
+          exit exit_error
+    in
+    let orig_tl = need "time_limit" (float_of (Obs.Json.member "time_limit" meta)) in
+    let ii = need "ii" (int_of (Obs.Json.member "ii" meta)) in
+    let k = need "k" (int_of (Obs.Json.member "k" meta)) in
+    let alpha = need "alpha" (float_of (Obs.Json.member "alpha" meta)) in
+    let beta = need "beta" (float_of (Obs.Json.member "beta" meta)) in
+    let optimize =
+      Option.value ~default:false (bool_of (Obs.Json.member "optimize" meta))
+    in
+    let meta_audit =
+      Option.value ~default:false (bool_of (Obs.Json.member "audit" meta))
+    in
+    let e = entry_of bench in
+    let g = e.build () in
+    let g = if optimize then fst (Opt.simplify g) else g in
+    let time_limit = Option.value ~default:orig_tl time_limit in
+    (* Default to the original run's domain count; --domains overrides
+       (resume is domain-count independent for exhaustive solves). *)
+    let domains =
+      Some (Option.value ~default:ck.Lp.Checkpoint.domains domains)
+    in
+    let setup =
+      {
+        (setup_of ~k ~ii ~alpha ~beta ?domains ~time_limit e) with
+        Mams.Flow.audit = audit || meta_audit;
+        resume = Some ck;
+      }
+    in
+    Fmt.pr "resuming %s (%s) from %s: %d nodes done, %d open, %.1fs consumed@."
+      e.name (Mams.Flow.method_name method_) file ck.Lp.Checkpoint.nodes_done
+      (List.length ck.Lp.Checkpoint.frontier)
+      ck.Lp.Checkpoint.elapsed_s;
+    let setup = { setup with Mams.Flow.stall_window } in
+    let failed = ref false and degraded = ref false in
+    let metrics =
+      match Mams.Flow.run setup method_ g with
+      | Ok r ->
+          Fmt.pr "%a@." Mams.Flow.pp_result r;
+          if r.Mams.Flow.trail <> [] then begin
+            degraded := true;
+            List.iter
+              (fun a ->
+                Fmt.pr "  degraded: %a@." Resilience.Cascade.pp_attempt a)
+              r.Mams.Flow.trail
+          end;
+          (match r.Mams.Flow.solve.Mams.Flow.audit_diags with
+          | Some diags when Analyze.Diag.has_errors diags ->
+              failed := true;
+              Fmt.pr "%a@." Analyze.Diag.pp_report diags
+          | _ -> ());
+          [ Mams.Flow.metrics ~name:e.name r ]
+      | Error err ->
+          failed := true;
+          Fmt.pr "%-9s error: %s@." (Mams.Flow.method_name method_) err;
+          [ Mams.Flow.error_metrics ~name:e.name method_ ]
+    in
+    (match json with
+    | None -> ()
+    | Some path ->
+        Obs.Metrics.write_file ~path ~results:metrics;
+        Fmt.pr "wrote %s@." path);
+    if !failed then exit exit_error
+    else if !degraded then exit exit_degraded
+  in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:
+         "Continue an interrupted MILP solve from a checkpoint written by \
+          `pipesyn run --checkpoint'. The setup is rebuilt from the \
+          checkpoint's metadata (benchmark, method, formulation \
+          parameters) and the model fingerprint is cross-checked before \
+          the frontier is rehydrated; an exhaustively solved model \
+          returns the identical status, objective and incumbent the \
+          uninterrupted run would have. Exit codes as for `pipesyn run'.")
+    Term.(
+      const run $ file_arg $ time_limit_opt_arg $ domains_arg $ audit_arg
+      $ json_arg $ faults_arg $ stall_window_arg $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
 (* cuts                                                                *)
@@ -840,8 +1090,9 @@ let () =
       Cmd.eval ~catch:false
         (Cmd.group info
            [
-             list_cmd; run_cmd; cuts_cmd; dot_cmd; rtl_cmd; lint_cmd;
-             audit_cmd; diags_cmd; faults_cmd; trace_report_cmd; tables_cmd;
+             list_cmd; run_cmd; resume_cmd; cuts_cmd; dot_cmd; rtl_cmd;
+             lint_cmd; audit_cmd; diags_cmd; faults_cmd; trace_report_cmd;
+             tables_cmd;
            ])
     with e ->
       Fmt.epr "pipesyn: internal error: %s@." (Printexc.to_string e);

@@ -100,6 +100,25 @@ let passes =
         "exact-rational replay of a proof-carrying MILP solve \
          (Neumaier-Shcherbina dual bounds, Farkas rays, pruning log)";
     };
+    {
+      (* Emitted by the flow's degradation cascade (Mams.Flow), not a
+         standalone checker: each finding mirrors one entry of the
+         Metrics degradation array. *)
+      name = "resilience.cascade";
+      artifact = "flow run";
+      codes =
+        [
+          ("RES001", "attempt raised; exception contained, cascade continued");
+          ("RES002", "attempt failed or degraded; next fallback ran");
+          ("RES003", "cascade exhausted: every fallback failed (run error)");
+          ("RES004", "transient failure retried in place on the same rung (bounded, deterministic)");
+          ("RES005", "supervised in-flight recovery: worker death replayed or stalled node requeued; results unaffected");
+        ];
+      description =
+        "degradation-cascade and solve-supervision events recorded \
+         against an otherwise accepted run (the Metrics degradation \
+         array, mirrored as diagnostics)";
+    };
   ]
 
 (* Single choke point every checker wrapper goes through: bump the

@@ -12,6 +12,9 @@ type setup = {
   wall_budget : float option;
   domains : int option;
   audit : bool;
+  checkpoint : Lp.Milp.checkpoint_sink option;
+  resume : Lp.Checkpoint.t option;
+  stall_window : float option;
 }
 
 let default_setup ~device =
@@ -27,6 +30,9 @@ let default_setup ~device =
     wall_budget = None;
     domains = None;
     audit = false;
+    checkpoint = None;
+    resume = None;
+    stall_window = None;
   }
 
 type solve_info = {
@@ -62,12 +68,29 @@ let diags_json diags =
   List.map Analyze.Diag.to_json (List.sort Analyze.Diag.compare diags)
 
 (* Degradation trail entries double as diagnostics: RES001 for contained
-   exceptions, RES002 for every other failed/degraded attempt. Cascade
-   exhaustion is RES003 (see the error message in [run]). *)
+   exceptions, RES002 for every other failed/degraded attempt, RES004 for
+   a bounded same-rung retry of a transient failure, RES005 for solve
+   supervision recoveries (worker deaths replayed, watchdog requeues)
+   inside an accepted solve. Cascade exhaustion is RES003 (see the error
+   message in [run]). *)
 let trail_diags trail =
   List.map
     (fun (a : Resilience.Cascade.attempt) ->
-      if a.Resilience.Cascade.reason = "exception" then
+      if a.Resilience.Cascade.retry > 0 then
+        Analyze.Diag.warnf
+          ~witness:[ a.Resilience.Cascade.detail ]
+          ~code:"RES004" ~pass:"resilience.cascade" ~loc:Analyze.Diag.Global
+          "attempt '%s' retried in place (try %d, %s): transient failure \
+           class, same rung re-run before degrading"
+          a.Resilience.Cascade.label a.Resilience.Cascade.retry
+          a.Resilience.Cascade.reason
+      else if a.Resilience.Cascade.reason = "recovery" then
+        Analyze.Diag.warnf
+          ~witness:[ a.Resilience.Cascade.detail ]
+          ~code:"RES005" ~pass:"resilience.cascade" ~loc:Analyze.Diag.Global
+          "attempt '%s' recovered in flight: %s" a.Resilience.Cascade.label
+          a.Resilience.Cascade.detail
+      else if a.Resilience.Cascade.reason = "exception" then
         Analyze.Diag.warnf
           ~witness:[ a.Resilience.Cascade.detail ]
           ~code:"RES001" ~pass:"resilience.cascade" ~loc:Analyze.Diag.Global
@@ -122,6 +145,18 @@ let metrics_of setup method_ ~cuts_total ~gate_diags (qor : Sched.Qor.t)
       (match solve.audit_diags with
       | None -> -1
       | Some d -> List.length (Analyze.Diag.errors d));
+    checkpoints =
+      (match solve.milp_stats with
+      | Some s -> s.Lp.Milp.checkpoints
+      | None -> 0);
+    recoveries =
+      (match solve.milp_stats with
+      | Some s -> s.Lp.Milp.recoveries
+      | None -> 0);
+    stalls =
+      (match solve.milp_stats with
+      | Some s -> s.Lp.Milp.stalls
+      | None -> 0);
     diagnostics =
       diags_json (gate_diags @ Option.value ~default:[] solve.audit_diags);
     degradation = [];
@@ -147,6 +182,9 @@ let error_metrics ?(diags = []) ~name method_ =
     nodes_per_s = Float.nan;
     cert_nodes = 0;
     audit_errors = -1;
+    checkpoints = 0;
+    recoveries = 0;
+    stalls = 0;
     diagnostics = diags_json diags;
     degradation = [];
   }
@@ -169,7 +207,7 @@ type ctx = {
 
 let note ctx ~label ~reason ~detail =
   ctx.notes :=
-    { Resilience.Cascade.label; reason; detail; elapsed = 0.0 }
+    { Resilience.Cascade.label; reason; detail; elapsed = 0.0; retry = 0 }
     :: !(ctx.notes)
 
 (* Final QoR is always measured under the mapped delay model — the analogue
@@ -321,8 +359,8 @@ let run_map_first ?(coarse = false) ?(trivial = false) ~deadline ~as_ setup
       finalize setup ctx g ~cuts_total:(Cuts.total_cuts cuts) cover sched
         heuristic_info as_
 
-let run_milp ?(coarse = false) ?(budget_scale = 1.0) ~deadline ~as_ setup ctx
-    g ~mapping_aware =
+let run_milp ?(coarse = false) ?(budget_scale = 1.0) ?resume ~deadline ~as_
+    setup ctx g ~mapping_aware =
   (* Phase budgeting inside the attempt: cumulative checkpoints, so cheap
      phases donate their slack to the solver. *)
   let phases =
@@ -437,7 +475,7 @@ let run_milp ?(coarse = false) ?(budget_scale = 1.0) ~deadline ~as_ setup ctx
               (fun acc c -> match acc with Some _ -> acc | None -> c ())
               None candidates
       in
-      let t0 = Sys.time () in
+      let t0 = Obs.Clock.wall () in
       let r =
         Obs.Trace.span ~cat:"flow" "flow.solve" (fun () ->
             Lp.Milp.solve
@@ -445,9 +483,30 @@ let run_milp ?(coarse = false) ?(budget_scale = 1.0) ~deadline ~as_ setup ctx
               ~deadline:(phase "solve") ?incumbent
               ~branch_priority:(Formulation.branch_priorities f)
               ?domains:setup.domains ~certificates:setup.audit
+              ?checkpoint:setup.checkpoint ?resume
+              ?stall_window:setup.stall_window
               (Formulation.model f))
       in
-      let runtime = Sys.time () -. t0 in
+      (* A resumed solve reports cumulative stats ([stats.nodes] counts
+         the checkpoint's nodes too), so solve_s / nodes_per_s must use
+         the cumulative wall clock, not just this invocation's. *)
+      let runtime =
+        match resume with
+        | Some _ -> r.Lp.Milp.stats.Lp.Milp.elapsed
+        | None -> Obs.Clock.wall () -. t0
+      in
+      (* Supervised recovery replays a dead worker's subtree or requeues a
+         watchdog-cancelled node; results are unaffected (DESIGN.md §3i)
+         but the event belongs in the degradation log. *)
+      if r.Lp.Milp.stats.Lp.Milp.recoveries > 0 then
+        note ctx
+          ~label:(if mapping_aware then "milp-map.solve" else "milp-base.solve")
+          ~reason:"recovery"
+          ~detail:
+            (Fmt.str
+               "%d in-flight recover(s) (worker replay / watchdog requeue); \
+                results unaffected"
+               r.Lp.Milp.stats.Lp.Milp.recoveries);
       (* Opt-in proof audit: re-verify the solve's certificate in exact
          rational arithmetic. Observational — findings land in the
          metrics (and the audit_errors field CI gates on), they never
@@ -534,62 +593,64 @@ let steps_of setup ctx method_ g :
     result Resilience.Cascade.step list =
   let open Resilience.Cascade in
   let scale k = backoff ~base:1.0 ~factor:0.5 k in
+  (* Full-strength MILP rungs are worth one in-place retry on a transient
+     exception before the cascade degrades the formulation; every other
+     rung degrades immediately (retrying a heuristic replays the same
+     deterministic failure). *)
+  let no_retry = (0, []) in
+  let milp_retry = (1, [ "exception" ]) in
   let hls_fallback label =
-    { slabel = label; budget = None;
+    { slabel = label; budget = None; retries = 0; retry_on = [];
       run = (fun dl -> run_hls ~trivial:true ~deadline:dl ~as_:method_ setup ctx g) }
+  in
+  let step ?budget ?(retry = no_retry) slabel run =
+    let retries, retry_on = retry in
+    { slabel; budget; retries; retry_on; run }
   in
   match method_ with
   | Hls_tool ->
       [
-        { slabel = "hls.full"; budget = None;
-          run = (fun dl -> run_hls ~deadline:dl ~as_:method_ setup ctx g) };
+        step "hls.full" (fun dl -> run_hls ~deadline:dl ~as_:method_ setup ctx g);
         hls_fallback "hls.trivial-cuts";
       ]
   | Sdc_tool ->
       [
-        { slabel = "sdc.full"; budget = None;
-          run = (fun dl -> run_sdc ~deadline:dl ~as_:method_ setup ctx g) };
-        { slabel = "sdc.trivial-cuts"; budget = None;
-          run = (fun dl ->
-            run_sdc ~trivial:true ~deadline:dl ~as_:method_ setup ctx g) };
+        step "sdc.full" (fun dl -> run_sdc ~deadline:dl ~as_:method_ setup ctx g);
+        step "sdc.trivial-cuts" (fun dl ->
+            run_sdc ~trivial:true ~deadline:dl ~as_:method_ setup ctx g);
         hls_fallback "sdc.hls-fallback";
       ]
   | Map_heuristic ->
       [
-        { slabel = "map-first.full"; budget = None;
-          run = (fun dl -> run_map_first ~deadline:dl ~as_:method_ setup ctx g) };
-        { slabel = "map-first.coarse-cuts"; budget = None;
-          run = (fun dl ->
-            run_map_first ~coarse:true ~deadline:dl ~as_:method_ setup ctx g) };
-        { slabel = "map-first.trivial-cuts"; budget = None;
-          run = (fun dl ->
-            run_map_first ~trivial:true ~deadline:dl ~as_:method_ setup ctx g) };
+        step "map-first.full" (fun dl ->
+            run_map_first ~deadline:dl ~as_:method_ setup ctx g);
+        step "map-first.coarse-cuts" (fun dl ->
+            run_map_first ~coarse:true ~deadline:dl ~as_:method_ setup ctx g);
+        step "map-first.trivial-cuts" (fun dl ->
+            run_map_first ~trivial:true ~deadline:dl ~as_:method_ setup ctx g);
       ]
   | Milp_base ->
       [
-        { slabel = "milp-base.full"; budget = None;
-          run = (fun dl ->
-            run_milp ~deadline:dl ~as_:method_ setup ctx g
-              ~mapping_aware:false) };
-        { slabel = "milp-base.retry"; budget = Some (setup.time_limit *. scale 1);
-          run = (fun dl ->
+        step "milp-base.full" ~retry:milp_retry (fun dl ->
+            run_milp ?resume:setup.resume ~deadline:dl ~as_:method_ setup ctx g
+              ~mapping_aware:false);
+        step "milp-base.retry" ~budget:(setup.time_limit *. scale 1) (fun dl ->
             run_milp ~budget_scale:(scale 1) ~deadline:dl ~as_:method_ setup
-              ctx g ~mapping_aware:false) };
-        { slabel = "milp-base.sdc-fallback"; budget = None;
-          run = (fun dl -> run_sdc ~deadline:dl ~as_:method_ setup ctx g) };
+              ctx g ~mapping_aware:false);
+        step "milp-base.sdc-fallback" (fun dl ->
+            run_sdc ~deadline:dl ~as_:method_ setup ctx g);
         hls_fallback "milp-base.hls-fallback";
       ]
   | Milp_map ->
       [
-        { slabel = "milp-map.full"; budget = None;
-          run = (fun dl ->
-            run_milp ~deadline:dl ~as_:method_ setup ctx g ~mapping_aware:true) };
-        { slabel = "milp-map.coarse"; budget = Some (setup.time_limit *. scale 1);
-          run = (fun dl ->
+        step "milp-map.full" ~retry:milp_retry (fun dl ->
+            run_milp ?resume:setup.resume ~deadline:dl ~as_:method_ setup ctx g
+              ~mapping_aware:true);
+        step "milp-map.coarse" ~budget:(setup.time_limit *. scale 1) (fun dl ->
             run_milp ~coarse:true ~budget_scale:(scale 1) ~deadline:dl
-              ~as_:method_ setup ctx g ~mapping_aware:true) };
-        { slabel = "milp-map.map-first"; budget = None;
-          run = (fun dl -> run_map_first ~deadline:dl ~as_:method_ setup ctx g) };
+              ~as_:method_ setup ctx g ~mapping_aware:true);
+        step "milp-map.map-first" (fun dl ->
+            run_map_first ~deadline:dl ~as_:method_ setup ctx g);
         hls_fallback "milp-map.hls-fallback";
       ]
 

@@ -27,13 +27,17 @@
     algorithmic fallbacks, ending in a trivial-cuts heuristic that touches
     neither cut enumeration nor any LP/MILP and therefore survives every
     registered fault point ({!Resilience.Fault}). Exceptions raised inside
-    an attempt are contained and the cascade continues. Whatever attempt
-    wins, the returned (schedule, cover) passes {!Sched.Verify.check}; the
-    failed attempts and soft degradations (truncated enumeration, degraded
-    mapping, uncertified optimality) form the result's [trail], serialized
-    as the Metrics v3 [degradation] array and mirrored as RES001/RES002
-    diagnostics. A cascade that exhausts every attempt returns [Error]
-    with an ["RES003"]-prefixed message. *)
+    an attempt are contained and the cascade continues; transient failure
+    classes earn the full-strength MILP rungs one bounded deterministic
+    in-place retry before the ladder degrades (resilience-v2). Whatever
+    attempt wins, the returned (schedule, cover) passes
+    {!Sched.Verify.check}; the failed attempts and soft degradations
+    (truncated enumeration, degraded mapping, uncertified optimality,
+    supervised in-flight recoveries) form the result's [trail], serialized
+    as the Metrics [degradation] array and mirrored as RES001/RES002
+    (contained/degraded), RES004 (in-place retry) and RES005 (in-flight
+    recovery) diagnostics. A cascade that exhausts every attempt returns
+    [Error] with an ["RES003"]-prefixed message. *)
 
 type method_ = Hls_tool | Sdc_tool | Milp_base | Milp_map | Map_heuristic
 
@@ -62,12 +66,24 @@ type setup = {
           after the solve. Observational: CERT1xx findings land in the
           result's metrics ([diagnostics] plus the [audit_errors]
           field), they never change the flow's schedule or status. *)
+  checkpoint : Lp.Milp.checkpoint_sink option;
+      (** snapshot every MILP rung's live solve to this sink
+          ([--checkpoint] / [--checkpoint-every] on the CLI); [None] = no
+          checkpointing. *)
+  resume : Lp.Checkpoint.t option;
+      (** resume the full-strength MILP rung from this snapshot
+          ([pipesyn resume]); degraded rungs re-solve from scratch (their
+          formulation differs, so the frontier would not match). *)
+  stall_window : float option;
+      (** stall-watchdog window in seconds ([--stall-window]); [None] =
+          watchdog off. See {!Lp.Milp.solve}. *)
 }
 
 val default_setup : device:Fpga.Device.t -> setup
 (** [ii = 1], [alpha = beta = 0.5] (paper Sec. 4), default delays,
     unlimited resources, 60 s MILP budget, no wall-clock budget,
-    [domains = None], [audit = false]. *)
+    [domains = None], [audit = false], no checkpointing or resume, stall
+    watchdog off. *)
 
 type solve_info = {
   runtime : float;  (** seconds spent in the MILP (0 for the heuristic) *)

@@ -1,0 +1,405 @@
+(* Versioned on-disk snapshots of a live branch-and-bound frontier
+   (DESIGN.md §3i). Everything numeric that must survive the round-trip
+   exactly is serialized as a hex-float string ("%h"): unlike "%.12g",
+   hex floats reparse to the identical bit pattern, and
+   [float_of_string] also reads "nan" and "infinity", so bound chains,
+   duals and pseudocosts rehydrate bit-for-bit. The writer goes through
+   a temp file + atomic rename so a crash mid-write can never leave a
+   half-written file under the real name; a torn file (injected via the
+   [milp.checkpoint_torn] fault, which truncates in place) is caught by
+   the payload checksum or the JSON parser. *)
+
+module J = Obs.Json
+
+let schema = "pipesyn-checkpoint-v1"
+
+let hex f = Printf.sprintf "%h" f
+
+type edit = {
+  e_j : int;
+  e_side : Cert.side;
+  e_v : float;
+  e_prev : float;
+}
+
+type open_node = {
+  o_nid : int;
+  o_parent : int;
+  o_bound : float;
+  o_bvar : int;
+  o_bfrac : float;
+  o_dir_up : bool;
+  o_edits : edit list;
+}
+
+type pc = {
+  dn_sum : float array;
+  dn_n : int array;
+  up_sum : float array;
+  up_n : int array;
+}
+
+type t = {
+  fingerprint : string;
+  domains : int;
+  next_nid : int;
+  nodes_done : int;
+  lp_limited : int;
+  fixed_vars : int;
+  root_bound : float;
+  root_lb : float array;
+  root_ub : float array;
+  incumbent : (float array * float) option;
+  first_incumbent_s : float;
+  elapsed_s : float;
+  frontier : open_node list;
+  pc : pc array;
+  certs_on : bool;
+  cert_nodes : Cert.node list;
+  fixes : (int * Cert.side) list;
+  root_duals : float array option;
+  meta : J.t;
+}
+
+(* The fingerprint pins a checkpoint to the exact model it was taken
+   from: every array the solver consumes, serialized exactly, digested.
+   A resume against any other model is rejected up front — replaying a
+   frontier into a different polytope would silently produce garbage. *)
+let fingerprint (raw : Model.raw) =
+  let buf = Buffer.create 4096 in
+  let f x = Buffer.add_string buf (hex x); Buffer.add_char buf ';' in
+  let i x = Buffer.add_string buf (string_of_int x); Buffer.add_char buf ';' in
+  i raw.Model.n;
+  Array.iter f raw.Model.lb;
+  Array.iter f raw.Model.ub;
+  Array.iter (fun b -> Buffer.add_char buf (if b then 'i' else 'c')) raw.Model.integer;
+  Array.iter f raw.Model.obj;
+  Array.iter
+    (fun row ->
+      Array.iter (fun (j, a) -> i j; f a) row;
+      Buffer.add_char buf '|')
+    raw.Model.rows;
+  Array.iter
+    (fun s ->
+      Buffer.add_char buf
+        (match s with Model.Le -> '<' | Model.Eq -> '=' | Model.Ge -> '>'))
+    raw.Model.senses;
+  Array.iter f raw.Model.rhs;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* ---- encoding ------------------------------------------------------- *)
+
+let jf x = J.String (hex x)
+let jfarr a = J.List (Array.to_list (Array.map jf a))
+let jiarr a = J.List (Array.to_list (Array.map (fun x -> J.Int x) a))
+
+let side_to_json = function
+  | Cert.Lower -> J.String "lower"
+  | Cert.Upper -> J.String "upper"
+
+let claim_to_json = function
+  | Cert.Lp_optimal { obj; duals } ->
+      J.Obj [ ("kind", J.String "optimal"); ("obj", jf obj); ("duals", jfarr duals) ]
+  | Cert.Lp_infeasible None -> J.Obj [ ("kind", J.String "infeasible") ]
+  | Cert.Lp_infeasible (Some (Cert.Ray r)) ->
+      J.Obj [ ("kind", J.String "infeasible"); ("ray", jfarr r) ]
+  | Cert.Lp_infeasible (Some (Cert.Empty_box j)) ->
+      J.Obj [ ("kind", J.String "infeasible"); ("empty_box", J.Int j) ]
+  | Cert.Lp_unsolved -> J.Obj [ ("kind", J.String "unsolved") ]
+
+let fathom_to_json = function
+  | Cert.F_branched { bvar; down_id; down_ub; up_id; up_lb } ->
+      J.Obj
+        [
+          ("kind", J.String "branched");
+          ("bvar", J.Int bvar);
+          ("down_id", J.Int down_id);
+          ("down_ub", jf down_ub);
+          ("up_id", J.Int up_id);
+          ("up_lb", jf up_lb);
+        ]
+  | Cert.F_integral -> J.Obj [ ("kind", J.String "integral") ]
+  | Cert.F_bound -> J.Obj [ ("kind", J.String "bound") ]
+  | Cert.F_dominated -> J.Obj [ ("kind", J.String "dominated") ]
+  | Cert.F_infeasible -> J.Obj [ ("kind", J.String "infeasible") ]
+  | Cert.F_budget -> J.Obj [ ("kind", J.String "budget") ]
+
+let cert_node_to_json (n : Cert.node) =
+  J.Obj
+    [
+      ("id", J.Int n.Cert.id);
+      ("parent", J.Int n.Cert.parent);
+      ( "branch",
+        match n.Cert.branch with
+        | None -> J.Null
+        | Some (j, side, v) ->
+            J.Obj [ ("j", J.Int j); ("side", side_to_json side); ("v", jf v) ] );
+      ("depth", J.Int n.Cert.depth);
+      ("domain", J.Int n.Cert.domain);
+      ("claim", claim_to_json n.Cert.claim);
+      ("bound", jf n.Cert.bound);
+      ("incumbent_at", jf n.Cert.incumbent_at);
+      ("fathom", fathom_to_json n.Cert.fathom);
+    ]
+
+let edit_to_json e =
+  J.Obj
+    [
+      ("j", J.Int e.e_j);
+      ("side", side_to_json e.e_side);
+      ("v", jf e.e_v);
+      ("prev", jf e.e_prev);
+    ]
+
+let open_node_to_json o =
+  J.Obj
+    [
+      ("nid", J.Int o.o_nid);
+      ("parent", J.Int o.o_parent);
+      ("bound", jf o.o_bound);
+      ("bvar", J.Int o.o_bvar);
+      ("bfrac", jf o.o_bfrac);
+      ("dir_up", J.Bool o.o_dir_up);
+      ("edits", J.List (List.map edit_to_json o.o_edits));
+    ]
+
+let pc_to_json p =
+  J.Obj
+    [
+      ("dn_sum", jfarr p.dn_sum);
+      ("dn_n", jiarr p.dn_n);
+      ("up_sum", jfarr p.up_sum);
+      ("up_n", jiarr p.up_n);
+    ]
+
+let payload_to_json ck =
+  J.Obj
+    [
+      ("fingerprint", J.String ck.fingerprint);
+      ("domains", J.Int ck.domains);
+      ("next_nid", J.Int ck.next_nid);
+      ("nodes_done", J.Int ck.nodes_done);
+      ("lp_limited", J.Int ck.lp_limited);
+      ("fixed_vars", J.Int ck.fixed_vars);
+      ("root_bound", jf ck.root_bound);
+      ("root_lb", jfarr ck.root_lb);
+      ("root_ub", jfarr ck.root_ub);
+      ( "incumbent",
+        match ck.incumbent with
+        | None -> J.Null
+        | Some (x, obj) -> J.Obj [ ("x", jfarr x); ("obj", jf obj) ] );
+      ("first_incumbent_s", jf ck.first_incumbent_s);
+      ("elapsed_s", jf ck.elapsed_s);
+      ("frontier", J.List (List.map open_node_to_json ck.frontier));
+      ("pc", J.List (Array.to_list (Array.map pc_to_json ck.pc)));
+      ("certs_on", J.Bool ck.certs_on);
+      ("cert_nodes", J.List (List.map cert_node_to_json ck.cert_nodes));
+      ( "fixes",
+        J.List
+          (List.map
+             (fun (j, s) -> J.Obj [ ("j", J.Int j); ("side", side_to_json s) ])
+             ck.fixes) );
+      ( "root_duals",
+        match ck.root_duals with None -> J.Null | Some d -> jfarr d );
+      ("meta", ck.meta);
+    ]
+
+(* ---- decoding ------------------------------------------------------- *)
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+let mem k j =
+  match J.member k j with Some v -> v | None -> fail "missing field %S" k
+
+let int_ = function J.Int i -> i | _ -> fail "expected int"
+let str_ = function J.String s -> s | _ -> fail "expected string"
+let bool_ = function J.Bool b -> b | _ -> fail "expected bool"
+let list_ = function J.List l -> l | _ -> fail "expected list"
+
+let flt_ = function
+  | J.String s -> (
+      match float_of_string_opt s with
+      | Some f -> f
+      | None -> fail "bad hex float %S" s)
+  | _ -> fail "expected hex-float string"
+
+let farr j = Array.of_list (List.map flt_ (list_ j))
+let iarr j = Array.of_list (List.map int_ (list_ j))
+
+let side_of_json j =
+  match str_ j with
+  | "lower" -> Cert.Lower
+  | "upper" -> Cert.Upper
+  | s -> fail "bad side %S" s
+
+let claim_of_json j =
+  match str_ (mem "kind" j) with
+  | "optimal" ->
+      Cert.Lp_optimal { obj = flt_ (mem "obj" j); duals = farr (mem "duals" j) }
+  | "infeasible" -> (
+      match (J.member "ray" j, J.member "empty_box" j) with
+      | Some r, _ -> Cert.Lp_infeasible (Some (Cert.Ray (farr r)))
+      | None, Some b -> Cert.Lp_infeasible (Some (Cert.Empty_box (int_ b)))
+      | None, None -> Cert.Lp_infeasible None)
+  | "unsolved" -> Cert.Lp_unsolved
+  | s -> fail "bad claim kind %S" s
+
+let fathom_of_json j =
+  match str_ (mem "kind" j) with
+  | "branched" ->
+      Cert.F_branched
+        {
+          bvar = int_ (mem "bvar" j);
+          down_id = int_ (mem "down_id" j);
+          down_ub = flt_ (mem "down_ub" j);
+          up_id = int_ (mem "up_id" j);
+          up_lb = flt_ (mem "up_lb" j);
+        }
+  | "integral" -> Cert.F_integral
+  | "bound" -> Cert.F_bound
+  | "dominated" -> Cert.F_dominated
+  | "infeasible" -> Cert.F_infeasible
+  | "budget" -> Cert.F_budget
+  | s -> fail "bad fathom kind %S" s
+
+let cert_node_of_json j : Cert.node =
+  {
+    Cert.id = int_ (mem "id" j);
+    parent = int_ (mem "parent" j);
+    branch =
+      (match mem "branch" j with
+      | J.Null -> None
+      | b ->
+          Some (int_ (mem "j" b), side_of_json (mem "side" b), flt_ (mem "v" b)));
+    depth = int_ (mem "depth" j);
+    domain = int_ (mem "domain" j);
+    claim = claim_of_json (mem "claim" j);
+    bound = flt_ (mem "bound" j);
+    incumbent_at = flt_ (mem "incumbent_at" j);
+    fathom = fathom_of_json (mem "fathom" j);
+  }
+
+let edit_of_json j =
+  {
+    e_j = int_ (mem "j" j);
+    e_side = side_of_json (mem "side" j);
+    e_v = flt_ (mem "v" j);
+    e_prev = flt_ (mem "prev" j);
+  }
+
+let open_node_of_json j =
+  {
+    o_nid = int_ (mem "nid" j);
+    o_parent = int_ (mem "parent" j);
+    o_bound = flt_ (mem "bound" j);
+    o_bvar = int_ (mem "bvar" j);
+    o_bfrac = flt_ (mem "bfrac" j);
+    o_dir_up = bool_ (mem "dir_up" j);
+    o_edits = List.map edit_of_json (list_ (mem "edits" j));
+  }
+
+let pc_of_json j =
+  {
+    dn_sum = farr (mem "dn_sum" j);
+    dn_n = iarr (mem "dn_n" j);
+    up_sum = farr (mem "up_sum" j);
+    up_n = iarr (mem "up_n" j);
+  }
+
+let payload_of_json j =
+  {
+    fingerprint = str_ (mem "fingerprint" j);
+    domains = int_ (mem "domains" j);
+    next_nid = int_ (mem "next_nid" j);
+    nodes_done = int_ (mem "nodes_done" j);
+    lp_limited = int_ (mem "lp_limited" j);
+    fixed_vars = int_ (mem "fixed_vars" j);
+    root_bound = flt_ (mem "root_bound" j);
+    root_lb = farr (mem "root_lb" j);
+    root_ub = farr (mem "root_ub" j);
+    incumbent =
+      (match mem "incumbent" j with
+      | J.Null -> None
+      | inc -> Some (farr (mem "x" inc), flt_ (mem "obj" inc)));
+    first_incumbent_s = flt_ (mem "first_incumbent_s" j);
+    elapsed_s = flt_ (mem "elapsed_s" j);
+    frontier = List.map open_node_of_json (list_ (mem "frontier" j));
+    pc = Array.of_list (List.map pc_of_json (list_ (mem "pc" j)));
+    certs_on = bool_ (mem "certs_on" j);
+    cert_nodes = List.map cert_node_of_json (list_ (mem "cert_nodes" j));
+    fixes =
+      List.map
+        (fun f -> (int_ (mem "j" f), side_of_json (mem "side" f)))
+        (list_ (mem "fixes" j));
+    root_duals =
+      (match mem "root_duals" j with J.Null -> None | d -> Some (farr d));
+    meta = mem "meta" j;
+  }
+
+(* ---- file I/O ------------------------------------------------------- *)
+
+(* The checksum covers the serialized payload text. Because every float
+   travels as a string, parse-then-reemit reproduces the writer's bytes
+   exactly, so the reader can recompute the digest from the parsed
+   tree. *)
+let to_json ck =
+  let payload = payload_to_json ck in
+  let digest = Digest.to_hex (Digest.string (J.to_string payload)) in
+  J.Obj
+    [
+      ("schema", J.String schema);
+      ("checksum", J.String digest);
+      ("payload", payload);
+    ]
+
+let of_json j =
+  match J.member "schema" j with
+  | Some (J.String s) when s = schema -> (
+      match (J.member "checksum" j, J.member "payload" j) with
+      | Some (J.String digest), Some payload ->
+          let actual = Digest.to_hex (Digest.string (J.to_string payload)) in
+          if actual <> digest then
+            Error "checkpoint checksum mismatch (torn or corrupted file)"
+          else (
+            match payload_of_json payload with
+            | ck -> Ok ck
+            | exception Bad m -> Error ("malformed checkpoint: " ^ m))
+      | _ -> Error "checkpoint missing checksum or payload")
+  | Some (J.String s) -> Error (Printf.sprintf "unknown checkpoint schema %S" s)
+  | _ -> Error "not a pipesyn checkpoint (no schema field)"
+
+let write ~path ck =
+  let s = J.to_string (to_json ck) in
+  if Resilience.Fault.fires "milp.checkpoint_torn" then begin
+    (* Injected torn write: half the bytes land under the real name with
+       no rename barrier — exactly the failure the checksum must catch. *)
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (String.sub s 0 (String.length s / 2)))
+  end
+  else begin
+    let tmp = path ^ ".tmp" in
+    let oc = open_out tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc s;
+        output_char oc '\n');
+    Sys.rename tmp path
+  end
+
+let read ~path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error m -> Error ("cannot read checkpoint: " ^ m)
+  | s -> (
+      match J.of_string (String.trim s) with
+      | Error m -> Error ("checkpoint is not valid JSON (torn?): " ^ m)
+      | Ok j -> of_json j)

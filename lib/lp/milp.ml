@@ -11,6 +11,10 @@ type stats = {
   fixed_vars : int;
   first_incumbent_s : float;
   domains : int;
+  checkpoints : int;
+  recoveries : int;
+  stalls : int;
+  cpu_s : float;
 }
 
 type result = {
@@ -20,6 +24,15 @@ type result = {
   stats : stats;
   cert : Cert.t option;
 }
+
+type checkpoint_sink = {
+  ck_path : string;
+  ck_every_s : float;
+  ck_every_nodes : int option;
+  ck_meta : Obs.Json.t;
+}
+
+exception Worker_killed
 
 let src = Logs.Src.create "lp.milp" ~doc:"branch and bound"
 
@@ -33,6 +46,9 @@ let c_pivots = Obs.Counter.get "milp.lp_pivots"
 let c_incumbents = Obs.Counter.get "milp.incumbents"
 let c_warm_hits = Obs.Counter.get "milp.warm_hits"
 let c_fixed_vars = Obs.Counter.get "milp.fixed_vars"
+let c_checkpoints = Obs.Counter.get "milp.checkpoints"
+let c_recoveries = Obs.Counter.get "milp.recoveries"
+let c_stalls = Obs.Counter.get "milp.stalls"
 let s_incumbents = Obs.Series.get "milp.incumbents"
 let s_gap = Obs.Series.get "milp.exit_gap"
 let s_conv = Obs.Series.get "milp.convergence"
@@ -135,6 +151,10 @@ type node = {
   bvar : int;  (** variable branched to create this node; -1 at root *)
   bfrac : float;  (** fractional part of [bvar] in the parent LP *)
   dir_up : bool;  (** up child ([lb := ceil]) vs down child ([ub := floor]) *)
+  mutable cancels : int;
+      (** watchdog cancel count: the watchdog never cancels the same node
+          twice, so a legitimately slow LP is cancelled at most once and
+          then replays to completion (no cancel/requeue livelock) *)
 }
 
 (* The chain entry that created a node's box, as certificate data. *)
@@ -282,7 +302,9 @@ let domains_from_env () =
    agree within the acceptance tolerance, the lexicographically smallest
    solution vector wins. Unlike an exploration-order node id, this key
    does not depend on which domain reached the solution first, so the
-   final incumbent is stable run-to-run and across domain counts. *)
+   final incumbent is stable run-to-run and across domain counts — and,
+   by the same argument, across worker deaths, watchdog requeues and
+   checkpoint/resume (all of which only permute exploration order). *)
 let lex_less a b =
   let n = Array.length a in
   let rec go i =
@@ -298,34 +320,52 @@ let lex_less a b =
    table, so node LPs never share mutable solver state across domains.
    Chains are immutable and reference bound values relative to the
    post-fixing root arrays (identical in every context), which is what
-   makes subtrees shippable between domains. *)
+   makes subtrees shippable between domains.
+
+   Supervision fields: [w_cell] is the worker's cancellation cell and
+   [w_dl] the worker deadline carrying it — the simplex polls [w_dl], so
+   a watchdog {!Resilience.Deadline.cancel} lands within one poll
+   interval. [w_beat] is the worker's last-progress wall instant,
+   [w_nudge] asks the next LP to cold-refactorize (escalation rung 1),
+   and [w_deaths] counts supervised recoveries of this slot. *)
 type wctx = {
   wid : int;  (** worker slot; 0 is the coordinator *)
   wlb : float array;
   wub : float array;
   mutable wcur : chain;
   mutable wstate : Simplex.state option;
-  wpc : pseudocost;
+  mutable wpc : pseudocost;
   mutable w_iters : int;
   mutable w_limited : int;
   mutable w_warm : int;
   mutable wcerts : Cert.node list;
       (** per-worker certificate log, newest first; merged after join *)
+  w_cell : Resilience.Deadline.cell;
+  w_dl : Resilience.Deadline.t;
+  w_beat : float Atomic.t;
+  w_nudge : bool Atomic.t;
+  mutable w_deaths : int;
 }
 
 (* What processing one node asks of the scheduler. Children come in dive
    order: [near] (round-to-nearest) is explored next, [far] is the
-   publishable sibling. *)
+   publishable sibling. [Cancelled] is a watchdog cancel caught mid-LP:
+   the node is still open and must be requeued. *)
 type outcome =
   | Leaf
   | Children of node * node  (** (near, far) *)
+  | Cancelled
   | Stop_budget
   | Stop_unbounded
+
+(* A worker slot survives at most this many supervised deaths before the
+   failure is treated as systemic and propagated. *)
+let max_worker_deaths = 3
 
 let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
     ?(gap_tol = 1e-6) ?(int_tol = 1e-6)
     ?(deadline = Resilience.Deadline.none) ?incumbent ?branch_priority
-    ?domains ?(certificates = false) model =
+    ?domains ?(certificates = false) ?checkpoint ?resume ?stall_window model =
   let domains =
     match domains with
     | Some d -> max 1 (min d 64)
@@ -343,12 +383,33 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
      hardest failure the cascade must absorb. *)
   let injected_timeout = Resilience.Fault.fires "milp.timeout" in
   let cold_mode = cold_start_forced () in
+  let raw = Model.to_raw model in
+  (* A checkpoint is pinned to the exact model it was taken from:
+     replaying a frontier into a different polytope would silently
+     produce garbage, so a fingerprint mismatch is a caller error. *)
+  let model_fp =
+    match (checkpoint, resume) with
+    | None, None -> ""
+    | _ -> Checkpoint.fingerprint raw
+  in
+  (match resume with
+  | Some ck when ck.Checkpoint.fingerprint <> model_fp ->
+      invalid_arg "Milp.solve: checkpoint fingerprint does not match the model"
+  | _ -> ());
   (* Certificates need the warm-start solver state (duals, Farkas rays
-     live in the reusable tableau), so forced cold-start runs emit none. *)
-  let certs_on = certificates && not cold_mode in
+     live in the reusable tableau), so forced cold-start runs emit none.
+     A resumed solve can only be as strong as its checkpoint: if the
+     original run kept no certificates there is no prefix to extend. *)
+  let certs_on =
+    certificates && (not cold_mode)
+    && match resume with Some ck -> ck.Checkpoint.certs_on | None -> true
+  in
   (* Certificate node ids: allocated at node creation, independent of the
-     processing-order trace id. *)
-  let next_nid = Atomic.make 0 in
+     processing-order trace id. Resume carries the counter so replayed
+     frontiers never collide with the closed prefix. *)
+  let next_nid =
+    Atomic.make (match resume with Some ck -> ck.Checkpoint.next_nid | None -> 0)
+  in
   let alloc_nid () = Atomic.fetch_and_add next_nid 1 in
   let inc_log = ref [] in  (* accepted incumbents, newest first; under inc_m *)
   let fix_log = ref [] in  (* root bound-fixing events; coordinator only *)
@@ -356,13 +417,18 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
   let cert_root_lb = ref [||] and cert_root_ub = ref [||] in
   (* Deadline-aware budget: whichever of the caller's deadline and the
      local time budget is tighter governs both the node loop and — via
-     Simplex — every pivot inside a node. Note the clock is [Sys.time]
-     (process CPU seconds), which accumulates across all running
-     domains. *)
+     Simplex — every pivot inside a node. The clock is the monotonized
+     wall clock ({!Obs.Clock.wall}), so the budget means the same thing
+     at every domain count. *)
   let dl = Resilience.Deadline.clip deadline ~budget:time_limit in
-  let raw = Model.to_raw model in
-  let t0 = Sys.time () in
-  let elapsed () = Sys.time () -. t0 in
+  let t0 = Obs.Clock.wall () in
+  let cpu0 = Obs.Clock.cpu () in
+  (* A resumed solve reports cumulative solve time: the checkpoint's
+     consumed seconds plus this run's. *)
+  let prior_s =
+    match resume with Some ck -> ck.Checkpoint.elapsed_s | None -> 0.0
+  in
+  let elapsed () = Obs.Clock.wall () -. t0 +. prior_s in
   (* Shared incumbent: [best_obj] is the lock-free pruning bound (reads
      may be stale by at most one improvement — only ever too weak, never
      unsound); [inc_m] serializes updates so the accept decision and the
@@ -371,8 +437,16 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
   let best_x = ref None in
   let best_obj = Atomic.make infinity in
   let have_inc () = Float.is_finite (Atomic.get best_obj) in
-  let first_inc = ref Float.nan in
-  let nodes = Atomic.make 0 in
+  let first_inc =
+    ref
+      (match resume with
+      | Some ck -> ck.Checkpoint.first_incumbent_s
+      | None -> Float.nan)
+  in
+  let nodes =
+    Atomic.make
+      (match resume with Some ck -> ck.Checkpoint.nodes_done | None -> 0)
+  in
   (* Convergence timeline: one point (and one trace instant) per
      incumbent, carrying the relative incumbent/bound gap at that
      moment. Observational only. *)
@@ -450,40 +524,329 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
       Obs.Series.add s_incumbents ~x:(elapsed ()) ~y:obj;
       (* No relaxation solved yet, so no dual bound: gap unknown. *)
       note_incumbent ~obj ~gap:Float.nan ~node:0 ~depth:0 ~seeded:true ());
-  let fixed_vars = ref 0 in
-  let root_bound = ref neg_infinity in
+  (* The checkpoint's incumbent wins over a caller-seeded one: it was
+     accepted by the original run's deterministic tie-breaking, which is
+     exactly the state resume must reproduce. The seeded id -1 is the
+     same convention the warm-start seeding uses, and the audit accepts
+     it. *)
+  (match resume with
+  | Some { Checkpoint.incumbent = Some (x, obj); _ } when not injected_timeout
+    ->
+      best_x := Some (Array.copy x);
+      Atomic.set best_obj obj;
+      if certs_on then inc_log := [ (-1, obj) ];
+      Obs.Counter.incr c_incumbents;
+      Obs.Series.add s_incumbents ~x:(elapsed ()) ~y:obj;
+      note_incumbent ~obj ~gap:Float.nan ~node:0 ~depth:0 ~seeded:true ()
+  | _ -> ());
+  let fixed_vars =
+    ref (match resume with Some ck -> ck.Checkpoint.fixed_vars | None -> 0)
+  in
+  let root_bound =
+    ref
+      (match resume with
+      | Some ck -> ck.Checkpoint.root_bound
+      | None -> neg_infinity)
+  in
+  (match resume with
+  | Some ck ->
+      fix_log := List.rev ck.Checkpoint.fixes;
+      root_duals := ck.Checkpoint.root_duals;
+      if certs_on then begin
+        cert_root_lb := Array.copy ck.Checkpoint.root_lb;
+        cert_root_ub := Array.copy ck.Checkpoint.root_ub
+      end
+  | None -> ());
   let budget_hit = ref false in
   let infeasible_root = ref false in
   let unbounded_root = ref false in
+  let stopped_unbounded = ref false in
   let budget () =
     injected_timeout
     || Resilience.Deadline.expired dl
     || Atomic.get nodes >= node_limit
   in
+  let pc_of_ck (p : Checkpoint.pc) =
+    {
+      dn_sum = Array.copy p.Checkpoint.dn_sum;
+      dn_n = Array.copy p.Checkpoint.dn_n;
+      up_sum = Array.copy p.Checkpoint.up_sum;
+      up_n = Array.copy p.Checkpoint.up_n;
+    }
+  in
   let mk_wctx wid lb ub =
-    { wid; wlb = lb; wub = ub; wcur = Root; wstate = None;
-      wpc = pc_create raw.n; w_iters = 0; w_limited = 0; w_warm = 0;
-      wcerts = [] }
+    (* Restore this slot's pseudocost table from the checkpoint when one
+       is carried (extra slots of a wider resume start fresh). *)
+    let wpc =
+      match resume with
+      | Some ck
+        when wid < Array.length ck.Checkpoint.pc
+             && Array.length ck.Checkpoint.pc.(wid).Checkpoint.dn_sum = raw.n
+        ->
+          pc_of_ck ck.Checkpoint.pc.(wid)
+      | _ -> pc_create raw.n
+    in
+    let cell = Resilience.Deadline.new_cell () in
+    { wid; wlb = lb; wub = ub; wcur = Root; wstate = None; wpc;
+      w_iters = 0; w_limited = 0; w_warm = 0; wcerts = [];
+      w_cell = cell; w_dl = Resilience.Deadline.with_cancel dl cell;
+      w_beat = Atomic.make (Obs.Clock.wall ());
+      w_nudge = Atomic.make false; w_deaths = 0 }
+  in
+  (* The coordinator context is created up front (not at root-processing
+     time) because the supervision layer — watchdog, checkpointer, crash
+     recovery — observes it for the whole solve. On resume its arrays
+     start at the checkpoint's post-fixing root box, which is the box
+     every serialized chain's [prev] values are relative to. *)
+  let w0 =
+    match resume with
+    | Some ck ->
+        let w = mk_wctx 0 (Array.copy ck.Checkpoint.root_lb)
+            (Array.copy ck.Checkpoint.root_ub)
+        in
+        w.w_limited <- ck.Checkpoint.lp_limited;
+        w.wcerts <- ck.Checkpoint.cert_nodes;
+        w
+    | None -> mk_wctx 0 (Array.copy raw.lb) (Array.copy raw.ub)
+  in
+  (* Post-fixing root box, captured once the root is processed (or taken
+     from the checkpoint): what worker contexts copy and what snapshots
+     record so resumed chains rebuild against identical arrays. *)
+  let root_box_lb =
+    ref (match resume with Some ck -> Array.copy ck.Checkpoint.root_lb | None -> [||])
+  in
+  let root_box_ub =
+    ref (match resume with Some ck -> Array.copy ck.Checkpoint.root_ub | None -> [||])
+  in
+  (* ---------------- supervision state (shared by both engines) ------- *)
+  (* [pool_m] guards the shared deque [q]/[qlen], every private stack in
+     [wlocal], and the lease table [wlease]. A lease is the subtree a
+     worker currently holds in its hands: set when a node is taken,
+     cleared in the same critical section that retires or republishes it,
+     so at every instant each open node is in exactly one of
+     {q, some wlocal, some lease} — the invariant that makes snapshots
+     complete and crash recovery lossless. *)
+  let pool_m = Mutex.create () in
+  let pool_cv = Condition.create () in
+  let q = ref [] in
+  let qlen = ref 0 in
+  let qcap = max 64 (8 * domains) in
+  let wlocal = Array.init domains (fun _ -> ref []) in
+  let wlease : node option array = Array.make domains None in
+  let all_wctxs = Atomic.make [| w0 |] in
+  let n_recoveries = ref 0 in (* guarded by pool_m *)
+  let n_checkpoints = ref 0 in (* guarded by pool_m *)
+  let n_stalls = Atomic.make 0 in
+  let last_ck = ref (Obs.Clock.wall ()) in
+  let next_ck_nodes =
+    ref
+      (match checkpoint with
+      | Some { ck_every_nodes = Some n; _ } -> Atomic.get nodes + n
+      | _ -> max_int)
+  in
+  (* Serialize a node's chain as root→leaf edits; rebuild on resume. The
+     rebuilt chains are disjoint from each other, which [goto] handles
+     (its meet walks both chains to Root), so per-node rebuild is
+     correct without reconstructing the shared tree shape. *)
+  let edits_of_chain c =
+    let rec go acc = function
+      | Root -> acc
+      | Tighten t ->
+          go
+            ({ Checkpoint.e_j = t.j;
+               e_side = (match t.side with Lb -> Cert.Lower | Ub -> Cert.Upper);
+               e_v = t.v; e_prev = t.prev }
+            :: acc)
+            t.parent
+    in
+    go [] c
+  in
+  let open_of_node (n : node) =
+    {
+      Checkpoint.o_nid = n.nid;
+      o_parent = n.parent_nid;
+      o_bound = n.bound;
+      o_bvar = n.bvar;
+      o_bfrac = n.bfrac;
+      o_dir_up = n.dir_up;
+      o_edits = edits_of_chain n.bounds;
+    }
+  in
+  let node_of_open (o : Checkpoint.open_node) =
+    let _, chain =
+      List.fold_left
+        (fun (d, parent) (e : Checkpoint.edit) ->
+          ( d + 1,
+            Tighten
+              { j = e.Checkpoint.e_j;
+                side =
+                  (match e.Checkpoint.e_side with
+                  | Cert.Lower -> Lb
+                  | Cert.Upper -> Ub);
+                v = e.Checkpoint.e_v; prev = e.Checkpoint.e_prev;
+                depth = d + 1; parent } ))
+        (0, Root) o.Checkpoint.o_edits
+    in
+    { nid = o.Checkpoint.o_nid; parent_nid = o.Checkpoint.o_parent;
+      bounds = chain; bound = o.Checkpoint.o_bound;
+      bvar = o.Checkpoint.o_bvar; bfrac = o.Checkpoint.o_bfrac;
+      dir_up = o.Checkpoint.o_dir_up; cancels = 0 }
+  in
+  (* Every open node, wherever it currently lives. Under [pool_m]. *)
+  let frontier_locked () =
+    let leases =
+      Array.fold_right
+        (fun l acc -> match l with Some n -> n :: acc | None -> acc)
+        wlease []
+    in
+    let locals = Array.fold_right (fun r acc -> !r @ acc) wlocal [] in
+    leases @ locals @ !q
+  in
+  let snapshot_locked () =
+    let ws = Atomic.get all_wctxs in
+    (* Lock order pool_m ≺ inc_m: workers only ever take inc_m while not
+       holding pool_m, so this nesting cannot deadlock. *)
+    Mutex.lock inc_m;
+    let inc =
+      match !best_x with
+      | Some x -> Some (Array.copy x, Atomic.get best_obj)
+      | None -> None
+    in
+    Mutex.unlock inc_m;
+    {
+      Checkpoint.fingerprint = model_fp;
+      domains;
+      next_nid = Atomic.get next_nid;
+      nodes_done = Atomic.get nodes;
+      lp_limited = Array.fold_left (fun a w -> a + w.w_limited) 0 ws;
+      fixed_vars = !fixed_vars;
+      root_bound = !root_bound;
+      root_lb = Array.copy !root_box_lb;
+      root_ub = Array.copy !root_box_ub;
+      incumbent = inc;
+      first_incumbent_s = !first_inc;
+      elapsed_s = elapsed ();
+      frontier = List.map open_of_node (frontier_locked ());
+      pc =
+        Array.map
+          (fun w ->
+            {
+              Checkpoint.dn_sum = Array.copy w.wpc.dn_sum;
+              dn_n = Array.copy w.wpc.dn_n;
+              up_sum = Array.copy w.wpc.up_sum;
+              up_n = Array.copy w.wpc.up_n;
+            })
+          ws;
+      certs_on;
+      cert_nodes =
+        Array.fold_left (fun acc w -> List.rev_append w.wcerts acc) [] ws;
+      fixes = List.rev !fix_log;
+      root_duals = !root_duals;
+      meta = (match checkpoint with Some s -> s.ck_meta | None -> Obs.Json.Null);
+    }
+  in
+  (* Called under [pool_m] from node-completion sections. [force] is the
+     final flush at solve exit. The root box guard skips snapshots taken
+     before the root was ever processed (nothing to resume yet). *)
+  let write_checkpoint_locked ~force () =
+    match checkpoint with
+    | None -> ()
+    | Some s ->
+        let nodes_now = Atomic.get nodes in
+        let due =
+          force
+          || Obs.Clock.wall () -. !last_ck >= s.ck_every_s
+          || nodes_now >= !next_ck_nodes
+        in
+        if due && Array.length !root_box_lb > 0 then begin
+          last_ck := Obs.Clock.wall ();
+          (match s.ck_every_nodes with
+          | Some n -> next_ck_nodes := nodes_now + n
+          | None -> ());
+          Checkpoint.write ~path:s.ck_path (snapshot_locked ());
+          incr n_checkpoints;
+          if Obs.Trace.enabled () then
+            Obs.Trace.instant ~cat:"milp" "milp.checkpoint"
+              ~args:
+                [
+                  ("nodes", Obs.Json.Int nodes_now);
+                  ("path", Obs.Json.String s.ck_path);
+                ]
+        end
+  in
+  let note_recovery (w : wctx) e =
+    Log.warn (fun f ->
+        f "worker %d died (%s); recovered (death %d/%d)" w.wid
+          (Printexc.to_string e) w.w_deaths max_worker_deaths);
+    if Obs.Trace.enabled () then
+      Obs.Trace.instant ~cat:"milp" ~tid:(w.wid + 1) "milp.recovery"
+        ~args:
+          [
+            ("worker", Obs.Json.Int w.wid);
+            ("error", Obs.Json.String (Printexc.to_string e));
+            ("death", Obs.Json.Int w.w_deaths);
+          ]
+  in
+  (* Supervised worker death. Returns whether the slot recovered: the
+     leased node and the worker's whole private stack go back to the
+     shared deque (no subtree is lost), the solver state and pseudocost
+     table reset, and the worker keeps taking work. Resource exhaustion
+     and slots past their death budget are systemic — not recovered. *)
+  let recover (w : wctx) e =
+    match e with
+    | Out_of_memory | Stack_overflow -> false
+    | _ when w.w_deaths >= max_worker_deaths -> false
+    | _ ->
+        w.w_deaths <- w.w_deaths + 1;
+        w.wstate <- None;
+        w.wpc <- pc_create raw.n;
+        Resilience.Deadline.clear_cell w.w_cell;
+        Atomic.set w.w_nudge false;
+        Mutex.lock pool_m;
+        (match wlease.(w.wid) with
+        | Some n ->
+            q := !q @ [ n ];
+            incr qlen;
+            wlease.(w.wid) <- None
+        | None -> ());
+        let mine = !(wlocal.(w.wid)) in
+        if mine <> [] then begin
+          wlocal.(w.wid) := [];
+          q := !q @ mine;
+          qlen := !qlen + List.length mine
+        end;
+        incr n_recoveries;
+        Condition.broadcast pool_cv;
+        Mutex.unlock pool_m;
+        note_recovery w e;
+        true
   in
   let solve_node (w : wctx) (node : node) =
+    (* Consume a watchdog nudge (escalation rung 1): drop the warm
+       tableau so this LP refactorizes from scratch — the cheap fix for
+       a numerically wedged basis. *)
+    if Atomic.get w.w_nudge then begin
+      Atomic.set w.w_nudge false;
+      w.wstate <- None
+    end;
     goto ~lb:w.wlb ~ub:w.wub ~from_:w.wcur node.bounds;
     w.wcur <- node.bounds;
     if cold_mode then
-      Simplex.solve ~max_iters:max_lp_iters ~deadline:dl ~lb:w.wlb ~ub:w.wub
-        raw
+      Simplex.solve ~max_iters:max_lp_iters ~deadline:w.w_dl ~lb:w.wlb
+        ~ub:w.wub raw
     else
       match w.wstate with
       | None ->
           let r, st =
-            Simplex.solve_state ~max_iters:max_lp_iters ~deadline:dl
+            Simplex.solve_state ~max_iters:max_lp_iters ~deadline:w.w_dl
               ~lb:w.wlb ~ub:w.wub raw
           in
           w.wstate <- Some st;
           r
       | Some st ->
           let r =
-            Simplex.resolve ~max_iters:max_lp_iters ~deadline:dl ~lb:w.wlb
-              ~ub:w.wub st
+            Simplex.resolve ~max_iters:max_lp_iters ~deadline:w.w_dl
+              ~lb:w.wlb ~ub:w.wub st
           in
           if Simplex.last_resolve_warm st then w.w_warm <- w.w_warm + 1;
           r
@@ -521,11 +884,24 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
               ~args:[ ("count", Obs.Json.Int (!fixed_vars - before)) ]
         end
   in
-  (* Solve one node on worker [w]. [open_bound_now] supplies the dual
-     bound over the currently open nodes for the incumbent gap note
-     (exact for the sequential engine, conservative for the parallel
-     one). *)
-  let process (w : wctx) ~open_bound_now (node : node) =
+  (* Solve one node on worker [w]; returns the scheduling outcome and
+     the node's certificate entry (engines append it inside their
+     completion critical section, so snapshots never see a half-recorded
+     node). [open_bound_now] supplies the dual bound over the currently
+     open nodes for the incumbent gap note (exact for the sequential
+     engine, conservative for the parallel one).
+
+     Fault sites: [milp.worker_kill] kills the worker at entry, before
+     the node is counted — the supervisor replays its lease.
+     [milp.stall] wedges the worker here with no progress, which is what
+     the watchdog's escalation ladder must unstick. *)
+  let process (w : wctx) ~open_bound_now (node : node) :
+      outcome * Cert.node option =
+    if Resilience.Fault.fires "milp.worker_kill" then raise Worker_killed;
+    if Resilience.Fault.fires "milp.stall" then
+      while not (Resilience.Deadline.expired w.w_dl) do
+        Domain.cpu_relax ()
+      done;
     let node_id = 1 + Atomic.fetch_and_add nodes 1 in
     let depth = chain_depth node.bounds in
     let r = solve_node w node in
@@ -576,9 +952,13 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
              (or numerically hopeless); stop exploring. *)
           Stop_unbounded
       | Simplex.Time_limit ->
-          (* The deadline ran out mid-pivot: stop and report the best
-             incumbent, exactly like the between-node budget check. *)
-          Stop_budget
+          (* The worker deadline ran out mid-pivot. A watchdog cancel
+             means only this worker was unwedged — the node is requeued
+             and the solve goes on; genuine time expiry stops the solve
+             like the between-node budget check. Either way the node is
+             still open, so it gets no certificate entry. *)
+          if Resilience.Deadline.cancelled w.w_dl then Cancelled
+          else Stop_budget
       | Simplex.Iteration_limit ->
           (* Pruning an unsolved subproblem is unsound for optimality
              claims, so count it: any such node demotes Optimal to
@@ -632,14 +1012,14 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
                     Tighten { j; side = Ub; v = fl; prev = w.wub.(j);
                               depth = depth + 1; parent = node.bounds };
                   bound = r.Simplex.objective; bvar = j;
-                  bfrac = v -. fl; dir_up = false }
+                  bfrac = v -. fl; dir_up = false; cancels = 0 }
               and up =
                 { nid = alloc_nid (); parent_nid = node.nid;
                   bounds =
                     Tighten { j; side = Lb; v = fl +. 1.0; prev = w.wlb.(j);
                               depth = depth + 1; parent = node.bounds };
                   bound = r.Simplex.objective; bvar = j;
-                  bfrac = v -. fl; dir_up = true }
+                  bfrac = v -. fl; dir_up = true; cancels = 0 }
               in
               fathom :=
                 Cert.F_branched
@@ -651,43 +1031,50 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
             end
           end
     in
-    if certs_on then begin
-      let claim =
-        match r.Simplex.status with
-        | Simplex.Optimal -> (
-            match Option.bind w.wstate Simplex.duals with
-            | Some d -> Cert.Lp_optimal { obj = r.Simplex.objective; duals = d }
-            | None -> Cert.Lp_unsolved)
-        | Simplex.Infeasible ->
-            Cert.Lp_infeasible
-              (Option.bind w.wstate Simplex.last_infeasibility)
-        | Simplex.Unbounded | Simplex.Iteration_limit | Simplex.Time_limit ->
-            Cert.Lp_unsolved
-      in
-      let bound =
-        match r.Simplex.status with
-        | Simplex.Optimal -> r.Simplex.objective
-        | _ -> node.bound
-      in
-      w.wcerts <-
-        { Cert.id = node.nid; parent = node.parent_nid;
-          branch = branch_of node; depth; domain = w.wid; claim; bound;
-          incumbent_at = Atomic.get best_obj; fathom = !fathom }
-        :: w.wcerts
-    end;
-    outcome
+    let cert =
+      match outcome with
+      (* A cancelled or budget-cut node stays open (requeued / left in
+         the frontier), so it must not appear closed in the node log —
+         a resumed solve will process it for real. *)
+      | Cancelled | Stop_budget -> None
+      | _ when not certs_on -> None
+      | _ ->
+          Some
+            { Cert.id = node.nid; parent = node.parent_nid;
+              branch = branch_of node; depth; domain = w.wid;
+              claim =
+                (match r.Simplex.status with
+                | Simplex.Optimal -> (
+                    match Option.bind w.wstate Simplex.duals with
+                    | Some d ->
+                        Cert.Lp_optimal
+                          { obj = r.Simplex.objective; duals = d }
+                    | None -> Cert.Lp_unsolved)
+                | Simplex.Infeasible ->
+                    Cert.Lp_infeasible
+                      (Option.bind w.wstate Simplex.last_infeasibility)
+                | Simplex.Unbounded | Simplex.Iteration_limit
+                | Simplex.Time_limit ->
+                    Cert.Lp_unsolved);
+              bound =
+                (match r.Simplex.status with
+                | Simplex.Optimal -> r.Simplex.objective
+                | _ -> node.bound);
+              incumbent_at = Atomic.get best_obj; fathom = !fathom }
+    in
+    (outcome, cert)
   in
   (* Nodes pruned on their parent's bound before any LP solve still need a
      pruning-log entry: their soundness is audited against the nearest
      ancestor's dual certificate. *)
-  let note_dominated (w : wctx) (node : node) =
-    if certs_on then
-      w.wcerts <-
+  let dominated_cert (w : wctx) (node : node) =
+    if not certs_on then None
+    else
+      Some
         { Cert.id = node.nid; parent = node.parent_nid;
           branch = branch_of node; depth = chain_depth node.bounds;
           domain = w.wid; claim = Cert.Lp_unsolved; bound = node.bound;
           incumbent_at = Atomic.get best_obj; fathom = Cert.F_dominated }
-        :: w.wcerts
   in
   let dominated (node : node) =
     let b = Atomic.get best_obj in
@@ -696,36 +1083,168 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
   (* Minimum dual bound over nodes left open when exploration stops
      early; infinity after an exhaustive run. *)
   let open_bound_end = ref infinity in
+  (* ---------------------- stall watchdog ----------------------------- *)
+  (* A dedicated domain that checks each worker's heartbeat against the
+     stall window. Escalation ladder (DESIGN.md §3i): a worker whose
+     lease has made no progress for a full window first gets a nudge
+     (cold refactorization on its next LP); if the same wedged lease is
+     still there on a later tick, its node is cancelled through the
+     worker's deadline cell and requeued. Each node is cancelled at most
+     once, so a merely-slow LP replays to completion. *)
+  let wd_stop = Atomic.make false in
+  let stall_note (w : wctx) level =
+    ignore (Atomic.fetch_and_add n_stalls 1);
+    Log.warn (fun f -> f "worker %d stalled; escalation: %s" w.wid level);
+    if Obs.Trace.enabled () then
+      Obs.Trace.instant ~cat:"milp" ~tid:(w.wid + 1) "milp.stall"
+        ~args:
+          [ ("worker", Obs.Json.Int w.wid); ("level", Obs.Json.String level) ]
+  in
+  let watchdog win =
+    (* Per-slot beat value at the last nudge: a second trip over the same
+       beat means the nudge did not help — escalate to cancel. *)
+    let nudged : (int, float) Hashtbl.t = Hashtbl.create 8 in
+    let tick = Float.max 0.005 (win /. 4.0) in
+    while not (Atomic.get wd_stop) do
+      Unix.sleepf tick;
+      if not (Atomic.get wd_stop) then begin
+        let now_ = Obs.Clock.wall () in
+        Array.iter
+          (fun (w : wctx) ->
+            Mutex.lock pool_m;
+            let lease = wlease.(w.wid) in
+            Mutex.unlock pool_m;
+            match lease with
+            | None -> Hashtbl.remove nudged w.wid
+            | Some node ->
+                let beat = Atomic.get w.w_beat in
+                if now_ -. beat > win then begin
+                  if Hashtbl.find_opt nudged w.wid <> Some beat then begin
+                    Hashtbl.replace nudged w.wid beat;
+                    Atomic.set w.w_nudge true;
+                    stall_note w "nudge"
+                  end
+                  else if node.cancels = 0 then begin
+                    node.cancels <- 1;
+                    Resilience.Deadline.cancel w.w_cell;
+                    stall_note w "cancel"
+                  end
+                end)
+          (Atomic.get all_wctxs)
+      end
+    done
+  in
+  let wd_dom =
+    match stall_window with
+    | Some win when win > 0.0 && not injected_timeout ->
+        Some (Domain.spawn (fun () -> watchdog win))
+    | _ -> None
+  in
   (* -------------------- sequential engine (domains = 1) ------------- *)
-  let run_sequential w0 init =
-    let stack = ref init in
+  (* The private stack lives in [wlocal.(0)] and the lease table is kept
+     current so the watchdog and checkpointer see the same frontier
+     invariant as in the parallel engine. Recovery drains through the
+     shared deque [q]. *)
+  let run_sequential (init : node list) =
+    wlocal.(0) := init;
     let open_bound_now obj =
-      List.fold_left (fun acc (n : node) -> min acc n.bound) obj !stack
+      let acc =
+        List.fold_left (fun acc (n : node) -> min acc n.bound) obj
+          !(wlocal.(0))
+      in
+      List.fold_left (fun acc (n : node) -> min acc n.bound) acc !q
+    in
+    let next_node () =
+      Mutex.lock pool_m;
+      let r =
+        match !(wlocal.(0)) with
+        | n :: rest ->
+            wlocal.(0) := rest;
+            Some n
+        | [] -> (
+            match !q with
+            | n :: rest ->
+                q := rest;
+                decr qlen;
+                Some n
+            | [] -> None)
+      in
+      (match r with Some n -> wlease.(0) <- Some n | None -> ());
+      Mutex.unlock pool_m;
+      (match r with
+      | Some _ -> Atomic.set w0.w_beat (Obs.Clock.wall ())
+      | None -> ());
+      r
+    in
+    let requeue_front node =
+      Mutex.lock pool_m;
+      wlocal.(0) := node :: !(wlocal.(0));
+      wlease.(0) <- None;
+      Mutex.unlock pool_m
+    in
+    let clear_lease () =
+      Mutex.lock pool_m;
+      wlease.(0) <- None;
+      Mutex.unlock pool_m
+    in
+    let append_cert c =
+      match c with Some c -> w0.wcerts <- c :: w0.wcerts | None -> ()
     in
     let continue_ = ref true in
     while !continue_ do
-      match !stack with
-      | [] -> continue_ := false
-      | node :: rest -> (
-          stack := rest;
-          if budget () then begin
-            budget_hit := true;
-            continue_ := false
-          end
-          else if dominated node then
-            (* parent bound already dominated by the incumbent *)
-            note_dominated w0 node
-          else
-            match process w0 ~open_bound_now node with
-            | Leaf -> ()
-            | Stop_unbounded -> continue_ := false
-            | Stop_budget ->
-                budget_hit := true;
-                continue_ := false
-            | Children (near, far) -> stack := near :: far :: !stack)
-    done;
-    open_bound_end :=
-      List.fold_left (fun acc (n : node) -> min acc n.bound) infinity !stack
+      match next_node () with
+      | None -> continue_ := false
+      | Some node ->
+          (if budget () then begin
+             (* keep the in-hand node open: the exit gap and a final
+                checkpoint both want its bound *)
+             requeue_front node;
+             budget_hit := true;
+             continue_ := false
+           end
+           else if dominated node then begin
+             append_cert (dominated_cert w0 node);
+             clear_lease ()
+           end
+           else
+             match process w0 ~open_bound_now node with
+             | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+             | exception e when recover w0 e -> ()
+             | exception e ->
+                 clear_lease ();
+                 raise e
+             | Leaf, c ->
+                 append_cert c;
+                 clear_lease ()
+             | Stop_unbounded, c ->
+                 append_cert c;
+                 stopped_unbounded := true;
+                 clear_lease ();
+                 continue_ := false
+             | Stop_budget, _ ->
+                 requeue_front node;
+                 budget_hit := true;
+                 continue_ := false
+             | Cancelled, _ ->
+                 (* watchdog unwedge: re-open the node and re-arm *)
+                 Mutex.lock pool_m;
+                 q := !q @ [ node ];
+                 incr qlen;
+                 wlease.(0) <- None;
+                 incr n_recoveries;
+                 Mutex.unlock pool_m;
+                 Resilience.Deadline.clear_cell w0.w_cell
+             | Children (near, far), c ->
+                 append_cert c;
+                 Mutex.lock pool_m;
+                 wlocal.(0) := near :: far :: !(wlocal.(0));
+                 wlease.(0) <- None;
+                 Mutex.unlock pool_m);
+          Mutex.lock pool_m;
+          write_checkpoint_locked ~force:false ();
+          Mutex.unlock pool_m;
+          Atomic.set w0.w_beat (Obs.Clock.wall ())
+    done
   in
   (* -------------------- parallel engine (domains > 1) ---------------- *)
   (* Work distribution: each domain dives depth-first on a private stack;
@@ -734,24 +1253,24 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
      i.e. largest, subtrees). Idle domains steal from the old end of the
      deque; when the deque overflows its bound, siblings stay private.
      Termination: [pending] counts pushed-but-unfinished nodes; the
-     decrement that reaches zero wakes every sleeper. *)
-  let run_parallel w0 (first_near : node) (first_far : node) =
-    let pool_m = Mutex.create () in
-    let pool_cv = Condition.create () in
-    let q = ref [ first_far ] in
-    let qlen = ref 1 in
-    let qcap = max 64 (8 * domains) in
-    let pending = Atomic.make 2 in
+     decrement that reaches zero wakes every sleeper. Every taken node is
+     leased until its completion section runs, so worker deaths replay
+     exactly the in-flight subtrees and snapshots are complete. *)
+  let run_parallel (init : node list) =
+    (match init with
+    | [] -> ()
+    | first :: rest ->
+        wlocal.(0) := [ first ];
+        q := rest;
+        qlen := List.length rest);
+    let pending = Atomic.make (List.length init) in
     let stop : [ `Budget | `Unbounded | `Exn of exn ] option Atomic.t =
       Atomic.make None
     in
-    let leftover = ref infinity (* guarded by pool_m *) in
-    let request_stop r =
-      if Atomic.compare_and_set stop None (Some r) then begin
-        Mutex.lock pool_m;
-        Condition.broadcast pool_cv;
-        Mutex.unlock pool_m
-      end
+    (* Under [pool_m]. *)
+    let request_stop_locked r =
+      if Atomic.compare_and_set stop None (Some r) then
+        Condition.broadcast pool_cv
     in
     (* Steal the oldest (shallowest) published node. Called under
        [pool_m]; O(qcap) worst case, and qcap is small. *)
@@ -769,99 +1288,155 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
           decr qlen;
           Some last
     in
-    let finish_node () =
-      if Atomic.fetch_and_add pending (-1) = 1 then begin
-        Mutex.lock pool_m;
-        Condition.broadcast pool_cv;
-        Mutex.unlock pool_m
-      end
+    let finish_pending () =
+      if Atomic.fetch_and_add pending (-1) = 1 then
+        Condition.broadcast pool_cv
+    in
+    (* Take the next node: own stack first, else steal; leases it before
+       releasing the lock. Returns [(node, stolen)]. *)
+    let take (w : wctx) =
+      Mutex.lock pool_m;
+      let rec wait_loop () =
+        if Atomic.get stop <> None then None
+        else
+          match !(wlocal.(w.wid)) with
+          | n :: rest ->
+              wlocal.(w.wid) := rest;
+              Some (n, false)
+          | [] -> (
+              match steal () with
+              | Some n -> Some (n, true)
+              | None ->
+                  if Atomic.get pending = 0 then None
+                  else begin
+                    Condition.wait pool_cv pool_m;
+                    wait_loop ()
+                  end)
+      in
+      let r = wait_loop () in
+      (match r with
+      | Some (n, _) -> wlease.(w.wid) <- Some n
+      | None -> ());
+      Mutex.unlock pool_m;
+      (match r with
+      | Some _ -> Atomic.set w.w_beat (Obs.Clock.wall ())
+      | None -> ());
+      r
+    in
+    (* One critical section retires (or republishes) the node, appends
+       its certificate and clears the lease, so the frontier invariant
+       holds at every instant a snapshot could be taken. *)
+    let complete (w : wctx) (node : node) outcome cert =
+      Mutex.lock pool_m;
+      (match cert with Some c -> w.wcerts <- c :: w.wcerts | None -> ());
+      (match outcome with
+      | Leaf ->
+          wlease.(w.wid) <- None;
+          finish_pending ()
+      | Children (near, far) ->
+          (* count the children before retiring the parent so [pending]
+             can never dip to 0 with work in flight *)
+          ignore (Atomic.fetch_and_add pending 2);
+          let published = !qlen < qcap in
+          if published then begin
+            q := far :: !q;
+            incr qlen;
+            Condition.signal pool_cv
+          end;
+          wlocal.(w.wid) :=
+            (if published then [ near ] else [ near; far ])
+            @ !(wlocal.(w.wid));
+          wlease.(w.wid) <- None;
+          finish_pending ()
+      | Cancelled ->
+          (* watchdog unwedge: the node is still open — requeue it at
+             the steal end for any worker to replay, and re-arm this
+             worker's cell *)
+          q := !q @ [ node ];
+          incr qlen;
+          wlease.(w.wid) <- None;
+          Resilience.Deadline.clear_cell w.w_cell;
+          incr n_recoveries;
+          Condition.signal pool_cv
+      | Stop_budget ->
+          (* mid-LP budget stop: the node stays open for the exit gap
+             and the final checkpoint *)
+          wlocal.(w.wid) := node :: !(wlocal.(w.wid));
+          wlease.(w.wid) <- None;
+          request_stop_locked `Budget
+      | Stop_unbounded ->
+          wlease.(w.wid) <- None;
+          request_stop_locked `Unbounded;
+          finish_pending ());
+      write_checkpoint_locked ~force:false ();
+      Mutex.unlock pool_m;
+      Atomic.set w.w_beat (Obs.Clock.wall ())
     in
     let worker (w : wctx) =
-      let local = ref (if w.wid = 0 then [ first_near ] else []) in
-      let take () =
-        match !local with
-        | n :: rest when Atomic.get stop = None ->
-            local := rest;
-            Some n
-        | _ ->
-            if Atomic.get stop <> None then None
-            else begin
-              Mutex.lock pool_m;
-              let rec wait_loop () =
-                if Atomic.get stop <> None then None
-                else
-                  match steal () with
-                  | Some _ as n -> n
-                  | None ->
-                      if Atomic.get pending = 0 then None
-                      else begin
-                        Condition.wait pool_cv pool_m;
-                        wait_loop ()
-                      end
-              in
-              let r = wait_loop () in
-              Mutex.unlock pool_m;
-              r
-            end
-      in
       (* Conservative open bound for incumbent notes: the root
          relaxation (folding every private stack would need a second
          lock hierarchy for a purely observational number). *)
       let open_bound_now obj = Float.min obj !root_bound in
       let rec loop () =
-        match take () with
+        match take w with
         | None -> ()
-        | Some node ->
+        | Some (node, stolen) ->
             (if budget () then begin
+               Mutex.lock pool_m;
                (* keep the in-hand node's bound for the exit gap *)
-               local := node :: !local;
-               request_stop `Budget
+               wlocal.(w.wid) := node :: !(wlocal.(w.wid));
+               wlease.(w.wid) <- None;
+               request_stop_locked `Budget;
+               Mutex.unlock pool_m
+             end
+             else if
+               stolen && Resilience.Fault.fires "milp.steal_drop"
+             then begin
+               (* the thief dies at the steal handoff, taking the entry
+                  with it: recover as a worker death so the leased node
+                  replays instead of vanishing *)
+               if not (recover w Worker_killed) then raise Worker_killed
              end
              else if dominated node then begin
-               note_dominated w node;
-               finish_node ()
+               let c = dominated_cert w node in
+               Mutex.lock pool_m;
+               (match c with
+               | Some c -> w.wcerts <- c :: w.wcerts
+               | None -> ());
+               wlease.(w.wid) <- None;
+               finish_pending ();
+               Mutex.unlock pool_m
              end
              else
                match process w ~open_bound_now node with
-               | Leaf -> finish_node ()
-               | Stop_unbounded ->
-                   request_stop `Unbounded;
-                   finish_node ()
-               | Stop_budget ->
-                   request_stop `Budget;
-                   finish_node ()
-               | Children (near, far) ->
-                   (* count the children before retiring the parent so
-                      [pending] can never dip to 0 with work in flight *)
-                   ignore (Atomic.fetch_and_add pending 2);
-                   Mutex.lock pool_m;
-                   let published = !qlen < qcap in
-                   if published then begin
-                     q := far :: !q;
-                     incr qlen;
-                     Condition.signal pool_cv
-                   end;
-                   Mutex.unlock pool_m;
-                   local :=
-                     (if published then [ near ] else [ near; far ])
-                     @ !local;
-                   finish_node ());
+               | exception ((Out_of_memory | Stack_overflow) as e) ->
+                   raise e
+               | exception e when recover w e -> ()
+               | exception e -> raise e
+               | outcome, cert -> complete w node outcome cert);
             loop ()
       in
-      (try loop ()
-       with e -> request_stop (`Exn e));
-      (* Fold whatever this domain still holds into the exit bound. *)
-      Mutex.lock pool_m;
-      List.iter
-        (fun (n : node) -> leftover := Float.min !leftover n.bound)
-        !local;
-      Mutex.unlock pool_m
+      try loop ()
+      with e ->
+        (* Unrecoverable (death budget spent, or resource exhaustion):
+           requeue the lease so no subtree is silently lost, then stop
+           the pool and propagate. *)
+        Mutex.lock pool_m;
+        (match wlease.(w.wid) with
+        | Some n ->
+            q := !q @ [ n ];
+            incr qlen;
+            wlease.(w.wid) <- None
+        | None -> ());
+        request_stop_locked (`Exn e);
+        Mutex.unlock pool_m
     in
     let wctxs =
       Array.init domains (fun i ->
           if i = 0 then w0
           else mk_wctx i (Array.copy w0.wlb) (Array.copy w0.wub))
     in
+    Atomic.set all_wctxs wctxs;
     let spawned =
       Array.init (domains - 1) (fun i ->
           Domain.spawn (fun () -> worker wctxs.(i + 1)))
@@ -871,7 +1446,8 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
     (match Atomic.get stop with
     | Some (`Exn e) -> raise e
     | Some `Budget -> budget_hit := true
-    | Some `Unbounded | None -> ());
+    | Some `Unbounded -> stopped_unbounded := true
+    | None -> ());
     (* Merge per-domain counters into the coordinator's context so the
        stats assembly below has one source. *)
     Array.iter
@@ -882,41 +1458,123 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
           w0.w_warm <- w0.w_warm + w.w_warm;
           w0.wcerts <- List.rev_append w.wcerts w0.wcerts
         end)
-      wctxs;
+      wctxs
+  in
+  (* -------------------- root + engine dispatch ----------------------- *)
+  let run_engines () =
+    (match resume with
+    | Some ck ->
+        (* The closed prefix is already loaded into [w0]; rebuild the
+           frontier and continue. An empty frontier means the
+           checkpointed solve had already closed the tree — the carried
+           incumbent and certificate log are the whole answer. *)
+        let init = List.map node_of_open ck.Checkpoint.frontier in
+        if budget () then begin
+          budget_hit := true;
+          Mutex.lock pool_m;
+          q := init;
+          qlen := List.length init;
+          Mutex.unlock pool_m
+        end
+        else (
+          match init with
+          | [] -> ()
+          | init ->
+              if domains = 1 then run_sequential init
+              else run_parallel init)
+    | None ->
+        let root =
+          { nid = alloc_nid (); parent_nid = -1; bounds = Root;
+            bound = neg_infinity; bvar = -1; bfrac = 0.0; dir_up = false;
+            cancels = 0 }
+        in
+        if budget () then budget_hit := true
+        else begin
+          (* Root: always processed by the coordinator alone, so
+             reduced-cost fixing mutates the root arrays before any
+             worker copies them — under the same supervision (bounded
+             replay on injected kills and watchdog cancels) as every
+             other node. *)
+          let rec do_root () =
+            Mutex.lock pool_m;
+            wlease.(0) <- Some root;
+            Mutex.unlock pool_m;
+            Atomic.set w0.w_beat (Obs.Clock.wall ());
+            match process w0 ~open_bound_now:(fun obj -> obj) root with
+            | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+            | exception e when recover w0 e ->
+                (* recover parked the root lease on [q]; reclaim it *)
+                Mutex.lock pool_m;
+                q := [];
+                qlen := 0;
+                Mutex.unlock pool_m;
+                do_root ()
+            | exception e ->
+                Mutex.lock pool_m;
+                wlease.(0) <- None;
+                Mutex.unlock pool_m;
+                raise e
+            | Cancelled, _ ->
+                Resilience.Deadline.clear_cell w0.w_cell;
+                Mutex.lock pool_m;
+                wlease.(0) <- None;
+                incr n_recoveries;
+                Mutex.unlock pool_m;
+                do_root ()
+            | outcome, cert ->
+                (match cert with
+                | Some c -> w0.wcerts <- c :: w0.wcerts
+                | None -> ());
+                Mutex.lock pool_m;
+                wlease.(0) <- None;
+                Mutex.unlock pool_m;
+                outcome
+          in
+          let root_outcome = do_root () in
+          (* w0 still sits at the root chain here, so its arrays hold the
+             post-fixing root box every subtree inherits. *)
+          root_box_lb := Array.copy w0.wlb;
+          root_box_ub := Array.copy w0.wub;
+          if certs_on then begin
+            cert_root_lb := Array.copy w0.wlb;
+            cert_root_ub := Array.copy w0.wub
+          end;
+          match root_outcome with
+          | Leaf -> ()
+          | Cancelled -> assert false (* handled inside do_root *)
+          | Stop_unbounded -> ()
+          | Stop_budget ->
+              budget_hit := true;
+              (* keep the unprocessed root in the frontier: a checkpoint
+                 of this state must resume into the root, not into an
+                 empty (= already proved) tree *)
+              Mutex.lock pool_m;
+              wlocal.(0) := [ root ];
+              Mutex.unlock pool_m
+          | Children (near, far) ->
+              if domains = 1 then run_sequential [ near; far ]
+              else run_parallel [ near; far ]
+        end);
+    (* Exit bound over everything still open, wherever it lives. *)
+    Mutex.lock pool_m;
     open_bound_end :=
       List.fold_left
         (fun acc (n : node) -> Float.min acc n.bound)
-        !leftover !q;
+        infinity (frontier_locked ());
+    (* Final flush: a budget-stopped supervised solve always leaves a
+       fresh, resumable snapshot behind. *)
+    write_checkpoint_locked ~force:true ();
+    Mutex.unlock pool_m;
     (* [Stop_unbounded] left subtrees unexplored even though no budget
        was hit; a finite leftover bound keeps [proved] false below. *)
-    if Atomic.get stop = Some `Unbounded && !open_bound_end = infinity then
+    if !stopped_unbounded && !open_bound_end = infinity then
       open_bound_end := !root_bound
   in
-  (* Root: always processed by the coordinator alone, so reduced-cost
-     fixing mutates the root arrays before any worker copies them. *)
-  let w0 = mk_wctx 0 (Array.copy raw.lb) (Array.copy raw.ub) in
-  let root =
-    { nid = alloc_nid (); parent_nid = -1; bounds = Root;
-      bound = neg_infinity; bvar = -1; bfrac = 0.0; dir_up = false }
-  in
-  if budget () then budget_hit := true
-  else begin
-    let root_open_bound obj = obj in
-    let root_outcome = process w0 ~open_bound_now:root_open_bound root in
-    (* w0 still sits at the root chain here, so its arrays hold the
-       post-fixing root box every subtree inherited. *)
-    if certs_on then begin
-      cert_root_lb := Array.copy w0.wlb;
-      cert_root_ub := Array.copy w0.wub
-    end;
-    match root_outcome with
-    | Leaf -> ()
-    | Stop_unbounded -> ()
-    | Stop_budget -> budget_hit := true
-    | Children (near, far) ->
-        if domains = 1 then run_sequential w0 [ near; far ]
-        else run_parallel w0 near far
-  end;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set wd_stop true;
+      Option.iter Domain.join wd_dom)
+    run_engines;
   let open_bound = !open_bound_end in
   (* A node LP that hit its iteration cap was pruned unsolved, so neither
      "all nodes closed" nor a closed gap proves optimality. *)
@@ -946,12 +1604,19 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
       fixed_vars = !fixed_vars;
       first_incumbent_s = !first_inc;
       domains;
+      checkpoints = !n_checkpoints;
+      recoveries = !n_recoveries;
+      stalls = Atomic.get n_stalls;
+      cpu_s = Obs.Clock.cpu () -. cpu0;
     }
   in
   Obs.Counter.incr ~by:stats.nodes c_nodes;
   Obs.Counter.incr ~by:stats.lp_iterations c_pivots;
   Obs.Counter.incr ~by:stats.warm_hits c_warm_hits;
   Obs.Counter.incr ~by:stats.fixed_vars c_fixed_vars;
+  Obs.Counter.incr ~by:stats.checkpoints c_checkpoints;
+  Obs.Counter.incr ~by:stats.recoveries c_recoveries;
+  Obs.Counter.incr ~by:stats.stalls c_stalls;
   Obs.Series.add s_gap ~x:stats.elapsed ~y:stats.gap;
   let mk_cert cstatus =
     if not certs_on then None
@@ -1025,6 +1690,12 @@ let pp_stats ppf s =
   if s.domains > 1 then Fmt.pf ppf ", %d domains" s.domains;
   if s.warm_hits > 0 then Fmt.pf ppf ", %d warm" s.warm_hits;
   if s.fixed_vars > 0 then Fmt.pf ppf ", %d fixed" s.fixed_vars;
+  if s.checkpoints > 0 then
+    Fmt.pf ppf ", %d checkpoint%s" s.checkpoints
+      (if s.checkpoints = 1 then "" else "s");
+  if s.recoveries > 0 then Fmt.pf ppf ", %d recovered" s.recoveries;
+  if s.stalls > 0 then Fmt.pf ppf ", %d stall%s" s.stalls
+      (if s.stalls = 1 then "" else "s");
   if s.lp_limited > 0 then
     Fmt.pf ppf ", %d LP limit hit%s" s.lp_limited
       (if s.lp_limited = 1 then "" else "s")

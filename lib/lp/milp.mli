@@ -14,7 +14,17 @@
     objective, then lexicographically smallest solution vector), so for
     runs that terminate by exhausting the tree the status and objective
     are independent of the domain count and of scheduling (see DESIGN.md
-    §3g for the argument and for the budget-truncated caveat). *)
+    §3g for the argument and for the budget-truncated caveat).
+
+    Solves are {e supervised} (DESIGN.md §3i): every taken node is
+    leased until it is retired, so a worker death replays exactly its
+    in-flight subtree, a stall watchdog unwedges workers stuck inside a
+    single pathological LP, and the live frontier can be snapshotted to
+    disk ({!Checkpoint}) and resumed later. Because recovery and resume
+    only permute exploration order, the determinism guarantee above
+    extends to interrupted solves: a kill-and-recover or
+    checkpoint-and-resume run of an exhaustively solved model returns
+    the identical status, objective and incumbent. *)
 
 type status =
   | Optimal  (** proved optimal within tolerances *)
@@ -26,7 +36,9 @@ type status =
 type stats = {
   nodes : int;  (** branch-and-bound nodes evaluated *)
   lp_iterations : int;  (** simplex pivots across all nodes *)
-  elapsed : float;  (** seconds *)
+  elapsed : float;
+      (** wall-clock seconds; cumulative across resume (checkpointed
+          seconds plus this run's) *)
   root_bound : float;  (** root LP relaxation objective *)
   gap : float;  (** relative gap between incumbent and open bound *)
   lp_limited : int;
@@ -45,6 +57,15 @@ type stats = {
           ~0 s); [nan] if the solve ended with no incumbent *)
   domains : int;
       (** domain count the tree was explored with (1 = sequential) *)
+  checkpoints : int;  (** snapshots written to the [checkpoint] sink *)
+  recoveries : int;
+      (** supervised recoveries: worker deaths replayed plus watchdog
+          cancel-and-requeues *)
+  stalls : int;  (** watchdog escalations (nudges + cancels) *)
+  cpu_s : float;
+      (** process CPU seconds consumed by this solve ({!Obs.Clock.cpu});
+          under [domains] > 1 this exceeds [elapsed] — the budget runs
+          on the wall clock, CPU time is kept as a separate metric *)
 }
 
 type result = {
@@ -58,6 +79,24 @@ type result = {
           cold-start runs carry no dual/Farkas evidence) *)
 }
 
+(** Where and how often {!solve} snapshots its live frontier. *)
+type checkpoint_sink = {
+  ck_path : string;  (** written atomically (temp file + rename) *)
+  ck_every_s : float;  (** wall-clock cadence between snapshots *)
+  ck_every_nodes : int option;
+      (** additionally snapshot every [n] processed nodes — the
+          deterministic trigger tests use; [None] = cadence only *)
+  ck_meta : Obs.Json.t;
+      (** opaque driver payload stored verbatim in every snapshot
+          ([pipesyn resume] rebuilds its setup from it) *)
+}
+
+exception Worker_killed
+(** Raised at node-processing entry by the [milp.worker_kill] and
+    [milp.steal_drop] fault points — the stand-in for a worker domain
+    dying mid-subtree. Supervised recovery absorbs it up to a per-slot
+    death budget; past that it propagates like any worker exception. *)
+
 val solve :
   ?time_limit:float ->
   ?node_limit:int ->
@@ -69,6 +108,9 @@ val solve :
   ?branch_priority:int array ->
   ?domains:int ->
   ?certificates:bool ->
+  ?checkpoint:checkpoint_sink ->
+  ?resume:Checkpoint.t ->
+  ?stall_window:float ->
   Model.t ->
   result
 (** Defaults: [time_limit = 60.] s, [node_limit = 200_000],
@@ -111,15 +153,68 @@ val solve :
     node's {!Simplex.solve}, where it is polled every 64 pivots — one
     pathological node LP can no longer overshoot the budget arbitrarily.
     On expiry the best incumbent is returned with {!Feasible}
-    ({!Unknown} if none was found). The clock is [Sys.time] — process
-    CPU seconds — which accumulates across running domains, so an
-    [N]-domain solve burns its budget up to [N]× faster than wall
-    clock; cancellation stays cooperative per-domain (every domain
-    polls the same deadline at node and pivot granularity).
+    ({!Unknown} if none was found). The clock is the monotonized wall
+    clock ({!Obs.Clock.wall}): a [time_limit] of 5 s means five wall
+    seconds at any [domains] count (resilience-v2 moved the budget off
+    [Sys.time], whose CPU seconds accumulate across domains and expired
+    a [--domains 4] budget roughly 4× early). Process CPU time is still
+    reported, separately, as [stats.cpu_s].
+
+    {2 Supervision}
+
+    Every node a worker takes is {e leased} to it until the completion
+    critical section retires or republishes the node, so at any instant
+    each open node lives in exactly one of the shared deque, a private
+    stack, or a lease. On top of that invariant (DESIGN.md §3i):
+
+    {b Crash recovery.} A worker whose node processing raises (fault
+    injection, numeric blowup — anything except [Out_of_memory] /
+    [Stack_overflow]) is recovered in place: its leased node and entire
+    private stack are requeued for any worker to replay, its solver
+    state and pseudocost table reset, and it keeps taking work. Each
+    slot survives at most 3 deaths; past that — or for resource
+    exhaustion — the failure propagates. Recoveries are counted in
+    [stats.recoveries] and traced as ["milp.recovery"] instants.
+
+    {b Stall watchdog.} [stall_window] (seconds; default off) spawns a
+    watchdog domain that compares each worker's last-progress heartbeat
+    against the window. A worker wedged inside one LP for a full window
+    is escalated in two rungs: first a {e nudge} (its next LP
+    refactorizes cold — the cheap fix for a wedged basis), then, if the
+    same lease is still stuck a tick later, a {e cancel} through the
+    worker's deadline cell ({!Resilience.Deadline.with_cancel}) — the
+    simplex notices within one 64-pivot poll, the node is requeued, and
+    the worker re-arms. A node is never cancelled twice, so a
+    legitimately slow LP replays to completion; pick a window larger
+    than any honest node LP. Escalations land in [stats.stalls] and as
+    ["milp.stall"] trace instants (["level"] = ["nudge"]/["cancel"]).
+
+    {b Checkpoint/resume.} [checkpoint] snapshots the live solve into
+    {!checkpoint_sink}[.ck_path] on a wall-clock cadence (checked at
+    node completions), optionally every [ck_every_nodes] nodes, and
+    always once at a budget-stopped exit — so an interrupted solve
+    leaves a fresh, resumable file. [resume] rehydrates such a snapshot
+    (frontier, incumbent, pseudocost tables, certificate-log prefix,
+    root-fixing evidence) and continues; the checkpoint's fingerprint
+    must match the model ([Invalid_argument] otherwise). [stats.elapsed]
+    and the lp_limited accounting are cumulative across resume, so a
+    resumed solve can never claim more than the original plus its own
+    work. Resumed solves may use a different [domains] count than the
+    original run.
+
+    Recovery, watchdog requeues and resume are invisible to results on
+    exhaustively solved models (same status/objective/incumbent, by the
+    determinism argument above); node counts, traces and statistics are
+    not replayed and will differ.
 
     Fault points ({!Resilience.Fault}): [milp.raise] raises [Failure] at
     entry; [milp.timeout] returns {!Unknown} immediately, modelling a
-    budget that expired before any incumbent existed.
+    budget that expired before any incumbent existed; [milp.worker_kill]
+    and [milp.steal_drop] raise {!Worker_killed} at node-processing
+    entry / at the steal handoff (exercising crash recovery);
+    [milp.stall] wedges a worker inside a node until the watchdog or the
+    global budget unwedges it; [milp.checkpoint_torn] (in
+    {!Checkpoint.write}) tears a snapshot file mid-write.
 
     [certificates] (default [false]) makes the solve proof-carrying: the
     result's [cert] field collects, from every worker domain, each node's
@@ -130,18 +225,23 @@ val solve :
     re-verify the run in exact rational arithmetic (DESIGN.md §3h).
     Collection is observational: it never changes exploration. Under
     [PIPESYN_COLD_START] no certificate is produced (the evidence lives
-    in the warm-start solver state). A ["milp.cert"] trace instant
-    carries the certificate summary when tracing is on.
+    in the warm-start solver state). A resumed solve extends the
+    checkpoint's node log — cancelled or budget-cut nodes are left open
+    (no log entry) rather than closed with an unsound fathom, which is
+    what keeps resumed certificates audit-clean. A ["milp.cert"] trace
+    instant carries the certificate summary when tracing is on.
 
     When {!Obs.Trace} is enabled the solve emits a ["milp.solve"] span
     (tagged with the domain count), one ["milp.node"] instant per node
     (depth, branch variable, LP status, warm/cold resolve, dual bound,
     and the ["domain"] that processed it — also used as the event's
     Perfetto lane), a ["milp.fixed_vars"] instant when root fixing
-    engages, and a ["milp.incumbent"] instant per incumbent (objective +
+    engages, a ["milp.incumbent"] instant per incumbent (objective +
     gap — the convergence timeline, also recorded in the
-    ["milp.convergence"] series). Tracing is purely observational: it
-    never changes branching, bounds or results. *)
+    ["milp.convergence"] series), and the supervision instants
+    ["milp.recovery"], ["milp.stall"] and ["milp.checkpoint"]. Tracing
+    is purely observational: it never changes branching, bounds or
+    results. *)
 
 val value : result -> Model.var -> float
 val int_value : result -> Model.var -> int

@@ -19,6 +19,29 @@ let locked m f =
       Mutex.unlock m;
       raise e
 
+module Clock = struct
+  (* Wall clock for deadlines, trace timestamps and throughput. [Sys.time]
+     is per-process CPU seconds, which accumulates across OCaml 5 domains:
+     a 4-domain busy solve burns a CPU-second budget ~4x faster than wall
+     clock and skews every nodes/s figure. [Unix.gettimeofday] is wall
+     time but not guaranteed monotone (NTP steps), so reads are
+     monotonized through a process-global CAS-max cell — [wall] never goes
+     backwards, from any domain. *)
+  let mono_last = Atomic.make neg_infinity
+
+  let wall () =
+    let t = Unix.gettimeofday () in
+    let rec fix () =
+      let last = Atomic.get mono_last in
+      if t >= last then
+        if Atomic.compare_and_set mono_last last t then t else fix ()
+      else last
+    in
+    fix ()
+
+  let cpu = Sys.time
+end
+
 module Counter = struct
   type t = { cname : string; n : int Atomic.t }
 
@@ -73,11 +96,11 @@ module Timer = struct
      open must not add its interval again — only the outermost exit
      accumulates, so [total] stays wall-per-timer even under recursion. *)
   let span t f =
-    if t.depth = 0 then t.t0 <- Sys.time ();
+    if t.depth = 0 then t.t0 <- Clock.wall ();
     t.depth <- t.depth + 1;
     let record () =
       t.depth <- t.depth - 1;
-      if t.depth = 0 then t.total <- t.total +. (Sys.time () -. t.t0);
+      if t.depth = 0 then t.total <- t.total +. (Clock.wall () -. t.t0);
       t.spans <- t.spans + 1
     in
     match f () with
@@ -449,9 +472,9 @@ module Trace = struct
   (* Structured tracing: hierarchical spans (B/E pairs) and instant
      events over one process-wide buffer. Disabled by default — every
      entry point checks one bool, so instrumented code pays a branch and
-     nothing else. Timestamps are CPU seconds ([Sys.time]) relative to
-     the [enable] call, matching the clock used everywhere else in the
-     repo.
+     nothing else. Timestamps are monotonized wall seconds ({!Clock.wall})
+     relative to the [enable] call, matching the clock deadlines use, so
+     multi-domain timelines line up with real time.
 
      The buffer is bounded (default {!default_cap} events, env
      [PIPESYN_TRACE_CAP]). On overflow new begins/instants are dropped
@@ -519,7 +542,7 @@ module Trace = struct
     incr len
 
   let enabled () = !on
-  let now () = Sys.time () -. !epoch
+  let now () = Clock.wall () -. !epoch
   let num_events () = !len
   let dropped () = !dropped_n
 
@@ -543,7 +566,7 @@ module Trace = struct
   let enable ?cap:c () =
     cap := (match c with Some v -> max 16 v | None -> cap_from_env ());
     clear ();
-    epoch := Sys.time ();
+    epoch := Clock.wall ();
     on := true
 
   let begin_span ?(cat = "app") ?(args = []) name =
@@ -678,7 +701,7 @@ module Trace = struct
     Json.Obj
       [
         ("schema", Json.String "pipesyn-trace-v1");
-        ("clock", Json.String "cpu-s");
+        ("clock", Json.String "wall-s");
         ("dropped", Json.Int !dropped_n);
         ("events", Json.List (List.map native_of_event (all_events ())));
       ]
@@ -978,11 +1001,20 @@ module Metrics = struct
     audit_errors : int;
         (** error findings from the exact-rational certificate audit;
             -1 when the audit did not run *)
+    checkpoints : int;
+        (** frontier snapshots written during the solve; 0 when
+            checkpointing was off *)
+    recoveries : int;
+        (** leased subtrees re-enqueued after a worker death or a
+            watchdog cancel-and-requeue; 0 for undisturbed solves *)
+    stalls : int;
+        (** stall-watchdog escalations (nudges + cancels) recorded
+            during the solve *)
     diagnostics : Json.t list;
     degradation : Json.t list;
   }
 
-  let schema_version = 6
+  let schema_version = 7
 
   let to_json m =
     Json.Obj
@@ -1003,6 +1035,9 @@ module Metrics = struct
         ("nodes_per_s", Json.Float m.nodes_per_s);
         ("cert_nodes", Json.Int m.cert_nodes);
         ("audit_errors", Json.Int m.audit_errors);
+        ("checkpoints", Json.Int m.checkpoints);
+        ("recoveries", Json.Int m.recoveries);
+        ("stalls", Json.Int m.stalls);
         ("diagnostics", Json.List m.diagnostics);
         ("degradation", Json.List m.degradation);
       ]
@@ -1057,6 +1092,13 @@ module Metrics = struct
     let audit_errors =
       match Json.member "audit_errors" j with Some (Json.Int i) -> i | _ -> -1
     in
+    (* Absent in schema v1–v6 files. *)
+    let int_opt k =
+      match Json.member k j with Some (Json.Int i) -> i | _ -> 0
+    in
+    let checkpoints = int_opt "checkpoints" in
+    let recoveries = int_opt "recoveries" in
+    let stalls = int_opt "stalls" in
     (* Absent in schema v1 files; default to empty for compatibility. *)
     let diagnostics =
       match Json.member "diagnostics" j with Some (Json.List l) -> l | _ -> []
@@ -1083,6 +1125,9 @@ module Metrics = struct
         nodes_per_s;
         cert_nodes;
         audit_errors;
+        checkpoints;
+        recoveries;
+        stalls;
         diagnostics;
         degradation;
       }

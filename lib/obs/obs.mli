@@ -1,4 +1,4 @@
-(** Zero-dependency instrumentation and structured-metrics layer.
+(** Instrumentation and structured-metrics layer.
 
     Every hot path of the synthesis flow — cut enumeration
     ({!Cuts.enumerate}), the branch-and-bound MILP ({!Lp.Milp.solve}), the
@@ -12,8 +12,10 @@
     Instrumentation is {e additive}: it never influences a schedule, cover
     or solver decision (verified by [test/test_obs.ml], which checks QoR is
     byte-identical across repeated instrumented runs). Timings use
-    [Sys.time] — per-process CPU seconds, the same clock the solver budget
-    uses — so no Unix dependency is introduced.
+    {!Clock.wall} — a monotonized wall clock, the same clock solver
+    deadlines use — so multi-domain runs report real elapsed time rather
+    than summed CPU seconds; {!Clock.cpu} is still available where CPU
+    burn is the quantity of interest.
 
     {!Json} is a deliberately tiny hand-rolled JSON tree (emitter and a
     minimal parser for round-trip checks); {!Trace} adds hierarchical
@@ -21,6 +23,25 @@
     {!Metrics} is the stable per-benchmark record serialized by
     [pipesyn --json] and the bench harness's [BENCH_results.json]. The
     schema is documented in README.md ("Observability"). *)
+
+(** {1 Clocks} *)
+
+(** The repo's two clocks. Before resilience-v2 every timestamp and
+    deadline used [Sys.time] (per-process CPU seconds); that clock
+    accumulates across OCaml 5 domains, so a [--domains 4] busy solve
+    burned a deadline ~4x faster than wall clock. Deadlines, trace
+    timestamps and throughput now use {!wall}; CPU seconds remain a
+    separately reported metric ([Milp.stats.cpu_s]). *)
+module Clock : sig
+  val wall : unit -> float
+  (** Wall-clock seconds since the Unix epoch, monotonized: reads go
+      through a process-global CAS-max cell, so successive calls (from
+      any domain) never go backwards even if the system clock steps. *)
+
+  val cpu : unit -> float
+  (** [Sys.time] — CPU seconds consumed by the whole process, summed
+      across domains. *)
+end
 
 (** {1 Counters} *)
 
@@ -50,11 +71,11 @@ end
 
 (** {1 Phase timers} *)
 
-(** Accumulating wall-of-CPU phase timers.
+(** Accumulating phase timers.
 
-    A timer sums the [Sys.time] spans of every {!Timer.span} call, so one
-    timer per phase ("cuts.enumerate", "milp.solve") accumulates across
-    repeated invocations — per-benchmark totals fall out of a
+    A timer sums the {!Clock.wall} spans of every {!Timer.span} call, so
+    one timer per phase ("cuts.enumerate", "milp.solve") accumulates
+    across repeated invocations — per-benchmark totals fall out of a
     {!reset}/{!snapshot} bracket. *)
 module Timer : sig
   type t
@@ -64,7 +85,7 @@ module Timer : sig
       first use (same registry discipline as {!Counter.get}). *)
 
   val span : t -> (unit -> 'a) -> 'a
-  (** [span t f] runs [f ()], adds its CPU-time duration to [t], and
+  (** [span t f] runs [f ()], adds its wall-clock duration to [t], and
       returns (or re-raises) [f]'s outcome.
 
       Nesting-safe: a span entered while another span of the {e same}
@@ -188,7 +209,7 @@ end
     registry it is {e additive} — recording events never influences a
     schedule, cover or solver decision (pinned by [test/test_trace.ml],
     which checks QoR is byte-identical with tracing on/off across the
-    fault-injection matrix). Timestamps are [Sys.time] CPU seconds
+    fault-injection matrix). Timestamps are {!Clock.wall} seconds
     relative to the {!Trace.enable} call.
 
     The buffer is bounded (default {!Trace.default_cap} events; env
@@ -271,7 +292,7 @@ module Trace : sig
 
   val export_native : unit -> Json.t
   (** Compact native form: [{"schema": "pipesyn-trace-v1", "clock":
-      "cpu-s", "dropped": n, "events": […]}] with [ts_s] in seconds. *)
+      "wall-s", "dropped": n, "events": […]}] with [ts_s] in seconds. *)
 
   val write_chrome : path:string -> unit
   (** Writes {!export_chrome} to [path] (truncating) — the file behind
@@ -384,6 +405,18 @@ module Metrics : sig
         (** error findings from the exact-rational certificate audit
             ([Analyze.Audit]); -1 when the audit did not run
             (schema v6; the CI audit gate requires 0 here) *)
+    checkpoints : int;
+        (** frontier snapshots written during the solve
+            ([Milp.stats.checkpoints]); 0 when checkpointing was off
+            (schema v7) *)
+    recoveries : int;
+        (** leased B&B subtrees re-enqueued after a worker death or a
+            watchdog cancel-and-requeue ([Milp.stats.recoveries]); 0 for
+            undisturbed solves (schema v7) *)
+    stalls : int;
+        (** stall-watchdog escalations — refactorization nudges plus
+            cancel-and-requeues ([Milp.stats.stalls]) — during the solve
+            (schema v7) *)
     diagnostics : Json.t list;
         (** static-analysis findings from the run's lint gate, one
             {!Analyze.Diag.to_json} object each (schema v2; absent fields
@@ -405,7 +438,9 @@ module Metrics : sig
       [objective]/[domains]/[nodes_per_s] for the parallel B&B
       determinism and throughput checks; 6 = adds per-result
       [cert_nodes]/[audit_errors] for the proof-carrying certificate
-      audit. *)
+      audit; 7 = adds per-result [checkpoints]/[recoveries]/[stalls] for
+      solve supervision, and switches every timestamp from CPU seconds
+      to the monotonic wall clock. *)
 
   val to_json : t -> Json.t
   (** One flat object: [{"name": …, "method": …, "lut": …, "ff": …,

@@ -17,23 +17,38 @@ type attempt = {
           ["infeasible"], ["exception"], ["verify"], ["failed"] *)
   detail : string;  (** human-readable explanation (settings, message) *)
   elapsed : float;  (** seconds spent in the attempt *)
+  retry : int;
+      (** which try of the rung this was: 0 = the first try, [k > 0] =
+          the [k]-th bounded retry of the same rung (schema v7; absent
+          fields read back as 0 from older degradation logs) *)
 }
 
 val attempt_to_json : attempt -> Obs.Json.t
-(** [{"label": …, "reason": …, "detail": …, "elapsed_s": …}] — one entry
-    of the Metrics v3 [degradation] array. *)
+(** [{"label": …, "reason": …, "detail": …, "elapsed_s": …,
+    "retry": …}] — one entry of the Metrics [degradation] array. *)
 
 val attempt_of_json : Obs.Json.t -> (attempt, string) result
 (** Inverse of {!attempt_to_json} (round-trip checks). *)
 
 val pp_attempt : Format.formatter -> attempt -> unit
-(** ["label: reason (detail) [1.2s]"]. *)
+(** ["label: reason (detail) [1.2s]"], with ["(retry k)"] after the
+    label for bounded retries. *)
 
 type 'a step = {
   slabel : string;
   budget : float option;
       (** optional per-attempt budget in seconds, clipped against the
           cascade deadline — how budget backoff is expressed *)
+  retries : int;
+      (** bounded retry count: how many extra times this {e same} rung
+          is re-run (same budget, deterministically) when it fails with
+          a reason in [retry_on], before the cascade degrades to the
+          next rung. 0 = never retry. *)
+  retry_on : string list;
+      (** the transient failure classes (reason tokens, e.g.
+          ["exception"]) eligible for bounded retry. Timeouts are
+          normally {e not} transient: retrying a rung that ran out of
+          time just spends the rest of the budget. *)
   run : Deadline.t -> ('a, string * string) result;
       (** receives the attempt's sub-deadline; [Error (reason, detail)]
           on structured failure, exceptions are contained by {!run} *)
@@ -60,11 +75,16 @@ val run : deadline:Deadline.t -> 'a step list -> ('a outcome, attempt list) resu
     - a raised {!Deadline.Expired} is recorded as ["timeout"];
     - any other exception is contained and recorded as ["exception"]
       ([Out_of_memory] and [Stack_overflow] are re-raised — resource
-      exhaustion must not be silently retried).
+      exhaustion must not be silently retried);
+    - a failure whose reason is in the step's [retry_on] re-runs the
+      {e same} rung up to [retries] more times before degrading (skipped
+      once the cascade deadline has expired). Every failed try lands in
+      the trail with its [retry] index, so the degradation log carries
+      the full retry trail.
 
     [Error trail] means every attempt failed (cascade exhaustion). The
-    ["resilience.attempts"] and ["resilience.contained_exceptions"]
-    {!Obs} counters record engine activity. *)
+    ["resilience.attempts"], ["resilience.contained_exceptions"] and
+    ["resilience.retries"] {!Obs} counters record engine activity. *)
 
 val backoff : ?base:float -> ?factor:float -> int -> float
 (** [backoff ~base ~factor k] is the budget scale of retry [k] (0-based):

@@ -15,6 +15,18 @@ let points =
     ( "techmap.timeout",
       "Techmap area-flow labelling degrades to trivial cuts as if its \
        deadline expired" );
+    ( "milp.worker_kill",
+      "a B&B worker dies (raises) at node-processing entry, before the \
+       node is counted; the supervisor re-enqueues its leased subtree" );
+    ( "milp.steal_drop",
+      "a stolen queue entry is dropped at the steal handoff (the thief \
+       dies holding the lease); lease replay must recover it" );
+    ( "milp.checkpoint_torn",
+      "a checkpoint write is torn mid-file (truncated payload); resume \
+       must detect and reject it" );
+    ( "milp.stall",
+      "a B&B worker wedges at node-processing entry (busy-waits until \
+       its deadline expires or the watchdog cancels it)" );
   ]
 
 let mem name = List.mem_assoc name points

@@ -19,8 +19,8 @@ let test_counter_accumulate_reset () =
   Alcotest.(check bool) "zero counters dropped from snapshot" false
     (List.mem_assoc "test.counter" (Obs.counters ()))
 
-(* Busy-wait on CPU time — the clock Timer uses — so the regression
-   threshold below is not wall-clock flaky. *)
+(* Busy-wait so elapsed wall time (the clock Timer uses since
+   resilience-v2) tracks the burn duration closely in a single thread. *)
 let burn secs =
   let t0 = Sys.time () in
   while Sys.time () -. t0 < secs do
@@ -171,6 +171,9 @@ let sample_metrics =
     nodes_per_s = 10.9;
     cert_nodes = 55;
     audit_errors = 0;
+    checkpoints = 2;
+    recoveries = 1;
+    stalls = 0;
     diagnostics = [];
     degradation = [];
   }
@@ -205,7 +208,13 @@ let test_metrics_v3_compat () =
           Alcotest.(check int) "cert_nodes defaults to 0" 0
             m.Obs.Metrics.cert_nodes;
           Alcotest.(check int) "audit_errors defaults to -1" (-1)
-            m.Obs.Metrics.audit_errors)
+            m.Obs.Metrics.audit_errors;
+          Alcotest.(check int) "checkpoints defaults to 0" 0
+            m.Obs.Metrics.checkpoints;
+          Alcotest.(check int) "recoveries defaults to 0" 0
+            m.Obs.Metrics.recoveries;
+          Alcotest.(check int) "stalls defaults to 0" 0
+            m.Obs.Metrics.stalls)
 
 let test_metrics_file_shape () =
   Obs.reset ();

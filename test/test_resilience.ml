@@ -137,14 +137,15 @@ let test_fault_points_registered () =
       Alcotest.(check bool) (name ^ " registered") true
         (Resilience.Fault.mem name))
     Resilience.Fault.points;
-  Alcotest.(check int) "six points" 6 (List.length Resilience.Fault.points)
+  Alcotest.(check int) "ten points" 10 (List.length Resilience.Fault.points)
 
 (* ------------------------------------------------------------------ *)
 (* Cascade                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let step label run : int Resilience.Cascade.step =
-  { Resilience.Cascade.slabel = label; budget = None; run }
+  { Resilience.Cascade.slabel = label; budget = None; retries = 0;
+    retry_on = []; run }
 
 let test_cascade_first_ok () =
   match
@@ -228,6 +229,7 @@ let test_attempt_json_roundtrip () =
       reason = "unknown";
       detail = "MILP failed: unknown after 1.0s";
       elapsed = 1.25;
+      retry = 1;
     }
   in
   match
@@ -239,6 +241,15 @@ let test_attempt_json_roundtrip () =
 (* ------------------------------------------------------------------ *)
 (* end-to-end fault matrix                                             *)
 (* ------------------------------------------------------------------ *)
+
+(* Some supervision points cannot fire in this configuration — steals
+   never happen at 1 domain, no checkpoint sink is configured, and a
+   supervised recovery is by design invisible — so only the faults that
+   are guaranteed to bite may demand a non-empty trail. Every armed run
+   must still come back with an independently verified result. *)
+let trail_guaranteed = function
+  | "milp.steal_drop" | "milp.checkpoint_torn" | "milp.stall" -> false
+  | _ -> true
 
 let run_with_fault ~fault (e : Benchmarks.Registry.entry) =
   Resilience.Fault.clear ();
@@ -259,14 +270,16 @@ let run_with_fault ~fault (e : Benchmarks.Registry.entry) =
   match r with
   | Error msg -> Alcotest.failf "%s + %s: no result: %s" e.name fault msg
   | Ok r ->
-      Alcotest.(check bool)
-        (Printf.sprintf "%s + %s: non-empty trail" e.name fault)
-        true
-        (r.Mams.Flow.trail <> []);
-      Alcotest.(check bool)
-        (Printf.sprintf "%s + %s: degradation serialized" e.name fault)
-        true
-        (r.Mams.Flow.metrics.Obs.Metrics.degradation <> []);
+      if trail_guaranteed fault then begin
+        Alcotest.(check bool)
+          (Printf.sprintf "%s + %s: non-empty trail" e.name fault)
+          true
+          (r.Mams.Flow.trail <> []);
+        Alcotest.(check bool)
+          (Printf.sprintf "%s + %s: degradation serialized" e.name fault)
+          true
+          (r.Mams.Flow.metrics.Obs.Metrics.degradation <> [])
+      end;
       (* The flow verified already; re-check independently. *)
       let ctx =
         { Sched.Verify.device; delays = setup.Mams.Flow.delays;

@@ -1,0 +1,478 @@
+(* Solve supervision (DESIGN.md §3i): checkpoint/resume, worker-crash
+   recovery, and the stall watchdog — plus the resilience-v2 satellites
+   (wall-clock budgets at every domain count, bounded cascade retries).
+
+   The load-bearing property throughout: recovery, watchdog requeues and
+   resume only permute exploration order, so for solves that terminate by
+   exhausting the tree the status, objective and incumbent are identical
+   to an uninterrupted run's. *)
+
+let feq ?(eps = 1e-6) a b = Float.abs (a -. b) <= eps
+let status_str s = Fmt.str "%a" Lp.Milp.pp_status s
+
+let with_fault spec f =
+  Resilience.Fault.clear ();
+  (match Resilience.Fault.arm spec with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "arm %s: %s" spec e);
+  Fun.protect ~finally:Resilience.Fault.clear f
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+(* Identical result triple — the "invisible to results" contract. *)
+let check_same_result name (base : Lp.Milp.result) (r : Lp.Milp.result) =
+  Alcotest.(check string)
+    (name ^ ": status") (status_str base.status) (status_str r.status);
+  (match base.status with
+  | Lp.Milp.Optimal | Lp.Milp.Feasible ->
+      if not (feq base.objective r.objective) then
+        Alcotest.failf "%s: objective %.9g vs %.9g" name base.objective
+          r.objective
+  | _ -> ());
+  if base.status = Lp.Milp.Optimal then
+    Array.iteri
+      (fun j v ->
+        if not (feq v r.x.(j)) then
+          Alcotest.failf "%s: x.(%d) = %.9g vs %.9g" name j v r.x.(j))
+      base.x
+
+(* --- models ---------------------------------------------------------- *)
+
+(* The byte-identical-incumbent checks need a UNIQUE optimum: the solver
+   fathoms at [bound >= best - 1e-9], so a subtree holding a tied
+   alternative optimum can be pruned or explored depending on order, and
+   kills/requeues/resume legitimately permute that order. The 2^i * 1e-6
+   value perturbation gives every subset a distinct objective (subset
+   sums of distinct powers of two are unique), well above the solver's
+   1e-9 acceptance tolerance. *)
+let knapsack ?(n = 12) () =
+  let values =
+    Array.init n (fun i ->
+        float_of_int (5 + ((i * 7) mod 11)) +. Float.ldexp 1e-6 i)
+  in
+  let weights =
+    Array.init n (fun i -> float_of_int (2 + ((i * 5) mod 7)))
+  in
+  let cap = Array.fold_left ( +. ) 0.0 weights /. 2.0 in
+  let m = Lp.Model.create () in
+  let xs =
+    Array.mapi (fun i _ -> Lp.Model.bool_var m (Printf.sprintf "x%d" i)) values
+  in
+  Lp.Model.add_le m
+    (Array.to_list (Array.mapi (fun i x -> (weights.(i), x)) xs))
+    cap;
+  Lp.Model.set_objective m
+    (Array.to_list (Array.mapi (fun i x -> (-.values.(i), x)) xs));
+  m
+
+(* LP-feasible but integer-infeasible parity instance: sum 2 x_i = odd.
+   Every node's LP stays feasible until deep in the tree, so the search
+   is enormous — the instance exists to keep all domains busy for the
+   whole budget of the wall-clock test. *)
+let parity_wall ?(n = 34) () =
+  let m = Lp.Model.create () in
+  let xs =
+    Array.init n (fun i -> Lp.Model.bool_var m (Printf.sprintf "p%d" i))
+  in
+  Lp.Model.add_eq m
+    (Array.to_list (Array.map (fun x -> (2.0, x)) xs))
+    (float_of_int n +. 1.0);
+  Lp.Model.set_objective m (Array.to_list (Array.map (fun x -> (1.0, x)) xs));
+  m
+
+(* --- satellite: wall-clock budget at every domain count --------------- *)
+
+(* Regression for the resilience-v2 clock fix: the budget used to run on
+   [Sys.time] CPU seconds, which accumulate across domains — at
+   --domains 4 a 1 s budget expired after ~0.25 s of wall time. The
+   budget must now mean wall seconds at any domain count (±10%). *)
+let check_wall_budget domains =
+  let budget = 1.0 in
+  let r =
+    Lp.Milp.solve ~time_limit:budget ~node_limit:max_int ~domains
+      (parity_wall ())
+  in
+  (* the instance is unsolvable in 1 s: the stop must be the budget *)
+  (match r.Lp.Milp.status with
+  | Lp.Milp.Unknown | Lp.Milp.Feasible -> ()
+  | s ->
+      Alcotest.failf "parity wall solved (%s) — budget never engaged"
+        (status_str s));
+  let e = r.Lp.Milp.stats.Lp.Milp.elapsed in
+  if e < 0.9 *. budget || e > 1.1 *. budget then
+    Alcotest.failf "budget %.1fs at %d domains ran %.3fs (outside ±10%%)"
+      budget domains e
+
+let test_wall_budget_1_domain () = check_wall_budget 1
+let test_wall_budget_4_domains () = check_wall_budget 4
+
+let test_cpu_vs_wall_metric () =
+  let r =
+    Lp.Milp.solve ~time_limit:1.0 ~node_limit:max_int ~domains:4
+      (parity_wall ())
+  in
+  let s = r.Lp.Milp.stats in
+  Alcotest.(check bool) "cpu_s recorded" true (s.Lp.Milp.cpu_s > 0.0);
+  (* 4 busy domains burn CPU faster than the wall clock ticks — the two
+     metrics must be decoupled (this is exactly the old bug's
+     signature). Only observable with real parallelism: on a single-core
+     host the domains time-slice and CPU tracks the wall. *)
+  if Domain.recommended_domain_count () >= 2 then
+    Alcotest.(check bool)
+      (Printf.sprintf "cpu %.2fs exceeds wall %.2fs under 4 domains"
+         s.Lp.Milp.cpu_s s.Lp.Milp.elapsed)
+      true
+      (s.Lp.Milp.cpu_s > s.Lp.Milp.elapsed)
+
+(* --- checkpoint format ------------------------------------------------ *)
+
+(* Run a solve that stops mid-tree and leaves a checkpoint file behind. *)
+let checkpointed_solve ?(certificates = false) ?(node_limit = 8) ~path () =
+  let sink =
+    {
+      Lp.Milp.ck_path = path;
+      ck_every_s = 3600.0;  (* node trigger + forced final write only *)
+      ck_every_nodes = Some 2;
+      ck_meta = Obs.Json.Obj [ ("origin", Obs.Json.String "test") ];
+    }
+  in
+  Lp.Milp.solve ~time_limit:60.0 ~node_limit ~certificates ~checkpoint:sink
+    (knapsack ())
+
+let read_ck path =
+  match Lp.Checkpoint.read ~path with
+  | Ok ck -> ck
+  | Error e -> Alcotest.failf "read %s: %s" path e
+
+let test_checkpoint_roundtrip () =
+  let p1 = tmp "pipesyn_ck_rt.json" in
+  let p2 = tmp "pipesyn_ck_rt2.json" in
+  let r = checkpointed_solve ~certificates:true ~path:p1 () in
+  Alcotest.(check bool) "snapshots were written" true
+    (r.Lp.Milp.stats.Lp.Milp.checkpoints > 0);
+  let ck = read_ck p1 in
+  (* in-memory JSON round-trip *)
+  (match Lp.Checkpoint.of_json (Lp.Checkpoint.to_json ck) with
+  | Error e -> Alcotest.failf "of_json (to_json ck): %s" e
+  | Ok ck' ->
+      Alcotest.(check bool) "to_json/of_json identity" true
+        (compare ck ck' = 0));
+  (* on-disk round-trip: floats travel as hex strings, so this is
+     bit-exact including infinities and NaN *)
+  Lp.Checkpoint.write ~path:p2 ck;
+  let ck2 = read_ck p2 in
+  Alcotest.(check bool) "write/read identity" true (compare ck ck2 = 0);
+  (* spot-check the payload is a real mid-solve frontier *)
+  Alcotest.(check bool) "open frontier" true (ck.Lp.Checkpoint.frontier <> []);
+  Alcotest.(check bool) "nodes done recorded" true
+    (ck.Lp.Checkpoint.nodes_done > 0);
+  (* the cut solve only has an incumbent if a dive completed before the
+     node limit; when it does, the snapshot must carry it *)
+  if r.Lp.Milp.status = Lp.Milp.Feasible then
+    Alcotest.(check bool) "incumbent captured" true
+      (ck.Lp.Checkpoint.incumbent <> None);
+  Alcotest.(check bool) "pseudocost tables present" true
+    (Array.length ck.Lp.Checkpoint.pc > 0);
+  Alcotest.(check bool) "certificate prefix present" true
+    (ck.Lp.Checkpoint.certs_on && ck.Lp.Checkpoint.cert_nodes <> []);
+  Sys.remove p1;
+  Sys.remove p2
+
+let test_checkpoint_rejects_torn () =
+  let p = tmp "pipesyn_ck_torn.json" in
+  ignore (checkpointed_solve ~path:p ());
+  let ck = read_ck p in
+  (* the registered fault tears the write mid-file, in place *)
+  with_fault "milp.checkpoint_torn" (fun () -> Lp.Checkpoint.write ~path:p ck);
+  (match Lp.Checkpoint.read ~path:p with
+  | Ok _ -> Alcotest.fail "torn checkpoint accepted"
+  | Error _ -> ());
+  (* manual corruption of a valid file must also be rejected *)
+  Lp.Checkpoint.write ~path:p ck;
+  let ic = open_in_bin p in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let oc = open_out_bin p in
+  output_string oc (String.sub contents 0 (String.length contents / 2));
+  close_out oc;
+  (match Lp.Checkpoint.read ~path:p with
+  | Ok _ -> Alcotest.fail "truncated checkpoint accepted"
+  | Error _ -> ());
+  Sys.remove p
+
+let test_checkpoint_fingerprint_mismatch () =
+  let p = tmp "pipesyn_ck_fp.json" in
+  ignore (checkpointed_solve ~path:p ());
+  let ck = read_ck p in
+  Alcotest.check_raises "resume against a different model"
+    (Invalid_argument
+       "Milp.solve: checkpoint fingerprint does not match the model")
+    (fun () -> ignore (Lp.Milp.solve ~resume:ck (parity_wall ~n:6 ())));
+  Sys.remove p
+
+(* --- checkpoint/resume equivalence ------------------------------------ *)
+
+let test_resume_equivalence () =
+  let clean = Lp.Milp.solve ~time_limit:60.0 ~certificates:true (knapsack ()) in
+  Alcotest.(check string) "clean solve is exhaustive" "optimal"
+    (status_str clean.Lp.Milp.status);
+  let p = tmp "pipesyn_ck_resume.json" in
+  List.iter
+    (fun domains ->
+      (* interrupt mid-solve, then rehydrate and run to completion *)
+      let cut = checkpointed_solve ~certificates:true ~node_limit:6 ~path:p () in
+      Alcotest.(check bool) "interrupted before optimality" true
+        (cut.Lp.Milp.status <> Lp.Milp.Optimal);
+      let ck = read_ck p in
+      let resumed =
+        Lp.Milp.solve ~time_limit:60.0 ~certificates:true ~domains ~resume:ck
+          (knapsack ())
+      in
+      check_same_result
+        (Printf.sprintf "resume @ %d domains" domains)
+        clean resumed;
+      Alcotest.(check bool) "cumulative node count" true
+        (resumed.Lp.Milp.stats.Lp.Milp.nodes > ck.Lp.Checkpoint.nodes_done);
+      (* the resumed certificate (checkpoint prefix + new nodes) must
+         audit clean in exact rational arithmetic *)
+      let diags = Analyze.Engine.check_audit (knapsack ()) resumed in
+      (match Analyze.Diag.errors diags with
+      | [] -> ()
+      | errs ->
+          Alcotest.failf "resume @ %d domains: %d audit errors: %s" domains
+            (List.length errs)
+            (String.concat "; "
+               (List.map (fun d -> Fmt.str "%a" Analyze.Diag.pp d) errs))))
+    [ 1; 2; 4 ];
+  Sys.remove p
+
+let test_resume_completed_checkpoint () =
+  (* A checkpoint of an exhausted solve has an empty frontier; resuming
+     it returns the finished result without exploring anything. *)
+  let p = tmp "pipesyn_ck_done.json" in
+  let full = checkpointed_solve ~node_limit:200_000 ~path:p () in
+  Alcotest.(check string) "solve ran to optimality" "optimal"
+    (status_str full.Lp.Milp.status);
+  let ck = read_ck p in
+  Alcotest.(check bool) "empty frontier" true (ck.Lp.Checkpoint.frontier = []);
+  let resumed = Lp.Milp.solve ~time_limit:60.0 ~resume:ck (knapsack ()) in
+  check_same_result "resume of a finished solve" full resumed;
+  Alcotest.(check int) "no new nodes" full.Lp.Milp.stats.Lp.Milp.nodes
+    resumed.Lp.Milp.stats.Lp.Milp.nodes;
+  Sys.remove p
+
+(* --- worker-crash recovery -------------------------------------------- *)
+
+(* A worker killed at node N: the supervisor replays its leased subtree;
+   the final result is identical to the fault-free solve at every domain
+   count (byte-identical incumbent, not merely equal objective). *)
+let check_kill_recovery ~fault domains =
+  let clean = Lp.Milp.solve ~time_limit:60.0 ~domains (knapsack ()) in
+  let faulted =
+    with_fault fault (fun () ->
+        Lp.Milp.solve ~time_limit:60.0 ~domains (knapsack ()))
+  in
+  check_same_result
+    (Printf.sprintf "%s @ %d domains" fault domains)
+    clean faulted
+
+let test_worker_kill_all_domains () =
+  List.iter (fun d -> check_kill_recovery ~fault:"milp.worker_kill@2" d) [ 1; 2; 4 ]
+
+let test_steal_drop_parallel () =
+  List.iter (fun d -> check_kill_recovery ~fault:"milp.steal_drop@1" d) [ 2; 4 ]
+
+let test_recovery_counted () =
+  let r =
+    with_fault "milp.worker_kill@2" (fun () ->
+        Lp.Milp.solve ~time_limit:60.0 ~domains:2 (knapsack ()))
+  in
+  Alcotest.(check bool) "recovery recorded in stats" true
+    (r.Lp.Milp.stats.Lp.Milp.recoveries >= 1)
+
+let test_death_budget_exhausted () =
+  (* Always-on kills exceed the per-slot death budget (3); the failure
+     must then propagate as an exception rather than loop forever. *)
+  match
+    with_fault "milp.worker_kill" (fun () ->
+        Lp.Milp.solve ~time_limit:60.0 ~domains:1 (knapsack ()))
+  with
+  | _ -> Alcotest.fail "expected Worker_killed to propagate"
+  | exception Lp.Milp.Worker_killed -> ()
+
+(* --- stall watchdog --------------------------------------------------- *)
+
+let check_stall_recovery domains =
+  let clean = Lp.Milp.solve ~time_limit:60.0 ~domains (knapsack ()) in
+  let r =
+    with_fault "milp.stall@2" (fun () ->
+        Lp.Milp.solve ~time_limit:60.0 ~domains ~stall_window:0.05
+          (knapsack ()))
+  in
+  check_same_result
+    (Printf.sprintf "stall recovery @ %d domains" domains)
+    clean r;
+  Alcotest.(check bool) "watchdog escalations recorded" true
+    (r.Lp.Milp.stats.Lp.Milp.stalls >= 1);
+  Alcotest.(check bool) "cancelled node requeued and replayed" true
+    (r.Lp.Milp.stats.Lp.Milp.recoveries >= 1)
+
+let test_stall_watchdog_sequential () = check_stall_recovery 1
+let test_stall_watchdog_parallel () = check_stall_recovery 2
+
+let test_stall_without_watchdog_hits_budget () =
+  (* With the watchdog off, a wedged worker is only unwedged by the
+     global budget — the stop must still be clean and on time. *)
+  let r =
+    with_fault "milp.stall@1" (fun () ->
+        Lp.Milp.solve ~time_limit:0.5 ~domains:1 (knapsack ()))
+  in
+  (match r.Lp.Milp.status with
+  | Lp.Milp.Feasible | Lp.Milp.Unknown -> ()
+  | s -> Alcotest.failf "expected a budget stop, got %s" (status_str s));
+  let e = r.Lp.Milp.stats.Lp.Milp.elapsed in
+  Alcotest.(check bool)
+    (Printf.sprintf "budget respected while wedged (%.2fs)" e)
+    true (e <= 0.7)
+
+(* --- cascade bounded retry -------------------------------------------- *)
+
+let test_cascade_retry_then_success () =
+  let calls = ref 0 in
+  let step =
+    {
+      Resilience.Cascade.slabel = "flaky";
+      budget = None;
+      retries = 2;
+      retry_on = [ "exception" ];
+      run =
+        (fun _ ->
+          incr calls;
+          if !calls < 3 then failwith "transient" else Ok !calls);
+    }
+  in
+  match Resilience.Cascade.run ~deadline:Resilience.Deadline.none [ step ] with
+  | Error _ -> Alcotest.fail "cascade failed"
+  | Ok o ->
+      Alcotest.(check int) "third try succeeded" 3 o.Resilience.Cascade.value;
+      Alcotest.(check int) "both failures in the trail" 2
+        (List.length o.Resilience.Cascade.trail);
+      Alcotest.(check (list int)) "retry indices recorded" [ 0; 1 ]
+        (List.map
+           (fun a -> a.Resilience.Cascade.retry)
+           o.Resilience.Cascade.trail)
+
+let test_cascade_retry_class_gated () =
+  (* A failure reason outside [retry_on] must degrade immediately. *)
+  let calls = ref 0 in
+  let steps =
+    [
+      {
+        Resilience.Cascade.slabel = "wrong-class";
+        budget = None;
+        retries = 5;
+        retry_on = [ "exception" ];
+        run =
+          (fun _ ->
+            incr calls;
+            Error ("unknown", "not retryable"));
+      };
+      {
+        Resilience.Cascade.slabel = "fallback";
+        budget = None;
+        retries = 0;
+        retry_on = [];
+        run = (fun _ -> Ok 99);
+      };
+    ]
+  in
+  match Resilience.Cascade.run ~deadline:Resilience.Deadline.none steps with
+  | Error _ -> Alcotest.fail "cascade failed"
+  | Ok o ->
+      Alcotest.(check int) "fell through to the fallback" 99
+        o.Resilience.Cascade.value;
+      Alcotest.(check int) "first rung ran exactly once" 1 !calls
+
+let test_cascade_retry_bounded () =
+  (* Retries are bounded by [retries]: a permanently failing rung runs
+     1 + retries times, then the cascade degrades. *)
+  let calls = ref 0 in
+  let steps =
+    [
+      {
+        Resilience.Cascade.slabel = "always-down";
+        budget = None;
+        retries = 2;
+        retry_on = [ "exception" ];
+        run =
+          (fun _ ->
+            incr calls;
+            failwith "permanent");
+      };
+      {
+        Resilience.Cascade.slabel = "fallback";
+        budget = None;
+        retries = 0;
+        retry_on = [];
+        run = (fun _ -> Ok 1);
+      };
+    ]
+  in
+  match Resilience.Cascade.run ~deadline:Resilience.Deadline.none steps with
+  | Error _ -> Alcotest.fail "cascade failed"
+  | Ok o ->
+      Alcotest.(check int) "1 + retries tries" 3 !calls;
+      Alcotest.(check int) "all tries in the trail" 3
+        (List.length o.Resilience.Cascade.trail)
+
+let () =
+  Alcotest.run "supervision"
+    [
+      ( "wall-budget",
+        [
+          Alcotest.test_case "1 domain" `Slow test_wall_budget_1_domain;
+          Alcotest.test_case "4 domains" `Slow test_wall_budget_4_domains;
+          Alcotest.test_case "cpu vs wall metric" `Slow test_cpu_vs_wall_metric;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "round-trip identity" `Quick
+            test_checkpoint_roundtrip;
+          Alcotest.test_case "rejects torn files" `Quick
+            test_checkpoint_rejects_torn;
+          Alcotest.test_case "fingerprint mismatch" `Quick
+            test_checkpoint_fingerprint_mismatch;
+        ] );
+      ( "resume",
+        [
+          Alcotest.test_case "equivalence + audit @ 1/2/4 domains" `Slow
+            test_resume_equivalence;
+          Alcotest.test_case "resume of a finished solve" `Quick
+            test_resume_completed_checkpoint;
+        ] );
+      ( "crash-recovery",
+        [
+          Alcotest.test_case "worker_kill @ 1/2/4 domains" `Slow
+            test_worker_kill_all_domains;
+          Alcotest.test_case "steal_drop @ 2/4 domains" `Slow
+            test_steal_drop_parallel;
+          Alcotest.test_case "recoveries counted" `Quick test_recovery_counted;
+          Alcotest.test_case "death budget bounds replay" `Quick
+            test_death_budget_exhausted;
+        ] );
+      ( "stall-watchdog",
+        [
+          Alcotest.test_case "sequential" `Quick test_stall_watchdog_sequential;
+          Alcotest.test_case "parallel" `Quick test_stall_watchdog_parallel;
+          Alcotest.test_case "budget stop while wedged" `Quick
+            test_stall_without_watchdog_hits_budget;
+        ] );
+      ( "cascade-retry",
+        [
+          Alcotest.test_case "retry then success" `Quick
+            test_cascade_retry_then_success;
+          Alcotest.test_case "failure class gated" `Quick
+            test_cascade_retry_class_gated;
+          Alcotest.test_case "bounded" `Quick test_cascade_retry_bounded;
+        ] );
+    ]

@@ -108,7 +108,7 @@ let test_native_export_shape () =
         (Obs.Json.member "schema" j
         = Some (Obs.Json.String "pipesyn-trace-v1"));
       Alcotest.(check bool) "clock tag" true
-        (Obs.Json.member "clock" j = Some (Obs.Json.String "cpu-s"));
+        (Obs.Json.member "clock" j = Some (Obs.Json.String "wall-s"));
       (match Obs.Json.member "events" j with
       | Some (Obs.Json.List evs) ->
           Alcotest.(check int) "B + E + i" 3 (List.length evs)
