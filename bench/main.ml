@@ -186,8 +186,11 @@ let print_convergence rows =
   section "Convergence: first incumbent and final gap (MILP flows)";
   Fmt.pr "first-inc = seconds into the solve when the first incumbent@.";
   Fmt.pr "appeared (0.00 = the warm-start seed was accepted); gap = the@.";
-  Fmt.pr "relative incumbent/bound gap at solver exit; nodes/s = B&B@.";
-  Fmt.pr "node throughput (scales with --domains / PIPESYN_DOMAINS).@.@.";
+  Fmt.pr "relative incumbent/bound gap at solver exit; root-closed =@.";
+  Fmt.pr "fraction of the root integrality gap closed by certified@.";
+  Fmt.pr "presolve + cutting planes before branching (DESIGN.md 3j);@.";
+  Fmt.pr "nodes/s = B&B node throughput (scales with --domains /@.";
+  Fmt.pr "PIPESYN_DOMAINS).@.@.";
   let columns =
     Report.
       [
@@ -195,6 +198,8 @@ let print_convergence rows =
         { title = "Method"; align = Left };
         { title = "first-inc(s)"; align = Right };
         { title = "gap"; align = Right };
+        { title = "root-closed"; align = Right };
+        { title = "cuts"; align = Right };
         { title = "nodes"; align = Right };
         { title = "nodes/s"; align = Right };
         { title = "dom"; align = Right };
@@ -223,6 +228,8 @@ let print_convergence rows =
                     (if Float.is_nan m'.Obs.Metrics.first_incumbent_s then "-"
                      else Report.f2 m'.Obs.Metrics.first_incumbent_s);
                     fmt_gap m'.Obs.Metrics.final_gap;
+                    fmt_gap m'.Obs.Metrics.gap_closed_root;
+                    string_of_int m'.Obs.Metrics.milp_cuts;
                     string_of_int m'.Obs.Metrics.bnb_nodes;
                     (if Float.is_nan m'.Obs.Metrics.nodes_per_s then "-"
                      else Printf.sprintf "%.0f" m'.Obs.Metrics.nodes_per_s);
@@ -701,6 +708,14 @@ let micro_benchmarks () =
     ignore
       (Lp.Milp.solve ~time_limit:30.0 ~node_limit:32 ~domains gfmul_model)
   in
+  (* Root-strengthening A/B on the same GFMUL tree: both variants are
+     truncated to the same node budget, so the pair isolates what the
+     certified presolve + cut rounds cost at the root and save in the
+     tree (DESIGN.md 3j). *)
+  let root_cuts_gfmul cuts () =
+    ignore
+      (Lp.Milp.solve ~time_limit:30.0 ~node_limit:32 ~cuts gfmul_model)
+  in
   let flip_cold = ref false and flip_warm = ref false in
   let node_bounds flip =
     flip := not !flip;
@@ -745,6 +760,10 @@ let micro_benchmarks () =
                ignore (Lp.Simplex.resolve ~lb ~ub node_state)));
         Test.make ~name:"milp/bnb-gfmul-1-domain" (Staged.stage (bnb_gfmul 1));
         Test.make ~name:"milp/bnb-gfmul-4-domains" (Staged.stage (bnb_gfmul 4));
+        Test.make ~name:"milp/root-cuts-on-gfmul"
+          (Staged.stage (root_cuts_gfmul true));
+        Test.make ~name:"milp/root-cuts-off-gfmul"
+          (Staged.stage (root_cuts_gfmul false));
         Test.make ~name:"fig1/milp-map-rs2"
           (Staged.stage (fun () ->
                let g = Benchmarks.Rs.kernel ~width:2 () in

@@ -92,6 +92,41 @@ let stall_window_arg =
   in
   Arg.(value & opt (some float) None & info [ "stall-window" ] ~doc ~docv:"SECS")
 
+let cuts_flag_arg =
+  let on =
+    ( Some true,
+      Arg.info [ "cuts" ]
+        ~doc:
+          "Force-enable certified root cutting planes (Chvatal-Gomory and \
+           knapsack covers separated at the MILP root; see the README's \
+           \"Root cuts\" section). On by default; $(b,--no-cuts) or \
+           $(b,PIPESYN_CUTS=0) disables. Results (status, objective, \
+           incumbent) are identical either way — cuts only change how \
+           much of the gap closes before branching." )
+  in
+  let off =
+    ( Some false,
+      Arg.info [ "no-cuts" ]
+        ~doc:"Disable root cutting planes for this run." )
+  in
+  Arg.(value & vflag None [ on; off ])
+
+let presolve_flag_arg =
+  let on =
+    ( Some true,
+      Arg.info [ "presolve" ]
+        ~doc:
+          "Force-enable certified presolve (fixpoint bound tightening on \
+           the root model, replayed exactly by `pipesyn audit'). On by \
+           default." )
+  in
+  let off =
+    ( Some false,
+      Arg.info [ "no-presolve" ]
+        ~doc:"Disable presolve bound tightening for this run." )
+  in
+  Arg.(value & vflag None [ on; off ])
+
 (* Exit codes (README, "Exit codes"): 0 ok, 1 error findings / user error,
    2 degraded result, 3 internal error. *)
 let exit_error = 1
@@ -271,7 +306,8 @@ let run_cmd =
                 gating variant).")
   in
   let run name method_ time_limit ii k alpha beta verbose optimize json trace
-      faults deadline domains checkpoint checkpoint_every stall_window audit =
+      faults deadline domains checkpoint checkpoint_every stall_window audit
+      cuts presolve =
     setup_logs verbose;
     (match domains with
     | Some d when d < 1 ->
@@ -342,7 +378,13 @@ let run_cmd =
             }
     in
     let setup =
-      { setup with Mams.Flow.checkpoint = checkpoint_sink; stall_window; audit }
+      { setup with
+        Mams.Flow.checkpoint = checkpoint_sink;
+        stall_window;
+        audit;
+        cuts;
+        presolve;
+      }
     in
     let failed = ref false and degraded = ref false in
     let metrics =
@@ -394,7 +436,8 @@ let run_cmd =
       const run $ bench_arg $ method_arg $ time_limit_arg $ ii_arg $ k_arg
       $ alpha_arg $ beta_arg $ verbose_arg $ optimize_arg $ json_arg
       $ trace_arg $ faults_arg $ deadline_arg $ domains_arg $ checkpoint_arg
-      $ checkpoint_every_arg $ stall_window_arg $ audit_arg)
+      $ checkpoint_every_arg $ stall_window_arg $ audit_arg $ cuts_flag_arg
+      $ presolve_flag_arg)
 
 (* ------------------------------------------------------------------ *)
 (* resume                                                              *)
@@ -776,7 +819,7 @@ let audit_cmd =
     let doc = "Write the JSON audit report to $(docv)." in
     Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"FILE")
   in
-  let run name all json time_limit ii k domains verbose =
+  let run name all json time_limit ii k domains cuts presolve verbose =
     setup_logs verbose;
     (match domains with
     | Some d when d < 1 ->
@@ -800,7 +843,10 @@ let audit_cmd =
           let g = e.build () in
           let setup =
             { (setup_of ~k ~ii ?domains ~time_limit e) with
-              Mams.Flow.audit = true }
+              Mams.Flow.audit = true;
+              cuts;
+              presolve;
+            }
           in
           match Mams.Flow.run setup Mams.Flow.Milp_map g with
           | Error err ->
@@ -846,7 +892,8 @@ let audit_cmd =
           produced.")
     Term.(
       const run $ bench_opt_arg $ all_arg $ json_arg $ time_limit_arg
-      $ ii_arg $ k_arg $ domains_arg $ verbose_arg)
+      $ ii_arg $ k_arg $ domains_arg $ cuts_flag_arg $ presolve_flag_arg
+      $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
 (* diags                                                               *)
@@ -1007,6 +1054,25 @@ let trace_report_cmd =
                      (List.map
                         (fun (s, n) -> Fmt.str "%s %d" s n)
                         t.tr_statuses)));
+            (* Traces written before schema v8 carry no milp.cut_round
+               instants; the line is simply omitted. *)
+            (match r.r_cuts with
+            | None -> ()
+            | Some c ->
+                let closed =
+                  if
+                    Float.is_nan c.cu_bound0 || Float.is_nan c.cu_bound
+                    || Float.abs c.cu_bound0 < 1e-12
+                  then ""
+                  else
+                    Fmt.str " (root bound %.6g -> %.6g)" c.cu_bound0 c.cu_bound
+                in
+                Fmt.pr "Root cuts: %d round%s, %d cut%s applied%s@.@."
+                  c.cu_rounds
+                  (if c.cu_rounds = 1 then "" else "s")
+                  c.cu_cuts
+                  (if c.cu_cuts = 1 then "" else "s")
+                  closed);
             if r.r_timeline <> [] then begin
               let columns =
                 Report.

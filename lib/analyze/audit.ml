@@ -13,9 +13,12 @@ let lp_rel = 1e-6
 let inc_slack = 1e-9
 
 type ctx = {
-  raw : Lp.Model.raw;
+  mutable raw : Lp.Model.raw;
+      (* verified cut rows are folded in progressively, so node duals and
+         later cut derivations reference the same extended row system the
+         solver actually used *)
   cert : Lp.Cert.t;
-  m : int;  (** row count *)
+  mutable m : int;  (** row count, including folded-in cut rows *)
   qcache : (float, Qd.t) Hashtbl.t;
       (* model coefficients repeat massively (0, ±1, shared bounds); caching
          the float→Qd conversion keeps the audit linear in nnz, not in
@@ -644,15 +647,357 @@ let check_completeness_infeasible ctx =
     ctx.cert.Lp.Cert.nodes
 
 (* ------------------------------------------------------------------ *)
+(* Presolve replay (CERT111)                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Replay the recorded bound-tightening events, in order, onto a copy of
+   the model box, exact-verifying each one: an integrality rounding
+   (t_row = -1) must round the then-current bound to the adjacent
+   integer, and an activity-based tightening (t_row = i) must be implied
+   by row i's exact minimum rest activity over the then-current box.
+   Every event is applied even when it fails (with a CERT111 error), so
+   downstream checks — cut validity, the root-box consistency in
+   {!check_fixes} — run against the box the solver actually used.
+   Returns the post-presolve box B_p. *)
+let check_presolve ctx =
+  let raw = ctx.raw in
+  let n = raw.Lp.Model.n in
+  let lb = Array.copy raw.Lp.Model.lb and ub = Array.copy raw.Lp.Model.ub in
+  let qone = Qd.of_int 1 in
+  List.iteri
+    (fun idx (e : Lp.Cert.tighten) ->
+      let j = e.Lp.Cert.t_var in
+      if j < 0 || j >= n then
+        errorf ctx ~code:"CERT111" ~loc:Diag.Global
+          "tightening %d targets variable %d out of range" idx j
+      else begin
+        let v = e.Lp.Cert.t_new in
+        let hi = e.Lp.Cert.t_hi in
+        let ok =
+          if not (Float.is_finite v) then false
+          else if e.Lp.Cert.t_row = -1 then
+            (* integrality rounding of the then-current bound *)
+            raw.Lp.Model.integer.(j)
+            && Qd.is_integer (q ctx v)
+            &&
+            if hi then
+              Float.is_finite ub.(j)
+              && Qd.leq (q ctx v) (q ctx ub.(j))
+              && Qd.lt (Qd.sub (q ctx ub.(j)) qone) (q ctx v)
+            else
+              Float.is_finite lb.(j)
+              && Qd.geq (q ctx v) (q ctx lb.(j))
+              && Qd.lt (q ctx v) (Qd.add (q ctx lb.(j)) qone)
+          else if
+            e.Lp.Cert.t_row < 0
+            || e.Lp.Cert.t_row >= Array.length raw.Lp.Model.rows
+          then false
+          else begin
+            (* activity-based tightening from row i, replayed through its
+               <=-form view: a ub tightening needs view coefficient
+               cj > 0, a lb tightening cj < 0 — which pins the view
+               direction for Le/Ge rows and selects it for Eq rows *)
+            let i = e.Lp.Cert.t_row in
+            let row = raw.Lp.Model.rows.(i) in
+            match Array.find_opt (fun (k, _) -> k = j) row with
+            | None | Some (_, 0.0) -> false
+            | Some (_, a) ->
+                let dir =
+                  match raw.Lp.Model.senses.(i) with
+                  | Lp.Model.Le -> 1.0
+                  | Lp.Model.Ge -> -1.0
+                  | Lp.Model.Eq ->
+                      if hi = (a > 0.0) then 1.0 else -1.0
+                in
+                let cj = dir *. a in
+                if (cj > 0.0) <> hi then false
+                else begin
+                  (* exact minimum rest activity over the current box *)
+                  let ma =
+                    try
+                      Some
+                        (Array.fold_left
+                           (fun acc (k, ak) ->
+                             if k = j then acc
+                             else
+                               let ck = dir *. ak in
+                               if ck > 0.0 then
+                                 if Float.is_finite lb.(k) then
+                                   Qd.add acc
+                                     (Qd.mul (q ctx ck) (q ctx lb.(k)))
+                                 else raise Exit
+                               else if ck < 0.0 then
+                                 if Float.is_finite ub.(k) then
+                                   Qd.add acc
+                                     (Qd.mul (q ctx ck) (q ctx ub.(k)))
+                                 else raise Exit
+                               else acc)
+                           Qd.zero row)
+                    with Exit -> None
+                  in
+                  match ma with
+                  | None -> false
+                  | Some ma ->
+                      let cjq = q ctx cj in
+                      let d = q ctx (dir *. raw.Lp.Model.rhs.(i)) in
+                      let vq = q ctx v in
+                      if raw.Lp.Model.integer.(j) && Qd.is_integer vq then
+                        (* the first integer value past the new bound must
+                           already violate the row *)
+                        let shifted =
+                          if hi then Qd.add vq qone else Qd.sub vq qone
+                        in
+                        Qd.lt d (Qd.add (Qd.mul cjq shifted) ma)
+                      else
+                        (* continuous: every point strictly past the new
+                           bound violates the row *)
+                        Qd.geq (Qd.add (Qd.mul cjq vq) ma) d
+                end
+          end
+        in
+        if not ok then
+          errorf ctx ~code:"CERT111" ~loc:(Diag.Column j)
+            "tightening %d (%s bound of variable %d to %.9g, row %d) fails \
+             exact replay"
+            idx
+            (if hi then "upper" else "lower")
+            j v e.Lp.Cert.t_row;
+        if hi then ub.(j) <- v else lb.(j) <- v
+      end)
+    ctx.cert.Lp.Cert.presolve;
+  (lb, ub)
+
+(* ------------------------------------------------------------------ *)
+(* Cutting-plane derivations (CERT109 / CERT110)                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Verify every recorded cut, in derivation order, against the
+   post-presolve box B_p (cuts must hold for every integer point of the
+   tightened polytope — tightening validity is CERT111's job). Each
+   cut's row is folded into [ctx.raw]/[ctx.m] after its check — whether
+   it passed or not, so node dual vectors (which the solver produced
+   over the extended system) keep their row indexing — and later CG
+   derivations may cite earlier cut rows. *)
+let check_cuts ctx (bp_lb, bp_ub) =
+  let qone = Qd.of_int 1 in
+  let m0 = ctx.m in
+  List.iteri
+    (fun k (c : Lp.Cert.cut) ->
+      let raw = ctx.raw in
+      let n = raw.Lp.Model.n in
+      let loc = Diag.Row ctx.m in
+      let terms_ok =
+        Float.is_finite c.Lp.Cert.cut_rhs
+        && Array.for_all
+             (fun (j, cf) -> j >= 0 && j < n && Float.is_finite cf)
+             c.Lp.Cert.cut_terms
+      in
+      (if not terms_ok then
+         errorf ctx ~code:"CERT109" ~loc
+           "cut %d is malformed (non-finite or out-of-range terms)" k
+       else
+         match c.Lp.Cert.cut_deriv with
+         | Lp.Cert.Cg lam ->
+             let ok = ref true in
+             let fail fmt =
+               Printf.ksprintf
+                 (fun s ->
+                   if !ok then
+                     errorf ctx ~code:"CERT109" ~loc "cut %d: %s" k s;
+                   ok := false)
+                 fmt
+             in
+             Array.iter
+               (fun (i, l) ->
+                 if i < 0 || i >= ctx.m then
+                   fail "multiplier cites row %d out of range" i
+                 else if not (Float.is_finite l) then
+                   fail "non-finite multiplier on row %d" i
+                 else
+                   match raw.Lp.Model.senses.(i) with
+                   | Lp.Model.Le ->
+                       if l < 0.0 then
+                         fail "negative multiplier on <= row %d" i
+                   | Lp.Model.Ge ->
+                       if l > 0.0 then
+                         fail "positive multiplier on >= row %d" i
+                   | Lp.Model.Eq -> ())
+               lam;
+             if !ok then begin
+               (* exact aggregation of the cited rows *)
+               let abar = Array.make n Qd.zero in
+               let t = ref Qd.zero in
+               Array.iter
+                 (fun (i, l) ->
+                   if l <> 0.0 then begin
+                     let lq = q ctx l in
+                     t := Qd.add !t (Qd.mul lq (q ctx raw.Lp.Model.rhs.(i)));
+                     Array.iter
+                       (fun (jj, a) ->
+                         abar.(jj) <-
+                           Qd.add abar.(jj) (Qd.mul lq (q ctx a)))
+                       raw.Lp.Model.rows.(i)
+                   end)
+                 lam;
+               let cvec = Array.make n 0.0 in
+               Array.iter
+                 (fun (j, cf) -> cvec.(j) <- cf)
+                 c.Lp.Cert.cut_terms;
+               (* Each column may deviate from the exact aggregation;
+                  the deviation (c_j - abar_j)·x_j is bounded over the
+                  box B_p by charging it to the finite bound where it
+                  maxes out. The shifted rhs t' = t + the sum of those
+                  charges then upper-bounds sum_j c_j·x_j everywhere in
+                  the box, and the integer-rounding step floors t'. *)
+               let delta = ref Qd.zero in
+               let support_int = ref true and coeffs_int = ref true in
+               for j = 0 to n - 1 do
+                 let cj = cvec.(j) in
+                 let cjq = q ctx cj in
+                 if not (Qd.equal abar.(j) cjq) then begin
+                   let diff = Qd.sub cjq abar.(j) in
+                   let bound =
+                     if Qd.sign diff > 0 then bp_ub.(j) else bp_lb.(j)
+                   in
+                   if not (Float.is_finite bound) then
+                     fail
+                       "coefficient change on variable %d (exact %s, cut \
+                        %.9g) is charged to an infinite bound"
+                       j (qstr abar.(j)) cj
+                   else delta := Qd.add !delta (Qd.mul diff (q ctx bound))
+                 end;
+                 if cj <> 0.0 then begin
+                   if not raw.Lp.Model.integer.(j) then support_int := false;
+                   if not (Qd.is_integer cjq) then coeffs_int := false
+                 end
+               done;
+               if !ok then begin
+                 let d = c.Lp.Cert.cut_rhs in
+                 let dq = q ctx d in
+                 let t' = Qd.add !t !delta in
+                 if Qd.geq dq t' then () (* plain shifted aggregation *)
+                 else if not !support_int then
+                   fail
+                     "rounded rhs %.9g < exact shifted rhs %s with \
+                      continuous support"
+                     d (qstr t')
+                 else if not !coeffs_int then
+                   fail
+                     "rounded rhs with non-integral cut coefficients"
+                 else if not (Qd.is_integer dq) then
+                   fail "rounded rhs %.9g is not integral" d
+                 else if not (Qd.lt t' (Qd.add dq qone)) then
+                   fail
+                     "rhs %.9g is below the floor of the exact shifted \
+                      rhs %s"
+                     d (qstr t')
+               end
+             end
+         | Lp.Cert.Cover { c_row; members } ->
+             let ok = ref true in
+             let fail fmt =
+               Printf.ksprintf
+                 (fun s ->
+                   if !ok then
+                     errorf ctx ~code:"CERT110" ~loc "cut %d: %s" k s;
+                   ok := false)
+                 fmt
+             in
+             if c_row < 0 || c_row >= m0 then
+               fail "cites row %d outside the model rows" c_row
+             else if raw.Lp.Model.senses.(c_row) <> Lp.Model.Le then
+               fail "cover derived from a non-<= row %d" c_row
+             else begin
+               let row = raw.Lp.Model.rows.(c_row) in
+               let mem = Hashtbl.create (Array.length members) in
+               Array.iter
+                 (fun j ->
+                   if j < 0 || j >= n then
+                     fail "member variable %d out of range" j
+                   else begin
+                     if Hashtbl.mem mem j then
+                       fail "duplicate member variable %d" j;
+                     Hashtbl.replace mem j ();
+                     if
+                       (not raw.Lp.Model.integer.(j))
+                       || bp_lb.(j) <> 0.0
+                       || bp_ub.(j) <> 1.0
+                     then fail "member variable %d is not a 0/1 binary" j
+                   end)
+                 members;
+               if !ok then begin
+                 (* members must over-cover the rhs exactly, and every
+                    non-member term must be nonnegative over the box *)
+                 let sum = ref Qd.zero in
+                 let found = ref 0 in
+                 Array.iter
+                   (fun (jj, a) ->
+                     if Hashtbl.mem mem jj then begin
+                       incr found;
+                       sum := Qd.add !sum (q ctx a)
+                     end
+                     else if a < 0.0 then
+                       fail "non-member term on variable %d is negative" jj
+                     else if
+                       a > 0.0
+                       && not
+                            (Float.is_finite bp_lb.(jj) && bp_lb.(jj) >= 0.0)
+                     then
+                       fail
+                         "non-member variable %d has a negative lower bound"
+                         jj)
+                   row;
+                 if !found <> Array.length members then
+                   fail "members missing from the cited row";
+                 if
+                   !ok
+                   && not (Qd.lt (q ctx raw.Lp.Model.rhs.(c_row)) !sum)
+                 then
+                   fail
+                     "members do not cover: exact sum %s <= rhs %.9g"
+                     (qstr !sum) raw.Lp.Model.rhs.(c_row);
+                 (* the cut row itself must be exactly sum(members) <=
+                    |members| - 1 *)
+                 if !ok then begin
+                   let nm = Array.length members in
+                   if
+                     Array.length c.Lp.Cert.cut_terms <> nm
+                     || c.Lp.Cert.cut_rhs <> float_of_int (nm - 1)
+                     || not
+                          (Array.for_all
+                             (fun (jj, cf) ->
+                               cf = 1.0 && Hashtbl.mem mem jj)
+                             c.Lp.Cert.cut_terms)
+                   then
+                     fail
+                       "cut row is not sum of the %d members <= %d" nm
+                       (nm - 1)
+                 end
+               end
+             end);
+      (* fold the cut row into the audited system *)
+      ctx.raw <-
+        {
+          raw with
+          Lp.Model.rows =
+            Array.append raw.Lp.Model.rows [| c.Lp.Cert.cut_terms |];
+          senses = Array.append raw.Lp.Model.senses [| Lp.Model.Le |];
+          rhs = Array.append raw.Lp.Model.rhs [| c.Lp.Cert.cut_rhs |];
+        };
+      ctx.m <- ctx.m + 1)
+    ctx.cert.Lp.Cert.cuts
+
+(* ------------------------------------------------------------------ *)
 (* Root reduced-cost fixing (CERT106 / CERT108)                        *)
 (* ------------------------------------------------------------------ *)
 
-let check_fixes ctx =
+let check_fixes ctx (bp_lb, bp_ub) =
   let cert = ctx.cert and raw = ctx.raw in
-  if cert.Lp.Cert.fixes = [] then ()
+  if cert.Lp.Cert.fixes = [] && cert.Lp.Cert.presolve = [] then ()
   else begin
-    (* the post-fixing root box must differ from the model box exactly at
-       the fixed variables, pinned to the recorded side *)
+    (* the post-fixing root box must differ from the post-presolve box
+       B_p (model box + replayed tightenings) exactly at the fixed
+       variables, pinned to the recorded side *)
     let side_of = Hashtbl.create 16 in
     List.iter
       (fun (j, s) ->
@@ -665,9 +1010,9 @@ let check_fixes ctx =
       for j = 0 to raw.Lp.Model.n - 1 do
         let want_lb, want_ub =
           match Hashtbl.find_opt side_of j with
-          | None -> (raw.Lp.Model.lb.(j), raw.Lp.Model.ub.(j))
-          | Some Lp.Cert.Lower -> (raw.Lp.Model.lb.(j), raw.Lp.Model.lb.(j))
-          | Some Lp.Cert.Upper -> (raw.Lp.Model.ub.(j), raw.Lp.Model.ub.(j))
+          | None -> (bp_lb.(j), bp_ub.(j))
+          | Some Lp.Cert.Lower -> (bp_lb.(j), bp_lb.(j))
+          | Some Lp.Cert.Upper -> (bp_ub.(j), bp_ub.(j))
         in
         if
           cert.Lp.Cert.root_lb.(j) <> want_lb
@@ -691,19 +1036,20 @@ let check_fixes ctx =
             (Array.length u) ctx.m
       | Some u ->
           let r, t = reduced_costs ctx ~use_obj:true u in
-          (* per-variable exact min contribution over the *model* box; the
-             excluded region is a subset of that box with x_j restricted,
-             so bounding over it is sound for every fix *)
+          (* per-variable exact min contribution over the post-presolve
+             box B_p (which CERT111 proved keeps every integer point);
+             the excluded region is a subset of that box with x_j
+             restricted, so bounding over it is sound for every fix *)
           let contrib =
             Array.init raw.Lp.Model.n (fun j ->
                 let s = Qd.sign r.(j) in
                 if s > 0 then
-                  if Float.is_finite raw.Lp.Model.lb.(j) then
-                    Some (Qd.mul r.(j) (q ctx raw.Lp.Model.lb.(j)))
+                  if Float.is_finite bp_lb.(j) then
+                    Some (Qd.mul r.(j) (q ctx bp_lb.(j)))
                   else None
                 else if s < 0 then
-                  if Float.is_finite raw.Lp.Model.ub.(j) then
-                    Some (Qd.mul r.(j) (q ctx raw.Lp.Model.ub.(j)))
+                  if Float.is_finite bp_ub.(j) then
+                    Some (Qd.mul r.(j) (q ctx bp_ub.(j)))
                   else None
                 else Some Qd.zero)
           in
@@ -721,10 +1067,8 @@ let check_fixes ctx =
               (* x_j restricted to the excluded half of its interval *)
               let lo, hi =
                 match s with
-                | Lp.Cert.Lower ->
-                    (raw.Lp.Model.lb.(j) +. 1.0, raw.Lp.Model.ub.(j))
-                | Lp.Cert.Upper ->
-                    (raw.Lp.Model.lb.(j), raw.Lp.Model.ub.(j) -. 1.0)
+                | Lp.Cert.Lower -> (bp_lb.(j) +. 1.0, bp_ub.(j))
+                | Lp.Cert.Upper -> (bp_lb.(j), bp_ub.(j) -. 1.0)
               in
               if Float.is_finite lo && Float.is_finite hi && lo > hi then
                 () (* excluded region empty — trivially sound *)
@@ -832,8 +1176,15 @@ let check raw cert =
   in
   let boxes_ok = check_structure ctx in
   check_status ctx;
+  (* incumbent feasibility is checked against the model rows only, so it
+     runs before cut rows are folded into [ctx.raw] *)
   check_incumbent ctx;
   check_incumbent_log ctx;
+  (* replay presolve (CERT111), then verify and fold in the cut rows
+     (CERT109/110) — node dual vectors and the root-fixing duals are
+     over the extended row system *)
+  let bp = check_presolve ctx in
+  check_cuts ctx bp;
   List.iter
     (fun (n : Lp.Cert.node) ->
       check_branch_edit ctx n;
@@ -851,7 +1202,7 @@ let check raw cert =
     | Lp.Cert.Optimal -> check_completeness_optimal ctx
     | Lp.Cert.Infeasible -> check_completeness_infeasible ctx
     | _ -> ());
-    check_fixes ctx
+    check_fixes ctx bp
   end;
   List.rev ctx.diags
 

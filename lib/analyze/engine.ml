@@ -47,9 +47,11 @@ let passes =
           ("LP003", "duplicate rows (same terms, sense, and right-hand side)");
           ("LP004", "variable referenced by no constraint or objective");
           ("LP005", "integer variable with no integer between its bounds");
+          ("LP006", "malformed cutting-plane row in a certificate");
         ];
       description =
-        "empty/duplicate rows, free columns, trivially infeasible bounds";
+        "empty/duplicate rows, free columns, trivially infeasible bounds, \
+         malformed certificate cut rows";
     };
     {
       name = Net_lint.pass_name;
@@ -95,10 +97,14 @@ let passes =
           ("CERT106", "malformed tree: branch arithmetic or box bookkeeping inconsistent");
           ("CERT107", "status or incumbent bookkeeping inconsistent (stale incumbent)");
           ("CERT108", "root reduced-cost fix not justified by the pre-fixing duals");
+          ("CERT109", "Chvátal-Gomory cut not implied by its recorded derivation");
+          ("CERT110", "cover cut not implied by its cited knapsack row");
+          ("CERT111", "presolve bound tightening fails exact replay");
         ];
       description =
         "exact-rational replay of a proof-carrying MILP solve \
-         (Neumaier-Shcherbina dual bounds, Farkas rays, pruning log)";
+         (Neumaier-Shcherbina dual bounds, Farkas rays, pruning log, \
+         presolve and cutting-plane derivations)";
     };
     {
       (* Emitted by the flow's degradation cascade (Mams.Flow), not a
@@ -151,7 +157,13 @@ let check_certificate ctx g cover sched =
 
 let check_audit model result =
   Obs.Timer.span timer (fun () ->
-      count_diags (Audit.check_result model result))
+      let cut_lint =
+        match result.Lp.Milp.cert with
+        | Some c when c.Lp.Cert.cuts <> [] ->
+            Lp_lint.check_cuts ~n:(Lp.Model.num_vars model) c.Lp.Cert.cuts
+        | _ -> []
+      in
+      count_diags (cut_lint @ Audit.check_result model result))
 
 let static_gate cfg g =
   let diags = check_cdfg g @ preflight cfg g in

@@ -104,3 +104,36 @@ let check m =
   @ cap "LP003" (List.rev !dups)
   @ cap "LP004" (List.rev !free)
   @ cap "LP005" (List.rev !badint)
+
+(* Structural lint over a certificate's applied cut rows (LP006): the
+   audit proves each cut's *derivation*; this pass rejects rows that are
+   not even well-formed sparse rows — empty, non-finite, out-of-range or
+   duplicated columns — before the audit's arithmetic touches them. *)
+let check_cuts ~n cuts =
+  let bad = ref [] in
+  List.iteri
+    (fun k (c : Lp.Cert.cut) ->
+      let reportf fmt =
+        Printf.ksprintf
+          (fun s ->
+            bad :=
+              Diag.errorf ~code:"LP006" ~pass:pass_name ~loc:(Diag.Row k)
+                "cut %d: %s" k s
+              :: !bad)
+          fmt
+      in
+      if Array.length c.Lp.Cert.cut_terms = 0 then reportf "empty term list";
+      if not (Float.is_finite c.Lp.Cert.cut_rhs) then
+        reportf "non-finite right-hand side";
+      let seen = Hashtbl.create 16 in
+      Array.iter
+        (fun (j, cf) ->
+          if j < 0 || j >= n then reportf "column %d out of range" j
+          else if Hashtbl.mem seen j then reportf "duplicate column %d" j
+          else Hashtbl.replace seen j ();
+          if not (Float.is_finite cf) then
+            reportf "non-finite coefficient on column %d" j;
+          if cf = 0.0 then reportf "zero coefficient on column %d" j)
+        c.Lp.Cert.cut_terms)
+    cuts;
+  cap "LP006" (List.rev !bad)

@@ -12,6 +12,9 @@
       no constraint and no objective term.
     - [LP005] (error): infeasible bounds — an integer variable whose
       [\[lb, ub\]] interval contains no integer.
+    - [LP006] (error): malformed cutting-plane row in a certificate —
+      empty term list, non-finite coefficient or rhs, out-of-range or
+      duplicated column ({!check_cuts}).
 
     To bound report size, at most {!max_reports} findings are emitted per
     code; an overflow finding summarizes the remainder. *)
@@ -21,3 +24,9 @@ val pass_name : string
 val max_reports : int
 
 val check : Lp.Model.t -> Diag.t list
+
+val check_cuts : n:int -> Lp.Cert.cut list -> Diag.t list
+(** [check_cuts ~n cuts] lints a certificate's applied cut rows against
+    a model with [n] variables (LP006). Structural only — the cut
+    {e derivations} are the audit's CERT109/CERT110 business. The
+    [Diag.Row] locations index into the cut list, not the model rows. *)

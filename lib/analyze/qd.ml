@@ -1,246 +1,8 @@
-(* Exact dyadic-rational arithmetic for the certificate audit.
+(* Re-export of the exact dyadic-rational core, which moved into lib/lp
+   so cut generation ({!Lp.Cutgen}) and the audit share one arithmetic:
+   a Chvátal–Gomory floor decided in generation must be the same floor
+   the audit re-derives, and only identical exact arithmetic on both
+   sides guarantees that. The [Analyze.Qd] name and interface are
+   unchanged for existing users. *)
 
-   Every number the solver touches — model coefficients, bounds, duals,
-   objectives — is an IEEE-754 double, i.e. a dyadic rational m·2^e with
-   |m| < 2^53. The audit only ever needs ring operations on such numbers
-   (sums of products: row evaluations, Neumaier–Shcherbina safe bounds,
-   Farkas aggregation) plus comparisons, so a dyadic representation with
-   an arbitrary-precision integer mantissa is closed under everything we
-   do: no division, no gcd, no rounding, ever. This keeps the checker
-   self-contained — no zarith, per the no-new-dependencies rule.
-
-   The mantissa is a sign-magnitude bignum in base 2^24 (products of two
-   limbs fit comfortably in OCaml's 63-bit native ints). *)
-
-let base_bits = 24
-let base = 1 lsl base_bits
-let mask = base - 1
-
-(* Little-endian limbs, no high zero limbs. [||] encodes zero. *)
-type mag = int array
-
-type t = { sg : int; mg : mag; ex : int }
-(* value = sg · (Σ mg.(i)·2^(24·i)) · 2^ex,  sg ∈ {-1,0,+1}, sg = 0 ⇔ mg = [||] *)
-
-let zero = { sg = 0; mg = [||]; ex = 0 }
-
-(* ---------------- magnitude primitives ---------------- *)
-
-let mnorm (a : mag) : mag =
-  let k = ref (Array.length a) in
-  while !k > 0 && a.(!k - 1) = 0 do
-    decr k
-  done;
-  if !k = Array.length a then a else Array.sub a 0 !k
-
-let mcmp (a : mag) (b : mag) =
-  let la = Array.length a and lb = Array.length b in
-  if la <> lb then compare la lb
-  else begin
-    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i - 1) in
-    go (la - 1)
-  end
-
-let madd (a : mag) (b : mag) : mag =
-  let la = Array.length a and lb = Array.length b in
-  let l = max la lb + 1 in
-  let r = Array.make l 0 in
-  let carry = ref 0 in
-  for i = 0 to l - 1 do
-    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
-    r.(i) <- s land mask;
-    carry := s lsr base_bits
-  done;
-  mnorm r
-
-(* requires a >= b *)
-let msub (a : mag) (b : mag) : mag =
-  let la = Array.length a and lb = Array.length b in
-  let r = Array.make la 0 in
-  let borrow = ref 0 in
-  for i = 0 to la - 1 do
-    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
-    if d < 0 then begin
-      r.(i) <- d + base;
-      borrow := 1
-    end
-    else begin
-      r.(i) <- d;
-      borrow := 0
-    end
-  done;
-  mnorm r
-
-let mmul (a : mag) (b : mag) : mag =
-  let la = Array.length a and lb = Array.length b in
-  if la = 0 || lb = 0 then [||]
-  else begin
-    let r = Array.make (la + lb) 0 in
-    for i = 0 to la - 1 do
-      let ai = a.(i) in
-      if ai <> 0 then begin
-        let carry = ref 0 in
-        for j = 0 to lb - 1 do
-          (* ai·bj < 2^48; + r + carry stays well under 2^62 *)
-          let s = r.(i + j) + (ai * b.(j)) + !carry in
-          r.(i + j) <- s land mask;
-          carry := s lsr base_bits
-        done;
-        let k = ref (i + lb) in
-        while !carry <> 0 do
-          let s = r.(!k) + !carry in
-          r.(!k) <- s land mask;
-          carry := s lsr base_bits;
-          incr k
-        done
-      end
-    done;
-    mnorm r
-  end
-
-(* a · 2^k, k >= 0 *)
-let mshift (a : mag) k : mag =
-  if Array.length a = 0 || k = 0 then a
-  else begin
-    let limbs = k / base_bits and bits = k mod base_bits in
-    let la = Array.length a in
-    let r = Array.make (la + limbs + 1) 0 in
-    let carry = ref 0 in
-    for i = 0 to la - 1 do
-      let s = (a.(i) lsl bits) lor !carry in
-      r.(i + limbs) <- s land mask;
-      carry := s lsr base_bits
-    done;
-    r.(la + limbs) <- !carry;
-    mnorm r
-  end
-
-(* strip low zero limbs into the exponent to keep numbers short *)
-let canon sg mg ex =
-  let mg = mnorm mg in
-  if Array.length mg = 0 then zero
-  else begin
-    let z = ref 0 in
-    while mg.(!z) = 0 do
-      incr z
-    done;
-    if !z = 0 then { sg; mg; ex }
-    else
-      { sg; mg = Array.sub mg !z (Array.length mg - !z); ex = ex + (base_bits * !z) }
-  end
-
-(* ---------------- constructors ---------------- *)
-
-let mag_of_abs_int v =
-  if v = 0 then [||]
-  else begin
-    let rec count v acc = if v = 0 then acc else count (v lsr base_bits) (acc + 1) in
-    let l = count v 0 in
-    Array.init l (fun i -> (v lsr (base_bits * i)) land mask)
-  end
-
-let of_int v =
-  if v = 0 then zero
-  else canon (if v < 0 then -1 else 1) (mag_of_abs_int (abs v)) 0
-
-let two_pow_53 = 9007199254740992.0
-
-let of_float f =
-  if f = 0.0 then zero
-  else if not (Float.is_finite f) then invalid_arg "Qd.of_float: non-finite"
-  else begin
-    let m, e = Float.frexp (Float.abs f) in
-    (* m ∈ [0.5, 1); m·2^53 is an exact integer < 2^53 *)
-    let mi = Int64.to_int (Int64.of_float (m *. two_pow_53)) in
-    canon (if f < 0.0 then -1 else 1) (mag_of_abs_int mi) (e - 53)
-  end
-
-(* ---------------- ring operations ---------------- *)
-
-let neg a = if a.sg = 0 then a else { a with sg = -a.sg }
-
-(* align two numbers to a common exponent *)
-let aligned a b =
-  if a.sg = 0 then (a.mg, b.mg, b.ex)
-  else if b.sg = 0 then (a.mg, b.mg, a.ex)
-  else begin
-    let e = min a.ex b.ex in
-    (mshift a.mg (a.ex - e), mshift b.mg (b.ex - e), e)
-  end
-
-let add a b =
-  if a.sg = 0 then b
-  else if b.sg = 0 then a
-  else begin
-    let ma, mb, e = aligned a b in
-    if a.sg = b.sg then canon a.sg (madd ma mb) e
-    else begin
-      match mcmp ma mb with
-      | 0 -> zero
-      | c when c > 0 -> canon a.sg (msub ma mb) e
-      | _ -> canon b.sg (msub mb ma) e
-    end
-  end
-
-let sub a b = add a (neg b)
-
-let mul a b =
-  if a.sg = 0 || b.sg = 0 then zero
-  else canon (a.sg * b.sg) (mmul a.mg b.mg) (a.ex + b.ex)
-
-let sign a = a.sg
-let is_zero a = a.sg = 0
-
-let compare a b =
-  if a.sg <> b.sg then compare a.sg b.sg
-  else if a.sg = 0 then 0
-  else begin
-    let ma, mb, _ = aligned a b in
-    a.sg * mcmp ma mb
-  end
-
-let equal a b = compare a b = 0
-let min a b = if compare a b <= 0 then a else b
-let lt a b = compare a b < 0
-let leq a b = compare a b <= 0
-let geq a b = compare a b >= 0
-
-(* Is the value an integer? True iff no fractional bits survive. *)
-let is_integer a =
-  a.sg = 0 || a.ex >= 0
-  ||
-  let frac_bits = -a.ex in
-  let full = frac_bits / base_bits and rest = frac_bits mod base_bits in
-  let l = Array.length a.mg in
-  let ok = ref true in
-  for i = 0 to Stdlib.min full l - 1 do
-    if a.mg.(i) <> 0 then ok := false
-  done;
-  if !ok && rest > 0 && full < l then
-    if a.mg.(full) land ((1 lsl rest) - 1) <> 0 then ok := false;
-  !ok && full <= l
-
-(* Approximate float for messages only; may overflow to infinity. *)
-let to_float a =
-  if a.sg = 0 then 0.0
-  else begin
-    let l = Array.length a.mg in
-    (* top three limbs carry >= 53 significant bits *)
-    let acc = ref 0.0 in
-    let lo = Stdlib.max 0 (l - 3) in
-    for i = l - 1 downto lo do
-      acc := (!acc *. float_of_int base) +. float_of_int a.mg.(i)
-    done;
-    float_of_int a.sg *. Float.ldexp !acc (a.ex + (base_bits * lo))
-  end
-
-let pp ppf a = Fmt.pf ppf "%.17g" (to_float a)
-
-(* Exact dot-product accumulator: fold of add/mul without intermediate
-   rounding. [dot f n] sums f i for i in [0, n). *)
-let sum n f =
-  let acc = ref zero in
-  for i = 0 to n - 1 do
-    acc := add !acc (f i)
-  done;
-  !acc
+include Lp.Qd

@@ -1,47 +1,11 @@
-(** Exact dyadic-rational arithmetic for the certificate audit
-    ({!Audit}, DESIGN.md §3h).
+(** Exact dyadic-rational arithmetic — re-export of {!Lp.Qd}.
 
-    Doubles are dyadic rationals [m·2^e]; the audit only needs ring
-    operations (sums of products) and comparisons on them, so this
-    representation — an arbitrary-precision sign-magnitude mantissa plus
-    a binary exponent — is exact and closed under every operation the
-    checker performs. There is deliberately no division: the whole audit
-    is phrased to avoid it, which is what lets the module stay
-    self-contained (no external bignum dependency). *)
+    The implementation lives in [lib/lp] so that cut generation
+    ({!Lp.Cutgen}) and this library's certificate audit ({!Audit}) run
+    the same exact arithmetic: a Chvátal–Gomory floor decided at
+    generation time must be the floor the audit re-derives. See
+    [lib/lp/qd.mli] for the full interface documentation. *)
 
-type t
-
-val zero : t
-val of_int : int -> t
-
-val of_float : float -> t
-(** Exact conversion — no rounding.
-    @raise Invalid_argument on NaN or infinity (callers handle infinite
-    bounds structurally, not numerically). *)
-
-val neg : t -> t
-val add : t -> t -> t
-val sub : t -> t -> t
-val mul : t -> t -> t
-
-val sign : t -> int
-(** [-1], [0] or [+1]. *)
-
-val is_zero : t -> bool
-val compare : t -> t -> int
-val equal : t -> t -> bool
-val min : t -> t -> t
-val lt : t -> t -> bool
-val leq : t -> t -> bool
-val geq : t -> t -> bool
-
-val is_integer : t -> bool
-(** Exact integrality test — zero tolerance. *)
-
-val to_float : t -> float
-(** Nearest-ish double, for diagnostics messages only (not exact). *)
-
-val sum : int -> (int -> t) -> t
-(** [sum n f] is [f 0 + ... + f (n-1)], exactly. *)
-
-val pp : t Fmt.t
+include module type of struct
+  include Lp.Qd
+end

@@ -15,6 +15,10 @@ type setup = {
   checkpoint : Lp.Milp.checkpoint_sink option;
   resume : Lp.Checkpoint.t option;
   stall_window : float option;
+  cuts : bool option;
+      (** root cutting planes; [None] defers to [PIPESYN_CUTS] (on by
+          default) *)
+  presolve : bool option;  (** certified root bound tightening *)
 }
 
 let default_setup ~device =
@@ -33,6 +37,8 @@ let default_setup ~device =
     checkpoint = None;
     resume = None;
     stall_window = None;
+    cuts = None;
+    presolve = None;
   }
 
 type solve_info = {
@@ -143,8 +149,16 @@ let metrics_of setup method_ ~cuts_total ~gate_diags (qor : Sched.Qor.t)
     cert_nodes = solve.cert_nodes;
     audit_errors =
       (match solve.audit_diags with
-      | None -> -1
-      | Some d -> List.length (Analyze.Diag.errors d));
+      | None -> None
+      | Some d -> Some (List.length (Analyze.Diag.errors d)));
+    milp_cuts =
+      (match solve.milp_stats with
+      | Some s -> s.Lp.Milp.cuts_applied
+      | None -> 0);
+    gap_closed_root =
+      (match solve.milp_stats with
+      | Some s -> s.Lp.Milp.gap_closed_root
+      | None -> Float.nan);
     checkpoints =
       (match solve.milp_stats with
       | Some s -> s.Lp.Milp.checkpoints
@@ -181,7 +195,9 @@ let error_metrics ?(diags = []) ~name method_ =
     domains = 1;
     nodes_per_s = Float.nan;
     cert_nodes = 0;
-    audit_errors = -1;
+    audit_errors = None;
+    milp_cuts = 0;
+    gap_closed_root = Float.nan;
     checkpoints = 0;
     recoveries = 0;
     stalls = 0;
@@ -484,7 +500,8 @@ let run_milp ?(coarse = false) ?(budget_scale = 1.0) ?resume ~deadline ~as_
               ~branch_priority:(Formulation.branch_priorities f)
               ?domains:setup.domains ~certificates:setup.audit
               ?checkpoint:setup.checkpoint ?resume
-              ?stall_window:setup.stall_window
+              ?stall_window:setup.stall_window ?cuts:setup.cuts
+              ?presolve:setup.presolve
               (Formulation.model f))
       in
       (* A resumed solve reports cumulative stats ([stats.nodes] counts

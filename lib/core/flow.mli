@@ -77,13 +77,20 @@ type setup = {
   stall_window : float option;
       (** stall-watchdog window in seconds ([--stall-window]); [None] =
           watchdog off. See {!Lp.Milp.solve}. *)
+  cuts : bool option;
+      (** root cutting planes for the MILP rungs ([--cuts]/[--no-cuts]);
+          [None] defers to the [PIPESYN_CUTS] environment variable, on
+          by default. See {!Lp.Milp.solve}. *)
+  presolve : bool option;
+      (** certified root bound tightening ([--presolve]/[--no-presolve]);
+          [None] = on. See {!Lp.Milp.solve}. *)
 }
 
 val default_setup : device:Fpga.Device.t -> setup
 (** [ii = 1], [alpha = beta = 0.5] (paper Sec. 4), default delays,
     unlimited resources, 60 s MILP budget, no wall-clock budget,
     [domains = None], [audit = false], no checkpointing or resume, stall
-    watchdog off. *)
+    watchdog off, cuts and presolve deferred to their defaults (on). *)
 
 type solve_info = {
   runtime : float;  (** seconds spent in the MILP (0 for the heuristic) *)

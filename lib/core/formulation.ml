@@ -176,76 +176,128 @@ let build cfg g cuts =
     end
   done;
   (* Per-cut constraints: Eq. (4), dependence + chaining (Eq. 7 & 9), and
-     register lifetimes. *)
+     register lifetimes — clique-merged per (v, leaf). Cut selection at
+     [v] is one-hot (Eq. (2) with root_v <= 1), so the per-(v,i,u)
+     indicator rows of the paper collapse into one row per (v,u) whose
+     indicator is the clique sum over every cut of [v] the leaf enters:
+     for integer points at most one summand is 1 and the merged row is
+     exactly the selected cut's row, while the LP relaxation gets the
+     sum of the fractional selections instead of their maximum. Rows
+     whose rhs depends on the entry distance merge per (v,u,dist). *)
   for v = 0 to n - 1 do
+    (* group (cut index, leaf_info) by leaf *)
+    let by_leaf : (int, (int * leaf_info) list ref) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    let leaf_order = ref [] in
     Array.iteri
       (fun i (cut : Cuts.cut) ->
-        let cvi = c_cut.(v).(i) in
         List.iter
           (fun (u, info) ->
-            (* Eq. (4): leaves of a selected cut are roots. *)
-            if not (forced_root g u) then
-              Lp.Model.add_le model
-                ~name:(name "leafroot_%d_%d_%d" v i u)
-                [ (1.0, cvi); (-1.0, root.(u)) ]
-                0.0;
-            let latu = float_of_int lat.(u) in
-            if info.has_comb && not (is_source g u) then begin
-              (* cycle ordering: S_u + lat_u <= S_v when selected *)
-              Lp.Model.add_le model
-                ~name:(name "dep_%d_%d_%d" v i u)
-                [ (1.0, s_cycle.(u)); (-1.0, s_cycle.(v)); (mc, cvi) ]
-                (mc -. latu);
-              (* chaining: same-cycle arrival respects start times;
-                 residual covers multi-cycle producers *)
-              let residual u =
-                if is_black_box g u then
-                  let d = additive_delay ~delays:cfg.delays g cuts.(u).(0) in
-                  d -. (float_of_int lat.(u) *. period)
-                else 0.0
-              in
-              let du_terms =
-                if is_black_box g u then []
-                else
-                  Array.to_list
-                    (Array.mapi (fun j c -> (cut_delays.(u).(j), c)) c_cut.(u))
-                  |> List.filter (fun (d, _) -> d <> 0.0)
-              in
-              Lp.Model.add_le model
-                ~name:(name "chain_%d_%d_%d" v i u)
-                ([
-                   (period, s_cycle.(u));
-                   (-.period, s_cycle.(v));
-                   (1.0, l_start.(u));
-                   (-1.0, l_start.(v));
-                   (mt, cvi);
-                 ]
-                @ du_terms)
-                (mt -. (latu *. period) -. residual u)
-            end;
-            (match info.min_reg_dist with
-            | None -> ()
-            | Some d ->
-                (* registered entry: produced strictly before use *)
-                Lp.Model.add_le model
-                  ~name:(name "regdep_%d_%d_%d" v i u)
-                  [ (1.0, s_cycle.(u)); (-1.0, s_cycle.(v)); (mc, cvi) ]
-                  (mc +. float_of_int ((cfg.ii * d) - 1) -. latu));
-            (* register lifetime of the leaf's value *)
-            match reg.(u) with
-            | None -> ()
-            | Some reg_u ->
-                Lp.Model.add_le model
-                  ~name:(name "life_%d_%d_%d" v i u)
-                  [
-                    (1.0, s_cycle.(v));
-                    (-1.0, s_cycle.(u));
-                    (-1.0, reg_u);
-                    (mreg, cvi);
-                  ]
-                  (mreg -. float_of_int (cfg.ii * info.max_dist) +. latu))
+            match Hashtbl.find_opt by_leaf u with
+            | Some l -> l := (i, info) :: !l
+            | None ->
+                Hashtbl.add by_leaf u (ref [ (i, info) ]);
+                leaf_order := u :: !leaf_order)
           (leaf_infos g cut))
-      cuts.(v)
+      cuts.(v);
+    List.iter
+      (fun u ->
+        let entries = List.rev !(Hashtbl.find by_leaf u) in
+        let csum is = List.map (fun i -> c_cut.(v).(i)) is in
+        (* Eq. (4): leaves of the selected cut are roots. *)
+        if not (forced_root g u) then
+          Lp.Model.add_le model
+            ~name:(name "leafroot_%d_%d" v u)
+            (((-1.0), root.(u))
+            :: List.map (fun c -> (1.0, c)) (csum (List.map fst entries)))
+            0.0;
+        let latu = float_of_int lat.(u) in
+        let comb_is =
+          List.filter_map
+            (fun (i, info) -> if info.has_comb then Some i else None)
+            entries
+        in
+        if comb_is <> [] && not (is_source g u) then begin
+          let ind coeff = List.map (fun c -> (coeff, c)) (csum comb_is) in
+          (* cycle ordering: S_u + lat_u <= S_v when selected *)
+          Lp.Model.add_le model
+            ~name:(name "dep_%d_%d" v u)
+            ([ (1.0, s_cycle.(u)); (-1.0, s_cycle.(v)) ] @ ind mc)
+            (mc -. latu);
+          (* chaining: same-cycle arrival respects start times;
+             residual covers multi-cycle producers *)
+          let residual u =
+            if is_black_box g u then
+              let d = additive_delay ~delays:cfg.delays g cuts.(u).(0) in
+              d -. (float_of_int lat.(u) *. period)
+            else 0.0
+          in
+          let du_terms =
+            if is_black_box g u then []
+            else
+              Array.to_list
+                (Array.mapi (fun j c -> (cut_delays.(u).(j), c)) c_cut.(u))
+              |> List.filter (fun (d, _) -> d <> 0.0)
+          in
+          Lp.Model.add_le model
+            ~name:(name "chain_%d_%d" v u)
+            ([
+               (period, s_cycle.(u));
+               (-.period, s_cycle.(v));
+               (1.0, l_start.(u));
+               (-1.0, l_start.(v));
+             ]
+            @ ind mt @ du_terms)
+            (mt -. (latu *. period) -. residual u)
+        end;
+        (* registered entries: produced strictly before use; the rhs
+           depends on the entry distance, so merge per distance *)
+        let reg_groups : (int, int list ref) Hashtbl.t = Hashtbl.create 4 in
+        List.iter
+          (fun (i, info) ->
+            match info.min_reg_dist with
+            | None -> ()
+            | Some d -> (
+                match Hashtbl.find_opt reg_groups d with
+                | Some l -> l := i :: !l
+                | None -> Hashtbl.add reg_groups d (ref [ i ])))
+          entries;
+        Hashtbl.iter
+          (fun d is ->
+            Lp.Model.add_le model
+              ~name:(name "regdep_%d_%d_%d" v u d)
+              ([ (1.0, s_cycle.(u)); (-1.0, s_cycle.(v)) ]
+              @ List.map (fun c -> (mc, c)) (csum (List.rev !is)))
+              (mc +. float_of_int ((cfg.ii * d) - 1) -. latu))
+          reg_groups;
+        (* register lifetime of the leaf's value, merged per worst-case
+           entry distance *)
+        match reg.(u) with
+        | None -> ()
+        | Some reg_u ->
+            let life_groups : (int, int list ref) Hashtbl.t =
+              Hashtbl.create 4
+            in
+            List.iter
+              (fun (i, info) ->
+                match Hashtbl.find_opt life_groups info.max_dist with
+                | Some l -> l := i :: !l
+                | None -> Hashtbl.add life_groups info.max_dist (ref [ i ]))
+              entries;
+            Hashtbl.iter
+              (fun dist is ->
+                Lp.Model.add_le model
+                  ~name:(name "life_%d_%d_%d" v u dist)
+                  ([
+                     (1.0, s_cycle.(v));
+                     (-1.0, s_cycle.(u));
+                     (-1.0, reg_u);
+                   ]
+                  @ List.map (fun c -> (mreg, c)) (csum (List.rev !is)))
+                  (mreg -. float_of_int (cfg.ii * dist) +. latu))
+              life_groups)
+      (List.rev !leaf_order)
   done;
   (* Eq. (14): modulo resource constraints via one-hot cycle binaries for
      black boxes of limited classes. *)

@@ -53,6 +53,35 @@ type node = {
 
 type status = Optimal | Feasible | Infeasible | Unbounded | Unknown
 
+type tighten = {
+  t_var : int;  (* variable whose bound moved *)
+  t_hi : bool;  (* [true] = upper bound, [false] = lower bound *)
+  t_new : float;  (* the tightened bound value *)
+  t_row : int;
+      (* row whose activity implies the bound; [-1] marks an integrality
+         rounding step (no row cited, validity is floor/ceil of the
+         current bound of an integer variable) *)
+}
+
+type cut_deriv =
+  | Cg of (int * float) array
+      (* Chvátal–Gomory: nonzero aggregation multipliers, one per cited
+         row. Row indices address the extended system seen at derivation
+         time: [0..m-1] are model rows, [m..m+k-1] are the k cuts already
+         verified before this one. The audit clamps each multiplier to
+         the row's sign cone, re-aggregates in exact arithmetic, and
+         checks the integer rounding of the right-hand side. *)
+  | Cover of { c_row : int; members : int array }
+      (* knapsack cover: [<=] row [c_row] and a set of 0/1 columns whose
+         coefficient sum exceeds the rhs, yielding
+         [sum_{j in members} x_j <= |members| - 1] *)
+
+type cut = {
+  cut_terms : (int * float) array;  (* sparse row over original columns *)
+  cut_rhs : float;  (* sense is always [<=] *)
+  cut_deriv : cut_deriv;
+}
+
 type t = {
   status : status;
   objective : float;  (* incumbent objective, raw space (no model constant) *)
@@ -62,6 +91,12 @@ type t = {
          id -1 marks a caller-seeded warm start *)
   root_lb : float array;  (* root box the tree explored (post bound-fixing) *)
   root_ub : float array;
+  presolve : tighten list;
+      (* ordered bound-tightening events applied at the root before the
+         tree started; the audit replays them from the model box *)
+  cuts : cut list;
+      (* applied cuts in derivation order: cut [k] may cite cuts
+         [0..k-1] in a [Cg] derivation *)
   fixes : (int * side) list;
       (* reduced-cost fixing events: variable pinned at this side of its box *)
   root_duals : float array option;  (* duals of the pre-fixing root LP *)
@@ -103,5 +138,7 @@ let summary_json c =
     ("unsolved_claims", Obs.Json.Int uns);
     ("incumbents", Obs.Json.Int (List.length c.incumbents));
     ("fixes", Obs.Json.Int (List.length c.fixes));
+    ("tightenings", Obs.Json.Int (List.length c.presolve));
+    ("cuts", Obs.Json.Int (List.length c.cuts));
     ("domains", Obs.Json.Int c.domains);
   ]

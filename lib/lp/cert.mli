@@ -55,6 +55,34 @@ type node = {
 
 type status = Optimal | Feasible | Infeasible | Unbounded | Unknown
 
+type tighten = {
+  t_var : int;  (** variable whose bound moved *)
+  t_hi : bool;  (** [true] = upper bound, [false] = lower bound *)
+  t_new : float;  (** the tightened bound value *)
+  t_row : int;
+      (** implying row, or [-1] for an integrality rounding step on an
+          integer variable's current bound *)
+}
+(** One root-presolve bound-tightening event, replayable in order from
+    the model box (audited as CERT111). *)
+
+type cut_deriv =
+  | Cg of (int * float) array
+      (** Chvátal–Gomory aggregation multipliers, sparse over the
+          extended row system at derivation time ([0..m-1] model rows,
+          then previously applied cuts in order) *)
+  | Cover of { c_row : int; members : int array }
+      (** knapsack cover witness: [<=] row [c_row], 0/1 columns
+          [members] whose coefficients sum past the rhs *)
+
+type cut = {
+  cut_terms : (int * float) array;  (** sparse row, original columns *)
+  cut_rhs : float;  (** sense is always [<=] *)
+  cut_deriv : cut_deriv;
+}
+(** An applied cutting plane plus the derivation the audit re-verifies
+    exactly (CERT109 for {!Cg}, CERT110 for {!Cover}). *)
+
 type t = {
   status : status;
   objective : float;
@@ -62,6 +90,8 @@ type t = {
   incumbents : (int * float) list;
   root_lb : float array;
   root_ub : float array;
+  presolve : tighten list;
+  cuts : cut list;
   fixes : (int * side) list;
   root_duals : float array option;
   root_obj : float;

@@ -58,6 +58,11 @@ type t = {
   cert_nodes : Cert.node list;
   fixes : (int * Cert.side) list;
   root_duals : float array option;
+  presolve : Cert.tighten list;
+      (* root bound-tightening events, in application order *)
+  cuts : Cert.cut list;
+      (* applied cut rows, in derivation order: a resume re-extends the
+         model with exactly these rows and never re-separates *)
   meta : J.t;
 }
 
@@ -163,6 +168,46 @@ let open_node_to_json o =
       ("edits", J.List (List.map edit_to_json o.o_edits));
     ]
 
+let tighten_to_json (t : Cert.tighten) =
+  J.Obj
+    [
+      ("var", J.Int t.Cert.t_var);
+      ("hi", J.Bool t.Cert.t_hi);
+      ("new", jf t.Cert.t_new);
+      ("row", J.Int t.Cert.t_row);
+    ]
+
+let cut_to_json (c : Cert.cut) =
+  let terms =
+    J.List
+      (Array.to_list
+         (Array.map
+            (fun (j, v) -> J.Obj [ ("j", J.Int j); ("c", jf v) ])
+            c.Cert.cut_terms))
+  in
+  let deriv =
+    match c.Cert.cut_deriv with
+    | Cert.Cg mults ->
+        J.Obj
+          [
+            ("kind", J.String "cg");
+            ( "mults",
+              J.List
+                (Array.to_list
+                   (Array.map
+                      (fun (i, l) -> J.Obj [ ("i", J.Int i); ("l", jf l) ])
+                      mults)) );
+          ]
+    | Cert.Cover { c_row; members } ->
+        J.Obj
+          [
+            ("kind", J.String "cover");
+            ("row", J.Int c_row);
+            ("members", jiarr members);
+          ]
+  in
+  J.Obj [ ("terms", terms); ("rhs", jf c.Cert.cut_rhs); ("deriv", deriv) ]
+
 let pc_to_json p =
   J.Obj
     [
@@ -201,6 +246,8 @@ let payload_to_json ck =
              ck.fixes) );
       ( "root_duals",
         match ck.root_duals with None -> J.Null | Some d -> jfarr d );
+      ("presolve", J.List (List.map tighten_to_json ck.presolve));
+      ("cuts", J.List (List.map cut_to_json ck.cuts));
       ("meta", ck.meta);
     ]
 
@@ -308,6 +355,37 @@ let pc_of_json j =
     up_n = iarr (mem "up_n" j);
   }
 
+let tighten_of_json j : Cert.tighten =
+  {
+    Cert.t_var = int_ (mem "var" j);
+    t_hi = bool_ (mem "hi" j);
+    t_new = flt_ (mem "new" j);
+    t_row = int_ (mem "row" j);
+  }
+
+let cut_of_json j : Cert.cut =
+  {
+    Cert.cut_terms =
+      Array.of_list
+        (List.map
+           (fun t -> (int_ (mem "j" t), flt_ (mem "c" t)))
+           (list_ (mem "terms" j)));
+    cut_rhs = flt_ (mem "rhs" j);
+    cut_deriv =
+      (let d = mem "deriv" j in
+       match str_ (mem "kind" d) with
+       | "cg" ->
+           Cert.Cg
+             (Array.of_list
+                (List.map
+                   (fun m -> (int_ (mem "i" m), flt_ (mem "l" m)))
+                   (list_ (mem "mults" d))))
+       | "cover" ->
+           Cert.Cover
+             { c_row = int_ (mem "row" d); members = iarr (mem "members" d) }
+       | s -> fail "bad cut derivation kind %S" s);
+  }
+
 let payload_of_json j =
   {
     fingerprint = str_ (mem "fingerprint" j);
@@ -335,6 +413,16 @@ let payload_of_json j =
         (list_ (mem "fixes" j));
     root_duals =
       (match mem "root_duals" j with J.Null -> None | d -> Some (farr d));
+    (* Absent in files written before presolve/cuts existed: default to
+       empty rather than failing, so v1 checkpoints stay readable. *)
+    presolve =
+      (match J.member "presolve" j with
+      | None -> []
+      | Some l -> List.map tighten_of_json (list_ l));
+    cuts =
+      (match J.member "cuts" j with
+      | None -> []
+      | Some l -> List.map cut_of_json (list_ l));
     meta = mem "meta" j;
   }
 

@@ -73,6 +73,13 @@ type t = {
   cert_nodes : Cert.node list;  (** closed nodes' certificate entries *)
   fixes : (int * Cert.side) list;
   root_duals : float array option;
+  presolve : Cert.tighten list;
+      (** root bound-tightening events, application order; replayed into
+          the resumed certificate *)
+  cuts : Cert.cut list;
+      (** applied cut rows, derivation order — a resume re-extends the
+          model with exactly these rows (never re-separates), so node
+          duals in [cert_nodes] keep matching the extended row system *)
   meta : Obs.Json.t;
       (** opaque driver payload (benchmark, method, CLI settings) the
           solver stores and returns verbatim — [pipesyn resume] rebuilds

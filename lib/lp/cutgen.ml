@@ -1,0 +1,381 @@
+(* Root cutting planes (DESIGN.md §3j): Chvátal–Gomory rounds from the
+   simplex tableau and knapsack covers from the [<=] resource rows, with
+   a bounded, violation-ranked cut pool.
+
+   The contract with the audit is the same as {!Presolve}'s: every cut
+   this module emits carries a {!Cert.cut_deriv} and is pre-verified
+   here in the exact arithmetic ({!Qd}) the audit re-runs (CERT109 for
+   CG, CERT110 for covers). The simplex tableau only *suggests* the CG
+   multipliers; the aggregated row, its floors and the rounded rhs are
+   all recomputed exactly from the cited multipliers and the original
+   rows, so float drift in the tableau can cost us a cut but can never
+   produce an invalid one. There is deliberately no division anywhere on
+   the exact side — {!Qd} has none — which is why the CG step is the
+   integer-rounding form (floor coefficients, floor rhs) rather than a
+   scaled Gomory mixed-integer cut. *)
+
+let viol_eps = 1e-6
+let lam_drop = 1e-11  (* multipliers below this are noise: zero them *)
+let lam_max = 1e7  (* dynamism guard: reject wildly scaled aggregations *)
+
+(* ------------------------------------------------------------------ *)
+(* Exact helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Integral float [f] with [f <= q < f+1], found by correcting the float
+   floor with exact comparisons; [None] if the candidate refuses to
+   converge (pathological magnitudes). *)
+let qfloor q =
+  let ok f = Qd.leq (Qd.of_float f) q && Qd.lt q (Qd.of_float (f +. 1.0)) in
+  let rec adj f k =
+    if k > 4 then None
+    else if ok f then Some f
+    else adj (if Qd.lt q (Qd.of_float f) then f -. 1.0 else f +. 1.0) (k + 1)
+  in
+  let f0 = Float.floor (Qd.to_float q) in
+  if Float.is_finite f0 then adj f0 0 else None
+
+(* ------------------------------------------------------------------ *)
+(* Chvátal–Gomory separation                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* One CG candidate from a multiplier suggestion [lam] (length = rows of
+   [raw], which may already include earlier cuts). Returns [None] when
+   the clamped aggregation cannot be rounded validly or yields nothing
+   violated. *)
+let cg_of_multipliers (raw : Model.raw) ~lb ~ub ~x lam =
+  let m = Array.length raw.rows in
+  let n = raw.n in
+  (* Move into the sign cone the audit enforces: >= 0 on [<=] rows,
+     <= 0 on [>=] rows, free on [=] rows; drop noise. A wrong-sign
+     multiplier is frac-shifted by an integer (Gomory's trick: adding
+     an integer multiple of a row keeps the aggregation's fractional
+     structure when the row data is integral, and the final violation
+     check filters the cases where it is not) rather than clamped,
+     which would break the tableau-row identity outright. *)
+  let ok_scale = ref true in
+  let lam =
+    Array.mapi
+      (fun i l ->
+        let l =
+          match raw.senses.(i) with
+          | Model.Le -> if l < 0.0 then l -. Float.floor l else l
+          | Model.Ge -> if l > 0.0 then l -. Float.ceil l else l
+          | Model.Eq -> l
+        in
+        if Float.abs l < lam_drop then 0.0
+        else begin
+          if Float.abs l > lam_max || not (Float.is_finite l) then
+            ok_scale := false;
+          l
+        end)
+      lam
+  in
+  if not !ok_scale then None
+  else begin
+    let support = ref [] in
+    for i = m - 1 downto 0 do
+      if lam.(i) <> 0.0 then support := (i, lam.(i)) :: !support
+    done;
+    match !support with
+    | [] -> None
+    | support ->
+        (* Exact aggregation over the cited rows. *)
+        let abar = Array.make n Qd.zero in
+        let t = ref Qd.zero in
+        List.iter
+          (fun (i, l) ->
+            let ql = Qd.of_float l in
+            Array.iter
+              (fun (j, c) ->
+                abar.(j) <- Qd.add abar.(j) (Qd.mul ql (Qd.of_float c)))
+              raw.rows.(i);
+            t := Qd.add !t (Qd.mul ql (Qd.of_float raw.rhs.(i))))
+          support;
+        (* Bound-shifted rounding (the generalization CERT109
+           re-derives): each integer column rounds to floor(abar_j)
+           (charged to its finite lower bound) or ceil(abar_j) (charged
+           to its finite upper bound), whichever keeps more violation at
+           the LP point; continuous columns are dropped against the
+           bound that makes the dropped term a relaxation. The exact
+           rhs correction is delta = sum_j (c_j - abar_j)·bound_j, so
+           the rounded rhs is floor(t + delta) — fractional bound
+           charges are what lets the cut bite even when t itself is
+           integral (binaries parked at their upper bounds). *)
+        let terms = ref [] in
+        let delta = ref Qd.zero in
+        let valid = ref true in
+        (try
+           for j = n - 1 downto 0 do
+             let a = abar.(j) in
+             if not (Qd.is_zero a) then begin
+               let charge cq bound =
+                 delta := Qd.add !delta (Qd.mul (Qd.sub cq a) (Qd.of_float bound))
+               in
+               if raw.integer.(j) then (
+                 match qfloor a with
+                 | None ->
+                     valid := false;
+                     raise Exit
+                 | Some f ->
+                     if Qd.equal (Qd.of_float f) a then
+                       (* already integral: keep exactly, no charge *)
+                       (if f <> 0.0 then terms := (j, f) :: !terms)
+                     else begin
+                       let af = Qd.to_float a in
+                       let can_dn = Float.is_finite lb.(j) in
+                       let can_up = Float.is_finite ub.(j) in
+                       (* score = c_j·x_j - (c_j - abar_j)·bound_j, the
+                          column's contribution to (violation at x) *)
+                       let s_dn =
+                         if can_dn then (f *. x.(j)) -. ((f -. af) *. lb.(j))
+                         else Float.neg_infinity
+                       and s_up =
+                         if can_up then
+                           ((f +. 1.0) *. x.(j)) -. ((f +. 1.0 -. af) *. ub.(j))
+                         else Float.neg_infinity
+                       in
+                       if (not can_dn) && not can_up then begin
+                         valid := false;
+                         raise Exit
+                       end;
+                       let c, bound =
+                         if s_up > s_dn then (f +. 1.0, ub.(j))
+                         else (f, lb.(j))
+                       in
+                       charge (Qd.of_float c) bound;
+                       if c <> 0.0 then terms := (j, c) :: !terms
+                     end)
+               else begin
+                 (* continuous: drop the column (c_j = 0); the dropped
+                    term -abar_j·x_j maxes at lb when abar_j > 0, at ub
+                    when abar_j < 0 — that bound must be finite *)
+                 let bound = if Qd.sign a > 0 then lb.(j) else ub.(j) in
+                 if not (Float.is_finite bound) then begin
+                   valid := false;
+                   raise Exit
+                 end;
+                 charge Qd.zero bound
+               end
+             end
+           done
+         with Exit -> ());
+        if not !valid then None
+        else
+          let t' = Qd.add !t !delta in
+          match qfloor t' with
+          | None -> None
+          | Some d ->
+              if Qd.equal (Qd.of_float d) t' then
+                None (* integral shifted rhs: no rounding gain *)
+              else
+                let terms = Array.of_list !terms in
+                if Array.length terms = 0 then None
+                else begin
+                  let viol =
+                    Array.fold_left
+                      (fun acc (j, c) -> acc +. (c *. x.(j)))
+                      (-.d) terms
+                  in
+                  if viol > viol_eps then
+                    Some
+                      {
+                        Cert.cut_terms = terms;
+                        cut_rhs = d;
+                        cut_deriv = Cert.Cg (Array.of_list support);
+                      }
+                  else None
+                end
+  end
+
+(* CG round: one candidate per fractional basic integer variable, using
+   the tableau row's multipliers as the aggregation suggestion. *)
+let cg_cuts (raw : Model.raw) ~lb ~ub ~x ~int_tol ~multipliers =
+  let out = ref [] in
+  for j = 0 to raw.n - 1 do
+    if raw.integer.(j) then begin
+      let frac = Float.abs (x.(j) -. Float.round x.(j)) in
+      if frac > Float.max int_tol 0.005 then
+        match multipliers j with
+        | None -> ()
+        | Some lam -> (
+            match cg_of_multipliers raw ~lb ~ub ~x lam with
+            | Some c -> out := c :: !out
+            | None -> ())
+    end
+  done;
+  !out
+
+(* ------------------------------------------------------------------ *)
+(* Knapsack cover separation                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Covers from the first [n_rows] rows (the model rows — re-covering cut
+   rows is never a gain, their coefficients are already unit). A row
+   qualifies when its binary positive-coefficient terms can exceed the
+   rhs and every remaining term has nonnegative coefficient and lower
+   bound, so "all cover members at 1" provably violates the row. *)
+let cover_cuts (raw : Model.raw) ~n_rows ~lb ~ub ~x =
+  let out = ref [] in
+  for i = 0 to min n_rows (Array.length raw.rows) - 1 do
+    if raw.senses.(i) = Model.Le then begin
+      let row = raw.rows.(i) in
+      let bins = ref [] in
+      let rest_ok = ref true in
+      Array.iter
+        (fun (j, a) ->
+          if a <> 0.0 then
+            if raw.integer.(j) && lb.(j) = 0.0 && ub.(j) = 1.0 && a > 0.0 then
+              bins := (j, a) :: !bins
+            else if a >= 0.0 && lb.(j) >= 0.0 then ()
+            else rest_ok := false)
+        row;
+      if !rest_ok && !bins <> [] then begin
+        let b = raw.rhs.(i) in
+        let total = List.fold_left (fun s (_, a) -> s +. a) 0.0 !bins in
+        if total > b +. 1e-7 then begin
+          (* Greedy cover: take members most loaded at the LP point
+             first ((1 - x_j)/a_j ascending). *)
+          let sorted =
+            List.sort
+              (fun (j1, a1) (j2, a2) ->
+                compare ((1.0 -. x.(j1)) /. a1) ((1.0 -. x.(j2)) /. a2))
+              !bins
+          in
+          let cover = ref [] and acc = ref 0.0 in
+          (try
+             List.iter
+               (fun (j, a) ->
+                 cover := (j, a) :: !cover;
+                 acc := !acc +. a;
+                 if !acc > b +. 1e-7 then raise Exit)
+               sorted
+           with Exit -> ());
+          if !acc > b +. 1e-7 then begin
+            (* Minimalize: drop members (smallest coefficient first)
+               while what remains still covers. *)
+            let members =
+              List.sort (fun (_, a1) (_, a2) -> compare a1 a2) !cover
+            in
+            let members =
+              List.filter
+                (fun (_, a) ->
+                  if !acc -. a > b +. 1e-7 then begin
+                    acc := !acc -. a;
+                    false
+                  end
+                  else true)
+                members
+            in
+            (* Exact witness check, the condition CERT110 re-derives. *)
+            let qsum =
+              List.fold_left
+                (fun s (_, a) -> Qd.add s (Qd.of_float a))
+                Qd.zero members
+            in
+            if Qd.lt (Qd.of_float b) qsum && List.length members >= 2 then begin
+              let mjs =
+                Array.of_list (List.rev_map (fun (j, _) -> j) members)
+              in
+              Array.sort compare mjs;
+              let k = Array.length mjs in
+              let viol =
+                Array.fold_left (fun s j -> s +. x.(j)) 0.0 mjs
+                -. float_of_int (k - 1)
+              in
+              if viol > viol_eps then
+                out :=
+                  {
+                    Cert.cut_terms = Array.map (fun j -> (j, 1.0)) mjs;
+                    cut_rhs = float_of_int (k - 1);
+                    cut_deriv = Cert.Cover { c_row = i; members = mjs };
+                  }
+                  :: !out
+            end
+          end
+        end
+      end
+    end
+  done;
+  !out
+
+(* ------------------------------------------------------------------ *)
+(* Bounded cut pool                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type entry = { cut : Cert.cut; mutable age : int; mutable active : bool }
+
+type pool = {
+  mutable entries : entry list;
+  seen : (string, unit) Hashtbl.t;  (* duplicate hashing over terms+rhs *)
+  capacity : int;
+  max_age : int;
+  mutable n_applied : int;
+}
+
+let create ?(capacity = 512) ?(max_age = 4) () =
+  { entries = []; seen = Hashtbl.create 64; capacity; max_age; n_applied = 0 }
+
+let key (c : Cert.cut) =
+  let b = Buffer.create 64 in
+  Array.iter
+    (fun (j, v) -> Buffer.add_string b (Printf.sprintf "%d:%h;" j v))
+    c.Cert.cut_terms;
+  Buffer.add_string b (Printf.sprintf "|%h" c.Cert.cut_rhs);
+  Buffer.contents b
+
+let offer p (c : Cert.cut) =
+  let k = key c in
+  if (not (Hashtbl.mem p.seen k)) && List.length p.entries < p.capacity then begin
+    Hashtbl.add p.seen k ();
+    p.entries <- { cut = c; age = 0; active = false } :: p.entries
+  end
+
+let violation (c : Cert.cut) x =
+  Array.fold_left
+    (fun acc (j, v) -> acc +. (v *. x.(j)))
+    (-.c.Cert.cut_rhs) c.Cert.cut_terms
+
+(* Activate the [max_cuts] most violated inactive cuts at [x]; age out
+   inactive entries that keep failing to make the grade. Returns the
+   newly activated cuts in a deterministic (violation, then key) order. *)
+let select p ~x ~max_cuts =
+  let scored =
+    List.filter_map
+      (fun e ->
+        if e.active then None
+        else
+          let v = violation e.cut x in
+          if v > viol_eps then Some (v, e) else None)
+      p.entries
+  in
+  let scored =
+    List.sort
+      (fun (v1, e1) (v2, e2) ->
+        match compare v2 v1 with 0 -> compare (key e1.cut) (key e2.cut) | c -> c)
+      scored
+  in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | (_, e) :: tl ->
+        e.active <- true;
+        e.cut :: take (k - 1) tl
+  in
+  let chosen = take max_cuts scored in
+  p.n_applied <- p.n_applied + List.length chosen;
+  (* Age-out: inactive survivors get older; the stale ones drop (their
+     hash stays in [seen], so they cannot be re-offered). *)
+  p.entries <-
+    List.filter
+      (fun e ->
+        if e.active then true
+        else begin
+          e.age <- e.age + 1;
+          e.age <= p.max_age
+        end)
+      p.entries;
+  chosen
+
+let applied p = p.n_applied
+let pending p = List.length (List.filter (fun e -> not e.active) p.entries)

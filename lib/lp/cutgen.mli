@@ -1,0 +1,63 @@
+(** Root cutting planes: Chvátal–Gomory and knapsack cover separation
+    with a bounded, violation-ranked cut pool (DESIGN.md §3j).
+
+    Every returned cut carries its {!Cert.cut_deriv} and has already
+    been verified here in the exact arithmetic ({!Qd}) that the audit
+    (CERT109/CERT110) re-runs: the tableau only {e suggests} CG
+    multipliers, everything downstream of the citation is recomputed
+    exactly, so a drifted tableau can lose a cut but never emit an
+    invalid one. *)
+
+val cg_cuts :
+  Model.raw ->
+  lb:float array ->
+  ub:float array ->
+  x:float array ->
+  int_tol:float ->
+  multipliers:(int -> float array option) ->
+  Cert.cut list
+(** One Chvátal–Gomory candidate per fractional integer variable of the
+    LP point [x], aggregating with [multipliers j] (the variable's
+    simplex tableau row, {!Simplex.tableau_multipliers}) clamped to the
+    audit's sign cone. [raw] may already contain earlier cut rows — CG
+    derivations then cite them, which is what makes successive rounds
+    strictly stronger. Only candidates violated at [x] by more than the
+    separation tolerance are returned. *)
+
+val cover_cuts :
+  Model.raw ->
+  n_rows:int ->
+  lb:float array ->
+  ub:float array ->
+  x:float array ->
+  Cert.cut list
+(** Minimal knapsack covers greedily separated from the first [n_rows]
+    [<=] rows (the model rows; re-covering cut rows has no gain): for a
+    cover [C] of binaries whose coefficients exceed the rhs,
+    [Σ_{j∈C} x_j <= |C| - 1]. *)
+
+(** {1 Cut pool} *)
+
+type pool
+(** Bounded pool with duplicate hashing (normalized terms + rhs),
+    violation-ranked activation and age-out of candidates that keep
+    missing the activation cut-off. *)
+
+val create : ?capacity:int -> ?max_age:int -> unit -> pool
+(** Defaults: [capacity = 512] stored candidates, [max_age = 4]
+    selection rounds before an inactive candidate is dropped. *)
+
+val offer : pool -> Cert.cut -> unit
+(** Add a candidate; duplicates (by normalized hash) are ignored, as is
+    everything past [capacity]. *)
+
+val select : pool -> x:float array -> max_cuts:int -> Cert.cut list
+(** Activate the (at most) [max_cuts] most-violated inactive candidates
+    at [x], age the rest, and return the newly activated cuts in a
+    deterministic order. Activated cuts are never returned twice. *)
+
+val applied : pool -> int
+(** Total cuts activated over the pool's lifetime. *)
+
+val pending : pool -> int
+(** Inactive candidates currently held. *)

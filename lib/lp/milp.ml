@@ -15,6 +15,9 @@ type stats = {
   recoveries : int;
   stalls : int;
   cpu_s : float;
+  cuts_applied : int;
+  cut_rounds : int;
+  gap_closed_root : float;
 }
 
 type result = {
@@ -49,6 +52,9 @@ let c_fixed_vars = Obs.Counter.get "milp.fixed_vars"
 let c_checkpoints = Obs.Counter.get "milp.checkpoints"
 let c_recoveries = Obs.Counter.get "milp.recoveries"
 let c_stalls = Obs.Counter.get "milp.stalls"
+let c_cuts_applied = Obs.Counter.get "milp.cuts_applied"
+let c_cut_rounds = Obs.Counter.get "milp.cut_rounds"
+let s_gap_closed_root = Obs.Series.get "milp.gap_closed_root"
 let s_incumbents = Obs.Series.get "milp.incumbents"
 let s_gap = Obs.Series.get "milp.exit_gap"
 let s_conv = Obs.Series.get "milp.convergence"
@@ -298,6 +304,17 @@ let domains_from_env () =
       | Some d when d >= 1 -> min d 64
       | _ -> 1)
 
+(* PIPESYN_CUTS toggles the root cutting-plane rounds (default on).
+   Read per solve like PIPESYN_DOMAINS; the [?cuts] argument wins over
+   the environment. *)
+let cuts_from_env () =
+  match Sys.getenv_opt "PIPESYN_CUTS" with
+  | Some s -> (
+      match String.lowercase_ascii (String.trim s) with
+      | "0" | "off" | "false" | "no" -> false
+      | _ -> true)
+  | None -> true
+
 (* Deterministic incumbent tie-breaking: among solutions whose objectives
    agree within the acceptance tolerance, the lexicographically smallest
    solution vector wins. Unlike an exploration-order node id, this key
@@ -365,7 +382,8 @@ let max_worker_deaths = 3
 let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
     ?(gap_tol = 1e-6) ?(int_tol = 1e-6)
     ?(deadline = Resilience.Deadline.none) ?incumbent ?branch_priority
-    ?domains ?(certificates = false) ?checkpoint ?resume ?stall_window model =
+    ?domains ?(certificates = false) ?checkpoint ?resume ?stall_window
+    ?cuts ?presolve model =
   let domains =
     match domains with
     | Some d -> max 1 (min d 64)
@@ -383,15 +401,73 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
      hardest failure the cascade must absorb. *)
   let injected_timeout = Resilience.Fault.fires "milp.timeout" in
   let cold_mode = cold_start_forced () in
-  let raw = Model.to_raw model in
+  let raw_orig = Model.to_raw model in
   (* A checkpoint is pinned to the exact model it was taken from:
      replaying a frontier into a different polytope would silently
-     produce garbage, so a fingerprint mismatch is a caller error. *)
+     produce garbage, so a fingerprint mismatch is a caller error. The
+     fingerprint is over the caller's model, before presolve or cuts:
+     both are recorded in the checkpoint and replayed on resume, so the
+     same source model always matches. *)
   let model_fp =
     match (checkpoint, resume) with
     | None, None -> ""
-    | _ -> Checkpoint.fingerprint raw
+    | _ -> Checkpoint.fingerprint raw_orig
   in
+  let cuts_on =
+    (match cuts with Some b -> b | None -> cuts_from_env ()) && not cold_mode
+  in
+  let presolve_on =
+    (match presolve with Some b -> b | None -> true) && not cold_mode
+  in
+  (* Root presolve: certified bound tightening on the model box. On
+     resume the checkpoint's root box already includes the original
+     run's tightenings (plus fixings), so only the event log is
+     restored — re-tightening would double-apply. *)
+  let presolve_events, raw =
+    match resume with
+    | Some ck -> (ck.Checkpoint.presolve, raw_orig)
+    | None ->
+        if presolve_on && not injected_timeout then begin
+          let lb, ub, evs = Presolve.tighten raw_orig in
+          if evs <> [] then
+            Log.info (fun f ->
+                f "presolve tightened %d bounds" (List.length evs));
+          (evs, { raw_orig with Model.lb; ub })
+        end
+        else ([], raw_orig)
+  in
+  (* The row system nodes actually solve against: the model rows plus
+     every applied cut. Extended by the root cut loop (fresh solves) or
+     rebuilt from the checkpoint's cut log (resume — never
+     re-separated, so node duals keep matching the extended system). *)
+  let extend_raw base cs =
+    if cs = [] then base
+    else
+      {
+        base with
+        Model.rows =
+          Array.append base.Model.rows
+            (Array.of_list (List.map (fun c -> c.Cert.cut_terms) cs));
+        senses =
+          Array.append base.Model.senses
+            (Array.make (List.length cs) Model.Le);
+        rhs =
+          Array.append base.Model.rhs
+            (Array.of_list (List.map (fun c -> c.Cert.cut_rhs) cs));
+      }
+  in
+  let cuts_log =
+    ref (match resume with Some ck -> ck.Checkpoint.cuts | None -> [])
+  in
+  Log.debug (fun f ->
+      f "model: %d cols (%d integer), %d rows"
+        raw.Model.n
+        (Array.fold_left (fun a b -> if b then a + 1 else a) 0 raw.Model.integer)
+        (Array.length raw.Model.rows));
+  let raw_solve = ref (extend_raw raw !cuts_log) in
+  let cut_rounds = ref 0 in
+  let cut_b0 = ref Float.nan in
+  let cut_b1 = ref Float.nan in
   (match resume with
   | Some ck when ck.Checkpoint.fingerprint <> model_fp ->
       invalid_arg "Milp.solve: checkpoint fingerprint does not match the model"
@@ -742,6 +818,8 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
         Array.fold_left (fun acc w -> List.rev_append w.wcerts acc) [] ws;
       fixes = List.rev !fix_log;
       root_duals = !root_duals;
+      presolve = presolve_events;
+      cuts = !cuts_log;
       meta = (match checkpoint with Some s -> s.ck_meta | None -> Obs.Json.Null);
     }
   in
@@ -833,13 +911,16 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
     w.wcur <- node.bounds;
     if cold_mode then
       Simplex.solve ~max_iters:max_lp_iters ~deadline:w.w_dl ~lb:w.wlb
-        ~ub:w.wub raw
+        ~ub:w.wub !raw_solve
     else
       match w.wstate with
       | None ->
+          (* Cold builds read [!raw_solve], the cut-extended system:
+             workers that start after the root cut rounds (and resumed
+             solves) inherit every applied cut. *)
           let r, st =
             Simplex.solve_state ~max_iters:max_lp_iters ~deadline:w.w_dl
-              ~lb:w.wlb ~ub:w.wub raw
+              ~lb:w.wlb ~ub:w.wub !raw_solve
           in
           w.wstate <- Some st;
           r
@@ -1460,6 +1541,116 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
         end)
       wctxs
   in
+  (* -------------------- root cutting planes -------------------------- *)
+  (* Coordinator-only, before the root node is processed: solve the root
+     relaxation once, then alternate separation (Chvátal–Gomory rounds
+     from the warm tableau, knapsack covers from the model rows) with
+     warm dual-simplex resolves. Every accepted cut is appended to
+     [!raw_solve] and logged for the certificate, so the audit can
+     re-derive it exactly and every later cold solver build sees it.
+     The loop leaves its warm state in [w0.wstate]; root processing then
+     resolves it in place (a no-op repair) and captures the post-cut
+     bound and duals over the extended row system. *)
+  let max_cut_rounds = 8 in
+  let max_cuts_per_round = 20 in
+  let root_cut_prep () =
+    if cuts_on && not (budget ()) then begin
+      let r0, st =
+        Simplex.solve_state ~max_iters:max_lp_iters ~deadline:w0.w_dl
+          ~lb:w0.wlb ~ub:w0.wub !raw_solve
+      in
+      w0.w_iters <- w0.w_iters + r0.Simplex.iterations;
+      w0.wstate <- Some st;
+      if r0.Simplex.status = Simplex.Optimal then begin
+        cut_b0 := r0.Simplex.objective;
+        cut_b1 := r0.Simplex.objective;
+        let pool = Cutgen.create () in
+        let cur = ref r0 in
+        let stop = ref false in
+        while
+          (not !stop) && !cut_rounds < max_cut_rounds && not (budget ())
+        do
+          let rawe = !raw_solve in
+          let x = !cur.Simplex.x in
+          List.iter (Cutgen.offer pool)
+            (Cutgen.cg_cuts rawe ~lb:w0.wlb ~ub:w0.wub ~x ~int_tol
+               ~multipliers:(Simplex.tableau_multipliers st));
+          List.iter (Cutgen.offer pool)
+            (Cutgen.cover_cuts rawe ~n_rows:(Array.length raw.Model.rows)
+               ~lb:w0.wlb ~ub:w0.wub ~x);
+          match Cutgen.select pool ~x ~max_cuts:max_cuts_per_round with
+          | [] -> stop := true
+          | chosen ->
+              Simplex.add_rows st
+                (Array.of_list
+                   (List.map
+                      (fun c -> (c.Cert.cut_terms, c.Cert.cut_rhs))
+                      chosen));
+              raw_solve := extend_raw rawe chosen;
+              cuts_log := !cuts_log @ chosen;
+              incr cut_rounds;
+              let r =
+                Simplex.resolve ~max_iters:max_lp_iters ~deadline:w0.w_dl
+                  ~lb:w0.wlb ~ub:w0.wub st
+              in
+              w0.w_iters <- w0.w_iters + r.Simplex.iterations;
+              (match r.Simplex.status with
+              | Simplex.Optimal ->
+                  let prev = !cut_b1 in
+                  cut_b1 := r.Simplex.objective;
+                  cur := r;
+                  if Obs.Trace.enabled () then
+                    Obs.Trace.instant ~cat:"milp" "milp.cut_round"
+                      ~args:
+                        [
+                          ("round", Obs.Json.Int !cut_rounds);
+                          ("added", Obs.Json.Int (List.length chosen));
+                          ("pool", Obs.Json.Int (Cutgen.pending pool));
+                          ("bound0", Obs.Json.Float !cut_b0);
+                          ("bound", Obs.Json.Float r.Simplex.objective);
+                        ];
+                  (* Diminishing returns: a round that moves the bound by
+                     less than a relative 1e-9 will not close the tree
+                     any faster — stop separating (a second batch of
+                     stalled cuts measurably slows every node LP for
+                     nothing). *)
+                  if
+                    r.Simplex.objective -. prev
+                    <= 1e-9 *. (1.0 +. Float.abs prev)
+                  then stop := true
+              | _ ->
+                  (* Iteration/time limit mid-resolve: keep the cuts (they
+                     are valid regardless) and let node processing deal
+                     with the unfinished LP. *)
+                  stop := true)
+        done;
+        (* Cuts pay rent only if they moved the root bound: every cut
+           row slows every node LP in the tree (and perturbs the node
+           ordering), so a separation pass that failed to lift the
+           bound is discarded wholesale — the tree then solves the
+           original system with an untouched warm root. *)
+        if
+          !cuts_log <> []
+          && !cut_b1 -. !cut_b0 <= 1e-9 *. (1.0 +. Float.abs !cut_b0)
+        then begin
+          Log.info (fun f ->
+              f "root cuts: %d separated in %d rounds left the bound at \
+                 %.6g — discarded"
+                (List.length !cuts_log) !cut_rounds !cut_b0);
+          cuts_log := [];
+          raw_solve := raw;
+          cut_rounds := 0;
+          cut_b0 := Float.nan;
+          cut_b1 := Float.nan;
+          w0.wstate <- None
+        end
+        else if !cuts_log <> [] then
+          Log.info (fun f ->
+              f "root cuts: %d applied in %d rounds, bound %.6g -> %.6g"
+                (List.length !cuts_log) !cut_rounds !cut_b0 !cut_b1)
+      end
+    end
+  in
   (* -------------------- root + engine dispatch ----------------------- *)
   let run_engines () =
     (match resume with
@@ -1490,6 +1681,7 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
         in
         if budget () then budget_hit := true
         else begin
+          root_cut_prep ();
           (* Root: always processed by the coordinator alone, so
              reduced-cost fixing mutates the root arrays before any
              worker copies them — under the same supervision (bounded
@@ -1608,6 +1800,21 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
       recoveries = !n_recoveries;
       stalls = Atomic.get n_stalls;
       cpu_s = Obs.Clock.cpu () -. cpu0;
+      cuts_applied = List.length !cuts_log;
+      cut_rounds = !cut_rounds;
+      gap_closed_root =
+        (* Fraction of the root gap the cut rounds closed:
+           (post-cut bound - pre-cut bound) / (best - pre-cut bound),
+           clamped to [0, 1]. NaN when unavailable: cuts off, no
+           incumbent, resumed solve (the pre-cut bound was not
+           checkpointed), or a degenerate zero root gap. *)
+        (let b0 = !cut_b0 and b1 = !cut_b1 in
+         if Float.is_nan b0 || Float.is_nan b1 || not (Float.is_finite best)
+         then Float.nan
+         else
+           let denom = best -. b0 in
+           if denom <= 1e-12 *. (1.0 +. Float.abs best) then Float.nan
+           else Float.max 0.0 (Float.min 1.0 ((b1 -. b0) /. denom)));
     }
   in
   Obs.Counter.incr ~by:stats.nodes c_nodes;
@@ -1617,6 +1824,10 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
   Obs.Counter.incr ~by:stats.checkpoints c_checkpoints;
   Obs.Counter.incr ~by:stats.recoveries c_recoveries;
   Obs.Counter.incr ~by:stats.stalls c_stalls;
+  Obs.Counter.incr ~by:stats.cuts_applied c_cuts_applied;
+  Obs.Counter.incr ~by:stats.cut_rounds c_cut_rounds;
+  if not (Float.is_nan stats.gap_closed_root) then
+    Obs.Series.add s_gap_closed_root ~x:stats.elapsed ~y:stats.gap_closed_root;
   Obs.Series.add s_gap ~x:stats.elapsed ~y:stats.gap;
   let mk_cert cstatus =
     if not certs_on then None
@@ -1629,6 +1840,8 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
           incumbents = List.rev !inc_log;
           root_lb = !cert_root_lb;
           root_ub = !cert_root_ub;
+          presolve = presolve_events;
+          cuts = !cuts_log;
           fixes = List.rev !fix_log;
           root_duals = !root_duals;
           root_obj = !root_bound;
@@ -1689,6 +1902,11 @@ let pp_stats ppf s =
     s.elapsed (100.0 *. s.gap);
   if s.domains > 1 then Fmt.pf ppf ", %d domains" s.domains;
   if s.warm_hits > 0 then Fmt.pf ppf ", %d warm" s.warm_hits;
+  if s.cuts_applied > 0 then
+    Fmt.pf ppf ", %d cut%s/%d round%s" s.cuts_applied
+      (if s.cuts_applied = 1 then "" else "s")
+      s.cut_rounds
+      (if s.cut_rounds = 1 then "" else "s");
   if s.fixed_vars > 0 then Fmt.pf ppf ", %d fixed" s.fixed_vars;
   if s.checkpoints > 0 then
     Fmt.pf ppf ", %d checkpoint%s" s.checkpoints

@@ -66,6 +66,17 @@ type stats = {
       (** process CPU seconds consumed by this solve ({!Obs.Clock.cpu});
           under [domains] > 1 this exceeds [elapsed] — the budget runs
           on the wall clock, CPU time is kept as a separate metric *)
+  cuts_applied : int;
+      (** cutting planes active in the solved system — separated this run
+          or re-installed from a resumed checkpoint *)
+  cut_rounds : int;
+      (** separation rounds run at the root this run (0 on resume: cuts
+          are replayed, never re-separated) *)
+  gap_closed_root : float;
+      (** fraction of the root gap closed by the cut rounds,
+          [(post-cut bound - pre-cut bound) / (incumbent - pre-cut
+          bound)], clamped to \[0, 1\]; [nan] when unavailable (cuts
+          off, no incumbent, resumed solve, or zero root gap) *)
 }
 
 type result = {
@@ -111,6 +122,8 @@ val solve :
   ?checkpoint:checkpoint_sink ->
   ?resume:Checkpoint.t ->
   ?stall_window:float ->
+  ?cuts:bool ->
+  ?presolve:bool ->
   Model.t ->
   result
 (** Defaults: [time_limit = 60.] s, [node_limit = 200_000],
@@ -132,6 +145,36 @@ val solve :
     Setting the [PIPESYN_COLD_START] environment variable (non-empty)
     disables all of this — cold per-node solves and most-fractional
     branching — for A/B comparison.
+
+    {2 Presolve and root cutting planes}
+
+    Before the root LP, certified bound tightening ({!Presolve.tighten})
+    shrinks the variable box: integrality rounding plus activity-based
+    tightening, each event exact-verified at generation time and
+    recorded in the certificate for the audit's CERT111 replay.
+    [presolve] (default [true]) disables it when [false].
+
+    After presolve and before the root node is branched, up to 8 rounds
+    of root cutting planes run: Chvátal–Gomory cuts derived from the
+    warm simplex tableau's aggregation multipliers and knapsack cover
+    cuts from the model's [<=] rows over binaries, filtered through a
+    bounded, violation-ranked pool ({!Cutgen}) and applied at most 20
+    per round via {!Simplex.add_rows} (warm dual-simplex resolves in
+    between). Every applied cut carries its derivation in the
+    certificate ([Cert.cuts]) and is re-verified by the audit in exact
+    rational arithmetic (CERT109/CERT110) — an invalid cut can never
+    silently tighten the claimed bound. Cuts strengthen the relaxation
+    bound but never exclude an integer-feasible point, so status,
+    objective and incumbent are unchanged by the cuts-on/off toggle on
+    exhaustively solved models (property-tested in [test/test_fuzz.ml]).
+    [cuts] (default: on unless the [PIPESYN_CUTS] environment variable
+    is ["0"]/["off"]/["false"]/["no"]) disables the rounds when
+    [false]; under [PIPESYN_COLD_START] both presolve and cuts are off
+    (they live in the warm-start machinery). Each round emits a
+    ["milp.cut_round"] trace instant (round, cuts added, pool size,
+    post-round bound). A resumed solve re-installs the checkpoint's cut
+    rows verbatim and never re-separates, so node duals keep matching
+    the extended row system.
 
     [domains] (default: [PIPESYN_DOMAINS], else 1; clamped to
     \[1, 64\]) selects how many OCaml 5 domains explore the tree. With

@@ -1,0 +1,47 @@
+(** Exact dyadic-rational arithmetic for the certificate audit
+    ({!Audit}, DESIGN.md §3h).
+
+    Doubles are dyadic rationals [m·2^e]; the audit only needs ring
+    operations (sums of products) and comparisons on them, so this
+    representation — an arbitrary-precision sign-magnitude mantissa plus
+    a binary exponent — is exact and closed under every operation the
+    checker performs. There is deliberately no division: the whole audit
+    is phrased to avoid it, which is what lets the module stay
+    self-contained (no external bignum dependency). *)
+
+type t
+
+val zero : t
+val of_int : int -> t
+
+val of_float : float -> t
+(** Exact conversion — no rounding.
+    @raise Invalid_argument on NaN or infinity (callers handle infinite
+    bounds structurally, not numerically). *)
+
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val sign : t -> int
+(** [-1], [0] or [+1]. *)
+
+val is_zero : t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val min : t -> t -> t
+val lt : t -> t -> bool
+val leq : t -> t -> bool
+val geq : t -> t -> bool
+
+val is_integer : t -> bool
+(** Exact integrality test — zero tolerance. *)
+
+val to_float : t -> float
+(** Nearest-ish double, for diagnostics messages only (not exact). *)
+
+val sum : int -> (int -> t) -> t
+(** [sum n f] is [f 0 + ... + f (n-1)], exactly. *)
+
+val pp : t Fmt.t

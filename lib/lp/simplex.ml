@@ -523,7 +523,9 @@ let solve ?(max_iters = 50_000) ?(deadline = Resilience.Deadline.none) ?lb ?ub
 (* ------------------------------------------------------------------ *)
 
 type state = {
-  raw : Model.raw;
+  mutable raw : Model.raw;
+      (** the solved system; {!add_rows} extends it in place with cut
+          rows so warm restarts keep covering the extended polytope *)
   mutable base_lb : float array;
       (** shift origin of the tableau; [x_j = base_lb.(j) + value j] *)
   mutable t : tab option;  (** [None] only when the build found crossed bounds *)
@@ -704,3 +706,113 @@ let duals st =
   | Some t -> Some (row_multipliers t)
 
 let last_infeasibility st = st.infeas
+
+(* Aggregation multipliers reproducing the tableau row of a basic
+   structural column: row [r] of the reduced tableau satisfies
+   [T_r = Σ_i λ_i · (original row i)] on the structural columns with
+   [λ_i = sign_i · T_r(slack_i)] — the build-time artificial flip shows
+   up in both the slack entry and B⁻¹ and cancels, exactly as in
+   {!row_multipliers}. Consumed by {!Cutgen} as the *suggestion* for a
+   Chvátal–Gomory derivation; everything downstream is recomputed
+   exactly from the returned vector. *)
+let tableau_multipliers st j =
+  match st.t with
+  | None -> None
+  | Some t -> (
+      if j < 0 || j >= t.n then None
+      else
+        match t.stat.(j) with
+        | Basic r ->
+            Some (Array.init t.m (fun i -> t.sign.(i) *. t.a.(r).(t.n + i)))
+        | At_lower | At_upper -> None)
+
+(* Append [<=] rows (cuts) to the solved system without losing the warm
+   basis. The extended tableau keeps every old column at its index —
+   structural then one slack per old row — drops the artificial columns
+   (all locked at zero after phase 2), and gives each new row its own
+   slack, entered basic after reducing the row against the current
+   basis. Reduced costs are untouched (the new basic slacks cost 0), so
+   a dual-feasible basis stays dual feasible and the next {!resolve}
+   warm-repairs the (intentionally) violated new rows with a few dual
+   pivots. A basic artificial — possible only on a degenerate phase-1
+   exit — forfeits the tableau instead; the next {!resolve} then
+   rebuilds cold over the extended system. *)
+let add_rows st (new_rows : ((int * float) array * float) array) =
+  let k = Array.length new_rows in
+  if k > 0 then begin
+    let raw = st.raw in
+    st.raw <-
+      {
+        raw with
+        rows = Array.append raw.rows (Array.map fst new_rows);
+        senses = Array.append raw.senses (Array.make k Model.Le);
+        rhs = Array.append raw.rhs (Array.map snd new_rows);
+      };
+    match st.t with
+    | None -> ()
+    | Some t ->
+        if Array.exists (fun b -> b >= t.n + t.m) t.basis then begin
+          st.t <- None;
+          st.warm_ok <- false
+        end
+        else begin
+          let n = t.n and m = t.m in
+          let m' = m + k in
+          let cols' = n + m' in
+          let a' =
+            Array.init m' (fun i ->
+                let row = Array.make cols' 0.0 in
+                if i < m then Array.blit t.a.(i) 0 row 0 (n + m);
+                row)
+          in
+          let b' = Array.make m' 0.0 in
+          Array.blit t.b 0 b' 0 m;
+          let grow dflt src =
+            let dst = Array.make cols' dflt in
+            Array.blit src 0 dst 0 (n + m);
+            dst
+          in
+          let lo' = grow 0.0 t.lo and hi' = grow infinity t.hi in
+          let cost' = grow 0.0 t.cost and z' = grow 0.0 t.z in
+          let stat' = Array.make cols' At_lower in
+          Array.blit t.stat 0 stat' 0 (n + m);
+          let basis' = Array.make m' 0 in
+          Array.blit t.basis 0 basis' 0 m;
+          let sign' = Array.make m' 1.0 in
+          Array.blit t.sign 0 sign' 0 m;
+          Array.iteri
+            (fun p (terms, rhs) ->
+              let r = m + p in
+              let row = a'.(r) in
+              Array.iter (fun (j, c) -> row.(j) <- row.(j) +. c) terms;
+              row.(n + r) <- 1.0;
+              let bshift = ref rhs in
+              Array.iter
+                (fun (j, c) -> bshift := !bshift -. (c *. st.base_lb.(j)))
+                terms;
+              (* reduce against the inherited basis so the tableau stays
+                 row-reduced; new-row slacks never appear in old rows *)
+              for i = 0 to m - 1 do
+                let f = row.(basis'.(i)) in
+                if f <> 0.0 then begin
+                  let src = a'.(i) in
+                  for c = 0 to cols' - 1 do
+                    row.(c) <- row.(c) -. (f *. src.(c))
+                  done;
+                  row.(basis'.(i)) <- 0.0;
+                  bshift := !bshift -. (f *. b'.(i))
+                end
+              done;
+              b'.(r) <- !bshift;
+              basis'.(r) <- n + r;
+              stat'.(n + r) <- Basic r)
+            new_rows;
+          let t' =
+            { m = m'; n; cols = cols'; a = a'; b = b'
+            ; beta = Array.make m' 0.0; lo = lo'; hi = hi'; cost = cost'
+            ; z = z'; stat = stat'; basis = basis'; sign = sign' }
+          in
+          recompute_beta t';
+          st.t <- Some t'
+        end
+  end

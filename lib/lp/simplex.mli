@@ -124,6 +124,27 @@ val duals : state -> float array option
     and equals its optimum up to float drift. [None] when the state was
     built from crossed bounds and holds no tableau. *)
 
+val tableau_multipliers : state -> int -> float array option
+(** [tableau_multipliers st j] returns, for a structural column [j] that
+    is basic in the current tableau, the aggregation multipliers [λ]
+    (one per row of the state's system, including any rows added with
+    {!add_rows}) such that [Σ_i λ_i · row_i] reproduces [j]'s tableau
+    row on the structural columns. This is the suggestion {!Cutgen}
+    turns into a Chvátal–Gomory derivation — only a suggestion: cut
+    generation recomputes the aggregation exactly from [λ] and the
+    original rows. [None] when [j] is nonbasic or the state holds no
+    tableau. *)
+
+val add_rows : state -> ((int * float) array * float) array -> unit
+(** [add_rows st rows] appends [<=] rows (cutting planes, as
+    [(sparse terms, rhs)]) to the state's system in place. The warm
+    basis is preserved: each new row's slack enters basic after the row
+    is reduced against the inherited basis, reduced costs are untouched,
+    and the next {!resolve} repairs the newly violated rows with a short
+    dual-simplex walk instead of re-solving from scratch. Subsequent
+    {!duals} / {!last_infeasibility} vectors cover the extended row set
+    (model rows first, added rows in call order). *)
+
 val last_infeasibility : state -> Cert.farkas option
 (** Evidence for the most recent [Infeasible] outcome of {!solve_state} /
     {!resolve}: a Farkas ray (phase-1 dual or the violated row of B⁻¹

@@ -781,6 +781,13 @@ module Trace = struct
 
     type gap_point = { gp_ts : float; gp_obj : float; gp_gap : float }
 
+    type cut_stats = {
+      cu_rounds : int;  (** root separation rounds recorded *)
+      cu_cuts : int;  (** cuts applied across all rounds *)
+      cu_bound0 : float;  (** root LP bound before any cuts; nan if absent *)
+      cu_bound : float;  (** bound after the last recorded round *)
+    }
+
     type report = {
       r_events : int;
       r_spans : int;
@@ -790,6 +797,9 @@ module Trace = struct
       r_slowest : slow_span list;  (** top slowest spans, descending *)
       r_tree : tree_stats option;
       r_timeline : gap_point list;
+      r_cuts : cut_stats option;
+          (** from ["milp.cut_round"] instants; [None] for traces
+              recorded before cuts existed (pre-v8) or cuts-off runs *)
     }
 
     let max_errors = 50
@@ -829,6 +839,10 @@ module Trace = struct
           let statuses : (string, int) Hashtbl.t = Hashtbl.create 8 in
           let domains : (int, int) Hashtbl.t = Hashtbl.create 8 in
           let timeline = ref [] in
+          let cu_rounds = ref 0 in
+          let cu_cuts = ref 0 in
+          let cu_bound0 = ref Float.nan in
+          let cu_bound = ref Float.nan in
           List.iteri
             (fun i ev ->
               let str k =
@@ -921,6 +935,12 @@ module Trace = struct
                           gp_gap = num (arg "gap");
                         }
                         :: !timeline
+                  | "milp.cut_round" ->
+                      incr cu_rounds;
+                      cu_cuts := !cu_cuts + inum 0 (arg "added");
+                      if Float.is_nan !cu_bound0 then
+                        cu_bound0 := num (arg "bound0");
+                      cu_bound := num (arg "bound")
                   | _ -> ())
               | Some _ -> () (* M, X, … metadata: tolerated, uncounted *)
               | None -> error "event %d (%s): missing ph" i name)
@@ -966,6 +986,16 @@ module Trace = struct
               r_slowest = slowest;
               r_tree = tree;
               r_timeline = List.rev !timeline;
+              r_cuts =
+                (if !cu_rounds = 0 then None
+                 else
+                   Some
+                     {
+                       cu_rounds = !cu_rounds;
+                       cu_cuts = !cu_cuts;
+                       cu_bound0 = !cu_bound0;
+                       cu_bound = !cu_bound;
+                     });
             }
       | Some _ -> Error "\"traceEvents\" is not a list"
   end
@@ -998,9 +1028,19 @@ module Metrics = struct
     cert_nodes : int;
         (** nodes recorded in the solve's proof-carrying certificate;
             0 when the solve carried none *)
-    audit_errors : int;
+    audit_errors : int option;
         (** error findings from the exact-rational certificate audit;
-            -1 when the audit did not run *)
+            [None] (serialized as JSON null) when the audit did not run —
+            pre-v8 files encoded that as the sentinel -1, which
+            {!of_json} still maps back to [None] *)
+    milp_cuts : int;
+        (** cutting planes active in the MILP solve (root separation or
+            re-installed on resume); 0 for heuristic flows or cuts-off
+            runs *)
+    gap_closed_root : float;
+        (** fraction of the root gap closed by the cut rounds; nan when
+            not applicable (heuristic flow, cuts off, no incumbent,
+            resumed solve) *)
     checkpoints : int;
         (** frontier snapshots written during the solve; 0 when
             checkpointing was off *)
@@ -1014,7 +1054,7 @@ module Metrics = struct
     degradation : Json.t list;
   }
 
-  let schema_version = 7
+  let schema_version = 8
 
   let to_json m =
     Json.Obj
@@ -1034,7 +1074,10 @@ module Metrics = struct
         ("domains", Json.Int m.domains);
         ("nodes_per_s", Json.Float m.nodes_per_s);
         ("cert_nodes", Json.Int m.cert_nodes);
-        ("audit_errors", Json.Int m.audit_errors);
+        ( "audit_errors",
+          match m.audit_errors with Some e -> Json.Int e | None -> Json.Null );
+        ("milp_cuts", Json.Int m.milp_cuts);
+        ("gap_closed_root", Json.Float m.gap_closed_root);
         ("checkpoints", Json.Int m.checkpoints);
         ("recoveries", Json.Int m.recoveries);
         ("stalls", Json.Int m.stalls);
@@ -1090,7 +1133,21 @@ module Metrics = struct
       match Json.member "cert_nodes" j with Some (Json.Int i) -> i | _ -> 0
     in
     let audit_errors =
-      match Json.member "audit_errors" j with Some (Json.Int i) -> i | _ -> -1
+      (* v8 writes null for "did not run"; v6/v7 wrote the sentinel -1;
+         older files omit the field entirely — all map to None *)
+      match Json.member "audit_errors" j with
+      | Some (Json.Int i) when i >= 0 -> Some i
+      | _ -> None
+    in
+    (* Absent in schema v1–v7 files. *)
+    let milp_cuts =
+      match Json.member "milp_cuts" j with Some (Json.Int i) -> i | _ -> 0
+    in
+    let gap_closed_root =
+      match Json.member "gap_closed_root" j with
+      | Some (Json.Float f) -> f
+      | Some (Json.Int i) -> float_of_int i
+      | _ -> Float.nan
     in
     (* Absent in schema v1–v6 files. *)
     let int_opt k =
@@ -1125,6 +1182,8 @@ module Metrics = struct
         nodes_per_s;
         cert_nodes;
         audit_errors;
+        milp_cuts;
+        gap_closed_root;
         checkpoints;
         recoveries;
         stalls;

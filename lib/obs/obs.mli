@@ -340,6 +340,13 @@ module Trace : sig
       gp_gap : float;  (** relative incumbent/bound gap; nan if unknown *)
     }
 
+    type cut_stats = {
+      cu_rounds : int;  (** root separation rounds (["milp.cut_round"]) *)
+      cu_cuts : int;  (** cuts applied across all rounds *)
+      cu_bound0 : float;  (** root LP bound before any cuts; nan if absent *)
+      cu_bound : float;  (** bound after the last recorded round *)
+    }
+
     type report = {
       r_events : int;
       r_spans : int;
@@ -352,6 +359,9 @@ module Trace : sig
       r_slowest : slow_span list;  (** top-[top] spans by duration *)
       r_tree : tree_stats option;  (** [None] if no ["milp.node"] events *)
       r_timeline : gap_point list;  (** incumbent updates in trace order *)
+      r_cuts : cut_stats option;
+          (** [None] when the trace has no ["milp.cut_round"] instants —
+              pre-v8 traces, heuristic flows, or cuts-off runs *)
     }
 
     val analyze : ?top:int -> Json.t -> (report, string) result
@@ -401,10 +411,22 @@ module Metrics : sig
         (** node count of the solve's proof-carrying certificate
             ({!Lp.Cert.t}); 0 when the solve carried none — heuristic
             flows, certificates off, or cold-start mode (schema v6) *)
-    audit_errors : int;
+    audit_errors : int option;
         (** error findings from the exact-rational certificate audit
-            ([Analyze.Audit]); -1 when the audit did not run
-            (schema v6; the CI audit gate requires 0 here) *)
+            ([Analyze.Audit]); [None] when the audit did not run —
+            serialized as JSON [null] since schema v8 (v6/v7 wrote the
+            sentinel -1, which reads back as [None]; the CI audit gate
+            requires [Some 0] here) *)
+    milp_cuts : int;
+        (** cutting planes active in the MILP solve
+            ([Milp.stats.cuts_applied]): root-separated this run or
+            re-installed from a resumed checkpoint; 0 for heuristic
+            flows or cuts-off runs (schema v8) *)
+    gap_closed_root : float;
+        (** fraction of the root gap closed by the root cut rounds
+            ([Milp.stats.gap_closed_root]); nan when not applicable —
+            heuristic flow, cuts off, no incumbent, or resumed solve
+            (schema v8) *)
     checkpoints : int;
         (** frontier snapshots written during the solve
             ([Milp.stats.checkpoints]); 0 when checkpointing was off
@@ -440,7 +462,9 @@ module Metrics : sig
       [cert_nodes]/[audit_errors] for the proof-carrying certificate
       audit; 7 = adds per-result [checkpoints]/[recoveries]/[stalls] for
       solve supervision, and switches every timestamp from CPU seconds
-      to the monotonic wall clock. *)
+      to the monotonic wall clock; 8 = adds per-result
+      [milp_cuts]/[gap_closed_root] for the root cutting planes, and
+      replaces the [audit_errors] -1 sentinel with JSON [null]. *)
 
   val to_json : t -> Json.t
   (** One flat object: [{"name": …, "method": …, "lut": …, "ff": …,

@@ -249,10 +249,10 @@ let test_registry_audit () =
                     Alcotest.failf "%s @ %d domains: audit found errors:@.%a"
                       e.name d Analyze.Diag.pp_report
                       (Analyze.Diag.errors diags);
-                  Alcotest.(check int)
+                  Alcotest.(check (option int))
                     (Printf.sprintf "%s @ %d domains: metrics.audit_errors"
                        e.name d)
-                    0 r.Mams.Flow.metrics.Obs.Metrics.audit_errors))
+                    (Some 0) r.Mams.Flow.metrics.Obs.Metrics.audit_errors))
         [ 1; 4 ])
     Benchmarks.Registry.all
 
@@ -406,6 +406,77 @@ let test_corrupt_farkas () =
   | s, _ ->
       Alcotest.failf "infeasible model solved to %a" Lp.Milp.pp_status s
 
+(* --- negative audits: corrupted cut and tightening evidence ---------- *)
+
+(* The reference knapsack row is weights = (5, 6, 3, 4, 2, 5) <= 12 over
+   binaries. Hand-derive evidence against it so the corruptions are
+   exactly one step away from valid. *)
+
+(* CG from lambda = 0.5 on row 0: exact aggregation (2.5, 3, 1.5, 2, 1,
+   2.5) <= 6; flooring each coefficient charges the change to the lower
+   bound 0, so (2, 3, 1, 2, 1, 2) <= 6 passes the CERT109 replay. *)
+let hand_cg_cut rhs : Lp.Cert.cut =
+  {
+    Lp.Cert.cut_terms =
+      [| (0, 2.0); (1, 3.0); (2, 1.0); (3, 2.0); (4, 1.0); (5, 2.0) |];
+    cut_rhs = rhs;
+    cut_deriv = Lp.Cert.Cg [| (0, 0.5) |];
+  }
+
+(* Members {0, 1, 2} weigh 5 + 6 + 3 = 14 > 12: a genuine cover, so
+   x0 + x1 + x2 <= 2 passes the CERT110 replay. *)
+let hand_cover_cut ?(members = [| 0; 1; 2 |]) rhs : Lp.Cert.cut =
+  {
+    Lp.Cert.cut_terms = Array.map (fun j -> (j, 1.0)) members;
+    cut_rhs = rhs;
+    cut_deriv = Lp.Cert.Cover { c_row = 0; members };
+  }
+
+(* Swap in a hand-built cut list and collect only the cut/tighten codes:
+   the solver's node duals were recorded over the unextended row system,
+   so folding extra cut rows in legitimately perturbs the node checks —
+   those codes are not under test here. *)
+let cut_codes cuts =
+  let raw, cert = Lazy.force solved_knapsack in
+  let diags = Analyze.Audit.check raw { cert with Lp.Cert.cuts } in
+  List.filter (fun c -> c = "CERT109" || c = "CERT110") (codes diags)
+
+let test_cut_cg_validity () =
+  Alcotest.(check (list string)) "valid CG derivation accepted" []
+    (cut_codes [ hand_cg_cut 6.0 ]);
+  (* rounding the rhs below the exact aggregation claims a tighter
+     inequality than Chvatal-Gomory yields *)
+  Alcotest.(check (list string)) "over-rounded rhs rejected" [ "CERT109" ]
+    (cut_codes [ hand_cg_cut 5.0 ]);
+  (* inflating a coefficient makes the deviation charge positive:
+     2 -> 4 on x0 shifts t' to 6 + 1.5 = 7.5 > rhs 6 *)
+  let inflated = hand_cg_cut 6.0 in
+  let terms = Array.copy inflated.Lp.Cert.cut_terms in
+  terms.(0) <- (0, 4.0);
+  Alcotest.(check (list string)) "inflated coefficient rejected" [ "CERT109" ]
+    (cut_codes [ { inflated with Lp.Cert.cut_terms = terms } ])
+
+let test_cut_cover_validity () =
+  Alcotest.(check (list string)) "valid cover accepted" []
+    (cut_codes [ hand_cover_cut 2.0 ]);
+  (* rhs must be exactly |members| - 1 *)
+  Alcotest.(check (list string)) "tightened cover rhs rejected" [ "CERT110" ]
+    (cut_codes [ hand_cover_cut 1.0 ]);
+  (* members {2, 4} weigh 3 + 2 = 5 <= 12: not a cover at all *)
+  Alcotest.(check (list string)) "non-cover members rejected" [ "CERT110" ]
+    (cut_codes [ hand_cover_cut ~members:[| 2; 4 |] 1.0 ])
+
+let test_corrupt_tighten () =
+  expect_clean_reference ();
+  let raw, cert = Lazy.force solved_knapsack in
+  (* fabricate a tightening the knapsack row cannot imply: x0 <= 0
+     claims item 0 never fits, but weight 5 <= rhs 12 *)
+  let bogus =
+    { Lp.Cert.t_var = 0; t_hi = true; t_new = 0.0; t_row = 0 }
+  in
+  expect_code "fabricated tightening" "CERT111"
+    (Analyze.Audit.check raw { cert with Lp.Cert.presolve = [ bogus ] })
+
 let test_missing_certificate () =
   let m = knapsack () in
   let r = Lp.Milp.solve ~time_limit:30.0 m in
@@ -449,5 +520,11 @@ let () =
           Alcotest.test_case "corrupted Farkas -> CERT104" `Quick test_corrupt_farkas;
           Alcotest.test_case "missing certificate -> CERT101" `Quick
             test_missing_certificate;
+          Alcotest.test_case "cut CG validity -> CERT109" `Quick
+            test_cut_cg_validity;
+          Alcotest.test_case "cut cover validity -> CERT110" `Quick
+            test_cut_cover_validity;
+          Alcotest.test_case "fabricated tightening -> CERT111" `Quick
+            test_corrupt_tighten;
         ] );
     ]

@@ -250,6 +250,144 @@ let flows_verify_and_match =
         (fun m -> check_flow g m)
         [ Mams.Flow.Hls_tool; Mams.Flow.Sdc_tool; Mams.Flow.Map_heuristic ])
 
+(* --- cut-validity oracle over random MILPs --------------------------- *)
+
+(* Seeded random 0/1 knapsack-style MILPs, small enough to brute-force.
+   Returns the model builder (fresh model per call: a solve consumes it)
+   plus the raw coefficient data for enumeration. *)
+let random_milp seed =
+  let rng = ref ((seed * 2 + 1) land max_int) in
+  let rand bound =
+    let x = !rng in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    rng := x land max_int;
+    !rng mod max 1 bound
+  in
+  let n = 4 + rand 5 in
+  let n_rows = 2 + rand 3 in
+  let rows =
+    Array.init n_rows (fun _ ->
+        let coeffs = Array.init n (fun _ -> float_of_int (1 + rand 5)) in
+        let total = Array.fold_left ( +. ) 0.0 coeffs in
+        (* roughly half the total: tight enough to branch, loose enough
+           to stay feasible *)
+        let rhs = Float.of_int (1 + rand (int_of_float total)) in
+        (coeffs, rhs))
+  in
+  let obj = Array.init n (fun _ -> -.float_of_int (1 + rand 9)) in
+  let build () =
+    let m = Lp.Model.create () in
+    let xs =
+      Array.init n (fun i -> Lp.Model.bool_var m (Printf.sprintf "x%d" i))
+    in
+    Array.iter
+      (fun (coeffs, rhs) ->
+        Lp.Model.add_le m
+          (Array.to_list (Array.mapi (fun i x -> (coeffs.(i), x)) xs))
+          rhs)
+      rows;
+    Lp.Model.set_objective m
+      (Array.to_list (Array.mapi (fun i x -> (obj.(i), x)) xs));
+    m
+  in
+  (build, n, rows, obj)
+
+(* Enumerate all feasible 0/1 points; [None] when none exists. *)
+let brute_force n rows obj =
+  let best = ref None in
+  let feasible = ref [] in
+  for mask = 0 to (1 lsl n) - 1 do
+    let x = Array.init n (fun j -> float_of_int ((mask lsr j) land 1)) in
+    let ok =
+      Array.for_all
+        (fun (coeffs, rhs) ->
+          let a = ref 0.0 in
+          Array.iteri (fun j c -> a := !a +. (c *. x.(j))) coeffs;
+          !a <= rhs +. 1e-9)
+        rows
+    in
+    if ok then begin
+      feasible := x :: !feasible;
+      let v = ref 0.0 in
+      Array.iteri (fun j c -> v := !v +. (c *. x.(j))) obj;
+      match !best with
+      | Some (bv, _) when bv <= !v -> ()
+      | _ -> best := Some (!v, x)
+    end
+  done;
+  (!best, !feasible)
+
+(* The oracle: root cutting planes must be invisible to results — same
+   status and objective as the cuts-off solve at 1 and 4 domains — and
+   every applied cut must be valid, i.e. exclude no feasible integer
+   point (checked against the full brute-force enumeration, which is
+   stronger than only checking the optimum). *)
+let milp_cuts_are_valid =
+  QCheck.Test.make ~name:"random MILPs: cuts invisible to results, exclude no feasible point"
+    ~count:40
+    QCheck.(make Gen.(int_bound 100_000))
+    (fun seed ->
+      let build, n, rows, obj = random_milp seed in
+      let best, feasible = brute_force n rows obj in
+      let base = Lp.Milp.solve ~time_limit:30.0 ~cuts:false (build ()) in
+      (match (best, base.Lp.Milp.status) with
+      | Some (bv, _), Lp.Milp.Optimal ->
+          if Float.abs (bv -. base.Lp.Milp.objective) > 1e-6 then
+            QCheck.Test.fail_reportf
+              "cuts-off solve found %g, brute force %g"
+              base.Lp.Milp.objective bv
+      | Some _, s ->
+          QCheck.Test.fail_reportf "cuts-off solve: %a" Lp.Milp.pp_status s
+      | None, Lp.Milp.Infeasible -> ()
+      | None, s ->
+          QCheck.Test.fail_reportf
+            "infeasible instance solved to %a" Lp.Milp.pp_status s);
+      List.for_all
+        (fun domains ->
+          let r =
+            Lp.Milp.solve ~time_limit:30.0 ~cuts:true ~certificates:true
+              ~domains (build ())
+          in
+          if
+            Lp.Milp.(
+              match (base.status, r.status) with
+              | Optimal, Optimal | Infeasible, Infeasible -> false
+              | a, b -> a <> b)
+          then
+            QCheck.Test.fail_reportf "status differs with cuts @ %d domains"
+              domains;
+          (match (base.Lp.Milp.status, r.Lp.Milp.status) with
+          | Lp.Milp.Optimal, Lp.Milp.Optimal ->
+              if
+                Float.abs (base.Lp.Milp.objective -. r.Lp.Milp.objective)
+                > 1e-6
+              then
+                QCheck.Test.fail_reportf
+                  "objective %g with cuts vs %g without @ %d domains"
+                  r.Lp.Milp.objective base.Lp.Milp.objective domains
+          | _ -> ());
+          (match r.Lp.Milp.cert with
+          | None -> QCheck.Test.fail_reportf "no certificate @ %d domains" domains
+          | Some cert ->
+              List.iteri
+                (fun k (c : Lp.Cert.cut) ->
+                  List.iter
+                    (fun x ->
+                      let lhs = ref 0.0 in
+                      Array.iter
+                        (fun (j, cf) -> lhs := !lhs +. (cf *. x.(j)))
+                        c.Lp.Cert.cut_terms;
+                      if !lhs > c.Lp.Cert.cut_rhs +. 1e-9 then
+                        QCheck.Test.fail_reportf
+                          "cut %d excludes a feasible integer point                            (lhs %g > rhs %g) @ %d domains"
+                          k !lhs c.Lp.Cert.cut_rhs domains)
+                    feasible)
+                cert.Lp.Cert.cuts);
+          true)
+        [ 1; 4 ])
+
 let qsuite tests = List.map (fun t -> QCheck_alcotest.to_alcotest t) tests
 
 let () =
@@ -257,5 +395,6 @@ let () =
     [
       ("graphs", qsuite [ graph_is_sane; cuts_are_sound ]);
       ("opt", qsuite [ simplify_preserves_semantics ]);
+      ("milp-cuts", qsuite [ milp_cuts_are_valid ]);
       ("flows", qsuite [ flows_verify_and_match ]);
     ]

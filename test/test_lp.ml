@@ -516,6 +516,219 @@ let test_milp_cold_start_parity () =
   Alcotest.(check bool) "warm path reuses the basis" true
     (warm.Lp.Milp.stats.Lp.Milp.warm_hits > 0)
 
+(* --- root presolve, cut separation, warm row appends ------------------ *)
+
+let test_presolve_tighten () =
+  (* 2x + 2y <= 1 forces both binaries to 0; z >= 1 forces z to 1; the
+     one-hot a + b + c = 1 with a pinned then fixes b and c to 0 in the
+     same fixpoint (clique-style fixing through activity propagation). *)
+  let m = Lp.Model.create () in
+  let x = Lp.Model.bool_var m "x" in
+  let y = Lp.Model.bool_var m "y" in
+  let z = Lp.Model.bool_var m "z" in
+  let a = Lp.Model.bool_var m "a" in
+  let b = Lp.Model.bool_var m "b" in
+  let c = Lp.Model.bool_var m "c" in
+  Lp.Model.add_le m [ (2.0, x); (2.0, y) ] 1.0;
+  Lp.Model.add_ge m [ (1.0, z) ] 1.0;
+  Lp.Model.add_eq m [ (1.0, a); (1.0, b); (1.0, c) ] 1.0;
+  Lp.Model.add_ge m [ (1.0, a) ] 1.0;
+  Lp.Model.set_objective m
+    [ (1.0, x); (1.0, y); (1.0, z); (1.0, a); (1.0, b); (1.0, c) ];
+  let raw = Lp.Model.to_raw m in
+  let lb, ub, evs = Lp.Presolve.tighten raw in
+  Alcotest.(check bool) "events emitted" true (evs <> []);
+  Alcotest.(check (float 0.0)) "x fixed to 0" 0.0 ub.(0);
+  Alcotest.(check (float 0.0)) "y fixed to 0" 0.0 ub.(1);
+  Alcotest.(check (float 0.0)) "z fixed to 1" 1.0 lb.(2);
+  Alcotest.(check (float 0.0)) "a fixed to 1" 1.0 lb.(3);
+  Alcotest.(check (float 0.0)) "b fixed to 0" 0.0 ub.(4);
+  Alcotest.(check (float 0.0)) "c fixed to 0" 0.0 ub.(5);
+  (* the emitted log replays clean under the audit's CERT111 check: a
+     certified solve of the same model must come back clean *)
+  let m2 = Lp.Model.create () in
+  let xs = Array.init 6 (fun i -> Lp.Model.bool_var m2 (Printf.sprintf "v%d" i)) in
+  Lp.Model.add_le m2 [ (2.0, xs.(0)); (2.0, xs.(1)) ] 1.0;
+  Lp.Model.add_ge m2 [ (1.0, xs.(2)) ] 1.0;
+  Lp.Model.add_eq m2 [ (1.0, xs.(3)); (1.0, xs.(4)); (1.0, xs.(5)) ] 1.0;
+  Lp.Model.add_ge m2 [ (1.0, xs.(3)) ] 1.0;
+  Lp.Model.set_objective m2 (Array.to_list (Array.map (fun x -> (1.0, x)) xs));
+  let raw2 = Lp.Model.to_raw m2 in
+  let r = Lp.Milp.solve ~time_limit:10.0 ~certificates:true m2 in
+  Alcotest.(check bool) "solve optimal" true (r.Lp.Milp.status = Lp.Milp.Optimal);
+  match r.Lp.Milp.cert with
+  | None -> Alcotest.fail "no certificate"
+  | Some cert ->
+      Alcotest.(check bool) "presolve events in certificate" true
+        (cert.Lp.Cert.presolve <> []);
+      let diags = Analyze.Audit.check raw2 cert in
+      if Analyze.Diag.has_errors diags then
+        Alcotest.failf "tighten log failed CERT111 replay:@.%a"
+          Analyze.Diag.pp_report
+          (Analyze.Diag.errors diags)
+
+(* Every feasible integer point of [raw] (binaries enumerated over the
+   box) must satisfy every cut: separation may only remove fractional
+   volume. *)
+let check_cuts_exclude_no_integer_point raw (cuts : Lp.Cert.cut list) =
+  let n = raw.Lp.Model.n in
+  for mask = 0 to (1 lsl n) - 1 do
+    let x = Array.init n (fun j -> float_of_int ((mask lsr j) land 1)) in
+    let feasible =
+      Array.for_all
+        (fun i ->
+          let a = ref 0.0 in
+          Array.iter (fun (j, cf) -> a := !a +. (cf *. x.(j))) raw.Lp.Model.rows.(i);
+          match raw.Lp.Model.senses.(i) with
+          | Lp.Model.Le -> !a <= raw.Lp.Model.rhs.(i) +. 1e-9
+          | Lp.Model.Ge -> !a >= raw.Lp.Model.rhs.(i) -. 1e-9
+          | Lp.Model.Eq -> Float.abs (!a -. raw.Lp.Model.rhs.(i)) <= 1e-9)
+        (Array.init (Array.length raw.Lp.Model.rows) Fun.id)
+      && Array.for_all
+           (fun j -> x.(j) >= raw.Lp.Model.lb.(j) -. 1e-9 && x.(j) <= raw.Lp.Model.ub.(j) +. 1e-9)
+           (Array.init n Fun.id)
+    in
+    if feasible then
+      List.iteri
+        (fun k (c : Lp.Cert.cut) ->
+          let lhs = ref 0.0 in
+          Array.iter (fun (j, cf) -> lhs := !lhs +. (cf *. x.(j))) c.Lp.Cert.cut_terms;
+          if !lhs > c.Lp.Cert.cut_rhs +. 1e-9 then
+            Alcotest.failf "cut %d excludes feasible point (lhs %g > rhs %g)"
+              k !lhs c.Lp.Cert.cut_rhs)
+        cuts
+  done
+
+let test_cutgen_cg () =
+  (* max x + y over 2x + 2y <= 3, x y binary: the LP vertex is
+     fractional and the CG round over the tableau row yields the cut
+     x + y <= 1, which closes the integrality gap at the root. *)
+  let m = Lp.Model.create () in
+  let x = Lp.Model.bool_var m "x" in
+  let y = Lp.Model.bool_var m "y" in
+  Lp.Model.add_le m [ (2.0, x); (2.0, y) ] 3.0;
+  Lp.Model.set_objective m [ (-1.0, x); (-1.0, y) ];
+  let raw = Lp.Model.to_raw m in
+  let r, st = Lp.Simplex.solve_state raw in
+  Alcotest.(check bool) "LP optimal" true (r.Lp.Simplex.status = Lp.Simplex.Optimal);
+  let frac =
+    Array.exists (fun v -> Float.abs (v -. Float.round v) > 1e-6) r.Lp.Simplex.x
+  in
+  Alcotest.(check bool) "LP vertex fractional" true frac;
+  let cuts =
+    Lp.Cutgen.cg_cuts raw ~lb:raw.Lp.Model.lb ~ub:raw.Lp.Model.ub
+      ~x:r.Lp.Simplex.x ~int_tol:1e-6
+      ~multipliers:(Lp.Simplex.tableau_multipliers st)
+  in
+  Alcotest.(check bool) "a CG cut separates" true (cuts <> []);
+  List.iter
+    (fun (c : Lp.Cert.cut) ->
+      (match c.Lp.Cert.cut_deriv with
+      | Lp.Cert.Cg _ -> ()
+      | _ -> Alcotest.fail "expected a Cg derivation");
+      (* the returned cut is violated at the LP point *)
+      let lhs = ref 0.0 in
+      Array.iter
+        (fun (j, cf) -> lhs := !lhs +. (cf *. r.Lp.Simplex.x.(j)))
+        c.Lp.Cert.cut_terms;
+      Alcotest.(check bool) "violated at the LP vertex" true
+        (!lhs > c.Lp.Cert.cut_rhs +. 1e-6))
+    cuts;
+  check_cuts_exclude_no_integer_point raw cuts
+
+let test_cutgen_cover () =
+  (* 3x + 3y + 3z <= 5: any two binaries over-cover, so the fractional
+     point (0.9, 0.8, 0.1) separates the cover cut x + y <= 1. *)
+  let m = Lp.Model.create () in
+  let x = Lp.Model.bool_var m "x" in
+  let y = Lp.Model.bool_var m "y" in
+  let z = Lp.Model.bool_var m "z" in
+  Lp.Model.add_le m [ (3.0, x); (3.0, y); (3.0, z) ] 5.0;
+  Lp.Model.set_objective m [ (-1.0, x); (-1.0, y); (-1.0, z) ];
+  let raw = Lp.Model.to_raw m in
+  let cuts =
+    Lp.Cutgen.cover_cuts raw ~n_rows:(Array.length raw.Lp.Model.rows)
+      ~lb:raw.Lp.Model.lb ~ub:raw.Lp.Model.ub ~x:[| 0.9; 0.8; 0.1 |]
+  in
+  Alcotest.(check bool) "a cover cut separates" true (cuts <> []);
+  List.iter
+    (fun (c : Lp.Cert.cut) ->
+      match c.Lp.Cert.cut_deriv with
+      | Lp.Cert.Cover _ -> ()
+      | _ -> Alcotest.fail "expected a Cover derivation")
+    cuts;
+  check_cuts_exclude_no_integer_point raw cuts
+
+let test_cut_pool () =
+  let pool = Lp.Cutgen.create ~capacity:8 ~max_age:2 () in
+  let cut rhs : Lp.Cert.cut =
+    {
+      Lp.Cert.cut_terms = [| (0, 1.0); (1, 1.0) |];
+      cut_rhs = rhs;
+      cut_deriv = Lp.Cert.Cg [| (0, 0.5) |];
+    }
+  in
+  Lp.Cutgen.offer pool (cut 1.0);
+  Lp.Cutgen.offer pool (cut 1.0);
+  (* duplicate by normalized hash *)
+  Alcotest.(check int) "duplicate offers collapse" 1 (Lp.Cutgen.pending pool);
+  Lp.Cutgen.offer pool (cut 2.0);
+  Alcotest.(check int) "distinct rhs kept" 2 (Lp.Cutgen.pending pool);
+  (* x = (1.5, 0.5): the rhs-1 cut is violated (2 > 1), the rhs-2 cut
+     is satisfied and must not be activated *)
+  let chosen = Lp.Cutgen.select pool ~x:[| 1.5; 0.5 |] ~max_cuts:4 in
+  Alcotest.(check int) "only the violated cut activates" 1 (List.length chosen);
+  Alcotest.(check (float 0.0)) "most violated first" 1.0
+    (List.hd chosen).Lp.Cert.cut_rhs;
+  Alcotest.(check int) "applied counted" 1 (Lp.Cutgen.applied pool);
+  (* an activated cut is never handed out twice *)
+  let again = Lp.Cutgen.select pool ~x:[| 1.5; 0.5 |] ~max_cuts:4 in
+  Alcotest.(check int) "no re-activation" 0 (List.length again);
+  (* the satisfied candidate ages out after max_age idle rounds *)
+  ignore (Lp.Cutgen.select pool ~x:[| 0.0; 0.0 |] ~max_cuts:4);
+  ignore (Lp.Cutgen.select pool ~x:[| 0.0; 0.0 |] ~max_cuts:4);
+  Alcotest.(check int) "aged out" 0 (Lp.Cutgen.pending pool)
+
+let test_add_rows_warm () =
+  (* append a violated cut row to a solved state: the next resolve must
+     repair it on the warm path, and the duals must cover the new row *)
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var m ~ub:2.0 "x" in
+  let y = Lp.Model.add_var m ~ub:2.0 "y" in
+  Lp.Model.add_le m [ (1.0, x); (1.0, y) ] 3.0;
+  Lp.Model.set_objective m [ (-1.0, x); (-1.0, y) ];
+  let raw = Lp.Model.to_raw m in
+  let r, st = Lp.Simplex.solve_state raw in
+  check_lp_obj "before the cut" (-3.0) r;
+  Lp.Simplex.add_rows st [| ([| (0, 1.0); (1, 1.0) |], 1.0) |];
+  let r = Lp.Simplex.resolve ~lb:raw.Lp.Model.lb ~ub:raw.Lp.Model.ub st in
+  check_lp_obj "cut binds" (-1.0) r;
+  Alcotest.(check bool) "warm dual repair" true (Lp.Simplex.last_resolve_warm st);
+  (match Lp.Simplex.duals st with
+  | Some d -> Alcotest.(check int) "duals cover the added row" 2 (Array.length d)
+  | None -> Alcotest.fail "no duals after resolve")
+
+let test_milp_cuts_ab_parity () =
+  (* cuts on vs off: identical status and objective (results-invisible),
+     on the general-integer model that actually branches *)
+  let build () =
+    let m = Lp.Model.create () in
+    let x = Lp.Model.add_var m ~integer:true ~ub:10.0 "x" in
+    let y = Lp.Model.add_var m ~integer:true ~ub:10.0 "y" in
+    let z = Lp.Model.add_var m ~integer:true ~ub:10.0 "z" in
+    Lp.Model.add_le m [ (2.0, x); (3.0, y); (1.0, z) ] 12.0;
+    Lp.Model.add_ge m [ (1.0, x); (1.0, y) ] 2.0;
+    Lp.Model.set_objective m [ (-3.0, x); (-5.0, y); (-1.0, z) ];
+    m
+  in
+  let off = Lp.Milp.solve ~time_limit:10.0 ~cuts:false (build ()) in
+  let on = Lp.Milp.solve ~time_limit:10.0 ~cuts:true (build ()) in
+  Alcotest.(check bool) "off optimal" true (off.Lp.Milp.status = Lp.Milp.Optimal);
+  Alcotest.(check bool) "on optimal" true (on.Lp.Milp.status = Lp.Milp.Optimal);
+  if not (feq off.Lp.Milp.objective on.Lp.Milp.objective) then
+    Alcotest.failf "cuts changed the objective: %g vs %g"
+      on.Lp.Milp.objective off.Lp.Milp.objective
+
 let qsuite name tests = (name, List.map (fun t -> QCheck_alcotest.to_alcotest t) tests)
 
 let () =
@@ -558,6 +771,15 @@ let () =
             test_resolve_refactor_parity;
           Alcotest.test_case "cold-start parity" `Quick
             test_milp_cold_start_parity;
+        ] );
+      ( "presolve-cuts",
+        [
+          Alcotest.test_case "presolve tighten" `Quick test_presolve_tighten;
+          Alcotest.test_case "cg separation" `Quick test_cutgen_cg;
+          Alcotest.test_case "cover separation" `Quick test_cutgen_cover;
+          Alcotest.test_case "cut pool" `Quick test_cut_pool;
+          Alcotest.test_case "add_rows warm" `Quick test_add_rows_warm;
+          Alcotest.test_case "cuts A/B parity" `Quick test_milp_cuts_ab_parity;
         ] );
       qsuite "lp-random" [ lp_never_beaten_by_grid ];
       qsuite "milp-random" [ milp_matches_brute_force ];

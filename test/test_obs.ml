@@ -170,7 +170,9 @@ let sample_metrics =
     domains = 4;
     nodes_per_s = 10.9;
     cert_nodes = 55;
-    audit_errors = 0;
+    audit_errors = Some 0;
+    milp_cuts = 7;
+    gap_closed_root = 0.25;
     checkpoints = 2;
     recoveries = 1;
     stalls = 0;
@@ -207,8 +209,12 @@ let test_metrics_v3_compat () =
             (Float.is_nan m.Obs.Metrics.final_gap);
           Alcotest.(check int) "cert_nodes defaults to 0" 0
             m.Obs.Metrics.cert_nodes;
-          Alcotest.(check int) "audit_errors defaults to -1" (-1)
-            m.Obs.Metrics.audit_errors;
+          Alcotest.(check (option int)) "audit_errors defaults to None"
+            None m.Obs.Metrics.audit_errors;
+          Alcotest.(check int) "milp_cuts defaults to 0" 0
+            m.Obs.Metrics.milp_cuts;
+          Alcotest.(check bool) "gap_closed_root defaults to nan" true
+            (Float.is_nan m.Obs.Metrics.gap_closed_root);
           Alcotest.(check int) "checkpoints defaults to 0" 0
             m.Obs.Metrics.checkpoints;
           Alcotest.(check int) "recoveries defaults to 0" 0

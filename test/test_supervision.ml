@@ -126,6 +126,12 @@ let test_cpu_vs_wall_metric () =
 
 (* --- checkpoint format ------------------------------------------------ *)
 
+(* Root cover cuts close the knapsack at (or one dive past) the root,
+   so every test whose premise is a multi-node tree — node-limit
+   interrupts, faults armed at node 2 — pins [~cuts:false]. The tests
+   exercise supervision mechanics, which are downstream of (and
+   orthogonal to) root cut preparation. *)
+
 (* Run a solve that stops mid-tree and leaves a checkpoint file behind. *)
 let checkpointed_solve ?(certificates = false) ?(node_limit = 8) ~path () =
   let sink =
@@ -136,8 +142,8 @@ let checkpointed_solve ?(certificates = false) ?(node_limit = 8) ~path () =
       ck_meta = Obs.Json.Obj [ ("origin", Obs.Json.String "test") ];
     }
   in
-  Lp.Milp.solve ~time_limit:60.0 ~node_limit ~certificates ~checkpoint:sink
-    (knapsack ())
+  Lp.Milp.solve ~time_limit:60.0 ~node_limit ~certificates ~cuts:false
+    ~checkpoint:sink (knapsack ())
 
 let read_ck path =
   match Lp.Checkpoint.read ~path with
@@ -213,7 +219,9 @@ let test_checkpoint_fingerprint_mismatch () =
 (* --- checkpoint/resume equivalence ------------------------------------ *)
 
 let test_resume_equivalence () =
-  let clean = Lp.Milp.solve ~time_limit:60.0 ~certificates:true (knapsack ()) in
+  let clean =
+    Lp.Milp.solve ~time_limit:60.0 ~certificates:true ~cuts:false (knapsack ())
+  in
   Alcotest.(check string) "clean solve is exhaustive" "optimal"
     (status_str clean.Lp.Milp.status);
   let p = tmp "pipesyn_ck_resume.json" in
@@ -225,8 +233,8 @@ let test_resume_equivalence () =
         (cut.Lp.Milp.status <> Lp.Milp.Optimal);
       let ck = read_ck p in
       let resumed =
-        Lp.Milp.solve ~time_limit:60.0 ~certificates:true ~domains ~resume:ck
-          (knapsack ())
+        Lp.Milp.solve ~time_limit:60.0 ~certificates:true ~cuts:false ~domains
+          ~resume:ck (knapsack ())
       in
       check_same_result
         (Printf.sprintf "resume @ %d domains" domains)
@@ -267,10 +275,12 @@ let test_resume_completed_checkpoint () =
    the final result is identical to the fault-free solve at every domain
    count (byte-identical incumbent, not merely equal objective). *)
 let check_kill_recovery ~fault domains =
-  let clean = Lp.Milp.solve ~time_limit:60.0 ~domains (knapsack ()) in
+  let clean =
+    Lp.Milp.solve ~time_limit:60.0 ~cuts:false ~domains (knapsack ())
+  in
   let faulted =
     with_fault fault (fun () ->
-        Lp.Milp.solve ~time_limit:60.0 ~domains (knapsack ()))
+        Lp.Milp.solve ~time_limit:60.0 ~cuts:false ~domains (knapsack ()))
   in
   check_same_result
     (Printf.sprintf "%s @ %d domains" fault domains)
@@ -285,7 +295,7 @@ let test_steal_drop_parallel () =
 let test_recovery_counted () =
   let r =
     with_fault "milp.worker_kill@2" (fun () ->
-        Lp.Milp.solve ~time_limit:60.0 ~domains:2 (knapsack ()))
+        Lp.Milp.solve ~time_limit:60.0 ~cuts:false ~domains:2 (knapsack ()))
   in
   Alcotest.(check bool) "recovery recorded in stats" true
     (r.Lp.Milp.stats.Lp.Milp.recoveries >= 1)
@@ -295,7 +305,7 @@ let test_death_budget_exhausted () =
      must then propagate as an exception rather than loop forever. *)
   match
     with_fault "milp.worker_kill" (fun () ->
-        Lp.Milp.solve ~time_limit:60.0 ~domains:1 (knapsack ()))
+        Lp.Milp.solve ~time_limit:60.0 ~cuts:false ~domains:1 (knapsack ()))
   with
   | _ -> Alcotest.fail "expected Worker_killed to propagate"
   | exception Lp.Milp.Worker_killed -> ()
@@ -303,11 +313,13 @@ let test_death_budget_exhausted () =
 (* --- stall watchdog --------------------------------------------------- *)
 
 let check_stall_recovery domains =
-  let clean = Lp.Milp.solve ~time_limit:60.0 ~domains (knapsack ()) in
+  let clean =
+    Lp.Milp.solve ~time_limit:60.0 ~cuts:false ~domains (knapsack ())
+  in
   let r =
     with_fault "milp.stall@2" (fun () ->
-        Lp.Milp.solve ~time_limit:60.0 ~domains ~stall_window:0.05
-          (knapsack ()))
+        Lp.Milp.solve ~time_limit:60.0 ~cuts:false ~domains
+          ~stall_window:0.05 (knapsack ()))
   in
   check_same_result
     (Printf.sprintf "stall recovery @ %d domains" domains)
@@ -325,7 +337,7 @@ let test_stall_without_watchdog_hits_budget () =
      global budget — the stop must still be clean and on time. *)
   let r =
     with_fault "milp.stall@1" (fun () ->
-        Lp.Milp.solve ~time_limit:0.5 ~domains:1 (knapsack ()))
+        Lp.Milp.solve ~time_limit:0.5 ~cuts:false ~domains:1 (knapsack ()))
   in
   (match r.Lp.Milp.status with
   | Lp.Milp.Feasible | Lp.Milp.Unknown -> ()
