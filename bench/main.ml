@@ -8,7 +8,9 @@
      PIPESYN_ONLY         comma-separated benchmark filter for Table 1/2
      PIPESYN_SKIP_MICRO   set to skip the bechamel section
      PIPESYN_JSON         structured-metrics output path
-                          (default BENCH_results.json) *)
+                          (default BENCH_results.json)
+     PIPESYN_PROBE_MS     resource-probe cadence in ms (default off)
+     PIPESYN_LOG          NDJSON event-log output path (default off) *)
 
 let time_limit =
   try float_of_string (Sys.getenv "PIPESYN_TIME_LIMIT") with Not_found -> 20.0
@@ -230,7 +232,9 @@ let print_convergence rows =
                     fmt_gap m'.Obs.Metrics.final_gap;
                     fmt_gap m'.Obs.Metrics.gap_closed_root;
                     string_of_int m'.Obs.Metrics.milp_cuts;
-                    string_of_int m'.Obs.Metrics.bnb_nodes;
+                    (match m'.Obs.Metrics.bnb_nodes with
+                    | Some n -> string_of_int n
+                    | None -> "-");
                     (if Float.is_nan m'.Obs.Metrics.nodes_per_s then "-"
                      else Printf.sprintf "%.0f" m'.Obs.Metrics.nodes_per_s);
                     string_of_int m'.Obs.Metrics.domains;
@@ -848,6 +852,10 @@ let () =
   Fmt.pr "MILP budget per solve: %.0fs (PIPESYN_TIME_LIMIT to change)@."
     time_limit;
   Obs.reset ();
+  (* Live telemetry, both env-gated no-ops when unset: the resource
+     probe (PIPESYN_PROBE_MS) and the NDJSON event log (PIPESYN_LOG). *)
+  if Sys.getenv_opt "PIPESYN_LOG" <> None then Obs.Log.enable ();
+  ignore (Obs.Probe.start ());
   let rows = run_table1 () in
   print_table1 rows;
   print_table2 rows;
@@ -859,6 +867,14 @@ let () =
   print_ablation_exact_mapping ();
   let extension_metrics = print_map_first rows in
   print_scaling ();
+  Obs.Probe.stop ();
   write_metrics (table1_metrics rows @ extension_metrics);
+  (match Sys.getenv_opt "PIPESYN_LOG" with
+  | None -> ()
+  | Some path ->
+      Obs.Log.write ~path;
+      Fmt.pr "wrote %s (%d log events%s)@." path (Obs.Log.num_events ())
+        (let d = Obs.Log.dropped () in
+         if d = 0 then "" else Fmt.str ", %d dropped at cap" d));
   if Sys.getenv_opt "PIPESYN_SKIP_MICRO" = None then micro_benchmarks ();
   Fmt.pr "@.done.@."

@@ -160,6 +160,76 @@ let wall_budget_of deadline =
               Fmt.epr "PIPESYN_DEADLINE: not a number: %s@." s;
               exit exit_error))
 
+(* ------------------------------------------------------------------ *)
+(* live telemetry: --log / --progress / PIPESYN_PROBE_MS               *)
+(* ------------------------------------------------------------------ *)
+
+(* --log FILE wins over the PIPESYN_LOG environment variable; either
+   turns the structured NDJSON event stream on. *)
+let log_path_of flag =
+  match flag with Some _ -> flag | None -> Sys.getenv_opt "PIPESYN_LOG"
+
+(* One `\r'-overwritten status line on stderr, re-rendered from the
+   live log events: phase, node throughput, optimality gap, heap. *)
+let install_progress_sink () =
+  let phase = ref "start" in
+  let nps = ref Float.nan and gap = ref Float.nan and heap_w = ref Float.nan in
+  let num j = match j with Obs.Json.Float f -> f | Obs.Json.Int i -> float_of_int i | _ -> Float.nan in
+  let render () =
+    let s_nps = if Float.is_nan !nps then "-" else Fmt.str "%.0f" !nps in
+    let s_gap =
+      if Float.is_nan !gap then "-" else Fmt.str "%.2f%%" (100.0 *. !gap)
+    in
+    let s_heap =
+      if Float.is_nan !heap_w then "-"
+      else Fmt.str "%.1fMiB" (!heap_w *. 8.0 /. (1024.0 *. 1024.0))
+    in
+    Fmt.epr "\r  %-10s nodes/s %-8s gap %-8s heap %-10s%!" !phase s_nps s_gap
+      s_heap
+  in
+  Obs.Log.set_sink
+    (Some
+       (fun e ->
+         let arg k = List.assoc_opt k e.Obs.Log.l_args in
+         (match e.Obs.Log.l_name with
+         | "flow.phase" -> (
+             match arg "phase" with
+             | Some (Obs.Json.String p) -> phase := p
+             | _ -> ())
+         | "probe.sample" ->
+             Option.iter (fun j -> nps := num j) (arg "nodes_per_s");
+             Option.iter (fun j -> gap := num j) (arg "gap");
+             Option.iter (fun j -> heap_w := num j) (arg "heap_words")
+         | "milp.incumbent" -> Option.iter (fun j -> gap := num j) (arg "gap")
+         | _ -> ());
+         render ()))
+
+(* Enable the log stream (flag or env), the progress renderer, and the
+   resource probe. The probe is started unconditionally: with
+   PIPESYN_PROBE_MS unset, [Obs.Probe.start] is a no-op returning
+   false. Returns the resolved log path for [telemetry_finish]. *)
+let telemetry_start ~log ~progress =
+  let log = log_path_of log in
+  if (log <> None || progress) && not (Obs.Log.enabled ()) then
+    Obs.Log.enable ();
+  if progress then install_progress_sink ();
+  ignore (Obs.Probe.start ());
+  log
+
+let telemetry_finish ~log ~progress =
+  Obs.Probe.stop ();
+  if progress then begin
+    Obs.Log.set_sink None;
+    Fmt.epr "\r%s\r%!" (String.make 60 ' ')
+  end;
+  match log with
+  | None -> ()
+  | Some path ->
+      Obs.Log.write ~path;
+      Fmt.pr "wrote %s (%d log events%s)@." path (Obs.Log.num_events ())
+        (let d = Obs.Log.dropped () in
+         if d = 0 then "" else Fmt.str ", %d dropped at cap" d)
+
 let entry_of name =
   match Benchmarks.Registry.find name with
   | e -> e
@@ -305,9 +375,29 @@ let run_cmd =
                 findings land in the metrics (see `pipesyn audit' for the \
                 gating variant).")
   in
+  let log_arg =
+    let doc =
+      "Write the leveled structured event stream (flow phases, cascade \
+       retries/degradations, incumbents, cut rounds, checkpoints, \
+       recoveries, stalls, resource-probe samples) to $(docv) as NDJSON \
+       (schema pipesyn-log-v1). Purely observational: results are \
+       identical with and without logging. Also enabled by \
+       $(b,PIPESYN_LOG); buffer capacity via $(b,PIPESYN_LOG_CAP)."
+    in
+    Arg.(value & opt (some string) None & info [ "log" ] ~doc ~docv:"FILE")
+  in
+  let progress_arg =
+    Arg.(value & flag
+         & info [ "progress" ]
+             ~doc:
+               "Render a live single-line status on stderr (phase, \
+                nodes/s, gap, heap), driven by the same event stream as \
+                --log. Throughput and heap need the resource probe \
+                ($(b,PIPESYN_PROBE_MS)).")
+  in
   let run name method_ time_limit ii k alpha beta verbose optimize json trace
       faults deadline domains checkpoint checkpoint_every stall_window audit
-      cuts presolve =
+      cuts presolve log progress =
     setup_logs verbose;
     (match domains with
     | Some d when d < 1 ->
@@ -316,6 +406,7 @@ let run_cmd =
     | _ -> ());
     Obs.reset ();
     if trace <> None then Obs.Trace.enable ();
+    let log = telemetry_start ~log ~progress in
     arm_faults faults;
     let wall_budget = wall_budget_of deadline in
     let e = entry_of name in
@@ -411,6 +502,7 @@ let run_cmd =
               Mams.Flow.error_metrics ~name:e.name m)
         methods
     in
+    telemetry_finish ~log ~progress;
     (match json with
     | None -> ()
     | Some path ->
@@ -437,7 +529,7 @@ let run_cmd =
       $ alpha_arg $ beta_arg $ verbose_arg $ optimize_arg $ json_arg
       $ trace_arg $ faults_arg $ deadline_arg $ domains_arg $ checkpoint_arg
       $ checkpoint_every_arg $ stall_window_arg $ audit_arg $ cuts_flag_arg
-      $ presolve_flag_arg)
+      $ presolve_flag_arg $ log_arg $ progress_arg)
 
 (* ------------------------------------------------------------------ *)
 (* resume                                                              *)
@@ -468,6 +560,13 @@ let resume_cmd =
     let doc = "Write structured metrics for the resumed run to $(docv)." in
     Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"FILE")
   in
+  let log_arg =
+    let doc =
+      "Write the structured NDJSON event stream for the resumed run to \
+       $(docv) (as for `pipesyn run --log')."
+    in
+    Arg.(value & opt (some string) None & info [ "log" ] ~doc ~docv:"FILE")
+  in
   let str_of j = match j with Some (Obs.Json.String s) -> Some s | _ -> None in
   let float_of j =
     match j with
@@ -477,7 +576,7 @@ let resume_cmd =
   in
   let int_of j = match j with Some (Obs.Json.Int i) -> Some i | _ -> None in
   let bool_of j = match j with Some (Obs.Json.Bool b) -> Some b | _ -> None in
-  let run file time_limit domains audit json faults stall_window verbose =
+  let run file time_limit domains audit json log faults stall_window verbose =
     setup_logs verbose;
     (match domains with
     | Some d when d < 1 ->
@@ -485,6 +584,7 @@ let resume_cmd =
         exit exit_error
     | _ -> ());
     Obs.reset ();
+    let log = telemetry_start ~log ~progress:false in
     arm_faults faults;
     let ck =
       match Lp.Checkpoint.read ~path:file with
@@ -567,6 +667,7 @@ let resume_cmd =
           Fmt.pr "%-9s error: %s@." (Mams.Flow.method_name method_) err;
           [ Mams.Flow.error_metrics ~name:e.name method_ ]
     in
+    telemetry_finish ~log ~progress:false;
     (match json with
     | None -> ()
     | Some path ->
@@ -587,7 +688,7 @@ let resume_cmd =
           uninterrupted run would have. Exit codes as for `pipesyn run'.")
     Term.(
       const run $ file_arg $ time_limit_opt_arg $ domains_arg $ audit_arg
-      $ json_arg $ faults_arg $ stall_window_arg $ verbose_arg)
+      $ json_arg $ log_arg $ faults_arg $ stall_window_arg $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
 (* cuts                                                                *)
@@ -1111,6 +1212,49 @@ let trace_report_cmd =
                 (List.length r.r_slowest)
                 (Report.table ~columns rows)
             end;
+            (* Resource-probe samples (PIPESYN_PROBE_MS) ride in the
+               trace as "probe.sample" instants; summarize when present. *)
+            (let samples =
+               match Obs.Json.member "traceEvents" doc with
+               | Some (Obs.Json.List evs) ->
+                   List.filter_map
+                     (fun ev ->
+                       match
+                         (Obs.Json.member "name" ev, Obs.Json.member "args" ev)
+                       with
+                       | Some (Obs.Json.String "probe.sample"), Some args ->
+                           Some args
+                       | _ -> None)
+                     evs
+               | _ -> []
+             in
+             match samples with
+             | [] -> ()
+             | _ ->
+                 let num k args =
+                   match Obs.Json.member k args with
+                   | Some (Obs.Json.Float f) -> f
+                   | Some (Obs.Json.Int i) -> float_of_int i
+                   | _ -> Float.nan
+                 in
+                 let peak k =
+                   List.fold_left
+                     (fun acc a ->
+                       let v = num k a in
+                       if Float.is_nan v then acc else Float.max acc v)
+                     Float.neg_infinity samples
+                 in
+                 let heap_w = peak "heap_words" and rss_kb = peak "rss_kb" in
+                 Fmt.pr "Resources: %d probe sample%s%s%s@.@."
+                   (List.length samples)
+                   (if List.length samples = 1 then "" else "s")
+                   (if Float.is_finite heap_w && heap_w > 0.0 then
+                      Fmt.str ", peak heap %.1f MiB"
+                        (heap_w *. 8.0 /. 1048576.0)
+                    else "")
+                   (if Float.is_finite rss_kb && rss_kb > 0.0 then
+                      Fmt.str ", peak RSS %.1f MiB" (rss_kb /. 1024.0)
+                    else ""));
             List.iter (fun e -> Fmt.pr "well-formedness: %s@." e) r.r_errors;
             Fmt.pr "spans: %d, well-formedness errors: %d@." r.r_spans
               (List.length r.r_errors);
@@ -1126,6 +1270,110 @@ let trace_report_cmd =
           timeline, slowest spans, and well-formedness checks (exit 1 \
           on any violation or an empty trace).")
     Term.(const run $ file_arg $ top_arg)
+
+(* ------------------------------------------------------------------ *)
+(* bench-diff                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let bench_diff_cmd =
+  let old_arg =
+    let doc =
+      "Baseline metrics file (written by `pipesyn run --json' or the \
+       bench harness; bench/baseline.json in CI)."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~doc ~docv:"OLD")
+  in
+  let new_arg =
+    let doc = "Candidate metrics file to compare against $(i,OLD)." in
+    Arg.(required & pos 1 (some string) None & info [] ~doc ~docv:"NEW")
+  in
+  let d = Benchdiff.default_thresholds in
+  let time_rel_arg =
+    let doc =
+      "Relative solve-time increase that flags a regression (fraction)."
+    in
+    Arg.(value & opt float d.Benchdiff.time_rel
+         & info [ "time-rel" ] ~doc ~docv:"FRAC")
+  in
+  let time_floor_arg =
+    let doc =
+      "Absolute seconds below which solve-time deltas are ignored (both \
+       sides sub-floor = machine noise)."
+    in
+    Arg.(value & opt float d.Benchdiff.time_floor_s
+         & info [ "time-floor" ] ~doc ~docv:"SECS")
+  in
+  let count_rel_arg =
+    let doc =
+      "Relative node/pivot-count increase that flags a regression \
+       (fraction; only compared between two optimal solves)."
+    in
+    Arg.(value & opt float d.Benchdiff.count_rel
+         & info [ "count-rel" ] ~doc ~docv:"FRAC")
+  in
+  let gap_abs_arg =
+    let doc =
+      "Absolute decrease of root-gap closure that flags a regression."
+    in
+    Arg.(value & opt float d.Benchdiff.gap_abs
+         & info [ "gap-abs" ] ~doc ~docv:"FRAC")
+  in
+  let report_arg =
+    let doc = "Write the machine-readable diff report to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"REPORT")
+  in
+  let load path =
+    let contents =
+      match open_in_bin path with
+      | exception Sys_error e ->
+          Fmt.epr "%s@." e;
+          exit 3
+      | ic ->
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Obs.Json.of_string contents with
+    | Ok j -> j
+    | Error e ->
+        Fmt.epr "%s: JSON parse error: %s@." path e;
+        exit 3
+  in
+  let run old_p new_p time_rel time_floor_s count_rel gap_abs report =
+    let thresholds =
+      { Benchdiff.time_rel; time_floor_s; count_rel; gap_abs }
+    in
+    let old_j = load old_p and new_j = load new_p in
+    match Benchdiff.diff ~thresholds old_j new_j with
+    | Error e ->
+        Fmt.epr "bench-diff: %s@." e;
+        exit 3
+    | Ok r ->
+        (match report with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () ->
+                output_string oc (Obs.Json.to_string (Benchdiff.report_to_json r));
+                output_char oc '\n');
+            Fmt.pr "wrote %s@." path);
+        Fmt.pr "%a" Benchdiff.pp_report r;
+        if Benchdiff.regressed r then exit exit_error
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two metrics files for performance regressions, \
+          noise-aware: wall time has a relative threshold plus an \
+          absolute floor, node/pivot counts are compared only between \
+          two optimal solves, a worsened status or a vanished row always \
+          flags. Exit codes: 0 no regression, 1 regression found, 3 \
+          unreadable file or schema mismatch.")
+    Term.(
+      const run $ old_arg $ new_arg $ time_rel_arg $ time_floor_arg
+      $ count_rel_arg $ gap_abs_arg $ report_arg)
 
 (* ------------------------------------------------------------------ *)
 (* table1 / table2 pointers                                            *)
@@ -1158,7 +1406,7 @@ let () =
            [
              list_cmd; run_cmd; resume_cmd; cuts_cmd; dot_cmd; rtl_cmd;
              lint_cmd; audit_cmd; diags_cmd; faults_cmd; trace_report_cmd;
-             tables_cmd;
+             bench_diff_cmd; tables_cmd;
            ])
     with e ->
       Fmt.epr "pipesyn: internal error: %s@." (Printexc.to_string e);

@@ -118,11 +118,21 @@ let metrics_of setup method_ ~cuts_total ~gate_diags (qor : Sched.Qor.t)
     lut = qor.Sched.Qor.luts;
     ff = qor.Sched.Qor.ffs;
     slack = setup.device.Fpga.Device.t_clk -. qor.Sched.Qor.cp;
-    solve_s = solve.runtime;
+    (* Methods that never entered the MILP report null (not 0): a real
+       solve always explores at least the root node, so 0.0/0 would be
+       indistinguishable from an instant exact solve. *)
+    solve_s =
+      (match solve.milp_stats with
+      | Some _ -> Some solve.runtime
+      | None -> None);
     bnb_nodes =
       (match solve.milp_stats with
-      | Some s -> s.Lp.Milp.nodes
-      | None -> 0);
+      | Some s -> Some s.Lp.Milp.nodes
+      | None -> None);
+    lp_pivots =
+      (match solve.milp_stats with
+      | Some s -> Some s.Lp.Milp.lp_iterations
+      | None -> None);
     cuts_total;
     first_incumbent_s =
       (match solve.milp_stats with
@@ -171,6 +181,11 @@ let metrics_of setup method_ ~cuts_total ~gate_diags (qor : Sched.Qor.t)
       (match solve.milp_stats with
       | Some s -> s.Lp.Milp.stalls
       | None -> 0);
+    (* Filled in by [run]'s Gc.quick_stat bracket around the whole
+       cascade; metrics are assembled mid-run, before the delta is
+       known. *)
+    gc_minor_words = 0.0;
+    gc_major_words = 0.0;
     diagnostics =
       diags_json (gate_diags @ Option.value ~default:[] solve.audit_diags);
     degradation = [];
@@ -185,8 +200,9 @@ let error_metrics ?(diags = []) ~name method_ =
     lut = 0;
     ff = 0;
     slack = Float.nan;
-    solve_s = 0.0;
-    bnb_nodes = 0;
+    solve_s = None;
+    bnb_nodes = None;
+    lp_pivots = None;
     cuts_total = 0;
     first_incumbent_s = Float.nan;
     final_gap = Float.nan;
@@ -201,6 +217,8 @@ let error_metrics ?(diags = []) ~name method_ =
     checkpoints = 0;
     recoveries = 0;
     stalls = 0;
+    gc_minor_words = 0.0;
+    gc_major_words = 0.0;
     diagnostics = diags_json diags;
     degradation = [];
   }
@@ -233,6 +251,8 @@ let finalize setup ctx g ~cuts_total cover sched solve method_ =
     Sched.Timing.recompute_starts ~device:setup.device ~delays:setup.delays g
       cover sched
   in
+  if Obs.Log.enabled () then
+    Obs.Log.event "flow.phase" [ ("phase", Obs.Json.String "verify") ];
   match
     Obs.Trace.span ~cat:"flow" "flow.verify" (fun () ->
         Sched.Verify.check (verify_ctx setup) g cover sched)
@@ -492,6 +512,8 @@ let run_milp ?(coarse = false) ?(budget_scale = 1.0) ?resume ~deadline ~as_
               None candidates
       in
       let t0 = Obs.Clock.wall () in
+      if Obs.Log.enabled () then
+        Obs.Log.event "flow.phase" [ ("phase", Obs.Json.String "solve") ];
       let r =
         Obs.Trace.span ~cat:"flow" "flow.solve" (fun () ->
             Lp.Milp.solve
@@ -699,6 +721,33 @@ let run ?deadline setup method_ g =
   Obs.Trace.span ~cat:"flow" "flow.run"
     ~args:[ ("method", Obs.Json.String (method_name method_)) ]
   @@ fun () ->
+  let log_phase phase =
+    if Obs.Log.enabled () then
+      Obs.Log.event "flow.phase"
+        [
+          ("phase", Obs.Json.String phase);
+          ("method", Obs.Json.String (method_name method_));
+        ]
+  in
+  log_phase "run";
+  (* GC bracket around the whole cascade: the delta is stamped into the
+     result's metrics once the run is over (coordinator-domain words;
+     worker-domain allocation is not attributed per result). *)
+  let gc0 = Gc.quick_stat () in
+  let stamp_gc r =
+    let gc1 = Gc.quick_stat () in
+    {
+      r with
+      metrics =
+        {
+          r.metrics with
+          Obs.Metrics.gc_minor_words =
+            gc1.Gc.minor_words -. gc0.Gc.minor_words;
+          gc_major_words = gc1.Gc.major_words -. gc0.Gc.major_words;
+        };
+    }
+  in
+  log_phase "lint";
   (* Fail-fast gate: static CDFG lints and the pipelining pre-flight run
      before any cut enumeration or solver cost is paid. Warnings and infos
      are logged and recorded in the result's metrics; errors abort. *)
@@ -720,7 +769,17 @@ let run ?deadline setup method_ g =
       let ctx = { gate_diags; notes = ref [] } in
       match Resilience.Cascade.run ~deadline (steps_of setup ctx method_ g) with
       | Ok { value; trail } ->
-          Ok (finish ~gate_diags (trail @ List.rev !(ctx.notes)) value)
+          let r =
+            stamp_gc (finish ~gate_diags (trail @ List.rev !(ctx.notes)) value)
+          in
+          if Obs.Log.enabled () then
+            Obs.Log.event "flow.phase"
+              [
+                ("phase", Obs.Json.String "done");
+                ("method", Obs.Json.String (method_name method_));
+                ("status", Obs.Json.String r.metrics.Obs.Metrics.status);
+              ];
+          Ok r
       | Error trail ->
           (* RES003: every attempt failed. This requires the terminal
              heuristic itself to fail (e.g. an unschedulable graph). *)

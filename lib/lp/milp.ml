@@ -362,6 +362,9 @@ type wctx = {
   w_beat : float Atomic.t;
   w_nudge : bool Atomic.t;
   mutable w_deaths : int;
+  w_cnode : Obs.Counter.t;
+      (** per-worker-domain node counter ([milp.nodes.d<wid>]); the
+          resource probe reads its deltas for per-domain throughput *)
 }
 
 (* What processing one node asks of the scheduler. Children come in dive
@@ -538,7 +541,16 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
             ("node", Obs.Json.Int node);
             ("depth", Obs.Json.Int depth);
             ("seeded", Obs.Json.Bool seeded);
-          ]
+          ];
+    if Obs.Log.enabled () then
+      Obs.Log.event "milp.incumbent"
+        [
+          ("objective", Obs.Json.Float obj);
+          ("gap", Obs.Json.Float gap);
+          ("node", Obs.Json.Int node);
+          ("depth", Obs.Json.Int depth);
+          ("seeded", Obs.Json.Bool seeded);
+        ]
   in
   (* Deterministic incumbent acceptance (any domain): strictly better
      objectives always replace; objectives tied within tolerance fall
@@ -667,7 +679,8 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
       w_iters = 0; w_limited = 0; w_warm = 0; wcerts = [];
       w_cell = cell; w_dl = Resilience.Deadline.with_cancel dl cell;
       w_beat = Atomic.make (Obs.Clock.wall ());
-      w_nudge = Atomic.make false; w_deaths = 0 }
+      w_nudge = Atomic.make false; w_deaths = 0;
+      w_cnode = Obs.Counter.get ("milp.nodes.d" ^ string_of_int wid) }
   in
   (* The coordinator context is created up front (not at root-processing
      time) because the supervision layer — watchdog, checkpointer, crash
@@ -843,6 +856,12 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
           | None -> ());
           Checkpoint.write ~path:s.ck_path (snapshot_locked ());
           incr n_checkpoints;
+          if Obs.Log.enabled () then
+            Obs.Log.event "milp.checkpoint"
+              [
+                ("nodes", Obs.Json.Int nodes_now);
+                ("path", Obs.Json.String s.ck_path);
+              ];
           if Obs.Trace.enabled () then
             Obs.Trace.instant ~cat:"milp" "milp.checkpoint"
               ~args:
@@ -856,6 +875,13 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
     Log.warn (fun f ->
         f "worker %d died (%s); recovered (death %d/%d)" w.wid
           (Printexc.to_string e) w.w_deaths max_worker_deaths);
+    if Obs.Log.enabled () then
+      Obs.Log.event ~level:Obs.Log.Warn "milp.recovery"
+        [
+          ("worker", Obs.Json.Int w.wid);
+          ("error", Obs.Json.String (Printexc.to_string e));
+          ("death", Obs.Json.Int w.w_deaths);
+        ];
     if Obs.Trace.enabled () then
       Obs.Trace.instant ~cat:"milp" ~tid:(w.wid + 1) "milp.recovery"
         ~args:
@@ -984,9 +1010,15 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
         Domain.cpu_relax ()
       done;
     let node_id = 1 + Atomic.fetch_and_add nodes 1 in
+    (* Counted live (not bulk at solve exit) so the resource probe sees
+       node and pivot throughput mid-solve; the per-worker counter
+       feeds the per-domain rate series. *)
+    Obs.Counter.incr c_nodes;
+    Obs.Counter.incr w.w_cnode;
     let depth = chain_depth node.bounds in
     let r = solve_node w node in
     w.w_iters <- w.w_iters + r.Simplex.iterations;
+    Obs.Counter.incr ~by:r.Simplex.iterations c_pivots;
     if Obs.Trace.enabled () then begin
       let warm =
         (not cold_mode)
@@ -1176,6 +1208,12 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
   let stall_note (w : wctx) level =
     ignore (Atomic.fetch_and_add n_stalls 1);
     Log.warn (fun f -> f "worker %d stalled; escalation: %s" w.wid level);
+    if Obs.Log.enabled () then
+      Obs.Log.event ~level:Obs.Log.Warn "milp.stall"
+        [
+          ("worker", Obs.Json.Int w.wid);
+          ("level", Obs.Json.String level);
+        ];
     if Obs.Trace.enabled () then
       Obs.Trace.instant ~cat:"milp" ~tid:(w.wid + 1) "milp.stall"
         ~args:
@@ -1560,6 +1598,7 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
           ~lb:w0.wlb ~ub:w0.wub !raw_solve
       in
       w0.w_iters <- w0.w_iters + r0.Simplex.iterations;
+      Obs.Counter.incr ~by:r0.Simplex.iterations c_pivots;
       w0.wstate <- Some st;
       if r0.Simplex.status = Simplex.Optimal then begin
         cut_b0 := r0.Simplex.objective;
@@ -1594,6 +1633,7 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
                   ~lb:w0.wlb ~ub:w0.wub st
               in
               w0.w_iters <- w0.w_iters + r.Simplex.iterations;
+              Obs.Counter.incr ~by:r.Simplex.iterations c_pivots;
               (match r.Simplex.status with
               | Simplex.Optimal ->
                   let prev = !cut_b1 in
@@ -1609,6 +1649,14 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
                           ("bound0", Obs.Json.Float !cut_b0);
                           ("bound", Obs.Json.Float r.Simplex.objective);
                         ];
+                  if Obs.Log.enabled () then
+                    Obs.Log.event "milp.cut_round"
+                      [
+                        ("round", Obs.Json.Int !cut_rounds);
+                        ("added", Obs.Json.Int (List.length chosen));
+                        ("bound0", Obs.Json.Float !cut_b0);
+                        ("bound", Obs.Json.Float r.Simplex.objective);
+                      ];
                   (* Diminishing returns: a round that moves the bound by
                      less than a relative 1e-9 will not close the tree
                      any faster — stop separating (a second batch of
@@ -1817,8 +1865,16 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
            else Float.max 0.0 (Float.min 1.0 ((b1 -. b0) /. denom)));
     }
   in
-  Obs.Counter.incr ~by:stats.nodes c_nodes;
-  Obs.Counter.incr ~by:stats.lp_iterations c_pivots;
+  (* Nodes and pivots are counted live at their hook sites (so the
+     resource probe sees throughput mid-solve); only a resumed run's
+     closed prefix — nodes finished before the checkpoint, never
+     reprocessed here — still needs adding for the counter to equal
+     [stats.nodes]. Pivots carry no prefix: [lp_iterations] is
+     this-run-only by design, so the live increments already cover it
+     exactly. *)
+  Obs.Counter.incr
+    ~by:(match resume with Some ck -> ck.Checkpoint.nodes_done | None -> 0)
+    c_nodes;
   Obs.Counter.incr ~by:stats.warm_hits c_warm_hits;
   Obs.Counter.incr ~by:stats.fixed_vars c_fixed_vars;
   Obs.Counter.incr ~by:stats.checkpoints c_checkpoints;
@@ -1829,6 +1885,14 @@ let solve ?(time_limit = 60.0) ?(node_limit = 200_000) ?(max_lp_iters = 50_000)
   if not (Float.is_nan stats.gap_closed_root) then
     Obs.Series.add s_gap_closed_root ~x:stats.elapsed ~y:stats.gap_closed_root;
   Obs.Series.add s_gap ~x:stats.elapsed ~y:stats.gap;
+  if Obs.Log.enabled () then
+    Obs.Log.event "milp.done"
+      [
+        ("nodes", Obs.Json.Int stats.nodes);
+        ("pivots", Obs.Json.Int stats.lp_iterations);
+        ("gap", Obs.Json.Float stats.gap);
+        ("elapsed_s", Obs.Json.Float stats.elapsed);
+      ];
   let mk_cert cstatus =
     if not certs_on then None
     else begin

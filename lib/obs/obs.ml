@@ -194,6 +194,13 @@ module Series = struct
     end
 
   let points s = List.rev s.pts
+
+  (* Most recent point, if any. Lock-guarded: the resource probe reads
+     series the solver domains are appending to. *)
+  let last s =
+    locked registry_mutex (fun () ->
+        match s.pts with p :: _ -> Some p | [] -> None)
+
   let name s = s.sname
   let seen s = s.seen
   let capacity s = s.cap
@@ -255,13 +262,21 @@ module Json = struct
       s;
     Buffer.add_char buf '"'
 
-  (* Floats print with enough digits to round-trip and always in a form
-     float_of_string reads back; non-finite values have no JSON spelling
-     and degrade to null. *)
+  (* Floats print with the shortest digit string that [float_of_string]
+     reads back to exactly the same IEEE double (precision grows until
+     the round trip is exact; 17 significant digits always suffice) and
+     always in a form the parser recognises as a float; non-finite
+     values have no JSON spelling and degrade to null. Exactness
+     matters downstream: bench-diff re-reads metrics files and compares
+     them, and must never see a precision-loss delta. *)
   let float_repr f =
     if not (Float.is_finite f) then None
     else
-      let s = Printf.sprintf "%.12g" f in
+      let rec shortest p =
+        let s = Printf.sprintf "%.*g" p f in
+        if p >= 17 || float_of_string s = f then s else shortest (p + 1)
+      in
+      let s = shortest 1 in
       Some
         (if String.exists (fun c -> c = '.' || c = 'e' || c = 'n') s then s
          else s ^ ".0")
@@ -1001,6 +1016,362 @@ module Trace = struct
   end
 end
 
+(* Leveled structured event log: the narrative companion to {!Trace}.
+   Trace answers "where did the time go" with nested spans; Log answers
+   "what happened" with a flat ordered stream of typed events — flow
+   phase transitions, cascade retries/degradations, incumbents, cut
+   rounds, checkpoints, recoveries, stalls, probe samples — serialized
+   as NDJSON (one JSON object per line, greppable and tail-able, framed
+   by a header and a footer line). Same discipline as Trace:
+   process-global, mutex-guarded, bounded with drop-new-at-the-cap plus
+   a drop count, off by default, and strictly observational — no solver
+   decision may ever read it. *)
+module Log = struct
+  type level = Debug | Info | Warn | Error
+
+  let level_value = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+  let level_name = function
+    | Debug -> "debug"
+    | Info -> "info"
+    | Warn -> "warn"
+    | Error -> "error"
+
+  let level_of_string s =
+    match String.lowercase_ascii (String.trim s) with
+    | "debug" -> Some Debug
+    | "info" -> Some Info
+    | "warn" | "warning" -> Some Warn
+    | "error" -> Some Error
+    | _ -> None
+
+  type event = {
+    l_ts : float;  (** seconds since {!enable}, wall clock *)
+    l_level : level;
+    l_name : string;
+    l_args : (string * Json.t) list;
+  }
+
+  let schema = "pipesyn-log-v1"
+  let default_cap = 200_000
+
+  let cap_from_env () =
+    match Sys.getenv_opt "PIPESYN_LOG_CAP" with
+    | None | Some "" -> default_cap
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some v when v >= 16 -> v
+        | _ -> default_cap)
+
+  (* Everything below is guarded by [log_mutex]; [on] is read unlocked
+     on the hot path (a stale read can only delay the first or last
+     event of an enable window, never corrupt the buffer). *)
+  let log_mutex = Mutex.create ()
+  let on = ref false
+  let epoch = ref 0.0
+  let cap = ref default_cap
+  let min_level = ref Info
+  let buf : event option array ref = ref [||]
+  let len = ref 0
+  let dropped_n = ref 0
+  let sink : (event -> unit) option ref = ref None
+
+  let push_locked e =
+    if !len >= Array.length !buf then begin
+      let ncap = min !cap (max 1024 (2 * Array.length !buf)) in
+      let nbuf = Array.make ncap None in
+      Array.blit !buf 0 nbuf 0 !len;
+      buf := nbuf
+    end;
+    !buf.(!len) <- Some e;
+    incr len
+
+  let enable ?cap:c ?(level = Info) () =
+    locked log_mutex (fun () ->
+        on := true;
+        epoch := Clock.wall ();
+        cap := (match c with Some n -> max 16 n | None -> cap_from_env ());
+        min_level := level;
+        buf := [||];
+        len := 0;
+        dropped_n := 0)
+
+  let disable () = locked log_mutex (fun () -> on := false)
+  let enabled () = !on
+
+  let clear () =
+    locked log_mutex (fun () ->
+        buf := [||];
+        len := 0;
+        dropped_n := 0)
+
+  let set_sink f = locked log_mutex (fun () -> sink := f)
+
+  let event ?(level = Info) name args =
+    if !on && level_value level >= level_value !min_level then begin
+      let cb =
+        locked log_mutex (fun () ->
+            if not !on then None
+            else begin
+              let e =
+                { l_ts = Clock.wall () -. !epoch; l_level = level;
+                  l_name = name; l_args = args }
+              in
+              if !len < !cap then push_locked e else incr dropped_n;
+              match !sink with Some f -> Some (f, e) | None -> None
+            end)
+      in
+      (* The sink (the --progress renderer) runs outside the lock so a
+         slow terminal never blocks solver domains, and its exceptions
+         never reach the solver. *)
+      match cb with Some (f, e) -> ( try f e with _ -> ()) | None -> ()
+    end
+
+  let num_events () = locked log_mutex (fun () -> !len)
+  let dropped () = locked log_mutex (fun () -> !dropped_n)
+
+  let json_of_event e =
+    Json.Obj
+      (("t", Json.Float e.l_ts)
+      :: ("level", Json.String (level_name e.l_level))
+      :: ("ev", Json.String e.l_name)
+      ::
+      (match e.l_args with [] -> [] | args -> [ ("args", Json.Obj args) ]))
+
+  (* NDJSON form: a header object naming the schema and clock, one
+     object per event, and a [log.end] footer carrying the event and
+     drop counts — so a consumer can both stream the file line by line
+     and check completeness at the end. *)
+  let to_lines () =
+    locked log_mutex (fun () ->
+        let header =
+          Json.Obj
+            [
+              ("schema", Json.String schema);
+              ("clock", Json.String "wall-s");
+              ("cap", Json.Int !cap);
+              ("min_level", Json.String (level_name !min_level));
+            ]
+        in
+        let footer =
+          Json.Obj
+            [
+              ("ev", Json.String "log.end");
+              ("t", Json.Float (Clock.wall () -. !epoch));
+              ("events", Json.Int !len);
+              ("dropped", Json.Int !dropped_n);
+            ]
+        in
+        let lines = ref [ footer ] in
+        for i = !len - 1 downto 0 do
+          match !buf.(i) with
+          | Some e -> lines := json_of_event e :: !lines
+          | None -> ()
+        done;
+        header :: !lines)
+
+  let write ~path =
+    let lines = to_lines () in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        List.iter
+          (fun j ->
+            output_string oc (Json.to_string j);
+            output_char oc '\n')
+          lines)
+end
+
+(* Background resource sampler: a dedicated domain that wakes every
+   [PIPESYN_PROBE_MS] milliseconds and snapshots GC statistics, peak
+   RSS, the live solver counters and the incumbent/gap into bounded
+   {!Series}, trace instants and {!Log} events — the live signal that
+   feedback-guided re-solving and the [--progress] line are built from.
+   Off by default. Strictly read-only with respect to the solver: it
+   reads atomics and registry snapshots and writes only into the
+   observability layer, so solver results are byte-identical probe-on
+   vs probe-off. *)
+module Probe = struct
+  let period_ms_from_env () =
+    match Sys.getenv_opt "PIPESYN_PROBE_MS" with
+    | None | Some "" -> None
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some v when v >= 1 -> Some v
+        | _ -> None)
+
+  (* Peak resident set size from /proc/self/status (VmHWM, kB); [None]
+     on platforms without procfs — callers treat the figure as
+     best-effort. *)
+  let peak_rss_kb () =
+    match open_in "/proc/self/status" with
+    | exception Sys_error _ -> None
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let rec scan () =
+              match input_line ic with
+              | exception End_of_file -> None
+              | line ->
+                  if String.length line >= 6 && String.sub line 0 6 = "VmHWM:"
+                  then begin
+                    let digits = Buffer.create 8 in
+                    String.iter
+                      (fun c ->
+                        if c >= '0' && c <= '9' then Buffer.add_char digits c)
+                      line;
+                    int_of_string_opt (Buffer.contents digits)
+                  end
+                  else scan ()
+            in
+            scan ())
+
+  let running_flag = Atomic.make false
+  let stop_flag = Atomic.make false
+  let n_samples = Atomic.make 0
+  let dom : unit Domain.t option ref = ref None
+  let probe_mutex = Mutex.create ()
+
+  (* Per-worker-domain node counters are published by the solver under
+     this prefix; the probe turns their deltas into rate series. *)
+  let domain_counter_prefix = "milp.nodes.d"
+
+  let loop period_s =
+    let t0 = Clock.wall () in
+    let c_nodes = Counter.get "milp.bnb_nodes" in
+    let c_pivots = Counter.get "milp.lp_pivots" in
+    let s_heap = Series.get "probe.heap_words" in
+    let s_minor = Series.get "probe.minor_words" in
+    let s_major = Series.get "probe.major_words" in
+    let s_rss = Series.get "probe.rss_kb" in
+    let s_nrate = Series.get "probe.nodes_per_s" in
+    let s_prate = Series.get "probe.pivots_per_s" in
+    let prev_t = ref t0 in
+    let prev_nodes = ref (Counter.value c_nodes) in
+    let prev_pivots = ref (Counter.value c_pivots) in
+    let prev_dom : (string, int) Hashtbl.t = Hashtbl.create 8 in
+    (* Sleep in short slices so [stop] returns promptly even under a
+       long sampling period. *)
+    let rec nap remaining =
+      if remaining > 0.0 && not (Atomic.get stop_flag) then begin
+        Unix.sleepf (Float.min remaining 0.02);
+        nap (remaining -. 0.02)
+      end
+    in
+    while not (Atomic.get stop_flag) do
+      nap period_s;
+      if not (Atomic.get stop_flag) then begin
+        let now_ = Clock.wall () in
+        let t = now_ -. t0 in
+        let dt = Float.max 1e-9 (now_ -. !prev_t) in
+        let g = Gc.quick_stat () in
+        let nodes = Counter.value c_nodes in
+        let pivots = Counter.value c_pivots in
+        let nrate = float_of_int (nodes - !prev_nodes) /. dt in
+        let prate = float_of_int (pivots - !prev_pivots) /. dt in
+        let rss = peak_rss_kb () in
+        Series.add s_heap ~x:t ~y:(float_of_int g.Gc.heap_words);
+        Series.add s_minor ~x:t ~y:g.Gc.minor_words;
+        Series.add s_major ~x:t ~y:g.Gc.major_words;
+        (match rss with
+        | Some kb -> Series.add s_rss ~x:t ~y:(float_of_int kb)
+        | None -> ());
+        Series.add s_nrate ~x:t ~y:nrate;
+        Series.add s_prate ~x:t ~y:prate;
+        let pl = String.length domain_counter_prefix in
+        List.iter
+          (fun (cname, v) ->
+            if
+              String.length cname > pl
+              && String.sub cname 0 pl = domain_counter_prefix
+            then begin
+              let prev =
+                match Hashtbl.find_opt prev_dom cname with
+                | Some p -> p
+                | None -> 0
+              in
+              Hashtbl.replace prev_dom cname v;
+              let wid = String.sub cname pl (String.length cname - pl) in
+              Series.add
+                (Series.get ("probe.nodes_per_s.d" ^ wid))
+                ~x:t
+                ~y:(float_of_int (v - prev) /. dt)
+            end)
+          (Counter.snapshot ());
+        let gap =
+          match Series.last (Series.get "milp.convergence") with
+          | Some (_, y) -> y
+          | None -> Float.nan
+        in
+        let inc =
+          match Series.last (Series.get "milp.incumbents") with
+          | Some (_, y) -> y
+          | None -> Float.nan
+        in
+        let args =
+          [
+            ("heap_words", Json.Int g.Gc.heap_words);
+            ( "rss_kb",
+              match rss with Some kb -> Json.Int kb | None -> Json.Null );
+            ("minor_words", Json.Float g.Gc.minor_words);
+            ("major_words", Json.Float g.Gc.major_words);
+            ("compactions", Json.Int g.Gc.compactions);
+            ("nodes", Json.Int nodes);
+            ("pivots", Json.Int pivots);
+            ("nodes_per_s", Json.Float nrate);
+            ("pivots_per_s", Json.Float prate);
+            ("gap", Json.Float gap);
+            ("incumbent", Json.Float inc);
+          ]
+        in
+        if Trace.enabled () then
+          Trace.instant ~cat:"probe" ~tid:999 ~args "probe.sample";
+        Log.event "probe.sample" args;
+        ignore (Atomic.fetch_and_add n_samples 1);
+        prev_t := now_;
+        prev_nodes := nodes;
+        prev_pivots := pivots
+      end
+    done
+
+  let start ?period_ms () =
+    let p =
+      match period_ms with
+      | Some v when v >= 1 -> Some v
+      | Some _ -> None
+      | None -> period_ms_from_env ()
+    in
+    match p with
+    | None -> false
+    | Some ms ->
+        locked probe_mutex (fun () ->
+            if Atomic.get running_flag then true
+            else begin
+              Atomic.set stop_flag false;
+              Atomic.set n_samples 0;
+              let period_s = float_of_int ms /. 1000.0 in
+              dom := Some (Domain.spawn (fun () -> loop period_s));
+              Atomic.set running_flag true;
+              true
+            end)
+
+  let stop () =
+    locked probe_mutex (fun () ->
+        match !dom with
+        | None -> ()
+        | Some d ->
+            Atomic.set stop_flag true;
+            Domain.join d;
+            dom := None;
+            Atomic.set stop_flag false;
+            Atomic.set running_flag false)
+
+  let running () = Atomic.get running_flag
+  let samples () = Atomic.get n_samples
+end
+
 module Metrics = struct
   type t = {
     name : string;
@@ -1008,8 +1379,18 @@ module Metrics = struct
     lut : int;
     ff : int;
     slack : float;
-    solve_s : float;
-    bnb_nodes : int;
+    solve_s : float option;
+        (** MILP wall seconds; [None] (JSON null) for methods that never
+            entered the MILP (heuristic flows, hard errors) — pre-v9
+            files encoded that as 0.0, which {!of_json} normalizes back
+            to [None] *)
+    bnb_nodes : int option;
+        (** branch-and-bound nodes explored; [None] when the method
+            never entered the MILP (a real solve always explores at
+            least the root, so the legacy 0 encoding is unambiguous) *)
+    lp_pivots : int option;
+        (** simplex pivots across the solve's LPs; [None] when the
+            method never entered the MILP or for pre-v9 files *)
     cuts_total : int;
     first_incumbent_s : float;
         (** seconds into the MILP solve when the first incumbent
@@ -1050,11 +1431,17 @@ module Metrics = struct
     stalls : int;
         (** stall-watchdog escalations (nudges + cancels) recorded
             during the solve *)
+    gc_minor_words : float;
+        (** GC minor-heap words allocated across this result's flow run
+            (quick_stat delta); 0.0 for pre-v9 files *)
+    gc_major_words : float;
+        (** GC major-heap words allocated across this result's flow run
+            (quick_stat delta); 0.0 for pre-v9 files *)
     diagnostics : Json.t list;
     degradation : Json.t list;
   }
 
-  let schema_version = 8
+  let schema_version = 9
 
   let to_json m =
     Json.Obj
@@ -1064,8 +1451,12 @@ module Metrics = struct
         ("lut", Json.Int m.lut);
         ("ff", Json.Int m.ff);
         ("slack", Json.Float m.slack);
-        ("solve_s", Json.Float m.solve_s);
-        ("bnb_nodes", Json.Int m.bnb_nodes);
+        ( "solve_s",
+          match m.solve_s with Some s -> Json.Float s | None -> Json.Null );
+        ( "bnb_nodes",
+          match m.bnb_nodes with Some n -> Json.Int n | None -> Json.Null );
+        ( "lp_pivots",
+          match m.lp_pivots with Some n -> Json.Int n | None -> Json.Null );
         ("cuts_total", Json.Int m.cuts_total);
         ("first_incumbent_s", Json.Float m.first_incumbent_s);
         ("final_gap", Json.Float m.final_gap);
@@ -1081,6 +1472,8 @@ module Metrics = struct
         ("checkpoints", Json.Int m.checkpoints);
         ("recoveries", Json.Int m.recoveries);
         ("stalls", Json.Int m.stalls);
+        ("gc_minor_words", Json.Float m.gc_minor_words);
+        ("gc_major_words", Json.Float m.gc_major_words);
         ("diagnostics", Json.List m.diagnostics);
         ("degradation", Json.List m.degradation);
       ]
@@ -1109,8 +1502,28 @@ module Metrics = struct
     let* lut = int "lut" in
     let* ff = int "ff" in
     let* slack = flt "slack" in
-    let* solve_s = flt "solve_s" in
-    let* bnb_nodes = int "bnb_nodes" in
+    let solve_s =
+      match Json.member "solve_s" j with
+      | Some (Json.Float f) -> Some f
+      | Some (Json.Int i) -> Some (float_of_int i)
+      | _ -> None
+    in
+    let bnb_nodes =
+      match Json.member "bnb_nodes" j with Some (Json.Int i) -> Some i | _ -> None
+    in
+    (* Pre-v9 files wrote 0.0 / 0 for methods that never entered the
+       MILP, indistinguishable from a real instant solve — except that a
+       real solve always explores at least the root node. Normalize the
+       legacy pair back to None on read, like audit_errors' -1. *)
+    let solve_s, bnb_nodes =
+      match (solve_s, bnb_nodes) with
+      | Some s, Some 0 when s = 0.0 -> (None, None)
+      | p -> p
+    in
+    (* Absent in schema v1–v8 files. *)
+    let lp_pivots =
+      match Json.member "lp_pivots" j with Some (Json.Int i) -> Some i | _ -> None
+    in
     let* cuts_total = int "cuts_total" in
     let* status = str "status" in
     (* Absent in schema v1–v3 files; default to nan for compatibility. *)
@@ -1156,6 +1569,15 @@ module Metrics = struct
     let checkpoints = int_opt "checkpoints" in
     let recoveries = int_opt "recoveries" in
     let stalls = int_opt "stalls" in
+    (* Absent in schema v1–v8 files. *)
+    let gc_flt k =
+      match Json.member k j with
+      | Some (Json.Float f) -> f
+      | Some (Json.Int i) -> float_of_int i
+      | _ -> 0.0
+    in
+    let gc_minor_words = gc_flt "gc_minor_words" in
+    let gc_major_words = gc_flt "gc_major_words" in
     (* Absent in schema v1 files; default to empty for compatibility. *)
     let diagnostics =
       match Json.member "diagnostics" j with Some (Json.List l) -> l | _ -> []
@@ -1173,6 +1595,7 @@ module Metrics = struct
         slack;
         solve_s;
         bnb_nodes;
+        lp_pivots;
         cuts_total;
         first_incumbent_s;
         final_gap;
@@ -1187,9 +1610,31 @@ module Metrics = struct
         checkpoints;
         recoveries;
         stalls;
+        gc_minor_words;
+        gc_major_words;
         diagnostics;
         degradation;
       }
+
+  (* File-level resource totals, captured at write time: process-lifetime
+     GC figures, the current and top heap, and (Linux) the peak-RSS
+     high-water mark, plus how many probe samples informed the run. *)
+  let resources () =
+    let g = Gc.quick_stat () in
+    Json.Obj
+      [
+        ("gc_minor_words", Json.Float g.Gc.minor_words);
+        ("gc_promoted_words", Json.Float g.Gc.promoted_words);
+        ("gc_major_words", Json.Float g.Gc.major_words);
+        ("gc_compactions", Json.Int g.Gc.compactions);
+        ("heap_words", Json.Int g.Gc.heap_words);
+        ("top_heap_words", Json.Int g.Gc.top_heap_words);
+        ( "peak_rss_kb",
+          match Probe.peak_rss_kb () with
+          | Some kb -> Json.Int kb
+          | None -> Json.Null );
+        ("probe_samples", Json.Int (Probe.samples ()));
+      ]
 
   let file ~results =
     Json.Obj
@@ -1197,6 +1642,7 @@ module Metrics = struct
         ("schema_version", Json.Int schema_version);
         ( "obs",
           Json.Obj (List.map (fun (n, v) -> (n, Json.Float v)) (snapshot ())) );
+        ("resources", resources ());
         ("trace", Trace.summary ());
         ("results", Json.List (List.map to_json results));
       ]

@@ -136,6 +136,11 @@ module Series : sig
   val points : t -> (float * float) list
   (** Stored points in insertion order since the last {!reset}. *)
 
+  val last : t -> (float * float) option
+  (** Most recently stored point, or [None] for an empty series.
+      Lock-guarded, so the resource probe can read a series solver
+      domains are appending to. *)
+
   val seen : t -> int
   (** Total {!add} calls since the last {!reset}, including calls whose
       point was not stored. *)
@@ -371,6 +376,129 @@ module Trace : sig
   end
 end
 
+(** {1 Structured event log} *)
+
+(** Leveled structured event stream — the narrative companion to
+    {!Trace}. Where Trace records nested spans for timing analysis, Log
+    records a flat ordered stream of typed events (flow phase
+    transitions, cascade retries/degradations, MILP incumbents, cut
+    rounds, checkpoints, recoveries, stalls, probe samples) serialized
+    as NDJSON: one JSON object per line, framed by a header line naming
+    the schema ([pipesyn-log-v1]) and a [log.end] footer carrying the
+    event and drop counts. Behind [pipesyn run --log FILE] and the
+    [PIPESYN_LOG] environment variable; the [--progress] TTY status
+    line renders from the same stream via {!Log.set_sink}.
+
+    Same discipline as {!Trace}: off by default and one flag-check when
+    disabled; process-global and mutex-guarded, so events may be
+    emitted from any domain; bounded ([PIPESYN_LOG_CAP], default
+    {!Log.default_cap}) with new events dropped and counted once the
+    cap is reached; strictly observational — no solver decision may
+    read it (pinned by the telemetry-neutrality tests). *)
+module Log : sig
+  type level = Debug | Info | Warn | Error
+
+  type event = {
+    l_ts : float;  (** seconds since {!enable}, wall clock *)
+    l_level : level;
+    l_name : string;  (** dot-separated, e.g. ["milp.incumbent"] *)
+    l_args : (string * Json.t) list;
+  }
+
+  val schema : string
+  (** ["pipesyn-log-v1"], the header line's schema tag. *)
+
+  val default_cap : int
+  (** Event cap when [PIPESYN_LOG_CAP] is unset (200_000). *)
+
+  val level_name : level -> string
+  (** ["debug"], ["info"], ["warn"], ["error"]. *)
+
+  val level_of_string : string -> level option
+  (** Inverse of {!level_name} (case-insensitive; accepts
+      ["warning"]). *)
+
+  val enabled : unit -> bool
+  (** Whether events are currently being recorded. *)
+
+  val enable : ?cap:int -> ?level:level -> unit -> unit
+  (** Clears the buffer, sets the timestamp epoch to now, and starts
+      recording events at or above [level] (default [Info]). [cap]
+      overrides the environment/default cap (clamped to at least
+      16). *)
+
+  val disable : unit -> unit
+  (** Stops recording; the buffer is kept for {!write}. *)
+
+  val clear : unit -> unit
+  (** Drops buffered events and the drop count (keeps the
+      enabled/disabled state). *)
+
+  val event : ?level:level -> string -> (string * Json.t) list -> unit
+  (** [event name args] appends one event (subject to the level filter
+      and the cap). Safe to call from any domain; no-op when
+      disabled. *)
+
+  val set_sink : (event -> unit) option -> unit
+  (** Installs (or removes) a live observer called with each accepted
+      event, outside the buffer lock — the [--progress] renderer. Sink
+      exceptions are swallowed. *)
+
+  val num_events : unit -> int
+  (** Events currently buffered. *)
+
+  val dropped : unit -> int
+  (** Events dropped at the cap since the last {!enable}/{!clear}. *)
+
+  val to_lines : unit -> Json.t list
+  (** The NDJSON document as a list of per-line JSON objects: header,
+      one object per event ([{"t": …, "level": …, "ev": …,
+      "args": {…}?}]), and the [log.end] footer. *)
+
+  val write : path:string -> unit
+  (** Writes {!to_lines} to [path], one compact JSON object per line
+      (truncating). *)
+end
+
+(** {1 Resource probe} *)
+
+(** Background resource sampler on its own domain. Every period it
+    snapshots [Gc.quick_stat] (minor/major allocated words, heap words,
+    compactions), the peak RSS, the live solver counters
+    ([milp.bnb_nodes], [milp.lp_pivots]) and the current
+    incumbent/gap, and derives global and per-worker-domain node rates
+    — appending everything to bounded [probe.*] {!Series}, a
+    ["probe.sample"] trace instant (when tracing is on) and a
+    ["probe.sample"] {!Log} event (when logging is on).
+
+    Off by default: {!Probe.start} without an explicit period reads
+    [PIPESYN_PROBE_MS] and does nothing when it is unset. The probe is
+    strictly read-only with respect to the solver — it reads atomics
+    and registry snapshots and writes only into the observability
+    layer, so solver results are byte-identical probe-on vs probe-off
+    (pinned by the telemetry-neutrality tests). *)
+module Probe : sig
+  val start : ?period_ms:int -> unit -> bool
+  (** Starts the sampler domain with the given period (milliseconds,
+      clamped to at least 1), or with [PIPESYN_PROBE_MS] when
+      [period_ms] is omitted. Returns whether a probe is now running
+      ([false] when no period is configured). Idempotent while
+      running. *)
+
+  val stop : unit -> unit
+  (** Signals the sampler and joins its domain (returns within one
+      ~20 ms sleep slice). No-op when not running. *)
+
+  val running : unit -> bool
+
+  val samples : unit -> int
+  (** Samples taken since the last {!start}. *)
+
+  val peak_rss_kb : unit -> int option
+  (** Peak resident set size (VmHWM) in kB from [/proc/self/status];
+      [None] on platforms without procfs. *)
+end
+
 (** {1 Structured metrics} *)
 
 (** The stable per-(benchmark, method) record behind [pipesyn --json] and
@@ -382,8 +510,21 @@ module Metrics : sig
     lut : int;  (** LUTs used (QoR model) *)
     ff : int;  (** flip-flop bits used (QoR model) *)
     slack : float;  (** [t_clk - achieved CP], ns (negative = violated) *)
-    solve_s : float;  (** MILP seconds (0 for the heuristic flows) *)
-    bnb_nodes : int;  (** branch-and-bound nodes explored (0 heuristic) *)
+    solve_s : float option;
+        (** MILP wall seconds; [None] (JSON [null]) for methods that
+            never entered the MILP — heuristic flows and hard errors
+            (schema v9; pre-v9 files wrote 0.0 there, which {!of_json}
+            normalizes back to [None]) *)
+    bnb_nodes : int option;
+        (** branch-and-bound nodes explored; [None] when the method
+            never entered the MILP. A real solve always explores at
+            least the root node, so the legacy 0 encoding reads back
+            unambiguously as [None] (schema v9) *)
+    lp_pivots : int option;
+        (** simplex pivots across all of the solve's LPs
+            ([Milp.stats.lp_iterations], this-run-only on resume);
+            [None] when the method never entered the MILP or for pre-v9
+            files (schema v9) *)
     cuts_total : int;  (** cuts enumerated for the run's cut sets *)
     first_incumbent_s : float;
         (** seconds into the MILP solve when the first incumbent
@@ -439,6 +580,13 @@ module Metrics : sig
         (** stall-watchdog escalations — refactorization nudges plus
             cancel-and-requeues ([Milp.stats.stalls]) — during the solve
             (schema v7) *)
+    gc_minor_words : float;
+        (** GC minor-heap words allocated across this result's flow run
+            ([Gc.quick_stat] delta bracketing the run); 0.0 for pre-v9
+            files (schema v9) *)
+    gc_major_words : float;
+        (** GC major-heap words allocated across this result's flow run;
+            0.0 for pre-v9 files (schema v9) *)
     diagnostics : Json.t list;
         (** static-analysis findings from the run's lint gate, one
             {!Analyze.Diag.to_json} object each (schema v2; absent fields
@@ -464,7 +612,12 @@ module Metrics : sig
       solve supervision, and switches every timestamp from CPU seconds
       to the monotonic wall clock; 8 = adds per-result
       [milp_cuts]/[gap_closed_root] for the root cutting planes, and
-      replaces the [audit_errors] -1 sentinel with JSON [null]. *)
+      replaces the [audit_errors] -1 sentinel with JSON [null]; 9 =
+      [solve_s]/[bnb_nodes] become nullable (null = never entered the
+      MILP, replacing the ambiguous 0.0/0 encoding), adds per-result
+      [lp_pivots]/[gc_minor_words]/[gc_major_words] and the file-level
+      ["resources"] object (process GC totals, top heap, peak RSS,
+      probe sample count). *)
 
   val to_json : t -> Json.t
   (** One flat object: [{"name": …, "method": …, "lut": …, "ff": …,
@@ -476,11 +629,20 @@ module Metrics : sig
   val of_json : Json.t -> (t, string) result
   (** Inverse of {!to_json} (round-trip checks). *)
 
+  val resources : unit -> Json.t
+  (** The file-level ["resources"] object, captured at call time:
+      process-lifetime GC totals ([gc_minor_words],
+      [gc_promoted_words], [gc_major_words], [gc_compactions]), the
+      current and top heap ([heap_words], [top_heap_words]), the peak
+      RSS ([peak_rss_kb], [null] off-Linux) and [probe_samples]
+      ({!Probe.samples}). *)
+
   val file : results:t list -> Json.t
   (** The emitted file shape: [{"schema_version": …, "obs": {flat
-      snapshot}, "trace": {summary}, "results": […]}] — [obs] carries
-      the {!snapshot} and [trace] the {!Trace.summary} at emission
-      time. *)
+      snapshot}, "resources": {…}, "trace": {summary},
+      "results": […]}] — [obs] carries the {!snapshot}, [resources]
+      the {!resources} object and [trace] the {!Trace.summary} at
+      emission time. *)
 
   val write_file : path:string -> results:t list -> unit
   (** Writes {!file} to [path] (truncating). *)

@@ -88,7 +88,9 @@ let run ~deadline steps =
               && not (Deadline.expired deadline)
             in
             (* Degradation transitions and retries are trace instants so
-               the cascade's fall-through is visible on the timeline. *)
+               the cascade's fall-through is visible on the timeline,
+               and log events so the NDJSON stream tells the same
+               story. *)
             if Obs.Trace.enabled () then
               Obs.Trace.instant ~cat:"cascade"
                 (if retryable then "cascade.retry" else "cascade.degraded")
@@ -98,6 +100,15 @@ let run ~deadline steps =
                     ("reason", Obs.Json.String reason);
                     ("retry", Obs.Json.Int try_n);
                   ];
+            if Obs.Log.enabled () then
+              Obs.Log.event ~level:Obs.Log.Warn
+                (if retryable then "cascade.retry" else "cascade.degraded")
+                [
+                  ("attempt", Obs.Json.String s.slabel);
+                  ("reason", Obs.Json.String reason);
+                  ("detail", Obs.Json.String detail);
+                  ("retry", Obs.Json.Int try_n);
+                ];
             if retryable then begin
               Obs.Counter.incr c_retries;
               try_step (try_n + 1)
@@ -117,6 +128,12 @@ let run ~deadline steps =
               | Some b -> Deadline.clip deadline ~budget:b
             in
             let attempt () =
+              if Obs.Log.enabled () then
+                Obs.Log.event "cascade.attempt"
+                  [
+                    ("attempt", Obs.Json.String s.slabel);
+                    ("retry", Obs.Json.Int try_n);
+                  ];
               if Obs.Trace.enabled () then
                 Obs.Trace.span ~cat:"cascade" "cascade.attempt"
                   ~args:[ ("attempt", Obs.Json.String s.slabel) ]

@@ -160,8 +160,9 @@ let sample_metrics =
     lut = 24;
     ff = 0;
     slack = 1.4;
-    solve_s = 5.04;
-    bnb_nodes = 55;
+    solve_s = Some 5.04;
+    bnb_nodes = Some 55;
+    lp_pivots = Some 1234;
     cuts_total = 195;
     first_incumbent_s = 0.8;
     final_gap = 0.02;
@@ -176,6 +177,8 @@ let sample_metrics =
     checkpoints = 2;
     recoveries = 1;
     stalls = 0;
+    gc_minor_words = 123456.0;
+    gc_major_words = 7890.0;
     diagnostics = [];
     degradation = [];
   }
@@ -191,11 +194,13 @@ let test_metrics_roundtrip () =
           Alcotest.(check bool) "round-trips" true (m = sample_metrics))
 
 (* A v3-era record (no convergence fields) must still parse; the new
-   fields default to nan rather than failing the load. *)
+   fields default to nan rather than failing the load, and the legacy
+   "solve_s": 0.0 / "bnb_nodes": 0 heuristic encoding normalizes to
+   None (a real solve always explores at least the root node). *)
 let test_metrics_v3_compat () =
   let s =
     {|{"name":"X","method":"HLS Tool","lut":1,"ff":2,"slack":0.5,
-       "solve_s":0.1,"bnb_nodes":0,"cuts_total":3,"status":"heuristic"}|}
+       "solve_s":0.0,"bnb_nodes":0,"cuts_total":3,"status":"heuristic"}|}
   in
   match Obs.Json.of_string s with
   | Error e -> Alcotest.failf "parse failed: %s" e
@@ -203,6 +208,16 @@ let test_metrics_v3_compat () =
       match Obs.Metrics.of_json j with
       | Error e -> Alcotest.failf "of_json failed: %s" e
       | Ok m ->
+          Alcotest.(check (option (float 0.0)))
+            "legacy 0.0 solve_s normalizes to None" None
+            m.Obs.Metrics.solve_s;
+          Alcotest.(check (option int))
+            "legacy 0 bnb_nodes normalizes to None" None
+            m.Obs.Metrics.bnb_nodes;
+          Alcotest.(check (option int)) "lp_pivots defaults to None" None
+            m.Obs.Metrics.lp_pivots;
+          Alcotest.(check (float 0.0)) "gc_minor_words defaults to 0" 0.0
+            m.Obs.Metrics.gc_minor_words;
           Alcotest.(check bool) "first_incumbent_s defaults to nan" true
             (Float.is_nan m.Obs.Metrics.first_incumbent_s);
           Alcotest.(check bool) "final_gap defaults to nan" true
@@ -264,9 +279,13 @@ let test_flow_metrics_end_to_end () =
   let m = Mams.Flow.metrics ~name:"RS-kernel" r1 in
   Alcotest.(check string) "name stamped" "RS-kernel" m.Obs.Metrics.name;
   Alcotest.(check string) "method" "MILP-map" m.Obs.Metrics.method_;
-  Alcotest.(check bool) "bnb_nodes > 0" true (m.Obs.Metrics.bnb_nodes > 0);
+  Alcotest.(check bool) "bnb_nodes > 0" true
+    (match m.Obs.Metrics.bnb_nodes with Some n -> n > 0 | None -> false);
   Alcotest.(check bool) "cuts_total > 0" true (m.Obs.Metrics.cuts_total > 0);
-  Alcotest.(check bool) "solve_s >= 0" true (m.Obs.Metrics.solve_s >= 0.0);
+  Alcotest.(check bool) "solve_s >= 0" true
+    (match m.Obs.Metrics.solve_s with Some s -> s >= 0.0 | None -> false);
+  Alcotest.(check bool) "lp_pivots > 0" true
+    (match m.Obs.Metrics.lp_pivots with Some p -> p > 0 | None -> false);
   Alcotest.(check int) "lut mirrors qor" r1.Mams.Flow.qor.Sched.Qor.luts
     m.Obs.Metrics.lut;
   Alcotest.(check int) "ff mirrors qor" r1.Mams.Flow.qor.Sched.Qor.ffs

@@ -1,0 +1,365 @@
+(* Tests for the live-telemetry layer (Obs.Log + Obs.Probe): NDJSON
+   stream semantics (levels, cap drops, well-formed output), probe
+   sampling, shortest-round-trip float printing — and the load-bearing
+   invariant that running the probe and the log stream together never
+   changes flow results, across the fault matrix and domain counts. *)
+
+let reset_log () =
+  Obs.Log.set_sink None;
+  Obs.Log.disable ();
+  Obs.Log.clear ()
+
+(* ------------------------------------------------------------------ *)
+(* log stream                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_log_disabled_is_inert () =
+  reset_log ();
+  Obs.Log.event "x" [];
+  Obs.Log.event ~level:Obs.Log.Error "y" [ ("k", Obs.Json.Int 1) ];
+  Alcotest.(check int) "no events recorded" 0 (Obs.Log.num_events ());
+  Alcotest.(check bool) "reports disabled" false (Obs.Log.enabled ())
+
+let test_log_level_filter () =
+  reset_log ();
+  Obs.Log.enable ~level:Obs.Log.Warn ();
+  Obs.Log.event ~level:Obs.Log.Debug "d" [];
+  Obs.Log.event ~level:Obs.Log.Info "i" [];
+  Obs.Log.event ~level:Obs.Log.Warn "w" [];
+  Obs.Log.event ~level:Obs.Log.Error "e" [];
+  Alcotest.(check int) "only warn and error recorded" 2
+    (Obs.Log.num_events ());
+  Alcotest.(check int) "sub-level events are filtered, not dropped" 0
+    (Obs.Log.dropped ());
+  reset_log ()
+
+let test_log_sink_sees_events () =
+  reset_log ();
+  Obs.Log.enable ();
+  let seen = ref [] in
+  Obs.Log.set_sink (Some (fun e -> seen := e.Obs.Log.l_name :: !seen));
+  Obs.Log.event "a" [];
+  Obs.Log.event "b" [ ("x", Obs.Json.Float 1.5) ];
+  Obs.Log.set_sink (Some (fun _ -> failwith "sink exceptions are swallowed"));
+  Obs.Log.event "c" [];
+  Alcotest.(check (list string)) "sink saw a then b" [ "a"; "b" ]
+    (List.rev !seen);
+  Alcotest.(check int) "c was still recorded" 3 (Obs.Log.num_events ());
+  reset_log ()
+
+(* Every line of the NDJSON document — header, events, footer — must
+   re-parse individually, even when the cap dropped events. *)
+let test_log_ndjson_well_formed_under_drops () =
+  reset_log ();
+  Obs.Log.enable ~cap:16 ();
+  for i = 0 to 99 do
+    Obs.Log.event "tick" [ ("i", Obs.Json.Int i) ]
+  done;
+  Alcotest.(check int) "buffer at cap" 16 (Obs.Log.num_events ());
+  Alcotest.(check int) "drops counted" 84 (Obs.Log.dropped ());
+  let lines = Obs.Log.to_lines () in
+  Alcotest.(check int) "header + events + footer" 18 (List.length lines);
+  List.iter
+    (fun l ->
+      let s = Obs.Json.to_string l in
+      match Obs.Json.of_string s with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "NDJSON line did not re-parse: %s: %s" s e)
+    lines;
+  (match lines with
+  | header :: _ ->
+      Alcotest.(check bool) "schema tag" true
+        (Obs.Json.member "schema" header
+        = Some (Obs.Json.String Obs.Log.schema))
+  | [] -> Alcotest.fail "no header");
+  (match List.rev lines with
+  | footer :: _ ->
+      Alcotest.(check bool) "footer is log.end" true
+        (Obs.Json.member "ev" footer = Some (Obs.Json.String "log.end"));
+      Alcotest.(check bool) "footer counts drops" true
+        (Obs.Json.member "dropped" footer = Some (Obs.Json.Int 84))
+  | [] -> Alcotest.fail "no footer");
+  reset_log ()
+
+let test_log_write_file () =
+  reset_log ();
+  Obs.Log.enable ();
+  Obs.Log.event "one" [];
+  Obs.Log.event "two" [ ("t", Obs.Json.Float 0.25) ];
+  let path = Filename.temp_file "pipesyn-log" ".ndjson" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Obs.Log.write ~path;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines = List.rev !lines in
+      Alcotest.(check int) "one line per record" 4 (List.length lines);
+      List.iter
+        (fun s ->
+          match Obs.Json.of_string s with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "file line did not parse: %s: %s" s e)
+        lines);
+  reset_log ()
+
+(* ------------------------------------------------------------------ *)
+(* shortest round-trip float printing                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Timestamps, objectives and GC word counts all travel through
+   Json.to_string; parsing the printed form must recover the exact
+   float, and simple values must not grow 17-digit tails. *)
+let test_float_round_trip_exact () =
+  let cases =
+    [
+      0.0; 1.0; -1.0; 0.1; 0.25; 1e-9; 1.5e300; 4223459.0; 0.36365699768066406;
+      Float.pi; 1.0 /. 3.0; Float.max_float; Float.min_float; 1e22; -0.0;
+    ]
+  in
+  List.iter
+    (fun f ->
+      let s = Obs.Json.to_string (Obs.Json.Float f) in
+      match Obs.Json.of_string s with
+      | Ok (Obs.Json.Float g) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%h survives to_string/of_string (%s)" f s)
+            true
+            (Int64.equal (Int64.bits_of_float f) (Int64.bits_of_float g))
+      | Ok (Obs.Json.Int i) ->
+          (* integral floats may print without a fraction; value must match *)
+          Alcotest.(check bool)
+            (Printf.sprintf "%h parses back equal as int (%s)" f s)
+            true
+            (float_of_int i = f)
+      | Ok _ -> Alcotest.failf "%s parsed to a non-number" s
+      | Error e -> Alcotest.failf "%s did not parse: %s" s e)
+    cases;
+  Alcotest.(check string) "0.1 prints shortest" "0.1"
+    (Obs.Json.to_string (Obs.Json.Float 0.1));
+  Alcotest.(check string) "1.5 prints shortest" "1.5"
+    (Obs.Json.to_string (Obs.Json.Float 1.5))
+
+(* ------------------------------------------------------------------ *)
+(* probe                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_probe_off_without_period () =
+  Obs.Probe.stop ();
+  (* no PIPESYN_PROBE_MS in the test environment and no explicit period *)
+  if Sys.getenv_opt "PIPESYN_PROBE_MS" = None then begin
+    Alcotest.(check bool) "start without period is a no-op" false
+      (Obs.Probe.start ());
+    Alcotest.(check bool) "not running" false (Obs.Probe.running ())
+  end
+
+let test_probe_samples_and_series () =
+  Obs.reset ();
+  Alcotest.(check bool) "probe started" true (Obs.Probe.start ~period_ms:2 ());
+  Alcotest.(check bool) "running" true (Obs.Probe.running ());
+  (* burn a little work so the sampler gets scheduled a few times *)
+  let t0 = Unix.gettimeofday () in
+  let acc = ref 0.0 in
+  while Unix.gettimeofday () -. t0 < 0.1 do
+    for i = 1 to 10_000 do
+      acc := !acc +. float_of_int i
+    done
+  done;
+  Obs.Probe.stop ();
+  Alcotest.(check bool) "stopped" false (Obs.Probe.running ());
+  Alcotest.(check bool) "took samples" true (Obs.Probe.samples () > 0);
+  Alcotest.(check bool) "heap series populated" true
+    (Obs.Series.points (Obs.Series.get "probe.heap_words") <> []);
+  (match Obs.Probe.peak_rss_kb () with
+  | Some kb -> Alcotest.(check bool) "peak RSS positive" true (kb > 0)
+  | None -> ());
+  (* resources section reflects the probe *)
+  let j = Obs.Metrics.resources () in
+  Alcotest.(check bool) "resources counts probe samples" true
+    (match Obs.Json.member "probe_samples" j with
+    | Some (Obs.Json.Int n) -> n > 0
+    | _ -> false);
+  Obs.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* neutrality: telemetry must never change flow results                *)
+(* ------------------------------------------------------------------ *)
+
+let flow_setup ?(time_limit = 30.0) ~domains () =
+  {
+    (Mams.Flow.default_setup ~device:Fpga.Device.figure1) with
+    delays = Fpga.Delays.make ~logic:2.0 ~arith_base:1.6 ~arith_per_bit:0.2 ();
+    time_limit;
+    domains = Some domains;
+  }
+
+let run_flow setup g =
+  match Mams.Flow.run setup Mams.Flow.Milp_map g with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "flow failed: %s" e
+
+(* Everything result-shaped, minus wall-clock timings. With several
+   solver domains the B&B may break an objective tie either way run to
+   run (exploration order races the bound broadcast), landing on a
+   different optimal vertex with a last-ulp objective difference — so
+   the multi-domain fingerprint keeps only what parallel solve
+   guarantees deterministic (status and trail; the objective is
+   compared separately with a tolerance), while the single-domain one
+   pins the whole result. *)
+let fingerprint ~domains (r : Mams.Flow.result) =
+  let stable =
+    ( r.Mams.Flow.solve.Mams.Flow.milp_status,
+      r.Mams.Flow.metrics.Obs.Metrics.status,
+      List.map
+        (fun (a : Resilience.Cascade.attempt) ->
+          (a.Resilience.Cascade.label, a.Resilience.Cascade.reason))
+        r.Mams.Flow.trail )
+  in
+  let full =
+    if domains > 1 then None
+    else
+      Some
+        ( r.Mams.Flow.qor,
+          Array.to_list r.Mams.Flow.schedule.Sched.Schedule.cycle,
+          Sched.Cover.roots r.Mams.Flow.cover,
+          ( r.Mams.Flow.metrics.Obs.Metrics.lut,
+            r.Mams.Flow.metrics.Obs.Metrics.ff,
+            r.Mams.Flow.metrics.Obs.Metrics.bnb_nodes ) )
+  in
+  (stable, full, r.Mams.Flow.metrics.Obs.Metrics.objective)
+
+let same_objective a b =
+  (Float.is_nan a && Float.is_nan b)
+  || Float.abs (a -. b) <= 1e-9 *. (1.0 +. Float.max (Float.abs a) (Float.abs b))
+
+let run_neutrality_case ~fault ~domains () =
+  let g = Benchmarks.Rs.kernel ~width:2 () in
+  (* A stalled worker busy-waits out its entire solve budget before the
+     flow degrades, so that one case gets a small budget (the outcome —
+     a deterministic heuristic fallback — is budget-independent). *)
+  let time_limit = if fault = Some "milp.stall" then 2.0 else 30.0 in
+  let setup = flow_setup ~time_limit ~domains () in
+  let run_once ~telemetry =
+    Resilience.Fault.clear ();
+    (match fault with
+    | None -> ()
+    | Some f -> (
+        match Resilience.Fault.arm f with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "cannot arm %s: %s" f e));
+    Obs.reset ();
+    reset_log ();
+    if telemetry then begin
+      Obs.Log.enable ();
+      ignore (Obs.Probe.start ~period_ms:5 ())
+    end;
+    let r = run_flow setup g in
+    Obs.Probe.stop ();
+    Resilience.Fault.clear ();
+    reset_log ();
+    r
+  in
+  let off_s, off_f, off_obj = fingerprint ~domains (run_once ~telemetry:false) in
+  let on_s, on_f, on_obj = fingerprint ~domains (run_once ~telemetry:true) in
+  let tag =
+    Printf.sprintf "(fault=%s, domains=%d)"
+      (Option.value ~default:"none" fault)
+      domains
+  in
+  (* structural [compare], not [(=)]: degraded reasons may embed NaN,
+     and NaN = NaN is false while compare orders it equal *)
+  Alcotest.(check bool)
+    ("telemetry run identical " ^ tag)
+    true
+    (compare (off_s, off_f) (on_s, on_f) = 0);
+  Alcotest.(check bool)
+    ("objective identical " ^ tag)
+    true
+    (same_objective off_obj on_obj)
+
+let test_neutrality_no_fault_1d () = run_neutrality_case ~fault:None ~domains:1 ()
+let test_neutrality_no_fault_4d () = run_neutrality_case ~fault:None ~domains:4 ()
+
+let test_neutrality_fault_matrix () =
+  List.iter
+    (fun (name, _doc) ->
+      run_neutrality_case ~fault:(Some name) ~domains:1 ();
+      run_neutrality_case ~fault:(Some name) ~domains:4 ())
+    Resilience.Fault.points
+
+(* The instrumented flow fills the log with well-formed events. *)
+let test_flow_log_end_to_end () =
+  let g = Benchmarks.Rs.kernel ~width:2 () in
+  let setup = flow_setup ~domains:1 () in
+  Obs.reset ();
+  reset_log ();
+  Obs.Log.enable ();
+  let (_ : Mams.Flow.result) = run_flow setup g in
+  Alcotest.(check bool) "events recorded" true (Obs.Log.num_events () > 0);
+  let names =
+    List.filter_map
+      (fun l ->
+        match Obs.Json.member "ev" l with
+        | Some (Obs.Json.String s) -> Some s
+        | _ -> None)
+      (Obs.Log.to_lines ())
+  in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " event present") true (List.mem n names))
+    [ "flow.phase"; "milp.incumbent"; "milp.done" ];
+  List.iter
+    (fun l ->
+      let s = Obs.Json.to_string l in
+      match Obs.Json.of_string s with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "flow log line did not parse: %s: %s" s e)
+    (Obs.Log.to_lines ());
+  reset_log ()
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "log",
+        [
+          Alcotest.test_case "disabled is inert" `Quick
+            test_log_disabled_is_inert;
+          Alcotest.test_case "level filter" `Quick test_log_level_filter;
+          Alcotest.test_case "sink sees events" `Quick
+            test_log_sink_sees_events;
+          Alcotest.test_case "NDJSON well-formed under drops" `Quick
+            test_log_ndjson_well_formed_under_drops;
+          Alcotest.test_case "write file" `Quick test_log_write_file;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "float round-trip exact" `Quick
+            test_float_round_trip_exact;
+        ] );
+      ( "probe",
+        [
+          Alcotest.test_case "off without period" `Quick
+            test_probe_off_without_period;
+          Alcotest.test_case "samples and series" `Quick
+            test_probe_samples_and_series;
+        ] );
+      ( "flow",
+        [
+          Alcotest.test_case "instrumented flow log" `Quick
+            test_flow_log_end_to_end;
+        ] );
+      ( "neutrality",
+        [
+          Alcotest.test_case "no fault, 1 domain" `Quick
+            test_neutrality_no_fault_1d;
+          Alcotest.test_case "no fault, 4 domains" `Quick
+            test_neutrality_no_fault_4d;
+          Alcotest.test_case "fault matrix, domains {1,4}" `Slow
+            test_neutrality_fault_matrix;
+        ] );
+    ]

@@ -175,7 +175,8 @@ let test_flow_trace_end_to_end () =
   | None -> Alcotest.fail "no B&B tree stats in trace"
   | Some t ->
       Alcotest.(check int) "tree nodes match bnb_nodes"
-        m.Obs.Metrics.bnb_nodes t.Obs.Trace.Analysis.tr_nodes;
+        (Option.value ~default:0 m.Obs.Metrics.bnb_nodes)
+        t.Obs.Trace.Analysis.tr_nodes;
       Alcotest.(check bool) "statuses histogram non-empty" true
         (t.Obs.Trace.Analysis.tr_statuses <> []));
   (* the warm-start seed guarantees at least one incumbent event *)
